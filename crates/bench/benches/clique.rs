@@ -1,0 +1,51 @@
+//! Performance of the maximum-clique search and clique partition — the
+//! inner loop of Algorithm 1 (one partition per arrival batch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+use s3_graph::{clique, partition, SocialGraph};
+
+fn random_graph(n: usize, density: f64, seed: u64) -> SocialGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = SocialGraph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.random::<f64>() < density {
+                g.add_edge(u, v, rng.random_range(0.3..1.0)).unwrap();
+            }
+        }
+    }
+    g
+}
+
+fn bench_max_clique(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_clique");
+    for &n in &[16usize, 32, 64] {
+        for &density in &[0.1, 0.3] {
+            let g = random_graph(n, density, 42);
+            group.bench_with_input(
+                BenchmarkId::new(format!("d{density}"), n),
+                &g,
+                |b, g| b.iter(|| black_box(clique::max_clique(g))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_clique_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique_partition");
+    for &n in &[16usize, 32, 64] {
+        let g = random_graph(n, 0.2, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(partition::clique_partition(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_max_clique, bench_clique_partition);
+criterion_main!(benches);

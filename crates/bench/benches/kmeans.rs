@@ -1,0 +1,42 @@
+//! Performance of profile clustering: k-means and the gap statistic over
+//! 6-dimensional application profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use s3_stats::gap::{gap_statistic, GapConfig};
+use s3_stats::kmeans::{fit, KMeansConfig};
+use s3_stats::rng::dirichlet_symmetric;
+
+fn profiles(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| dirichlet_symmetric(&mut rng, 6, 0.5)).collect()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_k4");
+    for &n in &[200usize, 1_000, 4_000] {
+        let points = profiles(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, p| {
+            b.iter(|| black_box(fit(p, 4, &KMeansConfig::default(), 9).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gap_statistic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gap_statistic_kmax6");
+    group.sample_size(10);
+    for &n in &[200usize, 500] {
+        let points = profiles(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, p| {
+            b.iter(|| black_box(gap_statistic(p, 6, &GapConfig::default(), 3).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans, bench_gap_statistic);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Throughput of the end-to-end pipeline stages: trace generation, replay,
+//! and model learning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use s3_core::{S3Config, SocialModel};
+use s3_trace::generator::{CampusConfig, CampusGenerator};
+use s3_trace::TraceStore;
+use s3_wlan::selector::LeastLoadedFirst;
+use s3_wlan::{SimConfig, SimEngine, Topology};
+
+fn config(users: usize) -> CampusConfig {
+    CampusConfig {
+        buildings: 4,
+        aps_per_building: 8,
+        users,
+        days: 5,
+        ..CampusConfig::campus()
+    }
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation_5days");
+    group.sample_size(10);
+    for &users in &[200usize, 800] {
+        group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, &u| {
+            b.iter(|| black_box(CampusGenerator::new(config(u), 3).generate()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_llf_5days");
+    group.sample_size(10);
+    for &users in &[200usize, 800] {
+        let campus = CampusGenerator::new(config(users), 3).generate();
+        let engine = SimEngine::new(Topology::from_campus(&campus.config), SimConfig::default());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(campus.demands.len()),
+            &campus.demands,
+            |b, demands| b.iter(|| black_box(engine.run(demands, &mut LeastLoadedFirst::new()))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("social_model_learn_5days");
+    group.sample_size(10);
+    for &users in &[200usize, 800] {
+        let campus = CampusGenerator::new(config(users), 3).generate();
+        let engine = SimEngine::new(Topology::from_campus(&campus.config), SimConfig::default());
+        let log = TraceStore::new(
+            engine
+                .run(&campus.demands, &mut LeastLoadedFirst::new())
+                .records,
+        );
+        let s3_config = S3Config {
+            fixed_k: Some(4),
+            ..S3Config::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(users), &log, |b, log| {
+            b.iter(|| black_box(SocialModel::learn(log, &s3_config, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_replay, bench_learning);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation (not a paper figure): the paper's future-work direction —
+//! does extending the typing features with *temporal* (hour-of-day) usage
+//! profiles improve the balance S³ achieves?
+
+use s3_bench::{fmt, write_csv, Args, Scenario};
+use s3_core::{S3Config, S3Selector};
+use s3_types::TimeDelta;
+use s3_wlan::metrics::mean_active_balance_filtered;
+
+fn main() {
+    let args = Args::parse();
+    let scenario = Scenario::build(&args);
+    let bin = TimeDelta::minutes(10);
+    let daytime = |h: u64| h >= 8;
+
+    println!("feature ablation: application-only vs application+temporal typing");
+    let mut rows = Vec::new();
+    for (label, temporal) in [("app-only", false), ("app+temporal", true)] {
+        let config = S3Config {
+            temporal_features: temporal,
+            fixed_k: Some(4),
+            ..S3Config::default()
+        };
+        let model = scenario.train_s3(&config, args.seed);
+        let typed = scenario
+            .training_log()
+            .users()
+            .iter()
+            .filter(|&&u| model.user_type(u).is_some())
+            .count();
+        let mut s3 = S3Selector::new(model, config);
+        let log = scenario.run_eval(&mut s3);
+        let balance = mean_active_balance_filtered(&log, bin, daytime).unwrap_or(0.0);
+        println!("  {label:<14} balance {balance:.4} ({typed} users typed)");
+        rows.push(format!("{label},{},{typed}", fmt(balance)));
+    }
+    write_csv(
+        &args.out_dir,
+        "ablation_features.csv",
+        "features,mean_daytime_balance,typed_users",
+        rows,
+    );
+}

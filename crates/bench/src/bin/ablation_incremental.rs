@@ -1,0 +1,71 @@
+//! Ablation (not a paper figure): deployment-style nightly retraining.
+//!
+//! The paper's future work is to run S³ live on the campus WLAN. A live
+//! controller retrains nightly from the day that just ended instead of
+//! freezing a month-old model. This experiment compares, over the
+//! evaluation days:
+//!
+//! * `frozen`  — batch model trained once on the training span;
+//! * `nightly` — incremental learner seeded with the training span, then
+//!   ingesting each evaluation day after serving it.
+
+use s3_bench::{fmt, write_csv, Args, Scenario};
+use s3_core::{IncrementalLearner, S3Config, S3Selector};
+use s3_trace::TraceStore;
+use s3_types::TimeDelta;
+use s3_wlan::metrics::mean_active_balance_filtered;
+
+fn main() {
+    let args = Args::parse();
+    let scenario = Scenario::build(&args);
+    let bin = TimeDelta::minutes(10);
+    let daytime = |h: u64| h >= 8;
+    let config = S3Config {
+        fixed_k: Some(4),
+        ..S3Config::default()
+    };
+
+    // Frozen: the standard pipeline.
+    let frozen_model = scenario.train_s3(&config, args.seed);
+    let mut frozen = S3Selector::new(frozen_model, config.clone());
+    let frozen_log = scenario.run_eval(&mut frozen);
+    let frozen_balance = mean_active_balance_filtered(&frozen_log, bin, daytime).unwrap_or(0.0);
+
+    // Nightly: seed the learner with the training history day by day, then
+    // serve each evaluation day with the current model and ingest it.
+    let mut learner = IncrementalLearner::new(config.clone(), args.seed);
+    let train = scenario.training_log();
+    for day in 0..=scenario.train_last_day() {
+        learner.ingest_day(&train.slice_days(day, day), day);
+    }
+    let mut nightly_records = Vec::new();
+    for day in scenario.eval_first_day()..=scenario.eval_last_day() {
+        let demands: Vec<_> = scenario
+            .campus
+            .demands
+            .iter()
+            .filter(|d| d.arrive.day() == day)
+            .cloned()
+            .collect();
+        let mut selector = S3Selector::new(learner.build_model(), config.clone());
+        let result = scenario.engine.run(&demands, &mut selector);
+        let day_store = TraceStore::new(result.records.clone());
+        learner.ingest_day(&day_store, day);
+        nightly_records.extend(result.records);
+    }
+    let nightly_log = TraceStore::new(nightly_records);
+    let nightly_balance = mean_active_balance_filtered(&nightly_log, bin, daytime).unwrap_or(0.0);
+
+    println!("incremental-retraining ablation (eval days {}..{}):", scenario.eval_first_day(), scenario.eval_last_day());
+    println!("  frozen model:  balance {frozen_balance:.4}");
+    println!("  nightly model: balance {nightly_balance:.4} ({} days ingested)", learner.days_ingested());
+    write_csv(
+        &args.out_dir,
+        "ablation_incremental.csv",
+        "variant,mean_daytime_balance",
+        vec![
+            format!("frozen,{}", fmt(frozen_balance)),
+            format!("nightly,{}", fmt(nightly_balance)),
+        ],
+    );
+}

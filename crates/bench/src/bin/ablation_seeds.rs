@@ -1,0 +1,50 @@
+//! Ablation (not a paper figure): robustness of the headline gain across
+//! random campuses. A result that held for one seed only would be noise;
+//! this runs the full fig12 pipeline over several seeds and reports the
+//! distribution of the S³-over-LLF gain.
+
+use s3_bench::{fmt, write_csv, Args, Scenario};
+use s3_stats::summary::Summary;
+use s3_types::TimeDelta;
+use s3_wlan::metrics::mean_active_balance_filtered;
+use s3_wlan::selector::LeastLoadedFirst;
+
+fn main() {
+    let args = Args::parse();
+    let bin = TimeDelta::minutes(10);
+    let daytime = |h: u64| h >= 8;
+    let seeds: Vec<u64> = (0..5).map(|i| args.seed + i * 1_001).collect();
+
+    println!("seed-robustness ablation: fig12 pipeline over {} seeds", seeds.len());
+    let mut gains = Vec::new();
+    let mut rows = Vec::new();
+    for &seed in &seeds {
+        let scenario = Scenario::from_config(args.campus_config(), seed);
+        let llf_log = scenario.run_eval(&mut LeastLoadedFirst::new());
+        let mut s3 = scenario.default_s3(seed);
+        let s3_log = scenario.run_eval(&mut s3);
+        let llf = mean_active_balance_filtered(&llf_log, bin, daytime).unwrap_or(0.0);
+        let s3b = mean_active_balance_filtered(&s3_log, bin, daytime).unwrap_or(0.0);
+        let gain = if llf > 0.0 { (s3b - llf) / llf } else { 0.0 };
+        println!("  seed {seed}: LLF {llf:.4} | S3 {s3b:.4} | gain {:+.1}%", gain * 100.0);
+        gains.push(gain);
+        rows.push(format!("{seed},{},{},{}", fmt(llf), fmt(s3b), fmt(gain)));
+    }
+    let summary = Summary::of(&gains).expect("seeds ran");
+    println!(
+        "  gain across seeds: {:+.1}% ± {:.1}% (95% CI), min {:+.1}%, max {:+.1}%",
+        summary.mean() * 100.0,
+        summary.ci95_half_width() * 100.0,
+        summary.min() * 100.0,
+        summary.max() * 100.0
+    );
+    if summary.min() <= 0.0 {
+        println!("  WARNING: S3 lost to LLF on at least one seed");
+    }
+    write_csv(
+        &args.out_dir,
+        "ablation_seeds.csv",
+        "seed,llf_balance,s3_balance,s3_gain",
+        rows,
+    );
+}

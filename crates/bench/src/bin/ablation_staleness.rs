@@ -1,0 +1,90 @@
+//! Ablation (not a paper figure): how does the AP-load reporting interval
+//! shape the S³-vs-LLF gap?
+//!
+//! The paper's incumbent controller sees periodically polled AP traffic
+//! counters. The staler the counters, the harder pure least-load herds
+//! bursts of arrivals onto the momentarily least-loaded AP — and the more
+//! there is for S³'s social spreading to win. This sweep makes that
+//! dependency explicit (DESIGN.md §5 / EXPERIMENTS.md note 2).
+
+use s3_bench::{fmt, plot, write_csv, Args};
+use s3_core::{S3Config, S3Selector, SocialModel};
+use s3_trace::generator::CampusGenerator;
+use s3_trace::TraceStore;
+use s3_types::TimeDelta;
+use s3_wlan::metrics::mean_active_balance_filtered;
+use s3_wlan::selector::LeastLoadedFirst;
+use s3_wlan::{SimConfig, SimEngine, Topology};
+
+fn main() {
+    let args = Args::parse();
+    let campus = CampusGenerator::new(args.campus_config(), args.seed).generate();
+    let topology = Topology::from_campus(&campus.config);
+    let bin = TimeDelta::minutes(10);
+    let daytime = |h: u64| h >= 8;
+
+    let train_last = campus.config.days - 4;
+    let eval: Vec<_> = campus
+        .demands
+        .iter()
+        .filter(|d| d.arrive.day() > train_last)
+        .cloned()
+        .collect();
+
+    println!("staleness ablation: load report interval vs policy balance");
+    let mut rows = Vec::new();
+    for minutes in [0u64, 1, 2, 5, 10, 20] {
+        let sim_config = SimConfig {
+            load_report_interval: TimeDelta::minutes(minutes),
+            ..SimConfig::default()
+        };
+        let engine = SimEngine::new(topology.clone(), sim_config);
+        // Retrain per staleness level: the collected history itself depends
+        // on how the incumbent policy behaves.
+        let history = TraceStore::new(
+            engine
+                .run(&campus.demands, &mut LeastLoadedFirst::new())
+                .records,
+        )
+        .slice_days(0, train_last);
+        let s3_config = S3Config::default();
+        let model = SocialModel::learn(&history, &s3_config, args.seed);
+        let mut s3 = S3Selector::new(model, s3_config);
+
+        let llf_log = TraceStore::new(engine.run(&eval, &mut LeastLoadedFirst::new()).records);
+        let s3_log = TraceStore::new(engine.run(&eval, &mut s3).records);
+        let llf = mean_active_balance_filtered(&llf_log, bin, daytime).unwrap_or(0.0);
+        let s3b = mean_active_balance_filtered(&s3_log, bin, daytime).unwrap_or(0.0);
+        let gain = if llf > 0.0 { (s3b - llf) / llf } else { 0.0 };
+        let label = if minutes == 0 { "live".to_string() } else { format!("{minutes}min") };
+        println!("  report={label:>6}: LLF {llf:.4} | S3 {s3b:.4} | gain {:+.1}%", gain * 100.0);
+        rows.push(format!("{minutes},{},{},{}", fmt(llf), fmt(s3b), fmt(gain)));
+    }
+    write_csv(
+        &args.out_dir,
+        "ablation_staleness.csv",
+        "report_interval_min,llf_balance,s3_balance,s3_gain",
+        rows.clone(),
+    );
+    let parse_col = |col: usize| -> Vec<(f64, f64)> {
+        rows.iter()
+            .map(|row| {
+                let cells: Vec<&str> = row.split(',').collect();
+                (cells[0].parse().unwrap(), cells[col].parse().unwrap())
+            })
+            .collect()
+    };
+    let svg = plot::line_chart(
+        &plot::ChartConfig {
+            title: "Balance vs AP counter-polling staleness".into(),
+            x_label: "load report interval (minutes; 0 = live)".into(),
+            y_label: "mean daytime balance index".into(),
+            ..plot::ChartConfig::default()
+        },
+        &[
+            plot::Series::new("LLF", parse_col(1)),
+            plot::Series::new("S3", parse_col(2)),
+        ],
+    );
+    plot::save_svg(&args.out_dir, "ablation_staleness.svg", &svg);
+}

@@ -1,0 +1,77 @@
+//! Fig. 11 — mean normalized balance index under S³ as a function of the
+//! history look-back (days), for α ∈ {0.1, 0.3, 0.5}.
+//!
+//! Paper reading: more history helps until about 15 days, then the curve
+//! plateaus — matching the NMI analysis of Fig. 6.
+
+use s3_bench::{fmt, plot, write_csv, Args, Scenario};
+use s3_core::{S3Config, S3Selector};
+use s3_types::TimeDelta;
+use s3_wlan::metrics::mean_active_balance_filtered;
+
+fn main() {
+    let args = Args::parse();
+    let scenario = Scenario::build(&args);
+
+    let lookbacks = [1u64, 3, 5, 7, 10, 13, 15, 20];
+    let alphas = [0.1, 0.3, 0.5];
+    let bin = TimeDelta::minutes(10);
+
+    println!("fig11: mean balance index vs history look-back x alpha");
+    let mut rows = Vec::new();
+    for &days in &lookbacks {
+        let mut cells = vec![days.to_string()];
+        for &alpha in &alphas {
+            let config = S3Config {
+                alpha,
+                lookback_days: days,
+                fixed_k: Some(4),
+                ..S3Config::default()
+            };
+            // Train on a history truncated to the look-back: both the
+            // profile window and the event mining see only those days.
+            let train = scenario
+                .training_log()
+                .slice_days(scenario.train_last_day().saturating_sub(days - 1), scenario.train_last_day());
+            let model = s3_core::SocialModel::learn(&train, &config, args.seed);
+            let mut s3 = S3Selector::new(model, config);
+            let log = scenario.run_eval(&mut s3);
+            let balance = mean_active_balance_filtered(&log, bin, |h| h >= 8).unwrap_or(0.0);
+            println!("  lookback={days}d alpha={alpha}: mean balance {balance:.4}");
+            cells.push(fmt(balance));
+        }
+        rows.push(cells.join(","));
+    }
+    write_csv(
+        &args.out_dir,
+        "fig11.csv",
+        "lookback_days,alpha_0.1,alpha_0.3,alpha_0.5",
+        rows.clone(),
+    );
+
+    let series: Vec<plot::Series> = alphas
+        .iter()
+        .enumerate()
+        .map(|(ai, alpha)| {
+            let points = lookbacks
+                .iter()
+                .enumerate()
+                .map(|(di, &days)| {
+                    let cell: f64 = rows[di].split(',').nth(ai + 1).unwrap().parse().unwrap();
+                    (days as f64, cell)
+                })
+                .collect();
+            plot::Series::new(format!("alpha {alpha}"), points)
+        })
+        .collect();
+    let svg = plot::line_chart(
+        &plot::ChartConfig {
+            title: "Fig 11: balance vs history look-back".into(),
+            x_label: "days to look back".into(),
+            y_label: "mean normalized balance index".into(),
+            ..plot::ChartConfig::default()
+        },
+        &series,
+    );
+    plot::save_svg(&args.out_dir, "fig11.svg", &svg);
+}

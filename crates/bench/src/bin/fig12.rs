@@ -1,0 +1,227 @@
+//! Fig. 12 — S³ vs LLF: mean normalized balance index per controller
+//! domain with 95 % confidence error bars, plus the hourly profile.
+//!
+//! Paper reading: S³ outperforms LLF nearly everywhere — about 41.2 % mean
+//! gain, about 52.1 % during the leave-peaks (12:00–13:00, 16:00–17:50,
+//! 21:00–22:00), and 72.1 % narrower error bars (stability).
+
+use s3_bench::{fmt, plot, write_csv, Args, Scenario};
+use s3_stats::summary::{relative_gain, Summary};
+use s3_trace::generator::is_leave_peak_hour;
+use s3_types::TimeDelta;
+use s3_wlan::metrics::{balance_samples, mean_active_balance_filtered};
+use s3_wlan::selector::LeastLoadedFirst;
+
+fn main() {
+    let args = Args::parse();
+    let scenario = Scenario::build(&args);
+    let bin = TimeDelta::minutes(10);
+
+    // Evaluate both policies on the same demand stream.
+    let mut llf = LeastLoadedFirst::new();
+    let llf_log = scenario.run_eval(&mut llf);
+    let mut s3 = scenario.default_s3(args.seed);
+    let s3_log = scenario.run_eval(&mut s3);
+
+    // Per-controller summaries (the bar chart with error bars).
+    let llf_samples = balance_samples(&llf_log, bin);
+    let s3_samples = balance_samples(&s3_log, bin);
+    let controllers = llf_log.controllers();
+    let mut rows = Vec::new();
+    let mut llf_means = Vec::new();
+    let mut s3_means = Vec::new();
+    let mut llf_cis = Vec::new(); // per-domain, for the bar chart CSV
+    let mut s3_cis = Vec::new();
+    println!("fig12: S3 vs LLF per controller domain");
+    for (idx, &controller) in controllers.iter().enumerate() {
+        // The paper's Fig. 12 plots daytime (8:00–24:00); sparse night bins
+        // carry one or two sessions and only add noise.
+        let pick = |samples: &[s3_wlan::metrics::BalanceSample]| -> Vec<f64> {
+            samples
+                .iter()
+                .filter(|s| {
+                    s.controller == controller && s.active && s.start.hour_of_day() >= 8
+                })
+                .map(|s| s.value)
+                .collect()
+        };
+        let (Ok(l), Ok(s)) = (Summary::of(&pick(&llf_samples)), Summary::of(&pick(&s3_samples)))
+        else {
+            continue;
+        };
+        println!(
+            "  domain {}: LLF {:.3} ± {:.3} | S3 {:.3} ± {:.3}",
+            idx + 1,
+            l.mean(),
+            l.ci95_half_width(),
+            s.mean(),
+            s.ci95_half_width()
+        );
+        llf_means.push(l.mean());
+        s3_means.push(s.mean());
+        llf_cis.push(l.ci95_half_width());
+        s3_cis.push(s.ci95_half_width());
+        rows.push(format!(
+            "{},{},{},{},{}",
+            idx + 1,
+            fmt(l.mean()),
+            fmt(l.ci95_half_width()),
+            fmt(s.mean()),
+            fmt(s.ci95_half_width())
+        ));
+    }
+    write_csv(
+        &args.out_dir,
+        "fig12_domains.csv",
+        "domain,llf_mean,llf_ci95,s3_mean,s3_ci95",
+        rows,
+    );
+    let categories: Vec<String> = (1..=llf_means.len()).map(|i| format!("d{i}")).collect();
+    let svg = plot::bar_chart(
+        &plot::ChartConfig {
+            title: "Fig 12: mean balance per controller domain".into(),
+            x_label: "controller domain".into(),
+            y_label: "normalized balance index".into(),
+            ..plot::ChartConfig::default()
+        },
+        &categories,
+        &[
+            plot::BarGroup {
+                label: "LLF".into(),
+                values: llf_means.clone(),
+                errors: Some(llf_cis.clone()),
+            },
+            plot::BarGroup {
+                label: "S3".into(),
+                values: s3_means.clone(),
+                errors: Some(s3_cis.clone()),
+            },
+        ],
+    );
+    plot::save_svg(&args.out_dir, "fig12_domains.svg", &svg);
+
+    // Hourly profile (the time-of-day curve the paper plots, with a 95 %
+    // CI per hour computed across (controller, day) means).
+    let hourly_stats = |samples: &[s3_wlan::metrics::BalanceSample], hour: u64| -> Option<Summary> {
+        let mut per_group: std::collections::HashMap<(u32, u64), (f64, u32)> =
+            std::collections::HashMap::new();
+        for s in samples {
+            if s.active && s.start.hour_of_day() == hour {
+                let e = per_group
+                    .entry((s.controller.raw(), s.start.day()))
+                    .or_insert((0.0, 0));
+                e.0 += s.value;
+                e.1 += 1;
+            }
+        }
+        let means: Vec<f64> = per_group.values().map(|&(sum, n)| sum / n as f64).collect();
+        Summary::of(&means).ok()
+    };
+    let mut hourly_rows = Vec::new();
+    let mut llf_hour_cis = Vec::new();
+    let mut s3_hour_cis = Vec::new();
+    for hour in 8..24u64 {
+        let (Some(l), Some(s)) = (
+            hourly_stats(&llf_samples, hour),
+            hourly_stats(&s3_samples, hour),
+        ) else {
+            continue;
+        };
+        llf_hour_cis.push(l.ci95_half_width());
+        s3_hour_cis.push(s.ci95_half_width());
+        hourly_rows.push(format!(
+            "{hour},{},{},{},{}",
+            fmt(l.mean()),
+            fmt(l.ci95_half_width()),
+            fmt(s.mean()),
+            fmt(s.ci95_half_width())
+        ));
+    }
+    write_csv(
+        &args.out_dir,
+        "fig12_hourly.csv",
+        "hour,llf_balance,llf_ci95,s3_balance,s3_ci95",
+        hourly_rows.clone(),
+    );
+    let parse_col = |col: usize| -> Vec<(f64, f64)> {
+        hourly_rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<&str> = row.split(',').collect();
+                (cells[0].parse().unwrap(), cells[col].parse().unwrap())
+            })
+            .collect()
+    };
+    let svg = plot::line_chart(
+        &plot::ChartConfig {
+            title: "Fig 12: hourly balance, S3 vs LLF".into(),
+            x_label: "hour of day".into(),
+            y_label: "normalized balance index".into(),
+            ..plot::ChartConfig::default()
+        },
+        &[
+            plot::Series::new("LLF", parse_col(1)),
+            plot::Series::new("S3", parse_col(3)),
+        ],
+    );
+    plot::save_svg(&args.out_dir, "fig12_hourly.svg", &svg);
+
+    // Headline numbers.
+    let overall_llf = Summary::of(&llf_means).expect("domains exist");
+    let overall_s3 = Summary::of(&s3_means).expect("domains exist");
+    let gain = relative_gain(overall_llf.mean(), overall_s3.mean()).expect("non-zero llf mean");
+    let peak_llf = mean_active_balance_filtered(&llf_log, bin, is_leave_peak_hour);
+    let peak_s3 = mean_active_balance_filtered(&s3_log, bin, is_leave_peak_hour);
+    let peak_gain = match (peak_llf, peak_s3) {
+        (Some(l), Some(s)) if l > 0.0 => Some((s - l) / l),
+        _ => None,
+    };
+    // "The error bar can be reduced by 72.1 %": mean width of the 95 % CIs
+    // on the hourly curve (across controller-day means), S³ vs LLF.
+    let mean_ci = |cis: &[f64]| cis.iter().sum::<f64>() / cis.len().max(1) as f64;
+    let ci_reduction = if mean_ci(&llf_hour_cis) > 0.0 {
+        1.0 - mean_ci(&s3_hour_cis) / mean_ci(&llf_hour_cis)
+    } else {
+        0.0
+    };
+
+    println!("summary:");
+    println!(
+        "  mean balance: LLF {:.4} | S3 {:.4} | gain {:+.1}% (paper: +41.2%)",
+        overall_llf.mean(),
+        overall_s3.mean(),
+        gain * 100.0
+    );
+    if let Some(pg) = peak_gain {
+        println!("  leave-peak gain: {:+.1}% (paper: +52.1%)", pg * 100.0);
+    }
+    println!(
+        "  error-bar reduction: {:.1}% (paper: 72.1%)",
+        ci_reduction * 100.0
+    );
+    write_csv(
+        &args.out_dir,
+        "fig12_summary.csv",
+        "metric,llf,s3,gain",
+        vec![
+            format!(
+                "mean_balance,{},{},{}",
+                fmt(overall_llf.mean()),
+                fmt(overall_s3.mean()),
+                fmt(gain)
+            ),
+            format!(
+                "leave_peak_balance,{},{},{}",
+                fmt(peak_llf.unwrap_or(0.0)),
+                fmt(peak_s3.unwrap_or(0.0)),
+                fmt(peak_gain.unwrap_or(0.0))
+            ),
+            format!(
+                "mean_ci95,{},{},{}",
+                fmt(mean_ci(&llf_hour_cis)),
+                fmt(mean_ci(&s3_hour_cis)),
+                fmt(ci_reduction)
+            ),
+        ],
+    );
+}

@@ -1,0 +1,71 @@
+//! Fig. 2 — CDF of the normalized balance index over all controllers,
+//! under the incumbent LLF policy, for average hours vs peak hours.
+//!
+//! Paper reading: ~20 % of peak-hour samples and ~60 % of workday samples
+//! fall below 0.5 — LLF alone cannot keep domains balanced.
+
+use s3_bench::{fmt, plot, write_csv, Args, Scenario};
+use s3_stats::cdf::Ecdf;
+use s3_trace::generator::is_peak_hour;
+use s3_types::TimeDelta;
+use s3_wlan::metrics::balance_samples;
+
+fn main() {
+    let args = Args::parse();
+    let scenario = Scenario::build(&args);
+
+    let samples = balance_samples(&scenario.llf_log, TimeDelta::hours(1));
+    let average: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.active)
+        .map(|s| s.value)
+        .collect();
+    let peak: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.active && is_peak_hour(s.start.hour_of_day()))
+        .map(|s| s.value)
+        .collect();
+
+    let cdf_avg = Ecdf::new(average).expect("workday samples exist");
+    let cdf_peak = Ecdf::new(peak).expect("peak samples exist");
+
+    println!("fig2: normalized balance index CDF under LLF");
+    println!(
+        "  workday samples: {} | below 0.5: {:.1}% (paper: ~60%)",
+        cdf_avg.len(),
+        cdf_avg.fraction_below(0.5) * 100.0
+    );
+    println!(
+        "  peak-hour samples: {} | below 0.5: {:.1}% (paper: ~20%)",
+        cdf_peak.len(),
+        cdf_peak.fraction_below(0.5) * 100.0
+    );
+
+    let rows = (0..=100).map(|i| {
+        let x = i as f64 / 100.0;
+        format!("{},{},{}", fmt(x), fmt(cdf_avg.eval(x)), fmt(cdf_peak.eval(x)))
+    });
+    write_csv(&args.out_dir, "fig2.csv", "balance_index,cdf_average_hours,cdf_peak_hours", rows);
+
+    let curve = |cdf: &Ecdf| -> Vec<(f64, f64)> {
+        (0..=100)
+            .map(|i| {
+                let x = i as f64 / 100.0;
+                (x, cdf.eval(x))
+            })
+            .collect()
+    };
+    let svg = plot::line_chart(
+        &plot::ChartConfig {
+            title: "Fig 2: balance index CDF under LLF".into(),
+            x_label: "normalized balance index".into(),
+            y_label: "CDF".into(),
+            ..plot::ChartConfig::default()
+        },
+        &[
+            plot::Series::new("average hours", curve(&cdf_avg)),
+            plot::Series::new("peak hours", curve(&cdf_peak)),
+        ],
+    );
+    plot::save_svg(&args.out_dir, "fig2.svg", &svg);
+}

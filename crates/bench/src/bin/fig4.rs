@@ -1,0 +1,91 @@
+//! Fig. 4 — one workday, one controller: the balance index of the *number
+//! of users* per AP next to the balance index of *traffic* per AP,
+//! 8:00–24:00.
+//!
+//! Paper reading: the two series move together — when the user-count index
+//! drops (a co-leaving), the traffic index drops with it.
+
+use s3_bench::{fmt, plot, write_csv, Args, Scenario};
+use s3_types::{Timestamp, TimeDelta};
+use s3_wlan::metrics::{balance_series, user_balance_series};
+
+fn main() {
+    let args = Args::parse();
+    let scenario = Scenario::build(&args);
+    let store = &scenario.llf_log;
+
+    // Pick the busiest controller on the last *weekday* of the training
+    // span (weekends are quiet by construction).
+    let day = (0..=scenario.train_last_day())
+        .rev()
+        .find(|d| d % 7 < 5)
+        .expect("a weekday exists");
+    let from = Timestamp::from_day_hms(day, 8, 0, 0);
+    let to = Timestamp::from_day_hms(day, 23, 59, 59);
+    let controller = store
+        .controllers()
+        .into_iter()
+        .max_by_key(|&c| {
+            store
+                .sessions_overlapping(from, to)
+                .filter(|r| r.controller == c)
+                .count()
+        })
+        .expect("controllers exist");
+
+    let bin = TimeDelta::minutes(10);
+    let traffic = balance_series(store, controller, from, to, bin);
+    let users = user_balance_series(store, controller, from, to, bin);
+
+    // Correlation between the two series (paired by bin).
+    let n = traffic.len().min(users.len());
+    let (tx, ux): (Vec<f64>, Vec<f64>) = (
+        traffic[..n].iter().map(|&(_, v)| v).collect(),
+        users[..n].iter().map(|&(_, v)| v).collect(),
+    );
+    let r = s3_stats::correlation::pearson(&tx, &ux).unwrap_or(0.0);
+    let rho = s3_stats::correlation::spearman(&tx, &ux).unwrap_or(0.0);
+
+    println!("fig4: user-count vs traffic balance, controller {controller}, day {day}");
+    println!(
+        "  bins: {n} | pearson r = {r:.3}, spearman rho = {rho:.3} \
+         (paper: 'very similar in layout')"
+    );
+
+    let rows = (0..n).map(|i| {
+        let (t, beta_traffic) = traffic[i];
+        let (_, beta_users) = users[i];
+        format!(
+            "{},{},{}",
+            t.secs_of_day() / 60,
+            fmt(beta_users),
+            fmt(beta_traffic)
+        )
+    });
+    write_csv(
+        &args.out_dir,
+        "fig4.csv",
+        "minute_of_day,balance_user_count,balance_traffic",
+        rows,
+    );
+
+    let to_points = |series: &[(s3_types::Timestamp, f64)]| -> Vec<(f64, f64)> {
+        series
+            .iter()
+            .map(|&(t, v)| (t.secs_of_day() as f64 / 3_600.0, v))
+            .collect()
+    };
+    let svg = plot::line_chart(
+        &plot::ChartConfig {
+            title: format!("Fig 4: user-count vs traffic balance ({controller}, day {day})"),
+            x_label: "hour of day".into(),
+            y_label: "normalized balance index".into(),
+            ..plot::ChartConfig::default()
+        },
+        &[
+            plot::Series::new("user count", to_points(&users[..n])),
+            plot::Series::new("traffic", to_points(&traffic[..n])),
+        ],
+    );
+    plot::save_svg(&args.out_dir, "fig4.svg", &svg);
+}

@@ -1,0 +1,89 @@
+//! Fig. 6 — average NMI between a user's day-`x` application profile and
+//! the profile aggregated over days `x−1 … x−n`, as a function of `n`.
+//!
+//! Paper reading: the NMI rises with `n` and plateaus around `n ≈ 15` —
+//! fifteen days of history suffice to capture a user's application
+//! interest; older data neither helps nor hurts.
+
+use s3_bench::{fmt, plot, write_csv, Args, Scenario};
+use s3_stats::entropy::profile_nmi;
+use s3_trace::TraceStore;
+use s3_types::APP_CATEGORY_COUNT;
+
+/// Quantization levels of the population NMI estimator (see DESIGN.md §5).
+const LEVELS: usize = 8;
+
+/// NMI between day-`x` profiles and `n`-day history profiles, over all
+/// users with traffic on day `x` and in the window.
+fn nmi_for(store: &TraceStore, x: u64, n: u64) -> Option<f64> {
+    let first = x.checked_sub(n)?;
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+    for user in store.users() {
+        let today = store.user_day_volumes(user, x);
+        let today_total: f64 = today.iter().map(|b| b.as_f64()).sum();
+        if today_total <= 0.0 {
+            continue;
+        }
+        let history = store.user_window_volumes(user, first, x - 1);
+        let hist_total: f64 = history.iter().map(|b| b.as_f64()).sum();
+        if hist_total <= 0.0 {
+            continue;
+        }
+        for i in 0..APP_CATEGORY_COUNT {
+            pairs.push((
+                today[i].as_f64() / today_total,
+                history[i].as_f64() / hist_total,
+            ));
+        }
+    }
+    profile_nmi(pairs, LEVELS).ok()
+}
+
+fn main() {
+    let args = Args::parse();
+    let scenario = Scenario::build(&args);
+    let store = &scenario.llf_log;
+
+    // Two reference days, like the paper's 7/26 and 7/27 curves.
+    let day_a = scenario.train_last_day();
+    let day_b = day_a.saturating_sub(1);
+    let n_max = day_b.min(30);
+
+    println!("fig6: NMI vs history age (reference days {day_a} and {day_b})");
+    let mut rows = Vec::new();
+    let mut plateau_check = Vec::new();
+    for n in 1..=n_max {
+        let a = nmi_for(store, day_a, n).unwrap_or(0.0);
+        let b = nmi_for(store, day_b, n).unwrap_or(0.0);
+        rows.push(format!("{n},{},{}", fmt(a), fmt(b)));
+        plateau_check.push(a);
+    }
+    if let (Some(&early), Some(&late)) = (plateau_check.first(), plateau_check.last()) {
+        let mid = plateau_check.get(14).copied().unwrap_or(late);
+        println!(
+            "  NMI(n=1) = {early:.3}, NMI(n=15) = {mid:.3}, NMI(n={n_max}) = {late:.3} \
+             (paper: rises then plateaus ≈ 15 days)"
+        );
+    }
+    write_csv(&args.out_dir, "fig6.csv", "history_days,nmi_day_a,nmi_day_b", rows);
+
+    let series_a: Vec<(f64, f64)> = (1..=n_max)
+        .map(|n| (n as f64, nmi_for(store, day_a, n).unwrap_or(0.0)))
+        .collect();
+    let series_b: Vec<(f64, f64)> = (1..=n_max)
+        .map(|n| (n as f64, nmi_for(store, day_b, n).unwrap_or(0.0)))
+        .collect();
+    let svg = plot::line_chart(
+        &plot::ChartConfig {
+            title: "Fig 6: NMI vs history age".into(),
+            x_label: "age of oldest history data (days)".into(),
+            y_label: "NMI".into(),
+            ..plot::ChartConfig::default()
+        },
+        &[
+            plot::Series::new(format!("day {day_a}"), series_a),
+            plot::Series::new(format!("day {day_b}"), series_b),
+        ],
+    );
+    plot::save_svg(&args.out_dir, "fig6.svg", &svg);
+}

@@ -1,0 +1,48 @@
+//! Fig. 7 — the gap statistic over the number of clusters `k` for user
+//! application profiles.
+//!
+//! Paper reading: `Gap(4) ≥ Gap(5) − s₅`, so `k = 4` is chosen.
+
+use s3_bench::{fmt, plot, write_csv, Args, Scenario};
+use s3_core::profile::all_window_profiles;
+use s3_stats::gap::{gap_statistic, GapConfig};
+
+fn main() {
+    let args = Args::parse();
+    let scenario = Scenario::build(&args);
+    let store = scenario.training_log();
+
+    let profiles = all_window_profiles(&store, scenario.train_last_day(), 15);
+    let mut users: Vec<_> = profiles.keys().copied().collect();
+    users.sort_unstable();
+    let points: Vec<Vec<f64>> = users.iter().map(|u| profiles[u].shares().to_vec()).collect();
+    println!("fig7: gap statistic over {} user profiles", points.len());
+
+    let result = gap_statistic(&points, 10, &GapConfig::default(), args.seed)
+        .expect("enough profiles to cluster");
+    println!("  chosen k = {} (paper: k = 4)", result.chosen_k);
+
+    let rows = result.points.iter().map(|p| {
+        format!(
+            "{},{},{},{},{}",
+            p.k,
+            fmt(p.gap),
+            fmt(p.s),
+            fmt(p.log_w),
+            fmt(p.mean_ref_log_w)
+        )
+    });
+    write_csv(&args.out_dir, "fig7.csv", "k,gap,s_k,log_w,mean_ref_log_w", rows);
+
+    let gap_curve: Vec<(f64, f64)> = result.points.iter().map(|p| (p.k as f64, p.gap)).collect();
+    let svg = plot::line_chart(
+        &plot::ChartConfig {
+            title: format!("Fig 7: gap statistic (chosen k = {})", result.chosen_k),
+            x_label: "k".into(),
+            y_label: "Gap(k)".into(),
+            ..plot::ChartConfig::default()
+        },
+        &[plot::Series::new("gap", gap_curve)],
+    );
+    plot::save_svg(&args.out_dir, "fig7.svg", &svg);
+}

@@ -1,0 +1,77 @@
+//! Fig. 8 — cluster centroids of the four user groups over the six
+//! application realms.
+//!
+//! Paper reading: each cluster has a distinct dominant realm, so a user is
+//! cleanly assignable to a group from its application usage profile.
+
+use s3_bench::{fmt, plot, write_csv, Args, Scenario};
+use s3_core::profile::all_window_profiles;
+use s3_stats::kmeans::{fit, KMeansConfig};
+use s3_types::AppCategory;
+
+fn main() {
+    let args = Args::parse();
+    let scenario = Scenario::build(&args);
+    let store = scenario.training_log();
+
+    let profiles = all_window_profiles(&store, scenario.train_last_day(), 15);
+    let mut users: Vec<_> = profiles.keys().copied().collect();
+    users.sort_unstable();
+    let points: Vec<Vec<f64>> = users.iter().map(|u| profiles[u].shares().to_vec()).collect();
+
+    let k = 4;
+    let result = fit(&points, k, &KMeansConfig::default(), args.seed).expect("clustering succeeds");
+    let sizes = result.cluster_sizes();
+
+    println!("fig8: centroids of {k} user groups over {} profiles", points.len());
+    for (i, centroid) in result.centroids.iter().enumerate() {
+        let dominant = centroid
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(idx, _)| AppCategory::from_index(idx).expect("valid realm"))
+            .expect("non-empty centroid");
+        println!(
+            "  type{} ({} users): dominant realm = {dominant}",
+            i + 1,
+            sizes[i]
+        );
+    }
+
+    let rows = result.centroids.iter().enumerate().map(|(i, c)| {
+        format!(
+            "type{},{},{},{},{},{},{}",
+            i + 1,
+            fmt(c[0]),
+            fmt(c[1]),
+            fmt(c[2]),
+            fmt(c[3]),
+            fmt(c[4]),
+            fmt(c[5])
+        )
+    });
+    write_csv(&args.out_dir, "fig8.csv", "cluster,im,p2p,music,email,video,web", rows);
+
+    let categories: Vec<String> = AppCategory::ALL.iter().map(|c| c.label().to_string()).collect();
+    let groups: Vec<plot::BarGroup> = result
+        .centroids
+        .iter()
+        .enumerate()
+        .map(|(i, c)| plot::BarGroup {
+            label: format!("type{}", i + 1),
+            values: c.clone(),
+            errors: None,
+        })
+        .collect();
+    let svg = plot::bar_chart(
+        &plot::ChartConfig {
+            title: "Fig 8: cluster centroids over application realms".into(),
+            x_label: "application realm".into(),
+            y_label: "normalized traffic share".into(),
+            ..plot::ChartConfig::default()
+        },
+        &categories,
+        &groups,
+    );
+    plot::save_svg(&args.out_dir, "fig8.svg", &svg);
+}

@@ -1,0 +1,53 @@
+//! Table I — the co-leave probability matrix `T(typeᵢ, typeⱼ)` between the
+//! four user groups.
+//!
+//! Paper reading: the matrix is diagonal-dominant — a user is more likely
+//! to leave together with someone of their own type.
+
+use s3_bench::{fmt, write_csv, Args, Scenario};
+use s3_core::{S3Config, SocialModel};
+
+fn main() {
+    let args = Args::parse();
+    let scenario = Scenario::build(&args);
+
+    let config = S3Config {
+        fixed_k: Some(4),
+        ..S3Config::default()
+    };
+    let model = SocialModel::learn(&scenario.training_log(), &config, args.seed);
+    let matrix = model.type_matrix();
+    let k = matrix.k();
+
+    println!("table1: co-leave probability between user types");
+    print!("        ");
+    for j in 0..k {
+        print!("type{}   ", j + 1);
+    }
+    println!();
+    for i in 0..k {
+        print!("type{}   ", i + 1);
+        for j in 0..k {
+            print!("{:<8.3}", matrix.get(i, j));
+        }
+        println!();
+    }
+    println!(
+        "  diagonal mean = {:.3} vs off-diagonal mean = {:.3} (paper: diagonal dominant)",
+        matrix.diagonal_mean(),
+        matrix.off_diagonal_mean()
+    );
+
+    let rows = (0..k).map(|i| {
+        let cells: Vec<String> = (0..k).map(|j| fmt(matrix.get(i, j))).collect();
+        format!("type{},{}", i + 1, cells.join(","))
+    });
+    let header = {
+        let mut h = String::from("row");
+        for j in 0..k {
+            h.push_str(&format!(",type{}", j + 1));
+        }
+        h
+    };
+    write_csv(&args.out_dir, "table1.csv", &header, rows);
+}

@@ -1,0 +1,280 @@
+//! Shared experiment harness for the figure/table reproduction binaries.
+//!
+//! Every `fig*`/`table1` binary follows the same protocol as the paper's
+//! evaluation (Section V-A):
+//!
+//! 1. generate a campus trace (default scale, or `--paper-scale`);
+//! 2. replay the whole trace under **LLF** — this plays the role of the
+//!    SJTU log, which was collected under the state-of-the-art policy;
+//! 3. train S³ on the *training days* of that log (everything except the
+//!    last [`EVAL_DAYS`] days);
+//! 4. evaluate policies on the *evaluation days* and write a CSV per
+//!    figure into `results/`.
+//!
+//! Binaries share CLI flags: `--paper-scale`, `--seed <u64>`,
+//! `--out <dir>` (default `results`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plot;
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use s3_core::{S3Config, S3Selector, SocialModel};
+use s3_trace::generator::{Campus, CampusConfig, CampusGenerator};
+use s3_trace::{SessionDemand, TraceStore};
+use s3_wlan::selector::{ApSelector, LeastLoadedFirst};
+use s3_wlan::{SimConfig, SimEngine, Topology};
+
+/// Days reserved at the end of the trace for evaluation (the paper holds
+/// out July 25–27: three days).
+pub const EVAL_DAYS: u64 = 3;
+
+/// Parsed command-line flags shared by all experiment binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Run at the paper's reported scale (22 buildings / 12,374 users /
+    /// 90 days) instead of the fast default campus.
+    pub paper_scale: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            paper_scale: false,
+            seed: 42,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`. Unknown flags abort with a usage message.
+    pub fn parse() -> Args {
+        let mut args = Args::default();
+        let mut iter = std::env::args().skip(1);
+        while let Some(flag) = iter.next() {
+            match flag.as_str() {
+                "--paper-scale" => args.paper_scale = true,
+                "--seed" => {
+                    let value = iter.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    args.seed = value.parse().unwrap_or_else(|_| usage("--seed must be a u64"));
+                }
+                "--out" => {
+                    let value = iter.next().unwrap_or_else(|| usage("--out needs a value"));
+                    args.out_dir = PathBuf::from(value);
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other:?}")),
+            }
+        }
+        args
+    }
+
+    /// The campus configuration selected by the flags.
+    pub fn campus_config(&self) -> CampusConfig {
+        if self.paper_scale {
+            CampusConfig::paper_scale()
+        } else {
+            CampusConfig::campus()
+        }
+    }
+}
+
+fn usage(message: &str) -> ! {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!("usage: <experiment> [--paper-scale] [--seed <u64>] [--out <dir>]");
+    std::process::exit(if message.is_empty() { 0 } else { 2 });
+}
+
+/// A fully prepared experiment scenario.
+pub struct Scenario {
+    /// The generated campus (demands + ground truth).
+    pub campus: Campus,
+    /// The WLAN topology.
+    pub topology: Topology,
+    /// The replay engine.
+    pub engine: SimEngine,
+    /// The whole trace replayed under LLF (the "collected log").
+    pub llf_log: TraceStore,
+}
+
+impl Scenario {
+    /// Builds the scenario for `args`: generates the campus and replays it
+    /// once under LLF.
+    pub fn build(args: &Args) -> Scenario {
+        Scenario::from_config(args.campus_config(), args.seed)
+    }
+
+    /// Builds a scenario from an explicit campus configuration.
+    pub fn from_config(config: CampusConfig, seed: u64) -> Scenario {
+        let campus = CampusGenerator::new(config, seed).generate();
+        let topology = Topology::from_campus(&campus.config);
+        let engine = SimEngine::new(topology.clone(), SimConfig::default());
+        let llf = engine.run(&campus.demands, &mut LeastLoadedFirst::new());
+        Scenario {
+            campus,
+            topology,
+            engine,
+            llf_log: TraceStore::new(llf.records),
+        }
+    }
+
+    /// Last training day (inclusive).
+    pub fn train_last_day(&self) -> u64 {
+        self.campus.config.days.saturating_sub(EVAL_DAYS + 1)
+    }
+
+    /// First evaluation day.
+    pub fn eval_first_day(&self) -> u64 {
+        self.train_last_day() + 1
+    }
+
+    /// Last evaluation day (inclusive).
+    pub fn eval_last_day(&self) -> u64 {
+        self.campus.config.days.saturating_sub(1)
+    }
+
+    /// The training slice of the LLF log.
+    pub fn training_log(&self) -> TraceStore {
+        self.llf_log.slice_days(0, self.train_last_day())
+    }
+
+    /// Demands whose arrival falls in the evaluation window.
+    pub fn eval_demands(&self) -> Vec<SessionDemand> {
+        let first = self.eval_first_day();
+        let last = self.eval_last_day();
+        self.campus
+            .demands
+            .iter()
+            .filter(|d| {
+                let day = d.arrive.day();
+                day >= first && day <= last
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Replays the evaluation demands under `selector` and returns the
+    /// resulting log.
+    pub fn run_eval(&self, selector: &mut dyn ApSelector) -> TraceStore {
+        TraceStore::new(self.engine.run(&self.eval_demands(), selector).records)
+    }
+
+    /// Trains an S³ model on the training log under `config`.
+    pub fn train_s3(&self, config: &S3Config, seed: u64) -> SocialModel {
+        SocialModel::learn(&self.training_log(), config, seed)
+    }
+
+    /// Convenience: trained selector with the paper's default parameters.
+    pub fn default_s3(&self, seed: u64) -> S3Selector {
+        let config = S3Config::default();
+        let model = self.train_s3(&config, seed);
+        S3Selector::new(model, config)
+    }
+}
+
+/// Writes a CSV file: a header line plus one line per row. Creates the
+/// directory if needed and echoes the path to stdout.
+///
+/// # Panics
+///
+/// Panics on I/O failure — experiment binaries should die loudly.
+pub fn write_csv<I>(dir: &Path, name: &str, header: &str, rows: I) -> PathBuf
+where
+    I: IntoIterator<Item = String>,
+{
+    fs::create_dir_all(dir).expect("create results directory");
+    let path = dir.join(name);
+    let mut file = fs::File::create(&path).expect("create csv file");
+    writeln!(file, "{header}").expect("write header");
+    for row in rows {
+        writeln!(file, "{row}").expect("write row");
+    }
+    println!("wrote {}", path.display());
+    path
+}
+
+/// Formats a float with fixed precision for CSV output.
+pub fn fmt(value: f64) -> String {
+    format!("{value:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_trace::generator::CampusConfig;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario::from_config(
+            CampusConfig {
+                days: 6,
+                ..CampusConfig::tiny()
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn day_split_arithmetic() {
+        let s = tiny_scenario();
+        assert_eq!(s.train_last_day(), 2);
+        assert_eq!(s.eval_first_day(), 3);
+        assert_eq!(s.eval_last_day(), 5);
+    }
+
+    #[test]
+    fn training_log_excludes_eval_days() {
+        let s = tiny_scenario();
+        let train = s.training_log();
+        if let Some((_, last)) = train.day_range() {
+            assert!(last <= s.train_last_day());
+        }
+        for d in s.eval_demands() {
+            assert!(d.arrive.day() >= s.eval_first_day());
+        }
+    }
+
+    #[test]
+    fn eval_run_produces_eval_sessions_only() {
+        let s = tiny_scenario();
+        let mut llf = LeastLoadedFirst::new();
+        let log = s.run_eval(&mut llf);
+        assert_eq!(log.len(), s.eval_demands().len());
+    }
+
+    #[test]
+    fn default_s3_trains() {
+        let s = tiny_scenario();
+        let s3 = s.default_s3(7);
+        assert_eq!(s3.name(), "s3");
+    }
+
+    #[test]
+    fn csv_writer_round_trips() {
+        let dir = std::env::temp_dir().join("s3_bench_test_csv");
+        let path = write_csv(
+            &dir,
+            "t.csv",
+            "a,b",
+            vec!["1,2".to_string(), "3,4".to_string()],
+        );
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(0.5), "0.500000");
+    }
+}

@@ -1,0 +1,523 @@
+//! A small dependency-free SVG chart renderer.
+//!
+//! Every experiment binary writes its series as CSV *and* renders an SVG
+//! figure next to it, so a reproduction run ends with actual figures to put
+//! beside the paper's. Two chart shapes cover everything the paper plots:
+//! line/CDF charts ([`line_chart`]) and grouped bar charts with error bars
+//! ([`bar_chart`]).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Chart frame and labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartConfig {
+    /// Title above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Total width in pixels.
+    pub width: u32,
+    /// Total height in pixels.
+    pub height: u32,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        ChartConfig {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width: 640,
+            height: 420,
+        }
+    }
+}
+
+const MARGIN_LEFT: f64 = 64.0;
+const MARGIN_RIGHT: f64 = 18.0;
+const MARGIN_TOP: f64 = 36.0;
+const MARGIN_BOTTOM: f64 = 52.0;
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+/// "Nice" tick positions covering `[lo, hi]` (1/2/5 × 10ᵏ steps).
+pub fn ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if !(lo.is_finite() && hi.is_finite()) || hi <= lo || target == 0 {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / target as f64;
+    let magnitude = 10f64.powf(raw_step.log10().floor());
+    let candidates = [1.0, 2.0, 5.0, 10.0];
+    let step = candidates
+        .iter()
+        .map(|c| c * magnitude)
+        .find(|s| (hi - lo) / s <= target as f64)
+        .unwrap_or(10.0 * magnitude);
+    let start = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 1e-9 {
+        // Snap tiny float noise to zero.
+        out.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+        t += step;
+    }
+    if out.is_empty() {
+        out.push(lo);
+    }
+    out
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if a >= 1_000_000.0 {
+        format!("{:.1}M", v / 1e6)
+    } else if a >= 10_000.0 {
+        format!("{:.0}k", v / 1e3)
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+struct Frame {
+    x0: f64,
+    y0: f64,
+    w: f64,
+    h: f64,
+    min_x: f64,
+    max_x: f64,
+    min_y: f64,
+    max_y: f64,
+}
+
+impl Frame {
+    fn map(&self, x: f64, y: f64) -> (f64, f64) {
+        let fx = if self.max_x > self.min_x {
+            (x - self.min_x) / (self.max_x - self.min_x)
+        } else {
+            0.5
+        };
+        let fy = if self.max_y > self.min_y {
+            (y - self.min_y) / (self.max_y - self.min_y)
+        } else {
+            0.5
+        };
+        (self.x0 + fx * self.w, self.y0 + self.h - fy * self.h)
+    }
+}
+
+fn chart_header(svg: &mut String, config: &ChartConfig) {
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#,
+        w = config.width,
+        h = config.height
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{}" height="{}" fill="white"/>"#,
+        config.width, config.height
+    );
+    if !config.title.is_empty() {
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="20" text-anchor="middle" font-size="14" font-weight="bold">{}</text>"#,
+            config.width / 2,
+            esc(&config.title)
+        );
+    }
+}
+
+fn chart_axes(svg: &mut String, config: &ChartConfig, frame: &Frame, draw_x_ticks: bool) {
+    // Axis lines.
+    let _ = write!(
+        svg,
+        r#"<line x1="{x0}" y1="{y1}" x2="{x1}" y2="{y1}" stroke="black"/><line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>"#,
+        x0 = frame.x0,
+        x1 = frame.x0 + frame.w,
+        y0 = frame.y0,
+        y1 = frame.y0 + frame.h
+    );
+    // Ticks.
+    let x_ticks = if draw_x_ticks {
+        ticks(frame.min_x, frame.max_x, 6)
+    } else {
+        Vec::new()
+    };
+    for t in x_ticks {
+        let (px, _) = frame.map(t, frame.min_y);
+        let _ = write!(
+            svg,
+            r#"<line x1="{px}" y1="{y}" x2="{px}" y2="{y2}" stroke="black"/><text x="{px}" y="{ty}" text-anchor="middle">{label}</text>"#,
+            y = frame.y0 + frame.h,
+            y2 = frame.y0 + frame.h + 4.0,
+            ty = frame.y0 + frame.h + 18.0,
+            label = fmt_tick(t)
+        );
+    }
+    for t in ticks(frame.min_y, frame.max_y, 6) {
+        let (_, py) = frame.map(frame.min_x, t);
+        let _ = write!(
+            svg,
+            r#"<line x1="{x2}" y1="{py}" x2="{x}" y2="{py}" stroke="black"/><text x="{tx}" y="{ty}" text-anchor="end">{label}</text>"#,
+            x = frame.x0,
+            x2 = frame.x0 - 4.0,
+            tx = frame.x0 - 8.0,
+            ty = py + 4.0,
+            label = fmt_tick(t)
+        );
+        // Light gridline.
+        let _ = write!(
+            svg,
+            r##"<line x1="{x0}" y1="{py}" x2="{x1}" y2="{py}" stroke="#dddddd" stroke-width="0.5"/>"##,
+            x0 = frame.x0,
+            x1 = frame.x0 + frame.w
+        );
+    }
+    // Axis labels.
+    if !config.x_label.is_empty() {
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            frame.x0 + frame.w / 2.0,
+            frame.y0 + frame.h + 38.0,
+            esc(&config.x_label)
+        );
+    }
+    if !config.y_label.is_empty() {
+        let cx = 16.0;
+        let cy = frame.y0 + frame.h / 2.0;
+        let _ = write!(
+            svg,
+            r#"<text x="{cx}" y="{cy}" text-anchor="middle" transform="rotate(-90 {cx} {cy})">{}</text>"#,
+            esc(&config.y_label)
+        );
+    }
+}
+
+fn legend(svg: &mut String, frame: &Frame, labels: &[&str]) {
+    let mut y = frame.y0 + 6.0;
+    for (i, label) in labels.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let x = frame.x0 + frame.w - 130.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{x}" y1="{ly}" x2="{x2}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{tx}" y="{ty}">{label}</text>"#,
+            x2 = x + 22.0,
+            ly = y + 4.0,
+            tx = x + 28.0,
+            ty = y + 8.0,
+            label = esc(label)
+        );
+        y += 16.0;
+    }
+}
+
+/// Renders a multi-series line chart (also used for CDFs).
+///
+/// Series with fewer than one point are skipped; an entirely empty chart
+/// still renders a valid frame.
+pub fn line_chart(config: &ChartConfig, series: &[Series]) -> String {
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for s in series {
+        for &(x, y) in &s.points {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+    }
+    if !min_x.is_finite() {
+        min_x = 0.0;
+        max_x = 1.0;
+        min_y = 0.0;
+        max_y = 1.0;
+    }
+    if max_y == min_y {
+        max_y = min_y + 1.0;
+    }
+    if max_x == min_x {
+        max_x = min_x + 1.0;
+    }
+    let frame = Frame {
+        x0: MARGIN_LEFT,
+        y0: MARGIN_TOP,
+        w: config.width as f64 - MARGIN_LEFT - MARGIN_RIGHT,
+        h: config.height as f64 - MARGIN_TOP - MARGIN_BOTTOM,
+        min_x,
+        max_x,
+        min_y,
+        max_y,
+    };
+    let mut svg = String::new();
+    chart_header(&mut svg, config);
+    chart_axes(&mut svg, config, &frame, true);
+    for (i, s) in series.iter().enumerate() {
+        if s.points.is_empty() {
+            continue;
+        }
+        let color = PALETTE[i % PALETTE.len()];
+        let mut path = String::new();
+        for (j, &(x, y)) in s.points.iter().enumerate() {
+            let (px, py) = frame.map(x, y);
+            let _ = write!(path, "{}{px:.1},{py:.1} ", if j == 0 { "M" } else { "L" });
+        }
+        let _ = write!(
+            svg,
+            r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
+        );
+    }
+    let labels: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
+    legend(&mut svg, &frame, &labels);
+    svg.push_str("</svg>");
+    svg
+}
+
+/// One group of bars (e.g. one policy) across all categories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarGroup {
+    /// Legend label.
+    pub label: String,
+    /// One value per category.
+    pub values: Vec<f64>,
+    /// Optional symmetric error-bar half-widths, parallel to `values`.
+    pub errors: Option<Vec<f64>>,
+}
+
+/// Renders a grouped bar chart with optional error bars (Fig. 12's shape).
+///
+/// # Panics
+///
+/// Panics if any group's `values` length differs from `categories`.
+pub fn bar_chart(config: &ChartConfig, categories: &[String], groups: &[BarGroup]) -> String {
+    for g in groups {
+        assert_eq!(
+            g.values.len(),
+            categories.len(),
+            "group {} has {} values for {} categories",
+            g.label,
+            g.values.len(),
+            categories.len()
+        );
+    }
+    let max_y = groups
+        .iter()
+        .flat_map(|g| {
+            g.values.iter().enumerate().map(|(i, &v)| {
+                v + g.errors.as_ref().map(|e| e[i]).unwrap_or(0.0)
+            })
+        })
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let frame = Frame {
+        x0: MARGIN_LEFT,
+        y0: MARGIN_TOP,
+        w: config.width as f64 - MARGIN_LEFT - MARGIN_RIGHT,
+        h: config.height as f64 - MARGIN_TOP - MARGIN_BOTTOM,
+        min_x: 0.0,
+        max_x: categories.len() as f64,
+        min_y: 0.0,
+        max_y: max_y * 1.05,
+    };
+    let mut svg = String::new();
+    chart_header(&mut svg, config);
+    // Only the y axis gets numeric ticks; categories label the x axis.
+    chart_axes(&mut svg, config, &frame, false);
+    let slot = frame.w / categories.len() as f64;
+    let bar = (slot * 0.8) / groups.len().max(1) as f64;
+    for (ci, category) in categories.iter().enumerate() {
+        let base_x = frame.x0 + ci as f64 * slot + slot * 0.1;
+        for (gi, g) in groups.iter().enumerate() {
+            let color = PALETTE[gi % PALETTE.len()];
+            let v = g.values[ci];
+            let (_, top) = frame.map(0.0, v);
+            let x = base_x + gi as f64 * bar;
+            let height = frame.y0 + frame.h - top;
+            let _ = write!(
+                svg,
+                r#"<rect x="{x:.1}" y="{top:.1}" width="{bw:.1}" height="{height:.1}" fill="{color}"/>"#,
+                bw = bar * 0.92
+            );
+            if let Some(errors) = &g.errors {
+                let e = errors[ci];
+                let (_, hi) = frame.map(0.0, v + e);
+                let (_, lo) = frame.map(0.0, (v - e).max(0.0));
+                let cx = x + bar * 0.46;
+                let _ = write!(
+                    svg,
+                    r#"<line x1="{cx:.1}" y1="{hi:.1}" x2="{cx:.1}" y2="{lo:.1}" stroke="black"/><line x1="{x1:.1}" y1="{hi:.1}" x2="{x2:.1}" y2="{hi:.1}" stroke="black"/><line x1="{x1:.1}" y1="{lo:.1}" x2="{x2:.1}" y2="{lo:.1}" stroke="black"/>"#,
+                    x1 = cx - 3.0,
+                    x2 = cx + 3.0
+                );
+            }
+        }
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+            base_x + slot * 0.4,
+            frame.y0 + frame.h + 18.0,
+            esc(category)
+        );
+    }
+    let labels: Vec<&str> = groups.iter().map(|g| g.label.as_str()).collect();
+    legend(&mut svg, &frame, &labels);
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Writes an SVG next to the experiment's CSV and echoes the path.
+///
+/// # Panics
+///
+/// Panics on I/O failure (experiment binaries die loudly).
+pub fn save_svg(dir: &Path, name: &str, svg: &str) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("create results directory");
+    let path = dir.join(name);
+    std::fs::write(&path, svg).expect("write svg");
+    println!("wrote {}", path.display());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ChartConfig {
+        ChartConfig {
+            title: "Test".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            ..ChartConfig::default()
+        }
+    }
+
+    #[test]
+    fn ticks_are_nice_and_cover_range() {
+        let t = ticks(0.0, 1.0, 6);
+        assert_eq!(t, vec![0.0, 0.2, 0.4, 0.6000000000000001, 0.8, 1.0]);
+        let t = ticks(0.0, 97.0, 6);
+        assert!(t.len() >= 3 && t.len() <= 7);
+        assert!(t.iter().all(|&v| (0.0..=97.0).contains(&v)));
+        // Degenerate inputs don't panic.
+        assert_eq!(ticks(1.0, 1.0, 5), vec![1.0]);
+        assert_eq!(ticks(f64::NAN, 1.0, 5).len(), 1);
+    }
+
+    #[test]
+    fn line_chart_contains_series_and_labels() {
+        let svg = line_chart(
+            &config(),
+            &[
+                Series::new("llf", vec![(0.0, 0.1), (1.0, 0.5), (2.0, 0.4)]),
+                Series::new("s3", vec![(0.0, 0.3), (1.0, 0.8), (2.0, 0.9)]),
+            ],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("llf"));
+        assert!(svg.contains("s3"));
+        assert!(svg.contains("Test"));
+        assert!(svg.matches("<path").count() == 2);
+    }
+
+    #[test]
+    fn empty_chart_still_renders_frame() {
+        let svg = line_chart(&config(), &[]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("<line"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let svg = line_chart(&config(), &[Series::new("flat", vec![(0.0, 0.5), (1.0, 0.5)])]);
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn bar_chart_draws_bars_and_error_bars() {
+        let svg = bar_chart(
+            &config(),
+            &["d1".into(), "d2".into()],
+            &[
+                BarGroup {
+                    label: "llf".into(),
+                    values: vec![0.5, 0.6],
+                    errors: Some(vec![0.05, 0.04]),
+                },
+                BarGroup {
+                    label: "s3".into(),
+                    values: vec![0.8, 0.75],
+                    errors: None,
+                },
+            ],
+        );
+        assert_eq!(svg.matches("<rect").count(), 1 + 4, "background + 4 bars");
+        assert!(svg.contains("d1") && svg.contains("d2"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "values for")]
+    fn bar_chart_rejects_ragged_groups() {
+        let _ = bar_chart(
+            &config(),
+            &["a".into()],
+            &[BarGroup {
+                label: "x".into(),
+                values: vec![1.0, 2.0],
+                errors: None,
+            }],
+        );
+    }
+
+    #[test]
+    fn escaping_prevents_markup_injection() {
+        let svg = line_chart(
+            &ChartConfig {
+                title: "<script>".into(),
+                ..config()
+            },
+            &[Series::new("a&b", vec![(0.0, 1.0), (1.0, 2.0)])],
+        );
+        assert!(!svg.contains("<script>"));
+        assert!(svg.contains("&lt;script&gt;"));
+        assert!(svg.contains("a&amp;b"));
+    }
+}

@@ -1,0 +1,381 @@
+//! Command-line parsing — hand-rolled, zero dependencies.
+
+use std::path::PathBuf;
+
+use crate::CliError;
+
+/// Which policy a `replay` should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Least Loaded First.
+    Llf,
+    /// Least associated users.
+    LeastUsers,
+    /// Strongest RSSI.
+    Rssi,
+    /// Uniform random.
+    Random,
+    /// The S³ scheme.
+    S3,
+}
+
+impl PolicyKind {
+    /// Parses a policy name.
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        match s {
+            "llf" => Some(PolicyKind::Llf),
+            "least-users" => Some(PolicyKind::LeastUsers),
+            "rssi" => Some(PolicyKind::Rssi),
+            "random" => Some(PolicyKind::Random),
+            "s3" => Some(PolicyKind::S3),
+            _ => None,
+        }
+    }
+
+    /// The canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Llf => "llf",
+            PolicyKind::LeastUsers => "least-users",
+            PolicyKind::Rssi => "rssi",
+            PolicyKind::Random => "random",
+            PolicyKind::S3 => "s3",
+        }
+    }
+}
+
+/// A parsed subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print usage.
+    Help,
+    /// Generate a demand trace.
+    Generate {
+        /// Output CSV path.
+        out: PathBuf,
+        /// Generator seed.
+        seed: u64,
+        /// Users in the campus.
+        users: usize,
+        /// Buildings (one controller each).
+        buildings: usize,
+        /// APs per building.
+        aps_per_building: usize,
+        /// Simulated days.
+        days: u64,
+    },
+    /// Replay a demand trace under a policy.
+    Replay {
+        /// Input demand CSV.
+        demands: PathBuf,
+        /// Policy to evaluate.
+        policy: PolicyKind,
+        /// Output session CSV.
+        out: PathBuf,
+        /// Seed (random policy, S³ clustering).
+        seed: u64,
+        /// Days of the trace used to train S³ (ignored by other policies).
+        train_days: u64,
+        /// Enable the online rebalancer.
+        rebalance: bool,
+        /// APs per building of the replayed topology.
+        aps_per_building: usize,
+    },
+    /// Measurement study over a session log.
+    Analyze {
+        /// Input session CSV.
+        sessions: PathBuf,
+        /// Clustering seed.
+        seed: u64,
+    },
+    /// Convert a foreign session CSV (string ids, epoch timestamps) into
+    /// the canonical format, writing id-mapping files alongside.
+    Convert {
+        /// Input foreign CSV.
+        input: PathBuf,
+        /// Output canonical session CSV.
+        out: PathBuf,
+        /// Directory for `user_map.csv` / `ap_map.csv` /
+        /// `controller_map.csv`.
+        maps_dir: PathBuf,
+    },
+    /// End-to-end S³-vs-LLF comparison.
+    Compare {
+        /// Input demand CSV.
+        demands: PathBuf,
+        /// Seed.
+        seed: u64,
+        /// Training days.
+        train_days: u64,
+        /// APs per building of the replayed topology.
+        aps_per_building: usize,
+    },
+}
+
+struct Cursor<'a> {
+    args: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next(&mut self) -> Option<&'a str> {
+        let v = self.args.get(self.pos).map(String::as_str);
+        self.pos += 1;
+        v
+    }
+
+    fn value_for(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        self.next()
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+    }
+}
+
+fn parse_u64(flag: &str, value: &str) -> Result<u64, CliError> {
+    value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("{flag} must be an unsigned integer, got {value:?}")))
+}
+
+/// Parses `argv[1..]` (i.e. without the program name).
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on unknown subcommands/flags or missing values.
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let mut cursor = Cursor { args: argv, pos: 0 };
+    let Some(sub) = cursor.next() else {
+        return Ok(Command::Help);
+    };
+    match sub {
+        "-h" | "--help" | "help" => Ok(Command::Help),
+        "generate" => {
+            let mut out = None;
+            let mut seed = 42u64;
+            let mut users = 2_000usize;
+            let mut buildings = 8usize;
+            let mut aps = 8usize;
+            let mut days = 31u64;
+            while let Some(flag) = cursor.next() {
+                match flag {
+                    "--out" => out = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    "--seed" => seed = parse_u64(flag, cursor.value_for(flag)?)?,
+                    "--users" => users = parse_u64(flag, cursor.value_for(flag)?)? as usize,
+                    "--buildings" => buildings = parse_u64(flag, cursor.value_for(flag)?)? as usize,
+                    "--aps-per-building" => aps = parse_u64(flag, cursor.value_for(flag)?)? as usize,
+                    "--days" => days = parse_u64(flag, cursor.value_for(flag)?)?,
+                    other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+                }
+            }
+            let out = out.ok_or_else(|| CliError::Usage("generate requires --out".into()))?;
+            if users == 0 || buildings == 0 || aps == 0 || days == 0 {
+                return Err(CliError::Usage("counts must be positive".into()));
+            }
+            Ok(Command::Generate {
+                out,
+                seed,
+                users,
+                buildings,
+                aps_per_building: aps,
+                days,
+            })
+        }
+        "replay" => {
+            let mut demands = None;
+            let mut policy = None;
+            let mut out = None;
+            let mut seed = 42u64;
+            let mut train_days = 0u64;
+            let mut rebalance = false;
+            let mut aps_per_building = 8usize;
+            while let Some(flag) = cursor.next() {
+                match flag {
+                    "--demands" => demands = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    "--aps-per-building" => {
+                        aps_per_building = parse_u64(flag, cursor.value_for(flag)?)? as usize
+                    }
+                    "--policy" => {
+                        let name = cursor.value_for(flag)?;
+                        policy = Some(PolicyKind::parse(name).ok_or_else(|| {
+                            CliError::Usage(format!("unknown policy {name:?}"))
+                        })?);
+                    }
+                    "--out" => out = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    "--seed" => seed = parse_u64(flag, cursor.value_for(flag)?)?,
+                    "--train-days" => train_days = parse_u64(flag, cursor.value_for(flag)?)?,
+                    "--rebalance" => rebalance = true,
+                    other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+                }
+            }
+            let demands =
+                demands.ok_or_else(|| CliError::Usage("replay requires --demands".into()))?;
+            let policy =
+                policy.ok_or_else(|| CliError::Usage("replay requires --policy".into()))?;
+            let out = out.ok_or_else(|| CliError::Usage("replay requires --out".into()))?;
+            if aps_per_building == 0 {
+                return Err(CliError::Usage("--aps-per-building must be positive".into()));
+            }
+            Ok(Command::Replay {
+                demands,
+                policy,
+                out,
+                seed,
+                train_days,
+                rebalance,
+                aps_per_building,
+            })
+        }
+        "convert" => {
+            let mut input = None;
+            let mut out = None;
+            let mut maps_dir = PathBuf::from(".");
+            while let Some(flag) = cursor.next() {
+                match flag {
+                    "--in" => input = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    "--out" => out = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    "--maps-dir" => maps_dir = PathBuf::from(cursor.value_for(flag)?),
+                    other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+                }
+            }
+            let input = input.ok_or_else(|| CliError::Usage("convert requires --in".into()))?;
+            let out = out.ok_or_else(|| CliError::Usage("convert requires --out".into()))?;
+            Ok(Command::Convert { input, out, maps_dir })
+        }
+        "analyze" => {
+            let mut sessions = None;
+            let mut seed = 42u64;
+            while let Some(flag) = cursor.next() {
+                match flag {
+                    "--sessions" => sessions = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    "--seed" => seed = parse_u64(flag, cursor.value_for(flag)?)?,
+                    other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+                }
+            }
+            let sessions =
+                sessions.ok_or_else(|| CliError::Usage("analyze requires --sessions".into()))?;
+            Ok(Command::Analyze { sessions, seed })
+        }
+        "compare" => {
+            let mut demands = None;
+            let mut seed = 42u64;
+            let mut train_days = 0u64;
+            let mut aps_per_building = 8usize;
+            while let Some(flag) = cursor.next() {
+                match flag {
+                    "--demands" => demands = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    "--seed" => seed = parse_u64(flag, cursor.value_for(flag)?)?,
+                    "--train-days" => train_days = parse_u64(flag, cursor.value_for(flag)?)?,
+                    "--aps-per-building" => {
+                        aps_per_building = parse_u64(flag, cursor.value_for(flag)?)? as usize
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+                }
+            }
+            let demands =
+                demands.ok_or_else(|| CliError::Usage("compare requires --demands".into()))?;
+            if aps_per_building == 0 {
+                return Err(CliError::Usage("--aps-per-building must be positive".into()));
+            }
+            Ok(Command::Compare {
+                demands,
+                seed,
+                train_days,
+                aps_per_building,
+            })
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_defaults_and_overrides() {
+        let cmd = parse(&argv("generate --out x.csv")).unwrap();
+        match cmd {
+            Command::Generate { users, buildings, days, seed, .. } => {
+                assert_eq!(users, 2_000);
+                assert_eq!(buildings, 8);
+                assert_eq!(days, 31);
+                assert_eq!(seed, 42);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cmd = parse(&argv("generate --out x.csv --users 100 --days 5 --seed 9")).unwrap();
+        match cmd {
+            Command::Generate { users, days, seed, .. } => {
+                assert_eq!(users, 100);
+                assert_eq!(days, 5);
+                assert_eq!(seed, 9);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generate_requires_out_and_positive_counts() {
+        assert!(parse(&argv("generate")).is_err());
+        assert!(parse(&argv("generate --out x.csv --users 0")).is_err());
+    }
+
+    #[test]
+    fn replay_full_form() {
+        let cmd = parse(&argv(
+            "replay --demands d.csv --policy s3 --out s.csv --train-days 7 --rebalance",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Replay { policy, train_days, rebalance, .. } => {
+                assert_eq!(policy, PolicyKind::S3);
+                assert_eq!(train_days, 7);
+                assert!(rebalance);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_rejects_unknown_policy() {
+        let err = parse(&argv("replay --demands d.csv --policy magic --out s.csv")).unwrap_err();
+        assert!(err.to_string().contains("unknown policy"));
+    }
+
+    #[test]
+    fn missing_values_error() {
+        assert!(parse(&argv("generate --out")).is_err());
+        assert!(parse(&argv("replay --demands d.csv --policy")).is_err());
+        assert!(parse(&argv("generate --seed notanumber --out x.csv")).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_and_flags() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("analyze --sessions s.csv --what")).is_err());
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for kind in [
+            PolicyKind::Llf,
+            PolicyKind::LeastUsers,
+            PolicyKind::Rssi,
+            PolicyKind::Random,
+            PolicyKind::S3,
+        ] {
+            assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("nope"), None);
+    }
+}

@@ -1,0 +1,633 @@
+//! Execution of the parsed subcommands.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+use s3_core::{S3Config, S3Selector, SocialModel};
+use s3_stats::gap::{gap_statistic, GapConfig};
+use s3_trace::generator::{CampusConfig, CampusGenerator};
+use s3_trace::{csv, SessionDemand, TraceStore};
+use s3_types::TimeDelta;
+use s3_wlan::metrics::mean_active_balance_filtered;
+use s3_wlan::selector::{
+    ApSelector, LeastLoadedFirst, LeastUsers, RandomSelector, StrongestRssi,
+};
+use s3_wlan::{RebalanceConfig, SimConfig, SimEngine, Topology};
+
+use crate::args::{Command, PolicyKind};
+use crate::{CliError, USAGE};
+
+/// The metric bin and hour filter every CLI report uses.
+const REPORT_BIN_MINUTES: u64 = 10;
+
+fn daytime(hour: u64) -> bool {
+    hour >= 8
+}
+
+/// Runs one parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Any [`CliError`] raised by I/O, CSV decoding or invalid inputs.
+pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Generate {
+            out: path,
+            seed,
+            users,
+            buildings,
+            aps_per_building,
+            days,
+        } => generate(&path, seed, users, buildings, aps_per_building, days, out),
+        Command::Replay {
+            demands,
+            policy,
+            out: path,
+            seed,
+            train_days,
+            rebalance,
+            aps_per_building,
+        } => replay(&demands, policy, &path, seed, train_days, rebalance, aps_per_building, out),
+        Command::Convert { input, out: path, maps_dir } => convert(&input, &path, &maps_dir, out),
+        Command::Analyze { sessions, seed } => analyze(&sessions, seed, out),
+        Command::Compare {
+            demands,
+            seed,
+            train_days,
+            aps_per_building,
+        } => compare(&demands, seed, train_days, aps_per_building, out),
+    }
+}
+
+fn generate<W: Write>(
+    path: &Path,
+    seed: u64,
+    users: usize,
+    buildings: usize,
+    aps_per_building: usize,
+    days: u64,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let config = CampusConfig {
+        users,
+        buildings,
+        aps_per_building,
+        days,
+        ..CampusConfig::campus()
+    };
+    let campus = CampusGenerator::new(config, seed).generate();
+    let file = File::create(path)?;
+    csv::write_demands(BufWriter::new(file), &campus.demands)?;
+    writeln!(
+        out,
+        "wrote {} demands ({} users, {} buildings x {} APs, {} days, seed {seed}) to {}",
+        campus.demands.len(),
+        users,
+        buildings,
+        aps_per_building,
+        days,
+        path.display()
+    )?;
+    Ok(())
+}
+
+fn load_demands(path: &Path) -> Result<Vec<SessionDemand>, CliError> {
+    let file = File::open(path)?;
+    let mut demands = csv::read_demands(BufReader::new(file))?;
+    if demands.is_empty() {
+        return Err(CliError::Invalid(format!(
+            "{} contains no demands",
+            path.display()
+        )));
+    }
+    demands.sort_by_key(|d| (d.arrive, d.user));
+    Ok(demands)
+}
+
+fn topology_for(demands: &[SessionDemand], aps_per_building: usize) -> Topology {
+    let buildings = demands
+        .iter()
+        .map(|d| d.building.index() + 1)
+        .max()
+        .unwrap_or(1);
+    let config = CampusConfig {
+        buildings,
+        aps_per_building,
+        ..CampusConfig::campus()
+    };
+    Topology::from_campus(&config)
+}
+
+/// Trains S³ on the first `train_days` days of the demand stream, replayed
+/// under LLF (the "collected log" convention of the paper).
+fn train_s3(
+    demands: &[SessionDemand],
+    engine: &SimEngine,
+    train_days: u64,
+    seed: u64,
+) -> SocialModel {
+    let history: Vec<SessionDemand> = demands
+        .iter()
+        .filter(|d| d.arrive.day() < train_days)
+        .cloned()
+        .collect();
+    let log = TraceStore::new(engine.run(&history, &mut LeastLoadedFirst::new()).records);
+    SocialModel::learn(&log, &S3Config::default(), seed)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replay<W: Write>(
+    demands_path: &Path,
+    policy: PolicyKind,
+    out_path: &Path,
+    seed: u64,
+    train_days: u64,
+    rebalance: bool,
+    aps_per_building: usize,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let demands = load_demands(demands_path)?;
+    let topology = topology_for(&demands, aps_per_building);
+    let sim_config = SimConfig {
+        rebalance: rebalance.then(RebalanceConfig::default),
+        ..SimConfig::default()
+    };
+    let engine = SimEngine::new(topology, sim_config);
+
+    let mut selector: Box<dyn ApSelector> = match policy {
+        PolicyKind::Llf => Box::new(LeastLoadedFirst::new()),
+        PolicyKind::LeastUsers => Box::new(LeastUsers::new()),
+        PolicyKind::Rssi => Box::new(StrongestRssi::new()),
+        PolicyKind::Random => Box::new(RandomSelector::new(seed)),
+        PolicyKind::S3 => {
+            let span = demands.last().expect("non-empty").arrive.day() + 1;
+            let effective = if train_days == 0 {
+                (span * 7) / 10 // default: first 70 % of days
+            } else {
+                train_days
+            };
+            let model = train_s3(&demands, &engine, effective, seed);
+            writeln!(
+                out,
+                "trained S3 on the first {effective} days: {} known pairs, {} types",
+                model.known_pairs(),
+                model.type_count()
+            )?;
+            Box::new(S3Selector::new(model, S3Config::default()))
+        }
+    };
+
+    let result = engine.run(&demands, selector.as_mut());
+    let file = File::create(out_path)?;
+    csv::write_sessions(BufWriter::new(file), &result.records)?;
+
+    let log = TraceStore::new(result.records);
+    let balance = mean_active_balance_filtered(
+        &log,
+        TimeDelta::minutes(REPORT_BIN_MINUTES),
+        daytime,
+    );
+    writeln!(
+        out,
+        "replayed {} demands under {} -> {} session records ({} migrations) to {}",
+        demands.len(),
+        policy.name(),
+        log.len(),
+        result.migrations,
+        out_path.display()
+    )?;
+    if let Some(b) = balance {
+        writeln!(out, "mean daytime balance index: {b:.4}")?;
+    }
+    Ok(())
+}
+
+/// Expected header of a foreign session CSV: same columns as the canonical
+/// format, but `user`/`ap`/`controller` may be arbitrary strings (hashed
+/// MACs, AP names) and timestamps arbitrary epoch seconds.
+const FOREIGN_HEADER: &str = "user,ap,controller,connect,disconnect,im,p2p,music,email,video,web";
+
+fn convert<W: Write>(
+    input: &Path,
+    out_path: &Path,
+    maps_dir: &Path,
+    out: &mut W,
+) -> Result<(), CliError> {
+    use s3_trace::interner::IdInterner;
+    use s3_types::{ApId, Bytes, ControllerId, Timestamp, UserId};
+    use std::io::BufRead as _;
+
+    let file = File::open(input)?;
+    let reader = BufReader::new(file);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CliError::Invalid("empty input (missing header)".into()))??;
+    if header.trim() != FOREIGN_HEADER {
+        return Err(CliError::Invalid(format!(
+            "unexpected header {header:?} (expected {FOREIGN_HEADER:?}; fields must not contain commas)"
+        )));
+    }
+    struct Raw {
+        user: String,
+        ap: String,
+        controller: String,
+        connect: u64,
+        disconnect: u64,
+        volumes: [u64; 6],
+    }
+    let mut raw_rows: Vec<Raw> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 11 {
+            return Err(CliError::Invalid(format!(
+                "line {line_no}: expected 11 fields, got {} (commas inside fields are not supported)",
+                fields.len()
+            )));
+        }
+        let parse = |s: &str, what: &str| -> Result<u64, CliError> {
+            s.trim().parse::<u64>().map_err(|e| {
+                CliError::Invalid(format!("line {line_no}: bad {what} {s:?}: {e}"))
+            })
+        };
+        let connect = parse(fields[3], "connect")?;
+        let disconnect = parse(fields[4], "disconnect")?;
+        if disconnect < connect {
+            return Err(CliError::Invalid(format!(
+                "line {line_no}: disconnect precedes connect"
+            )));
+        }
+        let mut volumes = [0u64; 6];
+        for (slot, f) in volumes.iter_mut().zip(&fields[5..]) {
+            *slot = parse(f, "volume")?;
+        }
+        raw_rows.push(Raw {
+            user: fields[0].trim().to_string(),
+            ap: fields[1].trim().to_string(),
+            controller: fields[2].trim().to_string(),
+            connect,
+            disconnect,
+            volumes,
+        });
+    }
+    if raw_rows.is_empty() {
+        return Err(CliError::Invalid("input contains no sessions".into()));
+    }
+
+    // Rebase time so day 0 is the first session's midnight (preserves the
+    // day/hour structure the analyses depend on).
+    let min_connect = raw_rows.iter().map(|r| r.connect).min().expect("non-empty");
+    let base = min_connect / 86_400 * 86_400;
+
+    let mut users = IdInterner::new();
+    let mut aps = IdInterner::new();
+    let mut controllers = IdInterner::new();
+    let records: Vec<s3_trace::SessionRecord> = raw_rows
+        .iter()
+        .map(|r| s3_trace::SessionRecord {
+            user: UserId::new(users.intern(&r.user)),
+            ap: ApId::new(aps.intern(&r.ap)),
+            controller: ControllerId::new(controllers.intern(&r.controller)),
+            connect: Timestamp::from_secs(r.connect - base),
+            disconnect: Timestamp::from_secs(r.disconnect - base),
+            volume_by_app: {
+                let mut v = [Bytes::ZERO; 6];
+                for (slot, &b) in v.iter_mut().zip(&r.volumes) {
+                    *slot = Bytes::new(b);
+                }
+                v
+            },
+        })
+        .collect();
+
+    let out_file = File::create(out_path)?;
+    csv::write_sessions(BufWriter::new(out_file), &records)?;
+    std::fs::create_dir_all(maps_dir)?;
+    for (name, interner) in [
+        ("user_map.csv", &users),
+        ("ap_map.csv", &aps),
+        ("controller_map.csv", &controllers),
+    ] {
+        let f = File::create(maps_dir.join(name))?;
+        interner.write_csv(BufWriter::new(f))?;
+    }
+    writeln!(
+        out,
+        "converted {} sessions: {} users, {} APs, {} controllers; time rebased by {base}s",
+        records.len(),
+        users.len(),
+        aps.len(),
+        controllers.len()
+    )?;
+    writeln!(
+        out,
+        "wrote {} and id maps under {}",
+        out_path.display(),
+        maps_dir.display()
+    )?;
+    Ok(())
+}
+
+fn analyze<W: Write>(path: &Path, seed: u64, out: &mut W) -> Result<(), CliError> {
+    let file = File::open(path)?;
+    let records = csv::read_sessions(BufReader::new(file))?;
+    if records.is_empty() {
+        return Err(CliError::Invalid(format!(
+            "{} contains no sessions",
+            path.display()
+        )));
+    }
+    let store = TraceStore::new(records);
+    let (_, last_day) = store.day_range().expect("non-empty store");
+    let summary = s3_trace::summary::TraceSummary::of(&store);
+    write!(out, "trace: {}", summary.report())?;
+    if let Some((realm, share)) = summary.dominant_realm() {
+        writeln!(out, "dominant realm: {realm} ({:.1}% of traffic)", share * 100.0)?;
+    }
+
+    let bin = TimeDelta::minutes(REPORT_BIN_MINUTES);
+    if let Some(balance) = mean_active_balance_filtered(&store, bin, daytime) {
+        writeln!(out, "mean daytime balance index: {balance:.4}")?;
+    }
+
+    // Sociality.
+    let stats = s3_trace::events::leaving_stats(&store, TimeDelta::minutes(5));
+    let mut fractions: Vec<f64> = stats
+        .values()
+        .filter(|s| s.total > 0)
+        .map(|s| s.co_leaving_fraction())
+        .collect();
+    if !fractions.is_empty() {
+        fractions.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = fractions[fractions.len() / 2];
+        writeln!(
+            out,
+            "co-leaving (5-min window): median user co-leaves {:.0}% of departures",
+            median * 100.0
+        )?;
+    }
+
+    // Typing.
+    let profiles =
+        s3_core::profile::all_window_profiles(&store, last_day, 15.min(last_day + 1));
+    if profiles.len() >= 16 {
+        let mut users: Vec<_> = profiles.keys().copied().collect();
+        users.sort_unstable();
+        let points: Vec<Vec<f64>> =
+            users.iter().map(|u| profiles[u].shares().to_vec()).collect();
+        let k_max = 8.min(points.len());
+        if let Ok(gap) = gap_statistic(&points, k_max, &GapConfig::default(), seed) {
+            writeln!(out, "application-profile clusters (gap statistic): k = {}", gap.chosen_k)?;
+        }
+        let model = SocialModel::learn(&store, &S3Config::default(), seed);
+        let t = model.type_matrix();
+        if t.k() > 1 {
+            writeln!(
+                out,
+                "type co-leave matrix: diagonal mean {:.3} vs off-diagonal {:.3}",
+                t.diagonal_mean(),
+                t.off_diagonal_mean()
+            )?;
+        }
+    } else {
+        writeln!(out, "too few active users for profile clustering")?;
+    }
+    Ok(())
+}
+
+fn compare<W: Write>(
+    path: &Path,
+    seed: u64,
+    train_days: u64,
+    aps_per_building: usize,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let demands = load_demands(path)?;
+    let span = demands.last().expect("non-empty").arrive.day() + 1;
+    let train_days = if train_days == 0 { (span * 7) / 10 } else { train_days };
+    if train_days >= span {
+        return Err(CliError::Invalid(format!(
+            "train days {train_days} must leave evaluation days (trace spans {span} days)"
+        )));
+    }
+    let topology = topology_for(&demands, aps_per_building);
+    let engine = SimEngine::new(topology, SimConfig::default());
+    let model = train_s3(&demands, &engine, train_days, seed);
+    writeln!(
+        out,
+        "trained on days 0..{train_days}: {} known pairs, {} types",
+        model.known_pairs(),
+        model.type_count()
+    )?;
+
+    let eval: Vec<SessionDemand> = demands
+        .iter()
+        .filter(|d| d.arrive.day() >= train_days)
+        .cloned()
+        .collect();
+    let bin = TimeDelta::minutes(REPORT_BIN_MINUTES);
+    let llf_log = TraceStore::new(engine.run(&eval, &mut LeastLoadedFirst::new()).records);
+    let mut s3 = S3Selector::new(model, S3Config::default());
+    let s3_log = TraceStore::new(engine.run(&eval, &mut s3).records);
+    let llf = mean_active_balance_filtered(&llf_log, bin, daytime)
+        .ok_or_else(|| CliError::Invalid("no active evaluation bins".into()))?;
+    let s3b = mean_active_balance_filtered(&s3_log, bin, daytime)
+        .ok_or_else(|| CliError::Invalid("no active evaluation bins".into()))?;
+    writeln!(
+        out,
+        "evaluation (days {train_days}..{span}): LLF {llf:.4} | S3 {s3b:.4} | gain {:+.1}%",
+        (s3b - llf) / llf * 100.0
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn run_str(cmdline: &str) -> Result<String, CliError> {
+        let mut buf = Vec::new();
+        execute(parse(&argv(cmdline))?, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("s3_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let output = run_str("help").unwrap();
+        assert!(output.contains("USAGE"));
+        assert!(output.contains("s3wlan generate"));
+    }
+
+    #[test]
+    fn generate_replay_analyze_compare_workflow() {
+        let demands = tmp("wf_demands.csv");
+        let sessions = tmp("wf_sessions.csv");
+        let output = run_str(&format!(
+            "generate --out {} --users 120 --buildings 2 --aps-per-building 3 --days 6 --seed 5",
+            demands.display()
+        ))
+        .unwrap();
+        assert!(output.contains("wrote"), "{output}");
+
+        let output = run_str(&format!(
+            "replay --demands {} --policy llf --out {} --aps-per-building 3",
+            demands.display(),
+            sessions.display()
+        ))
+        .unwrap();
+        assert!(output.contains("replayed"), "{output}");
+        assert!(output.contains("balance index"), "{output}");
+
+        let output = run_str(&format!("analyze --sessions {}", sessions.display())).unwrap();
+        assert!(output.contains("trace:"), "{output}");
+        assert!(output.contains("co-leaving"), "{output}");
+
+        let output = run_str(&format!(
+            "compare --demands {} --train-days 4 --aps-per-building 3",
+            demands.display()
+        ))
+        .unwrap();
+        assert!(output.contains("gain"), "{output}");
+    }
+
+    #[test]
+    fn replay_s3_trains_first() {
+        let demands = tmp("s3_demands.csv");
+        let sessions = tmp("s3_sessions.csv");
+        run_str(&format!(
+            "generate --out {} --users 80 --buildings 2 --aps-per-building 3 --days 5 --seed 2",
+            demands.display()
+        ))
+        .unwrap();
+        let output = run_str(&format!(
+            "replay --demands {} --policy s3 --out {} --train-days 3 --aps-per-building 3",
+            demands.display(),
+            sessions.display()
+        ))
+        .unwrap();
+        assert!(output.contains("trained S3 on the first 3 days"), "{output}");
+    }
+
+    #[test]
+    fn replay_with_rebalance_reports_migrations() {
+        let demands = tmp("rb_demands.csv");
+        let sessions = tmp("rb_sessions.csv");
+        run_str(&format!(
+            "generate --out {} --users 100 --buildings 1 --aps-per-building 4 --days 3 --seed 8",
+            demands.display()
+        ))
+        .unwrap();
+        let output = run_str(&format!(
+            "replay --demands {} --policy rssi --out {} --rebalance --aps-per-building 4",
+            demands.display(),
+            sessions.display()
+        ))
+        .unwrap();
+        assert!(output.contains("migrations"), "{output}");
+    }
+
+    #[test]
+    fn convert_ingests_foreign_traces() {
+        let foreign = tmp("foreign.csv");
+        let sessions = tmp("converted.csv");
+        let maps = tmp("maps");
+        std::fs::write(
+            &foreign,
+            "user,ap,controller,connect,disconnect,im,p2p,music,email,video,web\n\
+             aa:bb:cc:dd:ee:ff,lib-ap-07,lib,1700000100,1700003700,10,0,0,0,0,90\n\
+             11:22:33:44:55:66,lib-ap-07,lib,1700000200,1700003800,0,50,0,0,0,0\n\
+             aa:bb:cc:dd:ee:ff,gym-ap-01,gym,1700090000,1700093600,5,0,0,0,0,5\n",
+        )
+        .unwrap();
+        let output = run_str(&format!(
+            "convert --in {} --out {} --maps-dir {}",
+            foreign.display(),
+            sessions.display(),
+            maps.display()
+        ))
+        .unwrap();
+        assert!(output.contains("converted 3 sessions: 2 users, 2 APs, 2 controllers"), "{output}");
+        // The converted file is a valid canonical log.
+        let records = csv::read_sessions(BufReader::new(File::open(&sessions).unwrap())).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].connect.day(), 0, "time must be rebased to day 0");
+        // Maps resolve back to the original names.
+        let user_map = std::fs::read_to_string(maps.join("user_map.csv")).unwrap();
+        assert!(user_map.contains("0,aa:bb:cc:dd:ee:ff"), "{user_map}");
+        assert!(user_map.contains("1,11:22:33:44:55:66"));
+        // And analyze runs on the result.
+        let output = run_str(&format!("analyze --sessions {}", sessions.display())).unwrap();
+        assert!(output.contains("sessions: 3"), "{output}");
+    }
+
+    #[test]
+    fn convert_rejects_malformed_input() {
+        let foreign = tmp("bad_foreign.csv");
+        std::fs::write(&foreign, "wrong,header\n").unwrap();
+        let err = run_str(&format!(
+            "convert --in {} --out /tmp/x.csv --maps-dir /tmp",
+            foreign.display()
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("unexpected header"));
+
+        std::fs::write(
+            &foreign,
+            "user,ap,controller,connect,disconnect,im,p2p,music,email,video,web\n\
+             u1,a1,c1,200,100,0,0,0,0,0,0\n",
+        )
+        .unwrap();
+        let err = run_str(&format!(
+            "convert --in {} --out /tmp/x.csv --maps-dir /tmp",
+            foreign.display()
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("disconnect precedes connect"));
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        let err = run_str("analyze --sessions /nonexistent/file.csv").unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+        let err = run_str("replay --demands /nonexistent.csv --policy llf --out /tmp/x.csv")
+            .unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn compare_rejects_train_days_covering_everything() {
+        let demands = tmp("cv_demands.csv");
+        run_str(&format!(
+            "generate --out {} --users 50 --buildings 1 --aps-per-building 3 --days 3 --seed 1",
+            demands.display()
+        ))
+        .unwrap();
+        let err = run_str(&format!(
+            "compare --demands {} --train-days 3",
+            demands.display()
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("must leave evaluation days"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Implementation of the `s3wlan` command-line tool.
+//!
+//! Four subcommands cover the full workflow:
+//!
+//! * `generate` — synthesize a campus demand trace to CSV;
+//! * `replay`   — replay a demand CSV under a policy, writing session CSV;
+//! * `analyze`  — measurement study over a session CSV (balance, events,
+//!   typing);
+//! * `compare`  — end-to-end S³-vs-LLF evaluation on one demand trace.
+//!
+//! The library half exists so the argument parsing and command logic are
+//! unit-testable; `main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+/// Top-level CLI errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line; the string is a user-facing message.
+    Usage(String),
+    /// An I/O failure.
+    Io(std::io::Error),
+    /// Malformed CSV input.
+    Csv(s3_trace::csv::CsvError),
+    /// The input was well-formed but unusable (e.g. empty trace).
+    Invalid(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Csv(e) => write!(f, "{e}"),
+            CliError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            CliError::Csv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<s3_trace::csv::CsvError> for CliError {
+    fn from(e: s3_trace::csv::CsvError) -> Self {
+        CliError::Csv(e)
+    }
+}
+
+/// Entry point used by `main.rs`: dispatches `argv[1..]`.
+///
+/// # Errors
+///
+/// Returns any [`CliError`] raised by parsing or the executed command.
+pub fn run<W: std::io::Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
+    let command = args::parse(argv)?;
+    commands::execute(command, out)
+}
+
+/// The usage text printed by `--help` and on usage errors.
+pub const USAGE: &str = "\
+s3wlan — social-aware WLAN load balancing toolkit
+
+USAGE:
+  s3wlan generate --out <demands.csv> [--seed N] [--users N] [--buildings N]
+                  [--aps-per-building N] [--days N]
+  s3wlan replay   --demands <demands.csv> --policy <llf|s3|least-users|rssi|random>
+                  --out <sessions.csv> [--seed N] [--train-days N] [--rebalance]
+  s3wlan convert  --in <foreign.csv> --out <sessions.csv> [--maps-dir <dir>]
+  s3wlan analyze  --sessions <sessions.csv> [--seed N]
+  s3wlan compare  --demands <demands.csv> [--seed N] [--train-days N]
+
+POLICIES:
+  llf          least traffic load first (the incumbent)
+  least-users  least associated users first
+  rssi         strongest signal (802.11 default)
+  random       uniform random
+  s3           the social-aware scheme (trains on the first --train-days
+               days of the trace, replayed under LLF)
+";

@@ -1,0 +1,427 @@
+//! Algorithm 1's clique-distribution search.
+//!
+//! Once a maximum clique of socially tight arrivals has been extracted, its
+//! members must be spread over the controller's APs. The paper enumerates
+//! candidate distributions, sorts them by total added social cost
+//! `Σᵢ C(APᵢ)` (∞ where the bandwidth constraint would break), keeps the
+//! top 30 %, and among those picks the one with the best balance index.
+//!
+//! For a clique of `c` users and `m` APs the space has `mᶜ` points; we
+//! enumerate exhaustively while `mᶜ` is small (`enumeration_limit`) and
+//! fall back to a beam search otherwise — preserving the
+//! top-fraction-then-balance selection either way (documented deviation in
+//! DESIGN.md).
+
+use s3_graph::SocialGraph;
+use s3_stats::balance::normalized_balance_index;
+use s3_types::UserId;
+
+use crate::S3Config;
+
+/// A projected AP state during batch assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApSlot {
+    /// Current load, bits/s.
+    pub load: f64,
+    /// Capacity `W(i)`, bits/s.
+    pub capacity: f64,
+    /// Users currently on the AP (existing associations plus any arrivals
+    /// already placed earlier in this batch).
+    pub members: Vec<UserId>,
+}
+
+/// One scored candidate distribution.
+#[derive(Debug, Clone)]
+struct Candidate {
+    assignment: Vec<usize>,
+    cost: f64,
+    balance: f64,
+}
+
+/// Builds the Section-IV social graph over `users`: vertices are indices
+/// into `users`, edges join pairs with `delta > threshold`, weighted by
+/// `delta`.
+pub fn build_social_graph<D>(users: &[UserId], delta: D, threshold: f64) -> SocialGraph
+where
+    D: Fn(UserId, UserId) -> f64,
+{
+    let mut graph = SocialGraph::new(users.len());
+    for i in 0..users.len() {
+        for j in i + 1..users.len() {
+            let d = delta(users[i], users[j]);
+            if d > threshold {
+                graph
+                    .add_edge(i, j, d)
+                    .expect("indices in range, weight validated by caller");
+            }
+        }
+    }
+    graph
+}
+
+/// Per-associated-user epsilon (bits/s) mixed into the projected load:
+/// negligible against any real traffic, but it breaks exact balance ties
+/// toward spreading by association count — without it, a cold-started
+/// model (all demand estimates zero) would project identical balance for
+/// every distribution and stack the whole batch on one AP.
+const MEMBER_EPSILON_BPS: f64 = 1.0;
+
+fn score(
+    assignment: &[usize],
+    clique: &[UserId],
+    slots: &[ApSlot],
+    delta: &dyn Fn(UserId, UserId) -> f64,
+    demand: &dyn Fn(UserId) -> f64,
+) -> (f64, f64) {
+    let m = slots.len();
+    let mut added_demand = vec![0.0; m];
+    let mut added_members = vec![0usize; m];
+    let mut cost = 0.0;
+    // Social cost: each placed user pays δ to existing members of its slot
+    // and to clique members already placed on the same slot.
+    for (idx, (&user, &slot)) in clique.iter().zip(assignment).enumerate() {
+        for &w in &slots[slot].members {
+            cost += delta(user, w);
+        }
+        for (prev_idx, &prev_slot) in assignment[..idx].iter().enumerate() {
+            if prev_slot == slot {
+                cost += delta(user, clique[prev_idx]);
+            }
+        }
+        added_demand[slot] += demand(user);
+        added_members[slot] += 1;
+    }
+    // Bandwidth constraint: any overloaded slot poisons the distribution.
+    let mut loads = Vec::with_capacity(m);
+    for ((slot, add), members) in slots.iter().zip(&added_demand).zip(&added_members) {
+        let load = slot.load + add;
+        if load > slot.capacity && *add > 0.0 {
+            return (f64::INFINITY, 0.0);
+        }
+        loads.push(load + (slot.members.len() + members) as f64 * MEMBER_EPSILON_BPS);
+    }
+    let balance = normalized_balance_index(&loads).unwrap_or(0.0);
+    (cost, balance)
+}
+
+/// Assigns every member of `clique` to a slot index, implementing the
+/// enumerate-or-beam + top-fraction + balance rule. Always returns one slot
+/// per member; when every distribution violates capacity the least-loaded
+/// slots are used anyway (users must be served).
+///
+/// # Panics
+///
+/// Panics if `slots` is empty while `clique` is not.
+pub fn assign_clique<D, W>(
+    clique: &[UserId],
+    slots: &[ApSlot],
+    delta: D,
+    demand: W,
+    config: &S3Config,
+) -> Vec<usize>
+where
+    D: Fn(UserId, UserId) -> f64,
+    W: Fn(UserId) -> f64,
+{
+    if clique.is_empty() {
+        return Vec::new();
+    }
+    assert!(!slots.is_empty(), "cannot assign a clique to zero APs");
+    let m = slots.len();
+    let c = clique.len();
+
+    let space: Option<usize> = m.checked_pow(c as u32).filter(|&s| s <= config.enumeration_limit);
+    let candidates: Vec<Candidate> = match space {
+        Some(total) => enumerate_all(total, m, clique, slots, &delta, &demand),
+        None => beam_search(m, clique, slots, &delta, &demand, config.beam_width),
+    };
+
+    select_best(candidates, config).unwrap_or_else(|| fallback_least_loaded(clique, slots, &demand))
+}
+
+fn enumerate_all(
+    total: usize,
+    m: usize,
+    clique: &[UserId],
+    slots: &[ApSlot],
+    delta: &dyn Fn(UserId, UserId) -> f64,
+    demand: &dyn Fn(UserId) -> f64,
+) -> Vec<Candidate> {
+    let c = clique.len();
+    let mut out = Vec::with_capacity(total.min(4_096));
+    let mut assignment = vec![0usize; c];
+    for code in 0..total {
+        let mut x = code;
+        for slot in assignment.iter_mut() {
+            *slot = x % m;
+            x /= m;
+        }
+        let (cost, balance) = score(&assignment, clique, slots, delta, demand);
+        if cost.is_finite() {
+            out.push(Candidate {
+                assignment: assignment.clone(),
+                cost,
+                balance,
+            });
+        }
+    }
+    out
+}
+
+fn beam_search(
+    m: usize,
+    clique: &[UserId],
+    slots: &[ApSlot],
+    delta: &dyn Fn(UserId, UserId) -> f64,
+    demand: &dyn Fn(UserId) -> f64,
+    beam_width: usize,
+) -> Vec<Candidate> {
+    // Partial state: assignment prefix and its social cost so far.
+    let mut beam: Vec<(Vec<usize>, f64)> = vec![(Vec::new(), 0.0)];
+    for (idx, &user) in clique.iter().enumerate() {
+        let mut next: Vec<(Vec<usize>, f64)> = Vec::with_capacity(beam.len() * m);
+        for (prefix, cost) in &beam {
+            for (slot, slot_state) in slots.iter().enumerate() {
+                let mut added = 0.0;
+                for &w in &slot_state.members {
+                    added += delta(user, w);
+                }
+                for (prev_idx, &prev_slot) in prefix.iter().enumerate() {
+                    if prev_slot == slot {
+                        added += delta(user, clique[prev_idx]);
+                    }
+                }
+                let mut assignment = prefix.clone();
+                assignment.push(slot);
+                next.push((assignment, cost + added));
+            }
+        }
+        next.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+        next.truncate(beam_width);
+        beam = next;
+        debug_assert!(beam.iter().all(|(a, _)| a.len() == idx + 1));
+    }
+    beam.into_iter()
+        .filter_map(|(assignment, _)| {
+            let (cost, balance) = score(&assignment, clique, slots, delta, demand);
+            cost.is_finite().then_some(Candidate {
+                assignment,
+                cost,
+                balance,
+            })
+        })
+        .collect()
+}
+
+fn select_best(mut candidates: Vec<Candidate>, config: &S3Config) -> Option<Vec<usize>> {
+    if candidates.is_empty() {
+        return None;
+    }
+    candidates.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+    let mut keep = ((candidates.len() as f64 * config.top_fraction).ceil() as usize)
+        .clamp(1, candidates.len());
+    // Ties at the cut-off stay in: "top 30 % by cost" must not split a set
+    // of equal-cost distributions arbitrarily, or the balance tie-break
+    // never sees them.
+    let boundary = candidates[keep - 1].cost;
+    while keep < candidates.len() && candidates[keep].cost <= boundary + 1e-12 {
+        keep += 1;
+    }
+    candidates.truncate(keep);
+    candidates
+        .into_iter()
+        .max_by(|a, b| a.balance.partial_cmp(&b.balance).expect("finite balance"))
+        .map(|c| c.assignment)
+}
+
+fn fallback_least_loaded(
+    clique: &[UserId],
+    slots: &[ApSlot],
+    demand: &dyn Fn(UserId) -> f64,
+) -> Vec<usize> {
+    let mut loads: Vec<f64> = slots.iter().map(|s| s.load).collect();
+    clique
+        .iter()
+        .map(|&user| {
+            let slot = loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
+                .map(|(i, _)| i)
+                .expect("slots non-empty");
+            loads[slot] += demand(user);
+            slot
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user(i: u32) -> UserId {
+        UserId::new(i)
+    }
+
+    fn empty_slots(m: usize) -> Vec<ApSlot> {
+        (0..m)
+            .map(|_| ApSlot {
+                load: 0.0,
+                capacity: 1e8,
+                members: Vec::new(),
+            })
+            .collect()
+    }
+
+    fn config() -> S3Config {
+        S3Config::default()
+    }
+
+    /// δ = 1 for every distinct pair.
+    fn all_tied(a: UserId, b: UserId) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    #[test]
+    fn tight_clique_is_spread_across_aps() {
+        let clique = vec![user(1), user(2), user(3)];
+        let slots = empty_slots(3);
+        let picks = assign_clique(&clique, &slots, all_tied, |_| 1e4, &config());
+        let distinct: std::collections::HashSet<usize> = picks.iter().copied().collect();
+        assert_eq!(distinct.len(), 3, "tight clique must use all APs: {picks:?}");
+    }
+
+    #[test]
+    fn clique_larger_than_ap_count_minimizes_collisions() {
+        let clique: Vec<UserId> = (0..4).map(user).collect();
+        let slots = empty_slots(2);
+        let picks = assign_clique(&clique, &slots, all_tied, |_| 1e4, &config());
+        // Optimal split is 2+2: exactly two intra-AP pairs (cost 2).
+        let on_zero = picks.iter().filter(|&&p| p == 0).count();
+        assert_eq!(on_zero, 2, "picks {picks:?}");
+    }
+
+    #[test]
+    fn avoids_aps_holding_social_partners() {
+        // User 1 arrives; user 9 (strongly related) already sits on AP 0.
+        let clique = vec![user(1)];
+        let mut slots = empty_slots(2);
+        slots[0].members.push(user(9));
+        let delta = |a: UserId, b: UserId| {
+            let pair = (a.raw().min(b.raw()), a.raw().max(b.raw()));
+            if pair == (1, 9) {
+                0.9
+            } else {
+                0.0
+            }
+        };
+        let picks = assign_clique(&clique, &slots, delta, |_| 1e4, &config());
+        assert_eq!(picks, vec![1]);
+    }
+
+    #[test]
+    fn respects_capacity_constraint() {
+        // AP 0 is nearly full; the arrival's demand only fits AP 1, even
+        // though AP 0 is socially free and AP 1 holds a partner.
+        let clique = vec![user(1)];
+        let mut slots = empty_slots(2);
+        slots[0].load = 9.9e7;
+        slots[0].capacity = 1e8;
+        slots[1].members.push(user(9));
+        let delta = |a: UserId, b: UserId| {
+            if UserId::new(1) == a.min(b) && UserId::new(9) == a.max(b) {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        let picks = assign_clique(&clique, &slots, delta, |_| 5e6, &config());
+        assert_eq!(picks, vec![1], "capacity must override social cost");
+    }
+
+    #[test]
+    fn all_overloaded_falls_back_to_least_loaded() {
+        let clique = vec![user(1), user(2)];
+        let mut slots = empty_slots(2);
+        slots[0].load = 2e8;
+        slots[1].load = 3e8; // both over capacity 1e8
+        let picks = assign_clique(&clique, &slots, all_tied, |_| 1e6, &config());
+        assert_eq!(picks.len(), 2);
+        assert_eq!(picks[0], 0, "least loaded first in fallback");
+    }
+
+    #[test]
+    fn zero_delta_prefers_balanced_loads() {
+        // No social signal: the balance tie-break must pick the idle AP.
+        let clique = vec![user(1)];
+        let mut slots = empty_slots(2);
+        slots[0].load = 5e6;
+        let picks = assign_clique(&clique, &slots, |_, _| 0.0, |_| 1e6, &config());
+        assert_eq!(picks, vec![1]);
+    }
+
+    #[test]
+    fn beam_search_matches_enumeration_on_small_cases() {
+        let clique: Vec<UserId> = (0..3).map(user).collect();
+        let mut slots = empty_slots(3);
+        slots[0].members.push(user(10));
+        let delta = |a: UserId, b: UserId| {
+            // 0-1 strongly tied; 10 tied to 2.
+            let (lo, hi) = (a.raw().min(b.raw()), a.raw().max(b.raw()));
+            match (lo, hi) {
+                (0, 1) => 0.8,
+                (2, 10) => 0.9,
+                _ => 0.05,
+            }
+        };
+        let full = assign_clique(&clique, &slots, delta, |_| 1e4, &config());
+        let beamed = assign_clique(
+            &clique,
+            &slots,
+            delta,
+            |_| 1e4,
+            &S3Config {
+                enumeration_limit: 0, // force beam
+                ..config()
+            },
+        );
+        let cost = |assignment: &[usize]| {
+            score(assignment, &clique, &slots, &delta, &|_: UserId| 1e4).0
+        };
+        assert!((cost(&full) - cost(&beamed)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_clique_is_empty_assignment() {
+        let picks = assign_clique(&[], &empty_slots(2), all_tied, |_| 0.0, &config());
+        assert!(picks.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero APs")]
+    fn no_slots_panics() {
+        let _ = assign_clique(&[user(1)], &[], all_tied, |_| 0.0, &config());
+    }
+
+    #[test]
+    fn social_graph_builder_applies_threshold() {
+        let users = vec![user(1), user(2), user(3)];
+        let delta = |a: UserId, b: UserId| {
+            let (lo, hi) = (a.raw().min(b.raw()), a.raw().max(b.raw()));
+            match (lo, hi) {
+                (1, 2) => 0.8,
+                (1, 3) => 0.3, // exactly at threshold: NOT an edge (strict >)
+                _ => 0.1,
+            }
+        };
+        let g = build_social_graph(&users, delta, 0.3);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.weight(0, 1), 0.8);
+    }
+}

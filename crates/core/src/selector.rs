@@ -1,0 +1,280 @@
+//! The S³ selector: the online AP-selection policy of Algorithm 1.
+//!
+//! Single arrivals take the cost path directly: the arriving user is a
+//! clique of one, so the AP minimizing the added social affinity
+//! `C(APᵢ) = Σ_{w∈S(APᵢ)} δ(u,w)` wins, with ∞ where the bandwidth
+//! constraint breaks and the balance index breaking near-ties (which
+//! degenerates to LLF when the user has no social relations — the paper's
+//! explicit fallback).
+//!
+//! Simultaneous arrivals (class start) run the full Algorithm 1: build the
+//! δ-threshold graph over the batch, peel maximum cliques, and distribute
+//! each clique via [`crate::batch::assign_clique`].
+
+use s3_graph::partition::clique_partition;
+use s3_wlan::selector::{ApCandidate, ApSelector, ArrivalUser, SelectionContext};
+
+use crate::batch::{assign_clique, build_social_graph, ApSlot};
+use crate::{S3Config, SocialModel};
+
+/// The S³ policy. Construct with a trained [`SocialModel`]; an untrained
+/// (empty) model makes S³ behave like LLF with a balance tie-break.
+#[derive(Debug, Clone)]
+pub struct S3Selector {
+    model: SocialModel,
+    config: S3Config,
+}
+
+impl S3Selector {
+    /// Creates the selector from a trained model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails validation (see [`S3Config::validate`]).
+    pub fn new(model: SocialModel, config: S3Config) -> Self {
+        config.validate();
+        S3Selector { model, config }
+    }
+
+    /// The underlying model (for inspection and experiment reporting).
+    pub fn model(&self) -> &SocialModel {
+        &self.model
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &S3Config {
+        &self.config
+    }
+
+    fn slots_from_candidates(candidates: &[ApCandidate]) -> Vec<ApSlot> {
+        candidates
+            .iter()
+            .map(|c| ApSlot {
+                load: c.load.as_f64(),
+                capacity: c.capacity.as_f64(),
+                members: c.associated.clone(),
+            })
+            .collect()
+    }
+}
+
+impl ApSelector for S3Selector {
+    fn name(&self) -> &str {
+        "s3"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> usize {
+        let slots = Self::slots_from_candidates(ctx.candidates);
+        let user = ctx.arrival.user;
+        let model = &self.model;
+        let picks = assign_clique(
+            &[user],
+            &slots,
+            |a, b| model.delta(a, b),
+            |u| model.estimated_demand(u).as_f64(),
+            &self.config,
+        );
+        picks[0]
+    }
+
+    fn select_batch(&mut self, users: &[ArrivalUser], candidates: &[ApCandidate]) -> Vec<usize> {
+        if users.is_empty() {
+            return Vec::new();
+        }
+        let user_ids: Vec<s3_types::UserId> = users.iter().map(|u| u.user).collect();
+        let model = &self.model;
+        let graph = build_social_graph(
+            &user_ids,
+            |a, b| model.delta(a, b),
+            self.config.edge_threshold,
+        );
+        // Cliques come out largest/heaviest first; isolated users trail as
+        // singletons — the paper's processing order.
+        let cliques = clique_partition(&graph);
+
+        let mut slots = Self::slots_from_candidates(candidates);
+        let mut picks = vec![usize::MAX; users.len()];
+        for clique in &cliques {
+            let members: Vec<s3_types::UserId> =
+                clique.vertices.iter().map(|&v| user_ids[v]).collect();
+            let assignment = assign_clique(
+                &members,
+                &slots,
+                |a, b| model.delta(a, b),
+                |u| model.estimated_demand(u).as_f64(),
+                &self.config,
+            );
+            for (&vertex, &slot) in clique.vertices.iter().zip(&assignment) {
+                picks[vertex] = slot;
+                let user = user_ids[vertex];
+                slots[slot].load += model.estimated_demand(user).as_f64();
+                slots[slot].members.push(user);
+            }
+        }
+        debug_assert!(picks.iter().all(|&p| p != usize::MAX));
+        picks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_trace::generator::{CampusConfig, CampusGenerator};
+    use s3_trace::TraceStore;
+    use s3_types::{ApId, BitsPerSec, Timestamp, UserId};
+    use s3_wlan::selector::LeastLoadedFirst;
+    use s3_wlan::{SimConfig, SimEngine, Topology};
+
+    fn trained_selector() -> S3Selector {
+        let campus = CampusGenerator::new(CampusConfig::tiny(), 5).generate();
+        let topology = Topology::from_campus(&campus.config);
+        let engine = SimEngine::new(topology, SimConfig::default());
+        let bootstrap = engine.run(&campus.demands, &mut LeastLoadedFirst::new());
+        let history = TraceStore::new(bootstrap.records);
+        let config = S3Config {
+            fixed_k: Some(4),
+            ..S3Config::default()
+        };
+        let model = SocialModel::learn(&history, &config, 1);
+        S3Selector::new(model, config)
+    }
+
+    fn candidate(ap: u32, load_mbps: f64, associated: Vec<u32>) -> ApCandidate {
+        ApCandidate {
+            ap: ApId::new(ap),
+            load: BitsPerSec::mbps(load_mbps),
+            capacity: BitsPerSec::mbps(100.0),
+            associated: associated.into_iter().map(UserId::new).collect(),
+        }
+    }
+
+    fn arrival(user: u32, n_candidates: usize) -> ArrivalUser {
+        ArrivalUser {
+            user: UserId::new(user),
+            now: Timestamp::from_secs(0),
+            demand_hint: BitsPerSec::mbps(1.0),
+            rssi: vec![-50.0; n_candidates],
+        }
+    }
+
+    #[test]
+    fn untrained_model_behaves_like_load_balancer() {
+        let model = SocialModel::learn(&TraceStore::new(vec![]), &S3Config::default(), 0);
+        let mut s3 = S3Selector::new(model, S3Config::default());
+        let candidates = vec![candidate(0, 10.0, vec![]), candidate(1, 1.0, vec![])];
+        let a = arrival(1, 2);
+        let ctx = SelectionContext {
+            arrival: &a,
+            candidates: &candidates,
+        };
+        assert_eq!(s3.select(&ctx), 1, "idle AP wins on balance tie-break");
+        assert_eq!(s3.name(), "s3");
+    }
+
+    #[test]
+    fn batch_spreads_a_planted_clique() {
+        // Train a model by hand via a trace where users 1..=3 co-leave
+        // daily — then present them as a simultaneous batch.
+        use s3_trace::SessionRecord;
+        use s3_types::{AppCategory, Bytes, ControllerId};
+        let mut records = Vec::new();
+        for day in 0..8u64 {
+            for user in 1..=3u32 {
+                let base = day * 86_400 + 30_000;
+                let mut volume_by_app = [Bytes::ZERO; 6];
+                volume_by_app[AppCategory::P2p.index()] = Bytes::megabytes(20);
+                records.push(SessionRecord {
+                    user: UserId::new(user),
+                    ap: ApId::new(0),
+                    controller: ControllerId::new(0),
+                    connect: Timestamp::from_secs(base + user as u64),
+                    disconnect: Timestamp::from_secs(base + 7_200 + user as u64 * 10),
+                    volume_by_app,
+                });
+            }
+        }
+        let store = TraceStore::new(records);
+        let config = S3Config {
+            fixed_k: Some(1),
+            ..S3Config::default()
+        };
+        let model = SocialModel::learn(&store, &config, 2);
+        assert!(
+            model.delta(UserId::new(1), UserId::new(2)) > 0.3,
+            "planted pair must clear the edge threshold"
+        );
+        let mut s3 = S3Selector::new(model, config);
+        let candidates = vec![
+            candidate(0, 0.0, vec![]),
+            candidate(1, 0.0, vec![]),
+            candidate(2, 0.0, vec![]),
+        ];
+        let users: Vec<ArrivalUser> = (1..=3).map(|u| arrival(u, 3)).collect();
+        let picks = s3.select_batch(&users, &candidates);
+        let distinct: std::collections::HashSet<usize> = picks.iter().copied().collect();
+        assert_eq!(distinct.len(), 3, "clique must be spread: {picks:?}");
+    }
+
+    #[test]
+    fn single_select_avoids_social_partner() {
+        use s3_trace::SessionRecord;
+        use s3_types::{AppCategory, Bytes, ControllerId};
+        let mut records = Vec::new();
+        for day in 0..8u64 {
+            for user in [1u32, 2] {
+                let base = day * 86_400 + 30_000;
+                let mut volume_by_app = [Bytes::ZERO; 6];
+                volume_by_app[AppCategory::Video.index()] = Bytes::megabytes(20);
+                records.push(SessionRecord {
+                    user: UserId::new(user),
+                    ap: ApId::new(0),
+                    controller: ControllerId::new(0),
+                    connect: Timestamp::from_secs(base),
+                    disconnect: Timestamp::from_secs(base + 3_600 + user as u64 * 5),
+                    volume_by_app,
+                });
+            }
+        }
+        let config = S3Config {
+            fixed_k: Some(1),
+            ..S3Config::default()
+        };
+        let model = SocialModel::learn(&TraceStore::new(records), &config, 3);
+        let mut s3 = S3Selector::new(model, config);
+        // User 2 sits on AP 0, which is otherwise *less* loaded.
+        let candidates = vec![candidate(0, 0.5, vec![2]), candidate(1, 1.0, vec![])];
+        let a = arrival(1, 2);
+        let ctx = SelectionContext {
+            arrival: &a,
+            candidates: &candidates,
+        };
+        assert_eq!(s3.select(&ctx), 1, "avoid the AP holding the partner");
+    }
+
+    #[test]
+    fn end_to_end_run_places_every_demand() {
+        let mut s3 = trained_selector();
+        let campus = CampusGenerator::new(CampusConfig::tiny(), 5).generate();
+        let engine = SimEngine::new(
+            Topology::from_campus(&campus.config),
+            SimConfig::default(),
+        );
+        let result = engine.run(&campus.demands, &mut s3);
+        assert_eq!(result.records.len(), campus.demands.len());
+        assert_eq!(result.rejected, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let mut s3 = trained_selector();
+        let candidates = vec![candidate(0, 0.0, vec![])];
+        assert!(s3.select_batch(&[], &candidates).is_empty());
+    }
+
+    #[test]
+    fn accessors_expose_model_and_config() {
+        let s3 = trained_selector();
+        assert!(s3.config().alpha > 0.0);
+        let _ = s3.model().type_count();
+    }
+}

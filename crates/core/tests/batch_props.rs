@@ -1,0 +1,128 @@
+//! Property tests for the Algorithm-1 distribution search.
+
+use proptest::prelude::*;
+
+use s3_core::batch::{assign_clique, build_social_graph, ApSlot};
+use s3_core::S3Config;
+use s3_types::UserId;
+
+fn slots_strategy() -> impl Strategy<Value = Vec<ApSlot>> {
+    prop::collection::vec(
+        (0.0f64..5e7, prop::collection::vec(0u32..100, 0..6)),
+        1..6,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(load, members)| ApSlot {
+                load,
+                capacity: 1e8,
+                members: members.into_iter().map(UserId::new).collect(),
+            })
+            .collect()
+    })
+}
+
+/// A deterministic pseudo-random δ in `[0, 1)` from the pair identity.
+fn hash_delta(a: UserId, b: UserId) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    let (lo, hi) = (a.raw().min(b.raw()) as u64, a.raw().max(b.raw()) as u64);
+    let mut h = lo.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ hi.rotate_left(31);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    (h % 1_000) as f64 / 1_000.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn assignment_is_total_and_in_range(
+        slots in slots_strategy(),
+        clique in prop::collection::vec(200u32..260, 0..6),
+    ) {
+        let clique: Vec<UserId> = clique.into_iter().map(UserId::new).collect();
+        let picks = assign_clique(
+            &clique,
+            &slots,
+            hash_delta,
+            |_| 1e5,
+            &S3Config::default(),
+        );
+        prop_assert_eq!(picks.len(), clique.len());
+        prop_assert!(picks.iter().all(|&p| p < slots.len()));
+    }
+
+    #[test]
+    fn beam_and_enumeration_agree_on_cost_ordering(
+        slots in slots_strategy(),
+        clique in prop::collection::vec(200u32..230, 1..4),
+    ) {
+        let clique: Vec<UserId> = clique.into_iter().map(UserId::new).collect();
+        let exhaustive = assign_clique(
+            &clique, &slots, hash_delta, |_| 1e5, &S3Config::default(),
+        );
+        let beamed = assign_clique(
+            &clique, &slots, hash_delta, |_| 1e5,
+            &S3Config { enumeration_limit: 0, ..S3Config::default() },
+        );
+        // The two searches may pick different argmins among near-ties, but
+        // a wide beam over a tiny clique must cover the whole space, so the
+        // social cost of both assignments must match exactly.
+        let cost = |assignment: &[usize]| -> f64 {
+            let mut total = 0.0;
+            for (i, (&u, &slot)) in clique.iter().zip(assignment).enumerate() {
+                for &w in &slots[slot].members {
+                    total += hash_delta(u, w);
+                }
+                for (j, &prev) in assignment[..i].iter().enumerate() {
+                    if prev == slot {
+                        total += hash_delta(u, clique[j]);
+                    }
+                }
+            }
+            total
+        };
+        prop_assert!((cost(&exhaustive) - cost(&beamed)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_violations_are_avoided_when_possible(
+        clique in prop::collection::vec(200u32..220, 1..4),
+    ) {
+        let clique: Vec<UserId> = clique.into_iter().map(UserId::new).collect();
+        // Slot 0 is full; slot 1 is empty with ample capacity.
+        let slots = vec![
+            ApSlot { load: 9.99e7, capacity: 1e8, members: vec![] },
+            ApSlot { load: 0.0, capacity: 1e8, members: vec![] },
+        ];
+        let demand = 1e6; // each user clearly overflows slot 0
+        let picks = assign_clique(&clique, &slots, hash_delta, |_| demand, &S3Config::default());
+        // At least one feasible distribution exists (everyone on slot 1),
+        // so nobody may land on the full slot 0 unless slot 1 would also
+        // overflow (it cannot: 3 users × 1 Mb/s ≪ 100 Mb/s).
+        prop_assert!(picks.iter().all(|&p| p == 1), "picks {picks:?}");
+    }
+
+    #[test]
+    fn social_graph_edges_match_delta_threshold(
+        users in prop::collection::vec(0u32..40, 2..10),
+        threshold in 0.0f64..1.0,
+    ) {
+        let users: Vec<UserId> = {
+            let set: std::collections::BTreeSet<u32> = users.into_iter().collect();
+            set.into_iter().map(UserId::new).collect()
+        };
+        let g = build_social_graph(&users, hash_delta, threshold);
+        for i in 0..users.len() {
+            for j in i + 1..users.len() {
+                let expected = hash_delta(users[i], users[j]) > threshold;
+                prop_assert_eq!(g.has_edge(i, j), expected);
+                if expected {
+                    prop_assert!((g.weight(i, j) - hash_delta(users[i], users[j])).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

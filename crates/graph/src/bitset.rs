@@ -1,0 +1,329 @@
+//! A dynamic bitset used as the adjacency-row representation of
+//! [`crate::SocialGraph`] and as the candidate set in the clique search.
+
+use core::fmt;
+
+/// A fixed-capacity dynamic bitset over `0..capacity`.
+///
+/// # Example
+/// ```
+/// # use s3_graph::BitSet;
+/// let mut s = BitSet::new(70);
+/// s.insert(3);
+/// s.insert(64);
+/// assert!(s.contains(3) && s.contains(64) && !s.contains(4));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty bitset able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates a bitset with every bit in `0..capacity` set.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    fn trim(&mut self) {
+        let rem = self.capacity % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Capacity (exclusive upper bound of storable values).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `value`. Returns true if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "bitset value {value} out of capacity {}", self.capacity);
+        let (w, b) = (value / 64, value % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes `value`. Returns true if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity`.
+    #[inline]
+    pub fn remove(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "bitset value {value} out of capacity {}", self.capacity);
+        let (w, b) = (value / 64, value % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Membership test. Out-of-capacity values are simply absent.
+    #[inline]
+    pub fn contains(&self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        self.words[value / 64] & (1 << (value % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// A fresh intersection without mutating either operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// The lowest set bit, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(i * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates set bits in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Ascending iterator over the set bits of a [`BitSet`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects values into a bitset sized to the maximum value + 1.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let capacity = values.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::new(capacity);
+        for v in values {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(99));
+        assert!(!s.insert(63)); // duplicate
+        assert_eq!(s.len(), 4);
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert!(!s.contains(63));
+        assert!(s.contains(64));
+        assert!(!s.contains(1000)); // out of capacity is just absent
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_capacity_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn full_and_trim() {
+        let s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+        let e = BitSet::full(0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn set_operations() {
+        let a: BitSet = [1, 2, 3, 64].into_iter().collect();
+        let mut a = {
+            // normalize capacity for the ops below
+            let mut s = BitSet::new(100);
+            for v in a.iter() {
+                s.insert(v);
+            }
+            s
+        };
+        let mut b = BitSet::new(100);
+        for v in [2, 3, 4, 65] {
+            b.insert(v);
+        }
+        let inter = a.intersection(&b);
+        assert_eq!(inter.iter().collect::<Vec<_>>(), vec![2, 3]);
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 64, 65]);
+        a.difference_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn mismatched_capacity_panics() {
+        let mut a = BitSet::new(10);
+        let b = BitSet::new(20);
+        a.intersect_with(&b);
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let mut s = BitSet::new(200);
+        let values = [0, 1, 63, 64, 127, 128, 199];
+        for v in values {
+            s.insert(v);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), values.to_vec());
+        assert_eq!(s.first(), Some(0));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.first(), None);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = [5, 2, 9].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.len(), 3);
+        let empty: BitSet = std::iter::empty().collect();
+        assert_eq!(empty.capacity(), 0);
+    }
+
+    #[test]
+    fn debug_renders_as_set() {
+        let s: BitSet = [1, 3].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1, 3}");
+    }
+}

@@ -1,0 +1,414 @@
+//! Maximum-clique search, Östergård-style (branch-and-bound over a greedy
+//! coloring order with per-suffix bounds).
+//!
+//! Algorithm 1 of the paper repeatedly needs "a maximum clique; if several
+//! exist, the one with the largest sum of edge weights". We therefore run
+//! the Östergård search with one twist: instead of stopping at the first
+//! clique of record size (the classic `found` shortcut), the search
+//! continues through ties and keeps the candidate with the larger weight
+//! sum, pruning on size exactly as Östergård does. The per-suffix bound
+//! `c[i]` (the clique number of the subgraph induced by vertices `i..n` in
+//! the search order) is preserved.
+//!
+//! A node budget caps the worst case; the search degrades gracefully to the
+//! best clique found so far when the budget runs out (and reports it).
+
+use crate::coloring::greedy_coloring;
+use crate::{BitSet, SocialGraph};
+
+/// A clique found by the search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clique {
+    /// Member vertices, ascending.
+    pub vertices: Vec<usize>,
+    /// Sum of pairwise edge weights inside the clique.
+    pub weight_sum: f64,
+    /// True when the search exhausted its node budget before proving
+    /// optimality (the clique is still valid, possibly sub-optimal).
+    pub truncated: bool,
+}
+
+impl Clique {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True for the empty clique (returned only for edgeless/empty input
+    /// sets).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+/// Search limits for [`max_clique_with_budget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CliqueBudget {
+    /// Maximum branch-and-bound nodes to expand.
+    pub max_nodes: u64,
+}
+
+impl Default for CliqueBudget {
+    fn default() -> Self {
+        // Generous for the paper's workload: cliques live inside one
+        // controller domain's arrival batch (tens of users).
+        CliqueBudget {
+            max_nodes: 5_000_000,
+        }
+    }
+}
+
+struct Searcher<'g> {
+    graph: &'g SocialGraph,
+    /// Search order (Östergård iterates suffixes of this order).
+    order: Vec<usize>,
+    /// Adjacency re-indexed by order position.
+    adj: Vec<BitSet>,
+    /// c[i] = clique number of the subgraph induced by order positions i..n.
+    c: Vec<usize>,
+    best: Vec<usize>, // order positions
+    best_weight: f64,
+    nodes: u64,
+    max_nodes: u64,
+    truncated: bool,
+}
+
+impl<'g> Searcher<'g> {
+    fn new(graph: &'g SocialGraph, budget: CliqueBudget) -> Self {
+        let n = graph.vertex_count();
+        let coloring = greedy_coloring(graph);
+        let order = coloring.order();
+        let mut pos = vec![0usize; n];
+        for (p, &v) in order.iter().enumerate() {
+            pos[v] = p;
+        }
+        let mut adj: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for v in 0..n {
+            for u in graph.neighbors(v) {
+                adj[pos[v]].insert(pos[u]);
+            }
+        }
+        Searcher {
+            graph,
+            order,
+            adj,
+            c: vec![0; n],
+            best: Vec::new(),
+            best_weight: f64::NEG_INFINITY,
+            nodes: 0,
+            max_nodes: budget.max_nodes,
+            truncated: false,
+        }
+    }
+
+    fn expand(&mut self, candidates: &BitSet, current: &mut Vec<usize>, current_weight: f64) {
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            self.truncated = true;
+            return;
+        }
+        if candidates.is_empty() {
+            let better = current.len() > self.best.len()
+                || (current.len() == self.best.len() && current_weight > self.best_weight);
+            if better {
+                self.best = current.clone();
+                self.best_weight = current_weight;
+            }
+            return;
+        }
+        let mut cands = candidates.clone();
+        while let Some(p) = cands.first() {
+            // Size bound: even taking every remaining candidate cannot beat
+            // the record size (strict: equal size may still win on weight).
+            if current.len() + cands.len() < self.best.len() {
+                return;
+            }
+            // Östergård suffix bound.
+            if self.c[p] > 0 && current.len() + self.c[p] < self.best.len() {
+                return;
+            }
+            cands.remove(p);
+            let v = self.order[p];
+            let added_weight: f64 = current
+                .iter()
+                .map(|&q| self.graph.weight(v, self.order[q]))
+                .sum();
+            current.push(p);
+            let next = cands.intersection(&self.adj[p]);
+            self.expand(&next, current, current_weight + added_weight);
+            current.pop();
+            if self.truncated {
+                return;
+            }
+        }
+        // All candidates consumed without extension: `current` itself is a
+        // maximal candidate at this node.
+        let better = current.len() > self.best.len()
+            || (current.len() == self.best.len() && current_weight > self.best_weight);
+        if better {
+            self.best = current.clone();
+            self.best_weight = current_weight;
+        }
+    }
+
+    fn run(mut self) -> Clique {
+        let n = self.graph.vertex_count();
+        if n == 0 {
+            return Clique {
+                vertices: Vec::new(),
+                weight_sum: 0.0,
+                truncated: false,
+            };
+        }
+        // Iterate suffixes largest-first as Östergård prescribes: S_i is the
+        // set of order positions i..n; c[i] is the clique number within S_i.
+        for i in (0..n).rev() {
+            let mut suffix_neighbors = self.adj[i].clone();
+            // Restrict to positions > i (the rest of the suffix).
+            let mut mask = BitSet::new(n);
+            for p in i + 1..n {
+                mask.insert(p);
+            }
+            suffix_neighbors.intersect_with(&mask);
+            let mut current = vec![i];
+            self.expand(&suffix_neighbors, &mut current, 0.0);
+            self.c[i] = self.best.len();
+            if self.truncated {
+                break;
+            }
+        }
+        let mut vertices: Vec<usize> = self.best.iter().map(|&p| self.order[p]).collect();
+        vertices.sort_unstable();
+        let weight_sum = self.graph.weight_sum(&vertices);
+        Clique {
+            vertices,
+            weight_sum,
+            truncated: self.truncated,
+        }
+    }
+}
+
+/// Finds a maximum clique of `graph`, breaking size ties by the largest
+/// pairwise edge-weight sum, with the default node budget.
+///
+/// Returns the empty clique for a graph with no vertices; for any graph with
+/// at least one vertex, the result has at least one member.
+///
+/// # Example
+/// ```
+/// # use s3_graph::{SocialGraph, clique::max_clique};
+/// let mut g = SocialGraph::new(4);
+/// g.add_edge(0, 1, 0.4)?;
+/// g.add_edge(1, 2, 0.4)?;
+/// g.add_edge(0, 2, 0.4)?;
+/// g.add_edge(2, 3, 0.4)?;
+/// let c = max_clique(&g);
+/// assert_eq!(c.vertices, vec![0, 1, 2]);
+/// # Ok::<(), s3_graph::GraphError>(())
+/// ```
+pub fn max_clique(graph: &SocialGraph) -> Clique {
+    max_clique_with_budget(graph, CliqueBudget::default())
+}
+
+/// [`max_clique`] with an explicit node budget; `truncated` is set on the
+/// result when the budget was exhausted.
+pub fn max_clique_with_budget(graph: &SocialGraph, budget: CliqueBudget) -> Clique {
+    Searcher::new(graph, budget).run()
+}
+
+/// Finds the maximum clique *within a subset* of vertices by building the
+/// induced subgraph and mapping the result back. Algorithm 1 uses this when
+/// only part of the arrival batch remains to be placed.
+pub fn max_clique_in_subset(graph: &SocialGraph, subset: &[usize]) -> Clique {
+    max_clique_in_subset_with_budget(graph, subset, CliqueBudget::default())
+}
+
+/// [`max_clique_in_subset`] with an explicit node budget.
+pub fn max_clique_in_subset_with_budget(
+    graph: &SocialGraph,
+    subset: &[usize],
+    budget: CliqueBudget,
+) -> Clique {
+    let mut index_of = std::collections::HashMap::with_capacity(subset.len());
+    for (i, &v) in subset.iter().enumerate() {
+        index_of.insert(v, i);
+    }
+    let mut sub = SocialGraph::new(subset.len());
+    for (i, &u) in subset.iter().enumerate() {
+        for v in graph.neighbors(u) {
+            if let Some(&j) = index_of.get(&v) {
+                if j > i {
+                    sub.add_edge(i, j, graph.weight(u, v)).expect("valid subgraph edge");
+                }
+            }
+        }
+    }
+    let inner = max_clique_with_budget(&sub, budget);
+    let mut vertices: Vec<usize> = inner.vertices.iter().map(|&i| subset[i]).collect();
+    vertices.sort_unstable();
+    Clique {
+        weight_sum: graph.weight_sum(&vertices),
+        vertices,
+        truncated: inner.truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize, w: f64) -> SocialGraph {
+        let mut g = SocialGraph::new(n);
+        for u in 0..n {
+            for v in u + 1..n {
+                g.add_edge(u, v, w).unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let c = max_clique(&SocialGraph::new(0));
+        assert!(c.is_empty());
+        let c = max_clique(&SocialGraph::new(1));
+        assert_eq!(c.vertices, vec![0]);
+        assert_eq!(c.weight_sum, 0.0);
+        assert!(!c.truncated);
+    }
+
+    #[test]
+    fn edgeless_graph_returns_single_vertex() {
+        let c = max_clique(&SocialGraph::new(5));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(7, 0.5);
+        let c = max_clique(&g);
+        assert_eq!(c.vertices, (0..7).collect::<Vec<_>>());
+        assert!((c.weight_sum - 21.0 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_beats_edge() {
+        let mut g = SocialGraph::new(5);
+        g.add_edge(0, 1, 0.31).unwrap();
+        g.add_edge(1, 2, 0.31).unwrap();
+        g.add_edge(0, 2, 0.31).unwrap();
+        g.add_edge(3, 4, 0.99).unwrap();
+        let c = max_clique(&g);
+        assert_eq!(c.vertices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn weight_breaks_size_ties() {
+        // Two disjoint triangles, the second heavier.
+        let mut g = SocialGraph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+            g.add_edge(u, v, 0.31).unwrap();
+        }
+        for (u, v) in [(3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v, 0.9).unwrap();
+        }
+        let c = max_clique(&g);
+        assert_eq!(c.vertices, vec![3, 4, 5]);
+        assert!((c.weight_sum - 2.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn petersen_graph_clique_number_two() {
+        // The Petersen graph is triangle-free with clique number 2.
+        let outer = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        let spokes = [(0, 5), (1, 6), (2, 7), (3, 8), (4, 9)];
+        let inner = [(5, 7), (7, 9), (9, 6), (6, 8), (8, 5)];
+        let mut g = SocialGraph::new(10);
+        for (u, v) in outer.iter().chain(&spokes).chain(&inner) {
+            g.add_edge(*u, *v, 1.0).unwrap();
+        }
+        let c = max_clique(&g);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn planted_clique_in_random_graph() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let n = 40;
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut g = SocialGraph::new(n);
+        for u in 0..n {
+            for v in u + 1..n {
+                if rng.random::<f64>() < 0.2 {
+                    g.add_edge(u, v, rng.random_range(0.3..1.0)).unwrap();
+                }
+            }
+        }
+        // Plant a 7-clique on vertices 10..17.
+        let planted: Vec<usize> = (10..17).collect();
+        for (i, &u) in planted.iter().enumerate() {
+            for &v in &planted[i + 1..] {
+                g.add_edge(u, v, 0.5).unwrap();
+            }
+        }
+        let c = max_clique(&g);
+        assert!(c.len() >= 7, "found only {} vertices", c.len());
+        assert!(g.is_clique(&c.vertices), "result must be a clique");
+        assert!(!c.truncated);
+    }
+
+    #[test]
+    fn result_is_always_a_clique_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 25;
+            let mut g = SocialGraph::new(n);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng.random::<f64>() < 0.4 {
+                        g.add_edge(u, v, rng.random_range(0.0..1.0)).unwrap();
+                    }
+                }
+            }
+            let c = max_clique(&g);
+            assert!(g.is_clique(&c.vertices), "seed {seed}: not a clique");
+            assert!(!c.is_empty());
+            // Weight reported must equal the recomputed pairwise sum.
+            assert!((c.weight_sum - g.weight_sum(&c.vertices)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tiny_budget_truncates_but_stays_valid() {
+        let g = complete(20, 1.0);
+        let c = max_clique_with_budget(&g, CliqueBudget { max_nodes: 10 });
+        assert!(c.truncated);
+        assert!(g.is_clique(&c.vertices));
+    }
+
+    #[test]
+    fn subset_search_maps_back() {
+        let mut g = SocialGraph::new(8);
+        // Clique on {1, 3, 5}; bigger clique on {0, 2, 4, 6} that must be
+        // invisible when we search the subset {1, 3, 5, 7}.
+        for (u, v) in [(1, 3), (3, 5), (1, 5)] {
+            g.add_edge(u, v, 0.4).unwrap();
+        }
+        for (u, v) in [(0, 2), (0, 4), (0, 6), (2, 4), (2, 6), (4, 6)] {
+            g.add_edge(u, v, 0.4).unwrap();
+        }
+        let c = max_clique_in_subset(&g, &[1, 3, 5, 7]);
+        assert_eq!(c.vertices, vec![1, 3, 5]);
+        assert!((c.weight_sum - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_of_isolated_vertices() {
+        let g = SocialGraph::new(4);
+        let c = max_clique_in_subset(&g, &[2, 3]);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Greedy vertex coloring.
+//!
+//! The paper's clique search "first sorts users by a greedy vertex coloring
+//! algorithm" (Section IV-A, citing Östergård). A proper coloring with `c`
+//! colors upper-bounds the clique number of any subgraph it covers, which is
+//! exactly the pruning bound the branch-and-bound search uses.
+
+use crate::SocialGraph;
+
+/// A proper vertex coloring plus the ordering it induces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    /// Color of each vertex, `0..num_colors`.
+    pub colors: Vec<usize>,
+    /// Number of distinct colors used.
+    pub num_colors: usize,
+}
+
+impl Coloring {
+    /// Vertices sorted by ascending color, ties by ascending index — the
+    /// branching order recommended for clique search (vertices of the same
+    /// color class are pairwise non-adjacent, so at most one per class can
+    /// join any clique).
+    pub fn order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.colors.len()).collect();
+        order.sort_by_key(|&v| (self.colors[v], v));
+        order
+    }
+}
+
+/// Colors vertices greedily in descending-degree order (Welsh–Powell):
+/// each vertex takes the smallest color absent from its neighborhood.
+///
+/// Runs in `O(V² / 64 + E)` with the bitset adjacency.
+///
+/// # Example
+/// ```
+/// # use s3_graph::{SocialGraph, coloring::greedy_coloring};
+/// let mut g = SocialGraph::new(3);
+/// g.add_edge(0, 1, 1.0)?;
+/// g.add_edge(1, 2, 1.0)?;
+/// let c = greedy_coloring(&g);
+/// assert_eq!(c.num_colors, 2); // a path is 2-colorable
+/// assert_ne!(c.colors[0], c.colors[1]);
+/// assert_ne!(c.colors[1], c.colors[2]);
+/// # Ok::<(), s3_graph::GraphError>(())
+/// ```
+pub fn greedy_coloring(graph: &SocialGraph) -> Coloring {
+    let n = graph.vertex_count();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+
+    let mut colors = vec![usize::MAX; n];
+    let mut num_colors = 0;
+    let mut used = Vec::new();
+    for &v in &order {
+        used.clear();
+        used.resize(num_colors + 1, false);
+        for u in graph.neighbors(v) {
+            let c = colors[u];
+            if c != usize::MAX && c < used.len() {
+                used[c] = true;
+            }
+        }
+        let color = used.iter().position(|&taken| !taken).expect("slot exists");
+        colors[v] = color;
+        num_colors = num_colors.max(color + 1);
+    }
+    if n == 0 {
+        num_colors = 0;
+    }
+    Coloring { colors, num_colors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_proper(graph: &SocialGraph, coloring: &Coloring) {
+        for u in 0..graph.vertex_count() {
+            for v in graph.neighbors(u) {
+                assert_ne!(
+                    coloring.colors[u], coloring.colors[v],
+                    "edge ({u},{v}) monochromatic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn colors_complete_graph_with_n_colors() {
+        let n = 6;
+        let mut g = SocialGraph::new(n);
+        for u in 0..n {
+            for v in u + 1..n {
+                g.add_edge(u, v, 1.0).unwrap();
+            }
+        }
+        let c = greedy_coloring(&g);
+        assert_proper(&g, &c);
+        assert_eq!(c.num_colors, n);
+    }
+
+    #[test]
+    fn colors_bipartite_with_two() {
+        // K_{3,3}
+        let mut g = SocialGraph::new(6);
+        for u in 0..3 {
+            for v in 3..6 {
+                g.add_edge(u, v, 1.0).unwrap();
+            }
+        }
+        let c = greedy_coloring(&g);
+        assert_proper(&g, &c);
+        assert_eq!(c.num_colors, 2);
+    }
+
+    #[test]
+    fn empty_graph_uses_one_color_per_component_rulebook() {
+        let g = SocialGraph::new(4);
+        let c = greedy_coloring(&g);
+        assert_eq!(c.num_colors, 1);
+        assert!(c.colors.iter().all(|&x| x == 0));
+        let none = greedy_coloring(&SocialGraph::new(0));
+        assert_eq!(none.num_colors, 0);
+        assert!(none.order().is_empty());
+    }
+
+    #[test]
+    fn order_sorts_by_color() {
+        let mut g = SocialGraph::new(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        let c = greedy_coloring(&g);
+        assert_proper(&g, &c);
+        let order = c.order();
+        // colors are non-decreasing along the order
+        for w in order.windows(2) {
+            assert!(c.colors[w[0]] <= c.colors[w[1]]);
+        }
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn coloring_upper_bounds_clique_number() {
+        // Triangle + pendant: clique number 3, greedy should need >= 3 colors.
+        let mut g = SocialGraph::new(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(0, 2, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        let c = greedy_coloring(&g);
+        assert_proper(&g, &c);
+        assert!(c.num_colors >= 3);
+    }
+}

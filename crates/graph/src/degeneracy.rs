@@ -1,0 +1,198 @@
+//! Degeneracy (smallest-last) ordering.
+//!
+//! The degeneracy `d` of a graph is the smallest number such that every
+//! subgraph has a vertex of degree ≤ `d`. It yields two useful facts for
+//! the clique machinery:
+//!
+//! * the clique number is at most `d + 1` — a cheap upper bound to sanity-
+//!   check the branch-and-bound search;
+//! * coloring greedily in smallest-last order needs at most `d + 1` colors,
+//!   often fewer than Welsh–Powell on sparse social graphs.
+
+use crate::coloring::Coloring;
+use crate::SocialGraph;
+
+/// Result of a degeneracy computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degeneracy {
+    /// The degeneracy `d`.
+    pub degeneracy: usize,
+    /// Smallest-last vertex order (the vertex removed first comes last).
+    pub order: Vec<usize>,
+}
+
+/// Computes the degeneracy and a smallest-last ordering with the standard
+/// bucket algorithm, `O(V + E)`.
+pub fn degeneracy_order(graph: &SocialGraph) -> Degeneracy {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return Degeneracy {
+            degeneracy: 0,
+            order: Vec::new(),
+        };
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+    // Buckets of vertices by current degree.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_degree + 1];
+    for (v, &d) in degree.iter().enumerate() {
+        buckets[d].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut removal = Vec::with_capacity(n);
+    let mut degeneracy = 0;
+    for _ in 0..n {
+        // Lowest bucket with a live entry. Buckets hold stale entries
+        // (vertices whose degree dropped after insertion); skip them.
+        let mut d = 0;
+        let v = loop {
+            match buckets[d].pop() {
+                Some(candidate) if !removed[candidate] && degree[candidate] == d => {
+                    break candidate;
+                }
+                Some(_stale) => continue,
+                None => d += 1,
+            }
+        };
+        degeneracy = degeneracy.max(d);
+        removed[v] = true;
+        removal.push(v);
+        for u in graph.neighbors(v) {
+            if !removed[u] {
+                degree[u] -= 1;
+                buckets[degree[u]].push(u);
+            }
+        }
+    }
+    // Smallest-last order = reverse removal order.
+    removal.reverse();
+    Degeneracy {
+        degeneracy,
+        order: removal,
+    }
+}
+
+/// Greedy coloring along the smallest-last order: uses at most
+/// `degeneracy + 1` colors.
+pub fn degeneracy_coloring(graph: &SocialGraph) -> Coloring {
+    let n = graph.vertex_count();
+    let Degeneracy { order, .. } = degeneracy_order(graph);
+    let mut colors = vec![usize::MAX; n];
+    let mut num_colors = 0;
+    let mut used = Vec::new();
+    for &v in &order {
+        used.clear();
+        used.resize(num_colors + 1, false);
+        for u in graph.neighbors(v) {
+            let c = colors[u];
+            if c != usize::MAX && c < used.len() {
+                used[c] = true;
+            }
+        }
+        let color = used.iter().position(|&taken| !taken).expect("slot exists");
+        colors[v] = color;
+        num_colors = num_colors.max(color + 1);
+    }
+    if n == 0 {
+        num_colors = 0;
+    }
+    Coloring { colors, num_colors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clique::max_clique;
+
+    fn assert_proper(graph: &SocialGraph, coloring: &Coloring) {
+        for u in 0..graph.vertex_count() {
+            for v in graph.neighbors(u) {
+                assert_ne!(coloring.colors[u], coloring.colors[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_has_degeneracy_one() {
+        // A path: 0-1-2-3-4.
+        let mut g = SocialGraph::new(5);
+        for v in 0..4 {
+            g.add_edge(v, v + 1, 1.0).unwrap();
+        }
+        let d = degeneracy_order(&g);
+        assert_eq!(d.degeneracy, 1);
+        assert_eq!(d.order.len(), 5);
+        let c = degeneracy_coloring(&g);
+        assert_proper(&g, &c);
+        assert_eq!(c.num_colors, 2, "trees are (d+1)-colorable");
+    }
+
+    #[test]
+    fn complete_graph_degeneracy() {
+        let n = 6;
+        let mut g = SocialGraph::new(n);
+        for u in 0..n {
+            for v in u + 1..n {
+                g.add_edge(u, v, 1.0).unwrap();
+            }
+        }
+        let d = degeneracy_order(&g);
+        assert_eq!(d.degeneracy, n - 1);
+        let c = degeneracy_coloring(&g);
+        assert_proper(&g, &c);
+        assert_eq!(c.num_colors, n);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let d = degeneracy_order(&SocialGraph::new(0));
+        assert_eq!(d.degeneracy, 0);
+        assert!(d.order.is_empty());
+        let d = degeneracy_order(&SocialGraph::new(4));
+        assert_eq!(d.degeneracy, 0);
+        assert_eq!(d.order.len(), 4);
+        let c = degeneracy_coloring(&SocialGraph::new(4));
+        assert_eq!(c.num_colors, 1);
+    }
+
+    #[test]
+    fn degeneracy_plus_one_bounds_clique_number() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 20;
+            let mut g = SocialGraph::new(n);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng.random::<f64>() < 0.3 {
+                        g.add_edge(u, v, 1.0).unwrap();
+                    }
+                }
+            }
+            let d = degeneracy_order(&g);
+            let clique = max_clique(&g);
+            assert!(
+                clique.len() <= d.degeneracy + 1,
+                "seed {seed}: clique {} > degeneracy+1 {}",
+                clique.len(),
+                d.degeneracy + 1
+            );
+            let c = degeneracy_coloring(&g);
+            assert_proper(&g, &c);
+            assert!(c.num_colors <= d.degeneracy + 1);
+        }
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let mut g = SocialGraph::new(7);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4)] {
+            g.add_edge(u, v, 1.0).unwrap();
+        }
+        let d = degeneracy_order(&g);
+        let mut sorted = d.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for graph construction.
+
+use core::fmt;
+
+/// Errors raised by [`crate::SocialGraph`] mutation methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphError {
+    /// A vertex index was `>= vertex_count`.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        count: usize,
+    },
+    /// A self-loop was requested; the social graph is simple.
+    SelfLoop {
+        /// The vertex that tried to join itself.
+        vertex: usize,
+    },
+    /// An edge weight was non-finite or negative.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, count } => {
+                write!(f, "vertex {vertex} out of range for graph with {count} vertices")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex} not allowed"),
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "edge weight {weight} must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            GraphError::VertexOutOfRange { vertex: 9, count: 4 }.to_string(),
+            "vertex 9 out of range for graph with 4 vertices"
+        );
+        assert_eq!(
+            GraphError::SelfLoop { vertex: 2 }.to_string(),
+            "self-loop on vertex 2 not allowed"
+        );
+        assert!(GraphError::InvalidWeight { weight: -1.0 }.to_string().contains("-1"));
+    }
+}

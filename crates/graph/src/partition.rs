@@ -1,0 +1,155 @@
+//! Iterative clique extraction — the outer loop of the paper's Algorithm 1.
+//!
+//! "We pick a maximum clique each time in the graph and delete all vertices
+//! in the clique and all corresponding edges from the graph until there are
+//! no more vertices left." Isolated vertices (users with no strong social
+//! tie) fall out as singleton cliques at the end, matching the algorithm's
+//! LLF fallback for socially unconnected users.
+
+use crate::clique::{max_clique_in_subset_with_budget, Clique, CliqueBudget};
+use crate::SocialGraph;
+
+/// Decomposes `graph` into vertex-disjoint cliques, largest (and, among
+/// equal sizes, heaviest) first. Consumes a clone of the graph; the input
+/// is untouched.
+///
+/// The result covers every vertex exactly once; trailing entries are
+/// singletons for isolated vertices, ordered by ascending vertex index.
+///
+/// # Example
+/// ```
+/// # use s3_graph::{SocialGraph, partition::clique_partition};
+/// let mut g = SocialGraph::new(4);
+/// g.add_edge(0, 1, 0.5)?;
+/// let parts = clique_partition(&g);
+/// let sizes: Vec<usize> = parts.iter().map(|c| c.vertices.len()).collect();
+/// assert_eq!(sizes, vec![2, 1, 1]);
+/// # Ok::<(), s3_graph::GraphError>(())
+/// ```
+pub fn clique_partition(graph: &SocialGraph) -> Vec<Clique> {
+    clique_partition_with_budget(graph, CliqueBudget::default())
+}
+
+/// [`clique_partition`] with an explicit per-extraction node budget.
+pub fn clique_partition_with_budget(graph: &SocialGraph, budget: CliqueBudget) -> Vec<Clique> {
+    let mut work = graph.clone();
+    let mut out = Vec::new();
+    let mut remaining: Vec<bool> = vec![true; graph.vertex_count()];
+
+    loop {
+        // Only vertices that still have edges can form multi-member cliques.
+        let active = work.non_isolated();
+        let active: Vec<usize> = active.into_iter().filter(|&v| remaining[v]).collect();
+        if active.is_empty() {
+            break;
+        }
+        // Search within the still-active subgraph. A truncated extraction
+        // still removes a valid clique, so progress is guaranteed even when
+        // the budget bites.
+        let clique = max_clique_in_subset_with_budget(&work, &active, budget);
+        if clique.len() < 2 {
+            break;
+        }
+        for &v in &clique.vertices {
+            remaining[v] = false;
+        }
+        work.isolate(&clique.vertices);
+        out.push(clique);
+    }
+
+    // Remaining vertices are singletons.
+    for (v, alive) in remaining.iter().enumerate() {
+        if *alive {
+            out.push(Clique {
+                vertices: vec![v],
+                weight_sum: 0.0,
+                truncated: false,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_each_vertex_once() {
+        let mut g = SocialGraph::new(7);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (2, 3)] {
+            g.add_edge(u, v, 0.5).unwrap();
+        }
+        let parts = clique_partition(&g);
+        let mut seen = [false; 7];
+        for c in &parts {
+            for &v in &c.vertices {
+                assert!(!seen[v], "vertex {v} appears twice");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every vertex covered");
+    }
+
+    #[test]
+    fn extracts_triangle_before_edge() {
+        let mut g = SocialGraph::new(5);
+        for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+            g.add_edge(u, v, 0.31).unwrap();
+        }
+        g.add_edge(3, 4, 0.99).unwrap();
+        let parts = clique_partition(&g);
+        assert_eq!(parts[0].vertices, vec![0, 1, 2]);
+        assert_eq!(parts[1].vertices, vec![3, 4]);
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn all_isolated_yields_singletons() {
+        let g = SocialGraph::new(3);
+        let parts = clique_partition(&g);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|c| c.vertices.len() == 1));
+        assert_eq!(parts[0].vertices, vec![0]);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_cliques() {
+        assert!(clique_partition(&SocialGraph::new(0)).is_empty());
+    }
+
+    #[test]
+    fn complete_graph_is_one_clique() {
+        let mut g = SocialGraph::new(5);
+        for u in 0..5 {
+            for v in u + 1..5 {
+                g.add_edge(u, v, 1.0).unwrap();
+            }
+        }
+        let parts = clique_partition(&g);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].vertices, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn input_graph_is_untouched() {
+        let mut g = SocialGraph::new(3);
+        g.add_edge(0, 1, 0.5).unwrap();
+        let before = g.clone();
+        let _ = clique_partition(&g);
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn overlapping_cliques_remove_shared_vertices_correctly() {
+        // Two triangles sharing vertex 2: {0,1,2} and {2,3,4}. After
+        // extracting one triangle, the other collapses to an edge.
+        let mut g = SocialGraph::new(5);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)] {
+            g.add_edge(u, v, 0.4).unwrap();
+        }
+        let parts = clique_partition(&g);
+        let sizes: Vec<usize> = parts.iter().map(|c| c.vertices.len()).collect();
+        assert_eq!(sizes, vec![3, 2]);
+    }
+}

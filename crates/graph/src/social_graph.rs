@@ -1,0 +1,287 @@
+//! The weighted undirected social graph of Section IV.
+//!
+//! Vertices are the users waiting to be allocated; an edge `(u, v)` exists
+//! when the social relation index `δ(u, v)` exceeds the paper's 0.3
+//! threshold, and the edge weight is `δ(u, v)` itself (used to break ties
+//! between equal-sized maximum cliques).
+
+use crate::{BitSet, GraphError};
+
+/// A simple weighted undirected graph with bitset adjacency rows.
+///
+/// Vertex identity is a dense `usize`; callers keep their own mapping from
+/// `UserId` to vertex index (the S³ batch allocator does exactly that).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocialGraph {
+    n: usize,
+    adj: Vec<BitSet>,
+    /// Weight matrix, row-major `n × n`; 0.0 where no edge exists.
+    weights: Vec<f64>,
+    edge_count: usize,
+}
+
+impl SocialGraph {
+    /// Creates an edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        SocialGraph {
+            n,
+            adj: (0..n).map(|_| BitSet::new(n)).collect(),
+            weights: vec![0.0; n * n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    fn check_vertex(&self, v: usize) -> Result<(), GraphError> {
+        if v >= self.n {
+            Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                count: self.n,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds (or re-weights) the undirected edge `(u, v)`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VertexOutOfRange`] when either endpoint is out of
+    /// range, [`GraphError::SelfLoop`] when `u == v`, and
+    /// [`GraphError::InvalidWeight`] for negative or non-finite weights.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) -> Result<(), GraphError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(GraphError::InvalidWeight { weight });
+        }
+        if self.adj[u].insert(v) {
+            self.edge_count += 1;
+        }
+        self.adj[v].insert(u);
+        self.weights[u * self.n + v] = weight;
+        self.weights[v * self.n + u] = weight;
+        Ok(())
+    }
+
+    /// Removes the edge `(u, v)` if present; returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VertexOutOfRange`] when either endpoint is out of range.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> Result<bool, GraphError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let existed = self.adj[u].remove(v);
+        self.adj[v].remove(u);
+        if existed {
+            self.edge_count -= 1;
+            self.weights[u * self.n + v] = 0.0;
+            self.weights[v * self.n + u] = 0.0;
+        }
+        Ok(existed)
+    }
+
+    /// True when `(u, v)` is an edge. Out-of-range queries are just `false`.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n && self.adj[u].contains(v)
+    }
+
+    /// The weight of `(u, v)`, or 0.0 when absent.
+    #[inline]
+    pub fn weight(&self, u: usize, v: usize) -> f64 {
+        if self.has_edge(u, v) {
+            self.weights[u * self.n + v]
+        } else {
+            0.0
+        }
+    }
+
+    /// The adjacency row of `u` as a bitset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &BitSet {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Vertices with at least one incident edge.
+    pub fn non_isolated(&self) -> Vec<usize> {
+        (0..self.n).filter(|&v| !self.adj[v].is_empty()).collect()
+    }
+
+    /// Sum of `weight(u, v)` over unordered pairs of `vertices` — the
+    /// "sum of edges" tie-break of Algorithm 1.
+    pub fn weight_sum(&self, vertices: &[usize]) -> f64 {
+        let mut total = 0.0;
+        for (i, &u) in vertices.iter().enumerate() {
+            for &v in &vertices[i + 1..] {
+                total += self.weight(u, v);
+            }
+        }
+        total
+    }
+
+    /// True when `vertices` induces a complete subgraph.
+    pub fn is_clique(&self, vertices: &[usize]) -> bool {
+        for (i, &u) in vertices.iter().enumerate() {
+            for &v in &vertices[i + 1..] {
+                if !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Removes every edge incident to each vertex in `vertices` (the
+    /// "erase the clique from the graph" step of Algorithm 1). The vertex
+    /// indices stay valid; they just become isolated.
+    pub fn isolate(&mut self, vertices: &[usize]) {
+        for &u in vertices {
+            if u >= self.n {
+                continue;
+            }
+            let neighbors: Vec<usize> = self.adj[u].iter().collect();
+            for v in neighbors {
+                self.remove_edge(u, v).expect("endpoints validated");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_edge() -> SocialGraph {
+        let mut g = SocialGraph::new(5);
+        g.add_edge(0, 1, 0.5).unwrap();
+        g.add_edge(1, 2, 0.6).unwrap();
+        g.add_edge(0, 2, 0.7).unwrap();
+        g.add_edge(3, 4, 0.9).unwrap();
+        g
+    }
+
+    #[test]
+    fn add_edge_is_symmetric() {
+        let g = triangle_plus_edge();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert_eq!(g.weight(0, 1), 0.5);
+        assert_eq!(g.weight(1, 0), 0.5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.vertex_count(), 5);
+    }
+
+    #[test]
+    fn re_adding_updates_weight_not_count() {
+        let mut g = triangle_plus_edge();
+        g.add_edge(0, 1, 0.99).unwrap();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.weight(0, 1), 0.99);
+    }
+
+    #[test]
+    fn constructor_errors() {
+        let mut g = SocialGraph::new(3);
+        assert_eq!(
+            g.add_edge(0, 3, 0.5),
+            Err(GraphError::VertexOutOfRange { vertex: 3, count: 3 })
+        );
+        assert_eq!(g.add_edge(1, 1, 0.5), Err(GraphError::SelfLoop { vertex: 1 }));
+        assert_eq!(
+            g.add_edge(0, 1, -0.5),
+            Err(GraphError::InvalidWeight { weight: -0.5 })
+        );
+        assert!(matches!(
+            g.add_edge(0, 1, f64::NAN).unwrap_err(),
+            GraphError::InvalidWeight { .. }
+        ));
+    }
+
+    #[test]
+    fn remove_edge_round_trip() {
+        let mut g = triangle_plus_edge();
+        assert!(g.remove_edge(0, 1).unwrap());
+        assert!(!g.remove_edge(0, 1).unwrap());
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.weight(0, 1), 0.0);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = triangle_plus_edge();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.neighbors(1).iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(g.non_isolated(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn weight_sum_over_subset() {
+        let g = triangle_plus_edge();
+        let total = g.weight_sum(&[0, 1, 2]);
+        assert!((total - 1.8).abs() < 1e-12);
+        // Non-adjacent pairs contribute zero.
+        assert!((g.weight_sum(&[0, 3]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clique_detection() {
+        let g = triangle_plus_edge();
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(g.is_clique(&[3, 4]));
+        assert!(g.is_clique(&[2])); // singletons are cliques
+        assert!(g.is_clique(&[])); // and so is the empty set
+        assert!(!g.is_clique(&[0, 1, 3]));
+    }
+
+    #[test]
+    fn isolate_erases_incident_edges() {
+        let mut g = triangle_plus_edge();
+        g.isolate(&[0]);
+        assert_eq!(g.degree(0), 0);
+        assert!(g.has_edge(1, 2), "unrelated edges survive");
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.non_isolated(), vec![1, 2, 3, 4]);
+        // Out-of-range vertices in the list are ignored.
+        g.isolate(&[99]);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SocialGraph::new(0);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.non_isolated().is_empty());
+    }
+}

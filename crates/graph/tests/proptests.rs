@@ -1,0 +1,147 @@
+//! Property tests for the graph algorithms: model-based bitset checks,
+//! proper colorings, and clique-search invariants against a brute-force
+//! oracle on small graphs.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use s3_graph::clique::{max_clique, max_clique_in_subset};
+use s3_graph::coloring::greedy_coloring;
+use s3_graph::{BitSet, SocialGraph};
+
+/// Brute-force maximum clique size on ≤ 16 vertices.
+fn brute_force_clique_number(g: &SocialGraph) -> usize {
+    let n = g.vertex_count();
+    assert!(n <= 16);
+    let mut best = 0;
+    for mask in 0u32..(1 << n) {
+        let members: Vec<usize> = (0..n).filter(|&v| mask & (1 << v) != 0).collect();
+        if members.len() > best && g.is_clique(&members) {
+            best = members.len();
+        }
+    }
+    best
+}
+
+fn graph_from_edges(n: usize, edges: &[(usize, usize, f64)]) -> SocialGraph {
+    let mut g = SocialGraph::new(n);
+    for &(u, v, w) in edges {
+        if u != v {
+            g.add_edge(u % n, v % n, w).unwrap();
+        }
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn bitset_behaves_like_hashset(ops in prop::collection::vec((0usize..3, 0usize..100), 0..300)) {
+        let mut bitset = BitSet::new(100);
+        let mut model: HashSet<usize> = HashSet::new();
+        for (op, value) in ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(bitset.insert(value), model.insert(value));
+                }
+                1 => {
+                    prop_assert_eq!(bitset.remove(value), model.remove(&value));
+                }
+                _ => {
+                    prop_assert_eq!(bitset.contains(value), model.contains(&value));
+                }
+            }
+            prop_assert_eq!(bitset.len(), model.len());
+        }
+        let mut collected: Vec<usize> = bitset.iter().collect();
+        let mut expected: Vec<usize> = model.into_iter().collect();
+        expected.sort_unstable();
+        collected.sort_unstable();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn bitset_set_algebra_matches_hashsets(
+        a in prop::collection::vec(0usize..64, 0..40),
+        b in prop::collection::vec(0usize..64, 0..40),
+    ) {
+        let mut sa = BitSet::new(64);
+        let mut sb = BitSet::new(64);
+        let ha: HashSet<usize> = a.iter().copied().collect();
+        let hb: HashSet<usize> = b.iter().copied().collect();
+        for v in &a { sa.insert(*v); }
+        for v in &b { sb.insert(*v); }
+
+        let inter: HashSet<usize> = sa.intersection(&sb).iter().collect();
+        prop_assert_eq!(inter, ha.intersection(&hb).copied().collect::<HashSet<_>>());
+
+        let mut union = sa.clone();
+        union.union_with(&sb);
+        let union: HashSet<usize> = union.iter().collect();
+        prop_assert_eq!(union, ha.union(&hb).copied().collect::<HashSet<_>>());
+
+        let mut diff = sa.clone();
+        diff.difference_with(&sb);
+        let diff: HashSet<usize> = diff.iter().collect();
+        prop_assert_eq!(diff, ha.difference(&hb).copied().collect::<HashSet<_>>());
+    }
+
+    #[test]
+    fn coloring_is_always_proper(
+        edges in prop::collection::vec((0usize..20, 0usize..20, 0.1f64..1.0), 0..120)
+    ) {
+        let g = graph_from_edges(20, &edges);
+        let c = greedy_coloring(&g);
+        for u in 0..20 {
+            for v in g.neighbors(u) {
+                prop_assert_ne!(c.colors[u], c.colors[v]);
+            }
+        }
+        prop_assert!(c.num_colors >= 1);
+        prop_assert!(c.num_colors <= 20);
+    }
+
+    #[test]
+    fn max_clique_matches_brute_force(
+        edges in prop::collection::vec((0usize..10, 0usize..10, 0.1f64..1.0), 0..40)
+    ) {
+        let g = graph_from_edges(10, &edges);
+        let found = max_clique(&g);
+        let oracle = brute_force_clique_number(&g);
+        // On a graph with ≥1 vertex the empty clique never wins.
+        prop_assert_eq!(found.len(), oracle.max(1));
+        prop_assert!(g.is_clique(&found.vertices));
+    }
+
+    #[test]
+    fn coloring_upper_bounds_clique_number(
+        edges in prop::collection::vec((0usize..12, 0usize..12, 0.1f64..1.0), 0..60)
+    ) {
+        let g = graph_from_edges(12, &edges);
+        let c = greedy_coloring(&g);
+        let clique = max_clique(&g);
+        prop_assert!(
+            c.num_colors >= clique.len(),
+            "coloring used {} colors but clique number is {}",
+            c.num_colors,
+            clique.len()
+        );
+    }
+
+    #[test]
+    fn subset_clique_never_exceeds_full_clique(
+        edges in prop::collection::vec((0usize..12, 0usize..12, 0.1f64..1.0), 0..60),
+        subset in prop::collection::vec(0usize..12, 1..8),
+    ) {
+        let g = graph_from_edges(12, &edges);
+        let subset: Vec<usize> = {
+            let s: HashSet<usize> = subset.into_iter().collect();
+            s.into_iter().collect()
+        };
+        let sub = max_clique_in_subset(&g, &subset);
+        let full = max_clique(&g);
+        prop_assert!(sub.len() <= full.len());
+        prop_assert!(sub.vertices.iter().all(|v| subset.contains(v)));
+        prop_assert!(g.is_clique(&sub.vertices));
+    }
+}

@@ -1,0 +1,302 @@
+//! Empirical distribution functions, quantiles and histograms.
+//!
+//! Figures 2, 3 and 5 of the paper are all CDF plots; [`Ecdf`] produces the
+//! exact step function and evenly sampled curves ready for CSV output.
+
+use crate::StatsError;
+
+/// An empirical CDF over a finite sample.
+///
+/// Construction sorts (O(n log n)); evaluation is a binary search (O(log n)).
+///
+/// # Example
+/// ```
+/// # use s3_stats::cdf::Ecdf;
+/// let cdf = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0])?;
+/// assert_eq!(cdf.eval(0.0), 0.0);
+/// assert_eq!(cdf.eval(2.0), 0.75);
+/// assert_eq!(cdf.eval(9.0), 1.0);
+/// assert_eq!(cdf.quantile(0.5), 2.0);
+/// # Ok::<(), s3_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from a sample, taking ownership of the buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptyInput`] for an empty sample;
+    /// [`StatsError::InvalidSample`] for NaN/∞ entries.
+    pub fn new(mut samples: Vec<f64>) -> Result<Self, StatsError> {
+        if samples.is_empty() {
+            return Err(StatsError::EmptyInput { what: "ecdf" });
+        }
+        for (index, &x) in samples.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(StatsError::InvalidSample { what: "ecdf", index });
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ok(Ecdf { sorted: samples })
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false — construction rejects empty samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile with the inverted-CDF (type-1) definition: the
+    /// smallest sample `v` with `P(X ≤ v) ≥ q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of [0,1]: {q}");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let rank = (q * n as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Samples the CDF curve at `points` evenly spaced x-values spanning
+    /// `[min, max]`, returning `(x, F(x))` pairs — the series a figure plots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least 2 curve points");
+        let (lo, hi) = (self.min(), self.max());
+        let span = hi - lo;
+        (0..points)
+            .map(|i| {
+                let x = if span == 0.0 {
+                    lo
+                } else {
+                    lo + span * i as f64 / (points - 1) as f64
+                };
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Fraction of samples lying strictly below `x` — convenience for the
+    /// "share of time the index is < 0.5" readings quoted in the paper.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v < x);
+        idx as f64 / self.sorted.len() as f64
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    /// Samples that fell outside `[lo, hi)`.
+    outliers: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins on `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::BadParameter`] if `bins == 0`, bounds are non-finite, or
+    /// `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 || !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(StatsError::BadParameter {
+                what: "histogram",
+                detail: format!("invalid bounds [{lo}, {hi}) with {bins} bins"),
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            outliers: 0,
+        })
+    }
+
+    /// Adds one sample. Non-finite samples count as outliers.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if !x.is_finite() || x < self.lo || x >= self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of samples added (including outliers).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples that fell outside the range.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// `(bin_center, density)` pairs normalized so the in-range mass
+    /// integrates to the in-range fraction.
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let denom = self.total.max(1) as f64 * width;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c as f64 / denom))
+            .collect()
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_step_values() {
+        let cdf = Ecdf::new(vec![3.0, 1.0, 2.0, 2.0]).unwrap();
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(1.5), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(3.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_rejects_empty_and_nan() {
+        assert!(matches!(Ecdf::new(vec![]), Err(StatsError::EmptyInput { .. })));
+        assert!(matches!(
+            Ecdf::new(vec![1.0, f64::NAN]),
+            Err(StatsError::InvalidSample { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn quantiles() {
+        let cdf = Ecdf::new((1..=10).map(f64::from).collect()).unwrap();
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(0.1), 1.0);
+        assert_eq!(cdf.quantile(0.5), 5.0);
+        assert_eq!(cdf.quantile(1.0), 10.0);
+        assert_eq!(cdf.min(), 1.0);
+        assert_eq!(cdf.max(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of [0,1]")]
+    fn quantile_out_of_range_panics() {
+        let cdf = Ecdf::new(vec![1.0]).unwrap();
+        let _ = cdf.quantile(1.5);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let cdf = Ecdf::new(vec![0.2, 0.4, 0.9, 0.95, 0.5]).unwrap();
+        let curve = cdf.curve(20);
+        assert_eq!(curve.len(), 20);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be non-decreasing");
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn curve_handles_constant_sample() {
+        let cdf = Ecdf::new(vec![2.0, 2.0]).unwrap();
+        let curve = cdf.curve(3);
+        assert!(curve.iter().all(|&(x, f)| x == 2.0 && f == 1.0));
+    }
+
+    #[test]
+    fn fraction_below_is_strict() {
+        let cdf = Ecdf::new(vec![0.5, 0.5, 0.7]).unwrap();
+        assert!((cdf.fraction_below(0.5) - 0.0).abs() < 1e-12);
+        assert!((cdf.fraction_below(0.6) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.extend([0.1, 0.3, 0.3, 0.9, 1.5, -0.2, f64::NAN]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.outliers(), 3);
+        assert_eq!(h.counts(), &[1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn histogram_upper_edge_goes_to_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(0.999999999);
+        assert_eq!(h.counts(), &[0, 1]);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_bounds() {
+        assert!(Histogram::new(1.0, 0.0, 3).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn density_sums_to_in_range_fraction() {
+        let mut h = Histogram::new(0.0, 2.0, 4).unwrap();
+        h.extend([0.1, 0.6, 1.1, 1.6, 5.0]);
+        let width = 0.5;
+        let mass: f64 = h.density().iter().map(|&(_, d)| d * width).sum();
+        assert!((mass - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Correlation coefficients: Pearson's r and Spearman's ρ.
+//!
+//! The paper cites Spearman's classic paper and argues that the user-count
+//! and traffic balance series of Fig. 4 move together; these helpers put a
+//! number on "very similar in layout".
+
+use crate::StatsError;
+
+fn validate_pair(what: &'static str, x: &[f64], y: &[f64]) -> Result<(), StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::BadParameter {
+            what,
+            detail: format!("series lengths differ: {} vs {}", x.len(), y.len()),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::EmptyInput { what });
+    }
+    for (index, v) in x.iter().chain(y).enumerate() {
+        if !v.is_finite() {
+            return Err(StatsError::InvalidSample {
+                what,
+                index: index % x.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Pearson's product-moment correlation of two equal-length series.
+///
+/// Returns 0 when either series is constant (no linear relation defined).
+///
+/// # Errors
+///
+/// [`StatsError::BadParameter`] on length mismatch;
+/// [`StatsError::EmptyInput`] for fewer than two points;
+/// [`StatsError::InvalidSample`] on non-finite entries.
+///
+/// # Example
+/// ```
+/// # use s3_stats::correlation::pearson;
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((pearson(&x, &y)? - 1.0).abs() < 1e-12);
+/// # Ok::<(), s3_stats::StatsError>(())
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    validate_pair("pearson", x, y)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok((cov / (vx * vy).sqrt()).clamp(-1.0, 1.0))
+}
+
+/// Mid-ranks of a series (ties share the average rank).
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; tied entries share the mean rank.
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman's rank correlation: Pearson's r over mid-ranks (tie-aware).
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+///
+/// # Example
+/// ```
+/// # use s3_stats::correlation::spearman;
+/// // Monotone but non-linear: ρ = 1 while r < 1.
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [1.0, 8.0, 27.0, 64.0];
+/// assert!((spearman(&x, &y)? - 1.0).abs() < 1e-12);
+/// # Ok::<(), s3_stats::StatsError>(())
+/// ```
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    validate_pair("spearman", x, y)?;
+    pearson(&ranks(x), &ranks(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_inverse_correlation() {
+        let x = [1.0, 2.0, 3.0];
+        assert!((pearson(&x, &[10.0, 20.0, 30.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &[3.0, 2.0, 1.0]).unwrap() + 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &[3.0, 2.0, 1.0]).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).unwrap(), 0.0);
+        assert_eq!(spearman(&[5.0, 5.0], &[1.0, 2.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn independent_is_near_zero() {
+        // Orthogonal patterns.
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let y = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_ignores_monotone_distortion() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        let r = pearson(&x, &y).unwrap();
+        let rho = spearman(&x, &y).unwrap();
+        assert!(rho > r, "rank correlation must beat linear on convex data");
+        assert!((rho - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ranks(&[7.0, 7.0, 7.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            pearson(&[1.0], &[1.0]),
+            Err(StatsError::EmptyInput { .. })
+        ));
+        assert!(matches!(
+            pearson(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::BadParameter { .. })
+        ));
+        assert!(matches!(
+            spearman(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(StatsError::InvalidSample { .. })
+        ));
+    }
+
+    #[test]
+    fn correlation_is_symmetric() {
+        let x = [1.0, 4.0, 2.0, 8.0, 5.0];
+        let y = [2.0, 3.0, 1.0, 9.0, 4.0];
+        assert!((pearson(&x, &y).unwrap() - pearson(&y, &x).unwrap()).abs() < 1e-12);
+        assert!((spearman(&x, &y).unwrap() - spearman(&y, &x).unwrap()).abs() < 1e-12);
+    }
+}

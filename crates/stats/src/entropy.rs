@@ -1,0 +1,327 @@
+//! Entropy, mutual information and the paper's NMI profile-stability
+//! estimator (Section III-D2, Fig. 6).
+//!
+//! The paper compares a user's application profile on day `x` with the
+//! profile aggregated over days `x−1 … x−n` and reports the *normalized
+//! mutual information* `NMI = I(T_x; T_hist) / H(T_x)`, averaged over users.
+//!
+//! MI between two single probability vectors is not well defined, so — as
+//! recorded in DESIGN.md — we use a population-level quantized estimator:
+//! every (user, realm) pair contributes one sample `(q(share now),
+//! q(share in history))` where `q` quantizes a share into `levels` equal
+//! bins; MI is then the standard plug-in estimator on the resulting joint
+//! histogram. As the history window grows the history share becomes a better
+//! predictor of the current share, so NMI rises and then plateaus exactly as
+//! in Fig. 6.
+
+use crate::StatsError;
+
+/// Shannon entropy (nats are boring; we use bits) of a discrete distribution
+/// given as non-negative weights. Weights are normalized internally.
+///
+/// # Errors
+///
+/// [`StatsError::EmptyInput`] if `weights` is empty or sums to zero;
+/// [`StatsError::InvalidSample`] on negative/non-finite weights.
+///
+/// # Example
+/// ```
+/// # use s3_stats::entropy::entropy_bits;
+/// let h = entropy_bits(&[1.0, 1.0, 1.0, 1.0])?;
+/// assert!((h - 2.0).abs() < 1e-12);
+/// # Ok::<(), s3_stats::StatsError>(())
+/// ```
+pub fn entropy_bits(weights: &[f64]) -> Result<f64, StatsError> {
+    if weights.is_empty() {
+        return Err(StatsError::EmptyInput { what: "entropy" });
+    }
+    let mut total = 0.0;
+    for (index, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w < 0.0 {
+            return Err(StatsError::InvalidSample {
+                what: "entropy",
+                index,
+            });
+        }
+        total += w;
+    }
+    if total == 0.0 {
+        return Err(StatsError::EmptyInput { what: "entropy" });
+    }
+    let mut h = 0.0;
+    for &w in weights {
+        if w > 0.0 {
+            let p = w / total;
+            h -= p * p.log2();
+        }
+    }
+    Ok(h)
+}
+
+/// A joint histogram over two discrete variables with `rows × cols` cells,
+/// accumulated one observation at a time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointHistogram {
+    rows: usize,
+    cols: usize,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl JointHistogram {
+    /// Creates an empty `rows × cols` joint histogram.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::BadParameter`] if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, StatsError> {
+        if rows == 0 || cols == 0 {
+            return Err(StatsError::BadParameter {
+                what: "joint_histogram",
+                detail: format!("dimensions {rows}x{cols} must be positive"),
+            });
+        }
+        Ok(JointHistogram {
+            rows,
+            cols,
+            counts: vec![0; rows * cols],
+            total: 0,
+        })
+    }
+
+    /// Records one `(x, y)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= rows` or `y >= cols`.
+    pub fn record(&mut self, x: usize, y: usize) {
+        assert!(x < self.rows && y < self.cols, "cell ({x},{y}) out of range");
+        self.counts[x * self.cols + y] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Marginal entropy of the row variable, in bits.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptyInput`] if no observations were recorded.
+    pub fn entropy_x(&self) -> Result<f64, StatsError> {
+        let marg: Vec<f64> = (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.counts[r * self.cols + c] as f64).sum())
+            .collect();
+        entropy_bits(&marg)
+    }
+
+    /// Marginal entropy of the column variable, in bits.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptyInput`] if no observations were recorded.
+    pub fn entropy_y(&self) -> Result<f64, StatsError> {
+        let marg: Vec<f64> = (0..self.cols)
+            .map(|c| (0..self.rows).map(|r| self.counts[r * self.cols + c] as f64).sum())
+            .collect();
+        entropy_bits(&marg)
+    }
+
+    /// Joint entropy `H(X, Y)` in bits.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptyInput`] if no observations were recorded.
+    pub fn joint_entropy(&self) -> Result<f64, StatsError> {
+        let weights: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        entropy_bits(&weights)
+    }
+
+    /// Mutual information `I(X;Y) = H(X) + H(Y) − H(X,Y)` in bits, clamped
+    /// at zero against floating-point noise.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptyInput`] if no observations were recorded.
+    pub fn mutual_information(&self) -> Result<f64, StatsError> {
+        let hx = self.entropy_x()?;
+        let hy = self.entropy_y()?;
+        let hxy = self.joint_entropy()?;
+        Ok((hx + hy - hxy).max(0.0))
+    }
+
+    /// The paper's NMI: `I(X;Y) / H(X)` (normalized by the *current-day*
+    /// entropy). Defined as 1 when `H(X) = 0` and `I = 0` (a deterministic
+    /// variable predicts itself perfectly), else 0 when `H(X) = 0`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptyInput`] if no observations were recorded.
+    pub fn nmi(&self) -> Result<f64, StatsError> {
+        let hx = self.entropy_x()?;
+        let mi = self.mutual_information()?;
+        if hx == 0.0 {
+            return Ok(1.0);
+        }
+        Ok((mi / hx).clamp(0.0, 1.0))
+    }
+}
+
+/// Quantizes a share in `[0,1]` into `levels` equal bins (share 1.0 maps to
+/// the top bin).
+///
+/// # Panics
+///
+/// Panics if `levels == 0`.
+pub fn quantize_share(share: f64, levels: usize) -> usize {
+    assert!(levels > 0, "levels must be positive");
+    let s = share.clamp(0.0, 1.0);
+    ((s * levels as f64) as usize).min(levels - 1)
+}
+
+/// The Fig. 6 estimator: population NMI between "current day" profile shares
+/// and "history window" profile shares.
+///
+/// `pairs` yields one `(current_share, history_share)` sample per
+/// (user, realm); shares are quantized into `levels` bins.
+///
+/// # Errors
+///
+/// [`StatsError::EmptyInput`] if `pairs` is empty;
+/// [`StatsError::BadParameter`] if `levels == 0`.
+pub fn profile_nmi<I>(pairs: I, levels: usize) -> Result<f64, StatsError>
+where
+    I: IntoIterator<Item = (f64, f64)>,
+{
+    if levels == 0 {
+        return Err(StatsError::BadParameter {
+            what: "profile_nmi",
+            detail: "levels must be positive".to_string(),
+        });
+    }
+    let mut hist = JointHistogram::new(levels, levels)?;
+    for (cur, old) in pairs {
+        hist.record(quantize_share(cur, levels), quantize_share(old, levels));
+    }
+    if hist.total() == 0 {
+        return Err(StatsError::EmptyInput { what: "profile_nmi" });
+    }
+    hist.nmi()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_uniform() {
+        assert!((entropy_bits(&[0.25; 4]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((entropy_bits(&[2.0, 2.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_deterministic_is_zero() {
+        assert_eq!(entropy_bits(&[1.0, 0.0, 0.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn entropy_rejects_bad_input() {
+        assert!(entropy_bits(&[]).is_err());
+        assert!(entropy_bits(&[0.0, 0.0]).is_err());
+        assert!(entropy_bits(&[1.0, -0.5]).is_err());
+    }
+
+    #[test]
+    fn perfectly_correlated_nmi_is_one() {
+        let mut h = JointHistogram::new(4, 4).unwrap();
+        for i in 0..4 {
+            for _ in 0..10 {
+                h.record(i, i);
+            }
+        }
+        assert!((h.nmi().unwrap() - 1.0).abs() < 1e-12);
+        assert!((h.mutual_information().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_nmi_is_zero() {
+        let mut h = JointHistogram::new(2, 2).unwrap();
+        for x in 0..2 {
+            for y in 0..2 {
+                for _ in 0..25 {
+                    h.record(x, y);
+                }
+            }
+        }
+        assert!(h.nmi().unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_x_nmi_is_one_by_convention() {
+        let mut h = JointHistogram::new(3, 3).unwrap();
+        for y in 0..3 {
+            h.record(0, y);
+        }
+        assert_eq!(h.nmi().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn mi_never_negative() {
+        let mut h = JointHistogram::new(3, 3).unwrap();
+        // slightly noisy diagonal
+        for i in 0..3 {
+            for _ in 0..5 {
+                h.record(i, i);
+            }
+            h.record(i, (i + 1) % 3);
+        }
+        assert!(h.mutual_information().unwrap() >= 0.0);
+        let nmi = h.nmi().unwrap();
+        assert!(nmi > 0.0 && nmi < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_out_of_range_panics() {
+        let mut h = JointHistogram::new(2, 2).unwrap();
+        h.record(2, 0);
+    }
+
+    #[test]
+    fn quantize_edges() {
+        assert_eq!(quantize_share(0.0, 8), 0);
+        assert_eq!(quantize_share(1.0, 8), 7);
+        assert_eq!(quantize_share(0.5, 8), 4);
+        assert_eq!(quantize_share(-3.0, 8), 0);
+        assert_eq!(quantize_share(7.0, 8), 7);
+    }
+
+    #[test]
+    fn profile_nmi_identity_pairs_are_perfect() {
+        let pairs: Vec<(f64, f64)> = (0..100).map(|i| {
+            let s = i as f64 / 99.0;
+            (s, s)
+        }).collect();
+        let nmi = profile_nmi(pairs, 8).unwrap();
+        assert!((nmi - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_nmi_independent_pairs_are_zero() {
+        // Every (current level, history level) combination appears equally
+        // often → exactly independent → NMI 0.
+        let pairs: Vec<(f64, f64)> = (0..64)
+            .map(|i| ((i % 8) as f64 / 8.0 + 0.01, ((i / 8) % 8) as f64 / 8.0 + 0.01))
+            .collect();
+        let nmi = profile_nmi(pairs, 8).unwrap();
+        assert!(nmi < 1e-9, "nmi unexpectedly high: {nmi}");
+    }
+
+    #[test]
+    fn profile_nmi_errors() {
+        assert!(profile_nmi(Vec::<(f64, f64)>::new(), 8).is_err());
+        assert!(profile_nmi(vec![(0.5, 0.5)], 0).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for statistical routines.
+
+use core::fmt;
+
+/// Errors raised by the statistics routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// An input slice was empty where at least one sample is required.
+    EmptyInput {
+        /// Which routine complained.
+        what: &'static str,
+    },
+    /// A sample was negative or non-finite where the routine requires
+    /// non-negative finite values (e.g. throughput for the balance index).
+    InvalidSample {
+        /// Which routine complained.
+        what: &'static str,
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// A parameter was outside its allowed range.
+    BadParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// Clustering was asked for more clusters than there are points.
+    TooFewPoints {
+        /// Points supplied.
+        points: usize,
+        /// Clusters requested.
+        k: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput { what } => write!(f, "{what}: input is empty"),
+            StatsError::InvalidSample { what, index } => {
+                write!(f, "{what}: sample {index} is negative or non-finite")
+            }
+            StatsError::BadParameter { what, detail } => write!(f, "{what}: {detail}"),
+            StatsError::TooFewPoints { points, k } => {
+                write!(f, "k-means: {k} clusters requested but only {points} points")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            StatsError::EmptyInput { what: "cdf" }.to_string(),
+            "cdf: input is empty"
+        );
+        assert_eq!(
+            StatsError::TooFewPoints { points: 2, k: 4 }.to_string(),
+            "k-means: 4 clusters requested but only 2 points"
+        );
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<StatsError>();
+    }
+}

@@ -1,0 +1,400 @@
+//! k-means clustering (k-means++ seeding, Lloyd iterations).
+//!
+//! The paper clusters per-user application profiles (6-dim simplex vectors)
+//! into `k = 4` groups (Fig. 8); `k` itself is chosen by the gap statistic in
+//! [`crate::gap`]. The implementation is dimension-generic so the gap
+//! statistic can feed uniform reference data through the same code path.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::StatsError;
+
+/// Tuning knobs for [`fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansConfig {
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on total centroid movement (L2).
+    pub tol: f64,
+    /// Number of independent restarts; the best inertia wins.
+    pub restarts: usize,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            max_iters: 100,
+            tol: 1e-9,
+            restarts: 4,
+        }
+    }
+}
+
+/// Result of a k-means fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// `k` centroids, each of the input dimension.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input point, values in `0..k`.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+}
+
+impl KMeansResult {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Points per cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn validate(points: &[Vec<f64>], k: usize) -> Result<usize, StatsError> {
+    if points.is_empty() {
+        return Err(StatsError::EmptyInput { what: "kmeans" });
+    }
+    if k == 0 {
+        return Err(StatsError::BadParameter {
+            what: "kmeans",
+            detail: "k must be positive".to_string(),
+        });
+    }
+    if points.len() < k {
+        return Err(StatsError::TooFewPoints {
+            points: points.len(),
+            k,
+        });
+    }
+    let dim = points[0].len();
+    if dim == 0 {
+        return Err(StatsError::BadParameter {
+            what: "kmeans",
+            detail: "points must have positive dimension".to_string(),
+        });
+    }
+    for (index, p) in points.iter().enumerate() {
+        if p.len() != dim {
+            return Err(StatsError::BadParameter {
+                what: "kmeans",
+                detail: format!("point {index} has dimension {} (expected {dim})", p.len()),
+            });
+        }
+        if p.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::InvalidSample {
+                what: "kmeans",
+                index,
+            });
+        }
+    }
+    Ok(dim)
+}
+
+/// k-means++ seeding: the first centroid is uniform, later ones are sampled
+/// proportional to squared distance to the nearest already-chosen centroid.
+fn seed_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = rng.random_range(0..points.len());
+    centroids.push(points[first].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let idx = if total <= 0.0 {
+            // All remaining points coincide with a centroid; pick uniformly.
+            rng.random_range(0..points.len())
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centroids.push(points[idx].clone());
+        let newest = centroids.last().expect("just pushed");
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, newest);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+fn lloyd(
+    points: &[Vec<f64>],
+    mut centroids: Vec<Vec<f64>>,
+    dim: usize,
+    config: &KMeansConfig,
+) -> KMeansResult {
+    let k = centroids.len();
+    let mut assignments = vec![0usize; points.len()];
+    for _ in 0..config.max_iters {
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the point farthest from its
+                // current centroid to keep exactly k clusters alive.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        sq_dist(a, &centroids[assignments[0]])
+                            .partial_cmp(&sq_dist(b, &centroids[assignments[0]]))
+                            .expect("finite")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty points");
+                movement += sq_dist(&centroids[c], &points[far]).sqrt();
+                centroids[c] = points[far].clone();
+                continue;
+            }
+            let mut new_c = sums[c].clone();
+            for x in &mut new_c {
+                *x /= counts[c] as f64;
+            }
+            movement += sq_dist(&centroids[c], &new_c).sqrt();
+            centroids[c] = new_c;
+        }
+        if movement <= config.tol {
+            break;
+        }
+    }
+    // Final assignment + inertia against the converged centroids.
+    let mut inertia = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (c, centroid) in centroids.iter().enumerate() {
+            let d = sq_dist(p, centroid);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        assignments[i] = best;
+        inertia += best_d;
+    }
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+    }
+}
+
+/// Fits k-means with `config.restarts` k-means++ restarts and returns the
+/// run with the lowest inertia. Deterministic for a fixed `seed`.
+///
+/// # Errors
+///
+/// [`StatsError::EmptyInput`] / [`StatsError::TooFewPoints`] /
+/// [`StatsError::BadParameter`] / [`StatsError::InvalidSample`] on malformed
+/// input, as described on each variant.
+///
+/// # Example
+/// ```
+/// # use s3_stats::kmeans::{fit, KMeansConfig};
+/// let pts = vec![
+///     vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1],
+///     vec![5.0, 5.0], vec![5.1, 5.0], vec![5.0, 5.1],
+/// ];
+/// let fit = fit(&pts, 2, &KMeansConfig::default(), 7)?;
+/// assert_eq!(fit.k(), 2);
+/// assert_eq!(fit.assignments[0], fit.assignments[1]);
+/// assert_ne!(fit.assignments[0], fit.assignments[3]);
+/// # Ok::<(), s3_stats::StatsError>(())
+/// ```
+pub fn fit(
+    points: &[Vec<f64>],
+    k: usize,
+    config: &KMeansConfig,
+    seed: u64,
+) -> Result<KMeansResult, StatsError> {
+    let dim = validate(points, k)?;
+    if config.restarts == 0 {
+        return Err(StatsError::BadParameter {
+            what: "kmeans",
+            detail: "restarts must be positive".to_string(),
+        });
+    }
+    let mut best: Option<KMeansResult> = None;
+    for restart in 0..config.restarts {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(restart as u64 * 0x9E37_79B9));
+        let seeds = seed_plus_plus(points, k, &mut rng);
+        let result = lloyd(points, seeds, dim, config);
+        let better = match &best {
+            None => true,
+            Some(b) => result.inertia < b.inertia,
+        };
+        if better {
+            best = Some(result);
+        }
+    }
+    Ok(best.expect("restarts >= 1"))
+}
+
+/// Within-cluster dispersion `W_k = Σ_clusters ½·(pairwise squared dists)/n_r`
+/// as used by the gap statistic. Computed equivalently as
+/// `Σ_points ‖x − centroid‖²` (identical for Euclidean distance).
+pub fn within_dispersion(points: &[Vec<f64>], result: &KMeansResult) -> f64 {
+    let mut w = 0.0;
+    for (p, &a) in points.iter().zip(&result.assignments) {
+        w += sq_dist(p, &result.centroids[a]);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let j = i as f64 * 0.01;
+            pts.push(vec![j, -j]);
+            pts.push(vec![10.0 + j, 10.0 - j]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let fit = fit(&pts, 2, &KMeansConfig::default(), 42).unwrap();
+        let a0 = fit.assignments[0];
+        for i in (0..pts.len()).step_by(2) {
+            assert_eq!(fit.assignments[i], a0);
+        }
+        for i in (1..pts.len()).step_by(2) {
+            assert_ne!(fit.assignments[i], a0);
+        }
+        let sizes = fit.cluster_sizes();
+        assert_eq!(sizes, vec![20, 20]);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let pts = two_blobs();
+        let a = fit(&pts, 3, &KMeansConfig::default(), 5).unwrap();
+        let b = fit(&pts, 3, &KMeansConfig::default(), 5).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let fit = fit(&pts, 3, &KMeansConfig::default(), 1).unwrap();
+        assert!(fit.inertia < 1e-18);
+        let mut sorted = fit.cluster_sizes();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
+        let fit = fit(&pts, 1, &KMeansConfig::default(), 9).unwrap();
+        assert!((fit.centroids[0][0] - 1.0).abs() < 1e-12);
+        assert!((fit.centroids[0][1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            fit(&[], 2, &KMeansConfig::default(), 0),
+            Err(StatsError::EmptyInput { .. })
+        ));
+        let pts = vec![vec![1.0]];
+        assert!(matches!(
+            fit(&pts, 2, &KMeansConfig::default(), 0),
+            Err(StatsError::TooFewPoints { points: 1, k: 2 })
+        ));
+        assert!(matches!(
+            fit(&pts, 0, &KMeansConfig::default(), 0),
+            Err(StatsError::BadParameter { .. })
+        ));
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(matches!(
+            fit(&ragged, 1, &KMeansConfig::default(), 0),
+            Err(StatsError::BadParameter { .. })
+        ));
+        let nan = vec![vec![f64::NAN]];
+        assert!(matches!(
+            fit(&nan, 1, &KMeansConfig::default(), 0),
+            Err(StatsError::InvalidSample { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_points_still_produce_k_clusters() {
+        let pts = vec![vec![1.0, 1.0]; 10];
+        let fit = fit(&pts, 3, &KMeansConfig::default(), 3).unwrap();
+        assert_eq!(fit.k(), 3);
+        assert!(fit.inertia < 1e-18);
+    }
+
+    #[test]
+    fn within_dispersion_matches_inertia() {
+        let pts = two_blobs();
+        let result = fit(&pts, 2, &KMeansConfig::default(), 11).unwrap();
+        let w = within_dispersion(&pts, &result);
+        assert!((w - result.inertia).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let pts = two_blobs();
+        let mut last = f64::INFINITY;
+        for k in 1..=5 {
+            let result = fit(&pts, k, &KMeansConfig::default(), 17).unwrap();
+            assert!(
+                result.inertia <= last + 1e-9,
+                "inertia rose at k={k}: {} -> {}",
+                last,
+                result.inertia
+            );
+            last = result.inertia;
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Statistics toolkit for the S³ WLAN load-balancing reproduction.
+//!
+//! Everything in the paper's measurement-analysis section (Section III) and
+//! the evaluation metrics (Section V) reduce to a handful of statistical
+//! primitives, all implemented here with no dependencies beyond `rand`:
+//!
+//! * [`balance`] — the Chiu–Jain balance index over per-AP throughput, its
+//!   normalized form, and the variance-of-balance series `S` of Fig. 3;
+//! * [`cdf`] — empirical CDFs, quantiles and histograms (Figs. 2, 3, 5);
+//! * [`entropy`] — entropy, mutual information and the quantized NMI
+//!   estimator behind Fig. 6;
+//! * [`kmeans`] — k-means++ / Lloyd clustering of user app profiles (Fig. 8);
+//! * [`gap`] — the Tibshirani gap statistic for choosing `k` (Fig. 7);
+//! * [`summary`] — means, variances and 95 % confidence intervals (Fig. 12's
+//!   error bars);
+//! * [`rng`] — seedable samplers (normal, log-normal, exponential, Poisson,
+//!   Zipf) used by the synthetic trace generator.
+//!
+//! # Example
+//!
+//! ```
+//! use s3_stats::balance::{balance_index, normalized_balance_index};
+//!
+//! // Perfectly even load → index 1; all load on one AP of four → minimum.
+//! assert!((balance_index(&[5.0, 5.0, 5.0, 5.0]).unwrap() - 1.0).abs() < 1e-12);
+//! let b = balance_index(&[10.0, 0.0, 0.0, 0.0]).unwrap();
+//! assert!((b - 0.25).abs() < 1e-12);
+//! assert!(normalized_balance_index(&[10.0, 0.0, 0.0, 0.0]).unwrap() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod cdf;
+pub mod correlation;
+pub mod entropy;
+pub mod gap;
+pub mod kmeans;
+pub mod linalg;
+pub mod rng;
+pub mod summary;
+
+mod error;
+
+pub use error::StatsError;

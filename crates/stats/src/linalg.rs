@@ -1,0 +1,237 @@
+//! Minimal dense linear algebra: symmetric eigendecomposition via cyclic
+//! Jacobi rotations.
+//!
+//! Needed by the gap statistic's PCA-aligned reference distribution
+//! (Tibshirani et al.'s "method (b)"): reference data are drawn uniformly
+//! in the principal-component frame of the observed data, which handles
+//! elongated clusters that an axis-aligned bounding box misrepresents.
+
+use crate::StatsError;
+
+/// Result of a symmetric eigendecomposition: `a = V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as rows, parallel to `values` (each row is a unit
+    /// vector).
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Eigendecomposition of a symmetric matrix (row-major `n × n`) by cyclic
+/// Jacobi rotations. Intended for small matrices (the profile space is
+/// 6-dimensional); complexity is `O(n³)` per sweep.
+///
+/// # Errors
+///
+/// [`StatsError::BadParameter`] when the matrix is empty, non-square or
+/// not symmetric (tolerance `1e-9` relative).
+pub fn symmetric_eigen(matrix: &[f64], n: usize) -> Result<SymmetricEigen, StatsError> {
+    if n == 0 || matrix.len() != n * n {
+        return Err(StatsError::BadParameter {
+            what: "symmetric_eigen",
+            detail: format!("matrix of len {} is not {n}x{n}", matrix.len()),
+        });
+    }
+    let scale = matrix.iter().fold(0.0f64, |m, &x| m.max(x.abs())).max(1.0);
+    for i in 0..n {
+        for j in 0..n {
+            if (matrix[i * n + j] - matrix[j * n + i]).abs() > 1e-9 * scale {
+                return Err(StatsError::BadParameter {
+                    what: "symmetric_eigen",
+                    detail: format!("matrix not symmetric at ({i},{j})"),
+                });
+            }
+        }
+    }
+
+    let mut a = matrix.to_vec();
+    // V starts as identity; rows will become eigenvectors.
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    for _sweep in 0..64 {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in p + 1..n {
+                off += a[p * n + q] * a[p * n + q];
+            }
+        }
+        if off.sqrt() <= 1e-12 * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = a[p * n + q];
+                if apq.abs() <= 1e-14 * scale {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation to A (both sides) and accumulate in V.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vpk = v[p * n + k];
+                    let vqk = v[q * n + k];
+                    v[p * n + k] = c * vpk - s * vqk;
+                    v[q * n + k] = s * vpk + c * vqk;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        a[j * n + j]
+            .partial_cmp(&a[i * n + i])
+            .expect("finite eigenvalues")
+    });
+    let values: Vec<f64> = order.iter().map(|&i| a[i * n + i]).collect();
+    let vectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&i| (0..n).map(|k| v[i * n + k]).collect())
+        .collect();
+    Ok(SymmetricEigen { values, vectors })
+}
+
+/// Sample covariance matrix (row-major `d × d`) and mean of a point set.
+///
+/// # Errors
+///
+/// [`StatsError::EmptyInput`] for an empty set.
+pub fn covariance(points: &[Vec<f64>]) -> Result<(Vec<f64>, Vec<f64>), StatsError> {
+    if points.is_empty() {
+        return Err(StatsError::EmptyInput { what: "covariance" });
+    }
+    let d = points[0].len();
+    let n = points.len() as f64;
+    let mut mean = vec![0.0; d];
+    for p in points {
+        for (m, &x) in mean.iter_mut().zip(p) {
+            *m += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut cov = vec![0.0; d * d];
+    for p in points {
+        for i in 0..d {
+            for j in 0..d {
+                cov[i * d + j] += (p[i] - mean[i]) * (p[j] - mean[j]);
+            }
+        }
+    }
+    let denom = (n - 1.0).max(1.0);
+    for c in &mut cov {
+        *c /= denom;
+    }
+    Ok((cov, mean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matmul_vec(m: &[f64], n: usize, x: &[f64]) -> Vec<f64> {
+        (0..n)
+            .map(|i| (0..n).map(|j| m[i * n + j] * x[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let m = vec![3.0, 0.0, 0.0, 1.0];
+        let e = symmetric_eigen(&m, 2).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        assert!((e.vectors[0][0].abs() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1), (1,-1).
+        let m = vec![2.0, 1.0, 1.0, 2.0];
+        let e = symmetric_eigen(&m, 2).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        let v0 = &e.vectors[0];
+        assert!((v0[0].abs() - v0[1].abs()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigen_equation_holds() {
+        // A random-ish symmetric 4x4.
+        let m = vec![
+            4.0, 1.0, -2.0, 0.5, //
+            1.0, 3.0, 0.0, 1.5, //
+            -2.0, 0.0, 5.0, -1.0, //
+            0.5, 1.5, -1.0, 2.0,
+        ];
+        let e = symmetric_eigen(&m, 4).unwrap();
+        for (lambda, vec_) in e.values.iter().zip(&e.vectors) {
+            let av = matmul_vec(&m, 4, vec_);
+            for (a, b) in av.iter().zip(vec_) {
+                assert!((a - lambda * b).abs() < 1e-8, "Av != λv");
+            }
+            let norm: f64 = vec_.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-8);
+        }
+        // Eigenvalues descending.
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(symmetric_eigen(&[], 0).is_err());
+        assert!(symmetric_eigen(&[1.0, 2.0, 3.0], 2).is_err());
+        let asym = vec![1.0, 2.0, 3.0, 4.0];
+        assert!(symmetric_eigen(&asym, 2).is_err());
+    }
+
+    #[test]
+    fn covariance_of_correlated_points() {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ];
+        let (cov, mean) = covariance(&points).unwrap();
+        assert_eq!(mean, vec![1.5, 1.5]);
+        // Perfectly correlated: cov = [[v, v], [v, v]] with v = 5/3.
+        let v = 5.0 / 3.0;
+        for &c in &cov {
+            assert!((c - v).abs() < 1e-10);
+        }
+        // Its top eigenvector is the diagonal.
+        let e = symmetric_eigen(&cov, 2).unwrap();
+        assert!((e.values[0] - 2.0 * v).abs() < 1e-9);
+        assert!(e.values[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn covariance_rejects_empty() {
+        assert!(covariance(&[]).is_err());
+    }
+}

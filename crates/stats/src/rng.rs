@@ -1,0 +1,344 @@
+//! Seedable samplers for the synthetic trace generator.
+//!
+//! The sanctioned dependency set contains `rand` but not `rand_distr`, so
+//! the handful of distributions the generator needs are implemented here:
+//! normal (Box–Muller), log-normal, exponential (inversion), Poisson
+//! (Knuth / normal approximation), Zipf (rejection-free inverse CDF over a
+//! finite support) and a symmetric Dirichlet for perturbing application
+//! profiles on the simplex.
+//!
+//! Every sampler is a plain function of `(&mut impl Rng, params)` so callers
+//! thread one seeded [`rand::rngs::StdRng`] through everything and stay
+//! reproducible.
+
+use rand::RngExt;
+
+/// Draws a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0,1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws `N(mean, sd²)`.
+///
+/// # Panics
+///
+/// Panics if `sd` is negative or either parameter is non-finite.
+pub fn normal<R: RngExt + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    assert!(mean.is_finite() && sd.is_finite() && sd >= 0.0, "bad normal params");
+    mean + sd * standard_normal(rng)
+}
+
+/// Draws a normal truncated to `[lo, hi]` by resampling (falls back to
+/// clamping after 64 rejections so pathological bounds cannot spin).
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or parameters are non-finite.
+pub fn truncated_normal<R: RngExt + ?Sized>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "truncated_normal: lo {lo} > hi {hi}");
+    for _ in 0..64 {
+        let x = normal(rng, mean, sd);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    normal(rng, mean, sd).clamp(lo, hi)
+}
+
+/// Draws `LogNormal(mu, sigma²)` — i.e. `exp(N(mu, sigma²))`. Heavy-tailed
+/// session traffic volumes use this.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`normal`].
+pub fn log_normal<R: RngExt + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Draws `Exp(rate)` by inversion. Inter-arrival times use this.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+pub fn exponential<R: RngExt + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate.is_finite() && rate > 0.0, "exponential rate must be > 0");
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -u.ln() / rate
+}
+
+/// Draws `Poisson(lambda)`: Knuth's product method below λ = 30, a rounded
+/// clamped normal approximation above (adequate for workload counts).
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+pub fn poisson<R: RngExt + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda.is_finite() && lambda >= 0.0, "poisson lambda must be >= 0");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = normal(rng, lambda, lambda.sqrt());
+        x.round().max(0.0) as u64
+    }
+}
+
+/// Draws from a Zipf distribution over `{0, …, n−1}` with exponent `s`
+/// (rank 0 is the most likely). Used to pick "popular" APs and groups.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `s` is negative/non-finite.
+pub fn zipf<R: RngExt + ?Sized>(rng: &mut R, n: usize, s: f64) -> usize {
+    assert!(n > 0, "zipf support must be non-empty");
+    assert!(s.is_finite() && s >= 0.0, "zipf exponent must be >= 0");
+    // Finite support: direct inverse-CDF over precomputable weights would
+    // allocate; for the generator's n (≤ a few hundred) a linear scan of the
+    // running sum is fast enough and allocation-free.
+    let norm: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+    let mut target = rng.random::<f64>() * norm;
+    for k in 1..=n {
+        let w = (k as f64).powf(-s);
+        if target < w {
+            return k - 1;
+        }
+        target -= w;
+    }
+    n - 1
+}
+
+/// Draws a symmetric Dirichlet(α) sample of dimension `dim` via normalized
+/// Gamma(α, 1) draws (Marsaglia–Tsang for α ≥ 1, boosting for α < 1).
+/// Perturbs archetype profiles into per-user profiles on the simplex.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `alpha` is not strictly positive and finite.
+pub fn dirichlet_symmetric<R: RngExt + ?Sized>(rng: &mut R, dim: usize, alpha: f64) -> Vec<f64> {
+    assert!(dim > 0, "dirichlet dimension must be positive");
+    assert!(alpha.is_finite() && alpha > 0.0, "dirichlet alpha must be > 0");
+    let mut draws: Vec<f64> = (0..dim).map(|_| gamma(rng, alpha)).collect();
+    let total: f64 = draws.iter().sum();
+    if total <= 0.0 {
+        // Numerically possible only for tiny alpha; fall back to uniform.
+        return vec![1.0 / dim as f64; dim];
+    }
+    for d in &mut draws {
+        *d /= total;
+    }
+    draws
+}
+
+/// Draws `Gamma(shape, 1)` (Marsaglia–Tsang squeeze method).
+///
+/// # Panics
+///
+/// Panics if `shape` is not strictly positive and finite.
+pub fn gamma<R: RngExt + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape.is_finite() && shape > 0.0, "gamma shape must be > 0");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+        let u: f64 = 1.0 - rng.random::<f64>();
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = 1.0 - rng.random::<f64>();
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Returns true with probability `p` (clamped to `[0,1]`).
+pub fn bernoulli<R: RngExt + ?Sized>(rng: &mut R, p: f64) -> bool {
+    let p = if p.is_finite() { p.clamp(0.0, 1.0) } else { 0.0 };
+    rng.random::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng(1);
+        let samples: Vec<f64> = (0..50_000).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut r = rng(2);
+        for _ in 0..10_000 {
+            let x = truncated_normal(&mut r, 0.0, 5.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng(3);
+        let samples: Vec<f64> = (0..50_000).map(|_| exponential(&mut r, 4.0)).collect();
+        let (mean, _) = moments(&samples);
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn poisson_small_lambda() {
+        let mut r = rng(4);
+        let samples: Vec<f64> = (0..50_000).map(|_| poisson(&mut r, 3.5) as f64).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+        assert!((var - 3.5).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_branch() {
+        let mut r = rng(5);
+        let samples: Vec<f64> = (0..20_000).map(|_| poisson(&mut r, 200.0) as f64).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 200.0).abs() < 1.0, "mean {mean}");
+        assert!((var - 200.0).abs() < 10.0, "var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut r = rng(6);
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn zipf_is_rank_ordered() {
+        let mut r = rng(7);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[zipf(&mut r, 5, 1.2)] += 1;
+        }
+        for w in counts.windows(2) {
+            assert!(w[0] > w[1], "zipf counts not decreasing: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let mut r = rng(8);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[zipf(&mut r, 4, 0.0)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_on_simplex() {
+        let mut r = rng(9);
+        for alpha in [0.3, 1.0, 8.0] {
+            let x = dirichlet_symmetric(&mut r, 6, alpha);
+            assert_eq!(x.len(), 6);
+            assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(x.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_concentration() {
+        // Large alpha → near-uniform; small alpha → concentrated.
+        let mut r = rng(10);
+        let tight: f64 = (0..200)
+            .map(|_| {
+                let x = dirichlet_symmetric(&mut r, 6, 50.0);
+                x.iter().map(|v| (v - 1.0 / 6.0).abs()).sum::<f64>()
+            })
+            .sum::<f64>()
+            / 200.0;
+        let loose: f64 = (0..200)
+            .map(|_| {
+                let x = dirichlet_symmetric(&mut r, 6, 0.2);
+                x.iter().map(|v| (v - 1.0 / 6.0).abs()).sum::<f64>()
+            })
+            .sum::<f64>()
+            / 200.0;
+        assert!(tight < loose, "tight {tight} loose {loose}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut r = rng(11);
+        for shape in [0.5, 1.0, 4.0] {
+            let samples: Vec<f64> = (0..30_000).map(|_| gamma(&mut r, shape)).collect();
+            let (mean, _) = moments(&samples);
+            assert!((mean - shape).abs() < 0.08 * shape.max(1.0), "shape {shape} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn log_normal_positive() {
+        let mut r = rng(12);
+        for _ in 0..1_000 {
+            assert!(log_normal(&mut r, 0.0, 1.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_edge_cases() {
+        let mut r = rng(13);
+        assert!(!bernoulli(&mut r, 0.0));
+        assert!(bernoulli(&mut r, 1.0));
+        assert!(!bernoulli(&mut r, f64::NAN));
+        let hits = (0..10_000).filter(|_| bernoulli(&mut r, 0.3)).count();
+        assert!((hits as f64 - 3_000.0).abs() < 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential rate must be > 0")]
+    fn exponential_rejects_zero_rate() {
+        let mut r = rng(14);
+        let _ = exponential(&mut r, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf support must be non-empty")]
+    fn zipf_rejects_empty_support() {
+        let mut r = rng(15);
+        let _ = zipf(&mut r, 0, 1.0);
+    }
+}

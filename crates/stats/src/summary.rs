@@ -1,0 +1,178 @@
+//! Summary statistics: mean, variance, standard deviation and normal-theory
+//! confidence intervals (the 95 % error bars of Fig. 12).
+
+use crate::StatsError;
+
+/// Mean, variance and confidence-interval summary of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    var: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptyInput`] for an empty sample;
+    /// [`StatsError::InvalidSample`] on NaN/∞ entries.
+    ///
+    /// # Example
+    /// ```
+    /// # use s3_stats::summary::Summary;
+    /// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0])?;
+    /// assert_eq!(s.mean(), 2.5);
+    /// assert_eq!(s.n(), 4);
+    /// # Ok::<(), s3_stats::StatsError>(())
+    /// ```
+    pub fn of(samples: &[f64]) -> Result<Self, StatsError> {
+        if samples.is_empty() {
+            return Err(StatsError::EmptyInput { what: "summary" });
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (index, &x) in samples.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(StatsError::InvalidSample {
+                    what: "summary",
+                    index,
+                });
+            }
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = if samples.len() < 2 {
+            0.0
+        } else {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+        };
+        Ok(Summary {
+            n: samples.len(),
+            mean,
+            var,
+            min,
+            max,
+        })
+    }
+
+    /// Sample size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for a single sample).
+    pub fn variance(&self) -> f64 {
+        self.var
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.var.sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The half-width of the 95 % confidence interval of the mean,
+    /// `z₀.₉₇₅ · SE` with the normal approximation (`z = 1.959964`).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.959_964 * self.std_err()
+    }
+
+    /// `(lower, upper)` bounds of the 95 % confidence interval of the mean.
+    pub fn ci95(&self) -> (f64, f64) {
+        let h = self.ci95_half_width();
+        (self.mean - h, self.mean + h)
+    }
+}
+
+/// Relative improvement `(new − old)/old`, the "balancing performance gain"
+/// the paper reports (e.g. 41.2 % for S³ over LLF).
+///
+/// # Errors
+///
+/// [`StatsError::BadParameter`] when `old` is zero or either value is
+/// non-finite.
+pub fn relative_gain(old: f64, new: f64) -> Result<f64, StatsError> {
+    if !old.is_finite() || !new.is_finite() || old == 0.0 {
+        return Err(StatsError::BadParameter {
+            what: "relative_gain",
+            detail: format!("old={old}, new={new}"),
+        });
+    }
+    Ok((new - old) / old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.n(), 8);
+    }
+
+    #[test]
+    fn single_sample_has_zero_variance() {
+        let s = Summary::of(&[3.5]).unwrap();
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.ci95(), (3.5, 3.5));
+    }
+
+    #[test]
+    fn ci_is_symmetric_and_shrinks_with_n() {
+        let few = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        let many: Vec<f64> = (0..300).map(|i| 1.0 + (i % 3) as f64).collect();
+        let many = Summary::of(&many).unwrap();
+        assert!((few.mean() - many.mean()).abs() < 1e-12);
+        assert!(many.ci95_half_width() < few.ci95_half_width());
+        let (lo, hi) = few.ci95();
+        assert!((few.mean() - lo - (hi - few.mean())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_samples() {
+        assert!(Summary::of(&[]).is_err());
+        assert!(matches!(
+            Summary::of(&[1.0, f64::INFINITY]),
+            Err(StatsError::InvalidSample { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn relative_gain_examples() {
+        assert!((relative_gain(0.5, 0.706).unwrap() - 0.412).abs() < 1e-12);
+        assert!((relative_gain(2.0, 1.0).unwrap() + 0.5).abs() < 1e-12);
+        assert!(relative_gain(0.0, 1.0).is_err());
+        assert!(relative_gain(f64::NAN, 1.0).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Port-heuristic application classification (Section III-A).
+//!
+//! The paper identifies applications "by analyzing the port combination
+//! using certain heuristics" from router flow logs and buckets the top
+//! applications into six realms. This module is that heuristic: a static
+//! port table in the spirit of early-2010s campus traffic classification —
+//! sufficient because the synthetic flow generator draws its ports from the
+//! same application ecosystem.
+
+use s3_types::{AppCategory, Bytes, APP_CATEGORY_COUNT};
+
+use crate::{FlowRecord, TransportProtocol};
+
+/// Classifies one `(protocol, server_port)` pair into an application realm.
+///
+/// Returns `None` for ports that match no known application; the paper
+/// likewise drops traffic outside its top-30 applications ("understanding
+/// the remainder is not critical").
+pub fn classify_port(protocol: TransportProtocol, port: u16) -> Option<AppCategory> {
+    use AppCategory::*;
+    use TransportProtocol::*;
+    let category = match (protocol, port) {
+        // Web browsing: HTTP/HTTPS and common proxies.
+        (Tcp, 80) | (Tcp, 443) | (Tcp, 8080) | (Tcp, 3128) => WebBrowsing,
+        // E-mail: SMTP(S), POP3(S), IMAP(S).
+        (Tcp, 25) | (Tcp, 465) | (Tcp, 587) | (Tcp, 110) | (Tcp, 995) | (Tcp, 143)
+        | (Tcp, 993) => Email,
+        // IM: QQ (8000/udp, 443 handled above as web), MSN 1863, XMPP 5222,
+        // IRC 6667, QQ file 4000.
+        (Udp, 8000) | (Udp, 4000) | (Tcp, 1863) | (Tcp, 5222) | (Tcp, 6667) => Im,
+        // P2P: BitTorrent 6881-6889, eMule 4662/4672, Xunlei 15000.
+        (Tcp, 6881..=6889) | (Tcp, 4662) | (Udp, 4672) | (Tcp, 15000) => P2p,
+        // Music streaming: RTSP 554 on udp legacy players, Kugou 7001,
+        // NetEase-era 8001, SHOUTcast 8002.
+        (Tcp, 7001) | (Tcp, 8001) | (Tcp, 8002) | (Udp, 554) => Music,
+        // Video: RTSP 554/tcp, RTMP 1935, PPLive 3708, PPStream 8008.
+        (Tcp, 554) | (Tcp, 1935) | (Udp, 3708) | (Tcp, 8008) => Video,
+        _ => return None,
+    };
+    Some(category)
+}
+
+/// A canonical server port for each realm — the inverse of
+/// [`classify_port`], used by the synthetic flow generator so generated
+/// flows classify back to their source realm.
+pub fn canonical_port(category: AppCategory) -> (TransportProtocol, u16) {
+    use AppCategory::*;
+    use TransportProtocol::*;
+    match category {
+        Im => (Udp, 8000),
+        P2p => (Tcp, 6881),
+        Music => (Tcp, 7001),
+        Email => (Tcp, 25),
+        Video => (Tcp, 1935),
+        WebBrowsing => (Tcp, 80),
+    }
+}
+
+/// Aggregates a batch of flows into per-realm volumes, dropping
+/// unclassifiable flows. Returns the per-realm volumes and the volume that
+/// could not be classified.
+pub fn aggregate_flows(flows: &[FlowRecord]) -> ([Bytes; APP_CATEGORY_COUNT], Bytes) {
+    let mut volumes = [Bytes::ZERO; APP_CATEGORY_COUNT];
+    let mut unclassified = Bytes::ZERO;
+    for flow in flows {
+        match classify_port(flow.protocol, flow.server_port) {
+            Some(category) => volumes[category.index()] += flow.bytes,
+            None => unclassified += flow.bytes,
+        }
+    }
+    (volumes, unclassified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_types::{Timestamp, UserId};
+
+    #[test]
+    fn classifies_the_big_six() {
+        assert_eq!(classify_port(TransportProtocol::Tcp, 80), Some(AppCategory::WebBrowsing));
+        assert_eq!(classify_port(TransportProtocol::Tcp, 443), Some(AppCategory::WebBrowsing));
+        assert_eq!(classify_port(TransportProtocol::Tcp, 25), Some(AppCategory::Email));
+        assert_eq!(classify_port(TransportProtocol::Udp, 8000), Some(AppCategory::Im));
+        assert_eq!(classify_port(TransportProtocol::Tcp, 6884), Some(AppCategory::P2p));
+        assert_eq!(classify_port(TransportProtocol::Tcp, 7001), Some(AppCategory::Music));
+        assert_eq!(classify_port(TransportProtocol::Tcp, 1935), Some(AppCategory::Video));
+    }
+
+    #[test]
+    fn protocol_matters() {
+        // RTSP over TCP is video; the UDP legacy path is music streaming.
+        assert_eq!(classify_port(TransportProtocol::Tcp, 554), Some(AppCategory::Video));
+        assert_eq!(classify_port(TransportProtocol::Udp, 554), Some(AppCategory::Music));
+        // Port 8000 is IM only on UDP.
+        assert_eq!(classify_port(TransportProtocol::Tcp, 8000), None);
+    }
+
+    #[test]
+    fn unknown_ports_are_none() {
+        assert_eq!(classify_port(TransportProtocol::Tcp, 12345), None);
+        assert_eq!(classify_port(TransportProtocol::Udp, 1), None);
+    }
+
+    #[test]
+    fn canonical_ports_round_trip() {
+        for category in AppCategory::ALL {
+            let (proto, port) = canonical_port(category);
+            assert_eq!(
+                classify_port(proto, port),
+                Some(category),
+                "canonical port for {category} does not classify back"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_splits_known_and_unknown() {
+        let mk = |port, proto, bytes| FlowRecord {
+            user: UserId::new(0),
+            start: Timestamp::ZERO,
+            protocol: proto,
+            server_port: port,
+            bytes: Bytes::new(bytes),
+        };
+        let flows = vec![
+            mk(80, TransportProtocol::Tcp, 100),
+            mk(443, TransportProtocol::Tcp, 50),
+            mk(6881, TransportProtocol::Tcp, 200),
+            mk(9999, TransportProtocol::Tcp, 77),
+        ];
+        let (volumes, unclassified) = aggregate_flows(&flows);
+        assert_eq!(volumes[AppCategory::WebBrowsing.index()], Bytes::new(150));
+        assert_eq!(volumes[AppCategory::P2p.index()], Bytes::new(200));
+        assert_eq!(unclassified, Bytes::new(77));
+    }
+
+    #[test]
+    fn aggregate_empty_is_zero() {
+        let (volumes, unclassified) = aggregate_flows(&[]);
+        assert!(volumes.iter().all(|v| v.is_zero()));
+        assert!(unclassified.is_zero());
+    }
+}

@@ -1,0 +1,377 @@
+//! A hand-rolled CSV codec for session logs.
+//!
+//! No field in a trace record can contain a comma or a quote (they are all
+//! numeric), so a full RFC-4180 implementation would be dead weight; this
+//! codec writes plain comma-separated numerics with a header row and
+//! validates everything on the way back in.
+
+use std::io::{self, BufRead, Write};
+
+use s3_types::{ApId, BuildingId, Bytes, ControllerId, Timestamp, UserId, APP_CATEGORY_COUNT};
+
+use crate::{SessionDemand, SessionRecord};
+
+/// Errors from CSV decoding.
+#[derive(Debug)]
+pub enum CsvError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line.
+    Parse {
+        /// 1-based line number (header is line 1).
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv i/o error: {e}"),
+            CsvError::Parse { line, detail } => write!(f, "csv parse error at line {line}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+const HEADER: &str = "user,ap,controller,connect,disconnect,im,p2p,music,email,video,web";
+
+/// Writes records as CSV with a header row.
+///
+/// A `&mut` reference to any writer can be passed (`Write` is implemented
+/// for `&mut W`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_sessions<W: Write>(mut w: W, records: &[SessionRecord]) -> io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for r in records {
+        write!(
+            w,
+            "{},{},{},{},{}",
+            r.user.raw(),
+            r.ap.raw(),
+            r.controller.raw(),
+            r.connect.as_secs(),
+            r.disconnect.as_secs()
+        )?;
+        for v in &r.volume_by_app {
+            write!(w, ",{}", v.as_u64())?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads records from CSV produced by [`write_sessions`].
+///
+/// A `&mut` reference to any reader can be passed.
+///
+/// # Errors
+///
+/// [`CsvError::Parse`] on a bad header, wrong field count, unparsable
+/// number, or a record whose disconnect precedes its connect;
+/// [`CsvError::Io`] on reader failures.
+pub fn read_sessions<R: BufRead>(r: R) -> Result<Vec<SessionRecord>, CsvError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::Parse {
+            line: 1,
+            detail: "empty input (missing header)".to_string(),
+        })??;
+    if header.trim() != HEADER {
+        return Err(CsvError::Parse {
+            line: 1,
+            detail: format!("unexpected header {header:?}"),
+        });
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 + APP_CATEGORY_COUNT {
+            return Err(CsvError::Parse {
+                line: line_no,
+                detail: format!("expected {} fields, got {}", 5 + APP_CATEGORY_COUNT, fields.len()),
+            });
+        }
+        let parse_u64 = |s: &str, what: &str| -> Result<u64, CsvError> {
+            s.trim().parse::<u64>().map_err(|e| CsvError::Parse {
+                line: line_no,
+                detail: format!("bad {what} {s:?}: {e}"),
+            })
+        };
+        let user = UserId::new(parse_u64(fields[0], "user")? as u32);
+        let ap = ApId::new(parse_u64(fields[1], "ap")? as u32);
+        let controller = ControllerId::new(parse_u64(fields[2], "controller")? as u32);
+        let connect = Timestamp::from_secs(parse_u64(fields[3], "connect")?);
+        let disconnect = Timestamp::from_secs(parse_u64(fields[4], "disconnect")?);
+        if disconnect < connect {
+            return Err(CsvError::Parse {
+                line: line_no,
+                detail: "disconnect precedes connect".to_string(),
+            });
+        }
+        let mut volume_by_app = [Bytes::ZERO; APP_CATEGORY_COUNT];
+        for (slot, field) in volume_by_app.iter_mut().zip(&fields[5..]) {
+            *slot = Bytes::new(parse_u64(field, "volume")?);
+        }
+        out.push(SessionRecord {
+            user,
+            ap,
+            controller,
+            connect,
+            disconnect,
+            volume_by_app,
+        });
+    }
+    Ok(out)
+}
+
+const DEMAND_HEADER: &str = "user,building,controller,arrive,depart,im,p2p,music,email,video,web";
+
+/// Writes session demands as CSV with a header row.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_demands<W: Write>(mut w: W, demands: &[SessionDemand]) -> io::Result<()> {
+    writeln!(w, "{DEMAND_HEADER}")?;
+    for d in demands {
+        write!(
+            w,
+            "{},{},{},{},{}",
+            d.user.raw(),
+            d.building.raw(),
+            d.controller.raw(),
+            d.arrive.as_secs(),
+            d.depart.as_secs()
+        )?;
+        for v in &d.volume_by_app {
+            write!(w, ",{}", v.as_u64())?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads session demands from CSV produced by [`write_demands`].
+///
+/// # Errors
+///
+/// [`CsvError::Parse`] on a bad header, wrong field count, unparsable
+/// number, or a demand whose departure is not after its arrival;
+/// [`CsvError::Io`] on reader failures.
+pub fn read_demands<R: BufRead>(r: R) -> Result<Vec<SessionDemand>, CsvError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::Parse {
+            line: 1,
+            detail: "empty input (missing header)".to_string(),
+        })??;
+    if header.trim() != DEMAND_HEADER {
+        return Err(CsvError::Parse {
+            line: 1,
+            detail: format!("unexpected header {header:?}"),
+        });
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 + APP_CATEGORY_COUNT {
+            return Err(CsvError::Parse {
+                line: line_no,
+                detail: format!("expected {} fields, got {}", 5 + APP_CATEGORY_COUNT, fields.len()),
+            });
+        }
+        let parse_u64 = |s: &str, what: &str| -> Result<u64, CsvError> {
+            s.trim().parse::<u64>().map_err(|e| CsvError::Parse {
+                line: line_no,
+                detail: format!("bad {what} {s:?}: {e}"),
+            })
+        };
+        let user = UserId::new(parse_u64(fields[0], "user")? as u32);
+        let building = BuildingId::new(parse_u64(fields[1], "building")? as u32);
+        let controller = ControllerId::new(parse_u64(fields[2], "controller")? as u32);
+        let arrive = Timestamp::from_secs(parse_u64(fields[3], "arrive")?);
+        let depart = Timestamp::from_secs(parse_u64(fields[4], "depart")?);
+        if depart <= arrive {
+            return Err(CsvError::Parse {
+                line: line_no,
+                detail: "depart must be after arrive".to_string(),
+            });
+        }
+        let mut volume_by_app = [Bytes::ZERO; APP_CATEGORY_COUNT];
+        for (slot, field) in volume_by_app.iter_mut().zip(&fields[5..]) {
+            *slot = Bytes::new(parse_u64(field, "volume")?);
+        }
+        out.push(SessionDemand {
+            user,
+            building,
+            controller,
+            arrive,
+            depart,
+            volume_by_app,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::concentrated_volumes;
+    use s3_types::AppCategory;
+    use std::io::BufReader;
+
+    fn sample() -> Vec<SessionRecord> {
+        vec![
+            SessionRecord {
+                user: UserId::new(1),
+                ap: ApId::new(2),
+                controller: ControllerId::new(0),
+                connect: Timestamp::from_secs(100),
+                disconnect: Timestamp::from_secs(500),
+                volume_by_app: concentrated_volumes(AppCategory::Video, Bytes::new(999)),
+            },
+            SessionRecord {
+                user: UserId::new(3),
+                ap: ApId::new(0),
+                controller: ControllerId::new(1),
+                connect: Timestamp::from_secs(50),
+                disconnect: Timestamp::from_secs(51),
+                volume_by_app: [Bytes::new(1), Bytes::new(2), Bytes::new(3), Bytes::new(4), Bytes::new(5), Bytes::new(6)],
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let records = sample();
+        let mut buf = Vec::new();
+        write_sessions(&mut buf, &records).unwrap();
+        let back = read_sessions(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let mut buf = Vec::new();
+        write_sessions(&mut buf, &[]).unwrap();
+        let back = read_sessions(BufReader::new(buf.as_slice())).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let mut buf = Vec::new();
+        write_sessions(&mut buf, &sample()).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_sessions(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_sessions(BufReader::new(&b""[..])).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }));
+        let err = read_sessions(BufReader::new(&b"nope\n"[..])).unwrap_err();
+        assert!(err.to_string().contains("unexpected header"));
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let data = format!("{HEADER}\n1,2,3\n");
+        let err = read_sessions(BufReader::new(data.as_bytes())).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }));
+        assert!(err.to_string().contains("expected 11 fields"));
+    }
+
+    #[test]
+    fn rejects_bad_numbers_and_inverted_times() {
+        let data = format!("{HEADER}\nx,2,0,100,500,0,0,0,0,0,0\n");
+        let err = read_sessions(BufReader::new(data.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("bad user"));
+        let data = format!("{HEADER}\n1,2,0,500,100,0,0,0,0,0,0\n");
+        let err = read_sessions(BufReader::new(data.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("disconnect precedes connect"));
+    }
+
+    fn sample_demands() -> Vec<SessionDemand> {
+        vec![
+            SessionDemand {
+                user: UserId::new(4),
+                building: BuildingId::new(1),
+                controller: ControllerId::new(1),
+                arrive: Timestamp::from_secs(10),
+                depart: Timestamp::from_secs(700),
+                volume_by_app: concentrated_volumes(AppCategory::P2p, Bytes::new(12345)),
+            },
+            SessionDemand {
+                user: UserId::new(9),
+                building: BuildingId::new(0),
+                controller: ControllerId::new(0),
+                arrive: Timestamp::from_secs(50),
+                depart: Timestamp::from_secs(51),
+                volume_by_app: concentrated_volumes(AppCategory::Im, Bytes::new(7)),
+            },
+        ]
+    }
+
+    #[test]
+    fn demand_round_trip() {
+        let demands = sample_demands();
+        let mut buf = Vec::new();
+        write_demands(&mut buf, &demands).unwrap();
+        let back = read_demands(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back, demands);
+    }
+
+    #[test]
+    fn demand_codec_rejects_session_header() {
+        // Session CSV and demand CSV are different formats; mixing them up
+        // must fail loudly, not silently misread columns.
+        let mut buf = Vec::new();
+        write_sessions(&mut buf, &sample()).unwrap();
+        let err = read_demands(BufReader::new(buf.as_slice())).unwrap_err();
+        assert!(err.to_string().contains("unexpected header"));
+        let mut buf = Vec::new();
+        write_demands(&mut buf, &sample_demands()).unwrap();
+        let err = read_sessions(BufReader::new(buf.as_slice())).unwrap_err();
+        assert!(err.to_string().contains("unexpected header"));
+    }
+
+    #[test]
+    fn demand_codec_rejects_zero_length_sessions() {
+        let data = format!("{DEMAND_HEADER}\n1,0,0,100,100,0,0,0,0,0,0\n");
+        let err = read_demands(BufReader::new(data.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("depart must be after arrive"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Encounter and co-leaving event mining (Section III-D1).
+//!
+//! * An **encounter** is a pair of users holding sessions on the same AP
+//!   whose presence intervals overlap for at least a dwell threshold.
+//! * A **co-leaving** is a pair of users leaving the same AP within a short
+//!   extraction window (the paper studies windows from 1 to 30 minutes and
+//!   settles on 5 minutes for S³).
+//!
+//! Both extractors return per-pair counts; aggregating multiple common
+//! events per pair is the paper's noise-suppression step against "fake"
+//! social relationships.
+
+use std::collections::HashMap;
+
+use s3_types::{Timestamp, TimeDelta, UserId};
+
+use crate::TraceStore;
+
+/// An unordered user pair, stored canonically (smaller id first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserPair(pub UserId, pub UserId);
+
+impl UserPair {
+    /// Builds the canonical pair; `None` when `a == b` (no self-pairs).
+    pub fn new(a: UserId, b: UserId) -> Option<UserPair> {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => Some(UserPair(a, b)),
+            std::cmp::Ordering::Greater => Some(UserPair(b, a)),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+
+    /// True when `user` is one of the two members.
+    pub fn contains(&self, user: UserId) -> bool {
+        self.0 == user || self.1 == user
+    }
+}
+
+/// Per-pair encounter counts over the whole store.
+///
+/// Two sessions on the same AP encounter when their overlap lasts at least
+/// `min_overlap`. Multiple overlapping session pairs of the same user pair
+/// each count (they are distinct common events).
+pub fn extract_encounters(
+    store: &TraceStore,
+    min_overlap: TimeDelta,
+) -> HashMap<UserPair, u32> {
+    let mut counts: HashMap<UserPair, u32> = HashMap::new();
+    // Group sessions per AP and scan pairs; session lists per AP are small
+    // relative to the whole trace, keeping this near-quadratic step cheap.
+    let mut by_ap: HashMap<s3_types::ApId, Vec<(Timestamp, Timestamp, UserId)>> = HashMap::new();
+    for r in store.records() {
+        by_ap
+            .entry(r.ap)
+            .or_default()
+            .push((r.connect, r.disconnect, r.user));
+    }
+    for sessions in by_ap.values_mut() {
+        sessions.sort_unstable();
+        for (i, &(a_start, a_end, a_user)) in sessions.iter().enumerate() {
+            for &(b_start, b_end, b_user) in &sessions[i + 1..] {
+                if b_start >= a_end {
+                    break; // sorted by start; no later session can overlap
+                }
+                let overlap_start = a_start.max(b_start);
+                let overlap_end = a_end.min(b_end);
+                if overlap_end.saturating_sub(overlap_start) >= min_overlap {
+                    if let Some(pair) = UserPair::new(a_user, b_user) {
+                        *counts.entry(pair).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Per-pair co-leaving counts: both users disconnect from the same AP
+/// within `window` of each other.
+pub fn extract_coleavings(store: &TraceStore, window: TimeDelta) -> HashMap<UserPair, u32> {
+    let mut counts: HashMap<UserPair, u32> = HashMap::new();
+    let mut by_ap: HashMap<s3_types::ApId, Vec<(Timestamp, UserId)>> = HashMap::new();
+    for r in store.records() {
+        by_ap.entry(r.ap).or_default().push((r.disconnect, r.user));
+    }
+    for departures in by_ap.values_mut() {
+        departures.sort_unstable();
+        for (i, &(t_a, user_a)) in departures.iter().enumerate() {
+            for &(t_b, user_b) in &departures[i + 1..] {
+                if t_b.saturating_sub(t_a) > window {
+                    break;
+                }
+                if let Some(pair) = UserPair::new(user_a, user_b) {
+                    *counts.entry(pair).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Per-user leaving statistics for Fig. 5: how many of a user's leavings
+/// were co-leavings (another user left the same AP within `window`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LeavingStats {
+    /// Total departures of the user.
+    pub total: u32,
+    /// Departures shared with at least one other user.
+    pub co_leavings: u32,
+}
+
+impl LeavingStats {
+    /// Fraction of leavings that were co-leavings (0 for users who never
+    /// left — they contribute nothing to the CDF).
+    pub fn co_leaving_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.co_leavings as f64 / self.total as f64
+        }
+    }
+}
+
+/// Computes [`LeavingStats`] for every user in the store.
+pub fn leaving_stats(store: &TraceStore, window: TimeDelta) -> HashMap<UserId, LeavingStats> {
+    let mut stats: HashMap<UserId, LeavingStats> = HashMap::new();
+    let mut by_ap: HashMap<s3_types::ApId, Vec<(Timestamp, UserId)>> = HashMap::new();
+    for r in store.records() {
+        by_ap.entry(r.ap).or_default().push((r.disconnect, r.user));
+    }
+    for departures in by_ap.values_mut() {
+        departures.sort_unstable();
+        for (i, &(t, user)) in departures.iter().enumerate() {
+            let entry = stats.entry(user).or_default();
+            entry.total += 1;
+            // Shared with anyone within the window on either side?
+            let mut shared = false;
+            for &(t2, user2) in departures[i + 1..].iter() {
+                if t2.saturating_sub(t) > window {
+                    break;
+                }
+                if user2 != user {
+                    shared = true;
+                    break;
+                }
+            }
+            if !shared {
+                for &(t2, user2) in departures[..i].iter().rev() {
+                    if t.saturating_sub(t2) > window {
+                        break;
+                    }
+                    if user2 != user {
+                        shared = true;
+                        break;
+                    }
+                }
+            }
+            if shared {
+                entry.co_leavings += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// The conditional probability table `P(co-leave | encounter)` per pair —
+/// the first term of the paper's social relation index δ. Pairs that never
+/// encountered are absent (the δ formula falls back to the type matrix).
+pub fn coleave_given_encounter(
+    encounters: &HashMap<UserPair, u32>,
+    coleavings: &HashMap<UserPair, u32>,
+) -> HashMap<UserPair, f64> {
+    let mut out = HashMap::with_capacity(encounters.len());
+    for (&pair, &enc) in encounters {
+        if enc == 0 {
+            continue;
+        }
+        let co = coleavings.get(&pair).copied().unwrap_or(0);
+        // A pair can in principle co-leave more often than it "encounters"
+        // (short joint visits below the dwell threshold); clamp to 1.
+        out.insert(pair, (co as f64 / enc as f64).min(1.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::concentrated_volumes;
+    use crate::SessionRecord;
+    use s3_types::{ApId, AppCategory, Bytes, ControllerId};
+
+    fn rec(user: u32, ap: u32, connect: u64, disconnect: u64) -> SessionRecord {
+        SessionRecord {
+            user: UserId::new(user),
+            ap: ApId::new(ap),
+            controller: ControllerId::new(0),
+            connect: Timestamp::from_secs(connect),
+            disconnect: Timestamp::from_secs(disconnect),
+            volume_by_app: concentrated_volumes(AppCategory::Im, Bytes::new(1000)),
+        }
+    }
+
+    #[test]
+    fn user_pair_canonical() {
+        let p = UserPair::new(UserId::new(5), UserId::new(2)).unwrap();
+        assert_eq!(p, UserPair(UserId::new(2), UserId::new(5)));
+        assert!(p.contains(UserId::new(5)));
+        assert!(!p.contains(UserId::new(3)));
+        assert!(UserPair::new(UserId::new(1), UserId::new(1)).is_none());
+    }
+
+    #[test]
+    fn encounters_require_overlap_threshold() {
+        let store = TraceStore::new(vec![
+            rec(1, 0, 0, 1000),
+            rec(2, 0, 500, 2000),  // 500 s overlap with user 1
+            rec(3, 0, 990, 3000),  // 10 s overlap with user 1
+        ]);
+        let enc = extract_encounters(&store, TimeDelta::secs(300));
+        let p12 = UserPair::new(UserId::new(1), UserId::new(2)).unwrap();
+        let p13 = UserPair::new(UserId::new(1), UserId::new(3)).unwrap();
+        let p23 = UserPair::new(UserId::new(2), UserId::new(3)).unwrap();
+        assert_eq!(enc.get(&p12), Some(&1));
+        assert_eq!(enc.get(&p13), None, "10s overlap is below threshold");
+        assert_eq!(enc.get(&p23), Some(&1), "1010s overlap counts");
+    }
+
+    #[test]
+    fn encounters_on_different_aps_do_not_count() {
+        let store = TraceStore::new(vec![rec(1, 0, 0, 1000), rec(2, 1, 0, 1000)]);
+        let enc = extract_encounters(&store, TimeDelta::secs(60));
+        assert!(enc.is_empty());
+    }
+
+    #[test]
+    fn repeated_encounters_accumulate() {
+        let store = TraceStore::new(vec![
+            rec(1, 0, 0, 1000),
+            rec(2, 0, 0, 1000),
+            rec(1, 0, 5000, 6000),
+            rec(2, 0, 5000, 6000),
+        ]);
+        let enc = extract_encounters(&store, TimeDelta::secs(60));
+        let p = UserPair::new(UserId::new(1), UserId::new(2)).unwrap();
+        assert_eq!(enc.get(&p), Some(&2));
+    }
+
+    #[test]
+    fn coleavings_respect_window() {
+        let store = TraceStore::new(vec![
+            rec(1, 0, 0, 1000),
+            rec(2, 0, 0, 1100),  // 100 s after user 1
+            rec(3, 0, 0, 2000),  // 1000 s after user 1
+        ]);
+        let co = extract_coleavings(&store, TimeDelta::secs(300));
+        let p12 = UserPair::new(UserId::new(1), UserId::new(2)).unwrap();
+        let p13 = UserPair::new(UserId::new(1), UserId::new(3)).unwrap();
+        let p23 = UserPair::new(UserId::new(2), UserId::new(3)).unwrap();
+        assert_eq!(co.get(&p12), Some(&1));
+        assert_eq!(co.get(&p13), None);
+        assert_eq!(co.get(&p23), None, "900s apart exceeds window");
+    }
+
+    #[test]
+    fn coleavings_on_same_ap_only() {
+        let store = TraceStore::new(vec![rec(1, 0, 0, 1000), rec(2, 1, 0, 1000)]);
+        let co = extract_coleavings(&store, TimeDelta::minutes(5));
+        assert!(co.is_empty());
+    }
+
+    #[test]
+    fn same_user_twice_is_not_a_pair() {
+        // One user with two sessions ending together on the same AP.
+        let store = TraceStore::new(vec![rec(1, 0, 0, 1000), rec(1, 0, 100, 1010)]);
+        let co = extract_coleavings(&store, TimeDelta::minutes(5));
+        assert!(co.is_empty());
+        let enc = extract_encounters(&store, TimeDelta::secs(60));
+        assert!(enc.is_empty());
+    }
+
+    #[test]
+    fn leaving_stats_fraction() {
+        let store = TraceStore::new(vec![
+            rec(1, 0, 0, 1000),
+            rec(2, 0, 0, 1050),    // co-leave with 1
+            rec(1, 0, 5000, 9000), // solo leave for 1
+        ]);
+        let stats = leaving_stats(&store, TimeDelta::secs(300));
+        let s1 = stats[&UserId::new(1)];
+        assert_eq!(s1.total, 2);
+        assert_eq!(s1.co_leavings, 1);
+        assert!((s1.co_leaving_fraction() - 0.5).abs() < 1e-12);
+        let s2 = stats[&UserId::new(2)];
+        assert_eq!(s2.total, 1);
+        assert_eq!(s2.co_leavings, 1);
+        assert_eq!(LeavingStats::default().co_leaving_fraction(), 0.0);
+    }
+
+    #[test]
+    fn leaving_stats_look_backwards_too() {
+        // User 2 leaves *after* user 1: both must see the shared event.
+        let store = TraceStore::new(vec![rec(1, 0, 0, 1000), rec(2, 0, 0, 1200)]);
+        let stats = leaving_stats(&store, TimeDelta::secs(300));
+        assert_eq!(stats[&UserId::new(1)].co_leavings, 1);
+        assert_eq!(stats[&UserId::new(2)].co_leavings, 1);
+    }
+
+    #[test]
+    fn conditional_probability_table() {
+        let mut enc = HashMap::new();
+        let mut co = HashMap::new();
+        let p12 = UserPair::new(UserId::new(1), UserId::new(2)).unwrap();
+        let p13 = UserPair::new(UserId::new(1), UserId::new(3)).unwrap();
+        let p14 = UserPair::new(UserId::new(1), UserId::new(4)).unwrap();
+        enc.insert(p12, 4u32);
+        co.insert(p12, 2u32);
+        enc.insert(p13, 2u32);
+        co.insert(p14, 3u32); // co-leaves but never encountered
+        let table = coleave_given_encounter(&enc, &co);
+        assert!((table[&p12] - 0.5).abs() < 1e-12);
+        assert_eq!(table[&p13], 0.0);
+        assert!(!table.contains_key(&p14));
+    }
+
+    #[test]
+    fn conditional_probability_clamps_to_one() {
+        let mut enc = HashMap::new();
+        let mut co = HashMap::new();
+        let p = UserPair::new(UserId::new(1), UserId::new(2)).unwrap();
+        enc.insert(p, 1u32);
+        co.insert(p, 5u32);
+        let table = coleave_given_encounter(&enc, &co);
+        assert_eq!(table[&p], 1.0);
+    }
+}

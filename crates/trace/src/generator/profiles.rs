@@ -1,0 +1,190 @@
+//! Application-profile archetypes and per-user profile synthesis.
+//!
+//! The paper's k-means finds four user types with distinct dominant realms
+//! (Fig. 8). The generator plants exactly that structure: every user gets a
+//! latent type, a personal base profile drawn around the type's centroid,
+//! a fixed weekly (day-of-week) modulation, and small per-day noise. The
+//! weekly modulation is what makes the NMI-vs-history curve (Fig. 6) rise
+//! and plateau once the history window covers a couple of weeks.
+
+use rand::rngs::StdRng;
+
+use s3_stats::rng::gamma;
+use s3_types::{AppMix, APP_CATEGORY_COUNT};
+
+/// Number of latent user types the generator plants (the paper finds 4).
+pub const USER_TYPE_COUNT: usize = 4;
+
+/// Centroid profile of each latent type, in [`s3_types::AppCategory::ALL`]
+/// order (IM, P2P, music, e-mail, video, web).
+///
+/// * type 0 — messaging / web browsing heavy ("office" users);
+/// * type 1 — P2P dominant (bulk downloaders);
+/// * type 2 — video streaming dominant;
+/// * type 3 — music + e-mail leaning.
+pub const TYPE_CENTROIDS: [[f64; APP_CATEGORY_COUNT]; USER_TYPE_COUNT] = [
+    [0.30, 0.05, 0.10, 0.10, 0.05, 0.40],
+    [0.05, 0.50, 0.05, 0.05, 0.20, 0.15],
+    [0.10, 0.05, 0.10, 0.05, 0.50, 0.20],
+    [0.10, 0.05, 0.35, 0.25, 0.05, 0.20],
+];
+
+/// Traffic-volume multiplier per type (P2P/video users are heavier).
+pub const TYPE_VOLUME_FACTOR: [f64; USER_TYPE_COUNT] = [1.0, 2.5, 2.0, 0.8];
+
+/// The centroid of a latent type as an [`AppMix`].
+pub fn type_centroid(user_type: usize) -> AppMix {
+    AppMix::from_volumes(TYPE_CENTROIDS[user_type]).expect("centroids are valid mixes")
+}
+
+/// Draws a Dirichlet sample with per-component concentration
+/// `alpha_i = concentration · base_i`, i.e. centered on `base` with spread
+/// controlled by `concentration` (higher = tighter).
+pub fn dirichlet_around(rng: &mut StdRng, base: &AppMix, concentration: f64) -> AppMix {
+    let mut draws = [0.0; APP_CATEGORY_COUNT];
+    let mut total = 0.0;
+    for (i, &share) in base.shares().iter().enumerate() {
+        // Floor the per-component alpha so zero-share realms stay reachable.
+        let alpha = (concentration * share).max(0.05);
+        draws[i] = gamma(rng, alpha);
+        total += draws[i];
+    }
+    if total <= 0.0 {
+        return *base;
+    }
+    for d in &mut draws {
+        *d /= total;
+    }
+    AppMix::from_volumes(draws).unwrap_or(*base)
+}
+
+/// A user's full profile model: latent type, base mix, weekly modulation.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    /// Latent type index, `0..USER_TYPE_COUNT`.
+    pub user_type: usize,
+    /// The user's long-run average mix.
+    pub base: AppMix,
+    /// Per-day-of-week mixes (index 0 = trace day 0's weekday).
+    pub weekly: [AppMix; 7],
+    /// Per-user traffic scale multiplier (log-normal population spread).
+    pub volume_scale: f64,
+}
+
+impl UserProfile {
+    /// Synthesizes a user of `user_type`.
+    ///
+    /// `base_concentration` controls user-to-user spread around the type
+    /// centroid; `weekly_concentration` controls day-of-week spread around
+    /// the user's base.
+    pub fn synthesize(
+        rng: &mut StdRng,
+        user_type: usize,
+        base_concentration: f64,
+        weekly_concentration: f64,
+        volume_scale: f64,
+    ) -> UserProfile {
+        let centroid = type_centroid(user_type);
+        let base = dirichlet_around(rng, &centroid, base_concentration);
+        let weekly = std::array::from_fn(|_| dirichlet_around(rng, &base, weekly_concentration));
+        UserProfile {
+            user_type,
+            base,
+            weekly,
+            volume_scale,
+        }
+    }
+
+    /// The user's expected mix on trace day `day` before daily noise.
+    pub fn mix_for_day(&self, day: u64) -> &AppMix {
+        &self.weekly[(day % 7) as usize]
+    }
+
+    /// The realized mix on `day`: weekly pattern perturbed by daily noise
+    /// with concentration `day_concentration`.
+    pub fn daily_mix(&self, rng: &mut StdRng, day: u64, day_concentration: f64) -> AppMix {
+        dirichlet_around(rng, self.mix_for_day(day), day_concentration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use s3_types::AppCategory;
+
+    #[test]
+    fn centroids_are_distinct_and_valid() {
+        for t in 0..USER_TYPE_COUNT {
+            let c = type_centroid(t);
+            assert!((c.shares().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(type_centroid(0).dominant(), AppCategory::WebBrowsing);
+        assert_eq!(type_centroid(1).dominant(), AppCategory::P2p);
+        assert_eq!(type_centroid(2).dominant(), AppCategory::Video);
+        assert_eq!(type_centroid(3).dominant(), AppCategory::Music);
+    }
+
+    #[test]
+    fn dirichlet_around_concentrates_with_high_alpha() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = type_centroid(1);
+        let tight: f64 = (0..100)
+            .map(|_| dirichlet_around(&mut rng, &base, 500.0).tv_distance(&base))
+            .sum::<f64>()
+            / 100.0;
+        let loose: f64 = (0..100)
+            .map(|_| dirichlet_around(&mut rng, &base, 5.0).tv_distance(&base))
+            .sum::<f64>()
+            / 100.0;
+        assert!(tight < loose, "tight {tight} loose {loose}");
+        assert!(tight < 0.05);
+    }
+
+    #[test]
+    fn synthesized_profile_stays_near_centroid() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for t in 0..USER_TYPE_COUNT {
+            let profile = UserProfile::synthesize(&mut rng, t, 150.0, 300.0, 1.0);
+            assert_eq!(profile.user_type, t);
+            assert!(
+                profile.base.tv_distance(&type_centroid(t)) < 0.3,
+                "type {t} drifted too far"
+            );
+            // Weekly mixes are near the base.
+            for w in &profile.weekly {
+                assert!(w.tv_distance(&profile.base) < 0.3);
+            }
+        }
+    }
+
+    #[test]
+    fn weekly_pattern_repeats_with_period_seven() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let profile = UserProfile::synthesize(&mut rng, 0, 100.0, 100.0, 1.0);
+        assert_eq!(profile.mix_for_day(3), profile.mix_for_day(10));
+        assert_eq!(profile.mix_for_day(0), profile.mix_for_day(7));
+    }
+
+    #[test]
+    fn daily_mix_is_noisy_but_close() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let profile = UserProfile::synthesize(&mut rng, 2, 150.0, 300.0, 1.0);
+        let day = 5;
+        let expected = *profile.mix_for_day(day);
+        let mean_dist: f64 = (0..50)
+            .map(|_| profile.daily_mix(&mut rng, day, 200.0).tv_distance(&expected))
+            .sum::<f64>()
+            / 50.0;
+        assert!(mean_dist < 0.1, "daily noise too large: {mean_dist}");
+    }
+
+    #[test]
+    fn users_of_same_type_cluster_closer_than_cross_type() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a1 = UserProfile::synthesize(&mut rng, 1, 150.0, 300.0, 1.0);
+        let a2 = UserProfile::synthesize(&mut rng, 1, 150.0, 300.0, 1.0);
+        let b = UserProfile::synthesize(&mut rng, 3, 150.0, 300.0, 1.0);
+        assert!(a1.base.tv_distance(&a2.base) < a1.base.tv_distance(&b.base));
+    }
+}

@@ -1,0 +1,215 @@
+//! Diurnal load shape and group activity schedules.
+//!
+//! Two temporal structures drive the paper's findings:
+//!
+//! * the campus **diurnal curve** — network load peaks 10:00–11:00 and
+//!   15:00–16:00 (the paper's "peak hours");
+//! * **class-slot schedules** — group activities end together at slot
+//!   boundaries, producing the leave-peaks (12:00–13:00, ~17:00,
+//!   21:00–22:00) against which S³ shines in Fig. 12.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use s3_types::{Timestamp, TimeDelta, SECS_PER_HOUR};
+
+/// Relative arrival intensity per hour of day for independent ("noise")
+/// sessions. Peaks at 10:00 and 15:00 match the paper's peak hours.
+pub const DIURNAL_WEIGHTS: [f64; 24] = [
+    0.15, 0.10, 0.08, 0.08, 0.08, 0.15, // 00-05: night
+    0.50, 1.20, 2.20, 3.00, 3.60, 3.00, // 06-11: morning ramp, 10h peak
+    2.00, 2.40, 2.90, 3.60, 3.00, 2.20, // 12-17: lunch dip, 15h peak
+    1.90, 2.50, 2.80, 2.40, 1.40, 0.60, // 18-23: evening
+];
+
+/// The paper's peak hours: 10:00–11:00 and 15:00–16:00.
+pub fn is_peak_hour(hour: u64) -> bool {
+    hour == 10 || hour == 15
+}
+
+/// Hours with pronounced group departures in the SJTU trace (12:00–13:00,
+/// 16:00–17:50, 21:00–22:00); used by Fig. 12's peak-leave gain analysis.
+pub fn is_leave_peak_hour(hour: u64) -> bool {
+    hour == 12 || hour == 16 || hour == 17 || hour == 21
+}
+
+/// Samples an hour of day from the diurnal distribution.
+pub fn sample_diurnal_hour(rng: &mut StdRng) -> u64 {
+    let total: f64 = DIURNAL_WEIGHTS.iter().sum();
+    let mut target = rng.random::<f64>() * total;
+    for (hour, &w) in DIURNAL_WEIGHTS.iter().enumerate() {
+        if target < w {
+            return hour as u64;
+        }
+        target -= w;
+    }
+    23
+}
+
+/// A recurring class slot: `[start_hour, end_hour)` on a weekday.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassSlot {
+    /// Start hour of day.
+    pub start_hour: u64,
+    /// End hour of day (exclusive).
+    pub end_hour: u64,
+}
+
+/// The campus timetable: class slots with selection weights. Heavier
+/// weights on the slots ending at 12:00, 17:00 and 22:00 reproduce the
+/// trace's leave-peaks.
+pub const CLASS_SLOTS: [(ClassSlot, f64); 6] = [
+    (ClassSlot { start_hour: 8, end_hour: 10 }, 1.0),
+    (ClassSlot { start_hour: 10, end_hour: 12 }, 3.0),
+    (ClassSlot { start_hour: 13, end_hour: 15 }, 1.0),
+    (ClassSlot { start_hour: 15, end_hour: 17 }, 3.0),
+    (ClassSlot { start_hour: 19, end_hour: 21 }, 1.0),
+    (ClassSlot { start_hour: 20, end_hour: 22 }, 2.0),
+];
+
+/// Samples a class slot from the weighted timetable.
+pub fn sample_class_slot(rng: &mut StdRng) -> ClassSlot {
+    let total: f64 = CLASS_SLOTS.iter().map(|&(_, w)| w).sum();
+    let mut target = rng.random::<f64>() * total;
+    for &(slot, w) in &CLASS_SLOTS {
+        if target < w {
+            return slot;
+        }
+        target -= w;
+    }
+    CLASS_SLOTS[CLASS_SLOTS.len() - 1].0
+}
+
+/// One recurring meeting of a group: a slot on a day-of-week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Meeting {
+    /// Day of week, `0..7` (0 = trace day 0's weekday; 5 and 6 are the
+    /// weekend with reduced activity).
+    pub day_of_week: u64,
+    /// The class slot.
+    pub slot: ClassSlot,
+}
+
+impl Meeting {
+    /// Concrete `[start, end)` of this meeting on trace day `day`, or
+    /// `None` when `day` is not this meeting's weekday.
+    pub fn occurrence_on(&self, day: u64) -> Option<(Timestamp, Timestamp)> {
+        if day % 7 != self.day_of_week {
+            return None;
+        }
+        let start = Timestamp::from_secs(day * s3_types::SECS_PER_DAY + self.slot.start_hour * SECS_PER_HOUR);
+        let end = Timestamp::from_secs(day * s3_types::SECS_PER_DAY + self.slot.end_hour * SECS_PER_HOUR);
+        Some((start, end))
+    }
+}
+
+/// Draws a weekly schedule of `count` meetings, weekdays only, without
+/// duplicate (weekday, slot) pairs.
+pub fn sample_weekly_schedule(rng: &mut StdRng, count: usize) -> Vec<Meeting> {
+    let mut meetings: Vec<Meeting> = Vec::with_capacity(count);
+    let mut guard = 0;
+    while meetings.len() < count && guard < 200 {
+        guard += 1;
+        let meeting = Meeting {
+            day_of_week: rng.random_range(0..5),
+            slot: sample_class_slot(rng),
+        };
+        if !meetings
+            .iter()
+            .any(|m| m.day_of_week == meeting.day_of_week && m.slot == meeting.slot)
+        {
+            meetings.push(meeting);
+        }
+    }
+    meetings
+}
+
+/// Session duration sampler for independent sessions: log-normal with a
+/// median of ~35 minutes, clamped to `[3 min, 6 h]`.
+pub fn sample_noise_duration(rng: &mut StdRng) -> TimeDelta {
+    let secs = s3_stats::rng::log_normal(rng, (35.0f64 * 60.0).ln(), 0.8);
+    TimeDelta::secs(secs.clamp(180.0, 6.0 * 3600.0) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diurnal_peaks_where_the_paper_says() {
+        let max = DIURNAL_WEIGHTS
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(DIURNAL_WEIGHTS[10], max);
+        assert_eq!(DIURNAL_WEIGHTS[15], max);
+        assert!(is_peak_hour(10) && is_peak_hour(15));
+        assert!(!is_peak_hour(3));
+        assert!(is_leave_peak_hour(12) && is_leave_peak_hour(21));
+        assert!(!is_leave_peak_hour(10));
+    }
+
+    #[test]
+    fn diurnal_sampling_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 24];
+        for _ in 0..100_000 {
+            counts[sample_diurnal_hour(&mut rng) as usize] += 1;
+        }
+        // 10:00 must be sampled far more than 03:00.
+        assert!(counts[10] > counts[3] * 10);
+        // And roughly as often as 15:00.
+        let ratio = counts[10] as f64 / counts[15] as f64;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn class_slots_are_well_formed() {
+        for &(slot, w) in &CLASS_SLOTS {
+            assert!(slot.start_hour < slot.end_hour);
+            assert!(slot.end_hour <= 24);
+            assert!(w > 0.0);
+        }
+    }
+
+    #[test]
+    fn meeting_occurrence_respects_weekday() {
+        let m = Meeting {
+            day_of_week: 2,
+            slot: ClassSlot { start_hour: 10, end_hour: 12 },
+        };
+        assert!(m.occurrence_on(0).is_none());
+        let (start, end) = m.occurrence_on(2).unwrap();
+        assert_eq!(start.day(), 2);
+        assert_eq!(start.hour_of_day(), 10);
+        assert_eq!(end.hour_of_day(), 12);
+        assert!(m.occurrence_on(9).is_some(), "next week same weekday");
+    }
+
+    #[test]
+    fn weekly_schedule_has_no_duplicates_and_weekdays_only() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let schedule = sample_weekly_schedule(&mut rng, 3);
+            assert_eq!(schedule.len(), 3);
+            for m in &schedule {
+                assert!(m.day_of_week < 5);
+            }
+            for (i, a) in schedule.iter().enumerate() {
+                for b in &schedule[i + 1..] {
+                    assert!(!(a.day_of_week == b.day_of_week && a.slot == b.slot));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noise_durations_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let d = sample_noise_duration(&mut rng);
+            assert!(d.as_secs() >= 180 && d.as_secs() <= 6 * 3600);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Descriptive statistics over a session log — the "Table 0" every
+//! measurement paper opens with, and the backbone of `s3wlan analyze`.
+
+use s3_types::{AppCategory, Bytes, TimeDelta, APP_CATEGORY_COUNT};
+
+use crate::TraceStore;
+
+/// Descriptive summary of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Number of session records.
+    pub sessions: usize,
+    /// Distinct users.
+    pub users: usize,
+    /// Distinct APs (across all controllers).
+    pub aps: usize,
+    /// Distinct controllers.
+    pub controllers: usize,
+    /// First and last day touched (inclusive).
+    pub day_range: Option<(u64, u64)>,
+    /// Total served volume.
+    pub total_volume: Bytes,
+    /// Served volume per application realm.
+    pub volume_by_app: [Bytes; APP_CATEGORY_COUNT],
+    /// Session duration percentiles `(p10, p50, p90)`.
+    pub duration_percentiles: (TimeDelta, TimeDelta, TimeDelta),
+    /// Mean sessions per user per active day.
+    pub sessions_per_user_day: f64,
+}
+
+impl TraceSummary {
+    /// Summarizes a store. Empty stores produce a zeroed summary.
+    pub fn of(store: &TraceStore) -> TraceSummary {
+        let mut aps = std::collections::HashSet::new();
+        let mut total_volume = Bytes::ZERO;
+        let mut volume_by_app = [Bytes::ZERO; APP_CATEGORY_COUNT];
+        let mut durations: Vec<u64> = Vec::with_capacity(store.len());
+        for r in store.records() {
+            aps.insert(r.ap);
+            total_volume += r.total_volume();
+            for (slot, v) in volume_by_app.iter_mut().zip(&r.volume_by_app) {
+                *slot += *v;
+            }
+            durations.push(r.duration().as_secs());
+        }
+        durations.sort_unstable();
+        let pct = |q: f64| -> TimeDelta {
+            if durations.is_empty() {
+                TimeDelta::ZERO
+            } else {
+                let idx = ((durations.len() - 1) as f64 * q).round() as usize;
+                TimeDelta::secs(durations[idx])
+            }
+        };
+        let day_range = store.day_range();
+        let days = day_range.map(|(a, b)| b - a + 1).unwrap_or(0);
+        let users = store.users().len();
+        let sessions_per_user_day = if users > 0 && days > 0 {
+            store.len() as f64 / (users as f64 * days as f64)
+        } else {
+            0.0
+        };
+        TraceSummary {
+            sessions: store.len(),
+            users,
+            aps: aps.len(),
+            controllers: store.controllers().len(),
+            day_range,
+            total_volume,
+            volume_by_app,
+            duration_percentiles: (pct(0.1), pct(0.5), pct(0.9)),
+            sessions_per_user_day,
+        }
+    }
+
+    /// The realm carrying the most traffic, with its share of the total
+    /// (`None` for an empty trace).
+    pub fn dominant_realm(&self) -> Option<(AppCategory, f64)> {
+        if self.total_volume.is_zero() {
+            return None;
+        }
+        let (idx, volume) = self
+            .volume_by_app
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, v)| v.as_u64())?;
+        Some((
+            AppCategory::from_index(idx).expect("valid realm index"),
+            volume.as_f64() / self.total_volume.as_f64(),
+        ))
+    }
+
+    /// Renders a compact multi-line report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sessions: {} | users: {} | APs: {} | controllers: {}\n",
+            self.sessions, self.users, self.aps, self.controllers
+        ));
+        if let Some((a, b)) = self.day_range {
+            out.push_str(&format!("days: {a}..={b}\n"));
+        }
+        out.push_str(&format!(
+            "traffic: {} total | {:.2} sessions/user/day\n",
+            self.total_volume, self.sessions_per_user_day
+        ));
+        let (p10, p50, p90) = self.duration_percentiles;
+        out.push_str(&format!(
+            "session duration: p10 {}m | p50 {}m | p90 {}m\n",
+            p10.as_secs() / 60,
+            p50.as_secs() / 60,
+            p90.as_secs() / 60
+        ));
+        for (i, v) in self.volume_by_app.iter().enumerate() {
+            let c = AppCategory::from_index(i).expect("valid index");
+            let share = if self.total_volume.is_zero() {
+                0.0
+            } else {
+                v.as_f64() / self.total_volume.as_f64() * 100.0
+            };
+            out.push_str(&format!("  {c:<6} {v} ({share:.1}%)\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::concentrated_volumes;
+    use crate::SessionRecord;
+    use s3_types::{ApId, ControllerId, Timestamp, UserId};
+
+    fn rec(user: u32, ap: u32, start: u64, dur: u64, cat: AppCategory, mb: u64) -> SessionRecord {
+        SessionRecord {
+            user: UserId::new(user),
+            ap: ApId::new(ap),
+            controller: ControllerId::new(ap / 4),
+            connect: Timestamp::from_secs(start),
+            disconnect: Timestamp::from_secs(start + dur),
+            volume_by_app: concentrated_volumes(cat, Bytes::megabytes(mb)),
+        }
+    }
+
+    #[test]
+    fn summary_counts_everything() {
+        let store = TraceStore::new(vec![
+            rec(1, 0, 100, 600, AppCategory::Video, 10),
+            rec(2, 1, 200, 1_200, AppCategory::Video, 20),
+            rec(1, 4, 86_400, 1_800, AppCategory::Im, 5),
+        ]);
+        let s = TraceSummary::of(&store);
+        assert_eq!(s.sessions, 3);
+        assert_eq!(s.users, 2);
+        assert_eq!(s.aps, 3);
+        assert_eq!(s.controllers, 2);
+        assert_eq!(s.day_range, Some((0, 1)));
+        assert_eq!(s.total_volume, Bytes::megabytes(35));
+        assert_eq!(s.volume_by_app[AppCategory::Video.index()], Bytes::megabytes(30));
+        let (p10, p50, p90) = s.duration_percentiles;
+        assert_eq!(p10, TimeDelta::secs(600));
+        assert_eq!(p50, TimeDelta::secs(1_200));
+        assert_eq!(p90, TimeDelta::secs(1_800));
+        // 3 sessions / (2 users * 2 days)
+        assert!((s.sessions_per_user_day - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_realm_and_share() {
+        let store = TraceStore::new(vec![
+            rec(1, 0, 0, 600, AppCategory::P2p, 30),
+            rec(2, 0, 0, 600, AppCategory::Im, 10),
+        ]);
+        let s = TraceSummary::of(&store);
+        let (realm, share) = s.dominant_realm().unwrap();
+        assert_eq!(realm, AppCategory::P2p);
+        assert!((share - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_store_summary() {
+        let s = TraceSummary::of(&TraceStore::new(vec![]));
+        assert_eq!(s.sessions, 0);
+        assert_eq!(s.day_range, None);
+        assert_eq!(s.dominant_realm(), None);
+        assert_eq!(s.sessions_per_user_day, 0.0);
+        assert_eq!(s.duration_percentiles.1, TimeDelta::ZERO);
+        assert!(s.report().contains("sessions: 0"));
+    }
+
+    #[test]
+    fn report_mentions_all_realms() {
+        let store = TraceStore::new(vec![rec(1, 0, 0, 600, AppCategory::Email, 5)]);
+        let report = TraceSummary::of(&store).report();
+        for c in AppCategory::ALL {
+            assert!(report.contains(c.label()), "missing {c} in report:\n{report}");
+        }
+    }
+}

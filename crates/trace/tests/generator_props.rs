@@ -1,0 +1,112 @@
+//! Property tests over the synthetic campus generator: structural
+//! invariants must hold for any seed and any small configuration.
+
+use proptest::prelude::*;
+
+use s3_trace::generator::{CampusConfig, CampusGenerator, USER_TYPE_COUNT};
+use s3_trace::{csv, TraceStore, SessionRecord};
+use s3_types::ApId;
+
+fn small_config(users: usize, buildings: usize, days: u64) -> CampusConfig {
+    CampusConfig {
+        users,
+        buildings,
+        aps_per_building: 3,
+        days,
+        ..CampusConfig::tiny()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_campus_is_well_formed(
+        seed in 0u64..1_000,
+        users in 10usize..80,
+        buildings in 1usize..4,
+        days in 1u64..5,
+    ) {
+        let config = small_config(users, buildings, days);
+        let campus = CampusGenerator::new(config, seed).generate();
+        // Sorted demands; positive-length sessions in valid buildings.
+        for w in campus.demands.windows(2) {
+            prop_assert!(w[0].arrive <= w[1].arrive);
+        }
+        for d in &campus.demands {
+            prop_assert!(d.depart > d.arrive);
+            prop_assert!(d.building.index() < buildings);
+            prop_assert!(d.user.index() < users);
+            prop_assert_eq!(d.controller, campus.config.controller_of(d.building));
+        }
+        // Ground truth is complete and in range.
+        let truth = &campus.ground_truth;
+        prop_assert_eq!(truth.user_types.len(), users);
+        prop_assert!(truth.user_types.iter().all(|&t| t < USER_TYPE_COUNT));
+        for g in &truth.groups {
+            prop_assert!(g.members.len() >= 2);
+            prop_assert!(g.building.index() < buildings);
+            // No duplicate members inside a group.
+            let unique: std::collections::HashSet<_> = g.members.iter().collect();
+            prop_assert_eq!(unique.len(), g.members.len());
+        }
+        // No user belongs to two groups (partition property).
+        let mut seen = std::collections::HashSet::new();
+        for g in &truth.groups {
+            for m in &g.members {
+                prop_assert!(seen.insert(*m), "user {m} in two groups");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed(seed in 0u64..500) {
+        let config = small_config(20, 2, 2);
+        let a = CampusGenerator::new(config.clone(), seed).generate();
+        let b = CampusGenerator::new(config, seed).generate();
+        prop_assert_eq!(a.demands, b.demands);
+    }
+
+    #[test]
+    fn demand_csv_round_trips_generated_traces(seed in 0u64..200) {
+        let campus = CampusGenerator::new(small_config(15, 2, 2), seed).generate();
+        let mut buf = Vec::new();
+        csv::write_demands(&mut buf, &campus.demands).unwrap();
+        let back = csv::read_demands(std::io::BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(back, campus.demands);
+    }
+
+    #[test]
+    fn store_queries_are_consistent(seed in 0u64..200) {
+        let campus = CampusGenerator::new(small_config(25, 2, 3), seed).generate();
+        // Fabricate records by assigning everything to AP 0 of the building.
+        let records: Vec<SessionRecord> = campus
+            .demands
+            .iter()
+            .map(|d| SessionRecord::from_demand(
+                d,
+                ApId::new((d.building.index() * 3) as u32),
+            ))
+            .collect();
+        let expected_total: u64 = records.iter().map(|r| r.total_volume().as_u64()).sum();
+        let store = TraceStore::new(records);
+        // Per-user session counts sum to the record count.
+        let by_user: usize = store
+            .users()
+            .iter()
+            .map(|&u| store.sessions_of(u).count())
+            .sum();
+        prop_assert_eq!(by_user, store.len());
+        // Window volumes over the whole span conserve totals (up to
+        // rounding of one byte per record per day touched).
+        let (first, last) = store.day_range().unwrap();
+        let mut total = 0u64;
+        for &u in &store.users() {
+            let v = store.user_window_volumes(u, first, last);
+            total += v.iter().map(|b| b.as_u64()).sum::<u64>();
+        }
+        let tolerance = store.len() as u64 * (last - first + 2);
+        prop_assert!(expected_total - total <= tolerance,
+            "expected {expected_total}, got {total}");
+    }
+}

@@ -1,0 +1,66 @@
+//! The shared error type for constraint violations in the vocabulary crates.
+
+use core::fmt;
+
+/// Errors raised by constructors and validators across the S³ crates that
+/// have no more specific error type of their own.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeError {
+    /// A numeric argument was outside its documented range.
+    OutOfRange {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// Human-readable description of the allowed range.
+        allowed: &'static str,
+        /// The offending value, rendered.
+        got: String,
+    },
+    /// A collection argument was empty where at least one element is needed.
+    Empty {
+        /// Name of the offending parameter.
+        what: &'static str,
+    },
+}
+
+impl TypeError {
+    /// Convenience constructor for [`TypeError::OutOfRange`].
+    pub fn out_of_range(what: &'static str, allowed: &'static str, got: impl fmt::Display) -> Self {
+        TypeError::OutOfRange {
+            what,
+            allowed,
+            got: got.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::OutOfRange { what, allowed, got } => {
+                write!(f, "{what} out of range: got {got}, allowed {allowed}")
+            }
+            TypeError::Empty { what } => write!(f, "{what} must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TypeError::out_of_range("alpha", "[0,1]", 1.5);
+        assert_eq!(e.to_string(), "alpha out of range: got 1.5, allowed [0,1]");
+        let e = TypeError::Empty { what: "aps" };
+        assert_eq!(e.to_string(), "aps must not be empty");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<TypeError>();
+    }
+}

@@ -1,0 +1,36 @@
+//! Core vocabulary types shared by every crate in the S³ reproduction.
+//!
+//! This crate defines the identifiers, simulation-time arithmetic, traffic
+//! units and application-profile vectors that the trace generator, the WLAN
+//! simulator, the measurement-analysis machinery and the S³ algorithm itself
+//! all speak. Nothing in here allocates on hot paths; every type is a thin
+//! newtype with the invariants of its domain enforced at construction.
+//!
+//! # Example
+//!
+//! ```
+//! use s3_types::{AppCategory, AppMix, Timestamp, TimeDelta};
+//!
+//! let noon_day3 = Timestamp::from_day_hms(3, 12, 0, 0);
+//! assert_eq!(noon_day3.day(), 3);
+//! assert_eq!(noon_day3.hour_of_day(), 12);
+//!
+//! let mix = AppMix::from_volumes([10.0, 0.0, 5.0, 0.0, 0.0, 85.0]).unwrap();
+//! assert!((mix.share(AppCategory::WebBrowsing) - 0.85).abs() < 1e-12);
+//! assert_eq!(noon_day3 + TimeDelta::minutes(30), Timestamp::from_day_hms(3, 12, 30, 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod error;
+mod ids;
+mod time;
+mod traffic;
+
+pub use app::{AppCategory, AppMix, AppMixError, APP_CATEGORY_COUNT};
+pub use error::TypeError;
+pub use ids::{ApId, BuildingId, ControllerId, GroupId, UserId};
+pub use time::{Timestamp, TimeDelta, SECS_PER_DAY, SECS_PER_HOUR, SECS_PER_MINUTE};
+pub use traffic::{BitsPerSec, Bytes};

@@ -1,0 +1,87 @@
+//! Property tests for the vocabulary types.
+
+use proptest::prelude::*;
+
+use s3_types::{AppMix, Bytes, BitsPerSec, TimeDelta, Timestamp};
+
+proptest! {
+    #[test]
+    fn timestamp_add_then_sub_round_trips(base in 0u64..1_000_000_000, delta in 0u64..1_000_000) {
+        let t = Timestamp::from_secs(base);
+        let d = TimeDelta::secs(delta);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d).saturating_sub(t), d);
+    }
+
+    #[test]
+    fn timestamp_decomposition_recomposes(secs in 0u64..100_000_000) {
+        let t = Timestamp::from_secs(secs);
+        let rebuilt = t.day() * s3_types::SECS_PER_DAY
+            + t.hour_of_day() * s3_types::SECS_PER_HOUR
+            + t.minute_of_hour() * s3_types::SECS_PER_MINUTE
+            + (secs % 60);
+        prop_assert_eq!(rebuilt, secs);
+    }
+
+    #[test]
+    fn floor_to_is_idempotent_and_dominated(secs in 0u64..10_000_000, bin_mins in 1u64..120) {
+        let t = Timestamp::from_secs(secs);
+        let bin = TimeDelta::minutes(bin_mins);
+        let floored = t.floor_to(bin);
+        prop_assert!(floored <= t);
+        prop_assert_eq!(floored.floor_to(bin), floored);
+        prop_assert!(t.saturating_sub(floored) < bin);
+    }
+
+    #[test]
+    fn byte_subtraction_saturates(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (x, y) = (Bytes::new(a), Bytes::new(b));
+        let diff = x - y;
+        prop_assert_eq!(diff.as_u64(), a.saturating_sub(b));
+        prop_assert_eq!(x.saturating_sub(y), diff);
+    }
+
+    #[test]
+    fn rate_volume_round_trip_is_close(mbps in 0.01f64..1000.0, secs in 1u64..100_000) {
+        let rate = BitsPerSec::mbps(mbps);
+        let span = TimeDelta::secs(secs);
+        let volume = rate.volume_over(span);
+        let back = volume.rate_over(span).unwrap();
+        // Rounding to whole bytes loses at most 8 bits per second of span.
+        prop_assert!((back.as_f64() - rate.as_f64()).abs() <= 8.0 / span.as_secs_f64() + 8.0);
+    }
+
+    #[test]
+    fn app_mix_lerp_interpolates_on_simplex(
+        a in prop::collection::vec(0.01f64..10.0, 6..=6),
+        b in prop::collection::vec(0.01f64..10.0, 6..=6),
+        t in 0.0f64..=1.0,
+    ) {
+        let a = AppMix::from_volumes(a.try_into().unwrap()).unwrap();
+        let b = AppMix::from_volumes(b.try_into().unwrap()).unwrap();
+        let mid = a.lerp(&b, t);
+        prop_assert!((mid.shares().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for (m, (x, y)) in mid.shares().iter().zip(a.shares().iter().zip(b.shares())) {
+            let (lo, hi) = if x < y { (*x, *y) } else { (*y, *x) };
+            prop_assert!(*m >= lo - 1e-12 && *m <= hi + 1e-12);
+        }
+        // Endpoints are exact.
+        prop_assert!(a.lerp(&b, 0.0).tv_distance(&a) < 1e-12);
+        prop_assert!(a.lerp(&b, 1.0).tv_distance(&b) < 1e-12);
+    }
+
+    #[test]
+    fn tv_distance_is_a_bounded_metric(
+        a in prop::collection::vec(0.01f64..10.0, 6..=6),
+        b in prop::collection::vec(0.01f64..10.0, 6..=6),
+    ) {
+        let a = AppMix::from_volumes(a.try_into().unwrap()).unwrap();
+        let b = AppMix::from_volumes(b.try_into().unwrap()).unwrap();
+        let d = a.tv_distance(&b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((a.tv_distance(&b) - b.tv_distance(&a)).abs() < 1e-12);
+        prop_assert!(a.tv_distance(&a) < 1e-12);
+        // L2 and TV orderings agree at the extremes.
+        prop_assert!(a.l2_distance(&b) >= 0.0);
+    }
+}

@@ -1,0 +1,665 @@
+//! The trace-replay simulation engine.
+//!
+//! Replays a time-sorted [`SessionDemand`] stream against a [`Topology`]
+//! under an [`ApSelector`] policy:
+//!
+//! 1. departures scheduled before the next arrival are applied (load and
+//!    association state release);
+//! 2. arrivals falling inside one batching window are grouped per
+//!    controller and handed to the policy as a batch (a class start is a
+//!    burst of simultaneous arrivals — precisely the case where the S³
+//!    clique logic matters);
+//! 3. each placement is logged as a [`SessionRecord`] and its departure is
+//!    scheduled.
+//!
+//! Load accounting uses each session's true mean rate — the simulator's
+//! equivalent of the paper's "served traffic amount" field. Policies do
+//! *not* see that live load: they see per-AP loads as of the last counter
+//! report ([`SimConfig::load_report_interval`]), which is what makes the
+//! incumbent least-load controller herd arrival bursts.
+//!
+//! The engine can also run an **online rebalancer**
+//! ([`SimConfig::rebalance`]) that periodically migrates sessions from the
+//! most- to the least-loaded AP — the "other category" of load balancing
+//! the paper contrasts with: excellent balance, at the price of counted
+//! connection disruptions. A migrated session is split into per-AP
+//! [`SessionRecord`] segments with its volume divided proportionally.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use s3_trace::{SessionDemand, SessionRecord};
+use s3_types::{
+    ApId, BitsPerSec, Bytes, ControllerId, Timestamp, TimeDelta, UserId, APP_CATEGORY_COUNT,
+};
+
+use crate::radio::{distance, rssi_at, session_position};
+use crate::selector::{ApCandidate, ApSelector, ArrivalUser};
+use crate::topology::Topology;
+
+/// Online-rebalancer settings (the migrating baseline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceConfig {
+    /// How often the rebalancer runs.
+    pub interval: TimeDelta,
+    /// Maximum migrations per controller per round.
+    pub max_moves_per_round: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            interval: TimeDelta::minutes(5),
+            max_moves_per_round: 8,
+        }
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Arrivals within this window of the batch head are presented to the
+    /// policy together (per controller). Zero disables batching.
+    pub batch_window: TimeDelta,
+    /// How often APs report traffic counters to the controller. Policies
+    /// see the load *as of the last report* — the classic SNMP-style
+    /// polling lag that makes pure least-load controllers herd bursts of
+    /// arrivals onto one AP. Associations (who is connected where) are
+    /// always live: the controller mediates them itself. Zero disables the
+    /// lag (policies see live load — an oracle baseline).
+    pub load_report_interval: TimeDelta,
+    /// Optional online rebalancer: periodically migrates sessions off the
+    /// most-loaded AP. `None` (the default) keeps every session where the
+    /// policy placed it — the paper's "user-friendly" regime.
+    pub rebalance: Option<RebalanceConfig>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            batch_window: TimeDelta::secs(30),
+            load_report_interval: TimeDelta::minutes(5),
+            rebalance: None,
+        }
+    }
+}
+
+/// Output of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Session records, sorted by connect time. Without rebalancing,
+    /// exactly one record per demand; with it, migrated sessions appear as
+    /// several per-AP segments whose volumes sum to the demand's.
+    pub records: Vec<SessionRecord>,
+    /// Demands that could not be placed (no candidate AP — topology
+    /// mismatch; normally zero).
+    pub rejected: usize,
+    /// Mid-session migrations performed by the rebalancer (each one is a
+    /// user-visible connection disruption).
+    pub migrations: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ApState {
+    load: BitsPerSec,
+    associated: Vec<UserId>,
+}
+
+/// A live session being served.
+#[derive(Debug, Clone)]
+struct Active {
+    user: UserId,
+    controller: ControllerId,
+    ap: ApId,
+    rate: BitsPerSec,
+    depart: Timestamp,
+    /// Start of the current segment (arrival, or the last migration).
+    segment_start: Timestamp,
+    /// Volume not yet attributed to a closed segment.
+    remaining: [Bytes; APP_CATEGORY_COUNT],
+}
+
+impl Active {
+    /// Closes the current segment at `end`, emitting a record carrying the
+    /// proportional share of the remaining volume (the final segment takes
+    /// everything left, so totals are conserved exactly).
+    fn close_segment(&mut self, end: Timestamp, is_final: bool) -> SessionRecord {
+        let mut volume = [Bytes::ZERO; APP_CATEGORY_COUNT];
+        if is_final {
+            volume = self.remaining;
+            self.remaining = [Bytes::ZERO; APP_CATEGORY_COUNT];
+        } else {
+            let total_left = self.depart.saturating_sub(self.segment_start).as_secs_f64();
+            let seg = end.saturating_sub(self.segment_start).as_secs_f64();
+            let frac = if total_left > 0.0 {
+                (seg / total_left).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            for (slot, rem) in volume.iter_mut().zip(self.remaining.iter_mut()) {
+                let take = Bytes::new((rem.as_f64() * frac) as u64);
+                *slot = take;
+                *rem -= take;
+            }
+        }
+        let record = SessionRecord {
+            user: self.user,
+            ap: self.ap,
+            controller: self.controller,
+            connect: self.segment_start,
+            disconnect: end,
+            volume_by_app: volume,
+        };
+        self.segment_start = end;
+        record
+    }
+}
+
+struct RunState {
+    state: Vec<ApState>,
+    reported: Vec<BitsPerSec>,
+    sessions: Vec<Option<Active>>,
+    records: Vec<SessionRecord>,
+    migrations: usize,
+}
+
+/// The replay engine.
+#[derive(Debug)]
+pub struct SimEngine {
+    topology: Topology,
+    config: SimConfig,
+}
+
+impl SimEngine {
+    /// Creates an engine over `topology`.
+    pub fn new(topology: Topology, config: SimConfig) -> Self {
+        SimEngine { topology, config }
+    }
+
+    /// The engine's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Replays `demands` (must be sorted by arrival time) under `selector`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demands` is not sorted by arrival time, or if the
+    /// selector returns an out-of-range candidate index.
+    pub fn run(&self, demands: &[SessionDemand], selector: &mut dyn ApSelector) -> SimResult {
+        assert!(
+            demands.windows(2).all(|w| w[0].arrive <= w[1].arrive),
+            "demands must be sorted by arrival time"
+        );
+        let ap_count = self.topology.ap_count();
+        let mut run = RunState {
+            state: vec![ApState::default(); ap_count],
+            reported: vec![BitsPerSec::ZERO; ap_count],
+            sessions: Vec::new(),
+            records: Vec::with_capacity(demands.len()),
+            migrations: 0,
+        };
+        let mut last_report: Option<u64> = None;
+        let mut last_rebalance: Option<u64> = None;
+        // Departure queue: (depart seconds, session index).
+        let mut departures: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let mut rejected = 0usize;
+
+        let mut i = 0;
+        while i < demands.len() {
+            let batch_head = demands[i].arrive;
+            Self::apply_departures(&mut run, &mut departures, batch_head);
+
+            // Periodic online rebalancing (live load view: the rebalancer
+            // is the idealized "other category" — maximal balance, counted
+            // disruptions).
+            if let Some(rb) = self.config.rebalance.clone() {
+                if !rb.interval.is_zero() {
+                    let epoch = batch_head.as_secs() / rb.interval.as_secs();
+                    if last_rebalance != Some(epoch) {
+                        self.rebalance(&mut run, batch_head, &rb);
+                        last_rebalance = Some(epoch);
+                    }
+                }
+            }
+
+            // Refresh the controller's load view at report-epoch boundaries.
+            let epoch = if self.config.load_report_interval.is_zero() {
+                None
+            } else {
+                Some(batch_head.as_secs() / self.config.load_report_interval.as_secs())
+            };
+            if epoch.is_none() || last_report != epoch {
+                for (r, s) in run.reported.iter_mut().zip(&run.state) {
+                    *r = s.load;
+                }
+                last_report = epoch;
+            }
+
+            // Collect the batch.
+            let mut j = i;
+            while j < demands.len() && demands[j].arrive <= batch_head + self.config.batch_window {
+                j += 1;
+            }
+            let batch = &demands[i..j];
+
+            // Group the batch by controller, preserving arrival order.
+            let mut controllers: Vec<ControllerId> = Vec::new();
+            for d in batch {
+                if !controllers.contains(&d.controller) {
+                    controllers.push(d.controller);
+                }
+            }
+            for controller in controllers {
+                let group: Vec<&SessionDemand> =
+                    batch.iter().filter(|d| d.controller == controller).collect();
+                let aps = self.topology.aps_of_controller(controller);
+                if aps.is_empty() {
+                    rejected += group.len();
+                    continue;
+                }
+                let candidates: Vec<ApCandidate> = aps
+                    .iter()
+                    .map(|&ap| ApCandidate {
+                        ap,
+                        load: run.reported[ap.index()],
+                        capacity: self.topology.ap(ap).expect("ap exists").capacity,
+                        associated: run.state[ap.index()].associated.clone(),
+                    })
+                    .collect();
+                let users: Vec<ArrivalUser> = group
+                    .iter()
+                    .map(|d| {
+                        let pos = session_position(d.user, d.arrive);
+                        let rssi = aps
+                            .iter()
+                            .map(|&ap| {
+                                rssi_at(distance(
+                                    pos,
+                                    self.topology.ap(ap).expect("ap exists").position,
+                                ))
+                            })
+                            .collect();
+                        ArrivalUser {
+                            user: d.user,
+                            now: d.arrive,
+                            demand_hint: d.mean_rate(),
+                            rssi,
+                        }
+                    })
+                    .collect();
+                let picks = selector.select_batch(&users, &candidates);
+                assert_eq!(picks.len(), users.len(), "one pick per user required");
+                for (demand, &pick) in group.iter().zip(&picks) {
+                    assert!(pick < candidates.len(), "selector pick out of range");
+                    let ap = candidates[pick].ap;
+                    let rate = demand.mean_rate();
+                    run.state[ap.index()].load += rate;
+                    run.state[ap.index()].associated.push(demand.user);
+                    let session_idx = run.sessions.len() as u32;
+                    run.sessions.push(Some(Active {
+                        user: demand.user,
+                        controller,
+                        ap,
+                        rate,
+                        depart: demand.depart,
+                        segment_start: demand.arrive,
+                        remaining: demand.volume_by_app,
+                    }));
+                    departures.push(Reverse((demand.depart.as_secs(), session_idx)));
+                }
+            }
+            i = j;
+        }
+        // Drain remaining departures.
+        Self::apply_departures(&mut run, &mut departures, Timestamp::from_secs(u64::MAX));
+        // Migrations close segments out of connect order; restore a stable
+        // order for downstream consumers.
+        run.records.sort_by_key(|r| (r.connect, r.user, r.ap));
+        SimResult {
+            records: run.records,
+            rejected,
+            migrations: run.migrations,
+        }
+    }
+
+    fn apply_departures(
+        run: &mut RunState,
+        departures: &mut BinaryHeap<Reverse<(u64, u32)>>,
+        now: Timestamp,
+    ) {
+        while let Some(&Reverse((t, idx))) = departures.peek() {
+            if t > now.as_secs() {
+                break;
+            }
+            departures.pop();
+            let Some(mut active) = run.sessions[idx as usize].take() else {
+                continue;
+            };
+            let ap_state = &mut run.state[active.ap.index()];
+            ap_state.load = ap_state.load.saturating_sub(active.rate);
+            if let Some(pos) = ap_state.associated.iter().position(|&u| u == active.user) {
+                ap_state.associated.swap_remove(pos);
+            }
+            let end = active.depart;
+            run.records.push(active.close_segment(end, true));
+        }
+    }
+
+    /// Greedy max-to-min migration per controller: repeatedly move the
+    /// best-fitting session from the most-loaded AP to the least-loaded
+    /// one while the gap shrinks.
+    fn rebalance(&self, run: &mut RunState, now: Timestamp, config: &RebalanceConfig) {
+        for controller in self.topology.controllers() {
+            let aps = self.topology.aps_of_controller(controller);
+            if aps.len() < 2 {
+                continue;
+            }
+            for _ in 0..config.max_moves_per_round {
+                let mut max_ap = aps[0];
+                let mut min_ap = aps[0];
+                for &ap in aps {
+                    if run.state[ap.index()].load > run.state[max_ap.index()].load {
+                        max_ap = ap;
+                    }
+                    if run.state[ap.index()].load < run.state[min_ap.index()].load {
+                        min_ap = ap;
+                    }
+                }
+                let gap = run.state[max_ap.index()]
+                    .load
+                    .saturating_sub(run.state[min_ap.index()].load);
+                if gap.as_f64() <= 0.0 {
+                    break;
+                }
+                // The largest session on max_ap whose move still shrinks
+                // the gap (rate < gap).
+                let candidate = run
+                    .sessions
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(idx, s)| s.as_ref().map(|s| (idx, s)))
+                    .filter(|(_, s)| s.ap == max_ap && s.rate.as_f64() < gap.as_f64())
+                    .max_by(|a, b| {
+                        a.1.rate
+                            .as_f64()
+                            .partial_cmp(&b.1.rate.as_f64())
+                            .expect("finite rates")
+                    })
+                    .map(|(idx, _)| idx);
+                let Some(idx) = candidate else { break };
+                let active = run.sessions[idx].as_mut().expect("candidate is live");
+                // Close the segment on the old AP (skip zero-length ones).
+                if now > active.segment_start {
+                    let record = active.close_segment(now, false);
+                    run.records.push(record);
+                } else {
+                    active.segment_start = now;
+                }
+                let rate = active.rate;
+                let user = active.user;
+                let old = active.ap;
+                active.ap = min_ap;
+                run.migrations += 1;
+                let old_state = &mut run.state[old.index()];
+                old_state.load = old_state.load.saturating_sub(rate);
+                if let Some(pos) = old_state.associated.iter().position(|&u| u == user) {
+                    old_state.associated.swap_remove(pos);
+                }
+                let new_state = &mut run.state[min_ap.index()];
+                new_state.load += rate;
+                new_state.associated.push(user);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::{LeastLoadedFirst, SelectionContext, StrongestRssi};
+    use s3_trace::generator::{CampusConfig, CampusGenerator};
+    use s3_types::{AppCategory, BuildingId, Bytes};
+
+    fn demand(user: u32, building: u32, arrive: u64, depart: u64, mb: u64) -> SessionDemand {
+        let mut volume_by_app = [Bytes::ZERO; 6];
+        volume_by_app[AppCategory::WebBrowsing.index()] = Bytes::megabytes(mb);
+        SessionDemand {
+            user: UserId::new(user),
+            building: BuildingId::new(building),
+            controller: ControllerId::new(building),
+            arrive: Timestamp::from_secs(arrive),
+            depart: Timestamp::from_secs(depart),
+            volume_by_app,
+        }
+    }
+
+    fn tiny_engine() -> SimEngine {
+        let topology = Topology::from_campus(&CampusConfig::tiny());
+        SimEngine::new(topology, SimConfig::default())
+    }
+
+    #[test]
+    fn every_demand_is_placed() {
+        let campus = CampusGenerator::new(CampusConfig::tiny(), 3).generate();
+        let engine = SimEngine::new(Topology::from_campus(&campus.config), SimConfig::default());
+        let result = engine.run(&campus.demands, &mut LeastLoadedFirst::new());
+        assert_eq!(result.records.len(), campus.demands.len());
+        assert_eq!(result.rejected, 0);
+        assert_eq!(result.migrations, 0);
+        // Every record's AP belongs to the record's controller.
+        for r in &result.records {
+            assert!(engine
+                .topology()
+                .aps_of_controller(r.controller)
+                .contains(&r.ap));
+        }
+    }
+
+    #[test]
+    fn llf_spreads_simultaneous_arrivals() {
+        let engine = tiny_engine();
+        // Three users arrive together in building 0 (3 APs).
+        let demands = vec![
+            demand(1, 0, 100, 5_000, 10),
+            demand(2, 0, 105, 5_000, 10),
+            demand(3, 0, 110, 5_000, 10),
+        ];
+        let result = engine.run(&demands, &mut LeastLoadedFirst::new());
+        let aps: std::collections::HashSet<ApId> =
+            result.records.iter().map(|r| r.ap).collect();
+        assert_eq!(aps.len(), 3, "LLF must use all three APs: {:?}", result.records);
+    }
+
+    #[test]
+    fn departures_release_load() {
+        let engine = tiny_engine();
+        // User 1 occupies an AP then leaves; user 2 arrives after and must
+        // see an empty domain (LLF picks the lowest id again).
+        let demands = vec![demand(1, 0, 100, 200, 100), demand(2, 0, 700, 800, 100)];
+        let result = engine.run(&demands, &mut LeastLoadedFirst::new());
+        assert_eq!(result.records[0].ap, result.records[1].ap);
+    }
+
+    #[test]
+    fn load_accumulates_within_sessions() {
+        let engine = tiny_engine();
+        // Users overlap; the user-count tie-break sees the first user's
+        // association immediately, so the second lands elsewhere.
+        let demands = vec![
+            demand(1, 0, 100, 10_000, 500),
+            demand(2, 0, 200, 10_000, 500),
+        ];
+        let result = engine.run(&demands, &mut LeastLoadedFirst::new());
+        assert_ne!(result.records[0].ap, result.records[1].ap);
+    }
+
+    #[test]
+    fn controllers_are_isolated() {
+        let engine = tiny_engine();
+        let demands = vec![demand(1, 0, 100, 200, 1), demand(2, 1, 100, 200, 1)];
+        let result = engine.run(&demands, &mut LeastLoadedFirst::new());
+        assert_eq!(result.records[0].controller, ControllerId::new(0));
+        assert_eq!(result.records[1].controller, ControllerId::new(1));
+        assert_ne!(result.records[0].ap, result.records[1].ap);
+    }
+
+    #[test]
+    fn strongest_rssi_is_stable_per_session() {
+        let engine = tiny_engine();
+        let demands = vec![demand(7, 0, 1_000, 2_000, 1)];
+        let a = engine.run(&demands, &mut StrongestRssi::new());
+        let b = engine.run(&demands, &mut StrongestRssi::new());
+        assert_eq!(a.records[0].ap, b.records[0].ap, "radio model is deterministic");
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_demands_panic() {
+        let engine = tiny_engine();
+        let demands = vec![demand(1, 0, 500, 600, 1), demand(2, 0, 100, 200, 1)];
+        let _ = engine.run(&demands, &mut LeastLoadedFirst::new());
+    }
+
+    #[test]
+    fn batch_window_groups_arrivals() {
+        // A selector that records how many users it saw per batch call.
+        struct Recorder {
+            batch_sizes: Vec<usize>,
+        }
+        impl ApSelector for Recorder {
+            fn name(&self) -> &str {
+                "recorder"
+            }
+            fn select(&mut self, _ctx: &SelectionContext<'_>) -> usize {
+                0
+            }
+            fn select_batch(
+                &mut self,
+                users: &[ArrivalUser],
+                candidates: &[ApCandidate],
+            ) -> Vec<usize> {
+                self.batch_sizes.push(users.len());
+                vec![0; users.len().min(candidates.len().max(1))]
+            }
+        }
+        let engine = tiny_engine();
+        let demands = vec![
+            demand(1, 0, 100, 900, 1),
+            demand(2, 0, 110, 900, 1), // within 30 s of head
+            demand(3, 0, 500, 900, 1), // separate batch
+        ];
+        let mut recorder = Recorder { batch_sizes: vec![] };
+        let _ = engine.run(&demands, &mut recorder);
+        assert_eq!(recorder.batch_sizes, vec![2, 1]);
+    }
+
+    #[test]
+    fn zero_batch_window_processes_one_by_one() {
+        let engine = SimEngine::new(
+            Topology::from_campus(&CampusConfig::tiny()),
+            SimConfig {
+                batch_window: TimeDelta::ZERO,
+                ..SimConfig::default()
+            },
+        );
+        let demands = vec![demand(1, 0, 100, 900, 1), demand(2, 0, 100, 900, 1)];
+        let result = engine.run(&demands, &mut LeastLoadedFirst::new());
+        // Same-instant arrivals still both placed.
+        assert_eq!(result.records.len(), 2);
+    }
+
+    fn rebalancing_engine() -> SimEngine {
+        SimEngine::new(
+            Topology::from_campus(&CampusConfig::tiny()),
+            SimConfig {
+                rebalance: Some(RebalanceConfig {
+                    interval: TimeDelta::minutes(5),
+                    max_moves_per_round: 4,
+                }),
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    /// A pathological policy that stacks every arrival on candidate 0 —
+    /// the worst case the rebalancer exists to clean up.
+    struct Stacker;
+    impl ApSelector for Stacker {
+        fn name(&self) -> &str {
+            "stacker"
+        }
+        fn select(&mut self, _ctx: &SelectionContext<'_>) -> usize {
+            0
+        }
+    }
+
+    /// Six heavy sessions that the stacker piles on one AP, plus a later
+    /// arrival that triggers a rebalance round.
+    fn stacked_demands() -> Vec<SessionDemand> {
+        let mut demands: Vec<SessionDemand> = (0..6)
+            .map(|i| demand(i, 0, 100 + i as u64, 50_000, 200))
+            .collect();
+        demands.push(demand(99, 0, 10_000, 11_000, 1));
+        demands
+    }
+
+    #[test]
+    fn rebalancer_migrates_and_conserves_volume() {
+        let engine = rebalancing_engine();
+        let demands = stacked_demands();
+        let result = engine.run(&demands, &mut Stacker);
+        assert!(result.migrations > 0, "rebalancer must move something");
+        let served: u64 = result.records.iter().map(|r| r.total_volume().as_u64()).sum();
+        let demanded: u64 = demands.iter().map(|d| d.total_volume().as_u64()).sum();
+        assert_eq!(served, demanded, "migration must conserve traffic");
+    }
+
+    #[test]
+    fn migrated_sessions_split_into_contiguous_segments() {
+        let engine = rebalancing_engine();
+        let demands = stacked_demands();
+        let result = engine.run(&demands, &mut Stacker);
+        for d in &demands {
+            let mut segments: Vec<&SessionRecord> =
+                result.records.iter().filter(|r| r.user == d.user).collect();
+            segments.sort_by_key(|r| r.connect);
+            assert_eq!(segments.first().unwrap().connect, d.arrive);
+            assert_eq!(segments.last().unwrap().disconnect, d.depart);
+            for w in segments.windows(2) {
+                assert_eq!(w[0].disconnect, w[1].connect, "segments must tile the session");
+                assert_ne!(w[0].ap, w[1].ap, "a migration changes the AP");
+            }
+            let vol: u64 = segments.iter().map(|r| r.total_volume().as_u64()).sum();
+            assert_eq!(vol, d.total_volume().as_u64());
+        }
+    }
+
+    #[test]
+    fn no_rebalance_config_means_no_migrations() {
+        let engine = tiny_engine();
+        let demands = stacked_demands();
+        let result = engine.run(&demands, &mut Stacker);
+        assert_eq!(result.migrations, 0);
+        assert_eq!(result.records.len(), demands.len());
+    }
+
+    #[test]
+    fn rebalancer_improves_balance_of_a_stacked_domain() {
+        let demands = stacked_demands();
+        let plain = tiny_engine().run(&demands, &mut Stacker);
+        let rebalanced = rebalancing_engine().run(&demands, &mut Stacker);
+        let spread = |records: &[SessionRecord]| {
+            records
+                .iter()
+                .map(|r| r.ap)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert!(
+            spread(&rebalanced.records) > spread(&plain.records),
+            "rebalancing must spread sessions over more APs"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Discrete-event enterprise WLAN simulator.
+//!
+//! The paper evaluates AP-selection policies by trace-driven simulation:
+//! a demand stream (who shows up where, when, with how much traffic) is
+//! replayed against a WLAN whose controller assigns each arrival to an AP
+//! according to the policy under study. This crate is that testbed:
+//!
+//! * [`Topology`] — buildings, controllers, APs with capacities and
+//!   positions (built straight from a
+//!   [`s3_trace::generator::CampusConfig`]);
+//! * [`radio`] — a log-distance path-loss RSSI model, giving the
+//!   "strongest signal" default policy something physical to rank;
+//! * [`ApSelector`] — the policy interface, with the paper's baselines:
+//!   [`selector::LeastLoadedFirst`] (LLF, the state of the art the paper
+//!   compares against), [`selector::LeastUsers`],
+//!   [`selector::StrongestRssi`] and [`selector::RandomSelector`];
+//! * [`SimEngine`] — the replay loop: arrival batching per controller,
+//!   departure processing, per-AP load accounting, session logging;
+//! * [`metrics`] — balance-index time series and summaries computed from
+//!   the logged sessions.
+//!
+//! # Example
+//!
+//! ```
+//! use s3_trace::generator::{CampusConfig, CampusGenerator};
+//! use s3_wlan::{SimConfig, SimEngine, Topology, selector::LeastLoadedFirst};
+//!
+//! let campus = CampusGenerator::new(CampusConfig::tiny(), 1).generate();
+//! let topology = Topology::from_campus(&campus.config);
+//! let mut llf = LeastLoadedFirst::new();
+//! let result = SimEngine::new(topology, SimConfig::default())
+//!     .run(&campus.demands, &mut llf);
+//! assert_eq!(result.records.len(), campus.demands.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+pub mod mac;
+pub mod metrics;
+pub mod radio;
+pub mod selector;
+mod topology;
+
+pub use engine::{RebalanceConfig, SimConfig, SimEngine, SimResult};
+pub use selector::{ApCandidate, ApSelector, SelectionContext};
+pub use topology::{ApInfo, Topology};

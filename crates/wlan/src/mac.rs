@@ -1,0 +1,349 @@
+//! An 802.11 MAC/PHY capacity model and saturation analysis.
+//!
+//! The paper's bandwidth constraint `Σ w(u) ≤ W(i)` abstracts a real
+//! phenomenon: an AP shares *airtime* among its stations, and a station's
+//! achievable rate depends on its PHY modulation (which falls with RSSI).
+//! This module makes that concrete:
+//!
+//! * [`phy_rate_from_rssi`] — an 802.11g-style rate-adaptation ladder;
+//! * [`airtime_throughputs`] — water-filling airtime-fair allocation: every
+//!   station gets an equal share of airtime, shares unused by satisfied
+//!   stations are redistributed;
+//! * [`saturation_stats`] — replay a session log against the model and
+//!   report how often APs saturate and how much of the offered demand is
+//!   actually servable. Spreading load across APs (what S³ does) directly
+//!   reduces saturated AP-time.
+
+use s3_trace::TraceStore;
+use s3_types::{BitsPerSec, Timestamp, TimeDelta};
+
+use crate::radio::{distance, rssi_at, session_position, SENSITIVITY_DBM};
+use crate::topology::Topology;
+
+/// Fraction of the PHY rate usable as MAC-layer goodput (preambles, ACKs,
+/// contention).
+pub const MAC_EFFICIENCY: f64 = 0.6;
+
+/// 802.11g-style rate adaptation: PHY rate as a step function of RSSI.
+///
+/// Below the sensitivity floor the station cannot associate (rate 0).
+pub fn phy_rate_from_rssi(rssi_dbm: f64) -> BitsPerSec {
+    let mbps = if rssi_dbm >= -65.0 {
+        54.0
+    } else if rssi_dbm >= -70.0 {
+        48.0
+    } else if rssi_dbm >= -74.0 {
+        36.0
+    } else if rssi_dbm >= -78.0 {
+        24.0
+    } else if rssi_dbm >= -80.0 {
+        18.0
+    } else if rssi_dbm >= -82.0 {
+        12.0
+    } else if rssi_dbm >= -85.0 {
+        9.0
+    } else if rssi_dbm >= SENSITIVITY_DBM {
+        6.0
+    } else {
+        return BitsPerSec::ZERO;
+    };
+    BitsPerSec::mbps(mbps)
+}
+
+/// One station's offered load at an AP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StationDemand {
+    /// The station's MAC-layer capacity when it holds the medium alone.
+    pub solo_rate: BitsPerSec,
+    /// The station's offered (demanded) rate.
+    pub demand: BitsPerSec,
+}
+
+/// Result of an airtime allocation at one AP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AirtimeAllocation {
+    /// Served rate per station, parallel to the input.
+    pub served: Vec<BitsPerSec>,
+    /// Fraction of airtime in use, `0..=1` (1 = saturated).
+    pub utilization: f64,
+}
+
+/// Water-filling airtime-fair allocation.
+///
+/// Each station needs `demand / solo_rate` of the AP's airtime to be fully
+/// served. If the total need exceeds the budget (1.0), airtime is divided
+/// equally, with slack from under-demanding stations redistributed until a
+/// fixed point — the standard model of 802.11 airtime fairness.
+pub fn airtime_throughputs(stations: &[StationDemand]) -> AirtimeAllocation {
+    let n = stations.len();
+    if n == 0 {
+        return AirtimeAllocation {
+            served: Vec::new(),
+            utilization: 0.0,
+        };
+    }
+    // Airtime each station wants; stations with zero solo rate are
+    // unservable and consume nothing.
+    let wanted: Vec<f64> = stations
+        .iter()
+        .map(|s| {
+            if s.solo_rate.as_f64() <= 0.0 {
+                0.0
+            } else {
+                s.demand.as_f64() / s.solo_rate.as_f64()
+            }
+        })
+        .collect();
+    let total_wanted: f64 = wanted.iter().sum();
+    if total_wanted <= 1.0 {
+        // Unsaturated: everyone gets their demand.
+        let served = stations
+            .iter()
+            .map(|s| {
+                if s.solo_rate.as_f64() <= 0.0 {
+                    BitsPerSec::ZERO
+                } else {
+                    s.demand
+                }
+            })
+            .collect();
+        return AirtimeAllocation {
+            served,
+            utilization: total_wanted,
+        };
+    }
+    // Saturated: iterative equal-share with redistribution.
+    let mut share = vec![0.0f64; n];
+    let mut satisfied = vec![false; n];
+    let mut budget = 1.0f64;
+    let mut open: Vec<usize> = (0..n).filter(|&i| wanted[i] > 0.0).collect();
+    loop {
+        if open.is_empty() || budget <= 1e-12 {
+            break;
+        }
+        let per = budget / open.len() as f64;
+        let newly: Vec<usize> = open
+            .iter()
+            .copied()
+            .filter(|&i| wanted[i] - share[i] <= per)
+            .collect();
+        if newly.is_empty() {
+            // No station can be fully satisfied: equal split and done.
+            for &i in &open {
+                share[i] += per;
+            }
+            break;
+        }
+        for &i in &newly {
+            budget -= wanted[i] - share[i];
+            share[i] = wanted[i];
+            satisfied[i] = true;
+        }
+        open.retain(|&i| !satisfied[i]);
+    }
+    let served = stations
+        .iter()
+        .zip(&share)
+        .map(|(s, &a)| BitsPerSec::new(a * s.solo_rate.as_f64()))
+        .collect();
+    AirtimeAllocation {
+        served,
+        utilization: 1.0,
+    }
+}
+
+/// Saturation metrics of a session log replayed against the MAC model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturationStats {
+    /// `(AP, bin)` pairs with at least one associated station.
+    pub active_ap_bins: usize,
+    /// Of those, pairs where the airtime budget was exhausted.
+    pub saturated_ap_bins: usize,
+    /// Served / offered rate, aggregated over every station-bin.
+    pub demand_satisfaction: f64,
+}
+
+impl SaturationStats {
+    /// Fraction of active AP-bins that saturated.
+    pub fn saturation_fraction(&self) -> f64 {
+        if self.active_ap_bins == 0 {
+            0.0
+        } else {
+            self.saturated_ap_bins as f64 / self.active_ap_bins as f64
+        }
+    }
+}
+
+/// Replays `store` against the MAC model: in every `bin`, the stations on
+/// each AP contend for airtime with their session mean rate as offered
+/// load and a PHY rate from their session position.
+///
+/// # Panics
+///
+/// Panics if `bin` is zero.
+pub fn saturation_stats(store: &TraceStore, topology: &Topology, bin: TimeDelta) -> SaturationStats {
+    assert!(!bin.is_zero(), "bin width must be positive");
+    let Some((first_day, last_day)) = store.day_range() else {
+        return SaturationStats {
+            active_ap_bins: 0,
+            saturated_ap_bins: 0,
+            demand_satisfaction: 1.0,
+        };
+    };
+    let start = Timestamp::from_secs(first_day * s3_types::SECS_PER_DAY);
+    let end = Timestamp::from_secs((last_day + 1) * s3_types::SECS_PER_DAY);
+
+    let mut active = 0usize;
+    let mut saturated = 0usize;
+    let mut offered_total = 0.0f64;
+    let mut served_total = 0.0f64;
+
+    let mut t = start;
+    while t < end {
+        let to = t + bin;
+        // Group live sessions per AP.
+        let mut per_ap: std::collections::HashMap<s3_types::ApId, Vec<StationDemand>> =
+            std::collections::HashMap::new();
+        for r in store.sessions_overlapping(t, to) {
+            let Some(info) = topology.ap(r.ap) else { continue };
+            let pos = session_position(r.user, r.connect);
+            let rssi = rssi_at(distance(pos, info.position));
+            let solo = BitsPerSec::new(
+                phy_rate_from_rssi(rssi).as_f64() * MAC_EFFICIENCY,
+            );
+            per_ap.entry(r.ap).or_default().push(StationDemand {
+                solo_rate: solo,
+                demand: r.mean_rate(),
+            });
+        }
+        for stations in per_ap.values() {
+            let allocation = airtime_throughputs(stations);
+            active += 1;
+            if allocation.utilization >= 1.0 - 1e-9 {
+                saturated += 1;
+            }
+            for (s, served) in stations.iter().zip(&allocation.served) {
+                offered_total += s.demand.as_f64();
+                served_total += served.as_f64().min(s.demand.as_f64());
+            }
+        }
+        t = to;
+    }
+    SaturationStats {
+        active_ap_bins: active,
+        saturated_ap_bins: saturated,
+        demand_satisfaction: if offered_total > 0.0 {
+            served_total / offered_total
+        } else {
+            1.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn station(solo_mbps: f64, demand_mbps: f64) -> StationDemand {
+        StationDemand {
+            solo_rate: BitsPerSec::mbps(solo_mbps),
+            demand: BitsPerSec::mbps(demand_mbps),
+        }
+    }
+
+    #[test]
+    fn phy_ladder_is_monotone_in_rssi() {
+        let mut last = f64::INFINITY;
+        for rssi in [-60.0, -68.0, -72.0, -76.0, -79.0, -81.0, -84.0, -89.0, -95.0] {
+            let rate = phy_rate_from_rssi(rssi).as_f64();
+            assert!(rate <= last, "rate must fall with RSSI");
+            last = rate;
+        }
+        assert_eq!(phy_rate_from_rssi(-60.0), BitsPerSec::mbps(54.0));
+        assert_eq!(phy_rate_from_rssi(-95.0), BitsPerSec::ZERO);
+    }
+
+    #[test]
+    fn unsaturated_ap_serves_all_demand() {
+        let stations = vec![station(30.0, 2.0), station(30.0, 3.0)];
+        let a = airtime_throughputs(&stations);
+        assert_eq!(a.served[0], BitsPerSec::mbps(2.0));
+        assert_eq!(a.served[1], BitsPerSec::mbps(3.0));
+        assert!((a.utilization - 5.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_ap_splits_airtime_equally() {
+        // Two greedy stations at the same rate: half the airtime each.
+        let stations = vec![station(30.0, 100.0), station(30.0, 100.0)];
+        let a = airtime_throughputs(&stations);
+        assert!((a.served[0].as_f64() - 15e6).abs() < 1.0);
+        assert!((a.served[1].as_f64() - 15e6).abs() < 1.0);
+        assert_eq!(a.utilization, 1.0);
+    }
+
+    #[test]
+    fn slow_station_drags_airtime_not_others_rate() {
+        // The 802.11 anomaly: a slow greedy station takes half the airtime;
+        // the fast one still gets rate ∝ its own PHY.
+        let stations = vec![station(6.0, 100.0), station(54.0, 100.0)];
+        let a = airtime_throughputs(&stations);
+        assert!((a.served[0].as_f64() - 3e6).abs() < 1.0);
+        assert!((a.served[1].as_f64() - 27e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn water_filling_redistributes_slack() {
+        // One light user (needs 10% airtime), two greedy ones: the greedy
+        // pair splits the remaining 90%.
+        let stations = vec![station(30.0, 3.0), station(30.0, 100.0), station(30.0, 100.0)];
+        let a = airtime_throughputs(&stations);
+        assert!((a.served[0].as_f64() - 3e6).abs() < 1.0, "light user fully served");
+        assert!((a.served[1].as_f64() - 13.5e6).abs() < 1e3);
+        assert!((a.served[2].as_f64() - 13.5e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn unservable_station_gets_zero() {
+        let stations = vec![station(0.0, 5.0), station(30.0, 5.0)];
+        let a = airtime_throughputs(&stations);
+        assert_eq!(a.served[0], BitsPerSec::ZERO);
+        assert_eq!(a.served[1], BitsPerSec::mbps(5.0));
+    }
+
+    #[test]
+    fn empty_ap_is_idle() {
+        let a = airtime_throughputs(&[]);
+        assert!(a.served.is_empty());
+        assert_eq!(a.utilization, 0.0);
+    }
+
+    #[test]
+    fn saturation_stats_on_a_synthetic_log() {
+        use s3_trace::generator::{CampusConfig, CampusGenerator};
+        use crate::selector::LeastLoadedFirst;
+        use crate::{SimConfig, SimEngine, Topology};
+        let campus = CampusGenerator::new(CampusConfig::tiny(), 5).generate();
+        let topology = Topology::from_campus(&campus.config);
+        let engine = SimEngine::new(topology.clone(), SimConfig::default());
+        let log = TraceStore::new(
+            engine.run(&campus.demands, &mut LeastLoadedFirst::new()).records,
+        );
+        let stats = saturation_stats(&log, &topology, TimeDelta::minutes(30));
+        assert!(stats.active_ap_bins > 0);
+        assert!(stats.saturated_ap_bins <= stats.active_ap_bins);
+        assert!((0.0..=1.0).contains(&stats.demand_satisfaction));
+        assert!((0.0..=1.0).contains(&stats.saturation_fraction()));
+    }
+
+    #[test]
+    fn empty_log_has_perfect_satisfaction() {
+        use s3_trace::generator::CampusConfig;
+        use crate::Topology;
+        let topology = Topology::from_campus(&CampusConfig::tiny());
+        let stats = saturation_stats(&TraceStore::new(vec![]), &topology, TimeDelta::minutes(10));
+        assert_eq!(stats.active_ap_bins, 0);
+        assert_eq!(stats.demand_satisfaction, 1.0);
+        assert_eq!(stats.saturation_fraction(), 0.0);
+    }
+}

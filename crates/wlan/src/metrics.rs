@@ -1,0 +1,263 @@
+//! Balance-index metrics over logged sessions.
+//!
+//! Every evaluation number in the paper is a function of the normalized
+//! balance index computed over per-AP loads inside a controller domain,
+//! sampled per time bin. These helpers turn a [`TraceStore`] into those
+//! series.
+
+use s3_stats::balance::{normalized_balance_index, user_count_balance_index};
+use s3_trace::TraceStore;
+use s3_types::{ControllerId, Timestamp, TimeDelta};
+
+/// One balance-index sample: a controller domain over one time bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceSample {
+    /// The controller domain.
+    pub controller: ControllerId,
+    /// Bin start.
+    pub start: Timestamp,
+    /// Normalized balance index of per-AP traffic in the bin.
+    pub value: f64,
+    /// True when the bin carried any traffic (idle bins report index 1 and
+    /// are usually filtered out of CDFs).
+    pub active: bool,
+}
+
+/// Computes the normalized traffic balance index for every `(controller,
+/// bin)` pair across the store's whole day range.
+///
+/// # Panics
+///
+/// Panics if `bin` is zero.
+pub fn balance_samples(store: &TraceStore, bin: TimeDelta) -> Vec<BalanceSample> {
+    assert!(!bin.is_zero(), "bin width must be positive");
+    let Some((first_day, last_day)) = store.day_range() else {
+        return Vec::new();
+    };
+    let start = Timestamp::from_secs(first_day * s3_types::SECS_PER_DAY);
+    let end = Timestamp::from_secs((last_day + 1) * s3_types::SECS_PER_DAY);
+    let mut out = Vec::new();
+    for controller in store.controllers() {
+        let mut t = start;
+        while t < end {
+            let to = t + bin;
+            let volumes = store.ap_volumes_in(controller, t, to);
+            if volumes.len() >= 2 {
+                let loads: Vec<f64> = volumes.iter().map(|&(_, v)| v.as_f64()).collect();
+                let total: f64 = loads.iter().sum();
+                let value = normalized_balance_index(&loads).expect("loads are finite");
+                out.push(BalanceSample {
+                    controller,
+                    start: t,
+                    value,
+                    active: total > 0.0,
+                });
+            }
+            t = to;
+        }
+    }
+    out
+}
+
+/// Traffic balance-index time series for a single controller.
+///
+/// # Panics
+///
+/// Panics if `bin` is zero.
+pub fn balance_series(
+    store: &TraceStore,
+    controller: ControllerId,
+    from: Timestamp,
+    to: Timestamp,
+    bin: TimeDelta,
+) -> Vec<(Timestamp, f64)> {
+    assert!(!bin.is_zero(), "bin width must be positive");
+    let mut out = Vec::new();
+    let mut t = from;
+    while t < to {
+        let volumes = store.ap_volumes_in(controller, t, t + bin);
+        if volumes.len() >= 2 {
+            let loads: Vec<f64> = volumes.iter().map(|&(_, v)| v.as_f64()).collect();
+            out.push((t, normalized_balance_index(&loads).expect("finite loads")));
+        }
+        t += bin;
+    }
+    out
+}
+
+/// User-count balance-index time series (Fig. 4's second panel): the index
+/// over the number of users associated per AP, sampled at bin starts.
+///
+/// # Panics
+///
+/// Panics if `bin` is zero.
+pub fn user_balance_series(
+    store: &TraceStore,
+    controller: ControllerId,
+    from: Timestamp,
+    to: Timestamp,
+    bin: TimeDelta,
+) -> Vec<(Timestamp, f64)> {
+    assert!(!bin.is_zero(), "bin width must be positive");
+    let mut out = Vec::new();
+    let mut t = from;
+    while t < to {
+        let counts = store.ap_user_counts_at(controller, t);
+        if counts.len() >= 2 {
+            let values: Vec<u32> = counts.iter().map(|&(_, c)| c).collect();
+            out.push((t, user_count_balance_index(&values).expect("finite counts")));
+        }
+        t += bin;
+    }
+    out
+}
+
+/// Mean normalized balance index over all active `(controller, bin)` pairs
+/// — the headline scalar compared between S³ and LLF. Returns `None` when
+/// no bin was active.
+pub fn mean_active_balance(store: &TraceStore, bin: TimeDelta) -> Option<f64> {
+    let samples = balance_samples(store, bin);
+    let active: Vec<f64> = samples.iter().filter(|s| s.active).map(|s| s.value).collect();
+    if active.is_empty() {
+        None
+    } else {
+        Some(active.iter().sum::<f64>() / active.len() as f64)
+    }
+}
+
+/// Like [`mean_active_balance`] but restricted to bins whose start hour
+/// satisfies `hour_filter` (peak hours, leave-peak hours, …).
+pub fn mean_active_balance_filtered<F>(
+    store: &TraceStore,
+    bin: TimeDelta,
+    hour_filter: F,
+) -> Option<f64>
+where
+    F: Fn(u64) -> bool,
+{
+    let samples = balance_samples(store, bin);
+    let active: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.active && hour_filter(s.start.hour_of_day()))
+        .map(|s| s.value)
+        .collect();
+    if active.is_empty() {
+        None
+    } else {
+        Some(active.iter().sum::<f64>() / active.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_trace::SessionRecord;
+    use s3_types::{ApId, AppCategory, Bytes, UserId};
+
+    fn rec(user: u32, ap: u32, ctl: u32, connect: u64, disconnect: u64, mb: u64) -> SessionRecord {
+        let mut volume_by_app = [Bytes::ZERO; 6];
+        volume_by_app[AppCategory::Video.index()] = Bytes::megabytes(mb);
+        SessionRecord {
+            user: UserId::new(user),
+            ap: ApId::new(ap),
+            controller: ControllerId::new(ctl),
+            connect: Timestamp::from_secs(connect),
+            disconnect: Timestamp::from_secs(disconnect),
+            volume_by_app,
+        }
+    }
+
+    #[test]
+    fn perfectly_balanced_bins_score_one() {
+        let store = TraceStore::new(vec![
+            rec(1, 0, 0, 0, 3_600, 10),
+            rec(2, 1, 0, 0, 3_600, 10),
+        ]);
+        let series = balance_series(
+            &store,
+            ControllerId::new(0),
+            Timestamp::ZERO,
+            Timestamp::from_secs(3_600),
+            TimeDelta::minutes(10),
+        );
+        assert_eq!(series.len(), 6);
+        assert!(series.iter().all(|&(_, v)| (v - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn concentrated_bins_score_zero() {
+        let store = TraceStore::new(vec![
+            rec(1, 0, 0, 0, 3_600, 10),
+            rec(2, 1, 0, 4_000, 4_001, 1), // makes AP 1 known to the domain
+        ]);
+        let series = balance_series(
+            &store,
+            ControllerId::new(0),
+            Timestamp::ZERO,
+            Timestamp::from_secs(3_600),
+            TimeDelta::hours(1),
+        );
+        assert_eq!(series.len(), 1);
+        assert!(series[0].1.abs() < 1e-9, "all load on one of two APs");
+    }
+
+    #[test]
+    fn samples_flag_idle_bins() {
+        let store = TraceStore::new(vec![
+            rec(1, 0, 0, 0, 600, 10),
+            rec(2, 1, 0, 0, 600, 10),
+        ]);
+        let samples = balance_samples(&store, TimeDelta::hours(6));
+        assert_eq!(samples.len(), 4, "four 6h bins in day 0");
+        assert!(samples[0].active);
+        assert!(!samples[1].active);
+        assert_eq!(samples[1].value, 1.0, "idle bins report balanced");
+    }
+
+    #[test]
+    fn single_ap_domains_are_skipped() {
+        let store = TraceStore::new(vec![rec(1, 0, 0, 0, 600, 10)]);
+        assert!(balance_samples(&store, TimeDelta::hours(1)).is_empty());
+        assert_eq!(mean_active_balance(&store, TimeDelta::hours(1)), None);
+    }
+
+    #[test]
+    fn user_series_counts_heads_not_bytes() {
+        let store = TraceStore::new(vec![
+            rec(1, 0, 0, 0, 3_600, 1_000), // heavy user
+            rec(2, 1, 0, 0, 3_600, 1),     // light user
+        ]);
+        let series = user_balance_series(
+            &store,
+            ControllerId::new(0),
+            Timestamp::ZERO,
+            Timestamp::from_secs(3_600),
+            TimeDelta::hours(1),
+        );
+        assert_eq!(series.len(), 1);
+        assert!((series[0].1 - 1.0).abs() < 1e-9, "one user each: balanced");
+    }
+
+    #[test]
+    fn filtered_mean_restricts_hours() {
+        // Balanced traffic at 10:00, unbalanced at 03:00.
+        let store = TraceStore::new(vec![
+            rec(1, 0, 0, 10 * 3_600, 10 * 3_600 + 600, 10),
+            rec(2, 1, 0, 10 * 3_600, 10 * 3_600 + 600, 10),
+            rec(3, 0, 0, 3 * 3_600, 3 * 3_600 + 600, 10),
+        ]);
+        let peak = mean_active_balance_filtered(&store, TimeDelta::hours(1), |h| h == 10).unwrap();
+        let night = mean_active_balance_filtered(&store, TimeDelta::hours(1), |h| h == 3).unwrap();
+        assert!((peak - 1.0).abs() < 1e-9);
+        assert!(night.abs() < 1e-9);
+        assert!(mean_active_balance_filtered(&store, TimeDelta::hours(1), |h| h == 20).is_none());
+        let overall = mean_active_balance(&store, TimeDelta::hours(1)).unwrap();
+        assert!((overall - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_store_yields_no_samples() {
+        let store = TraceStore::new(vec![]);
+        assert!(balance_samples(&store, TimeDelta::hours(1)).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! A log-distance path-loss radio model.
+//!
+//! Enterprise clients by default associate with the AP whose beacon has the
+//! strongest RSSI. The simulator gives each arriving session a position
+//! inside its building (deterministic per user/session) and computes RSSI
+//! with the standard indoor log-distance model:
+//!
+//! ```text
+//! RSSI(d) = P_tx − PL(d₀) − 10·n·log10(d/d₀)
+//! ```
+//!
+//! with `P_tx = 20 dBm`, `PL(1 m) = 40 dB` and path-loss exponent
+//! `n = 3.0` (typical office interior).
+
+use s3_types::{Timestamp, UserId};
+
+use crate::topology::BUILDING_SIDE_M;
+
+/// Transmit power, dBm.
+pub const TX_POWER_DBM: f64 = 20.0;
+/// Path loss at the 1 m reference distance, dB.
+pub const PL_REF_DB: f64 = 40.0;
+/// Indoor path-loss exponent.
+pub const PATH_LOSS_EXPONENT: f64 = 3.0;
+/// Receiver sensitivity floor, dBm — below this an AP is not a candidate.
+pub const SENSITIVITY_DBM: f64 = -90.0;
+
+/// RSSI in dBm at `distance_m` meters from the AP.
+///
+/// Distances below 1 m clamp to the reference distance.
+pub fn rssi_at(distance_m: f64) -> f64 {
+    let d = distance_m.max(1.0);
+    TX_POWER_DBM - PL_REF_DB - 10.0 * PATH_LOSS_EXPONENT * d.log10()
+}
+
+/// Euclidean distance between two positions.
+pub fn distance(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// A deterministic pseudo-random position inside the building for a
+/// `(user, arrival)` pair — the same session always lands at the same spot,
+/// so runs comparing selection policies see identical radio conditions.
+pub fn session_position(user: UserId, arrive: Timestamp) -> (f64, f64) {
+    let h = splitmix64(user.raw() as u64 ^ (arrive.as_secs().rotate_left(17)));
+    let x = (h >> 32) as f64 / u32::MAX as f64 * BUILDING_SIDE_M;
+    let y = (h & 0xFFFF_FFFF) as f64 / u32::MAX as f64 * BUILDING_SIDE_M;
+    (x, y)
+}
+
+/// SplitMix64 — a tiny, well-distributed 64-bit mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        assert!(rssi_at(1.0) > rssi_at(5.0));
+        assert!(rssi_at(5.0) > rssi_at(50.0));
+    }
+
+    #[test]
+    fn rssi_reference_value() {
+        // At the 1 m reference: 20 − 40 = −20 dBm.
+        assert!((rssi_at(1.0) + 20.0).abs() < 1e-12);
+        // At 10 m: −20 − 30 = −50 dBm.
+        assert!((rssi_at(10.0) + 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_meter_distances_clamp() {
+        assert_eq!(rssi_at(0.0), rssi_at(1.0));
+        assert_eq!(rssi_at(0.5), rssi_at(1.0));
+    }
+
+    #[test]
+    fn in_building_rssi_above_sensitivity() {
+        // Worst case: diagonal of a building.
+        let worst = (2.0f64).sqrt() * BUILDING_SIDE_M;
+        assert!(rssi_at(worst) > SENSITIVITY_DBM);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        assert!((distance((0.0, 0.0), (3.0, 4.0)) - 5.0).abs() < 1e-12);
+        assert_eq!(distance((1.0, 1.0), (1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn session_position_is_deterministic_and_in_bounds() {
+        let u = UserId::new(42);
+        let t = Timestamp::from_secs(1234);
+        let a = session_position(u, t);
+        let b = session_position(u, t);
+        assert_eq!(a, b);
+        assert!((0.0..=BUILDING_SIDE_M).contains(&a.0));
+        assert!((0.0..=BUILDING_SIDE_M).contains(&a.1));
+        // Different users land elsewhere (with overwhelming probability).
+        let c = session_position(UserId::new(43), t);
+        assert_ne!(a, c);
+        // Same user at a different time lands elsewhere.
+        let d = session_position(u, Timestamp::from_secs(9999));
+        assert_ne!(a, d);
+    }
+}

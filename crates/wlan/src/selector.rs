@@ -1,0 +1,328 @@
+//! The AP-selection policy interface and the paper's baseline policies.
+//!
+//! A policy sees, for each arriving user, the candidate APs of the user's
+//! controller domain — each with its current load, capacity and associated
+//! users — plus the user's per-AP RSSI. It returns the index of the chosen
+//! candidate. Policies may also handle a whole *batch* of simultaneous
+//! arrivals (class start); the default batch implementation replays the
+//! single-user path against a locally updated snapshot, which is exactly
+//! how an arrival-based controller behaves.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use s3_types::{ApId, BitsPerSec, Timestamp, UserId};
+
+/// A candidate AP as seen by the policy at selection time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApCandidate {
+    /// The AP.
+    pub ap: ApId,
+    /// Aggregate demand rate currently served by the AP.
+    pub load: BitsPerSec,
+    /// Capacity `W(i)`.
+    pub capacity: BitsPerSec,
+    /// Users currently associated with the AP.
+    pub associated: Vec<UserId>,
+}
+
+impl ApCandidate {
+    /// Number of currently associated users.
+    pub fn user_count(&self) -> usize {
+        self.associated.len()
+    }
+
+    /// Remaining capacity (zero when overloaded).
+    pub fn headroom(&self) -> BitsPerSec {
+        self.capacity.saturating_sub(self.load)
+    }
+}
+
+/// One arriving user within a selection request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalUser {
+    /// The user.
+    pub user: UserId,
+    /// Arrival instant.
+    pub now: Timestamp,
+    /// The session's true mean rate — an oracle hint used for load
+    /// accounting; honest policies estimate demand from history instead.
+    pub demand_hint: BitsPerSec,
+    /// RSSI in dBm per candidate AP (parallel to the candidate slice).
+    pub rssi: Vec<f64>,
+}
+
+/// Everything a policy sees when placing a single user.
+#[derive(Debug)]
+pub struct SelectionContext<'a> {
+    /// The arriving user.
+    pub arrival: &'a ArrivalUser,
+    /// Candidate APs of the user's controller domain (never empty).
+    pub candidates: &'a [ApCandidate],
+}
+
+/// An AP-selection policy.
+///
+/// Implementations must return a valid index into `ctx.candidates`.
+pub trait ApSelector {
+    /// Human-readable policy name (used in experiment output).
+    fn name(&self) -> &str;
+
+    /// Chooses a candidate index for one arriving user.
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> usize;
+
+    /// Chooses a candidate index for each member of a simultaneous-arrival
+    /// batch (one controller domain, shared snapshot). Returns one index
+    /// per user, in order.
+    ///
+    /// The default implementation applies [`ApSelector::select`]
+    /// sequentially, updating the *association* lists of a local snapshot
+    /// after each placement — a controller always knows who it just
+    /// associated where. Loads are NOT updated: the future traffic rate of
+    /// a fresh arrival is unknown to a real controller (the oracle
+    /// `demand_hint` exists for instrumentation only).
+    fn select_batch(&mut self, users: &[ArrivalUser], candidates: &[ApCandidate]) -> Vec<usize> {
+        let mut snapshot: Vec<ApCandidate> = candidates.to_vec();
+        let mut picks = Vec::with_capacity(users.len());
+        for user in users {
+            let pick = {
+                let ctx = SelectionContext {
+                    arrival: user,
+                    candidates: &snapshot,
+                };
+                self.select(&ctx)
+            };
+            assert!(pick < snapshot.len(), "selector returned invalid index");
+            snapshot[pick].associated.push(user.user);
+            picks.push(pick);
+        }
+        picks
+    }
+}
+
+/// **LLF** — Least Loaded First, the state-of-the-art arrival policy the
+/// paper compares against: pick the AP with the least traffic load, break
+/// ties by fewer users, then by lower AP id.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeastLoadedFirst;
+
+impl LeastLoadedFirst {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        LeastLoadedFirst
+    }
+}
+
+impl ApSelector for LeastLoadedFirst {
+    fn name(&self) -> &str {
+        "llf"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> usize {
+        let mut best = 0;
+        for i in 1..ctx.candidates.len() {
+            let a = &ctx.candidates[i];
+            let b = &ctx.candidates[best];
+            let key_a = (a.load.as_f64(), a.user_count(), a.ap);
+            let key_b = (b.load.as_f64(), b.user_count(), b.ap);
+            if key_a.partial_cmp(&key_b) == Some(std::cmp::Ordering::Less) {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Least-users variant of LLF: pick the AP with the fewest associated
+/// users (the paper notes controllers may balance "the least number of
+/// users" instead of load).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeastUsers;
+
+impl LeastUsers {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        LeastUsers
+    }
+}
+
+impl ApSelector for LeastUsers {
+    fn name(&self) -> &str {
+        "least-users"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> usize {
+        let mut best = 0;
+        for i in 1..ctx.candidates.len() {
+            let a = &ctx.candidates[i];
+            let b = &ctx.candidates[best];
+            let key_a = (a.user_count(), a.load.as_f64(), a.ap);
+            let key_b = (b.user_count(), b.load.as_f64(), b.ap);
+            if key_a.partial_cmp(&key_b) == Some(std::cmp::Ordering::Less) {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// The 802.11 default: associate with the strongest RSSI, ignoring load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StrongestRssi;
+
+impl StrongestRssi {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        StrongestRssi
+    }
+}
+
+impl ApSelector for StrongestRssi {
+    fn name(&self) -> &str {
+        "strongest-rssi"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> usize {
+        let rssi = &ctx.arrival.rssi;
+        let mut best = 0;
+        for i in 1..ctx.candidates.len() {
+            if rssi[i] > rssi[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Uniform random choice — the weakest sane baseline.
+#[derive(Debug)]
+pub struct RandomSelector {
+    rng: StdRng,
+}
+
+impl RandomSelector {
+    /// Creates the policy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomSelector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ApSelector for RandomSelector {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> usize {
+        self.rng.random_range(0..ctx.candidates.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(ap: u32, load_mbps: f64, users: usize) -> ApCandidate {
+        ApCandidate {
+            ap: ApId::new(ap),
+            load: BitsPerSec::mbps(load_mbps),
+            capacity: BitsPerSec::mbps(100.0),
+            associated: (0..users as u32).map(|i| UserId::new(1000 + i)).collect(),
+        }
+    }
+
+    fn arrival(rssi: Vec<f64>) -> ArrivalUser {
+        ArrivalUser {
+            user: UserId::new(1),
+            now: Timestamp::from_secs(0),
+            demand_hint: BitsPerSec::mbps(1.0),
+            rssi,
+        }
+    }
+
+    #[test]
+    fn llf_picks_least_loaded() {
+        let candidates = vec![candidate(0, 5.0, 1), candidate(1, 2.0, 9), candidate(2, 7.0, 0)];
+        let a = arrival(vec![-50.0, -60.0, -70.0]);
+        let ctx = SelectionContext { arrival: &a, candidates: &candidates };
+        assert_eq!(LeastLoadedFirst::new().select(&ctx), 1);
+    }
+
+    #[test]
+    fn llf_breaks_ties_by_user_count_then_id() {
+        let candidates = vec![candidate(3, 2.0, 4), candidate(1, 2.0, 2), candidate(2, 2.0, 2)];
+        let a = arrival(vec![-50.0; 3]);
+        let ctx = SelectionContext { arrival: &a, candidates: &candidates };
+        // Loads equal; candidates 1 and 2 tie on users; ap id 1 < 2.
+        assert_eq!(LeastLoadedFirst::new().select(&ctx), 1);
+    }
+
+    #[test]
+    fn least_users_prefers_empty_ap() {
+        let candidates = vec![candidate(0, 0.1, 3), candidate(1, 50.0, 0)];
+        let a = arrival(vec![-50.0, -80.0]);
+        let ctx = SelectionContext { arrival: &a, candidates: &candidates };
+        assert_eq!(LeastUsers::new().select(&ctx), 1);
+    }
+
+    #[test]
+    fn strongest_rssi_ignores_load() {
+        let candidates = vec![candidate(0, 0.0, 0), candidate(1, 99.0, 50)];
+        let a = arrival(vec![-70.0, -40.0]);
+        let ctx = SelectionContext { arrival: &a, candidates: &candidates };
+        assert_eq!(StrongestRssi::new().select(&ctx), 1);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let candidates = vec![candidate(0, 0.0, 0), candidate(1, 0.0, 0), candidate(2, 0.0, 0)];
+        let a = arrival(vec![-50.0; 3]);
+        let run = |seed| -> Vec<usize> {
+            let mut s = RandomSelector::new(seed);
+            (0..20)
+                .map(|_| {
+                    let ctx = SelectionContext { arrival: &a, candidates: &candidates };
+                    s.select(&ctx)
+                })
+                .collect()
+        };
+        let x = run(5);
+        assert_eq!(x, run(5));
+        assert!(x.iter().all(|&i| i < 3));
+        assert_ne!(x, run(6));
+    }
+
+    #[test]
+    fn default_batch_updates_snapshot_between_users() {
+        // Two identical empty APs; LLF must spread two simultaneous users.
+        let candidates = vec![candidate(0, 0.0, 0), candidate(1, 0.0, 0)];
+        let users = vec![
+            ArrivalUser {
+                user: UserId::new(1),
+                now: Timestamp::from_secs(0),
+                demand_hint: BitsPerSec::mbps(1.0),
+                rssi: vec![-50.0, -50.0],
+            },
+            ArrivalUser {
+                user: UserId::new(2),
+                now: Timestamp::from_secs(0),
+                demand_hint: BitsPerSec::mbps(1.0),
+                rssi: vec![-50.0, -50.0],
+            },
+        ];
+        let picks = LeastLoadedFirst::new().select_batch(&users, &candidates);
+        assert_eq!(picks, vec![0, 1], "second user must see first user's load");
+    }
+
+    #[test]
+    fn headroom_saturates() {
+        let c = ApCandidate {
+            ap: ApId::new(0),
+            load: BitsPerSec::mbps(120.0),
+            capacity: BitsPerSec::mbps(100.0),
+            associated: vec![],
+        };
+        assert_eq!(c.headroom(), BitsPerSec::ZERO);
+    }
+}

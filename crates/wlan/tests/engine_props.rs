@@ -1,0 +1,131 @@
+//! Property tests over the replay engine: for arbitrary demand streams and
+//! any policy, the engine must serve everything exactly once, stay inside
+//! the topology, and conserve traffic — with and without the rebalancer.
+
+use proptest::prelude::*;
+
+use s3_trace::generator::CampusConfig;
+use s3_trace::{SessionDemand, TraceStore};
+use s3_types::{AppCategory, BuildingId, Bytes, ControllerId, TimeDelta, Timestamp, UserId};
+use s3_wlan::selector::{ApSelector, LeastLoadedFirst, LeastUsers, RandomSelector, StrongestRssi};
+use s3_wlan::{RebalanceConfig, SimConfig, SimEngine, Topology};
+
+fn arbitrary_demands() -> impl Strategy<Value = Vec<SessionDemand>> {
+    prop::collection::vec(
+        (
+            0u32..30,          // user
+            0usize..2,         // building
+            0u64..200_000,     // arrive
+            60u64..20_000,     // duration
+            0u64..500,         // megabytes
+            0usize..6,         // category
+        ),
+        1..60,
+    )
+    .prop_map(|rows| {
+        let mut demands: Vec<SessionDemand> = rows
+            .into_iter()
+            .map(|(user, building, arrive, len, mb, cat)| {
+                let mut volume_by_app = [Bytes::ZERO; 6];
+                volume_by_app[AppCategory::from_index(cat).unwrap().index()] =
+                    Bytes::megabytes(mb);
+                SessionDemand {
+                    user: UserId::new(user),
+                    building: BuildingId::new(building as u32),
+                    controller: ControllerId::new(building as u32),
+                    arrive: Timestamp::from_secs(arrive),
+                    depart: Timestamp::from_secs(arrive + len),
+                    volume_by_app,
+                }
+            })
+            .collect();
+        demands.sort_by_key(|d| (d.arrive, d.user));
+        demands
+    })
+}
+
+fn engine(rebalance: bool) -> SimEngine {
+    SimEngine::new(
+        Topology::from_campus(&CampusConfig::tiny()),
+        SimConfig {
+            rebalance: rebalance.then(|| RebalanceConfig {
+                interval: TimeDelta::minutes(5),
+                max_moves_per_round: 3,
+            }),
+            ..SimConfig::default()
+        },
+    )
+}
+
+fn check_invariants(
+    demands: &[SessionDemand],
+    engine: &SimEngine,
+    selector: &mut dyn ApSelector,
+) -> Result<(), TestCaseError> {
+    let result = engine.run(demands, selector);
+    prop_assert_eq!(result.rejected, 0);
+
+    // Traffic conservation.
+    let served: u64 = result.records.iter().map(|r| r.total_volume().as_u64()).sum();
+    let demanded: u64 = demands.iter().map(|d| d.total_volume().as_u64()).sum();
+    prop_assert_eq!(served, demanded);
+
+    // Topology validity.
+    for r in &result.records {
+        prop_assert!(engine.topology().aps_of_controller(r.controller).contains(&r.ap));
+        prop_assert!(r.disconnect >= r.connect);
+    }
+
+    // Each demand is covered by records tiling its interval. Demands are
+    // keyed by (user, arrive, depart) which may repeat: compare per-user
+    // served seconds and volume.
+    let store = TraceStore::new(result.records);
+    for &user in &store.users() {
+        let expected_secs: u64 = demands
+            .iter()
+            .filter(|d| d.user == user)
+            .map(|d| d.duration().as_secs())
+            .sum();
+        let got_secs: u64 = store.sessions_of(user).map(|r| r.duration().as_secs()).sum();
+        prop_assert_eq!(got_secs, expected_secs, "user {} seconds mismatch", user);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn llf_run_upholds_invariants(demands in arbitrary_demands()) {
+        check_invariants(&demands, &engine(false), &mut LeastLoadedFirst::new())?;
+    }
+
+    #[test]
+    fn least_users_run_upholds_invariants(demands in arbitrary_demands()) {
+        check_invariants(&demands, &engine(false), &mut LeastUsers::new())?;
+    }
+
+    #[test]
+    fn rssi_run_upholds_invariants(demands in arbitrary_demands()) {
+        check_invariants(&demands, &engine(false), &mut StrongestRssi::new())?;
+    }
+
+    #[test]
+    fn random_run_upholds_invariants(demands in arbitrary_demands(), seed in 0u64..100) {
+        check_invariants(&demands, &engine(false), &mut RandomSelector::new(seed))?;
+    }
+
+    #[test]
+    fn rebalanced_run_upholds_invariants(demands in arbitrary_demands(), seed in 0u64..100) {
+        // The rebalancer splits sessions; all invariants must still hold.
+        check_invariants(&demands, &engine(true), &mut RandomSelector::new(seed))?;
+    }
+
+    #[test]
+    fn replay_is_deterministic(demands in arbitrary_demands()) {
+        let e = engine(false);
+        let a = e.run(&demands, &mut LeastLoadedFirst::new());
+        let b = e.run(&demands, &mut LeastLoadedFirst::new());
+        prop_assert_eq!(a.records, b.records);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the 802.11 airtime model.
+
+use proptest::prelude::*;
+
+use s3_types::BitsPerSec;
+use s3_wlan::mac::{airtime_throughputs, phy_rate_from_rssi, StationDemand, MAC_EFFICIENCY};
+
+fn stations_strategy() -> impl Strategy<Value = Vec<StationDemand>> {
+    prop::collection::vec((0.0f64..60.0, 0.0f64..80.0), 0..12).prop_map(|rows| {
+        rows.into_iter()
+            .map(|(solo_mbps, demand_mbps)| StationDemand {
+                solo_rate: BitsPerSec::mbps(solo_mbps),
+                demand: BitsPerSec::mbps(demand_mbps),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn allocation_never_exceeds_demand_or_airtime(stations in stations_strategy()) {
+        let a = airtime_throughputs(&stations);
+        prop_assert_eq!(a.served.len(), stations.len());
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&a.utilization));
+        let mut airtime_used = 0.0;
+        for (s, served) in stations.iter().zip(&a.served) {
+            prop_assert!(
+                served.as_f64() <= s.demand.as_f64() + 1.0,
+                "served {} exceeds demand {}",
+                served,
+                s.demand
+            );
+            if s.solo_rate.as_f64() > 0.0 {
+                airtime_used += served.as_f64() / s.solo_rate.as_f64();
+            } else {
+                prop_assert_eq!(*served, BitsPerSec::ZERO);
+            }
+        }
+        prop_assert!(airtime_used <= 1.0 + 1e-6, "airtime overcommitted: {airtime_used}");
+    }
+
+    #[test]
+    fn saturated_allocation_uses_all_airtime(
+        solo in prop::collection::vec(5.0f64..60.0, 1..8)
+    ) {
+        // Every station is greedy: the AP must be fully utilized and the
+        // airtime split exactly equal.
+        let stations: Vec<StationDemand> = solo
+            .iter()
+            .map(|&s| StationDemand {
+                solo_rate: BitsPerSec::mbps(s),
+                demand: BitsPerSec::mbps(1_000.0),
+            })
+            .collect();
+        let a = airtime_throughputs(&stations);
+        prop_assert_eq!(a.utilization, 1.0);
+        let shares: Vec<f64> = stations
+            .iter()
+            .zip(&a.served)
+            .map(|(s, served)| served.as_f64() / s.solo_rate.as_f64())
+            .collect();
+        let expected = 1.0 / stations.len() as f64;
+        for share in shares {
+            prop_assert!((share - expected).abs() < 1e-9, "unequal airtime: {share}");
+        }
+    }
+
+    #[test]
+    fn adding_a_station_never_increases_anyones_rate(
+        stations in stations_strategy().prop_filter("non-empty", |s| !s.is_empty())
+    ) {
+        let before = airtime_throughputs(&stations[..stations.len() - 1]);
+        let after = airtime_throughputs(&stations);
+        for (b, a) in before.served.iter().zip(&after.served) {
+            prop_assert!(
+                a.as_f64() <= b.as_f64() + 1.0,
+                "a station's rate rose when contention grew"
+            );
+        }
+    }
+
+    #[test]
+    fn phy_ladder_is_monotone(r1 in -100.0f64..0.0, r2 in -100.0f64..0.0) {
+        let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(phy_rate_from_rssi(lo).as_f64() <= phy_rate_from_rssi(hi).as_f64());
+        prop_assert!(phy_rate_from_rssi(hi).as_f64() <= 54e6);
+        // Efficiency constant is sane.
+        prop_assert!(MAC_EFFICIENCY > 0.0 && MAC_EFFICIENCY <= 1.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! A small-scale "prototype" in the spirit of the paper's Section V: one
+//! controller, four APs, a handful of users arriving and leaving, with an
+//! event-by-event log of every association decision S³ makes.
+//!
+//! ```text
+//! cargo run --release --example prototype_controller
+//! ```
+
+use s3_wlan_lb::core::{S3Config, S3Selector, SocialModel};
+use s3_wlan_lb::trace::generator::{CampusConfig, CampusGenerator};
+use s3_wlan_lb::trace::TraceStore;
+use s3_wlan_lb::types::Timestamp;
+use s3_wlan_lb::wlan::selector::LeastLoadedFirst;
+use s3_wlan_lb::wlan::{SimConfig, SimEngine, Topology};
+
+fn main() {
+    // A one-building campus: 4 APs, 60 users, one controller.
+    let config = CampusConfig {
+        buildings: 1,
+        aps_per_building: 4,
+        users: 60,
+        days: 8,
+        ..CampusConfig::campus()
+    };
+    let campus = CampusGenerator::new(config, 99).generate();
+    let engine = SimEngine::new(Topology::from_campus(&campus.config), SimConfig::default());
+
+    // Learn from a week of LLF-collected history.
+    let history = TraceStore::new(
+        engine
+            .run(&campus.demands, &mut LeastLoadedFirst::new())
+            .records,
+    );
+    let s3_config = S3Config::default();
+    let model = SocialModel::learn(&history.slice_days(0, 6), &s3_config, 5);
+    println!(
+        "prototype controller: 4 APs | trained on {} sessions | {} known pairs\n",
+        history.slice_days(0, 6).len(),
+        model.known_pairs()
+    );
+
+    // Drive the last morning (day 7, 08:00–13:00) through S³ and narrate.
+    let mut s3 = S3Selector::new(model, s3_config);
+    let window: Vec<_> = campus
+        .demands
+        .iter()
+        .filter(|d| {
+            d.arrive.day() == 7 && (8..13).contains(&d.arrive.hour_of_day())
+        })
+        .cloned()
+        .collect();
+    println!("replaying {} arrivals on day 7, 08:00-13:00:", window.len());
+    let result = engine.run(&window, &mut s3);
+
+    let mut events: Vec<(Timestamp, String)> = Vec::new();
+    for r in &result.records {
+        events.push((
+            r.connect,
+            format!("{}  {} associates to {}", r.connect, r.user, r.ap),
+        ));
+        events.push((
+            r.disconnect,
+            format!(
+                "{}  {} leaves {} ({} served)",
+                r.disconnect,
+                r.user,
+                r.ap,
+                r.total_volume()
+            ),
+        ));
+    }
+    events.sort_by_key(|&(t, _)| t);
+    for (_, line) in events.iter().take(40) {
+        println!("  {line}");
+    }
+    if events.len() > 40 {
+        println!("  ... {} more events", events.len() - 40);
+    }
+
+    // Final tally per AP.
+    let log = TraceStore::new(result.records);
+    println!("\nper-AP session counts:");
+    for controller in log.controllers() {
+        for &ap in log.aps_of(controller) {
+            println!("  {ap}: {} sessions", log.sessions_on(ap).count());
+        }
+    }
+}

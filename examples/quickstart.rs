@@ -1,0 +1,72 @@
+//! Quickstart: generate a campus, train S³ on history, compare it with LLF.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use s3_wlan_lb::core::{S3Config, S3Selector, SocialModel};
+use s3_wlan_lb::stats::summary::relative_gain;
+use s3_wlan_lb::trace::generator::{CampusConfig, CampusGenerator};
+use s3_wlan_lb::trace::TraceStore;
+use s3_wlan_lb::types::TimeDelta;
+use s3_wlan_lb::wlan::metrics::mean_active_balance_filtered;
+use s3_wlan_lb::wlan::selector::LeastLoadedFirst;
+use s3_wlan_lb::wlan::{SimConfig, SimEngine, Topology};
+
+fn main() {
+    // 1. A small synthetic campus: 4 buildings, 800 users, 10 days.
+    let config = CampusConfig {
+        buildings: 4,
+        aps_per_building: 8,
+        users: 800,
+        days: 10,
+        ..CampusConfig::campus()
+    };
+    let campus = CampusGenerator::new(config, 7).generate();
+    println!(
+        "campus: {} users, {} APs, {} session demands over {} days",
+        campus.config.users,
+        campus.config.total_aps(),
+        campus.demands.len(),
+        campus.config.days
+    );
+
+    // 2. Replay everything under LLF — this is the "collected trace".
+    let topology = Topology::from_campus(&campus.config);
+    let engine = SimEngine::new(topology, SimConfig::default());
+    let llf_log = TraceStore::new(
+        engine
+            .run(&campus.demands, &mut LeastLoadedFirst::new())
+            .records,
+    );
+
+    // 3. Train S³ on the first 7 days.
+    let s3_config = S3Config::default();
+    let model = SocialModel::learn(&llf_log.slice_days(0, 6), &s3_config, 1);
+    println!(
+        "model: {} socially-known pairs, {} user types",
+        model.known_pairs(),
+        model.type_count()
+    );
+
+    // 4. Evaluate both policies on the last 3 days.
+    let eval: Vec<_> = campus
+        .demands
+        .iter()
+        .filter(|d| d.arrive.day() >= 7)
+        .cloned()
+        .collect();
+    let bin = TimeDelta::minutes(10);
+    let daytime = |h: u64| h >= 8;
+
+    let llf_eval = TraceStore::new(engine.run(&eval, &mut LeastLoadedFirst::new()).records);
+    let mut s3 = S3Selector::new(model, s3_config);
+    let s3_eval = TraceStore::new(engine.run(&eval, &mut s3).records);
+
+    let llf_balance = mean_active_balance_filtered(&llf_eval, bin, daytime).unwrap_or(0.0);
+    let s3_balance = mean_active_balance_filtered(&s3_eval, bin, daytime).unwrap_or(0.0);
+    println!("mean daytime balance index: LLF {llf_balance:.3} | S3 {s3_balance:.3}");
+    if let Ok(gain) = relative_gain(llf_balance, s3_balance) {
+        println!("S3 balancing gain over LLF: {:+.1}%", gain * 100.0);
+    }
+}

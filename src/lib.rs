@@ -1,0 +1,13 @@
+//! Umbrella crate for the S³ reproduction: re-exports the whole public API.
+//!
+//! See the individual crates for details: [`s3_types`], [`s3_stats`],
+//! [`s3_graph`], [`s3_trace`], [`s3_wlan`] and [`s3_core`].
+
+#![forbid(unsafe_code)]
+
+pub use s3_core as core;
+pub use s3_graph as graph;
+pub use s3_stats as stats;
+pub use s3_trace as trace;
+pub use s3_types as types;
+pub use s3_wlan as wlan;

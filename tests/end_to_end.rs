@@ -1,0 +1,121 @@
+//! End-to-end pipeline tests: generate → collect under LLF → learn →
+//! evaluate. These are the repository's acceptance tests: if S³ stops
+//! beating LLF on a churn-heavy campus, something fundamental broke.
+
+use s3_wlan_lb::core::{S3Config, S3Selector, SocialModel};
+use s3_wlan_lb::trace::generator::{CampusConfig, CampusGenerator};
+use s3_wlan_lb::trace::TraceStore;
+use s3_wlan_lb::types::TimeDelta;
+use s3_wlan_lb::wlan::metrics::mean_active_balance_filtered;
+use s3_wlan_lb::wlan::selector::LeastLoadedFirst;
+use s3_wlan_lb::wlan::{SimConfig, SimEngine, Topology};
+
+fn test_campus() -> CampusConfig {
+    CampusConfig {
+        buildings: 4,
+        aps_per_building: 8,
+        users: 700,
+        days: 10,
+        ..CampusConfig::campus()
+    }
+}
+
+struct Pipeline {
+    engine: SimEngine,
+    eval: Vec<s3_wlan_lb::trace::SessionDemand>,
+    model: SocialModel,
+    config: S3Config,
+}
+
+fn build_pipeline(seed: u64) -> Pipeline {
+    let campus = CampusGenerator::new(test_campus(), seed).generate();
+    let engine = SimEngine::new(Topology::from_campus(&campus.config), SimConfig::default());
+    let history = TraceStore::new(
+        engine
+            .run(&campus.demands, &mut LeastLoadedFirst::new())
+            .records,
+    );
+    let config = S3Config::default();
+    let model = SocialModel::learn(&history.slice_days(0, 6), &config, seed);
+    let eval: Vec<_> = campus
+        .demands
+        .iter()
+        .filter(|d| d.arrive.day() >= 7)
+        .cloned()
+        .collect();
+    Pipeline {
+        engine,
+        eval,
+        model,
+        config,
+    }
+}
+
+#[test]
+fn s3_beats_llf_on_daytime_balance() {
+    let p = build_pipeline(42);
+    let bin = TimeDelta::minutes(10);
+    let daytime = |h: u64| h >= 8;
+
+    let llf_log = TraceStore::new(p.engine.run(&p.eval, &mut LeastLoadedFirst::new()).records);
+    let mut s3 = S3Selector::new(p.model, p.config);
+    let s3_log = TraceStore::new(p.engine.run(&p.eval, &mut s3).records);
+
+    let llf = mean_active_balance_filtered(&llf_log, bin, daytime).expect("llf active bins");
+    let s3b = mean_active_balance_filtered(&s3_log, bin, daytime).expect("s3 active bins");
+    assert!(
+        s3b > llf * 1.05,
+        "S3 should beat LLF by a clear margin: s3={s3b:.3} llf={llf:.3}"
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let a = build_pipeline(7);
+    let b = build_pipeline(7);
+    let mut s3_a = S3Selector::new(a.model, a.config.clone());
+    let mut s3_b = S3Selector::new(b.model, b.config);
+    let log_a = a.engine.run(&a.eval, &mut s3_a).records;
+    let log_b = b.engine.run(&b.eval, &mut s3_b).records;
+    assert_eq!(log_a, log_b, "same seed must reproduce the same evaluation");
+}
+
+#[test]
+fn every_eval_demand_is_served_by_both_policies() {
+    let p = build_pipeline(3);
+    let llf = p.engine.run(&p.eval, &mut LeastLoadedFirst::new());
+    let mut s3 = S3Selector::new(p.model, p.config);
+    let s3r = p.engine.run(&p.eval, &mut s3);
+    assert_eq!(llf.records.len(), p.eval.len());
+    assert_eq!(s3r.records.len(), p.eval.len());
+    assert_eq!(llf.rejected, 0);
+    assert_eq!(s3r.rejected, 0);
+    // Policies change APs, never sessions: users, times and volumes match.
+    for (a, b) in llf.records.iter().zip(&s3r.records) {
+        assert_eq!(a.user, b.user);
+        assert_eq!(a.connect, b.connect);
+        assert_eq!(a.disconnect, b.disconnect);
+        assert_eq!(a.total_volume(), b.total_volume());
+        assert_eq!(a.controller, b.controller);
+    }
+}
+
+#[test]
+fn s3_gain_holds_across_seeds() {
+    let bin = TimeDelta::minutes(10);
+    let daytime = |h: u64| h >= 8;
+    let mut wins = 0;
+    for seed in [1u64, 2, 3] {
+        let p = build_pipeline(seed);
+        let llf_log =
+            TraceStore::new(p.engine.run(&p.eval, &mut LeastLoadedFirst::new()).records);
+        let mut s3 = S3Selector::new(p.model, p.config);
+        let s3_log = TraceStore::new(p.engine.run(&p.eval, &mut s3).records);
+        let llf = mean_active_balance_filtered(&llf_log, bin, daytime).unwrap();
+        let s3b = mean_active_balance_filtered(&s3_log, bin, daytime).unwrap();
+        if s3b > llf {
+            wins += 1;
+        }
+    }
+    assert_eq!(wins, 3, "S3 must beat LLF for every seed");
+}

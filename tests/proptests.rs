@@ -1,0 +1,194 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates (hence at the workspace level).
+
+use proptest::prelude::*;
+
+use s3_wlan_lb::graph::{clique, SocialGraph};
+use s3_wlan_lb::stats::balance::{balance_index, normalized_balance_index};
+use s3_wlan_lb::stats::cdf::Ecdf;
+use s3_wlan_lb::trace::{csv, SessionRecord, TraceStore};
+use s3_wlan_lb::types::{ApId, AppMix, Bytes, ControllerId, Timestamp, UserId};
+
+fn finite_loads() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e9, 1..40)
+}
+
+proptest! {
+    #[test]
+    fn balance_index_is_within_bounds(loads in finite_loads()) {
+        let b = balance_index(&loads).unwrap();
+        let n = loads.len() as f64;
+        prop_assert!(b >= 1.0 / n - 1e-9);
+        prop_assert!(b <= 1.0 + 1e-9);
+        let nb = normalized_balance_index(&loads).unwrap();
+        prop_assert!((0.0..=1.0).contains(&nb));
+    }
+
+    #[test]
+    fn balance_index_is_scale_invariant(loads in finite_loads(), scale in 0.001f64..1e6) {
+        let a = balance_index(&loads).unwrap();
+        let scaled: Vec<f64> = loads.iter().map(|x| x * scale).collect();
+        let b = balance_index(&scaled).unwrap();
+        prop_assert!((a - b).abs() < 1e-6, "a={a} b={b}");
+    }
+
+    #[test]
+    fn balance_index_is_permutation_invariant(mut loads in finite_loads(), seed in 0u64..1000) {
+        let a = balance_index(&loads).unwrap();
+        // Deterministic shuffle driven by the seed.
+        let n = loads.len();
+        for i in (1..n).rev() {
+            let j = ((seed as usize).wrapping_mul(i + 7)) % (i + 1);
+            loads.swap(i, j);
+        }
+        let b = balance_index(&loads).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecdf_is_a_cdf(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = Ecdf::new(samples.clone()).unwrap();
+        prop_assert_eq!(cdf.eval(f64::MIN_POSITIVE + 1e9), cdf.eval(1e9 + 1.0));
+        prop_assert!(cdf.eval(cdf.min() - 1.0).abs() < 1e-12);
+        prop_assert!((cdf.eval(cdf.max()) - 1.0).abs() < 1e-12);
+        // Monotone along a sweep.
+        let curve = cdf.curve(32);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+        // Quantile and eval are consistent: F(Q(q)) >= q.
+        for q in [0.1, 0.5, 0.9] {
+            prop_assert!(cdf.eval(cdf.quantile(q)) >= q - 1e-12);
+        }
+    }
+
+    #[test]
+    fn app_mix_normalizes_any_positive_volume(
+        volumes in prop::collection::vec(0.0f64..1e12, 6..=6).prop_filter(
+            "at least one positive", |v| v.iter().any(|&x| x > 0.0))
+    ) {
+        let arr: [f64; 6] = volumes.clone().try_into().unwrap();
+        let mix = AppMix::from_volumes(arr).unwrap();
+        prop_assert!((mix.shares().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(mix.shares().iter().all(|&s| (0.0..=1.0).contains(&s)));
+        // Dominant realm has the max share.
+        let max = mix.shares().iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!((mix.share(mix.dominant()) - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_clique_returns_a_clique(
+        edges in prop::collection::vec((0usize..18, 0usize..18, 0.0f64..1.0), 0..80)
+    ) {
+        let mut g = SocialGraph::new(18);
+        for (u, v, w) in edges {
+            if u != v {
+                g.add_edge(u, v, w).unwrap();
+            }
+        }
+        let c = clique::max_clique(&g);
+        prop_assert!(g.is_clique(&c.vertices));
+        prop_assert!((c.weight_sum - g.weight_sum(&c.vertices)).abs() < 1e-9);
+        // Maximality: no vertex can extend the clique.
+        for v in 0..18 {
+            if c.vertices.contains(&v) {
+                continue;
+            }
+            let extends = c.vertices.iter().all(|&u| g.has_edge(u, v));
+            prop_assert!(!extends, "vertex {v} extends the 'maximum' clique");
+        }
+    }
+
+    #[test]
+    fn clique_partition_is_a_partition(
+        edges in prop::collection::vec((0usize..15, 0usize..15, 0.31f64..1.0), 0..60)
+    ) {
+        let mut g = SocialGraph::new(15);
+        for (u, v, w) in edges {
+            if u != v {
+                g.add_edge(u, v, w).unwrap();
+            }
+        }
+        let parts = s3_wlan_lb::graph::partition::clique_partition(&g);
+        let mut seen = [false; 15];
+        for part in &parts {
+            prop_assert!(g.is_clique(&part.vertices));
+            for &v in &part.vertices {
+                prop_assert!(!seen[v], "vertex {v} covered twice");
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some vertex uncovered");
+    }
+
+    #[test]
+    fn session_csv_round_trips(
+        records in prop::collection::vec(
+            (0u32..1000, 0u32..64, 0u32..8, 0u64..10_000_000, 0u64..100_000,
+             prop::collection::vec(0u64..1_000_000_000, 6..=6)),
+            0..50
+        )
+    ) {
+        let records: Vec<SessionRecord> = records
+            .into_iter()
+            .map(|(user, ap, ctl, connect, extra, volumes)| SessionRecord {
+                user: UserId::new(user),
+                ap: ApId::new(ap),
+                controller: ControllerId::new(ctl),
+                connect: Timestamp::from_secs(connect),
+                disconnect: Timestamp::from_secs(connect + extra),
+                volume_by_app: {
+                    let mut v = [Bytes::ZERO; 6];
+                    for (slot, &b) in v.iter_mut().zip(&volumes) {
+                        *slot = Bytes::new(b);
+                    }
+                    v
+                },
+            })
+            .collect();
+        let mut buf = Vec::new();
+        csv::write_sessions(&mut buf, &records).unwrap();
+        let back = csv::read_sessions(std::io::BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn store_volume_accounting_conserves_traffic(
+        records in prop::collection::vec(
+            (0u32..50, 0u32..8, 0u64..500_000, 1u64..100_000, 0u64..1_000_000_000),
+            1..40
+        )
+    ) {
+        let records: Vec<SessionRecord> = records
+            .into_iter()
+            .map(|(user, ap, connect, len, volume)| SessionRecord {
+                user: UserId::new(user),
+                ap: ApId::new(ap),
+                controller: ControllerId::new(0),
+                connect: Timestamp::from_secs(connect),
+                disconnect: Timestamp::from_secs(connect + len),
+                volume_by_app: {
+                    let mut v = [Bytes::ZERO; 6];
+                    v[0] = Bytes::new(volume);
+                    v
+                },
+            })
+            .collect();
+        let expected: u64 = records.iter().map(|r| r.total_volume().as_u64()).sum();
+        let store = TraceStore::new(records);
+        // Sum per-AP volumes over a window covering everything.
+        let total: u64 = store
+            .ap_volumes_in(
+                ControllerId::new(0),
+                Timestamp::ZERO,
+                Timestamp::from_secs(1_000_000),
+            )
+            .iter()
+            .map(|&(_, v)| v.as_u64())
+            .sum();
+        // Uniform-spread attribution rounds down per window; tolerance is
+        // one byte per record.
+        prop_assert!(expected - total <= store.len() as u64,
+            "expected {expected}, accounted {total}");
+    }
+}
