@@ -26,11 +26,9 @@ fn bench_max_clique(c: &mut Criterion) {
     for &n in &[16usize, 32, 64] {
         for &density in &[0.1, 0.3] {
             let g = random_graph(n, density, 42);
-            group.bench_with_input(
-                BenchmarkId::new(format!("d{density}"), n),
-                &g,
-                |b, g| b.iter(|| black_box(clique::max_clique(g))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("d{density}"), n), &g, |b, g| {
+                b.iter(|| black_box(clique::max_clique(g)))
+            });
         }
     }
     group.finish();

@@ -12,7 +12,9 @@ use s3_stats::rng::dirichlet_symmetric;
 
 fn profiles(n: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| dirichlet_symmetric(&mut rng, 6, 0.5)).collect()
+    (0..n)
+        .map(|_| dirichlet_symmetric(&mut rng, 6, 0.5))
+        .collect()
 }
 
 fn bench_kmeans(c: &mut Criterion) {

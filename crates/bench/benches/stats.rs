@@ -73,5 +73,10 @@ fn bench_nmi(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_balance_index, bench_event_extraction, bench_nmi);
+criterion_group!(
+    benches,
+    bench_balance_index,
+    bench_event_extraction,
+    bench_nmi
+);
 criterion_main!(benches);

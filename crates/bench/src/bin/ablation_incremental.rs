@@ -56,9 +56,16 @@ fn main() {
     let nightly_log = TraceStore::new(nightly_records);
     let nightly_balance = mean_active_balance_filtered(&nightly_log, bin, daytime).unwrap_or(0.0);
 
-    println!("incremental-retraining ablation (eval days {}..{}):", scenario.eval_first_day(), scenario.eval_last_day());
+    println!(
+        "incremental-retraining ablation (eval days {}..{}):",
+        scenario.eval_first_day(),
+        scenario.eval_last_day()
+    );
     println!("  frozen model:  balance {frozen_balance:.4}");
-    println!("  nightly model: balance {nightly_balance:.4} ({} days ingested)", learner.days_ingested());
+    println!(
+        "  nightly model: balance {nightly_balance:.4} ({} days ingested)",
+        learner.days_ingested()
+    );
     write_csv(
         &args.out_dir,
         "ablation_incremental.csv",

@@ -37,7 +37,11 @@ fn main() {
         println!(
             "  {label:<18} balance {balance:.4} | {migrations:>6} migrations ({per_1k:.1} per 1k sessions)"
         );
-        rows.push(format!("{label},{},{migrations},{}", fmt(balance), fmt(per_1k)));
+        rows.push(format!(
+            "{label},{},{migrations},{}",
+            fmt(balance),
+            fmt(per_1k)
+        ));
     };
 
     let mut s3 = scenario.default_s3(args.seed);

@@ -15,7 +15,10 @@ fn main() {
     let daytime = |h: u64| h >= 8;
     let seeds: Vec<u64> = (0..5).map(|i| args.seed + i * 1_001).collect();
 
-    println!("seed-robustness ablation: fig12 pipeline over {} seeds", seeds.len());
+    println!(
+        "seed-robustness ablation: fig12 pipeline over {} seeds",
+        seeds.len()
+    );
     let mut gains = Vec::new();
     let mut rows = Vec::new();
     for &seed in &seeds {
@@ -26,7 +29,10 @@ fn main() {
         let llf = mean_active_balance_filtered(&llf_log, bin, daytime).unwrap_or(0.0);
         let s3b = mean_active_balance_filtered(&s3_log, bin, daytime).unwrap_or(0.0);
         let gain = if llf > 0.0 { (s3b - llf) / llf } else { 0.0 };
-        println!("  seed {seed}: LLF {llf:.4} | S3 {s3b:.4} | gain {:+.1}%", gain * 100.0);
+        println!(
+            "  seed {seed}: LLF {llf:.4} | S3 {s3b:.4} | gain {:+.1}%",
+            gain * 100.0
+        );
         gains.push(gain);
         rows.push(format!("{seed},{},{},{}", fmt(llf), fmt(s3b), fmt(gain)));
     }

@@ -56,8 +56,15 @@ fn main() {
         let llf = mean_active_balance_filtered(&llf_log, bin, daytime).unwrap_or(0.0);
         let s3b = mean_active_balance_filtered(&s3_log, bin, daytime).unwrap_or(0.0);
         let gain = if llf > 0.0 { (s3b - llf) / llf } else { 0.0 };
-        let label = if minutes == 0 { "live".to_string() } else { format!("{minutes}min") };
-        println!("  report={label:>6}: LLF {llf:.4} | S3 {s3b:.4} | gain {:+.1}%", gain * 100.0);
+        let label = if minutes == 0 {
+            "live".to_string()
+        } else {
+            format!("{minutes}min")
+        };
+        println!(
+            "  report={label:>6}: LLF {llf:.4} | S3 {s3b:.4} | gain {:+.1}%",
+            gain * 100.0
+        );
         rows.push(format!("{minutes},{},{},{}", fmt(llf), fmt(s3b), fmt(gain)));
     }
     write_csv(

@@ -18,7 +18,11 @@ fn main() {
     let mut s3 = scenario.default_s3(args.seed);
     let s3_log = scenario.run_eval(&mut s3);
 
-    println!("model: {} known pairs, {} types", s3.model().known_pairs(), s3.model().type_count());
+    println!(
+        "model: {} known pairs, {} types",
+        s3.model().known_pairs(),
+        s3.model().type_count()
+    );
 
     // For each group-meeting occurrence in the eval window: how many
     // distinct APs served the attending members?
@@ -32,7 +36,9 @@ fn main() {
             }
             for day in scenario.eval_first_day()..=scenario.eval_last_day() {
                 for meeting in &group.meetings {
-                    let Some((start, end)) = meeting.occurrence_on(day) else { continue };
+                    let Some((start, end)) = meeting.occurrence_on(day) else {
+                        continue;
+                    };
                     let mut aps: HashSet<ApId> = HashSet::new();
                     let mut attending = 0;
                     for r in log.sessions_overlapping(start + TimeDelta::minutes(30), end) {

@@ -19,20 +19,30 @@ fn main() {
     let bin = TimeDelta::minutes(10);
 
     println!("fig10: mean balance index vs co-leaving window x alpha");
+    // Every (window, alpha) cell trains and evaluates independently against
+    // the shared scenario, so the grid fans out across the workers; results
+    // come back in grid order, keeping the CSV byte-identical at any count.
+    let grid: Vec<(u64, f64)> = windows_min
+        .iter()
+        .flat_map(|&w| alphas.iter().map(move |&alpha| (w, alpha)))
+        .collect();
+    let balances = s3_par::par_map(&grid, args.effective_threads(), |_, &(w, alpha)| {
+        let config = S3Config {
+            alpha,
+            coleave_window: TimeDelta::minutes(w),
+            fixed_k: Some(4),
+            ..S3Config::default()
+        };
+        let model = scenario.train_s3(&config, args.seed);
+        let mut s3 = S3Selector::new(model, config);
+        let log = scenario.run_eval(&mut s3);
+        mean_active_balance_filtered(&log, bin, |h| h >= 8).unwrap_or(0.0)
+    });
     let mut rows = Vec::new();
-    for &w in &windows_min {
+    for (wi, &w) in windows_min.iter().enumerate() {
         let mut cells = vec![w.to_string()];
-        for &alpha in &alphas {
-            let config = S3Config {
-                alpha,
-                coleave_window: TimeDelta::minutes(w),
-                fixed_k: Some(4),
-                ..S3Config::default()
-            };
-            let model = scenario.train_s3(&config, args.seed);
-            let mut s3 = S3Selector::new(model, config);
-            let log = scenario.run_eval(&mut s3);
-            let balance = mean_active_balance_filtered(&log, bin, |h| h >= 8).unwrap_or(0.0);
+        for (ai, &alpha) in alphas.iter().enumerate() {
+            let balance = balances[wi * alphas.len() + ai];
             println!("  window={w}min alpha={alpha}: mean balance {balance:.4}");
             cells.push(fmt(balance));
         }

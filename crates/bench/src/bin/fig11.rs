@@ -18,25 +18,35 @@ fn main() {
     let bin = TimeDelta::minutes(10);
 
     println!("fig11: mean balance index vs history look-back x alpha");
+    // The (lookback, alpha) cells are independent: fan them out and
+    // reassemble in grid order (see fig10 for the determinism argument).
+    let grid: Vec<(u64, f64)> = lookbacks
+        .iter()
+        .flat_map(|&days| alphas.iter().map(move |&alpha| (days, alpha)))
+        .collect();
+    let balances = s3_par::par_map(&grid, args.effective_threads(), |_, &(days, alpha)| {
+        let config = S3Config {
+            alpha,
+            lookback_days: days,
+            fixed_k: Some(4),
+            ..S3Config::default()
+        };
+        // Train on a history truncated to the look-back: both the
+        // profile window and the event mining see only those days.
+        let train = scenario.training_log().slice_days(
+            scenario.train_last_day().saturating_sub(days - 1),
+            scenario.train_last_day(),
+        );
+        let model = s3_core::SocialModel::learn(&train, &config, args.seed);
+        let mut s3 = S3Selector::new(model, config);
+        let log = scenario.run_eval(&mut s3);
+        mean_active_balance_filtered(&log, bin, |h| h >= 8).unwrap_or(0.0)
+    });
     let mut rows = Vec::new();
-    for &days in &lookbacks {
+    for (di, &days) in lookbacks.iter().enumerate() {
         let mut cells = vec![days.to_string()];
-        for &alpha in &alphas {
-            let config = S3Config {
-                alpha,
-                lookback_days: days,
-                fixed_k: Some(4),
-                ..S3Config::default()
-            };
-            // Train on a history truncated to the look-back: both the
-            // profile window and the event mining see only those days.
-            let train = scenario
-                .training_log()
-                .slice_days(scenario.train_last_day().saturating_sub(days - 1), scenario.train_last_day());
-            let model = s3_core::SocialModel::learn(&train, &config, args.seed);
-            let mut s3 = S3Selector::new(model, config);
-            let log = scenario.run_eval(&mut s3);
-            let balance = mean_active_balance_filtered(&log, bin, |h| h >= 8).unwrap_or(0.0);
+        for (ai, &alpha) in alphas.iter().enumerate() {
+            let balance = balances[di * alphas.len() + ai];
             println!("  lookback={days}d alpha={alpha}: mean balance {balance:.4}");
             cells.push(fmt(balance));
         }

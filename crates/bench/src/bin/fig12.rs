@@ -17,11 +17,20 @@ fn main() {
     let scenario = Scenario::build(&args);
     let bin = TimeDelta::minutes(10);
 
-    // Evaluate both policies on the same demand stream.
-    let mut llf = LeastLoadedFirst::new();
-    let llf_log = scenario.run_eval(&mut llf);
-    let mut s3 = scenario.default_s3(args.seed);
-    let s3_log = scenario.run_eval(&mut s3);
+    // Evaluate both policies on the same demand stream. The paired runs
+    // are independent replays of the shared scenario, so they execute
+    // concurrently (the S3 leg includes its training pass).
+    let seed = args.seed;
+    let mut logs = s3_par::par_map(&[false, true], args.effective_threads(), |_, &use_s3| {
+        if use_s3 {
+            let mut s3 = scenario.default_s3(seed);
+            scenario.run_eval(&mut s3)
+        } else {
+            scenario.run_eval(&mut LeastLoadedFirst::new())
+        }
+    });
+    let s3_log = logs.pop().expect("two policy runs");
+    let llf_log = logs.pop().expect("two policy runs");
 
     // Per-controller summaries (the bar chart with error bars).
     let llf_samples = balance_samples(&llf_log, bin);
@@ -39,14 +48,14 @@ fn main() {
         let pick = |samples: &[s3_wlan::metrics::BalanceSample]| -> Vec<f64> {
             samples
                 .iter()
-                .filter(|s| {
-                    s.controller == controller && s.active && s.start.hour_of_day() >= 8
-                })
+                .filter(|s| s.controller == controller && s.active && s.start.hour_of_day() >= 8)
                 .map(|s| s.value)
                 .collect()
         };
-        let (Ok(l), Ok(s)) = (Summary::of(&pick(&llf_samples)), Summary::of(&pick(&s3_samples)))
-        else {
+        let (Ok(l), Ok(s)) = (
+            Summary::of(&pick(&llf_samples)),
+            Summary::of(&pick(&s3_samples)),
+        ) else {
             continue;
         };
         println!(
@@ -102,21 +111,22 @@ fn main() {
 
     // Hourly profile (the time-of-day curve the paper plots, with a 95 %
     // CI per hour computed across (controller, day) means).
-    let hourly_stats = |samples: &[s3_wlan::metrics::BalanceSample], hour: u64| -> Option<Summary> {
-        let mut per_group: std::collections::HashMap<(u32, u64), (f64, u32)> =
-            std::collections::HashMap::new();
-        for s in samples {
-            if s.active && s.start.hour_of_day() == hour {
-                let e = per_group
-                    .entry((s.controller.raw(), s.start.day()))
-                    .or_insert((0.0, 0));
-                e.0 += s.value;
-                e.1 += 1;
+    let hourly_stats =
+        |samples: &[s3_wlan::metrics::BalanceSample], hour: u64| -> Option<Summary> {
+            let mut per_group: std::collections::HashMap<(u32, u64), (f64, u32)> =
+                std::collections::HashMap::new();
+            for s in samples {
+                if s.active && s.start.hour_of_day() == hour {
+                    let e = per_group
+                        .entry((s.controller.raw(), s.start.day()))
+                        .or_insert((0.0, 0));
+                    e.0 += s.value;
+                    e.1 += 1;
+                }
             }
-        }
-        let means: Vec<f64> = per_group.values().map(|&(sum, n)| sum / n as f64).collect();
-        Summary::of(&means).ok()
-    };
+            let means: Vec<f64> = per_group.values().map(|&(sum, n)| sum / n as f64).collect();
+            Summary::of(&means).ok()
+        };
     let mut hourly_rows = Vec::new();
     let mut llf_hour_cis = Vec::new();
     let mut s3_hour_cis = Vec::new();

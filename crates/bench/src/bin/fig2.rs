@@ -43,9 +43,19 @@ fn main() {
 
     let rows = (0..=100).map(|i| {
         let x = i as f64 / 100.0;
-        format!("{},{},{}", fmt(x), fmt(cdf_avg.eval(x)), fmt(cdf_peak.eval(x)))
+        format!(
+            "{},{},{}",
+            fmt(x),
+            fmt(cdf_avg.eval(x)),
+            fmt(cdf_peak.eval(x))
+        )
     });
-    write_csv(&args.out_dir, "fig2.csv", "balance_index,cdf_average_hours,cdf_peak_hours", rows);
+    write_csv(
+        &args.out_dir,
+        "fig2.csv",
+        "balance_index,cdf_average_hours,cdf_peak_hours",
+        rows,
+    );
 
     let curve = |cdf: &Ecdf| -> Vec<(f64, f64)> {
         (0..=100)

@@ -6,7 +6,7 @@
 //! drops (a co-leaving), the traffic index drops with it.
 
 use s3_bench::{fmt, plot, write_csv, Args, Scenario};
-use s3_types::{Timestamp, TimeDelta};
+use s3_types::{TimeDelta, Timestamp};
 use s3_wlan::metrics::{balance_series, user_balance_series};
 
 fn main() {

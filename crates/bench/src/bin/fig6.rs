@@ -65,7 +65,12 @@ fn main() {
              (paper: rises then plateaus ≈ 15 days)"
         );
     }
-    write_csv(&args.out_dir, "fig6.csv", "history_days,nmi_day_a,nmi_day_b", rows);
+    write_csv(
+        &args.out_dir,
+        "fig6.csv",
+        "history_days,nmi_day_a,nmi_day_b",
+        rows,
+    );
 
     let series_a: Vec<(f64, f64)> = (1..=n_max)
         .map(|n| (n as f64, nmi_for(store, day_a, n).unwrap_or(0.0)))

@@ -15,7 +15,10 @@ fn main() {
     let profiles = all_window_profiles(&store, scenario.train_last_day(), 15);
     let mut users: Vec<_> = profiles.keys().copied().collect();
     users.sort_unstable();
-    let points: Vec<Vec<f64>> = users.iter().map(|u| profiles[u].shares().to_vec()).collect();
+    let points: Vec<Vec<f64>> = users
+        .iter()
+        .map(|u| profiles[u].shares().to_vec())
+        .collect();
     println!("fig7: gap statistic over {} user profiles", points.len());
 
     let result = gap_statistic(&points, 10, &GapConfig::default(), args.seed)
@@ -32,7 +35,12 @@ fn main() {
             fmt(p.mean_ref_log_w)
         )
     });
-    write_csv(&args.out_dir, "fig7.csv", "k,gap,s_k,log_w,mean_ref_log_w", rows);
+    write_csv(
+        &args.out_dir,
+        "fig7.csv",
+        "k,gap,s_k,log_w,mean_ref_log_w",
+        rows,
+    );
 
     let gap_curve: Vec<(f64, f64)> = result.points.iter().map(|p| (p.k as f64, p.gap)).collect();
     let svg = plot::line_chart(

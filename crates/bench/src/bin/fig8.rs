@@ -17,13 +17,19 @@ fn main() {
     let profiles = all_window_profiles(&store, scenario.train_last_day(), 15);
     let mut users: Vec<_> = profiles.keys().copied().collect();
     users.sort_unstable();
-    let points: Vec<Vec<f64>> = users.iter().map(|u| profiles[u].shares().to_vec()).collect();
+    let points: Vec<Vec<f64>> = users
+        .iter()
+        .map(|u| profiles[u].shares().to_vec())
+        .collect();
 
     let k = 4;
     let result = fit(&points, k, &KMeansConfig::default(), args.seed).expect("clustering succeeds");
     let sizes = result.cluster_sizes();
 
-    println!("fig8: centroids of {k} user groups over {} profiles", points.len());
+    println!(
+        "fig8: centroids of {k} user groups over {} profiles",
+        points.len()
+    );
     for (i, centroid) in result.centroids.iter().enumerate() {
         let dominant = centroid
             .iter()
@@ -50,9 +56,17 @@ fn main() {
             fmt(c[5])
         )
     });
-    write_csv(&args.out_dir, "fig8.csv", "cluster,im,p2p,music,email,video,web", rows);
+    write_csv(
+        &args.out_dir,
+        "fig8.csv",
+        "cluster,im,p2p,music,email,video,web",
+        rows,
+    );
 
-    let categories: Vec<String> = AppCategory::ALL.iter().map(|c| c.label().to_string()).collect();
+    let categories: Vec<String> = AppCategory::ALL
+        .iter()
+        .map(|c| c.label().to_string())
+        .collect();
     let groups: Vec<plot::BarGroup> = result
         .centroids
         .iter()

@@ -7,9 +7,24 @@ use std::process::Command;
 
 fn main() {
     let experiments = [
-        "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "fig10", "fig11",
-        "fig12", "ablation_baselines", "ablation_staleness", "ablation_migration",
-        "ablation_features", "ablation_incremental", "ablation_saturation", "ablation_seeds",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "table1",
+        "fig10",
+        "fig11",
+        "fig12",
+        "ablation_baselines",
+        "ablation_staleness",
+        "ablation_migration",
+        "ablation_features",
+        "ablation_incremental",
+        "ablation_saturation",
+        "ablation_seeds",
     ];
     let forwarded: Vec<String> = std::env::args().skip(1).collect();
     let exe_dir = std::env::current_exe()
@@ -20,9 +35,7 @@ fn main() {
     let mut failures = Vec::new();
     for name in experiments {
         println!("=== {name} ===");
-        let status = Command::new(exe_dir.join(name))
-            .args(&forwarded)
-            .status();
+        let status = Command::new(exe_dir.join(name)).args(&forwarded).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {

@@ -43,6 +43,9 @@ pub struct Args {
     pub seed: u64,
     /// Output directory for CSV files.
     pub out_dir: PathBuf,
+    /// Worker threads (`0` = auto). Every parallel path is deterministic:
+    /// the CSVs are byte-identical for any value.
+    pub threads: usize,
 }
 
 impl Default for Args {
@@ -51,6 +54,7 @@ impl Default for Args {
             paper_scale: false,
             seed: 42,
             out_dir: PathBuf::from("results"),
+            threads: 0,
         }
     }
 }
@@ -65,17 +69,33 @@ impl Args {
                 "--paper-scale" => args.paper_scale = true,
                 "--seed" => {
                     let value = iter.next().unwrap_or_else(|| usage("--seed needs a value"));
-                    args.seed = value.parse().unwrap_or_else(|_| usage("--seed must be a u64"));
+                    args.seed = value
+                        .parse()
+                        .unwrap_or_else(|_| usage("--seed must be a u64"));
                 }
                 "--out" => {
                     let value = iter.next().unwrap_or_else(|| usage("--out needs a value"));
                     args.out_dir = PathBuf::from(value);
+                }
+                "--threads" => {
+                    let value = iter
+                        .next()
+                        .unwrap_or_else(|| usage("--threads needs a value"));
+                    args.threads = value
+                        .parse()
+                        .unwrap_or_else(|_| usage("--threads must be a usize"));
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
         }
         args
+    }
+
+    /// The effective worker-thread count: `--threads` if given, else the
+    /// `S3_THREADS` environment variable, else all available cores.
+    pub fn effective_threads(&self) -> usize {
+        s3_par::resolve_threads(Some(self.threads).filter(|&t| t > 0))
     }
 
     /// The campus configuration selected by the flags.
@@ -92,7 +112,7 @@ fn usage(message: &str) -> ! {
     if !message.is_empty() {
         eprintln!("error: {message}");
     }
-    eprintln!("usage: <experiment> [--paper-scale] [--seed <u64>] [--out <dir>]");
+    eprintln!("usage: <experiment> [--paper-scale] [--seed <u64>] [--out <dir>] [--threads <n>]");
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
 
@@ -236,8 +256,10 @@ mod tests {
     fn training_log_excludes_eval_days() {
         let s = tiny_scenario();
         let train = s.training_log();
-        if let Some((_, last)) = train.day_range() {
-            assert!(last <= s.train_last_day());
+        // slice_days filters by *connect* day; a session may legitimately
+        // disconnect past the boundary (crossing midnight into eval days).
+        for r in train.records() {
+            assert!(r.connect.day() <= s.train_last_day());
         }
         for d in s.eval_demands() {
             assert!(d.arrive.day() >= s.eval_first_day());

@@ -109,7 +109,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 struct Frame {
@@ -339,9 +341,10 @@ pub fn bar_chart(config: &ChartConfig, categories: &[String], groups: &[BarGroup
     let max_y = groups
         .iter()
         .flat_map(|g| {
-            g.values.iter().enumerate().map(|(i, &v)| {
-                v + g.errors.as_ref().map(|e| e[i]).unwrap_or(0.0)
-            })
+            g.values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v + g.errors.as_ref().map(|e| e[i]).unwrap_or(0.0))
         })
         .fold(0.0f64, f64::max)
         .max(1e-9);
@@ -465,7 +468,10 @@ mod tests {
 
     #[test]
     fn constant_series_does_not_divide_by_zero() {
-        let svg = line_chart(&config(), &[Series::new("flat", vec![(0.0, 0.5), (1.0, 0.5)])]);
+        let svg = line_chart(
+            &config(),
+            &[Series::new("flat", vec![(0.0, 0.5), (1.0, 0.5)])],
+        );
         assert!(!svg.contains("NaN"));
         assert!(!svg.contains("inf"));
     }

@@ -1,0 +1,74 @@
+//! The acceptance criterion of the parallel execution layer: experiment
+//! output is byte-identical at `--threads 1` and `--threads 8`. These
+//! tests reproduce the figure drivers' fan-out shapes on a tiny campus
+//! and compare the exact CSV text both would write.
+
+use s3_bench::{fmt, Scenario};
+use s3_core::{S3Config, S3Selector};
+use s3_trace::generator::CampusConfig;
+use s3_types::TimeDelta;
+use s3_wlan::metrics::mean_active_balance_filtered;
+use s3_wlan::selector::LeastLoadedFirst;
+
+/// The fig10 grid computation, verbatim except for the grid size: returns
+/// the CSV body that `write_csv` would receive.
+fn fig10_style_csv(scenario: &Scenario, threads: usize, seed: u64) -> String {
+    let windows_min = [3u64, 5];
+    let alphas = [0.1, 0.3];
+    let bin = TimeDelta::minutes(10);
+    let grid: Vec<(u64, f64)> = windows_min
+        .iter()
+        .flat_map(|&w| alphas.iter().map(move |&alpha| (w, alpha)))
+        .collect();
+    let balances = s3_par::par_map(&grid, threads, |_, &(w, alpha)| {
+        let config = S3Config {
+            alpha,
+            coleave_window: TimeDelta::minutes(w),
+            fixed_k: Some(4),
+            ..S3Config::default()
+        };
+        let model = scenario.train_s3(&config, seed);
+        let mut s3 = S3Selector::new(model, config);
+        let log = scenario.run_eval(&mut s3);
+        mean_active_balance_filtered(&log, bin, |h| h >= 8).unwrap_or(0.0)
+    });
+    let mut rows = Vec::new();
+    for (wi, &w) in windows_min.iter().enumerate() {
+        let mut cells = vec![w.to_string()];
+        for (ai, _) in alphas.iter().enumerate() {
+            cells.push(fmt(balances[wi * alphas.len() + ai]));
+        }
+        rows.push(cells.join(","));
+    }
+    rows.join("\n")
+}
+
+#[test]
+fn fig10_style_sweep_csv_is_byte_identical_across_thread_counts() {
+    let scenario = Scenario::from_config(CampusConfig::tiny(), 42);
+    let csv_1 = fig10_style_csv(&scenario, 1, 42);
+    let csv_8 = fig10_style_csv(&scenario, 8, 42);
+    assert_eq!(csv_1, csv_8);
+}
+
+/// The fig12 shape: the two policy replays run as one fan-out. The full
+/// session logs (not just the summary CSV) must be identical.
+#[test]
+fn fig12_style_paired_runs_are_identical_across_thread_counts() {
+    let scenario = Scenario::from_config(CampusConfig::tiny(), 7);
+    let run = |threads: usize| {
+        s3_par::par_map(&[false, true], threads, |_, &use_s3| {
+            if use_s3 {
+                let mut s3 = scenario.default_s3(7);
+                scenario.run_eval(&mut s3)
+            } else {
+                scenario.run_eval(&mut LeastLoadedFirst::new())
+            }
+        })
+    };
+    let seq = run(1);
+    let par = run(8);
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.records(), b.records());
+    }
+}

@@ -80,6 +80,8 @@ pub enum Command {
         rebalance: bool,
         /// APs per building of the replayed topology.
         aps_per_building: usize,
+        /// Worker threads (0 = auto); results are identical for any value.
+        threads: usize,
     },
     /// Measurement study over a session log.
     Analyze {
@@ -87,6 +89,8 @@ pub enum Command {
         sessions: PathBuf,
         /// Clustering seed.
         seed: u64,
+        /// Worker threads (0 = auto); results are identical for any value.
+        threads: usize,
     },
     /// Convert a foreign session CSV (string ids, epoch timestamps) into
     /// the canonical format, writing id-mapping files alongside.
@@ -109,6 +113,8 @@ pub enum Command {
         train_days: u64,
         /// APs per building of the replayed topology.
         aps_per_building: usize,
+        /// Worker threads (0 = auto); results are identical for any value.
+        threads: usize,
     },
 }
 
@@ -161,7 +167,9 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--seed" => seed = parse_u64(flag, cursor.value_for(flag)?)?,
                     "--users" => users = parse_u64(flag, cursor.value_for(flag)?)? as usize,
                     "--buildings" => buildings = parse_u64(flag, cursor.value_for(flag)?)? as usize,
-                    "--aps-per-building" => aps = parse_u64(flag, cursor.value_for(flag)?)? as usize,
+                    "--aps-per-building" => {
+                        aps = parse_u64(flag, cursor.value_for(flag)?)? as usize
+                    }
                     "--days" => days = parse_u64(flag, cursor.value_for(flag)?)?,
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
@@ -187,17 +195,20 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut train_days = 0u64;
             let mut rebalance = false;
             let mut aps_per_building = 8usize;
+            let mut threads = 0usize;
             while let Some(flag) = cursor.next() {
                 match flag {
                     "--demands" => demands = Some(PathBuf::from(cursor.value_for(flag)?)),
                     "--aps-per-building" => {
                         aps_per_building = parse_u64(flag, cursor.value_for(flag)?)? as usize
                     }
+                    "--threads" => threads = parse_u64(flag, cursor.value_for(flag)?)? as usize,
                     "--policy" => {
                         let name = cursor.value_for(flag)?;
-                        policy = Some(PolicyKind::parse(name).ok_or_else(|| {
-                            CliError::Usage(format!("unknown policy {name:?}"))
-                        })?);
+                        policy =
+                            Some(PolicyKind::parse(name).ok_or_else(|| {
+                                CliError::Usage(format!("unknown policy {name:?}"))
+                            })?);
                     }
                     "--out" => out = Some(PathBuf::from(cursor.value_for(flag)?)),
                     "--seed" => seed = parse_u64(flag, cursor.value_for(flag)?)?,
@@ -212,7 +223,9 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 policy.ok_or_else(|| CliError::Usage("replay requires --policy".into()))?;
             let out = out.ok_or_else(|| CliError::Usage("replay requires --out".into()))?;
             if aps_per_building == 0 {
-                return Err(CliError::Usage("--aps-per-building must be positive".into()));
+                return Err(CliError::Usage(
+                    "--aps-per-building must be positive".into(),
+                ));
             }
             Ok(Command::Replay {
                 demands,
@@ -222,6 +235,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 train_days,
                 rebalance,
                 aps_per_building,
+                threads,
             })
         }
         "convert" => {
@@ -238,27 +252,38 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             }
             let input = input.ok_or_else(|| CliError::Usage("convert requires --in".into()))?;
             let out = out.ok_or_else(|| CliError::Usage("convert requires --out".into()))?;
-            Ok(Command::Convert { input, out, maps_dir })
+            Ok(Command::Convert {
+                input,
+                out,
+                maps_dir,
+            })
         }
         "analyze" => {
             let mut sessions = None;
             let mut seed = 42u64;
+            let mut threads = 0usize;
             while let Some(flag) = cursor.next() {
                 match flag {
                     "--sessions" => sessions = Some(PathBuf::from(cursor.value_for(flag)?)),
                     "--seed" => seed = parse_u64(flag, cursor.value_for(flag)?)?,
+                    "--threads" => threads = parse_u64(flag, cursor.value_for(flag)?)? as usize,
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
             }
             let sessions =
                 sessions.ok_or_else(|| CliError::Usage("analyze requires --sessions".into()))?;
-            Ok(Command::Analyze { sessions, seed })
+            Ok(Command::Analyze {
+                sessions,
+                seed,
+                threads,
+            })
         }
         "compare" => {
             let mut demands = None;
             let mut seed = 42u64;
             let mut train_days = 0u64;
             let mut aps_per_building = 8usize;
+            let mut threads = 0usize;
             while let Some(flag) = cursor.next() {
                 match flag {
                     "--demands" => demands = Some(PathBuf::from(cursor.value_for(flag)?)),
@@ -267,19 +292,23 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--aps-per-building" => {
                         aps_per_building = parse_u64(flag, cursor.value_for(flag)?)? as usize
                     }
+                    "--threads" => threads = parse_u64(flag, cursor.value_for(flag)?)? as usize,
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
             }
             let demands =
                 demands.ok_or_else(|| CliError::Usage("compare requires --demands".into()))?;
             if aps_per_building == 0 {
-                return Err(CliError::Usage("--aps-per-building must be positive".into()));
+                return Err(CliError::Usage(
+                    "--aps-per-building must be positive".into(),
+                ));
             }
             Ok(Command::Compare {
                 demands,
                 seed,
                 train_days,
                 aps_per_building,
+                threads,
             })
         }
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
@@ -305,7 +334,13 @@ mod tests {
     fn generate_defaults_and_overrides() {
         let cmd = parse(&argv("generate --out x.csv")).unwrap();
         match cmd {
-            Command::Generate { users, buildings, days, seed, .. } => {
+            Command::Generate {
+                users,
+                buildings,
+                days,
+                seed,
+                ..
+            } => {
                 assert_eq!(users, 2_000);
                 assert_eq!(buildings, 8);
                 assert_eq!(days, 31);
@@ -315,7 +350,9 @@ mod tests {
         }
         let cmd = parse(&argv("generate --out x.csv --users 100 --days 5 --seed 9")).unwrap();
         match cmd {
-            Command::Generate { users, days, seed, .. } => {
+            Command::Generate {
+                users, days, seed, ..
+            } => {
                 assert_eq!(users, 100);
                 assert_eq!(days, 5);
                 assert_eq!(seed, 9);
@@ -337,7 +374,12 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Replay { policy, train_days, rebalance, .. } => {
+            Command::Replay {
+                policy,
+                train_days,
+                rebalance,
+                ..
+            } => {
                 assert_eq!(policy, PolicyKind::S3);
                 assert_eq!(train_days, 7);
                 assert!(rebalance);

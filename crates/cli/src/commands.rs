@@ -10,9 +10,7 @@ use s3_trace::generator::{CampusConfig, CampusGenerator};
 use s3_trace::{csv, SessionDemand, TraceStore};
 use s3_types::TimeDelta;
 use s3_wlan::metrics::mean_active_balance_filtered;
-use s3_wlan::selector::{
-    ApSelector, LeastLoadedFirst, LeastUsers, RandomSelector, StrongestRssi,
-};
+use s3_wlan::selector::{ApSelector, LeastLoadedFirst, LeastUsers, RandomSelector, StrongestRssi};
 use s3_wlan::{RebalanceConfig, SimConfig, SimEngine, Topology};
 
 use crate::args::{Command, PolicyKind};
@@ -52,15 +50,35 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             train_days,
             rebalance,
             aps_per_building,
-        } => replay(&demands, policy, &path, seed, train_days, rebalance, aps_per_building, out),
-        Command::Convert { input, out: path, maps_dir } => convert(&input, &path, &maps_dir, out),
-        Command::Analyze { sessions, seed } => analyze(&sessions, seed, out),
+            threads,
+        } => replay(
+            &demands,
+            policy,
+            &path,
+            seed,
+            train_days,
+            rebalance,
+            aps_per_building,
+            threads,
+            out,
+        ),
+        Command::Convert {
+            input,
+            out: path,
+            maps_dir,
+        } => convert(&input, &path, &maps_dir, out),
+        Command::Analyze {
+            sessions,
+            seed,
+            threads,
+        } => analyze(&sessions, seed, threads, out),
         Command::Compare {
             demands,
             seed,
             train_days,
             aps_per_building,
-        } => compare(&demands, seed, train_days, aps_per_building, out),
+            threads,
+        } => compare(&demands, seed, train_days, aps_per_building, threads, out),
     }
 }
 
@@ -123,6 +141,15 @@ fn topology_for(demands: &[SessionDemand], aps_per_building: usize) -> Topology 
     Topology::from_campus(&config)
 }
 
+/// The paper-default S³ configuration with the CLI's thread request
+/// (`0` = auto) applied.
+fn s3_config(threads: usize) -> S3Config {
+    S3Config {
+        threads,
+        ..S3Config::default()
+    }
+}
+
 /// Trains S³ on the first `train_days` days of the demand stream, replayed
 /// under LLF (the "collected log" convention of the paper).
 fn train_s3(
@@ -130,6 +157,7 @@ fn train_s3(
     engine: &SimEngine,
     train_days: u64,
     seed: u64,
+    threads: usize,
 ) -> SocialModel {
     let history: Vec<SessionDemand> = demands
         .iter()
@@ -137,7 +165,7 @@ fn train_s3(
         .cloned()
         .collect();
     let log = TraceStore::new(engine.run(&history, &mut LeastLoadedFirst::new()).records);
-    SocialModel::learn(&log, &S3Config::default(), seed)
+    SocialModel::learn(&log, &s3_config(threads), seed)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -149,6 +177,7 @@ fn replay<W: Write>(
     train_days: u64,
     rebalance: bool,
     aps_per_building: usize,
+    threads: usize,
     out: &mut W,
 ) -> Result<(), CliError> {
     let demands = load_demands(demands_path)?;
@@ -171,14 +200,14 @@ fn replay<W: Write>(
             } else {
                 train_days
             };
-            let model = train_s3(&demands, &engine, effective, seed);
+            let model = train_s3(&demands, &engine, effective, seed, threads);
             writeln!(
                 out,
                 "trained S3 on the first {effective} days: {} known pairs, {} types",
                 model.known_pairs(),
                 model.type_count()
             )?;
-            Box::new(S3Selector::new(model, S3Config::default()))
+            Box::new(S3Selector::new(model, s3_config(threads)))
         }
     };
 
@@ -187,11 +216,8 @@ fn replay<W: Write>(
     csv::write_sessions(BufWriter::new(file), &result.records)?;
 
     let log = TraceStore::new(result.records);
-    let balance = mean_active_balance_filtered(
-        &log,
-        TimeDelta::minutes(REPORT_BIN_MINUTES),
-        daytime,
-    );
+    let balance =
+        mean_active_balance_filtered(&log, TimeDelta::minutes(REPORT_BIN_MINUTES), daytime);
     writeln!(
         out,
         "replayed {} demands under {} -> {} session records ({} migrations) to {}",
@@ -256,9 +282,9 @@ fn convert<W: Write>(
             )));
         }
         let parse = |s: &str, what: &str| -> Result<u64, CliError> {
-            s.trim().parse::<u64>().map_err(|e| {
-                CliError::Invalid(format!("line {line_no}: bad {what} {s:?}: {e}"))
-            })
+            s.trim()
+                .parse::<u64>()
+                .map_err(|e| CliError::Invalid(format!("line {line_no}: bad {what} {s:?}: {e}")))
         };
         let connect = parse(fields[3], "connect")?;
         let disconnect = parse(fields[4], "disconnect")?;
@@ -338,7 +364,7 @@ fn convert<W: Write>(
     Ok(())
 }
 
-fn analyze<W: Write>(path: &Path, seed: u64, out: &mut W) -> Result<(), CliError> {
+fn analyze<W: Write>(path: &Path, seed: u64, threads: usize, out: &mut W) -> Result<(), CliError> {
     let file = File::open(path)?;
     let records = csv::read_sessions(BufReader::new(file))?;
     if records.is_empty() {
@@ -352,7 +378,11 @@ fn analyze<W: Write>(path: &Path, seed: u64, out: &mut W) -> Result<(), CliError
     let summary = s3_trace::summary::TraceSummary::of(&store);
     write!(out, "trace: {}", summary.report())?;
     if let Some((realm, share)) = summary.dominant_realm() {
-        writeln!(out, "dominant realm: {realm} ({:.1}% of traffic)", share * 100.0)?;
+        writeln!(
+            out,
+            "dominant realm: {realm} ({:.1}% of traffic)",
+            share * 100.0
+        )?;
     }
 
     let bin = TimeDelta::minutes(REPORT_BIN_MINUTES);
@@ -360,8 +390,11 @@ fn analyze<W: Write>(path: &Path, seed: u64, out: &mut W) -> Result<(), CliError
         writeln!(out, "mean daytime balance index: {balance:.4}")?;
     }
 
+    let effective_threads = s3_par::resolve_threads(Some(threads).filter(|&t| t > 0));
+
     // Sociality.
-    let stats = s3_trace::events::leaving_stats(&store, TimeDelta::minutes(5));
+    let stats =
+        s3_trace::events::leaving_stats_par(&store, TimeDelta::minutes(5), effective_threads);
     let mut fractions: Vec<f64> = stats
         .values()
         .filter(|s| s.total > 0)
@@ -378,18 +411,27 @@ fn analyze<W: Write>(path: &Path, seed: u64, out: &mut W) -> Result<(), CliError
     }
 
     // Typing.
-    let profiles =
-        s3_core::profile::all_window_profiles(&store, last_day, 15.min(last_day + 1));
+    let profiles = s3_core::profile::all_window_profiles(&store, last_day, 15.min(last_day + 1));
     if profiles.len() >= 16 {
         let mut users: Vec<_> = profiles.keys().copied().collect();
         users.sort_unstable();
-        let points: Vec<Vec<f64>> =
-            users.iter().map(|u| profiles[u].shares().to_vec()).collect();
+        let points: Vec<Vec<f64>> = users
+            .iter()
+            .map(|u| profiles[u].shares().to_vec())
+            .collect();
         let k_max = 8.min(points.len());
-        if let Ok(gap) = gap_statistic(&points, k_max, &GapConfig::default(), seed) {
-            writeln!(out, "application-profile clusters (gap statistic): k = {}", gap.chosen_k)?;
+        let gap_config = GapConfig {
+            threads: effective_threads,
+            ..GapConfig::default()
+        };
+        if let Ok(gap) = gap_statistic(&points, k_max, &gap_config, seed) {
+            writeln!(
+                out,
+                "application-profile clusters (gap statistic): k = {}",
+                gap.chosen_k
+            )?;
         }
-        let model = SocialModel::learn(&store, &S3Config::default(), seed);
+        let model = SocialModel::learn(&store, &s3_config(threads), seed);
         let t = model.type_matrix();
         if t.k() > 1 {
             writeln!(
@@ -410,11 +452,16 @@ fn compare<W: Write>(
     seed: u64,
     train_days: u64,
     aps_per_building: usize,
+    threads: usize,
     out: &mut W,
 ) -> Result<(), CliError> {
     let demands = load_demands(path)?;
     let span = demands.last().expect("non-empty").arrive.day() + 1;
-    let train_days = if train_days == 0 { (span * 7) / 10 } else { train_days };
+    let train_days = if train_days == 0 {
+        (span * 7) / 10
+    } else {
+        train_days
+    };
     if train_days >= span {
         return Err(CliError::Invalid(format!(
             "train days {train_days} must leave evaluation days (trace spans {span} days)"
@@ -422,7 +469,7 @@ fn compare<W: Write>(
     }
     let topology = topology_for(&demands, aps_per_building);
     let engine = SimEngine::new(topology, SimConfig::default());
-    let model = train_s3(&demands, &engine, train_days, seed);
+    let model = train_s3(&demands, &engine, train_days, seed, threads);
     writeln!(
         out,
         "trained on days 0..{train_days}: {} known pairs, {} types",
@@ -437,7 +484,7 @@ fn compare<W: Write>(
         .collect();
     let bin = TimeDelta::minutes(REPORT_BIN_MINUTES);
     let llf_log = TraceStore::new(engine.run(&eval, &mut LeastLoadedFirst::new()).records);
-    let mut s3 = S3Selector::new(model, S3Config::default());
+    let mut s3 = S3Selector::new(model, s3_config(threads));
     let s3_log = TraceStore::new(engine.run(&eval, &mut s3).records);
     let llf = mean_active_balance_filtered(&llf_log, bin, daytime)
         .ok_or_else(|| CliError::Invalid("no active evaluation bins".into()))?;
@@ -526,7 +573,10 @@ mod tests {
             sessions.display()
         ))
         .unwrap();
-        assert!(output.contains("trained S3 on the first 3 days"), "{output}");
+        assert!(
+            output.contains("trained S3 on the first 3 days"),
+            "{output}"
+        );
     }
 
     #[test]
@@ -567,7 +617,10 @@ mod tests {
             maps.display()
         ))
         .unwrap();
-        assert!(output.contains("converted 3 sessions: 2 users, 2 APs, 2 controllers"), "{output}");
+        assert!(
+            output.contains("converted 3 sessions: 2 users, 2 APs, 2 controllers"),
+            "{output}"
+        );
         // The converted file is a valid canonical log.
         let records = csv::read_sessions(BufReader::new(File::open(&sessions).unwrap())).unwrap();
         assert_eq!(records.len(), 3);
@@ -610,8 +663,8 @@ mod tests {
     fn missing_files_error_cleanly() {
         let err = run_str("analyze --sessions /nonexistent/file.csv").unwrap_err();
         assert!(matches!(err, CliError::Io(_)));
-        let err = run_str("replay --demands /nonexistent.csv --policy llf --out /tmp/x.csv")
-            .unwrap_err();
+        let err =
+            run_str("replay --demands /nonexistent.csv --policy llf --out /tmp/x.csv").unwrap_err();
         assert!(matches!(err, CliError::Io(_)));
     }
 

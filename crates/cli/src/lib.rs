@@ -84,9 +84,14 @@ USAGE:
                   [--aps-per-building N] [--days N]
   s3wlan replay   --demands <demands.csv> --policy <llf|s3|least-users|rssi|random>
                   --out <sessions.csv> [--seed N] [--train-days N] [--rebalance]
+                  [--threads N]
   s3wlan convert  --in <foreign.csv> --out <sessions.csv> [--maps-dir <dir>]
-  s3wlan analyze  --sessions <sessions.csv> [--seed N]
-  s3wlan compare  --demands <demands.csv> [--seed N] [--train-days N]
+  s3wlan analyze  --sessions <sessions.csv> [--seed N] [--threads N]
+  s3wlan compare  --demands <demands.csv> [--seed N] [--train-days N] [--threads N]
+
+THREADS:
+  --threads N runs training and analysis on N worker threads (default:
+  all available cores; 0 = auto). Results are bit-identical for any N.
 
 POLICIES:
   llf          least traffic load first (the incumbent)

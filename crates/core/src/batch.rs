@@ -66,42 +66,88 @@ where
 /// every distribution and stack the whole batch on one AP.
 const MEMBER_EPSILON_BPS: f64 = 1.0;
 
-fn score(
-    assignment: &[usize],
-    clique: &[UserId],
-    slots: &[ApSlot],
-    delta: &dyn Fn(UserId, UserId) -> f64,
-    demand: &dyn Fn(UserId) -> f64,
-) -> (f64, f64) {
-    let m = slots.len();
-    let mut added_demand = vec![0.0; m];
-    let mut added_members = vec![0usize; m];
-    let mut cost = 0.0;
-    // Social cost: each placed user pays δ to existing members of its slot
-    // and to clique members already placed on the same slot.
-    for (idx, (&user, &slot)) in clique.iter().zip(assignment).enumerate() {
-        for &w in &slots[slot].members {
-            cost += delta(user, w);
-        }
-        for (prev_idx, &prev_slot) in assignment[..idx].iter().enumerate() {
-            if prev_slot == slot {
-                cost += delta(user, clique[prev_idx]);
+/// Precomputed per-clique cost tables: the slot-entry cost `C(APᵢ)` of each
+/// member against each slot's existing population, the pairwise δ within
+/// the clique, and the per-member demand estimates.
+///
+/// The search evaluates up to `enumeration_limit` candidates, each of which
+/// previously re-derived every `δ(u, w)` from scratch; building the tables
+/// once turns scoring into pure table lookups (`O(c·(m̄ + c))` δ calls total
+/// instead of per candidate) and makes candidate scoring a pure function —
+/// the prerequisite for fanning the search across threads.
+struct CliqueCost {
+    /// `slot_entry[u][s]` = Σ δ(clique[u], w) over `slots[s].members`.
+    slot_entry: Vec<Vec<f64>>,
+    /// `pair[i][j]` = δ(clique[i], clique[j]); symmetric, zero diagonal.
+    pair: Vec<Vec<f64>>,
+    /// Demand estimate per clique member.
+    demands: Vec<f64>,
+}
+
+impl CliqueCost {
+    fn new(
+        clique: &[UserId],
+        slots: &[ApSlot],
+        delta: &dyn Fn(UserId, UserId) -> f64,
+        demand: &dyn Fn(UserId) -> f64,
+    ) -> CliqueCost {
+        let c = clique.len();
+        let slot_entry = clique
+            .iter()
+            .map(|&user| {
+                slots
+                    .iter()
+                    .map(|slot| slot.members.iter().map(|&w| delta(user, w)).sum())
+                    .collect()
+            })
+            .collect();
+        let mut pair = vec![vec![0.0; c]; c];
+        for i in 0..c {
+            for j in i + 1..c {
+                let d = delta(clique[i], clique[j]);
+                pair[i][j] = d;
+                pair[j][i] = d;
             }
         }
-        added_demand[slot] += demand(user);
-        added_members[slot] += 1;
-    }
-    // Bandwidth constraint: any overloaded slot poisons the distribution.
-    let mut loads = Vec::with_capacity(m);
-    for ((slot, add), members) in slots.iter().zip(&added_demand).zip(&added_members) {
-        let load = slot.load + add;
-        if load > slot.capacity && *add > 0.0 {
-            return (f64::INFINITY, 0.0);
+        let demands = clique.iter().map(|&user| demand(user)).collect();
+        CliqueCost {
+            slot_entry,
+            pair,
+            demands,
         }
-        loads.push(load + (slot.members.len() + members) as f64 * MEMBER_EPSILON_BPS);
     }
-    let balance = normalized_balance_index(&loads).unwrap_or(0.0);
-    (cost, balance)
+
+    /// Social cost + projected balance of a full assignment; the cost is
+    /// `+∞` when a slot's bandwidth constraint would break.
+    fn score(&self, assignment: &[usize], slots: &[ApSlot]) -> (f64, f64) {
+        let m = slots.len();
+        let mut added_demand = vec![0.0; m];
+        let mut added_members = vec![0usize; m];
+        let mut cost = 0.0;
+        // Social cost: each placed user pays δ to existing members of its
+        // slot and to clique members already placed on the same slot.
+        for (idx, &slot) in assignment.iter().enumerate() {
+            cost += self.slot_entry[idx][slot];
+            for (prev_idx, &prev_slot) in assignment[..idx].iter().enumerate() {
+                if prev_slot == slot {
+                    cost += self.pair[prev_idx][idx];
+                }
+            }
+            added_demand[slot] += self.demands[idx];
+            added_members[slot] += 1;
+        }
+        // Bandwidth constraint: any overloaded slot poisons the distribution.
+        let mut loads = Vec::with_capacity(m);
+        for ((slot, add), members) in slots.iter().zip(&added_demand).zip(&added_members) {
+            let load = slot.load + add;
+            if load > slot.capacity && *add > 0.0 {
+                return (f64::INFINITY, 0.0);
+            }
+            loads.push(load + (slot.members.len() + members) as f64 * MEMBER_EPSILON_BPS);
+        }
+        let balance = normalized_balance_index(&loads).unwrap_or(0.0);
+        (cost, balance)
+    }
 }
 
 /// Assigns every member of `clique` to a slot index, implementing the
@@ -129,88 +175,109 @@ where
     assert!(!slots.is_empty(), "cannot assign a clique to zero APs");
     let m = slots.len();
     let c = clique.len();
+    let threads = config.effective_threads();
+    let cache = CliqueCost::new(clique, slots, &delta, &demand);
 
-    let space: Option<usize> = m.checked_pow(c as u32).filter(|&s| s <= config.enumeration_limit);
+    let space: Option<usize> = m
+        .checked_pow(c as u32)
+        .filter(|&s| s <= config.enumeration_limit);
     let candidates: Vec<Candidate> = match space {
-        Some(total) => enumerate_all(total, m, clique, slots, &delta, &demand),
-        None => beam_search(m, clique, slots, &delta, &demand, config.beam_width),
+        Some(total) => enumerate_all(total, m, c, &cache, slots, threads),
+        None => beam_search(m, c, &cache, slots, config.beam_width, threads),
     };
 
     select_best(candidates, config).unwrap_or_else(|| fallback_least_loaded(clique, slots, &demand))
 }
 
+/// Fixed number of codes each enumeration work item decodes and scores.
+/// A constant block size keeps the work split — and hence the candidate
+/// order after the in-order merge — independent of the thread count.
+const ENUM_BLOCK: usize = 512;
+
 fn enumerate_all(
     total: usize,
     m: usize,
-    clique: &[UserId],
+    c: usize,
+    cache: &CliqueCost,
     slots: &[ApSlot],
-    delta: &dyn Fn(UserId, UserId) -> f64,
-    demand: &dyn Fn(UserId) -> f64,
+    threads: usize,
 ) -> Vec<Candidate> {
-    let c = clique.len();
-    let mut out = Vec::with_capacity(total.min(4_096));
-    let mut assignment = vec![0usize; c];
-    for code in 0..total {
-        let mut x = code;
-        for slot in assignment.iter_mut() {
-            *slot = x % m;
-            x /= m;
+    let block_starts: Vec<usize> = (0..total).step_by(ENUM_BLOCK).collect();
+    let blocks = s3_par::par_map(&block_starts, threads, |_, &start| {
+        let end = (start + ENUM_BLOCK).min(total);
+        let mut out = Vec::new();
+        let mut assignment = vec![0usize; c];
+        for code in start..end {
+            let mut x = code;
+            for slot in assignment.iter_mut() {
+                *slot = x % m;
+                x /= m;
+            }
+            let (cost, balance) = cache.score(&assignment, slots);
+            if cost.is_finite() {
+                out.push(Candidate {
+                    assignment: assignment.clone(),
+                    cost,
+                    balance,
+                });
+            }
         }
-        let (cost, balance) = score(&assignment, clique, slots, delta, demand);
-        if cost.is_finite() {
-            out.push(Candidate {
-                assignment: assignment.clone(),
-                cost,
-                balance,
-            });
-        }
-    }
-    out
+        out
+    });
+    // Blocks come back in ascending code order, so the candidate list is
+    // identical to a sequential scan over 0..total.
+    blocks.into_iter().flatten().collect()
 }
 
 fn beam_search(
     m: usize,
-    clique: &[UserId],
+    c: usize,
+    cache: &CliqueCost,
     slots: &[ApSlot],
-    delta: &dyn Fn(UserId, UserId) -> f64,
-    demand: &dyn Fn(UserId) -> f64,
     beam_width: usize,
+    threads: usize,
 ) -> Vec<Candidate> {
     // Partial state: assignment prefix and its social cost so far.
     let mut beam: Vec<(Vec<usize>, f64)> = vec![(Vec::new(), 0.0)];
-    for (idx, &user) in clique.iter().enumerate() {
-        let mut next: Vec<(Vec<usize>, f64)> = Vec::with_capacity(beam.len() * m);
-        for (prefix, cost) in &beam {
-            for (slot, slot_state) in slots.iter().enumerate() {
-                let mut added = 0.0;
-                for &w in &slot_state.members {
-                    added += delta(user, w);
-                }
-                for (prev_idx, &prev_slot) in prefix.iter().enumerate() {
-                    if prev_slot == slot {
-                        added += delta(user, clique[prev_idx]);
+    for idx in 0..c {
+        // Expanding a prefix touches nothing but the cache, so the beam
+        // fans out across threads; flattening in prefix order followed by a
+        // *stable* sort reproduces the sequential beam exactly.
+        let mut next: Vec<(Vec<usize>, f64)> =
+            s3_par::par_map(&beam, threads, |_, (prefix, cost)| {
+                let mut children = Vec::with_capacity(m);
+                for slot in 0..m {
+                    let mut added = cache.slot_entry[idx][slot];
+                    for (prev_idx, &prev_slot) in prefix.iter().enumerate() {
+                        if prev_slot == slot {
+                            added += cache.pair[prev_idx][idx];
+                        }
                     }
+                    let mut assignment = prefix.clone();
+                    assignment.push(slot);
+                    children.push((assignment, cost + added));
                 }
-                let mut assignment = prefix.clone();
-                assignment.push(slot);
-                next.push((assignment, cost + added));
-            }
-        }
+                children
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         next.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
         next.truncate(beam_width);
         beam = next;
         debug_assert!(beam.iter().all(|(a, _)| a.len() == idx + 1));
     }
-    beam.into_iter()
-        .filter_map(|(assignment, _)| {
-            let (cost, balance) = score(&assignment, clique, slots, delta, demand);
-            cost.is_finite().then_some(Candidate {
-                assignment,
-                cost,
-                balance,
-            })
+    s3_par::par_map(&beam, threads, |_, (assignment, _)| {
+        let (cost, balance) = cache.score(assignment, slots);
+        cost.is_finite().then_some(Candidate {
+            assignment: assignment.clone(),
+            cost,
+            balance,
         })
-        .collect()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 fn select_best(mut candidates: Vec<Candidate>, config: &S3Config) -> Option<Vec<usize>> {
@@ -292,7 +359,11 @@ mod tests {
         let slots = empty_slots(3);
         let picks = assign_clique(&clique, &slots, all_tied, |_| 1e4, &config());
         let distinct: std::collections::HashSet<usize> = picks.iter().copied().collect();
-        assert_eq!(distinct.len(), 3, "tight clique must use all APs: {picks:?}");
+        assert_eq!(
+            distinct.len(),
+            3,
+            "tight clique must use all APs: {picks:?}"
+        );
     }
 
     #[test]
@@ -389,9 +460,8 @@ mod tests {
                 ..config()
             },
         );
-        let cost = |assignment: &[usize]| {
-            score(assignment, &clique, &slots, &delta, &|_: UserId| 1e4).0
-        };
+        let cache = CliqueCost::new(&clique, &slots, &delta, &|_: UserId| 1e4);
+        let cost = |assignment: &[usize]| cache.score(assignment, &slots).0;
         assert!((cost(&full) - cost(&beamed)).abs() < 1e-9);
     }
 

@@ -37,6 +37,11 @@ pub struct S3Config {
     /// day) usage profile — the paper's future-work direction. Off by
     /// default to match the published pipeline.
     pub temporal_features: bool,
+    /// Worker threads for training (event mining, clustering) and the
+    /// batch distribution search; `0` means "auto" (resolved through
+    /// [`s3_par::resolve_threads`]). Every parallel path is deterministic,
+    /// so results are identical for any value.
+    pub threads: usize,
 }
 
 impl Default for S3Config {
@@ -54,7 +59,16 @@ impl Default for S3Config {
             enumeration_limit: 20_000,
             beam_width: 256,
             temporal_features: false,
+            threads: 1,
         }
+    }
+}
+
+impl S3Config {
+    /// The effective worker-thread count: `threads`, with `0` resolved via
+    /// [`s3_par::resolve_threads`] (environment, then available cores).
+    pub fn effective_threads(&self) -> usize {
+        s3_par::resolve_threads(Some(self.threads).filter(|&t| t > 0))
     }
 }
 
@@ -71,7 +85,10 @@ impl S3Config {
             "alpha must be finite and non-negative, got {}",
             self.alpha
         );
-        assert!(!self.coleave_window.is_zero(), "coleave_window must be positive");
+        assert!(
+            !self.coleave_window.is_zero(),
+            "coleave_window must be positive"
+        );
         assert!(
             (0.0..=1.0).contains(&self.top_fraction) && self.top_fraction > 0.0,
             "top_fraction must be in (0,1], got {}",

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use s3_stats::gap::{gap_statistic, GapConfig};
 use s3_stats::kmeans::{self, KMeansConfig};
 use s3_trace::events::{
-    coleave_given_encounter, extract_coleavings, extract_encounters, UserPair,
+    coleave_given_encounter, extract_coleavings_par, extract_encounters_par, UserPair,
 };
 use s3_trace::TraceStore;
 use s3_types::{AppMix, BitsPerSec, UserId};
@@ -148,15 +148,15 @@ impl SocialModel {
     /// whose `delta` is identically zero (S³ then behaves like LLF).
     pub fn learn(store: &TraceStore, config: &S3Config, seed: u64) -> SocialModel {
         config.validate();
-        let encounters = extract_encounters(store, config.encounter_min_overlap);
-        let coleavings = extract_coleavings(store, config.coleave_window);
+        let threads = config.effective_threads();
+        let encounters = extract_encounters_par(store, config.encounter_min_overlap, threads);
+        let coleavings = extract_coleavings_par(store, config.coleave_window, threads);
         let pair_probability = coleave_given_encounter(&encounters, &coleavings);
 
         let last_day = store.day_range().map(|(_, last)| last).unwrap_or(0);
         let profiles = all_window_profiles(store, last_day, config.lookback_days);
 
-        let (user_type, centroids) =
-            Self::cluster_users(store, &profiles, last_day, config, seed);
+        let (user_type, centroids) = Self::cluster_users(store, &profiles, last_day, config, seed);
         let k = centroids.len();
         let type_matrix = Self::estimate_type_matrix(k, &user_type, &pair_probability);
 
@@ -203,17 +203,29 @@ impl SocialModel {
         if points.len() < 2 {
             return (HashMap::new(), Vec::new());
         }
+        let threads = config.effective_threads();
         let k = match config.fixed_k {
             Some(k) => k.min(points.len()),
             None => {
                 let k_max = config.k_max.min(points.len());
-                match gap_statistic(&points, k_max, &GapConfig::default(), seed) {
+                // The gap statistic fans its independent fits across the
+                // workers; its inner k-means runs stay sequential so the
+                // pool is not oversubscribed.
+                let gap_config = GapConfig {
+                    threads,
+                    ..GapConfig::default()
+                };
+                match gap_statistic(&points, k_max, &gap_config, seed) {
                     Ok(result) => result.chosen_k,
                     Err(_) => return (HashMap::new(), Vec::new()),
                 }
             }
         };
-        let Ok(fit) = kmeans::fit(&points, k, &KMeansConfig::default(), seed) else {
+        let kmeans_config = KMeansConfig {
+            threads,
+            ..KMeansConfig::default()
+        };
+        let Ok(fit) = kmeans::fit(&points, k, &kmeans_config, seed) else {
             return (HashMap::new(), Vec::new());
         };
         let assignments: HashMap<UserId, usize> = users
@@ -470,7 +482,10 @@ mod tests {
     fn learning_is_deterministic() {
         let a = SocialModel::learn(&social_store(), &config(), 9);
         let b = SocialModel::learn(&social_store(), &config(), 9);
-        assert_eq!(a.delta(UserId::new(1), UserId::new(2)), b.delta(UserId::new(1), UserId::new(2)));
+        assert_eq!(
+            a.delta(UserId::new(1), UserId::new(2)),
+            b.delta(UserId::new(1), UserId::new(2))
+        );
         assert_eq!(a.type_count(), b.type_count());
     }
 

@@ -115,11 +115,10 @@ impl IncrementalLearner {
                 total += v.as_f64();
             }
             if total > 0.0 {
-                self.profiles.entry(user).or_default().push(
-                    day,
-                    raw,
-                    self.config.lookback_days,
-                );
+                self.profiles
+                    .entry(user)
+                    .or_default()
+                    .push(day, raw, self.config.lookback_days);
             }
             for session in store.sessions_of(user) {
                 if session.connect.day() != day {
@@ -130,8 +129,7 @@ impl IncrementalLearner {
                     continue;
                 }
                 let entry = self.demand.entry(user).or_insert(rate);
-                *entry = (1.0 - self.config.demand_ewma) * *entry
-                    + self.config.demand_ewma * rate;
+                *entry = (1.0 - self.config.demand_ewma) * *entry + self.config.demand_ewma * rate;
             }
         }
         self.days_ingested += 1;
@@ -161,7 +159,13 @@ impl IncrementalLearner {
         users.sort_unstable();
         let points: Vec<Vec<f64>> = users
             .iter()
-            .map(|u| self.profiles[u].aggregate().expect("filtered").shares().to_vec())
+            .map(|u| {
+                self.profiles[u]
+                    .aggregate()
+                    .expect("filtered")
+                    .shares()
+                    .to_vec()
+            })
             .collect();
         let k = self.config.fixed_k.unwrap_or(4).min(points.len());
         let (user_type, centroids) = if points.len() >= 2 && k >= 1 {

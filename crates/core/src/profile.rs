@@ -172,13 +172,7 @@ mod tests {
     use s3_trace::SessionRecord;
     use s3_types::{ApId, AppCategory, Bytes, ControllerId, Timestamp};
 
-    fn rec_with_mix(
-        user: u32,
-        day: u64,
-        im_mb: u64,
-        web_mb: u64,
-        duration: u64,
-    ) -> SessionRecord {
+    fn rec_with_mix(user: u32, day: u64, im_mb: u64, web_mb: u64, duration: u64) -> SessionRecord {
         let mut volume_by_app = [Bytes::ZERO; 6];
         volume_by_app[AppCategory::Im.index()] = Bytes::megabytes(im_mb);
         volume_by_app[AppCategory::WebBrowsing.index()] = Bytes::megabytes(web_mb);

@@ -255,10 +255,7 @@ mod tests {
     fn end_to_end_run_places_every_demand() {
         let mut s3 = trained_selector();
         let campus = CampusGenerator::new(CampusConfig::tiny(), 5).generate();
-        let engine = SimEngine::new(
-            Topology::from_campus(&campus.config),
-            SimConfig::default(),
-        );
+        let engine = SimEngine::new(Topology::from_campus(&campus.config), SimConfig::default());
         let result = engine.run(&campus.demands, &mut s3);
         assert_eq!(result.records.len(), campus.demands.len());
         assert_eq!(result.rejected, 0);

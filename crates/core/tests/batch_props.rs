@@ -7,19 +7,17 @@ use s3_core::S3Config;
 use s3_types::UserId;
 
 fn slots_strategy() -> impl Strategy<Value = Vec<ApSlot>> {
-    prop::collection::vec(
-        (0.0f64..5e7, prop::collection::vec(0u32..100, 0..6)),
-        1..6,
+    prop::collection::vec((0.0f64..5e7, prop::collection::vec(0u32..100, 0..6)), 1..6).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|(load, members)| ApSlot {
+                    load,
+                    capacity: 1e8,
+                    members: members.into_iter().map(UserId::new).collect(),
+                })
+                .collect()
+        },
     )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .map(|(load, members)| ApSlot {
-                load,
-                capacity: 1e8,
-                members: members.into_iter().map(UserId::new).collect(),
-            })
-            .collect()
-    })
 }
 
 /// A deterministic pseudo-random δ in `[0, 1)` from the pair identity.

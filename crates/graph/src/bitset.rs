@@ -62,7 +62,11 @@ impl BitSet {
     /// Panics if `value >= capacity`.
     #[inline]
     pub fn insert(&mut self, value: usize) -> bool {
-        assert!(value < self.capacity, "bitset value {value} out of capacity {}", self.capacity);
+        assert!(
+            value < self.capacity,
+            "bitset value {value} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (value / 64, value % 64);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
@@ -76,7 +80,11 @@ impl BitSet {
     /// Panics if `value >= capacity`.
     #[inline]
     pub fn remove(&mut self, value: usize) -> bool {
-        assert!(value < self.capacity, "bitset value {value} out of capacity {}", self.capacity);
+        assert!(
+            value < self.capacity,
+            "bitset value {value} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (value / 64, value % 64);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] &= !(1 << b);

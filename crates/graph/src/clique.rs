@@ -238,7 +238,8 @@ pub fn max_clique_in_subset_with_budget(
         for v in graph.neighbors(u) {
             if let Some(&j) = index_of.get(&v) {
                 if j > i {
-                    sub.add_edge(i, j, graph.weight(u, v)).expect("valid subgraph edge");
+                    sub.add_edge(i, j, graph.weight(u, v))
+                        .expect("valid subgraph edge");
                 }
             }
         }

@@ -28,9 +28,14 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, count } => {
-                write!(f, "vertex {vertex} out of range for graph with {count} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {count} vertices"
+                )
             }
-            GraphError::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex} not allowed"),
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} not allowed")
+            }
             GraphError::InvalidWeight { weight } => {
                 write!(f, "edge weight {weight} must be finite and non-negative")
             }
@@ -47,13 +52,19 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(
-            GraphError::VertexOutOfRange { vertex: 9, count: 4 }.to_string(),
+            GraphError::VertexOutOfRange {
+                vertex: 9,
+                count: 4
+            }
+            .to_string(),
             "vertex 9 out of range for graph with 4 vertices"
         );
         assert_eq!(
             GraphError::SelfLoop { vertex: 2 }.to_string(),
             "self-loop on vertex 2 not allowed"
         );
-        assert!(GraphError::InvalidWeight { weight: -1.0 }.to_string().contains("-1"));
+        assert!(GraphError::InvalidWeight { weight: -1.0 }
+            .to_string()
+            .contains("-1"));
     }
 }

@@ -213,9 +213,15 @@ mod tests {
         let mut g = SocialGraph::new(3);
         assert_eq!(
             g.add_edge(0, 3, 0.5),
-            Err(GraphError::VertexOutOfRange { vertex: 3, count: 3 })
+            Err(GraphError::VertexOutOfRange {
+                vertex: 3,
+                count: 3
+            })
         );
-        assert_eq!(g.add_edge(1, 1, 0.5), Err(GraphError::SelfLoop { vertex: 1 }));
+        assert_eq!(
+            g.add_edge(1, 1, 0.5),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        );
         assert_eq!(
             g.add_edge(0, 1, -0.5),
             Err(GraphError::InvalidWeight { weight: -0.5 })

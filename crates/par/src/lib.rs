@@ -1,0 +1,323 @@
+//! Deterministic parallel execution helpers.
+//!
+//! Every hot path of the S3 pipeline — pairwise event mining, k-means, the
+//! gap statistic's reference fits, Algorithm 1's `mᶜ` distribution search
+//! and the figure sweeps — is embarrassingly parallel, but the repository
+//! guarantees **bit-for-bit reproducibility**: for a fixed seed, every
+//! experiment binary must write byte-identical CSVs regardless of thread
+//! count. This crate provides the only two primitives those paths need,
+//! built on [`std::thread::scope`] (zero dependencies), with determinism as
+//! a structural property rather than a convention:
+//!
+//! * [`par_map`] — order-preserving map: the output vector is ordered by
+//!   input index, no matter which worker computed which element;
+//! * [`par_chunk_fold`] — fold over **fixed-size** chunks, merged in chunk
+//!   order. Chunk boundaries depend only on `chunk_size`, never on the
+//!   thread count, so floating-point reductions associate identically at
+//!   `threads = 1` and `threads = 64`.
+//!
+//! At `threads <= 1` both helpers run sequentially on the caller's thread
+//! (no spawn); callers therefore need no separate sequential code path.
+//!
+//! # Thread-count resolution
+//!
+//! [`resolve_threads`] maps an optional request (CLI flag, config field) to
+//! an effective count: an explicit `Some(n)` wins, otherwise the
+//! `S3_THREADS` environment variable, otherwise
+//! [`std::thread::available_parallelism`]. `0` means "auto" everywhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding the default thread count.
+pub const THREADS_ENV: &str = "S3_THREADS";
+
+/// Hard cap on worker threads, a guard against absurd requests.
+pub const MAX_THREADS: usize = 256;
+
+/// The machine's available parallelism (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves an optional thread-count request to an effective count:
+/// `request` (if `Some` and non-zero), else `S3_THREADS` (if set, parseable
+/// and non-zero), else [`available_threads`]. The result is clamped to
+/// `1..=`[`MAX_THREADS`].
+pub fn resolve_threads(request: Option<usize>) -> usize {
+    let requested = match request {
+        Some(n) if n > 0 => n,
+        _ => std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(available_threads),
+    };
+    requested.clamp(1, MAX_THREADS)
+}
+
+/// Order-preserving parallel map: `out[i] = f(i, &items[i])`.
+///
+/// Items are dealt to at most `threads` workers in contiguous index ranges;
+/// each worker returns its range's results, which are reassembled by range
+/// position. The output is byte-identical to the sequential map for any
+/// `threads`, provided `f` is a pure function of `(index, item)`.
+///
+/// `threads <= 1` (or fewer than two items) runs inline without spawning.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, MAX_THREADS).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let ranges = split_ranges(items.len(), threads);
+    let mut parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|range| {
+                let f = &f;
+                let chunk = &items[range.clone()];
+                let base = range.start;
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(offset, x)| f(base + offset, x))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for part in parts.iter_mut() {
+        out.append(part);
+    }
+    out
+}
+
+/// Deterministic parallel fold: splits `items` into chunks of exactly
+/// `chunk_size` (the last may be shorter), folds each chunk sequentially
+/// with `fold`, and merges the per-chunk accumulators **in chunk order**
+/// with `merge`.
+///
+/// Because chunk boundaries depend only on `chunk_size`, the association
+/// order of `merge` — and hence any floating-point rounding — is identical
+/// for every thread count, including 1. Returns `init()` for empty input.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn par_chunk_fold<T, A, F, G, M>(
+    items: &[T],
+    threads: usize,
+    chunk_size: usize,
+    init: G,
+    fold: F,
+    mut merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    G: Fn() -> A + Sync,
+    F: Fn(A, usize, &T) -> A + Sync,
+    M: FnMut(A, A) -> A,
+{
+    assert!(chunk_size > 0, "par_chunk_fold needs a positive chunk size");
+    if items.is_empty() {
+        return init();
+    }
+    let fold_chunk = |chunk_index: usize, chunk: &[T]| {
+        let base = chunk_index * chunk_size;
+        let mut acc = init();
+        for (offset, item) in chunk.iter().enumerate() {
+            acc = fold(acc, base + offset, item);
+        }
+        acc
+    };
+    let partials: Vec<A> = if threads <= 1 || items.len() <= chunk_size {
+        items
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(ci, chunk)| fold_chunk(ci, chunk))
+            .collect()
+    } else {
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        // One worker per contiguous run of chunks; each returns its chunks'
+        // accumulators in order.
+        let nested = std::thread::scope(|scope| {
+            let ranges = split_ranges(chunks.len(), threads.clamp(1, MAX_THREADS));
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|range| {
+                    let fold_chunk = &fold_chunk;
+                    let my_chunks = &chunks[range.clone()];
+                    let base = range.start;
+                    scope.spawn(move || {
+                        my_chunks
+                            .iter()
+                            .enumerate()
+                            .map(|(i, chunk)| fold_chunk(base + i, chunk))
+                            .collect::<Vec<A>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("par_chunk_fold worker panicked"))
+                .collect::<Vec<Vec<A>>>()
+        });
+        nested.into_iter().flatten().collect()
+    };
+    let mut iter = partials.into_iter();
+    let first = iter.next().expect("non-empty input has a first chunk");
+    iter.fold(first, &mut merge)
+}
+
+/// Splits `0..len` into `parts` contiguous, near-equal, non-empty ranges.
+fn split_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.min(len).max(1);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_prefers_explicit_request() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(100_000)), MAX_THREADS);
+        assert!(resolve_threads(None) >= 1);
+        assert!(resolve_threads(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn split_ranges_tile_exactly() {
+        for len in [0usize, 1, 2, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 33] {
+                let ranges = split_ranges(len, parts);
+                let mut expected_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expected_start);
+                    assert!(!r.is_empty() || len == 0);
+                    expected_start = r.end;
+                }
+                assert_eq!(expected_start, len);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let expected: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * 2 + i as u64)
+            .collect();
+        for threads in [1, 2, 3, 7, 8, 64] {
+            let got = par_map(&items, threads, |i, &x| x * 2 + i as u64);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_small_inputs() {
+        assert_eq!(par_map::<u8, u8, _>(&[], 8, |_, &x| x), Vec::<u8>::new());
+        assert_eq!(par_map(&[5u8], 8, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn chunk_fold_float_sum_is_thread_count_invariant() {
+        // Adversarial magnitudes: naive reassociation visibly changes the
+        // result, so equality across thread counts is a real check.
+        let items: Vec<f64> = (0..10_000)
+            .map(|i| {
+                if i % 3 == 0 {
+                    1e16
+                } else {
+                    1.0 + i as f64 * 1e-7
+                }
+            })
+            .collect();
+        let reference = par_chunk_fold(
+            &items,
+            1,
+            256,
+            || 0.0f64,
+            |acc, _, &x| acc + x,
+            |a, b| a + b,
+        );
+        for threads in [2, 3, 4, 8, 61] {
+            let got = par_chunk_fold(
+                &items,
+                threads,
+                256,
+                || 0.0f64,
+                |acc, _, &x| acc + x,
+                |a, b| a + b,
+            );
+            assert_eq!(got.to_bits(), reference.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_fold_passes_global_indices() {
+        let items = vec![10u64; 100];
+        let sum_of_indices = par_chunk_fold(
+            &items,
+            4,
+            7,
+            || 0u64,
+            |acc, i, _| acc + i as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(sum_of_indices, (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn chunk_fold_empty_input_returns_init() {
+        let out = par_chunk_fold::<u8, _, _, _, _>(&[], 4, 16, || 41, |acc, _, _| acc, |a, _| a);
+        assert_eq!(out, 41);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive chunk size")]
+    fn chunk_fold_rejects_zero_chunk() {
+        let _ = par_chunk_fold(&[1], 2, 0, || 0, |a, _, _| a, |a, _| a);
+    }
+
+    #[test]
+    fn par_map_uses_multiple_threads_when_asked() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map(&items, 4, |_, &x| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            x
+        });
+        assert!(seen.lock().unwrap().len() > 1, "expected work on >1 thread");
+    }
+}

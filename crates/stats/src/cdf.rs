@@ -37,7 +37,10 @@ impl Ecdf {
         }
         for (index, &x) in samples.iter().enumerate() {
             if !x.is_finite() {
-                return Err(StatsError::InvalidSample { what: "ecdf", index });
+                return Err(StatsError::InvalidSample {
+                    what: "ecdf",
+                    index,
+                });
             }
         }
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
@@ -217,7 +220,10 @@ mod tests {
 
     #[test]
     fn ecdf_rejects_empty_and_nan() {
-        assert!(matches!(Ecdf::new(vec![]), Err(StatsError::EmptyInput { .. })));
+        assert!(matches!(
+            Ecdf::new(vec![]),
+            Err(StatsError::EmptyInput { .. })
+        ));
         assert!(matches!(
             Ecdf::new(vec![1.0, f64::NAN]),
             Err(StatsError::InvalidSample { index: 1, .. })

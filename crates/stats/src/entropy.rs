@@ -95,7 +95,10 @@ impl JointHistogram {
     ///
     /// Panics if `x >= rows` or `y >= cols`.
     pub fn record(&mut self, x: usize, y: usize) {
-        assert!(x < self.rows && y < self.cols, "cell ({x},{y}) out of range");
+        assert!(
+            x < self.rows && y < self.cols,
+            "cell ({x},{y}) out of range"
+        );
         self.counts[x * self.cols + y] += 1;
         self.total += 1;
     }
@@ -112,7 +115,11 @@ impl JointHistogram {
     /// [`StatsError::EmptyInput`] if no observations were recorded.
     pub fn entropy_x(&self) -> Result<f64, StatsError> {
         let marg: Vec<f64> = (0..self.rows)
-            .map(|r| (0..self.cols).map(|c| self.counts[r * self.cols + c] as f64).sum())
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| self.counts[r * self.cols + c] as f64)
+                    .sum()
+            })
             .collect();
         entropy_bits(&marg)
     }
@@ -124,7 +131,11 @@ impl JointHistogram {
     /// [`StatsError::EmptyInput`] if no observations were recorded.
     pub fn entropy_y(&self) -> Result<f64, StatsError> {
         let marg: Vec<f64> = (0..self.cols)
-            .map(|c| (0..self.rows).map(|r| self.counts[r * self.cols + c] as f64).sum())
+            .map(|c| {
+                (0..self.rows)
+                    .map(|r| self.counts[r * self.cols + c] as f64)
+                    .sum()
+            })
             .collect();
         entropy_bits(&marg)
     }
@@ -206,7 +217,9 @@ where
         hist.record(quantize_share(cur, levels), quantize_share(old, levels));
     }
     if hist.total() == 0 {
-        return Err(StatsError::EmptyInput { what: "profile_nmi" });
+        return Err(StatsError::EmptyInput {
+            what: "profile_nmi",
+        });
     }
     hist.nmi()
 }
@@ -300,10 +313,12 @@ mod tests {
 
     #[test]
     fn profile_nmi_identity_pairs_are_perfect() {
-        let pairs: Vec<(f64, f64)> = (0..100).map(|i| {
-            let s = i as f64 / 99.0;
-            (s, s)
-        }).collect();
+        let pairs: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let s = i as f64 / 99.0;
+                (s, s)
+            })
+            .collect();
         let nmi = profile_nmi(pairs, 8).unwrap();
         assert!((nmi - 1.0).abs() < 1e-9);
     }
@@ -313,7 +328,12 @@ mod tests {
         // Every (current level, history level) combination appears equally
         // often → exactly independent → NMI 0.
         let pairs: Vec<(f64, f64)> = (0..64)
-            .map(|i| ((i % 8) as f64 / 8.0 + 0.01, ((i / 8) % 8) as f64 / 8.0 + 0.01))
+            .map(|i| {
+                (
+                    (i % 8) as f64 / 8.0 + 0.01,
+                    ((i / 8) % 8) as f64 / 8.0 + 0.01,
+                )
+            })
             .collect();
         let nmi = profile_nmi(pairs, 8).unwrap();
         assert!(nmi < 1e-9, "nmi unexpectedly high: {nmi}");

@@ -43,7 +43,10 @@ impl fmt::Display for StatsError {
             }
             StatsError::BadParameter { what, detail } => write!(f, "{what}: {detail}"),
             StatsError::TooFewPoints { points, k } => {
-                write!(f, "k-means: {k} clusters requested but only {points} points")
+                write!(
+                    f,
+                    "k-means: {k} clusters requested but only {points} points"
+                )
             }
         }
     }

@@ -40,6 +40,10 @@ pub struct GapConfig {
     pub reference_method: ReferenceMethod,
     /// k-means settings shared by data and reference fits.
     pub kmeans: KMeansConfig,
+    /// Worker threads fanning out the `k_max · (B + 1)` independent k-means
+    /// fits (`<= 1` is sequential). Each fit has its own derived seed, so
+    /// the curve is identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for GapConfig {
@@ -48,6 +52,7 @@ impl Default for GapConfig {
             reference_sets: 10,
             reference_method: ReferenceMethod::PcaAligned,
             kmeans: KMeansConfig::default(),
+            threads: 1,
         }
     }
 }
@@ -90,12 +95,7 @@ fn bounding_box(points: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
     (lo, hi)
 }
 
-fn uniform_reference(
-    n: usize,
-    lo: &[f64],
-    hi: &[f64],
-    rng: &mut StdRng,
-) -> Vec<Vec<f64>> {
+fn uniform_reference(n: usize, lo: &[f64], hi: &[f64], rng: &mut StdRng) -> Vec<Vec<f64>> {
     (0..n)
         .map(|_| {
             lo.iter()
@@ -123,7 +123,11 @@ fn pca_frame(points: &[Vec<f64>]) -> Result<PcaFrame, StatsError> {
     let mut hi = vec![f64::NEG_INFINITY; d];
     for p in points {
         for (axis, (l, h)) in eigen.vectors.iter().zip(lo.iter_mut().zip(hi.iter_mut())) {
-            let proj: f64 = axis.iter().zip(p.iter().zip(&mean)).map(|(a, (x, m))| a * (x - m)).sum();
+            let proj: f64 = axis
+                .iter()
+                .zip(p.iter().zip(&mean))
+                .map(|(a, (x, m))| a * (x - m))
+                .sum();
             *l = l.min(proj);
             *h = h.max(proj);
         }
@@ -157,7 +161,12 @@ fn pca_reference(n: usize, frame: &PcaFrame, rng: &mut StdRng) -> Vec<Vec<f64>> 
         .collect()
 }
 
-fn log_dispersion(points: &[Vec<f64>], k: usize, config: &KMeansConfig, seed: u64) -> Result<f64, StatsError> {
+fn log_dispersion(
+    points: &[Vec<f64>],
+    k: usize,
+    config: &KMeansConfig,
+    seed: u64,
+) -> Result<f64, StatsError> {
     let fit = kmeans::fit(points, k, config, seed)?;
     let w = kmeans::within_dispersion(points, &fit);
     // Guard against log(0) for degenerate perfectly-tight clusterings.
@@ -227,20 +236,42 @@ pub fn gap_statistic(
         }
     };
 
-    let mut out = Vec::with_capacity(k_max);
+    // Every (k, data-or-reference) fit is independent with its own derived
+    // seed; fan them all out at once and reassemble per k in task order, so
+    // the mean/sd sums associate exactly as the sequential loops did.
+    let mut tasks: Vec<(usize, Option<usize>)> = Vec::with_capacity(k_max * (b + 1));
     for k in 1..=k_max {
-        let log_w = log_dispersion(points, k, &config.kmeans, seed.wrapping_add(k as u64))?;
-        let mut ref_logs = Vec::with_capacity(b);
-        for (bi, reference) in references.iter().enumerate() {
-            ref_logs.push(log_dispersion(
-                reference,
+        tasks.push((k, None));
+        for bi in 0..b {
+            tasks.push((k, Some(bi)));
+        }
+    }
+    let logs: Vec<Result<f64, StatsError>> =
+        s3_par::par_map(&tasks, config.threads, |_, &(k, bi)| match bi {
+            None => log_dispersion(points, k, &config.kmeans, seed.wrapping_add(k as u64)),
+            Some(bi) => log_dispersion(
+                &references[bi],
                 k,
                 &config.kmeans,
                 seed.wrapping_add((k * 1_000 + bi) as u64),
-            )?);
+            ),
+        });
+    let mut logs = logs.into_iter();
+
+    let mut out = Vec::with_capacity(k_max);
+    for k in 1..=k_max {
+        let log_w = logs.next().expect("one data fit per k")?;
+        let mut ref_logs = Vec::with_capacity(b);
+        for _ in 0..b {
+            ref_logs.push(logs.next().expect("b reference fits per k")?);
         }
         let mean = ref_logs.iter().sum::<f64>() / b as f64;
-        let sd = (ref_logs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / b as f64).sqrt();
+        let sd = (ref_logs
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / b as f64)
+            .sqrt();
         out.push(GapPoint {
             k,
             gap: mean - log_w,
@@ -297,7 +328,12 @@ mod tests {
 
     #[test]
     fn picks_four_for_four_blobs() {
-        let pts = blobs(&[(0.0, 0.0), (6.0, 0.0), (0.0, 6.0), (6.0, 6.0)], 25, 0.3, 21);
+        let pts = blobs(
+            &[(0.0, 0.0), (6.0, 0.0), (0.0, 6.0), (6.0, 6.0)],
+            25,
+            0.3,
+            21,
+        );
         let result = gap_statistic(&pts, 8, &GapConfig::default(), 4).unwrap();
         assert_eq!(result.chosen_k, 4);
     }

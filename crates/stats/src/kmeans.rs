@@ -19,6 +19,10 @@ pub struct KMeansConfig {
     pub tol: f64,
     /// Number of independent restarts; the best inertia wins.
     pub restarts: usize,
+    /// Worker threads for the per-point assignment step (`<= 1` is
+    /// sequential). Assignments are a pure per-point argmin, so the fit is
+    /// identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for KMeansConfig {
@@ -27,6 +31,7 @@ impl Default for KMeansConfig {
             max_iters: 100,
             tol: 1e-9,
             restarts: 4,
+            threads: 1,
         }
     }
 }
@@ -60,6 +65,20 @@ impl KMeansResult {
 
 fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Index and squared distance of the centroid nearest to `p`.
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = sq_dist(p, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
 }
 
 fn validate(points: &[Vec<f64>], k: usize) -> Result<usize, StatsError> {
@@ -147,17 +166,13 @@ fn lloyd(
     let k = centroids.len();
     let mut assignments = vec![0usize; points.len()];
     for _ in 0..config.max_iters {
-        // Assignment step.
-        for (i, p) in points.iter().enumerate() {
-            let mut best = 0;
-            let mut best_d = f64::INFINITY;
-            for (c, centroid) in centroids.iter().enumerate() {
-                let d = sq_dist(p, centroid);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
+        // Assignment step: a pure per-point argmin, parallelized with the
+        // output in point order. The update step below stays sequential so
+        // the centroid sums accumulate in point order at any thread count.
+        for (i, (best, _)) in s3_par::par_map(points, config.threads, |_, p| nearest(p, &centroids))
+            .into_iter()
+            .enumerate()
+        {
             assignments[i] = best;
         }
         // Update step.
@@ -199,18 +214,15 @@ fn lloyd(
             break;
         }
     }
-    // Final assignment + inertia against the converged centroids.
+    // Final assignment + inertia against the converged centroids. The
+    // distances come back in point order, so the inertia sum associates
+    // exactly as the sequential loop did.
     let mut inertia = 0.0;
-    for (i, p) in points.iter().enumerate() {
-        let mut best = 0;
-        let mut best_d = f64::INFINITY;
-        for (c, centroid) in centroids.iter().enumerate() {
-            let d = sq_dist(p, centroid);
-            if d < best_d {
-                best_d = d;
-                best = c;
-            }
-        }
+    for (i, (best, best_d)) in
+        s3_par::par_map(points, config.threads, |_, p| nearest(p, &centroids))
+            .into_iter()
+            .enumerate()
+    {
         assignments[i] = best;
         inertia += best_d;
     }

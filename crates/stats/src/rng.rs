@@ -27,7 +27,10 @@ pub fn standard_normal<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// Panics if `sd` is negative or either parameter is non-finite.
 pub fn normal<R: RngExt + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
-    assert!(mean.is_finite() && sd.is_finite() && sd >= 0.0, "bad normal params");
+    assert!(
+        mean.is_finite() && sd.is_finite() && sd >= 0.0,
+        "bad normal params"
+    );
     mean + sd * standard_normal(rng)
 }
 
@@ -37,7 +40,13 @@ pub fn normal<R: RngExt + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `lo > hi` or parameters are non-finite.
-pub fn truncated_normal<R: RngExt + ?Sized>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+pub fn truncated_normal<R: RngExt + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    sd: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
     assert!(lo <= hi, "truncated_normal: lo {lo} > hi {hi}");
     for _ in 0..64 {
         let x = normal(rng, mean, sd);
@@ -64,7 +73,10 @@ pub fn log_normal<R: RngExt + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 ///
 /// Panics if `rate` is not strictly positive and finite.
 pub fn exponential<R: RngExt + ?Sized>(rng: &mut R, rate: f64) -> f64 {
-    assert!(rate.is_finite() && rate > 0.0, "exponential rate must be > 0");
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "exponential rate must be > 0"
+    );
     let u: f64 = 1.0 - rng.random::<f64>();
     -u.ln() / rate
 }
@@ -76,7 +88,10 @@ pub fn exponential<R: RngExt + ?Sized>(rng: &mut R, rate: f64) -> f64 {
 ///
 /// Panics if `lambda` is negative or non-finite.
 pub fn poisson<R: RngExt + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda.is_finite() && lambda >= 0.0, "poisson lambda must be >= 0");
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "poisson lambda must be >= 0"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -130,7 +145,10 @@ pub fn zipf<R: RngExt + ?Sized>(rng: &mut R, n: usize, s: f64) -> usize {
 /// Panics if `dim == 0` or `alpha` is not strictly positive and finite.
 pub fn dirichlet_symmetric<R: RngExt + ?Sized>(rng: &mut R, dim: usize, alpha: f64) -> Vec<f64> {
     assert!(dim > 0, "dirichlet dimension must be positive");
-    assert!(alpha.is_finite() && alpha > 0.0, "dirichlet alpha must be > 0");
+    assert!(
+        alpha.is_finite() && alpha > 0.0,
+        "dirichlet alpha must be > 0"
+    );
     let mut draws: Vec<f64> = (0..dim).map(|_| gamma(rng, alpha)).collect();
     let total: f64 = draws.iter().sum();
     if total <= 0.0 {
@@ -172,7 +190,11 @@ pub fn gamma<R: RngExt + ?Sized>(rng: &mut R, shape: f64) -> f64 {
 
 /// Returns true with probability `p` (clamped to `[0,1]`).
 pub fn bernoulli<R: RngExt + ?Sized>(rng: &mut R, p: f64) -> bool {
-    let p = if p.is_finite() { p.clamp(0.0, 1.0) } else { 0.0 };
+    let p = if p.is_finite() {
+        p.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     rng.random::<f64>() < p
 }
 
@@ -306,7 +328,10 @@ mod tests {
         for shape in [0.5, 1.0, 4.0] {
             let samples: Vec<f64> = (0..30_000).map(|_| gamma(&mut r, shape)).collect();
             let (mean, _) = moments(&samples);
-            assert!((mean - shape).abs() < 0.08 * shape.max(1.0), "shape {shape} mean {mean}");
+            assert!(
+                (mean - shape).abs() < 0.08 * shape.max(1.0),
+                "shape {shape} mean {mean}"
+            );
         }
     }
 

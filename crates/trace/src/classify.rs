@@ -23,8 +23,9 @@ pub fn classify_port(protocol: TransportProtocol, port: u16) -> Option<AppCatego
         // Web browsing: HTTP/HTTPS and common proxies.
         (Tcp, 80) | (Tcp, 443) | (Tcp, 8080) | (Tcp, 3128) => WebBrowsing,
         // E-mail: SMTP(S), POP3(S), IMAP(S).
-        (Tcp, 25) | (Tcp, 465) | (Tcp, 587) | (Tcp, 110) | (Tcp, 995) | (Tcp, 143)
-        | (Tcp, 993) => Email,
+        (Tcp, 25) | (Tcp, 465) | (Tcp, 587) | (Tcp, 110) | (Tcp, 995) | (Tcp, 143) | (Tcp, 993) => {
+            Email
+        }
         // IM: QQ (8000/udp, 443 handled above as web), MSN 1863, XMPP 5222,
         // IRC 6667, QQ file 4000.
         (Udp, 8000) | (Udp, 4000) | (Tcp, 1863) | (Tcp, 5222) | (Tcp, 6667) => Im,
@@ -78,20 +79,47 @@ mod tests {
 
     #[test]
     fn classifies_the_big_six() {
-        assert_eq!(classify_port(TransportProtocol::Tcp, 80), Some(AppCategory::WebBrowsing));
-        assert_eq!(classify_port(TransportProtocol::Tcp, 443), Some(AppCategory::WebBrowsing));
-        assert_eq!(classify_port(TransportProtocol::Tcp, 25), Some(AppCategory::Email));
-        assert_eq!(classify_port(TransportProtocol::Udp, 8000), Some(AppCategory::Im));
-        assert_eq!(classify_port(TransportProtocol::Tcp, 6884), Some(AppCategory::P2p));
-        assert_eq!(classify_port(TransportProtocol::Tcp, 7001), Some(AppCategory::Music));
-        assert_eq!(classify_port(TransportProtocol::Tcp, 1935), Some(AppCategory::Video));
+        assert_eq!(
+            classify_port(TransportProtocol::Tcp, 80),
+            Some(AppCategory::WebBrowsing)
+        );
+        assert_eq!(
+            classify_port(TransportProtocol::Tcp, 443),
+            Some(AppCategory::WebBrowsing)
+        );
+        assert_eq!(
+            classify_port(TransportProtocol::Tcp, 25),
+            Some(AppCategory::Email)
+        );
+        assert_eq!(
+            classify_port(TransportProtocol::Udp, 8000),
+            Some(AppCategory::Im)
+        );
+        assert_eq!(
+            classify_port(TransportProtocol::Tcp, 6884),
+            Some(AppCategory::P2p)
+        );
+        assert_eq!(
+            classify_port(TransportProtocol::Tcp, 7001),
+            Some(AppCategory::Music)
+        );
+        assert_eq!(
+            classify_port(TransportProtocol::Tcp, 1935),
+            Some(AppCategory::Video)
+        );
     }
 
     #[test]
     fn protocol_matters() {
         // RTSP over TCP is video; the UDP legacy path is music streaming.
-        assert_eq!(classify_port(TransportProtocol::Tcp, 554), Some(AppCategory::Video));
-        assert_eq!(classify_port(TransportProtocol::Udp, 554), Some(AppCategory::Music));
+        assert_eq!(
+            classify_port(TransportProtocol::Tcp, 554),
+            Some(AppCategory::Video)
+        );
+        assert_eq!(
+            classify_port(TransportProtocol::Udp, 554),
+            Some(AppCategory::Music)
+        );
         // Port 8000 is IM only on UDP.
         assert_eq!(classify_port(TransportProtocol::Tcp, 8000), None);
     }

@@ -29,7 +29,9 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "csv i/o error: {e}"),
-            CsvError::Parse { line, detail } => write!(f, "csv parse error at line {line}: {detail}"),
+            CsvError::Parse { line, detail } => {
+                write!(f, "csv parse error at line {line}: {detail}")
+            }
         }
     }
 }
@@ -90,12 +92,10 @@ pub fn write_sessions<W: Write>(mut w: W, records: &[SessionRecord]) -> io::Resu
 /// [`CsvError::Io`] on reader failures.
 pub fn read_sessions<R: BufRead>(r: R) -> Result<Vec<SessionRecord>, CsvError> {
     let mut lines = r.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| CsvError::Parse {
-            line: 1,
-            detail: "empty input (missing header)".to_string(),
-        })??;
+    let header = lines.next().ok_or_else(|| CsvError::Parse {
+        line: 1,
+        detail: "empty input (missing header)".to_string(),
+    })??;
     if header.trim() != HEADER {
         return Err(CsvError::Parse {
             line: 1,
@@ -113,7 +113,11 @@ pub fn read_sessions<R: BufRead>(r: R) -> Result<Vec<SessionRecord>, CsvError> {
         if fields.len() != 5 + APP_CATEGORY_COUNT {
             return Err(CsvError::Parse {
                 line: line_no,
-                detail: format!("expected {} fields, got {}", 5 + APP_CATEGORY_COUNT, fields.len()),
+                detail: format!(
+                    "expected {} fields, got {}",
+                    5 + APP_CATEGORY_COUNT,
+                    fields.len()
+                ),
             });
         }
         let parse_u64 = |s: &str, what: &str| -> Result<u64, CsvError> {
@@ -185,12 +189,10 @@ pub fn write_demands<W: Write>(mut w: W, demands: &[SessionDemand]) -> io::Resul
 /// [`CsvError::Io`] on reader failures.
 pub fn read_demands<R: BufRead>(r: R) -> Result<Vec<SessionDemand>, CsvError> {
     let mut lines = r.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| CsvError::Parse {
-            line: 1,
-            detail: "empty input (missing header)".to_string(),
-        })??;
+    let header = lines.next().ok_or_else(|| CsvError::Parse {
+        line: 1,
+        detail: "empty input (missing header)".to_string(),
+    })??;
     if header.trim() != DEMAND_HEADER {
         return Err(CsvError::Parse {
             line: 1,
@@ -208,7 +210,11 @@ pub fn read_demands<R: BufRead>(r: R) -> Result<Vec<SessionDemand>, CsvError> {
         if fields.len() != 5 + APP_CATEGORY_COUNT {
             return Err(CsvError::Parse {
                 line: line_no,
-                detail: format!("expected {} fields, got {}", 5 + APP_CATEGORY_COUNT, fields.len()),
+                detail: format!(
+                    "expected {} fields, got {}",
+                    5 + APP_CATEGORY_COUNT,
+                    fields.len()
+                ),
             });
         }
         let parse_u64 = |s: &str, what: &str| -> Result<u64, CsvError> {
@@ -267,7 +273,14 @@ mod tests {
                 controller: ControllerId::new(1),
                 connect: Timestamp::from_secs(50),
                 disconnect: Timestamp::from_secs(51),
-                volume_by_app: [Bytes::new(1), Bytes::new(2), Bytes::new(3), Bytes::new(4), Bytes::new(5), Bytes::new(6)],
+                volume_by_app: [
+                    Bytes::new(1),
+                    Bytes::new(2),
+                    Bytes::new(3),
+                    Bytes::new(4),
+                    Bytes::new(5),
+                    Bytes::new(6),
+                ],
             },
         ]
     }

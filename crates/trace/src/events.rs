@@ -12,9 +12,44 @@
 
 use std::collections::HashMap;
 
-use s3_types::{Timestamp, TimeDelta, UserId};
+use s3_types::{ApId, TimeDelta, UserId};
 
-use crate::TraceStore;
+use crate::{SessionRecord, TraceStore};
+
+/// Groups the store's records per AP, projecting each record with `project`,
+/// and sorts both the groups (by [`ApId`]) and each group's entries. The
+/// fully deterministic ordering makes the result a stable work list for
+/// sharding across threads — every extractor below starts from this shape.
+fn ap_groups<T, F>(store: &TraceStore, project: F) -> Vec<(ApId, Vec<T>)>
+where
+    T: Ord,
+    F: Fn(&SessionRecord) -> T,
+{
+    let mut by_ap: HashMap<ApId, Vec<T>> = HashMap::new();
+    for r in store.records() {
+        by_ap.entry(r.ap).or_default().push(project(r));
+    }
+    let mut groups: Vec<(ApId, Vec<T>)> = by_ap.into_iter().collect();
+    groups.sort_unstable_by_key(|&(ap, _)| ap);
+    for (_, entries) in &mut groups {
+        entries.sort_unstable();
+    }
+    groups
+}
+
+/// Merges per-shard pair-count maps. Addition over `u32` is commutative and
+/// associative, and each AP is processed by exactly one shard, so the merged
+/// map is independent of shard count and merge order.
+fn merge_pair_counts(shards: Vec<HashMap<UserPair, u32>>) -> HashMap<UserPair, u32> {
+    let mut iter = shards.into_iter();
+    let mut out = iter.next().unwrap_or_default();
+    for shard in iter {
+        for (pair, count) in shard {
+            *out.entry(pair).or_insert(0) += count;
+        }
+    }
+    out
+}
 
 /// An unordered user pair, stored canonically (smaller id first).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -41,22 +76,23 @@ impl UserPair {
 /// Two sessions on the same AP encounter when their overlap lasts at least
 /// `min_overlap`. Multiple overlapping session pairs of the same user pair
 /// each count (they are distinct common events).
-pub fn extract_encounters(
+pub fn extract_encounters(store: &TraceStore, min_overlap: TimeDelta) -> HashMap<UserPair, u32> {
+    extract_encounters_par(store, min_overlap, 1)
+}
+
+/// [`extract_encounters`] with the per-AP scans sharded over `threads`
+/// workers. Each AP's pair scan is independent, so sharding the sorted group
+/// list yields the same counts as the sequential pass for any thread count.
+pub fn extract_encounters_par(
     store: &TraceStore,
     min_overlap: TimeDelta,
+    threads: usize,
 ) -> HashMap<UserPair, u32> {
-    let mut counts: HashMap<UserPair, u32> = HashMap::new();
-    // Group sessions per AP and scan pairs; session lists per AP are small
-    // relative to the whole trace, keeping this near-quadratic step cheap.
-    let mut by_ap: HashMap<s3_types::ApId, Vec<(Timestamp, Timestamp, UserId)>> = HashMap::new();
-    for r in store.records() {
-        by_ap
-            .entry(r.ap)
-            .or_default()
-            .push((r.connect, r.disconnect, r.user));
-    }
-    for sessions in by_ap.values_mut() {
-        sessions.sort_unstable();
+    // Session lists per AP are small relative to the whole trace, keeping
+    // the per-AP near-quadratic pair scan cheap.
+    let groups = ap_groups(store, |r| (r.connect, r.disconnect, r.user));
+    let shards = s3_par::par_map(&groups, threads, |_, (_, sessions)| {
+        let mut counts: HashMap<UserPair, u32> = HashMap::new();
         for (i, &(a_start, a_end, a_user)) in sessions.iter().enumerate() {
             for &(b_start, b_end, b_user) in &sessions[i + 1..] {
                 if b_start >= a_end {
@@ -71,20 +107,27 @@ pub fn extract_encounters(
                 }
             }
         }
-    }
-    counts
+        counts
+    });
+    merge_pair_counts(shards)
 }
 
 /// Per-pair co-leaving counts: both users disconnect from the same AP
 /// within `window` of each other.
 pub fn extract_coleavings(store: &TraceStore, window: TimeDelta) -> HashMap<UserPair, u32> {
-    let mut counts: HashMap<UserPair, u32> = HashMap::new();
-    let mut by_ap: HashMap<s3_types::ApId, Vec<(Timestamp, UserId)>> = HashMap::new();
-    for r in store.records() {
-        by_ap.entry(r.ap).or_default().push((r.disconnect, r.user));
-    }
-    for departures in by_ap.values_mut() {
-        departures.sort_unstable();
+    extract_coleavings_par(store, window, 1)
+}
+
+/// [`extract_coleavings`] with the per-AP scans sharded over `threads`
+/// workers.
+pub fn extract_coleavings_par(
+    store: &TraceStore,
+    window: TimeDelta,
+    threads: usize,
+) -> HashMap<UserPair, u32> {
+    let groups = ap_groups(store, |r| (r.disconnect, r.user));
+    let shards = s3_par::par_map(&groups, threads, |_, (_, departures)| {
+        let mut counts: HashMap<UserPair, u32> = HashMap::new();
         for (i, &(t_a, user_a)) in departures.iter().enumerate() {
             for &(t_b, user_b) in &departures[i + 1..] {
                 if t_b.saturating_sub(t_a) > window {
@@ -95,8 +138,9 @@ pub fn extract_coleavings(store: &TraceStore, window: TimeDelta) -> HashMap<User
                 }
             }
         }
-    }
-    counts
+        counts
+    });
+    merge_pair_counts(shards)
 }
 
 /// Per-user leaving statistics for Fig. 5: how many of a user's leavings
@@ -123,13 +167,20 @@ impl LeavingStats {
 
 /// Computes [`LeavingStats`] for every user in the store.
 pub fn leaving_stats(store: &TraceStore, window: TimeDelta) -> HashMap<UserId, LeavingStats> {
-    let mut stats: HashMap<UserId, LeavingStats> = HashMap::new();
-    let mut by_ap: HashMap<s3_types::ApId, Vec<(Timestamp, UserId)>> = HashMap::new();
-    for r in store.records() {
-        by_ap.entry(r.ap).or_default().push((r.disconnect, r.user));
-    }
-    for departures in by_ap.values_mut() {
-        departures.sort_unstable();
+    leaving_stats_par(store, window, 1)
+}
+
+/// [`leaving_stats`] with the per-AP scans sharded over `threads` workers.
+/// Per-user totals merge by `u32` addition, so the result is independent of
+/// the thread count.
+pub fn leaving_stats_par(
+    store: &TraceStore,
+    window: TimeDelta,
+    threads: usize,
+) -> HashMap<UserId, LeavingStats> {
+    let groups = ap_groups(store, |r| (r.disconnect, r.user));
+    let shards = s3_par::par_map(&groups, threads, |_, (_, departures)| {
+        let mut stats: HashMap<UserId, LeavingStats> = HashMap::new();
         for (i, &(t, user)) in departures.iter().enumerate() {
             let entry = stats.entry(user).or_default();
             entry.total += 1;
@@ -159,8 +210,18 @@ pub fn leaving_stats(store: &TraceStore, window: TimeDelta) -> HashMap<UserId, L
                 entry.co_leavings += 1;
             }
         }
+        stats
+    });
+    let mut iter = shards.into_iter();
+    let mut out = iter.next().unwrap_or_default();
+    for shard in iter {
+        for (user, s) in shard {
+            let entry = out.entry(user).or_default();
+            entry.total += s.total;
+            entry.co_leavings += s.co_leavings;
+        }
     }
-    stats
+    out
 }
 
 /// The conditional probability table `P(co-leave | encounter)` per pair —
@@ -188,7 +249,7 @@ mod tests {
     use super::*;
     use crate::record::concentrated_volumes;
     use crate::SessionRecord;
-    use s3_types::{ApId, AppCategory, Bytes, ControllerId};
+    use s3_types::{ApId, AppCategory, Bytes, ControllerId, Timestamp};
 
     fn rec(user: u32, ap: u32, connect: u64, disconnect: u64) -> SessionRecord {
         SessionRecord {
@@ -214,8 +275,8 @@ mod tests {
     fn encounters_require_overlap_threshold() {
         let store = TraceStore::new(vec![
             rec(1, 0, 0, 1000),
-            rec(2, 0, 500, 2000),  // 500 s overlap with user 1
-            rec(3, 0, 990, 3000),  // 10 s overlap with user 1
+            rec(2, 0, 500, 2000), // 500 s overlap with user 1
+            rec(3, 0, 990, 3000), // 10 s overlap with user 1
         ]);
         let enc = extract_encounters(&store, TimeDelta::secs(300));
         let p12 = UserPair::new(UserId::new(1), UserId::new(2)).unwrap();
@@ -250,8 +311,8 @@ mod tests {
     fn coleavings_respect_window() {
         let store = TraceStore::new(vec![
             rec(1, 0, 0, 1000),
-            rec(2, 0, 0, 1100),  // 100 s after user 1
-            rec(3, 0, 0, 2000),  // 1000 s after user 1
+            rec(2, 0, 0, 1100), // 100 s after user 1
+            rec(3, 0, 0, 2000), // 1000 s after user 1
         ]);
         let co = extract_coleavings(&store, TimeDelta::secs(300));
         let p12 = UserPair::new(UserId::new(1), UserId::new(2)).unwrap();

@@ -29,7 +29,7 @@ use rand::{RngExt, SeedableRng};
 
 use s3_stats::rng::{bernoulli, log_normal, poisson, truncated_normal, zipf};
 use s3_types::{
-    ApId, Bytes, BuildingId, ControllerId, GroupId, Timestamp, TimeDelta, UserId,
+    ApId, BuildingId, Bytes, ControllerId, GroupId, TimeDelta, Timestamp, UserId,
     APP_CATEGORY_COUNT, SECS_PER_DAY,
 };
 
@@ -239,10 +239,8 @@ impl CampusGenerator {
         }
 
         // Partition the social users into groups.
-        let mut social_users: Vec<UserId> = (0..n as u32)
-            .map(UserId::new)
-            .filter(|_| true)
-            .collect();
+        let mut social_users: Vec<UserId> =
+            (0..n as u32).map(UserId::new).filter(|_| true).collect();
         // Deterministic shuffle via index sampling.
         for i in (1..social_users.len()).rev() {
             let j = self.rng.random_range(0..=i);
@@ -361,8 +359,9 @@ impl CampusGenerator {
                             -3.0 * self.config.depart_jitter_sd,
                             3.0 * self.config.depart_jitter_sd,
                         );
-                        let arrive =
-                            Timestamp::from_secs((start.as_secs() as f64 + arrive_jitter).max(0.0) as u64);
+                        let arrive = Timestamp::from_secs(
+                            (start.as_secs() as f64 + arrive_jitter).max(0.0) as u64,
+                        );
                         let depart_secs = (end.as_secs() as f64 + depart_jitter).max(0.0) as u64;
                         let depart = Timestamp::from_secs(depart_secs.max(arrive.as_secs() + 60));
                         let duration = depart.saturating_sub(arrive);
@@ -539,7 +538,9 @@ mod tests {
             .expect("groups exist");
         let meeting = group.meetings[0];
         // Find the first weekday occurrence.
-        let day = (0..7).find(|&d| meeting.occurrence_on(d).is_some()).unwrap();
+        let day = (0..7)
+            .find(|&d| meeting.occurrence_on(d).is_some())
+            .unwrap();
         let (_, end) = meeting.occurrence_on(day).unwrap();
         let departures: Vec<u64> = campus
             .demands
@@ -564,7 +565,11 @@ mod tests {
         assert_eq!(campus.ground_truth.user_types.len(), cfg.users);
         assert_eq!(campus.ground_truth.profiles.len(), cfg.users);
         assert_eq!(campus.ground_truth.home_building.len(), cfg.users);
-        assert!(campus.ground_truth.user_types.iter().all(|&t| t < USER_TYPE_COUNT));
+        assert!(campus
+            .ground_truth
+            .user_types
+            .iter()
+            .all(|&t| t < USER_TYPE_COUNT));
         for g in &campus.ground_truth.groups {
             assert!(g.members.len() >= 2);
             assert!(g.building.index() < cfg.buildings);

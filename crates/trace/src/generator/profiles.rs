@@ -173,7 +173,11 @@ mod tests {
         let day = 5;
         let expected = *profile.mix_for_day(day);
         let mean_dist: f64 = (0..50)
-            .map(|_| profile.daily_mix(&mut rng, day, 200.0).tv_distance(&expected))
+            .map(|_| {
+                profile
+                    .daily_mix(&mut rng, day, 200.0)
+                    .tv_distance(&expected)
+            })
             .sum::<f64>()
             / 50.0;
         assert!(mean_dist < 0.1, "daily noise too large: {mean_dist}");

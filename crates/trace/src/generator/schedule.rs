@@ -11,7 +11,7 @@
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use s3_types::{Timestamp, TimeDelta, SECS_PER_HOUR};
+use s3_types::{TimeDelta, Timestamp, SECS_PER_HOUR};
 
 /// Relative arrival intensity per hour of day for independent ("noise")
 /// sessions. Peaks at 10:00 and 15:00 match the paper's peak hours.
@@ -59,12 +59,48 @@ pub struct ClassSlot {
 /// weights on the slots ending at 12:00, 17:00 and 22:00 reproduce the
 /// trace's leave-peaks.
 pub const CLASS_SLOTS: [(ClassSlot, f64); 6] = [
-    (ClassSlot { start_hour: 8, end_hour: 10 }, 1.0),
-    (ClassSlot { start_hour: 10, end_hour: 12 }, 3.0),
-    (ClassSlot { start_hour: 13, end_hour: 15 }, 1.0),
-    (ClassSlot { start_hour: 15, end_hour: 17 }, 3.0),
-    (ClassSlot { start_hour: 19, end_hour: 21 }, 1.0),
-    (ClassSlot { start_hour: 20, end_hour: 22 }, 2.0),
+    (
+        ClassSlot {
+            start_hour: 8,
+            end_hour: 10,
+        },
+        1.0,
+    ),
+    (
+        ClassSlot {
+            start_hour: 10,
+            end_hour: 12,
+        },
+        3.0,
+    ),
+    (
+        ClassSlot {
+            start_hour: 13,
+            end_hour: 15,
+        },
+        1.0,
+    ),
+    (
+        ClassSlot {
+            start_hour: 15,
+            end_hour: 17,
+        },
+        3.0,
+    ),
+    (
+        ClassSlot {
+            start_hour: 19,
+            end_hour: 21,
+        },
+        1.0,
+    ),
+    (
+        ClassSlot {
+            start_hour: 20,
+            end_hour: 22,
+        },
+        2.0,
+    ),
 ];
 
 /// Samples a class slot from the weighted timetable.
@@ -97,8 +133,11 @@ impl Meeting {
         if day % 7 != self.day_of_week {
             return None;
         }
-        let start = Timestamp::from_secs(day * s3_types::SECS_PER_DAY + self.slot.start_hour * SECS_PER_HOUR);
-        let end = Timestamp::from_secs(day * s3_types::SECS_PER_DAY + self.slot.end_hour * SECS_PER_HOUR);
+        let start = Timestamp::from_secs(
+            day * s3_types::SECS_PER_DAY + self.slot.start_hour * SECS_PER_HOUR,
+        );
+        let end =
+            Timestamp::from_secs(day * s3_types::SECS_PER_DAY + self.slot.end_hour * SECS_PER_HOUR);
         Some((start, end))
     }
 }
@@ -177,7 +216,10 @@ mod tests {
     fn meeting_occurrence_respects_weekday() {
         let m = Meeting {
             day_of_week: 2,
-            slot: ClassSlot { start_hour: 10, end_hour: 12 },
+            slot: ClassSlot {
+                start_hour: 10,
+                end_hour: 12,
+            },
         };
         assert!(m.occurrence_on(0).is_none());
         let (start, end) = m.occurrence_on(2).unwrap();

@@ -43,7 +43,6 @@ mod store;
 pub mod summary;
 
 pub use record::{
-    concentrated_volumes, zero_volumes, FlowRecord, SessionDemand, SessionRecord,
-    TransportProtocol,
+    concentrated_volumes, zero_volumes, FlowRecord, SessionDemand, SessionRecord, TransportProtocol,
 };
 pub use store::TraceStore;

@@ -12,8 +12,8 @@
 //! flow logs).
 
 use s3_types::{
-    ApId, AppCategory, AppMix, AppMixError, BitsPerSec, BuildingId, Bytes, ControllerId,
-    Timestamp, TimeDelta, UserId, APP_CATEGORY_COUNT,
+    ApId, AppCategory, AppMix, AppMixError, BitsPerSec, BuildingId, Bytes, ControllerId, TimeDelta,
+    Timestamp, UserId, APP_CATEGORY_COUNT,
 };
 
 /// Transport-layer protocol of a flow (the classifier keys on port+proto).
@@ -180,10 +180,7 @@ pub fn zero_volumes() -> [Bytes; APP_CATEGORY_COUNT] {
 
 /// A per-realm volume array with the whole volume in one category —
 /// convenient for constructing single-application test sessions.
-pub fn concentrated_volumes(
-    category: AppCategory,
-    volume: Bytes,
-) -> [Bytes; APP_CATEGORY_COUNT] {
+pub fn concentrated_volumes(category: AppCategory, volume: Bytes) -> [Bytes; APP_CATEGORY_COUNT] {
     let mut v = zero_volumes();
     v[category.index()] = volume;
     v

@@ -6,9 +6,7 @@
 
 use std::collections::HashMap;
 
-use s3_types::{
-    ApId, Bytes, ControllerId, Timestamp, TimeDelta, UserId, APP_CATEGORY_COUNT,
-};
+use s3_types::{ApId, Bytes, ControllerId, TimeDelta, Timestamp, UserId, APP_CATEGORY_COUNT};
 
 use crate::SessionRecord;
 
@@ -143,8 +141,7 @@ impl TraceStore {
         to: Timestamp,
     ) -> Vec<(ApId, Bytes)> {
         let aps = self.aps_of(controller);
-        let mut volumes: HashMap<ApId, Bytes> =
-            aps.iter().map(|&ap| (ap, Bytes::ZERO)).collect();
+        let mut volumes: HashMap<ApId, Bytes> = aps.iter().map(|&ap| (ap, Bytes::ZERO)).collect();
         for r in self.sessions_overlapping(from, to) {
             if r.controller == controller {
                 if let Some(v) = volumes.get_mut(&r.ap) {
@@ -215,11 +212,7 @@ impl TraceStore {
 
     /// Departure events `(time, user, ap)` within `[from, to)`, sorted by
     /// time — the raw material of the co-leaving miner.
-    pub fn departures_in(
-        &self,
-        from: Timestamp,
-        to: Timestamp,
-    ) -> Vec<(Timestamp, UserId, ApId)> {
+    pub fn departures_in(&self, from: Timestamp, to: Timestamp) -> Vec<(Timestamp, UserId, ApId)> {
         let mut out: Vec<(Timestamp, UserId, ApId)> = self
             .records
             .iter()
@@ -284,9 +277,18 @@ mod tests {
         assert_eq!(s.len(), 4);
         assert!(!s.is_empty());
         assert!(s.records().windows(2).all(|w| w[0].connect <= w[1].connect));
-        assert_eq!(s.users(), vec![UserId::new(1), UserId::new(2), UserId::new(3)]);
-        assert_eq!(s.controllers(), vec![ControllerId::new(0), ControllerId::new(1)]);
-        assert_eq!(s.aps_of(ControllerId::new(0)), &[ApId::new(0), ApId::new(1)]);
+        assert_eq!(
+            s.users(),
+            vec![UserId::new(1), UserId::new(2), UserId::new(3)]
+        );
+        assert_eq!(
+            s.controllers(),
+            vec![ControllerId::new(0), ControllerId::new(1)]
+        );
+        assert_eq!(
+            s.aps_of(ControllerId::new(0)),
+            &[ApId::new(0), ApId::new(1)]
+        );
         assert!(s.aps_of(ControllerId::new(9)).is_empty());
         assert_eq!(s.sessions_of(UserId::new(1)).count(), 2);
         assert_eq!(s.sessions_on(ApId::new(0)).count(), 2);

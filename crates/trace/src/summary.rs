@@ -156,7 +156,10 @@ mod tests {
         assert_eq!(s.controllers, 2);
         assert_eq!(s.day_range, Some((0, 1)));
         assert_eq!(s.total_volume, Bytes::megabytes(35));
-        assert_eq!(s.volume_by_app[AppCategory::Video.index()], Bytes::megabytes(30));
+        assert_eq!(
+            s.volume_by_app[AppCategory::Video.index()],
+            Bytes::megabytes(30)
+        );
         let (p10, p50, p90) = s.duration_percentiles;
         assert_eq!(p10, TimeDelta::secs(600));
         assert_eq!(p50, TimeDelta::secs(1_200));
@@ -193,7 +196,10 @@ mod tests {
         let store = TraceStore::new(vec![rec(1, 0, 0, 600, AppCategory::Email, 5)]);
         let report = TraceSummary::of(&store).report();
         for c in AppCategory::ALL {
-            assert!(report.contains(c.label()), "missing {c} in report:\n{report}");
+            assert!(
+                report.contains(c.label()),
+                "missing {c} in report:\n{report}"
+            );
         }
     }
 }

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use s3_trace::generator::{CampusConfig, CampusGenerator, USER_TYPE_COUNT};
-use s3_trace::{csv, TraceStore, SessionRecord};
+use s3_trace::{csv, SessionRecord, TraceStore};
 use s3_types::ApId;
 
 fn small_config(users: usize, buildings: usize, days: u64) -> CampusConfig {

@@ -32,5 +32,5 @@ mod traffic;
 pub use app::{AppCategory, AppMix, AppMixError, APP_CATEGORY_COUNT};
 pub use error::TypeError;
 pub use ids::{ApId, BuildingId, ControllerId, GroupId, UserId};
-pub use time::{Timestamp, TimeDelta, SECS_PER_DAY, SECS_PER_HOUR, SECS_PER_MINUTE};
+pub use time::{TimeDelta, Timestamp, SECS_PER_DAY, SECS_PER_HOUR, SECS_PER_MINUTE};
 pub use traffic::{BitsPerSec, Bytes};

@@ -276,7 +276,12 @@ mod tests {
     fn floor_to_bins() {
         let t = Timestamp::from_secs(605);
         assert_eq!(t.floor_to(TimeDelta::minutes(10)).as_secs(), 600);
-        assert_eq!(Timestamp::from_secs(599).floor_to(TimeDelta::minutes(10)).as_secs(), 0);
+        assert_eq!(
+            Timestamp::from_secs(599)
+                .floor_to(TimeDelta::minutes(10))
+                .as_secs(),
+            0
+        );
     }
 
     #[test]
@@ -296,7 +301,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(Timestamp::from_day_hms(1, 9, 5, 7).to_string(), "d1+09:05:07");
+        assert_eq!(
+            Timestamp::from_day_hms(1, 9, 5, 7).to_string(),
+            "d1+09:05:07"
+        );
         assert_eq!(TimeDelta::minutes(2).to_string(), "120s");
     }
 

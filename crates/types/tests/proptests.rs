@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use s3_types::{AppMix, Bytes, BitsPerSec, TimeDelta, Timestamp};
+use s3_types::{AppMix, BitsPerSec, Bytes, TimeDelta, Timestamp};
 
 proptest! {
     #[test]

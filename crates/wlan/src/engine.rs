@@ -30,7 +30,7 @@ use std::collections::BinaryHeap;
 
 use s3_trace::{SessionDemand, SessionRecord};
 use s3_types::{
-    ApId, BitsPerSec, Bytes, ControllerId, Timestamp, TimeDelta, UserId, APP_CATEGORY_COUNT,
+    ApId, BitsPerSec, Bytes, ControllerId, TimeDelta, Timestamp, UserId, APP_CATEGORY_COUNT,
 };
 
 use crate::radio::{distance, rssi_at, session_position};
@@ -252,8 +252,10 @@ impl SimEngine {
                 }
             }
             for controller in controllers {
-                let group: Vec<&SessionDemand> =
-                    batch.iter().filter(|d| d.controller == controller).collect();
+                let group: Vec<&SessionDemand> = batch
+                    .iter()
+                    .filter(|d| d.controller == controller)
+                    .collect();
                 let aps = self.topology.aps_of_controller(controller);
                 if aps.is_empty() {
                     rejected += group.len();
@@ -467,9 +469,13 @@ mod tests {
             demand(3, 0, 110, 5_000, 10),
         ];
         let result = engine.run(&demands, &mut LeastLoadedFirst::new());
-        let aps: std::collections::HashSet<ApId> =
-            result.records.iter().map(|r| r.ap).collect();
-        assert_eq!(aps.len(), 3, "LLF must use all three APs: {:?}", result.records);
+        let aps: std::collections::HashSet<ApId> = result.records.iter().map(|r| r.ap).collect();
+        assert_eq!(
+            aps.len(),
+            3,
+            "LLF must use all three APs: {:?}",
+            result.records
+        );
     }
 
     #[test]
@@ -511,7 +517,10 @@ mod tests {
         let demands = vec![demand(7, 0, 1_000, 2_000, 1)];
         let a = engine.run(&demands, &mut StrongestRssi::new());
         let b = engine.run(&demands, &mut StrongestRssi::new());
-        assert_eq!(a.records[0].ap, b.records[0].ap, "radio model is deterministic");
+        assert_eq!(
+            a.records[0].ap, b.records[0].ap,
+            "radio model is deterministic"
+        );
     }
 
     #[test]
@@ -550,7 +559,9 @@ mod tests {
             demand(2, 0, 110, 900, 1), // within 30 s of head
             demand(3, 0, 500, 900, 1), // separate batch
         ];
-        let mut recorder = Recorder { batch_sizes: vec![] };
+        let mut recorder = Recorder {
+            batch_sizes: vec![],
+        };
         let _ = engine.run(&demands, &mut recorder);
         assert_eq!(recorder.batch_sizes, vec![2, 1]);
     }
@@ -611,7 +622,11 @@ mod tests {
         let demands = stacked_demands();
         let result = engine.run(&demands, &mut Stacker);
         assert!(result.migrations > 0, "rebalancer must move something");
-        let served: u64 = result.records.iter().map(|r| r.total_volume().as_u64()).sum();
+        let served: u64 = result
+            .records
+            .iter()
+            .map(|r| r.total_volume().as_u64())
+            .sum();
         let demanded: u64 = demands.iter().map(|d| d.total_volume().as_u64()).sum();
         assert_eq!(served, demanded, "migration must conserve traffic");
     }
@@ -628,7 +643,10 @@ mod tests {
             assert_eq!(segments.first().unwrap().connect, d.arrive);
             assert_eq!(segments.last().unwrap().disconnect, d.depart);
             for w in segments.windows(2) {
-                assert_eq!(w[0].disconnect, w[1].connect, "segments must tile the session");
+                assert_eq!(
+                    w[0].disconnect, w[1].connect,
+                    "segments must tile the session"
+                );
                 assert_ne!(w[0].ap, w[1].ap, "a migration changes the AP");
             }
             let vol: u64 = segments.iter().map(|r| r.total_volume().as_u64()).sum();

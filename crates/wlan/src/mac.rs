@@ -15,7 +15,7 @@
 //!   reduces saturated AP-time.
 
 use s3_trace::TraceStore;
-use s3_types::{BitsPerSec, Timestamp, TimeDelta};
+use s3_types::{BitsPerSec, TimeDelta, Timestamp};
 
 use crate::radio::{distance, rssi_at, session_position, SENSITIVITY_DBM};
 use crate::topology::Topology;
@@ -181,7 +181,11 @@ impl SaturationStats {
 /// # Panics
 ///
 /// Panics if `bin` is zero.
-pub fn saturation_stats(store: &TraceStore, topology: &Topology, bin: TimeDelta) -> SaturationStats {
+pub fn saturation_stats(
+    store: &TraceStore,
+    topology: &Topology,
+    bin: TimeDelta,
+) -> SaturationStats {
     assert!(!bin.is_zero(), "bin width must be positive");
     let Some((first_day, last_day)) = store.day_range() else {
         return SaturationStats {
@@ -205,12 +209,12 @@ pub fn saturation_stats(store: &TraceStore, topology: &Topology, bin: TimeDelta)
         let mut per_ap: std::collections::HashMap<s3_types::ApId, Vec<StationDemand>> =
             std::collections::HashMap::new();
         for r in store.sessions_overlapping(t, to) {
-            let Some(info) = topology.ap(r.ap) else { continue };
+            let Some(info) = topology.ap(r.ap) else {
+                continue;
+            };
             let pos = session_position(r.user, r.connect);
             let rssi = rssi_at(distance(pos, info.position));
-            let solo = BitsPerSec::new(
-                phy_rate_from_rssi(rssi).as_f64() * MAC_EFFICIENCY,
-            );
+            let solo = BitsPerSec::new(phy_rate_from_rssi(rssi).as_f64() * MAC_EFFICIENCY);
             per_ap.entry(r.ap).or_default().push(StationDemand {
                 solo_rate: solo,
                 demand: r.mean_rate(),
@@ -254,7 +258,9 @@ mod tests {
     #[test]
     fn phy_ladder_is_monotone_in_rssi() {
         let mut last = f64::INFINITY;
-        for rssi in [-60.0, -68.0, -72.0, -76.0, -79.0, -81.0, -84.0, -89.0, -95.0] {
+        for rssi in [
+            -60.0, -68.0, -72.0, -76.0, -79.0, -81.0, -84.0, -89.0, -95.0,
+        ] {
             let rate = phy_rate_from_rssi(rssi).as_f64();
             assert!(rate <= last, "rate must fall with RSSI");
             last = rate;
@@ -296,9 +302,16 @@ mod tests {
     fn water_filling_redistributes_slack() {
         // One light user (needs 10% airtime), two greedy ones: the greedy
         // pair splits the remaining 90%.
-        let stations = vec![station(30.0, 3.0), station(30.0, 100.0), station(30.0, 100.0)];
+        let stations = vec![
+            station(30.0, 3.0),
+            station(30.0, 100.0),
+            station(30.0, 100.0),
+        ];
         let a = airtime_throughputs(&stations);
-        assert!((a.served[0].as_f64() - 3e6).abs() < 1.0, "light user fully served");
+        assert!(
+            (a.served[0].as_f64() - 3e6).abs() < 1.0,
+            "light user fully served"
+        );
         assert!((a.served[1].as_f64() - 13.5e6).abs() < 1e3);
         assert!((a.served[2].as_f64() - 13.5e6).abs() < 1e3);
     }
@@ -320,14 +333,16 @@ mod tests {
 
     #[test]
     fn saturation_stats_on_a_synthetic_log() {
-        use s3_trace::generator::{CampusConfig, CampusGenerator};
         use crate::selector::LeastLoadedFirst;
         use crate::{SimConfig, SimEngine, Topology};
+        use s3_trace::generator::{CampusConfig, CampusGenerator};
         let campus = CampusGenerator::new(CampusConfig::tiny(), 5).generate();
         let topology = Topology::from_campus(&campus.config);
         let engine = SimEngine::new(topology.clone(), SimConfig::default());
         let log = TraceStore::new(
-            engine.run(&campus.demands, &mut LeastLoadedFirst::new()).records,
+            engine
+                .run(&campus.demands, &mut LeastLoadedFirst::new())
+                .records,
         );
         let stats = saturation_stats(&log, &topology, TimeDelta::minutes(30));
         assert!(stats.active_ap_bins > 0);
@@ -338,8 +353,8 @@ mod tests {
 
     #[test]
     fn empty_log_has_perfect_satisfaction() {
-        use s3_trace::generator::CampusConfig;
         use crate::Topology;
+        use s3_trace::generator::CampusConfig;
         let topology = Topology::from_campus(&CampusConfig::tiny());
         let stats = saturation_stats(&TraceStore::new(vec![]), &topology, TimeDelta::minutes(10));
         assert_eq!(stats.active_ap_bins, 0);

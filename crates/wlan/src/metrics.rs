@@ -7,7 +7,7 @@
 
 use s3_stats::balance::{normalized_balance_index, user_count_balance_index};
 use s3_trace::TraceStore;
-use s3_types::{ControllerId, Timestamp, TimeDelta};
+use s3_types::{ControllerId, TimeDelta, Timestamp};
 
 /// One balance-index sample: a controller domain over one time bin.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -117,7 +117,11 @@ pub fn user_balance_series(
 /// no bin was active.
 pub fn mean_active_balance(store: &TraceStore, bin: TimeDelta) -> Option<f64> {
     let samples = balance_samples(store, bin);
-    let active: Vec<f64> = samples.iter().filter(|s| s.active).map(|s| s.value).collect();
+    let active: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.active)
+        .map(|s| s.value)
+        .collect();
     if active.is_empty() {
         None
     } else {
@@ -169,10 +173,7 @@ mod tests {
 
     #[test]
     fn perfectly_balanced_bins_score_one() {
-        let store = TraceStore::new(vec![
-            rec(1, 0, 0, 0, 3_600, 10),
-            rec(2, 1, 0, 0, 3_600, 10),
-        ]);
+        let store = TraceStore::new(vec![rec(1, 0, 0, 0, 3_600, 10), rec(2, 1, 0, 0, 3_600, 10)]);
         let series = balance_series(
             &store,
             ControllerId::new(0),
@@ -203,10 +204,7 @@ mod tests {
 
     #[test]
     fn samples_flag_idle_bins() {
-        let store = TraceStore::new(vec![
-            rec(1, 0, 0, 0, 600, 10),
-            rec(2, 1, 0, 0, 600, 10),
-        ]);
+        let store = TraceStore::new(vec![rec(1, 0, 0, 0, 600, 10), rec(2, 1, 0, 0, 600, 10)]);
         let samples = balance_samples(&store, TimeDelta::hours(6));
         assert_eq!(samples.len(), 4, "four 6h bins in day 0");
         assert!(samples[0].active);

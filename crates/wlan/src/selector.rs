@@ -243,17 +243,31 @@ mod tests {
 
     #[test]
     fn llf_picks_least_loaded() {
-        let candidates = vec![candidate(0, 5.0, 1), candidate(1, 2.0, 9), candidate(2, 7.0, 0)];
+        let candidates = vec![
+            candidate(0, 5.0, 1),
+            candidate(1, 2.0, 9),
+            candidate(2, 7.0, 0),
+        ];
         let a = arrival(vec![-50.0, -60.0, -70.0]);
-        let ctx = SelectionContext { arrival: &a, candidates: &candidates };
+        let ctx = SelectionContext {
+            arrival: &a,
+            candidates: &candidates,
+        };
         assert_eq!(LeastLoadedFirst::new().select(&ctx), 1);
     }
 
     #[test]
     fn llf_breaks_ties_by_user_count_then_id() {
-        let candidates = vec![candidate(3, 2.0, 4), candidate(1, 2.0, 2), candidate(2, 2.0, 2)];
+        let candidates = vec![
+            candidate(3, 2.0, 4),
+            candidate(1, 2.0, 2),
+            candidate(2, 2.0, 2),
+        ];
         let a = arrival(vec![-50.0; 3]);
-        let ctx = SelectionContext { arrival: &a, candidates: &candidates };
+        let ctx = SelectionContext {
+            arrival: &a,
+            candidates: &candidates,
+        };
         // Loads equal; candidates 1 and 2 tie on users; ap id 1 < 2.
         assert_eq!(LeastLoadedFirst::new().select(&ctx), 1);
     }
@@ -262,7 +276,10 @@ mod tests {
     fn least_users_prefers_empty_ap() {
         let candidates = vec![candidate(0, 0.1, 3), candidate(1, 50.0, 0)];
         let a = arrival(vec![-50.0, -80.0]);
-        let ctx = SelectionContext { arrival: &a, candidates: &candidates };
+        let ctx = SelectionContext {
+            arrival: &a,
+            candidates: &candidates,
+        };
         assert_eq!(LeastUsers::new().select(&ctx), 1);
     }
 
@@ -270,19 +287,29 @@ mod tests {
     fn strongest_rssi_ignores_load() {
         let candidates = vec![candidate(0, 0.0, 0), candidate(1, 99.0, 50)];
         let a = arrival(vec![-70.0, -40.0]);
-        let ctx = SelectionContext { arrival: &a, candidates: &candidates };
+        let ctx = SelectionContext {
+            arrival: &a,
+            candidates: &candidates,
+        };
         assert_eq!(StrongestRssi::new().select(&ctx), 1);
     }
 
     #[test]
     fn random_is_deterministic_per_seed_and_in_range() {
-        let candidates = vec![candidate(0, 0.0, 0), candidate(1, 0.0, 0), candidate(2, 0.0, 0)];
+        let candidates = vec![
+            candidate(0, 0.0, 0),
+            candidate(1, 0.0, 0),
+            candidate(2, 0.0, 0),
+        ];
         let a = arrival(vec![-50.0; 3]);
         let run = |seed| -> Vec<usize> {
             let mut s = RandomSelector::new(seed);
             (0..20)
                 .map(|_| {
-                    let ctx = SelectionContext { arrival: &a, candidates: &candidates };
+                    let ctx = SelectionContext {
+                        arrival: &a,
+                        candidates: &candidates,
+                    };
                     s.select(&ctx)
                 })
                 .collect()

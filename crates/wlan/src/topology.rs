@@ -182,6 +182,9 @@ mod tests {
     #[test]
     fn custom_capacity_propagates() {
         let t = Topology::from_campus_with_capacity(&campus(), BitsPerSec::mbps(10.0));
-        assert!(t.aps().iter().all(|a| (a.capacity.as_f64() - 1e7).abs() < 1e-3));
+        assert!(t
+            .aps()
+            .iter()
+            .all(|a| (a.capacity.as_f64() - 1e7).abs() < 1e-3));
     }
 }

@@ -13,12 +13,12 @@ use s3_wlan::{RebalanceConfig, SimConfig, SimEngine, Topology};
 fn arbitrary_demands() -> impl Strategy<Value = Vec<SessionDemand>> {
     prop::collection::vec(
         (
-            0u32..30,          // user
-            0usize..2,         // building
-            0u64..200_000,     // arrive
-            60u64..20_000,     // duration
-            0u64..500,         // megabytes
-            0usize..6,         // category
+            0u32..30,      // user
+            0usize..2,     // building
+            0u64..200_000, // arrive
+            60u64..20_000, // duration
+            0u64..500,     // megabytes
+            0usize..6,     // category
         ),
         1..60,
     )
@@ -27,8 +27,7 @@ fn arbitrary_demands() -> impl Strategy<Value = Vec<SessionDemand>> {
             .into_iter()
             .map(|(user, building, arrive, len, mb, cat)| {
                 let mut volume_by_app = [Bytes::ZERO; 6];
-                volume_by_app[AppCategory::from_index(cat).unwrap().index()] =
-                    Bytes::megabytes(mb);
+                volume_by_app[AppCategory::from_index(cat).unwrap().index()] = Bytes::megabytes(mb);
                 SessionDemand {
                     user: UserId::new(user),
                     building: BuildingId::new(building as u32),
@@ -66,13 +65,20 @@ fn check_invariants(
     prop_assert_eq!(result.rejected, 0);
 
     // Traffic conservation.
-    let served: u64 = result.records.iter().map(|r| r.total_volume().as_u64()).sum();
+    let served: u64 = result
+        .records
+        .iter()
+        .map(|r| r.total_volume().as_u64())
+        .sum();
     let demanded: u64 = demands.iter().map(|d| d.total_volume().as_u64()).sum();
     prop_assert_eq!(served, demanded);
 
     // Topology validity.
     for r in &result.records {
-        prop_assert!(engine.topology().aps_of_controller(r.controller).contains(&r.ap));
+        prop_assert!(engine
+            .topology()
+            .aps_of_controller(r.controller)
+            .contains(&r.ap));
         prop_assert!(r.disconnect >= r.connect);
     }
 
@@ -86,7 +92,10 @@ fn check_invariants(
             .filter(|d| d.user == user)
             .map(|d| d.duration().as_secs())
             .sum();
-        let got_secs: u64 = store.sessions_of(user).map(|r| r.duration().as_secs()).sum();
+        let got_secs: u64 = store
+            .sessions_of(user)
+            .map(|r| r.duration().as_secs())
+            .sum();
         prop_assert_eq!(got_secs, expected_secs, "user {} seconds mismatch", user);
     }
     Ok(())

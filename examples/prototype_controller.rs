@@ -44,9 +44,7 @@ fn main() {
     let window: Vec<_> = campus
         .demands
         .iter()
-        .filter(|d| {
-            d.arrive.day() == 7 && (8..13).contains(&d.arrive.hour_of_day())
-        })
+        .filter(|d| d.arrive.day() == 7 && (8..13).contains(&d.arrive.hour_of_day()))
         .cloned()
         .collect();
     println!("replaying {} arrivals on day 7, 08:00-13:00:", window.len());

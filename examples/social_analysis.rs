@@ -32,7 +32,11 @@ fn main() {
             .run(&campus.demands, &mut LeastLoadedFirst::new())
             .records,
     );
-    println!("trace: {} sessions, {} users\n", log.len(), log.users().len());
+    println!(
+        "trace: {} sessions, {} users\n",
+        log.len(),
+        log.users().len()
+    );
 
     // --- Sociality of leavings (the paper's Fig. 5 question) ---
     println!("co-leaving behaviour:");
@@ -57,7 +61,10 @@ fn main() {
     let profiles = all_window_profiles(&log, last_day, 15);
     let mut users: Vec<_> = profiles.keys().copied().collect();
     users.sort_unstable();
-    let points: Vec<Vec<f64>> = users.iter().map(|u| profiles[u].shares().to_vec()).collect();
+    let points: Vec<Vec<f64>> = users
+        .iter()
+        .map(|u| profiles[u].shares().to_vec())
+        .collect();
     let gap = gap_statistic(&points, 8, &GapConfig::default(), 1).expect("profiles cluster");
     println!("\nuser typing: gap statistic chooses k = {}", gap.chosen_k);
 

@@ -107,8 +107,7 @@ fn s3_gain_holds_across_seeds() {
     let mut wins = 0;
     for seed in [1u64, 2, 3] {
         let p = build_pipeline(seed);
-        let llf_log =
-            TraceStore::new(p.engine.run(&p.eval, &mut LeastLoadedFirst::new()).records);
+        let llf_log = TraceStore::new(p.engine.run(&p.eval, &mut LeastLoadedFirst::new()).records);
         let mut s3 = S3Selector::new(p.model, p.config);
         let s3_log = TraceStore::new(p.engine.run(&p.eval, &mut s3).records);
         let llf = mean_active_balance_filtered(&llf_log, bin, daytime).unwrap();

@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 
 use s3_wlan_lb::core::{S3Config, SocialModel};
-use s3_wlan_lb::trace::generator::{CampusConfig, CampusGenerator, Campus};
+use s3_wlan_lb::trace::generator::{Campus, CampusConfig, CampusGenerator};
 use s3_wlan_lb::trace::TraceStore;
 use s3_wlan_lb::wlan::selector::LeastLoadedFirst;
 use s3_wlan_lb::wlan::{SimConfig, SimEngine, Topology};

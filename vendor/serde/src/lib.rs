@@ -1,0 +1,22 @@
+//! Offline placeholder for `serde`.
+//!
+//! The build environment has no crates.io access. Data-structure crates in
+//! this workspace offer an optional `serde` feature (per C-SERDE); nothing
+//! in the tier-1 build enables it, but the dependency must still resolve.
+//! This placeholder provides the two marker traits and, under the `derive`
+//! feature, no-op derive macros that accept (and ignore) `#[serde(...)]`
+//! helper attributes.
+//!
+//! It does NOT implement serialization. If real serialization is ever
+//! needed, replace this vendored crate with upstream `serde`.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

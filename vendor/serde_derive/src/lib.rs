@@ -1,0 +1,16 @@
+//! No-op derive macros backing the offline `serde` placeholder: they accept
+//! the `#[serde(...)]` helper attribute and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
