@@ -55,4 +55,5 @@ fn main() {
         "policy,mean_daytime_balance",
         rows,
     );
+    args.write_metrics();
 }

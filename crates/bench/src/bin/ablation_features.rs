@@ -40,4 +40,5 @@ fn main() {
         "features,mean_daytime_balance,typed_users",
         rows,
     );
+    args.write_metrics();
 }

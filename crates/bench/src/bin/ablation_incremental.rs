@@ -75,4 +75,5 @@ fn main() {
             format!("nightly,{}", fmt(nightly_balance)),
         ],
     );
+    args.write_metrics();
 }

@@ -62,4 +62,5 @@ fn main() {
          disruptions; S3 reaches comparable balance with zero migrations — the\n\
          paper's 'user-friendly steady' claim, quantified."
     );
+    args.write_metrics();
 }

@@ -57,4 +57,5 @@ fn main() {
         "policy,active_ap_bins,saturated_ap_bins,saturation_fraction,demand_satisfaction",
         rows,
     );
+    args.write_metrics();
 }

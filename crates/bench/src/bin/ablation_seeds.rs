@@ -53,4 +53,5 @@ fn main() {
         "seed,llf_balance,s3_balance,s3_gain",
         rows,
     );
+    args.write_metrics();
 }

@@ -94,4 +94,5 @@ fn main() {
         ],
     );
     plot::save_svg(&args.out_dir, "ablation_staleness.svg", &svg);
+    args.write_metrics();
 }

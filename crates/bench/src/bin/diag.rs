@@ -100,4 +100,5 @@ fn main() {
             pct(0.99) / 1e3
         );
     }
+    args.write_metrics();
 }

@@ -80,4 +80,5 @@ fn main() {
         &series,
     );
     plot::save_svg(&args.out_dir, "fig10.svg", &svg);
+    args.write_metrics();
 }

@@ -84,4 +84,5 @@ fn main() {
         &series,
     );
     plot::save_svg(&args.out_dir, "fig11.svg", &svg);
+    args.write_metrics();
 }

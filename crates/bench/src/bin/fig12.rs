@@ -234,4 +234,5 @@ fn main() {
             ),
         ],
     );
+    args.write_metrics();
 }

@@ -78,4 +78,5 @@ fn main() {
         ],
     );
     plot::save_svg(&args.out_dir, "fig2.svg", &svg);
+    args.write_metrics();
 }

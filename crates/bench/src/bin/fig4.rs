@@ -88,4 +88,5 @@ fn main() {
         ],
     );
     plot::save_svg(&args.out_dir, "fig4.svg", &svg);
+    args.write_metrics();
 }

@@ -78,4 +78,5 @@ fn main() {
         &series,
     );
     plot::save_svg(&args.out_dir, "fig5.svg", &svg);
+    args.write_metrics();
 }

@@ -91,4 +91,5 @@ fn main() {
         ],
     );
     plot::save_svg(&args.out_dir, "fig6.svg", &svg);
+    args.write_metrics();
 }

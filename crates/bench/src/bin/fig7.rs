@@ -53,4 +53,5 @@ fn main() {
         &[plot::Series::new("gap", gap_curve)],
     );
     plot::save_svg(&args.out_dir, "fig7.svg", &svg);
+    args.write_metrics();
 }

@@ -88,4 +88,5 @@ fn main() {
         &groups,
     );
     plot::save_svg(&args.out_dir, "fig8.svg", &svg);
+    args.write_metrics();
 }

@@ -50,4 +50,5 @@ fn main() {
         h
     };
     write_csv(&args.out_dir, "table1.csv", &header, rows);
+    args.write_metrics();
 }

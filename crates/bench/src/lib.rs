@@ -12,7 +12,8 @@
 //!    figure into `results/`.
 //!
 //! Binaries share CLI flags: `--paper-scale`, `--seed <u64>`,
-//! `--out <dir>` (default `results`).
+//! `--out <dir>` (default `results`), `--threads <n>`,
+//! `--metrics-out <path>` and `--metrics-full` (see `docs/METRICS.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +47,12 @@ pub struct Args {
     /// Worker threads (`0` = auto). Every parallel path is deterministic:
     /// the CSVs are byte-identical for any value.
     pub threads: usize,
+    /// Optional metrics-snapshot destination (`.json` or `.csv`), written
+    /// at end of run by [`Args::write_metrics`].
+    pub metrics_out: Option<PathBuf>,
+    /// Include volatile (timing) metrics in the snapshot. Off by default so
+    /// the snapshot is byte-identical across thread counts.
+    pub metrics_full: bool,
 }
 
 impl Default for Args {
@@ -55,6 +62,8 @@ impl Default for Args {
             seed: 42,
             out_dir: PathBuf::from("results"),
             threads: 0,
+            metrics_out: None,
+            metrics_full: false,
         }
     }
 }
@@ -85,11 +94,45 @@ impl Args {
                         .parse()
                         .unwrap_or_else(|_| usage("--threads must be a usize"));
                 }
+                "--metrics-out" => {
+                    let value = iter
+                        .next()
+                        .unwrap_or_else(|| usage("--metrics-out needs a value"));
+                    args.metrics_out = Some(PathBuf::from(value));
+                }
+                "--metrics-full" => args.metrics_full = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
         }
         args
+    }
+
+    /// Dumps the global metrics registry to `--metrics-out` (if given),
+    /// stable metrics only unless `--metrics-full`. Call at end of `main`
+    /// so the snapshot covers the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on snapshot I/O failure — experiment binaries die loudly.
+    pub fn write_metrics(&self) {
+        let Some(path) = &self.metrics_out else {
+            return;
+        };
+        let snapshot = s3_obs::global().snapshot();
+        let snapshot = if self.metrics_full {
+            snapshot
+        } else {
+            snapshot.stable_only()
+        };
+        snapshot
+            .write_to_file(path)
+            .expect("write metrics snapshot");
+        println!(
+            "wrote {} metrics to {}",
+            snapshot.metrics.len(),
+            path.display()
+        );
     }
 
     /// The effective worker-thread count: `--threads` if given, else the
@@ -112,7 +155,10 @@ fn usage(message: &str) -> ! {
     if !message.is_empty() {
         eprintln!("error: {message}");
     }
-    eprintln!("usage: <experiment> [--paper-scale] [--seed <u64>] [--out <dir>] [--threads <n>]");
+    eprintln!(
+        "usage: <experiment> [--paper-scale] [--seed <u64>] [--out <dir>] [--threads <n>] \
+         [--metrics-out <m.json|m.csv>] [--metrics-full]"
+    );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
 

@@ -1,0 +1,56 @@
+//! Acceptance test for the observability layer: a figure binary's stable
+//! metrics snapshot is **byte-identical** across thread counts for a fixed
+//! seed. Runs the real `fig2` executable (one process per thread count —
+//! the registry is process-wide, so in-process runs would accumulate).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_fig2(threads: usize, out_dir: &std::path::Path, metrics: &std::path::Path) {
+    let status = Command::new(env!("CARGO_BIN_EXE_fig2"))
+        .args([
+            "--seed",
+            "42",
+            "--threads",
+            &threads.to_string(),
+            "--out",
+            &out_dir.display().to_string(),
+            "--metrics-out",
+            &metrics.display().to_string(),
+        ])
+        .status()
+        .expect("launch fig2");
+    assert!(status.success(), "fig2 --threads {threads} failed");
+}
+
+#[test]
+fn fig2_metrics_snapshot_is_byte_identical_across_thread_counts() {
+    let dir = std::env::temp_dir().join("s3_bench_metrics_snapshot");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cases: Vec<(usize, PathBuf)> = [1usize, 8]
+        .iter()
+        .map(|&t| (t, dir.join(format!("metrics_t{t}.json"))))
+        .collect();
+    for (threads, metrics) in &cases {
+        run_fig2(*threads, &dir.join(format!("out_t{threads}")), metrics);
+    }
+    let snap_1 = std::fs::read_to_string(&cases[0].1).unwrap();
+    let snap_8 = std::fs::read_to_string(&cases[1].1).unwrap();
+    assert!(
+        snap_1.contains(s3_obs::SCHEMA_VERSION),
+        "snapshot is schema-versioned: {snap_1}"
+    );
+    assert_eq!(
+        snap_1, snap_8,
+        "stable snapshot must not depend on the thread count"
+    );
+
+    // The snapshot is well-formed: it parses and covers the replay engine.
+    let parsed = s3_obs::Snapshot::parse_json(&snap_1).unwrap();
+    assert!(parsed.get("wlan.engine.runs").is_some());
+    assert!(parsed.get("wlan.metrics.balance_samples").is_some());
+    // Volatile metrics (wall-clock timers, worker-spawn counts) are
+    // excluded from the default snapshot.
+    assert!(parsed.get("wlan.engine.run_micros").is_none());
+    assert!(parsed.get("par.workers_spawned").is_none());
+}

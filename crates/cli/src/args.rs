@@ -82,6 +82,10 @@ pub enum Command {
         aps_per_building: usize,
         /// Worker threads (0 = auto); results are identical for any value.
         threads: usize,
+        /// Optional metrics-snapshot destination (`.json` or `.csv`).
+        metrics_out: Option<PathBuf>,
+        /// Include volatile (timing) metrics in the snapshot.
+        metrics_full: bool,
     },
     /// Measurement study over a session log.
     Analyze {
@@ -91,6 +95,10 @@ pub enum Command {
         seed: u64,
         /// Worker threads (0 = auto); results are identical for any value.
         threads: usize,
+        /// Optional metrics-snapshot destination (`.json` or `.csv`).
+        metrics_out: Option<PathBuf>,
+        /// Include volatile (timing) metrics in the snapshot.
+        metrics_full: bool,
     },
     /// Convert a foreign session CSV (string ids, epoch timestamps) into
     /// the canonical format, writing id-mapping files alongside.
@@ -115,6 +123,15 @@ pub enum Command {
         aps_per_building: usize,
         /// Worker threads (0 = auto); results are identical for any value.
         threads: usize,
+        /// Optional metrics-snapshot destination (`.json` or `.csv`).
+        metrics_out: Option<PathBuf>,
+        /// Include volatile (timing) metrics in the snapshot.
+        metrics_full: bool,
+    },
+    /// Render a metrics snapshot (written by `--metrics-out`) as a table.
+    Summary {
+        /// Input metrics JSON snapshot.
+        metrics: PathBuf,
     },
 }
 
@@ -196,6 +213,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut rebalance = false;
             let mut aps_per_building = 8usize;
             let mut threads = 0usize;
+            let mut metrics_out = None;
+            let mut metrics_full = false;
             while let Some(flag) = cursor.next() {
                 match flag {
                     "--demands" => demands = Some(PathBuf::from(cursor.value_for(flag)?)),
@@ -203,6 +222,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                         aps_per_building = parse_u64(flag, cursor.value_for(flag)?)? as usize
                     }
                     "--threads" => threads = parse_u64(flag, cursor.value_for(flag)?)? as usize,
+                    "--metrics-out" => metrics_out = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    "--metrics-full" => metrics_full = true,
                     "--policy" => {
                         let name = cursor.value_for(flag)?;
                         policy =
@@ -236,6 +257,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 rebalance,
                 aps_per_building,
                 threads,
+                metrics_out,
+                metrics_full,
             })
         }
         "convert" => {
@@ -262,11 +285,15 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut sessions = None;
             let mut seed = 42u64;
             let mut threads = 0usize;
+            let mut metrics_out = None;
+            let mut metrics_full = false;
             while let Some(flag) = cursor.next() {
                 match flag {
                     "--sessions" => sessions = Some(PathBuf::from(cursor.value_for(flag)?)),
                     "--seed" => seed = parse_u64(flag, cursor.value_for(flag)?)?,
                     "--threads" => threads = parse_u64(flag, cursor.value_for(flag)?)? as usize,
+                    "--metrics-out" => metrics_out = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    "--metrics-full" => metrics_full = true,
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
             }
@@ -276,6 +303,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 sessions,
                 seed,
                 threads,
+                metrics_out,
+                metrics_full,
             })
         }
         "compare" => {
@@ -284,6 +313,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut train_days = 0u64;
             let mut aps_per_building = 8usize;
             let mut threads = 0usize;
+            let mut metrics_out = None;
+            let mut metrics_full = false;
             while let Some(flag) = cursor.next() {
                 match flag {
                     "--demands" => demands = Some(PathBuf::from(cursor.value_for(flag)?)),
@@ -293,6 +324,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                         aps_per_building = parse_u64(flag, cursor.value_for(flag)?)? as usize
                     }
                     "--threads" => threads = parse_u64(flag, cursor.value_for(flag)?)? as usize,
+                    "--metrics-out" => metrics_out = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    "--metrics-full" => metrics_full = true,
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
             }
@@ -309,7 +342,21 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 train_days,
                 aps_per_building,
                 threads,
+                metrics_out,
+                metrics_full,
             })
+        }
+        "summary" => {
+            let mut metrics = None;
+            while let Some(flag) = cursor.next() {
+                match flag {
+                    "--metrics" => metrics = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+                }
+            }
+            let metrics =
+                metrics.ok_or_else(|| CliError::Usage("summary requires --metrics".into()))?;
+            Ok(Command::Summary { metrics })
         }
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
@@ -405,6 +452,51 @@ mod tests {
     fn unknown_subcommand_and_flags() {
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("analyze --sessions s.csv --what")).is_err());
+    }
+
+    #[test]
+    fn metrics_flags_parse() {
+        let cmd = parse(&argv(
+            "replay --demands d.csv --policy llf --out s.csv --metrics-out m.json --metrics-full",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Replay {
+                metrics_out,
+                metrics_full,
+                ..
+            } => {
+                assert_eq!(metrics_out, Some(PathBuf::from("m.json")));
+                assert!(metrics_full);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cmd = parse(&argv("analyze --sessions s.csv --metrics-out m.csv")).unwrap();
+        match cmd {
+            Command::Analyze {
+                metrics_out,
+                metrics_full,
+                ..
+            } => {
+                assert_eq!(metrics_out, Some(PathBuf::from("m.csv")));
+                assert!(!metrics_full);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&argv("compare --demands d.csv --metrics-out")).is_err());
+    }
+
+    #[test]
+    fn summary_requires_metrics() {
+        let cmd = parse(&argv("summary --metrics m.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Summary {
+                metrics: PathBuf::from("m.json")
+            }
+        );
+        assert!(parse(&argv("summary")).is_err());
+        assert!(parse(&argv("summary --what m.json")).is_err());
     }
 
     #[test]

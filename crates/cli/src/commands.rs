@@ -51,17 +51,22 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             rebalance,
             aps_per_building,
             threads,
-        } => replay(
-            &demands,
-            policy,
-            &path,
-            seed,
-            train_days,
-            rebalance,
-            aps_per_building,
-            threads,
-            out,
-        ),
+            metrics_out,
+            metrics_full,
+        } => {
+            replay(
+                &demands,
+                policy,
+                &path,
+                seed,
+                train_days,
+                rebalance,
+                aps_per_building,
+                threads,
+                out,
+            )?;
+            write_metrics(metrics_out.as_deref(), metrics_full, out)
+        }
         Command::Convert {
             input,
             out: path,
@@ -71,15 +76,56 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             sessions,
             seed,
             threads,
-        } => analyze(&sessions, seed, threads, out),
+            metrics_out,
+            metrics_full,
+        } => {
+            analyze(&sessions, seed, threads, out)?;
+            write_metrics(metrics_out.as_deref(), metrics_full, out)
+        }
         Command::Compare {
             demands,
             seed,
             train_days,
             aps_per_building,
             threads,
-        } => compare(&demands, seed, train_days, aps_per_building, threads, out),
+            metrics_out,
+            metrics_full,
+        } => {
+            compare(&demands, seed, train_days, aps_per_building, threads, out)?;
+            write_metrics(metrics_out.as_deref(), metrics_full, out)
+        }
+        Command::Summary { metrics } => summary(&metrics, out),
     }
+}
+
+/// Dumps the global metrics registry to `path` (when given), stable metrics
+/// only unless `full`. Runs after the command body so the snapshot covers
+/// the whole run.
+fn write_metrics<W: Write>(path: Option<&Path>, full: bool, out: &mut W) -> Result<(), CliError> {
+    let Some(path) = path else { return Ok(()) };
+    let snapshot = s3_obs::global().snapshot();
+    let snapshot = if full {
+        snapshot
+    } else {
+        snapshot.stable_only()
+    };
+    snapshot.write_to_file(path)?;
+    writeln!(
+        out,
+        "wrote {} metrics ({}) to {}",
+        snapshot.metrics.len(),
+        if full { "stable + volatile" } else { "stable" },
+        path.display()
+    )?;
+    Ok(())
+}
+
+/// Renders a metrics JSON snapshot as a human-readable table.
+fn summary<W: Write>(path: &Path, out: &mut W) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let snapshot = s3_obs::Snapshot::parse_json(&text)?;
+    write!(out, "{}", snapshot.render_table())?;
+    Ok(())
 }
 
 fn generate<W: Write>(
@@ -657,6 +703,58 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.to_string().contains("disconnect precedes connect"));
+    }
+
+    #[test]
+    fn replay_writes_metrics_snapshot_and_summary_renders_it() {
+        let demands = tmp("mx_demands.csv");
+        let sessions = tmp("mx_sessions.csv");
+        let metrics = tmp("mx_metrics.json");
+        run_str(&format!(
+            "generate --out {} --users 60 --buildings 1 --aps-per-building 3 --days 3 --seed 4",
+            demands.display()
+        ))
+        .unwrap();
+        let output = run_str(&format!(
+            "replay --demands {} --policy llf --out {} --metrics-out {}",
+            demands.display(),
+            sessions.display(),
+            metrics.display()
+        ))
+        .unwrap();
+        assert!(output.contains("wrote"), "{output}");
+        assert!(output.contains("metrics (stable)"), "{output}");
+
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(text.contains(s3_obs::SCHEMA_VERSION), "{text}");
+        assert!(text.contains("wlan.engine.runs"), "{text}");
+        // Stable snapshots exclude wall-clock timers.
+        assert!(!text.contains("run_micros"), "{text}");
+
+        let output = run_str(&format!("summary --metrics {}", metrics.display())).unwrap();
+        assert!(output.contains("wlan.engine.runs"), "{output}");
+
+        // CSV output is selected by extension.
+        let metrics_csv = tmp("mx_metrics.csv");
+        run_str(&format!(
+            "analyze --sessions {} --metrics-out {} --metrics-full",
+            sessions.display(),
+            metrics_csv.display()
+        ))
+        .unwrap();
+        let text = std::fs::read_to_string(&metrics_csv).unwrap();
+        assert!(
+            text.starts_with("name,kind,unit,stability,field,value"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn summary_rejects_malformed_snapshots() {
+        let bad = tmp("bad_metrics.json");
+        std::fs::write(&bad, "{\"schema\":\"nope/9\",\"metrics\":[]}").unwrap();
+        let err = run_str(&format!("summary --metrics {}", bad.display())).unwrap_err();
+        assert!(matches!(err, CliError::Snapshot(_)), "{err}");
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! * `replay`   — replay a demand CSV under a policy, writing session CSV;
 //! * `analyze`  — measurement study over a session CSV (balance, events,
 //!   typing);
-//! * `compare`  — end-to-end S³-vs-LLF evaluation on one demand trace.
+//! * `compare`  — end-to-end S³-vs-LLF evaluation on one demand trace;
+//! * `summary`  — render a `--metrics-out` snapshot as a table.
 //!
 //! The library half exists so the argument parsing and command logic are
 //! unit-testable; `main.rs` is a thin shim.
@@ -28,6 +29,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// Malformed CSV input.
     Csv(s3_trace::csv::CsvError),
+    /// A metrics snapshot failed to read, parse or write.
+    Snapshot(s3_obs::SnapshotError),
     /// The input was well-formed but unusable (e.g. empty trace).
     Invalid(String),
 }
@@ -38,6 +41,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Csv(e) => write!(f, "{e}"),
+            CliError::Snapshot(e) => write!(f, "metrics snapshot: {e}"),
             CliError::Invalid(msg) => write!(f, "invalid input: {msg}"),
         }
     }
@@ -48,6 +52,7 @@ impl std::error::Error for CliError {
         match self {
             CliError::Io(e) => Some(e),
             CliError::Csv(e) => Some(e),
+            CliError::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -62,6 +67,12 @@ impl From<std::io::Error> for CliError {
 impl From<s3_trace::csv::CsvError> for CliError {
     fn from(e: s3_trace::csv::CsvError) -> Self {
         CliError::Csv(e)
+    }
+}
+
+impl From<s3_obs::SnapshotError> for CliError {
+    fn from(e: s3_obs::SnapshotError) -> Self {
+        CliError::Snapshot(e)
     }
 }
 
@@ -84,14 +95,24 @@ USAGE:
                   [--aps-per-building N] [--days N]
   s3wlan replay   --demands <demands.csv> --policy <llf|s3|least-users|rssi|random>
                   --out <sessions.csv> [--seed N] [--train-days N] [--rebalance]
-                  [--threads N]
+                  [--threads N] [--metrics-out <m.json|m.csv>] [--metrics-full]
   s3wlan convert  --in <foreign.csv> --out <sessions.csv> [--maps-dir <dir>]
   s3wlan analyze  --sessions <sessions.csv> [--seed N] [--threads N]
+                  [--metrics-out <m.json|m.csv>] [--metrics-full]
   s3wlan compare  --demands <demands.csv> [--seed N] [--train-days N] [--threads N]
+                  [--metrics-out <m.json|m.csv>] [--metrics-full]
+  s3wlan summary  --metrics <m.json>
 
 THREADS:
   --threads N runs training and analysis on N worker threads (default:
   all available cores; 0 = auto). Results are bit-identical for any N.
+
+METRICS:
+  --metrics-out writes the process-wide instrumentation registry as a
+  schema-versioned snapshot (format by extension: .json or .csv) at end
+  of run. The default snapshot holds only stable metrics and is
+  byte-identical across thread counts for a fixed seed; --metrics-full
+  adds volatile timing metrics. See docs/METRICS.md for every metric.
 
 POLICIES:
   llf          least traffic load first (the incumbent)

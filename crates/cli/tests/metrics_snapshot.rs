@@ -1,0 +1,89 @@
+//! Process-level test: `s3wlan replay --metrics-out` writes a stable,
+//! schema-versioned snapshot that is byte-identical at `--threads 1` and
+//! `--threads 8`, and `s3wlan summary` renders it. One process per run —
+//! the metrics registry is process-wide.
+
+use std::path::Path;
+use std::process::Command;
+
+fn s3wlan(args: &[&str]) -> std::process::Output {
+    let output = Command::new(env!("CARGO_BIN_EXE_s3wlan"))
+        .args(args)
+        .output()
+        .expect("launch s3wlan");
+    assert!(
+        output.status.success(),
+        "s3wlan {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+fn replay_metrics(demands: &Path, dir: &Path, threads: usize) -> String {
+    let sessions = dir.join(format!("sessions_t{threads}.csv"));
+    let metrics = dir.join(format!("metrics_t{threads}.json"));
+    s3wlan(&[
+        "replay",
+        "--demands",
+        &demands.display().to_string(),
+        "--policy",
+        "s3",
+        "--out",
+        &sessions.display().to_string(),
+        "--train-days",
+        "3",
+        "--aps-per-building",
+        "3",
+        "--threads",
+        &threads.to_string(),
+        "--metrics-out",
+        &metrics.display().to_string(),
+    ]);
+    std::fs::read_to_string(&metrics).unwrap()
+}
+
+#[test]
+fn replay_snapshot_is_byte_identical_across_thread_counts() {
+    let dir = std::env::temp_dir().join("s3_cli_metrics_snapshot");
+    std::fs::create_dir_all(&dir).unwrap();
+    let demands = dir.join("demands.csv");
+    s3wlan(&[
+        "generate",
+        "--out",
+        &demands.display().to_string(),
+        "--users",
+        "120",
+        "--buildings",
+        "2",
+        "--aps-per-building",
+        "3",
+        "--days",
+        "5",
+        "--seed",
+        "11",
+    ]);
+
+    let snap_1 = replay_metrics(&demands, &dir, 1);
+    let snap_8 = replay_metrics(&demands, &dir, 8);
+    assert!(snap_1.contains(s3_obs::SCHEMA_VERSION), "{snap_1}");
+    assert_eq!(
+        snap_1, snap_8,
+        "stable snapshot must not depend on the thread count"
+    );
+    // The S³ path exercised training: mining, clustering and the selector
+    // all report through the same registry.
+    for name in [
+        "trace.events.encounters_found",
+        "stats.kmeans.fits",
+        "core.batch.cliques_assigned",
+        "wlan.engine.placements",
+    ] {
+        assert!(snap_1.contains(name), "missing {name} in {snap_1}");
+    }
+
+    // `summary` renders the snapshot as a table.
+    let metrics = dir.join("metrics_t1.json");
+    let output = s3wlan(&["summary", "--metrics", &metrics.display().to_string()]);
+    let table = String::from_utf8(output.stdout).unwrap();
+    assert!(table.contains("wlan.engine.placements"), "{table}");
+}

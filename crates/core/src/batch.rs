@@ -13,10 +13,77 @@
 //! DESIGN.md).
 
 use s3_graph::SocialGraph;
+use s3_obs::{Desc, HistogramDesc, Stability, Unit};
 use s3_stats::balance::normalized_balance_index;
 use s3_types::UserId;
 
 use crate::S3Config;
+
+// Batch-selector metrics (documented in docs/METRICS.md). Hot-loop tallies
+// are accumulated locally and added once per enumeration block / beam
+// level, so the counter traffic is negligible and the totals are identical
+// for every thread count (every block scans the same code range).
+static CLIQUES_ASSIGNED: Desc = Desc {
+    name: "core.batch.cliques_assigned",
+    help: "Cliques placed by the batch distribution search",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static CLIQUE_SIZE: HistogramDesc = HistogramDesc {
+    name: "core.batch.clique_size",
+    help: "Members per assigned clique",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+    bounds: &[1, 2, 3, 4, 6, 8, 12, 16],
+};
+static CANDIDATES_ENUMERATED: Desc = Desc {
+    name: "core.batch.candidates_enumerated",
+    help: "Candidate distributions decoded and scored (exhaustive and beam leaves)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static CAPACITY_REJECTIONS: Desc = Desc {
+    name: "core.batch.capacity_rejections",
+    help: "Candidate distributions discarded for violating AP capacity",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static BEAM_EXPANSIONS: Desc = Desc {
+    name: "core.batch.beam_expansions",
+    help: "Partial assignments expanded by the beam search",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static BEAM_PRUNES: Desc = Desc {
+    name: "core.batch.beam_prunes",
+    help: "Partial assignments cut when truncating each beam level to beam_width",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static FALLBACKS: Desc = Desc {
+    name: "core.batch.fallbacks",
+    help: "Cliques placed by least-loaded fallback (every distribution violated capacity)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static COST_TABLE_BUILDS: Desc = Desc {
+    name: "core.cost.table_builds",
+    help: "CliqueCost tables built (one per clique placement)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static COST_DELTA_EVALS: Desc = Desc {
+    name: "core.cost.delta_evals",
+    help: "Fresh delta(u, w) evaluations while building CliqueCost tables (cache misses)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static COST_LOOKUPS: Desc = Desc {
+    name: "core.cost.lookups",
+    help: "Table-cell reads served from CliqueCost during candidate scoring (cache hits)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
 
 /// A projected AP state during batch assignment.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,11 +177,24 @@ impl CliqueCost {
             }
         }
         let demands = clique.iter().map(|&user| demand(user)).collect();
+        let registry = s3_obs::global();
+        registry.counter(&COST_TABLE_BUILDS).inc();
+        let member_total: usize = slots.iter().map(|s| s.members.len()).sum();
+        registry
+            .counter(&COST_DELTA_EVALS)
+            .add((c * member_total + c * (c.saturating_sub(1)) / 2) as u64);
         CliqueCost {
             slot_entry,
             pair,
             demands,
         }
+    }
+
+    /// Table cells a single [`CliqueCost::score`] call reads: one
+    /// `slot_entry` cell per member plus every ordered pair of members.
+    fn lookups_per_score(&self) -> u64 {
+        let c = self.demands.len();
+        (c + c * (c.saturating_sub(1)) / 2) as u64
     }
 
     /// Social cost + projected balance of a full assignment; the cost is
@@ -173,6 +253,11 @@ where
         return Vec::new();
     }
     assert!(!slots.is_empty(), "cannot assign a clique to zero APs");
+    let registry = s3_obs::global();
+    registry.counter(&CLIQUES_ASSIGNED).inc();
+    registry
+        .histogram(&CLIQUE_SIZE)
+        .observe(clique.len() as u64);
     let m = slots.len();
     let c = clique.len();
     let threads = config.effective_threads();
@@ -186,7 +271,10 @@ where
         None => beam_search(m, c, &cache, slots, config.beam_width, threads),
     };
 
-    select_best(candidates, config).unwrap_or_else(|| fallback_least_loaded(clique, slots, &demand))
+    select_best(candidates, config).unwrap_or_else(|| {
+        registry.counter(&FALLBACKS).inc();
+        fallback_least_loaded(clique, slots, &demand)
+    })
 }
 
 /// Fixed number of codes each enumeration work item decodes and scores.
@@ -202,6 +290,11 @@ fn enumerate_all(
     slots: &[ApSlot],
     threads: usize,
 ) -> Vec<Candidate> {
+    let registry = s3_obs::global();
+    let enumerated = registry.counter(&CANDIDATES_ENUMERATED);
+    let rejected = registry.counter(&CAPACITY_REJECTIONS);
+    let lookups = registry.counter(&COST_LOOKUPS);
+    let per_score = cache.lookups_per_score();
     let block_starts: Vec<usize> = (0..total).step_by(ENUM_BLOCK).collect();
     let blocks = s3_par::par_map(&block_starts, threads, |_, &start| {
         let end = (start + ENUM_BLOCK).min(total);
@@ -222,6 +315,12 @@ fn enumerate_all(
                 });
             }
         }
+        // One counter add per 512-code block, not per candidate, keeps the
+        // atomics out of the scoring loop.
+        let scored = (end - start) as u64;
+        enumerated.add(scored);
+        rejected.add(scored - out.len() as u64);
+        lookups.add(scored * per_score);
         out
     });
     // Blocks come back in ascending code order, so the candidate list is
@@ -237,9 +336,13 @@ fn beam_search(
     beam_width: usize,
     threads: usize,
 ) -> Vec<Candidate> {
+    let registry = s3_obs::global();
+    let expansions = registry.counter(&BEAM_EXPANSIONS);
+    let prunes = registry.counter(&BEAM_PRUNES);
     // Partial state: assignment prefix and its social cost so far.
     let mut beam: Vec<(Vec<usize>, f64)> = vec![(Vec::new(), 0.0)];
     for idx in 0..c {
+        expansions.add(beam.len() as u64);
         // Expanding a prefix touches nothing but the cache, so the beam
         // fans out across threads; flattening in prefix order followed by a
         // *stable* sort reproduces the sequential beam exactly.
@@ -263,11 +366,17 @@ fn beam_search(
             .flatten()
             .collect();
         next.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+        prunes.add(next.len().saturating_sub(beam_width) as u64);
         next.truncate(beam_width);
         beam = next;
         debug_assert!(beam.iter().all(|(a, _)| a.len() == idx + 1));
     }
-    s3_par::par_map(&beam, threads, |_, (assignment, _)| {
+    let enumerated = registry.counter(&CANDIDATES_ENUMERATED);
+    let rejected = registry.counter(&CAPACITY_REJECTIONS);
+    let lookups = registry.counter(&COST_LOOKUPS);
+    enumerated.add(beam.len() as u64);
+    lookups.add(beam.len() as u64 * cache.lookups_per_score());
+    let survivors: Vec<Candidate> = s3_par::par_map(&beam, threads, |_, (assignment, _)| {
         let (cost, balance) = cache.score(assignment, slots);
         cost.is_finite().then_some(Candidate {
             assignment: assignment.clone(),
@@ -277,7 +386,9 @@ fn beam_search(
     })
     .into_iter()
     .flatten()
-    .collect()
+    .collect();
+    rejected.add((beam.len() - survivors.len()) as u64);
+    survivors
 }
 
 fn select_best(mut candidates: Vec<Candidate>, config: &S3Config) -> Option<Vec<usize>> {

@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use s3_obs::{Desc, HistogramDesc, Stability, Unit};
 use s3_stats::gap::{gap_statistic, GapConfig};
 use s3_stats::kmeans::{self, KMeansConfig};
 use s3_trace::events::{
@@ -23,6 +24,36 @@ use s3_types::{AppMix, BitsPerSec, UserId};
 
 use crate::profile::{all_window_profiles, demand_estimates, median_demand};
 use crate::S3Config;
+
+// Learning-stage metrics (documented in docs/METRICS.md). Model-size
+// metrics are counters (totals across all learns), not gauges: sweep
+// binaries learn many models concurrently, and a last-write-wins gauge
+// would make the snapshot depend on worker scheduling.
+static LEARNS: Desc = Desc {
+    name: "core.model.learns",
+    help: "Social models learned from a trace window",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static KNOWN_PAIRS: Desc = Desc {
+    name: "core.model.known_pairs",
+    help: "User pairs with a learned P(co-leave | encounter), summed over all learned models",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static TYPES: Desc = Desc {
+    name: "core.model.types",
+    help: "User types (clusters), summed over all learned models",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static LEARN_MICROS: HistogramDesc = HistogramDesc {
+    name: "core.model.learn_micros",
+    help: "Wall-clock duration of each SocialModel::learn call",
+    unit: Unit::Micros,
+    stability: Stability::Volatile,
+    bounds: &[1_000, 10_000, 100_000, 1_000_000, 10_000_000, 60_000_000],
+};
 
 /// The empirical co-leave probability matrix between user types — the
 /// paper's Table I.
@@ -148,6 +179,8 @@ impl SocialModel {
     /// whose `delta` is identically zero (S³ then behaves like LLF).
     pub fn learn(store: &TraceStore, config: &S3Config, seed: u64) -> SocialModel {
         config.validate();
+        let registry = s3_obs::global();
+        let _span = registry.timer(&LEARN_MICROS);
         let threads = config.effective_threads();
         let encounters = extract_encounters_par(store, config.encounter_min_overlap, threads);
         let coleavings = extract_coleavings_par(store, config.coleave_window, threads);
@@ -162,6 +195,12 @@ impl SocialModel {
 
         let demand = demand_estimates(store, config.demand_ewma);
         let fallback_demand = median_demand(&demand);
+
+        registry.counter(&LEARNS).inc();
+        registry
+            .counter(&KNOWN_PAIRS)
+            .add(pair_probability.len() as u64);
+        registry.counter(&TYPES).add(k as u64);
 
         SocialModel {
             pair_probability,

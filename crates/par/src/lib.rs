@@ -31,6 +31,31 @@
 
 use std::num::NonZeroUsize;
 
+use s3_obs::{Desc, Stability, Unit};
+
+// Execution-layer metrics (documented in docs/METRICS.md). Call counts are
+// thread-invariant (every thread count performs the same calls); the
+// worker-spawn total is a function of the thread count and is therefore
+// volatile — it must never appear in stable snapshots.
+static MAP_CALLS: Desc = Desc {
+    name: "par.map_calls",
+    help: "par_map invocations",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static FOLD_CALLS: Desc = Desc {
+    name: "par.fold_calls",
+    help: "par_chunk_fold invocations",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static WORKERS_SPAWNED: Desc = Desc {
+    name: "par.workers_spawned",
+    help: "Worker threads spawned (0 for inline sequential runs)",
+    unit: Unit::Count,
+    stability: Stability::Volatile,
+};
+
 /// Environment variable overriding the default thread count.
 pub const THREADS_ENV: &str = "S3_THREADS";
 
@@ -74,11 +99,15 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    s3_obs::global().counter(&MAP_CALLS).inc();
     let threads = threads.clamp(1, MAX_THREADS).min(items.len());
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
     let ranges = split_ranges(items.len(), threads);
+    s3_obs::global()
+        .counter(&WORKERS_SPAWNED)
+        .add(ranges.len() as u64);
     let mut parts: Vec<Vec<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
@@ -135,6 +164,7 @@ where
     M: FnMut(A, A) -> A,
 {
     assert!(chunk_size > 0, "par_chunk_fold needs a positive chunk size");
+    s3_obs::global().counter(&FOLD_CALLS).inc();
     if items.is_empty() {
         return init();
     }
@@ -158,6 +188,9 @@ where
         // accumulators in order.
         let nested = std::thread::scope(|scope| {
             let ranges = split_ranges(chunks.len(), threads.clamp(1, MAX_THREADS));
+            s3_obs::global()
+                .counter(&WORKERS_SPAWNED)
+                .add(ranges.len() as u64);
             let handles: Vec<_> = ranges
                 .iter()
                 .map(|range| {

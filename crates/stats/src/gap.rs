@@ -14,8 +14,30 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use s3_obs::{Desc, HistogramDesc, Stability, Unit};
 
 use crate::kmeans::{self, KMeansConfig};
+
+// Gap-statistic metrics (documented in docs/METRICS.md).
+static RUNS: Desc = Desc {
+    name: "stats.gap.runs",
+    help: "Gap-statistic evaluations performed",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static FITS: Desc = Desc {
+    name: "stats.gap.fits",
+    help: "k-means fits fanned out by gap runs (k_max * (B + 1) per run)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static CHOSEN_K: HistogramDesc = HistogramDesc {
+    name: "stats.gap.chosen_k",
+    help: "Cluster count selected by the Tibshirani rule",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+    bounds: &[1, 2, 3, 4, 6, 8, 12, 16],
+};
 use crate::linalg::{covariance, symmetric_eigen};
 use crate::StatsError;
 
@@ -217,6 +239,8 @@ pub fn gap_statistic(
             detail: "reference_sets must be positive".to_string(),
         });
     }
+    let registry = s3_obs::global();
+    registry.counter(&RUNS).inc();
     let b = config.reference_sets;
     let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
     // Draw the reference sets once and reuse them across k, as Tibshirani
@@ -246,6 +270,7 @@ pub fn gap_statistic(
             tasks.push((k, Some(bi)));
         }
     }
+    registry.counter(&FITS).add(tasks.len() as u64);
     let logs: Vec<Result<f64, StatsError>> =
         s3_par::par_map(&tasks, config.threads, |_, &(k, bi)| match bi {
             None => log_dispersion(points, k, &config.kmeans, seed.wrapping_add(k as u64)),
@@ -295,6 +320,7 @@ pub fn gap_statistic(
             .map(|p| p.k)
             .expect("non-empty");
     }
+    registry.histogram(&CHOSEN_K).observe(chosen_k as u64);
     Ok(GapResult {
         points: out,
         chosen_k,

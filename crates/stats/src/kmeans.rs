@@ -7,8 +7,46 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use s3_obs::{Desc, HistogramDesc, Stability, Unit};
 
 use crate::StatsError;
+
+// Clustering metrics (documented in docs/METRICS.md). All values are pure
+// functions of the input and seed: iteration counts come from the
+// sequential update step, and the final movement is quantized to integer
+// nanos so histogram sums stay exact.
+static FITS: Desc = Desc {
+    name: "stats.kmeans.fits",
+    help: "k-means fits performed (each with its configured restarts)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static CONVERGED: Desc = Desc {
+    name: "stats.kmeans.converged",
+    help: "Lloyd runs that met the movement tolerance before max_iters",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static MAX_ITERS_REACHED: Desc = Desc {
+    name: "stats.kmeans.max_iters_reached",
+    help: "Lloyd runs that stopped at the iteration cap without converging",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static ITERATIONS: HistogramDesc = HistogramDesc {
+    name: "stats.kmeans.iterations",
+    help: "Lloyd iterations per restart",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+    bounds: &[1, 2, 4, 8, 16, 32, 64, 128],
+};
+static FINAL_MOVEMENT_NANOS: HistogramDesc = HistogramDesc {
+    name: "stats.kmeans.final_movement_nanos",
+    help: "Total centroid movement (L2) of the last Lloyd iteration, in 1e-9 units",
+    unit: Unit::Nanos,
+    stability: Stability::Stable,
+    bounds: &[1, 1_000, 1_000_000, 1_000_000_000, 1_000_000_000_000],
+};
 
 /// Tuning knobs for [`fit`].
 #[derive(Debug, Clone, PartialEq)]
@@ -165,7 +203,11 @@ fn lloyd(
 ) -> KMeansResult {
     let k = centroids.len();
     let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0u64;
+    let mut converged = false;
+    let mut last_movement = 0.0f64;
     for _ in 0..config.max_iters {
+        iterations += 1;
         // Assignment step: a pure per-point argmin, parallelized with the
         // output in point order. The update step below stays sequential so
         // the centroid sums accumulate in point order at any thread count.
@@ -210,10 +252,24 @@ fn lloyd(
             movement += sq_dist(&centroids[c], &new_c).sqrt();
             centroids[c] = new_c;
         }
+        last_movement = movement;
         if movement <= config.tol {
+            converged = true;
             break;
         }
     }
+    let registry = s3_obs::global();
+    registry.histogram(&ITERATIONS).observe(iterations);
+    registry
+        .histogram(&FINAL_MOVEMENT_NANOS)
+        .observe((last_movement * 1e9).round().min(u64::MAX as f64).max(0.0) as u64);
+    registry
+        .counter(if converged {
+            &CONVERGED
+        } else {
+            &MAX_ITERS_REACHED
+        })
+        .inc();
     // Final assignment + inertia against the converged centroids. The
     // distances come back in point order, so the inertia sum associates
     // exactly as the sequential loop did.
@@ -268,6 +324,7 @@ pub fn fit(
             detail: "restarts must be positive".to_string(),
         });
     }
+    s3_obs::global().counter(&FITS).inc();
     let mut best: Option<KMeansResult> = None;
     for restart in 0..config.restarts {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(restart as u64 * 0x9E37_79B9));

@@ -12,9 +12,64 @@
 
 use std::collections::HashMap;
 
+use s3_obs::{Desc, HistogramDesc, Stability, Unit};
 use s3_types::{ApId, TimeDelta, UserId};
 
 use crate::{SessionRecord, TraceStore};
+
+// Event-mining metrics (documented in docs/METRICS.md). Per-shard tallies
+// are accumulated locally inside each worker closure and added to the
+// counter once per AP group; each group is scanned by exactly one worker,
+// so totals are identical for every thread count.
+static SESSIONS_SHARDED: Desc = Desc {
+    name: "trace.events.sessions_sharded",
+    help: "Session records distributed into per-AP shards for event mining",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static AP_SHARDS: Desc = Desc {
+    name: "trace.events.ap_shards",
+    help: "Per-AP shards built for event mining scans",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static ENCOUNTER_PAIRS_SCANNED: Desc = Desc {
+    name: "trace.events.encounter_pairs_scanned",
+    help: "Session pairs examined by the encounter extractor",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static ENCOUNTERS_FOUND: Desc = Desc {
+    name: "trace.events.encounters_found",
+    help: "Encounter events found (overlap at least the dwell threshold)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static COLEAVING_PAIRS_SCANNED: Desc = Desc {
+    name: "trace.events.coleaving_pairs_scanned",
+    help: "Departure pairs examined by the co-leaving extractor",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static COLEAVINGS_FOUND: Desc = Desc {
+    name: "trace.events.coleavings_found",
+    help: "Co-leaving events found (departures within the extraction window)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static LEAVINGS_SCANNED: Desc = Desc {
+    name: "trace.events.leavings_scanned",
+    help: "Departures examined by the per-user leaving-statistics scan",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static MINE_MICROS: HistogramDesc = HistogramDesc {
+    name: "trace.events.mine_micros",
+    help: "Wall-clock duration of each event-mining pass",
+    unit: Unit::Micros,
+    stability: Stability::Volatile,
+    bounds: &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+};
 
 /// Groups the store's records per AP, projecting each record with `project`,
 /// and sorts both the groups (by [`ApId`]) and each group's entries. The
@@ -34,6 +89,11 @@ where
     for (_, entries) in &mut groups {
         entries.sort_unstable();
     }
+    let registry = s3_obs::global();
+    registry.counter(&AP_SHARDS).add(groups.len() as u64);
+    registry
+        .counter(&SESSIONS_SHARDED)
+        .add(groups.iter().map(|(_, e)| e.len() as u64).sum());
     groups
 }
 
@@ -88,25 +148,35 @@ pub fn extract_encounters_par(
     min_overlap: TimeDelta,
     threads: usize,
 ) -> HashMap<UserPair, u32> {
+    let registry = s3_obs::global();
+    let _span = registry.timer(&MINE_MICROS);
+    let scanned = registry.counter(&ENCOUNTER_PAIRS_SCANNED);
+    let found = registry.counter(&ENCOUNTERS_FOUND);
     // Session lists per AP are small relative to the whole trace, keeping
     // the per-AP near-quadratic pair scan cheap.
     let groups = ap_groups(store, |r| (r.connect, r.disconnect, r.user));
     let shards = s3_par::par_map(&groups, threads, |_, (_, sessions)| {
         let mut counts: HashMap<UserPair, u32> = HashMap::new();
+        let mut pairs_scanned = 0u64;
+        let mut events_found = 0u64;
         for (i, &(a_start, a_end, a_user)) in sessions.iter().enumerate() {
             for &(b_start, b_end, b_user) in &sessions[i + 1..] {
                 if b_start >= a_end {
                     break; // sorted by start; no later session can overlap
                 }
+                pairs_scanned += 1;
                 let overlap_start = a_start.max(b_start);
                 let overlap_end = a_end.min(b_end);
                 if overlap_end.saturating_sub(overlap_start) >= min_overlap {
                     if let Some(pair) = UserPair::new(a_user, b_user) {
                         *counts.entry(pair).or_insert(0) += 1;
+                        events_found += 1;
                     }
                 }
             }
         }
+        scanned.add(pairs_scanned);
+        found.add(events_found);
         counts
     });
     merge_pair_counts(shards)
@@ -125,19 +195,29 @@ pub fn extract_coleavings_par(
     window: TimeDelta,
     threads: usize,
 ) -> HashMap<UserPair, u32> {
+    let registry = s3_obs::global();
+    let _span = registry.timer(&MINE_MICROS);
+    let scanned = registry.counter(&COLEAVING_PAIRS_SCANNED);
+    let found = registry.counter(&COLEAVINGS_FOUND);
     let groups = ap_groups(store, |r| (r.disconnect, r.user));
     let shards = s3_par::par_map(&groups, threads, |_, (_, departures)| {
         let mut counts: HashMap<UserPair, u32> = HashMap::new();
+        let mut pairs_scanned = 0u64;
+        let mut events_found = 0u64;
         for (i, &(t_a, user_a)) in departures.iter().enumerate() {
             for &(t_b, user_b) in &departures[i + 1..] {
                 if t_b.saturating_sub(t_a) > window {
                     break;
                 }
+                pairs_scanned += 1;
                 if let Some(pair) = UserPair::new(user_a, user_b) {
                     *counts.entry(pair).or_insert(0) += 1;
+                    events_found += 1;
                 }
             }
         }
+        scanned.add(pairs_scanned);
+        found.add(events_found);
         counts
     });
     merge_pair_counts(shards)
@@ -178,8 +258,12 @@ pub fn leaving_stats_par(
     window: TimeDelta,
     threads: usize,
 ) -> HashMap<UserId, LeavingStats> {
+    let registry = s3_obs::global();
+    let _span = registry.timer(&MINE_MICROS);
+    let leavings = registry.counter(&LEAVINGS_SCANNED);
     let groups = ap_groups(store, |r| (r.disconnect, r.user));
     let shards = s3_par::par_map(&groups, threads, |_, (_, departures)| {
+        leavings.add(departures.len() as u64);
         let mut stats: HashMap<UserId, LeavingStats> = HashMap::new();
         for (i, &(t, user)) in departures.iter().enumerate() {
             let entry = stats.entry(user).or_default();

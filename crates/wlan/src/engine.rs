@@ -28,6 +28,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use s3_obs::{Desc, HistogramDesc, Stability, Unit};
 use s3_trace::{SessionDemand, SessionRecord};
 use s3_types::{
     ApId, BitsPerSec, Bytes, ControllerId, TimeDelta, Timestamp, UserId, APP_CATEGORY_COUNT,
@@ -36,6 +37,93 @@ use s3_types::{
 use crate::radio::{distance, rssi_at, session_position};
 use crate::selector::{ApCandidate, ApSelector, ArrivalUser};
 use crate::topology::Topology;
+
+// Replay-engine metrics (documented in docs/METRICS.md). The engine is
+// sequential within a run, and sweep binaries that replay many scenarios in
+// parallel only ever *add* (u64 addition is associative), so every value
+// here is a pure function of the demand stream and topology.
+static RUNS: Desc = Desc {
+    name: "wlan.engine.runs",
+    help: "Replay runs executed",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static DEMANDS: Desc = Desc {
+    name: "wlan.engine.demands",
+    help: "Session demands fed into replay runs",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static BATCHES: Desc = Desc {
+    name: "wlan.engine.batches",
+    help: "Arrival batches presented to the selection policy",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static BATCH_SIZE: HistogramDesc = HistogramDesc {
+    name: "wlan.engine.batch_size",
+    help: "Arrivals grouped into each batch window",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+    bounds: &[1, 2, 4, 8, 16, 32, 64],
+};
+static PLACEMENTS: Desc = Desc {
+    name: "wlan.engine.placements",
+    help: "Sessions placed on an AP by the policy",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static REJECTED: Desc = Desc {
+    name: "wlan.engine.rejected",
+    help: "Demands with no candidate AP (controller without APs)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static DEPARTURES: Desc = Desc {
+    name: "wlan.engine.departures",
+    help: "Sessions closed at their scheduled departure time",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static MIGRATIONS: Desc = Desc {
+    name: "wlan.engine.migrations",
+    help: "Mid-session migrations performed by the online rebalancer",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static LOAD_REPORTS: Desc = Desc {
+    name: "wlan.engine.load_reports",
+    help: "Controller load-report refreshes (policies see loads as of the last one)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static REBALANCE_ROUNDS: Desc = Desc {
+    name: "wlan.engine.rebalance_rounds",
+    help: "Online-rebalancer rounds executed",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static AP_LOAD_KBPS: HistogramDesc = HistogramDesc {
+    name: "wlan.engine.ap_load_kbps",
+    help: "Per-AP load sampled at every controller report refresh",
+    unit: Unit::Kbps,
+    stability: Stability::Stable,
+    bounds: &[100, 1_000, 5_000, 10_000, 25_000, 50_000, 100_000],
+};
+static RUN_MICROS: HistogramDesc = HistogramDesc {
+    name: "wlan.engine.run_micros",
+    help: "Wall-clock duration of each replay run",
+    unit: Unit::Micros,
+    stability: Stability::Volatile,
+    bounds: &[
+        10_000,
+        100_000,
+        1_000_000,
+        10_000_000,
+        60_000_000,
+        600_000_000,
+    ],
+};
 
 /// Online-rebalancer settings (the migrating baseline).
 #[derive(Debug, Clone, PartialEq)]
@@ -192,6 +280,15 @@ impl SimEngine {
             demands.windows(2).all(|w| w[0].arrive <= w[1].arrive),
             "demands must be sorted by arrival time"
         );
+        let registry = s3_obs::global();
+        let _span = registry.timer(&RUN_MICROS);
+        registry.counter(&RUNS).inc();
+        registry.counter(&DEMANDS).add(demands.len() as u64);
+        let batches = registry.counter(&BATCHES);
+        let batch_size = registry.histogram(&BATCH_SIZE);
+        let placements = registry.counter(&PLACEMENTS);
+        let load_reports = registry.counter(&LOAD_REPORTS);
+        let ap_load_kbps = registry.histogram(&AP_LOAD_KBPS);
         let ap_count = self.topology.ap_count();
         let mut run = RunState {
             state: vec![ApState::default(); ap_count],
@@ -231,8 +328,10 @@ impl SimEngine {
                 Some(batch_head.as_secs() / self.config.load_report_interval.as_secs())
             };
             if epoch.is_none() || last_report != epoch {
+                load_reports.inc();
                 for (r, s) in run.reported.iter_mut().zip(&run.state) {
                     *r = s.load;
+                    ap_load_kbps.observe((s.load.as_f64() / 1_000.0) as u64);
                 }
                 last_report = epoch;
             }
@@ -243,6 +342,8 @@ impl SimEngine {
                 j += 1;
             }
             let batch = &demands[i..j];
+            batches.inc();
+            batch_size.observe(batch.len() as u64);
 
             // Group the batch by controller, preserving arrival order.
             let mut controllers: Vec<ControllerId> = Vec::new();
@@ -293,6 +394,7 @@ impl SimEngine {
                     .collect();
                 let picks = selector.select_batch(&users, &candidates);
                 assert_eq!(picks.len(), users.len(), "one pick per user required");
+                placements.add(picks.len() as u64);
                 for (demand, &pick) in group.iter().zip(&picks) {
                     assert!(pick < candidates.len(), "selector pick out of range");
                     let ap = candidates[pick].ap;
@@ -319,6 +421,8 @@ impl SimEngine {
         // Migrations close segments out of connect order; restore a stable
         // order for downstream consumers.
         run.records.sort_by_key(|r| (r.connect, r.user, r.ap));
+        registry.counter(&REJECTED).add(rejected as u64);
+        registry.counter(&MIGRATIONS).add(run.migrations as u64);
         SimResult {
             records: run.records,
             rejected,
@@ -331,6 +435,7 @@ impl SimEngine {
         departures: &mut BinaryHeap<Reverse<(u64, u32)>>,
         now: Timestamp,
     ) {
+        let departed = s3_obs::global().counter(&DEPARTURES);
         while let Some(&Reverse((t, idx))) = departures.peek() {
             if t > now.as_secs() {
                 break;
@@ -339,6 +444,7 @@ impl SimEngine {
             let Some(mut active) = run.sessions[idx as usize].take() else {
                 continue;
             };
+            departed.inc();
             let ap_state = &mut run.state[active.ap.index()];
             ap_state.load = ap_state.load.saturating_sub(active.rate);
             if let Some(pos) = ap_state.associated.iter().position(|&u| u == active.user) {
@@ -353,6 +459,7 @@ impl SimEngine {
     /// best-fitting session from the most-loaded AP to the least-loaded
     /// one while the gap shrinks.
     fn rebalance(&self, run: &mut RunState, now: Timestamp, config: &RebalanceConfig) {
+        s3_obs::global().counter(&REBALANCE_ROUNDS).inc();
         for controller in self.topology.controllers() {
             let aps = self.topology.aps_of_controller(controller);
             if aps.len() < 2 {

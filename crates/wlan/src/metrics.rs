@@ -5,9 +5,33 @@
 //! sampled per time bin. These helpers turn a [`TraceStore`] into those
 //! series.
 
+use s3_obs::{Desc, Stability, Unit};
 use s3_stats::balance::{normalized_balance_index, user_count_balance_index};
 use s3_trace::TraceStore;
 use s3_types::{ControllerId, TimeDelta, Timestamp};
+
+// Balance-sampling metrics (documented in docs/METRICS.md). Recorded in
+// exactly one place — [`balance_samples`] — so the aggregate helpers below
+// (`mean_active_balance*`), which call it internally, never double-count a
+// bin.
+static BALANCE_SAMPLES: Desc = Desc {
+    name: "wlan.metrics.balance_samples",
+    help: "(controller, bin) balance-index samples computed",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static ACTIVE_BINS: Desc = Desc {
+    name: "wlan.metrics.active_bins",
+    help: "Balance samples whose bin carried traffic",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static IDLE_BINS: Desc = Desc {
+    name: "wlan.metrics.idle_bins",
+    help: "Balance samples over idle bins (report index 1, filtered from CDFs)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
 
 /// One balance-index sample: a controller domain over one time bin.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +80,11 @@ pub fn balance_samples(store: &TraceStore, bin: TimeDelta) -> Vec<BalanceSample>
             t = to;
         }
     }
+    let registry = s3_obs::global();
+    registry.counter(&BALANCE_SAMPLES).add(out.len() as u64);
+    let active = out.iter().filter(|s| s.active).count() as u64;
+    registry.counter(&ACTIVE_BINS).add(active);
+    registry.counter(&IDLE_BINS).add(out.len() as u64 - active);
     out
 }
 

@@ -1,12 +1,14 @@
 //! Umbrella crate for the S³ reproduction: re-exports the whole public API.
 //!
 //! See the individual crates for details: [`s3_types`], [`s3_stats`],
-//! [`s3_graph`], [`s3_trace`], [`s3_wlan`], [`s3_core`] and [`s3_par`].
+//! [`s3_graph`], [`s3_trace`], [`s3_wlan`], [`s3_core`], [`s3_par`] and
+//! [`s3_obs`].
 
 #![forbid(unsafe_code)]
 
 pub use s3_core as core;
 pub use s3_graph as graph;
+pub use s3_obs as obs;
 pub use s3_par as par;
 pub use s3_stats as stats;
 pub use s3_trace as trace;
