@@ -63,6 +63,9 @@ pub enum Command {
         aps_per_building: usize,
         /// Simulated days.
         days: u64,
+        /// Fault-injection spec (see `FaultSpec::parse`), applied to the
+        /// CSV text after generation with the same seed.
+        faults: Option<String>,
     },
     /// Replay a demand trace under a policy.
     Replay {
@@ -86,6 +89,8 @@ pub enum Command {
         metrics_out: Option<PathBuf>,
         /// Include volatile (timing) metrics in the snapshot.
         metrics_full: bool,
+        /// Skip malformed rows (with a report) instead of aborting.
+        lenient: bool,
     },
     /// Measurement study over a session log.
     Analyze {
@@ -99,6 +104,8 @@ pub enum Command {
         metrics_out: Option<PathBuf>,
         /// Include volatile (timing) metrics in the snapshot.
         metrics_full: bool,
+        /// Skip malformed rows (with a report) instead of aborting.
+        lenient: bool,
     },
     /// Convert a foreign session CSV (string ids, epoch timestamps) into
     /// the canonical format, writing id-mapping files alongside.
@@ -110,6 +117,8 @@ pub enum Command {
         /// Directory for `user_map.csv` / `ap_map.csv` /
         /// `controller_map.csv`.
         maps_dir: PathBuf,
+        /// Skip malformed rows (with a report) instead of aborting.
+        lenient: bool,
     },
     /// End-to-end S³-vs-LLF comparison.
     Compare {
@@ -178,6 +187,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut buildings = 8usize;
             let mut aps = 8usize;
             let mut days = 31u64;
+            let mut faults = None;
             while let Some(flag) = cursor.next() {
                 match flag {
                     "--out" => out = Some(PathBuf::from(cursor.value_for(flag)?)),
@@ -188,6 +198,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                         aps = parse_u64(flag, cursor.value_for(flag)?)? as usize
                     }
                     "--days" => days = parse_u64(flag, cursor.value_for(flag)?)?,
+                    "--faults" => faults = Some(cursor.value_for(flag)?.to_string()),
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
             }
@@ -202,6 +213,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 buildings,
                 aps_per_building: aps,
                 days,
+                faults,
             })
         }
         "replay" => {
@@ -215,6 +227,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut threads = 0usize;
             let mut metrics_out = None;
             let mut metrics_full = false;
+            let mut lenient = false;
             while let Some(flag) = cursor.next() {
                 match flag {
                     "--demands" => demands = Some(PathBuf::from(cursor.value_for(flag)?)),
@@ -224,6 +237,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--threads" => threads = parse_u64(flag, cursor.value_for(flag)?)? as usize,
                     "--metrics-out" => metrics_out = Some(PathBuf::from(cursor.value_for(flag)?)),
                     "--metrics-full" => metrics_full = true,
+                    "--lenient" => lenient = true,
                     "--policy" => {
                         let name = cursor.value_for(flag)?;
                         policy =
@@ -259,17 +273,20 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 threads,
                 metrics_out,
                 metrics_full,
+                lenient,
             })
         }
         "convert" => {
             let mut input = None;
             let mut out = None;
             let mut maps_dir = PathBuf::from(".");
+            let mut lenient = false;
             while let Some(flag) = cursor.next() {
                 match flag {
                     "--in" => input = Some(PathBuf::from(cursor.value_for(flag)?)),
                     "--out" => out = Some(PathBuf::from(cursor.value_for(flag)?)),
                     "--maps-dir" => maps_dir = PathBuf::from(cursor.value_for(flag)?),
+                    "--lenient" => lenient = true,
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
             }
@@ -279,6 +296,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 input,
                 out,
                 maps_dir,
+                lenient,
             })
         }
         "analyze" => {
@@ -287,6 +305,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut threads = 0usize;
             let mut metrics_out = None;
             let mut metrics_full = false;
+            let mut lenient = false;
             while let Some(flag) = cursor.next() {
                 match flag {
                     "--sessions" => sessions = Some(PathBuf::from(cursor.value_for(flag)?)),
@@ -294,6 +313,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--threads" => threads = parse_u64(flag, cursor.value_for(flag)?)? as usize,
                     "--metrics-out" => metrics_out = Some(PathBuf::from(cursor.value_for(flag)?)),
                     "--metrics-full" => metrics_full = true,
+                    "--lenient" => lenient = true,
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
             }
@@ -305,6 +325,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 threads,
                 metrics_out,
                 metrics_full,
+                lenient,
             })
         }
         "compare" => {
@@ -484,6 +505,39 @@ mod tests {
             other => panic!("wrong command: {other:?}"),
         }
         assert!(parse(&argv("compare --demands d.csv --metrics-out")).is_err());
+    }
+
+    #[test]
+    fn faults_and_lenient_flags_parse() {
+        let cmd = parse(&argv("generate --out x.csv --faults corrupt=3,truncate")).unwrap();
+        match cmd {
+            Command::Generate { faults, .. } => {
+                assert_eq!(faults.as_deref(), Some("corrupt=3,truncate"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&argv("generate --out x.csv --faults")).is_err());
+
+        for (cmdline, want) in [
+            (
+                "replay --demands d.csv --policy llf --out s.csv --lenient",
+                true,
+            ),
+            ("replay --demands d.csv --policy llf --out s.csv", false),
+        ] {
+            match parse(&argv(cmdline)).unwrap() {
+                Command::Replay { lenient, .. } => assert_eq!(lenient, want),
+                other => panic!("wrong command: {other:?}"),
+            }
+        }
+        match parse(&argv("analyze --sessions s.csv --lenient")).unwrap() {
+            Command::Analyze { lenient, .. } => assert!(lenient),
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&argv("convert --in f.csv --out s.csv --lenient")).unwrap() {
+            Command::Convert { lenient, .. } => assert!(lenient),
+            other => panic!("wrong command: {other:?}"),
+        }
     }
 
     #[test]

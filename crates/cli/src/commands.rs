@@ -6,7 +6,8 @@ use std::path::Path;
 
 use s3_core::{S3Config, S3Selector, SocialModel};
 use s3_stats::gap::{gap_statistic, GapConfig};
-use s3_trace::generator::{CampusConfig, CampusGenerator};
+use s3_trace::generator::{inject_csv_faults, CampusConfig, CampusGenerator, FaultSpec};
+use s3_trace::ingest::{read_demands_lenient, read_sessions_lenient, IngestReport, RowFault};
 use s3_trace::{csv, SessionDemand, TraceStore};
 use s3_types::TimeDelta;
 use s3_wlan::metrics::mean_active_balance_filtered;
@@ -41,7 +42,17 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             buildings,
             aps_per_building,
             days,
-        } => generate(&path, seed, users, buildings, aps_per_building, days, out),
+            faults,
+        } => generate(
+            &path,
+            seed,
+            users,
+            buildings,
+            aps_per_building,
+            days,
+            faults.as_deref(),
+            out,
+        ),
         Command::Replay {
             demands,
             policy,
@@ -53,6 +64,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             threads,
             metrics_out,
             metrics_full,
+            lenient,
         } => {
             replay(
                 &demands,
@@ -63,6 +75,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
                 rebalance,
                 aps_per_building,
                 threads,
+                lenient,
                 out,
             )?;
             write_metrics(metrics_out.as_deref(), metrics_full, out)
@@ -71,15 +84,17 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             input,
             out: path,
             maps_dir,
-        } => convert(&input, &path, &maps_dir, out),
+            lenient,
+        } => convert(&input, &path, &maps_dir, lenient, out),
         Command::Analyze {
             sessions,
             seed,
             threads,
             metrics_out,
             metrics_full,
+            lenient,
         } => {
-            analyze(&sessions, seed, threads, out)?;
+            analyze(&sessions, seed, threads, lenient, out)?;
             write_metrics(metrics_out.as_deref(), metrics_full, out)
         }
         Command::Compare {
@@ -128,6 +143,7 @@ fn summary<W: Write>(path: &Path, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn generate<W: Write>(
     path: &Path,
     seed: u64,
@@ -135,8 +151,13 @@ fn generate<W: Write>(
     buildings: usize,
     aps_per_building: usize,
     days: u64,
+    faults: Option<&str>,
     out: &mut W,
 ) -> Result<(), CliError> {
+    let spec = faults
+        .map(FaultSpec::parse)
+        .transpose()
+        .map_err(|e| CliError::Usage(format!("--faults: {e}")))?;
     let config = CampusConfig {
         users,
         buildings,
@@ -145,8 +166,20 @@ fn generate<W: Write>(
         ..CampusConfig::campus()
     };
     let campus = CampusGenerator::new(config, seed).generate();
-    let file = File::create(path)?;
-    csv::write_demands(BufWriter::new(file), &campus.demands)?;
+    match spec {
+        Some(spec) if !spec.is_empty() => {
+            let mut buf = Vec::new();
+            csv::write_demands(&mut buf, &campus.demands)?;
+            let text = String::from_utf8(buf).expect("CSV output is UTF-8");
+            let (faulty, log) = inject_csv_faults(&text, &spec, seed);
+            std::fs::write(path, faulty)?;
+            writeln!(out, "{}", log.summary())?;
+        }
+        _ => {
+            let file = File::create(path)?;
+            csv::write_demands(BufWriter::new(file), &campus.demands)?;
+        }
+    }
     writeln!(
         out,
         "wrote {} demands ({} users, {} buildings x {} APs, {} days, seed {seed}) to {}",
@@ -161,8 +194,25 @@ fn generate<W: Write>(
 }
 
 fn load_demands(path: &Path) -> Result<Vec<SessionDemand>, CliError> {
+    load_demands_report(path, false, &mut std::io::sink())
+}
+
+/// Reads a demand CSV, strictly or leniently. In lenient mode malformed
+/// rows are skipped and the per-class [`IngestReport`] is printed to `out`
+/// (and published to the metrics registry by the reader).
+fn load_demands_report<W: Write>(
+    path: &Path,
+    lenient: bool,
+    out: &mut W,
+) -> Result<Vec<SessionDemand>, CliError> {
     let file = File::open(path)?;
-    let mut demands = csv::read_demands(BufReader::new(file))?;
+    let mut demands = if lenient {
+        let (demands, report) = read_demands_lenient(BufReader::new(file))?;
+        writeln!(out, "ingest: {}", report.summary())?;
+        demands
+    } else {
+        csv::read_demands(BufReader::new(file))?
+    };
     if demands.is_empty() {
         return Err(CliError::Invalid(format!(
             "{} contains no demands",
@@ -224,9 +274,10 @@ fn replay<W: Write>(
     rebalance: bool,
     aps_per_building: usize,
     threads: usize,
+    lenient: bool,
     out: &mut W,
 ) -> Result<(), CliError> {
-    let demands = load_demands(demands_path)?;
+    let demands = load_demands_report(demands_path, lenient, out)?;
     let topology = topology_for(&demands, aps_per_building);
     let sim_config = SimConfig {
         rebalance: rebalance.then(RebalanceConfig::default),
@@ -257,7 +308,7 @@ fn replay<W: Write>(
         }
     };
 
-    let result = engine.run(&demands, selector.as_mut());
+    let result = engine.run_unsorted(&demands, selector.as_mut());
     let file = File::create(out_path)?;
     csv::write_sessions(BufWriter::new(file), &result.records)?;
 
@@ -288,6 +339,7 @@ fn convert<W: Write>(
     input: &Path,
     out_path: &Path,
     maps_dir: &Path,
+    lenient: bool,
     out: &mut W,
 ) -> Result<(), CliError> {
     use s3_trace::interner::IdInterner;
@@ -313,6 +365,43 @@ fn convert<W: Write>(
         disconnect: u64,
         volumes: [u64; 6],
     }
+    // Parses one data row, classifying failures so lenient mode can count
+    // them per fault class while strict mode reports the same message.
+    fn parse_raw(fields: &[&str]) -> Result<Raw, (RowFault, String)> {
+        if fields.len() != 11 {
+            return Err((
+                RowFault::FieldCount,
+                format!(
+                    "expected 11 fields, got {} (commas inside fields are not supported)",
+                    fields.len()
+                ),
+            ));
+        }
+        let parse = |s: &str, what: &str| -> Result<u64, (RowFault, String)> {
+            s.trim()
+                .parse::<u64>()
+                .map_err(|e| (RowFault::BadInt, format!("bad {what} {s:?}: {e}")))
+        };
+        let connect = parse(fields[3], "connect")?;
+        let disconnect = parse(fields[4], "disconnect")?;
+        if disconnect < connect {
+            return Err((RowFault::Inverted, "disconnect precedes connect".into()));
+        }
+        let mut volumes = [0u64; 6];
+        for (slot, f) in volumes.iter_mut().zip(&fields[5..]) {
+            *slot = parse(f, "volume")?;
+        }
+        Ok(Raw {
+            user: fields[0].trim().to_string(),
+            ap: fields[1].trim().to_string(),
+            controller: fields[2].trim().to_string(),
+            connect,
+            disconnect,
+            volumes,
+        })
+    }
+
+    let mut report = IngestReport::new();
     let mut raw_rows: Vec<Raw> = Vec::new();
     for (i, line) in lines.enumerate() {
         let line_no = i + 2;
@@ -320,37 +409,22 @@ fn convert<W: Write>(
         if line.trim().is_empty() {
             continue;
         }
+        report.rows_read += 1;
         let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 11 {
-            return Err(CliError::Invalid(format!(
-                "line {line_no}: expected 11 fields, got {} (commas inside fields are not supported)",
-                fields.len()
-            )));
+        match parse_raw(&fields) {
+            Ok(raw) => {
+                report.rows_ok += 1;
+                raw_rows.push(raw);
+            }
+            Err((fault, _)) if lenient => report.note(fault),
+            Err((_, detail)) => {
+                return Err(CliError::Invalid(format!("line {line_no}: {detail}")));
+            }
         }
-        let parse = |s: &str, what: &str| -> Result<u64, CliError> {
-            s.trim()
-                .parse::<u64>()
-                .map_err(|e| CliError::Invalid(format!("line {line_no}: bad {what} {s:?}: {e}")))
-        };
-        let connect = parse(fields[3], "connect")?;
-        let disconnect = parse(fields[4], "disconnect")?;
-        if disconnect < connect {
-            return Err(CliError::Invalid(format!(
-                "line {line_no}: disconnect precedes connect"
-            )));
-        }
-        let mut volumes = [0u64; 6];
-        for (slot, f) in volumes.iter_mut().zip(&fields[5..]) {
-            *slot = parse(f, "volume")?;
-        }
-        raw_rows.push(Raw {
-            user: fields[0].trim().to_string(),
-            ap: fields[1].trim().to_string(),
-            controller: fields[2].trim().to_string(),
-            connect,
-            disconnect,
-            volumes,
-        });
+    }
+    if lenient {
+        writeln!(out, "ingest: {}", report.summary())?;
+        report.publish();
     }
     if raw_rows.is_empty() {
         return Err(CliError::Invalid("input contains no sessions".into()));
@@ -410,9 +484,21 @@ fn convert<W: Write>(
     Ok(())
 }
 
-fn analyze<W: Write>(path: &Path, seed: u64, threads: usize, out: &mut W) -> Result<(), CliError> {
+fn analyze<W: Write>(
+    path: &Path,
+    seed: u64,
+    threads: usize,
+    lenient: bool,
+    out: &mut W,
+) -> Result<(), CliError> {
     let file = File::open(path)?;
-    let records = csv::read_sessions(BufReader::new(file))?;
+    let records = if lenient {
+        let (records, report) = read_sessions_lenient(BufReader::new(file))?;
+        writeln!(out, "ingest: {}", report.summary())?;
+        records
+    } else {
+        csv::read_sessions(BufReader::new(file))?
+    };
     if records.is_empty() {
         return Err(CliError::Invalid(format!(
             "{} contains no sessions",
@@ -641,6 +727,59 @@ mod tests {
         ))
         .unwrap();
         assert!(output.contains("migrations"), "{output}");
+    }
+
+    #[test]
+    fn faulty_corpus_round_trip_lenient_vs_strict() {
+        let demands = tmp("flt_demands.csv");
+        let sessions = tmp("flt_sessions.csv");
+        let output = run_str(&format!(
+            "generate --out {} --users 60 --buildings 2 --aps-per-building 3 --days 4 --seed 11 \
+             --faults corrupt=4,invert=2,id-overflow=1,dup=3,skew=1:600,truncate",
+            demands.display()
+        ))
+        .unwrap();
+        assert!(output.contains("injected"), "{output}");
+
+        // Strict replay aborts with a line-numbered CSV error.
+        let err = run_str(&format!(
+            "replay --demands {} --policy llf --out {}",
+            demands.display(),
+            sessions.display()
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Csv(_)), "{err}");
+        assert!(err.to_string().contains("line"), "{err}");
+
+        // Lenient replay completes end-to-end and reports the skips.
+        let output = run_str(&format!(
+            "replay --demands {} --policy llf --out {} --lenient",
+            demands.display(),
+            sessions.display()
+        ))
+        .unwrap();
+        assert!(output.contains("ingest:"), "{output}");
+        assert!(output.contains("skipped"), "{output}");
+        assert!(output.contains("replayed"), "{output}");
+
+        // Lenient analyze runs on the (clean) replay output.
+        let output = run_str(&format!(
+            "analyze --sessions {} --lenient",
+            sessions.display()
+        ))
+        .unwrap();
+        assert!(output.contains("ingest:"), "{output}");
+        assert!(
+            output.contains("0 skipped") || output.contains("all rows ok"),
+            "{output}"
+        );
+    }
+
+    #[test]
+    fn generate_rejects_bad_fault_spec() {
+        let err = run_str("generate --out /tmp/x.csv --faults corrupt=wat").unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("--faults"), "{err}");
     }
 
     #[test]

@@ -92,13 +92,15 @@ s3wlan — social-aware WLAN load balancing toolkit
 
 USAGE:
   s3wlan generate --out <demands.csv> [--seed N] [--users N] [--buildings N]
-                  [--aps-per-building N] [--days N]
+                  [--aps-per-building N] [--days N] [--faults <spec>]
   s3wlan replay   --demands <demands.csv> --policy <llf|s3|least-users|rssi|random>
                   --out <sessions.csv> [--seed N] [--train-days N] [--rebalance]
                   [--threads N] [--metrics-out <m.json|m.csv>] [--metrics-full]
+                  [--lenient]
   s3wlan convert  --in <foreign.csv> --out <sessions.csv> [--maps-dir <dir>]
+                  [--lenient]
   s3wlan analyze  --sessions <sessions.csv> [--seed N] [--threads N]
-                  [--metrics-out <m.json|m.csv>] [--metrics-full]
+                  [--metrics-out <m.json|m.csv>] [--metrics-full] [--lenient]
   s3wlan compare  --demands <demands.csv> [--seed N] [--train-days N] [--threads N]
                   [--metrics-out <m.json|m.csv>] [--metrics-full]
   s3wlan summary  --metrics <m.json>
@@ -106,6 +108,15 @@ USAGE:
 THREADS:
   --threads N runs training and analysis on N worker threads (default:
   all available cores; 0 = auto). Results are bit-identical for any N.
+
+INGESTION:
+  CSV inputs are read strictly by default: the first malformed row aborts
+  with its line number. --lenient skips malformed rows instead, printing a
+  per-class skip report (and recording it in the metrics registry).
+  generate --faults injects deterministic, seeded faults into the written
+  CSV for robustness testing; the spec is a comma-separated list of
+  corrupt=N, invert=N, id-overflow=N, dup=N, overlap=N, skew=C:SECS,
+  outage=K:SECS, truncate. See docs/INGESTION.md.
 
 METRICS:
   --metrics-out writes the process-wide instrumentation registry as a

@@ -1,0 +1,106 @@
+//! Process-level test for the fault-injection + lenient-ingestion loop:
+//! a seeded faulty corpus replays end-to-end under `--lenient`, the
+//! session output is byte-identical at `--threads 1` and `--threads 8`,
+//! and strict mode rejects the same corpus with a line-numbered error.
+
+use std::path::Path;
+use std::process::Command;
+
+const FAULT_SPEC: &str = "corrupt=5,invert=3,id-overflow=2,dup=4,overlap=3,skew=1:900,truncate";
+
+fn s3wlan(args: &[&str]) -> std::process::Output {
+    let output = Command::new(env!("CARGO_BIN_EXE_s3wlan"))
+        .args(args)
+        .output()
+        .expect("launch s3wlan");
+    assert!(
+        output.status.success(),
+        "s3wlan {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+fn lenient_replay(demands: &Path, dir: &Path, threads: usize) -> (String, String) {
+    // Same output path for every thread count so stdout (which echoes the
+    // path) is comparable verbatim; contents are read back immediately.
+    let sessions = dir.join("sessions.csv");
+    let output = s3wlan(&[
+        "replay",
+        "--demands",
+        &demands.display().to_string(),
+        "--policy",
+        "s3",
+        "--out",
+        &sessions.display().to_string(),
+        "--train-days",
+        "3",
+        "--aps-per-building",
+        "3",
+        "--threads",
+        &threads.to_string(),
+        "--lenient",
+    ]);
+    (
+        String::from_utf8(output.stdout).unwrap(),
+        std::fs::read_to_string(&sessions).unwrap(),
+    )
+}
+
+#[test]
+fn faulty_corpus_replays_leniently_and_deterministically() {
+    let dir = std::env::temp_dir().join("s3_cli_lenient_replay");
+    std::fs::create_dir_all(&dir).unwrap();
+    let demands = dir.join("faulty_demands.csv");
+    let output = s3wlan(&[
+        "generate",
+        "--out",
+        &demands.display().to_string(),
+        "--users",
+        "120",
+        "--buildings",
+        "2",
+        "--aps-per-building",
+        "3",
+        "--days",
+        "5",
+        "--seed",
+        "11",
+        "--faults",
+        FAULT_SPEC,
+    ]);
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("injected"), "{stdout}");
+
+    // Strict mode rejects the corpus, citing a line number.
+    let strict = Command::new(env!("CARGO_BIN_EXE_s3wlan"))
+        .args([
+            "replay",
+            "--demands",
+            &demands.display().to_string(),
+            "--policy",
+            "llf",
+            "--out",
+            &dir.join("strict_sessions.csv").display().to_string(),
+        ])
+        .output()
+        .expect("launch s3wlan");
+    assert!(!strict.status.success(), "strict replay must fail");
+    let stderr = String::from_utf8_lossy(&strict.stderr);
+    assert!(stderr.contains("line"), "{stderr}");
+
+    // Lenient replay completes, reports skips, and is thread-deterministic.
+    let (out_1, sessions_1) = lenient_replay(&demands, &dir, 1);
+    let (out_8, sessions_8) = lenient_replay(&demands, &dir, 8);
+    assert!(out_1.contains("ingest:"), "{out_1}");
+    assert!(out_1.contains("skipped"), "{out_1}");
+    assert!(out_1.contains("replayed"), "{out_1}");
+    assert_eq!(
+        out_1, out_8,
+        "report + replay output must not depend on threads"
+    );
+    assert_eq!(
+        sessions_1, sessions_8,
+        "session CSV must be byte-identical at t1 vs t8"
+    );
+}

@@ -136,12 +136,18 @@ pub struct SocialModel {
     fallback_demand: BitsPerSec,
     /// The α used by `delta`.
     alpha: f64,
+    /// Whether the producer judged the model under-trained (see
+    /// [`SocialModel::is_stale`]).
+    stale: bool,
 }
 
 impl SocialModel {
     /// Assembles a model from already-computed parts — the back door used
     /// by the incremental learner ([`crate::online::IncrementalLearner`]),
-    /// which maintains the statistics itself across days.
+    /// which maintains the statistics itself across days. `stale` marks a
+    /// model whose ingested history is shorter than the configured
+    /// look-back window.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         pair_probability: HashMap<UserPair, f64>,
         user_type: HashMap<UserId, usize>,
@@ -150,6 +156,7 @@ impl SocialModel {
         demand: HashMap<UserId, BitsPerSec>,
         fallback_demand: BitsPerSec,
         alpha: f64,
+        stale: bool,
     ) -> SocialModel {
         SocialModel {
             pair_probability,
@@ -159,6 +166,7 @@ impl SocialModel {
             demand,
             fallback_demand,
             alpha,
+            stale,
         }
     }
 
@@ -210,6 +218,10 @@ impl SocialModel {
             demand,
             fallback_demand,
             alpha: config.alpha,
+            // Batch learning sees whatever history the caller chose to
+            // train on; only the incremental path tracks ingested days
+            // against the look-back window.
+            stale: false,
         }
     }
 
@@ -377,6 +389,25 @@ impl SocialModel {
     pub fn alpha(&self) -> f64 {
         self.alpha
     }
+
+    /// Whether the producer marked the model under-trained: the
+    /// incremental learner sets this when it has ingested fewer days than
+    /// the configured look-back window. A stale model scores pairs from a
+    /// partial history, which can systematically mis-rank cliques — the
+    /// selector falls back to LLF instead of trusting it
+    /// (see [`crate::S3Selector`]).
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// True when the model cannot distinguish any user pair: no pair has a
+    /// learned `P(L|E)`, so the pair term is zero everywhere — and the type
+    /// matrix, being estimated from those very pair probabilities, is
+    /// all-zero too. `delta` is identically zero and social scoring would
+    /// silently degenerate; the selector short-circuits to LLF.
+    pub fn is_trivial(&self) -> bool {
+        self.pair_probability.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -459,6 +490,19 @@ mod tests {
         assert_eq!(model.known_pairs(), 0);
         assert_eq!(model.delta(UserId::new(1), UserId::new(2)), 0.0);
         assert_eq!(model.estimated_demand(UserId::new(1)), BitsPerSec::ZERO);
+        assert!(model.is_trivial());
+    }
+
+    #[test]
+    fn batch_learning_never_marks_stale() {
+        // Staleness is a property of the incremental path's ingested-days
+        // counter; a batch model trained on a short window is simply what
+        // the caller asked for.
+        let model = SocialModel::learn(&social_store(), &config(), 1);
+        assert!(!model.is_stale());
+        assert!(!model.is_trivial());
+        let empty = SocialModel::learn(&TraceStore::new(vec![]), &config(), 1);
+        assert!(!empty.is_stale());
     }
 
     #[test]

@@ -98,12 +98,15 @@ impl IncrementalLearner {
     /// the records belong to; callers slice their log per day, e.g. with
     /// [`TraceStore::slice_days`]).
     pub fn ingest_day(&mut self, store: &TraceStore, day: u64) {
-        // Pairwise events within the day's records.
+        // Pairwise events within the day's records. Saturating adds: a
+        // lifetime of ingests must clamp rather than wrap the counters.
         for (pair, count) in extract_encounters(store, self.config.encounter_min_overlap) {
-            *self.encounters.entry(pair).or_insert(0) += count;
+            let slot = self.encounters.entry(pair).or_insert(0);
+            *slot = slot.saturating_add(count);
         }
         for (pair, count) in extract_coleavings(store, self.config.coleave_window) {
-            *self.coleavings.entry(pair).or_insert(0) += count;
+            let slot = self.coleavings.entry(pair).or_insert(0);
+            *slot = slot.saturating_add(count);
         }
         // Profiles and demand.
         for user in store.users() {
@@ -135,9 +138,18 @@ impl IncrementalLearner {
         self.days_ingested += 1;
     }
 
+    /// Whether the learner has ingested fewer days than the configured
+    /// look-back window — models built now will carry the stale flag and
+    /// the selector will fall back to LLF (see
+    /// [`crate::learning::SocialModel::is_stale`]).
+    pub fn is_warming_up(&self) -> bool {
+        self.days_ingested < self.config.lookback_days
+    }
+
     /// Assembles the current model: computes `P(L|E)`, clusters the rolled
     /// profiles (fixed `k` from the config, else 4 — a nightly job does not
-    /// re-run the gap statistic) and builds the type matrix.
+    /// re-run the gap statistic) and builds the type matrix. The model is
+    /// marked stale while the learner [`is_warming_up`](Self::is_warming_up).
     pub fn build_model(&self) -> SocialModel {
         // P(L|E) with the same clamping as the batch path.
         let mut pair_probability = HashMap::with_capacity(self.encounters.len());
@@ -213,6 +225,7 @@ impl IncrementalLearner {
             demand,
             fallback,
             self.config.alpha,
+            self.is_warming_up(),
         )
     }
 }
@@ -327,6 +340,25 @@ mod tests {
         let mix = window.aggregate().unwrap();
         assert_eq!(mix.share(AppCategory::P2p), 0.0, "old realm evicted");
         assert_eq!(mix.share(AppCategory::Email), 1.0);
+    }
+
+    #[test]
+    fn models_are_stale_until_lookback_is_covered() {
+        let mut learner = IncrementalLearner::new(
+            S3Config {
+                lookback_days: 3,
+                fixed_k: Some(2),
+                ..S3Config::default()
+            },
+            1,
+        );
+        assert!(learner.is_warming_up());
+        assert!(learner.build_model().is_stale());
+        for day in 0..3 {
+            learner.ingest_day(&TraceStore::new(daily_records(day)), day);
+        }
+        assert!(!learner.is_warming_up());
+        assert!(!learner.build_model().is_stale());
     }
 
     #[test]

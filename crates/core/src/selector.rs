@@ -12,17 +12,43 @@
 //! each clique via [`crate::batch::assign_clique`].
 
 use s3_graph::partition::clique_partition;
-use s3_wlan::selector::{ApCandidate, ApSelector, ArrivalUser, SelectionContext};
+use s3_obs::{Desc, Stability, Unit};
+use s3_wlan::selector::{ApCandidate, ApSelector, ArrivalUser, LeastLoadedFirst, SelectionContext};
 
 use crate::batch::{assign_clique, build_social_graph, ApSlot};
 use crate::{S3Config, SocialModel};
 
-/// The S³ policy. Construct with a trained [`SocialModel`]; an untrained
-/// (empty) model makes S³ behave like LLF with a balance tie-break.
+// Degradation metrics (documented in docs/METRICS.md): a selector running
+// on an unusable model must be *visible*, never a silent mis-score.
+static DEGRADED_MODELS: Desc = Desc {
+    name: "core.selector.degraded_models",
+    help: "S3 selectors constructed over a stale or trivially-empty model (LLF fallback engaged)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static DEGRADED_SELECTIONS: Desc = Desc {
+    name: "core.selector.degraded_selections",
+    help: "Selection requests (single or batch) answered by the LLF fallback of a degraded S3 selector",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+
+/// The S³ policy. Construct with a trained [`SocialModel`].
+///
+/// A model that cannot be trusted — trivially empty
+/// ([`SocialModel::is_trivial`]) or stale
+/// ([`SocialModel::is_stale`], i.e. built from fewer ingested days than
+/// the configured look-back) — engages the **LLF fallback**: every request
+/// is answered exactly like [`LeastLoadedFirst`] and counted in the
+/// `core.selector.degraded_*` warning metrics, instead of panicking or
+/// silently mis-scoring from a partial history. This is the paper's own
+/// fallback (S³ degenerates to LLF for users without social relations)
+/// promoted to a whole-model guard.
 #[derive(Debug, Clone)]
 pub struct S3Selector {
     model: SocialModel,
     config: S3Config,
+    degraded: bool,
 }
 
 impl S3Selector {
@@ -33,7 +59,20 @@ impl S3Selector {
     /// Panics when `config` fails validation (see [`S3Config::validate`]).
     pub fn new(model: SocialModel, config: S3Config) -> Self {
         config.validate();
-        S3Selector { model, config }
+        let degraded = model.is_trivial() || model.is_stale();
+        if degraded {
+            s3_obs::global().counter(&DEGRADED_MODELS).inc();
+        }
+        S3Selector {
+            model,
+            config,
+            degraded,
+        }
+    }
+
+    /// Whether the LLF fallback is engaged (stale or trivial model).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// The underlying model (for inspection and experiment reporting).
@@ -64,6 +103,10 @@ impl ApSelector for S3Selector {
     }
 
     fn select(&mut self, ctx: &SelectionContext<'_>) -> usize {
+        if self.degraded {
+            s3_obs::global().counter(&DEGRADED_SELECTIONS).inc();
+            return LeastLoadedFirst::new().select(ctx);
+        }
         let slots = Self::slots_from_candidates(ctx.candidates);
         let user = ctx.arrival.user;
         let model = &self.model;
@@ -80,6 +123,10 @@ impl ApSelector for S3Selector {
     fn select_batch(&mut self, users: &[ArrivalUser], candidates: &[ApCandidate]) -> Vec<usize> {
         if users.is_empty() {
             return Vec::new();
+        }
+        if self.degraded {
+            s3_obs::global().counter(&DEGRADED_SELECTIONS).inc();
+            return LeastLoadedFirst::new().select_batch(users, candidates);
         }
         let user_ids: Vec<s3_types::UserId> = users.iter().map(|u| u.user).collect();
         let model = &self.model;
@@ -161,6 +208,7 @@ mod tests {
     fn untrained_model_behaves_like_load_balancer() {
         let model = SocialModel::learn(&TraceStore::new(vec![]), &S3Config::default(), 0);
         let mut s3 = S3Selector::new(model, S3Config::default());
+        assert!(s3.is_degraded(), "an empty model must engage the fallback");
         let candidates = vec![candidate(0, 10.0, vec![]), candidate(1, 1.0, vec![])];
         let a = arrival(1, 2);
         let ctx = SelectionContext {
@@ -169,6 +217,65 @@ mod tests {
         };
         assert_eq!(s3.select(&ctx), 1, "idle AP wins on balance tie-break");
         assert_eq!(s3.name(), "s3");
+    }
+
+    #[test]
+    fn trained_selector_is_not_degraded() {
+        assert!(!trained_selector().is_degraded());
+    }
+
+    #[test]
+    fn stale_model_falls_back_to_llf_everywhere() {
+        use crate::IncrementalLearner;
+        use s3_trace::{concentrated_volumes, SessionRecord};
+        use s3_types::{AppCategory, Bytes, ControllerId};
+        // One ingested day against the default 15-day look-back: the model
+        // has real pairs but is marked stale.
+        let mut records = Vec::new();
+        for user in 1..=3u32 {
+            records.push(SessionRecord {
+                user: UserId::new(user),
+                ap: ApId::new(0),
+                controller: ControllerId::new(0),
+                connect: Timestamp::from_secs(30_000 + user as u64),
+                disconnect: Timestamp::from_secs(37_200 + user as u64 * 10),
+                volume_by_app: concentrated_volumes(AppCategory::P2p, Bytes::megabytes(20)),
+            });
+        }
+        let config = S3Config {
+            fixed_k: Some(1),
+            ..S3Config::default()
+        };
+        let mut learner = IncrementalLearner::new(config.clone(), 2);
+        learner.ingest_day(&TraceStore::new(records), 0);
+        let model = learner.build_model();
+        assert!(model.is_stale());
+        assert!(
+            !model.is_trivial(),
+            "the pairs exist — staleness is the issue"
+        );
+        let mut s3 = S3Selector::new(model, config);
+        assert!(s3.is_degraded());
+
+        // Every request must answer exactly like LLF — including batches,
+        // where trusting the half-trained clique scores would mis-place.
+        let candidates = vec![
+            candidate(0, 5.0, vec![]),
+            candidate(1, 2.0, vec![9]),
+            candidate(2, 7.0, vec![]),
+        ];
+        let a = arrival(1, 3);
+        let ctx = SelectionContext {
+            arrival: &a,
+            candidates: &candidates,
+        };
+        let mut llf = LeastLoadedFirst::new();
+        assert_eq!(s3.select(&ctx), llf.select(&ctx));
+        let users: Vec<ArrivalUser> = (1..=3).map(|u| arrival(u, 3)).collect();
+        assert_eq!(
+            s3.select_batch(&users, &candidates),
+            llf.select_batch(&users, &candidates)
+        );
     }
 
     #[test]

@@ -7,8 +7,7 @@
 
 use std::io::{self, BufRead, Write};
 
-use s3_types::{ApId, BuildingId, Bytes, ControllerId, Timestamp, UserId, APP_CATEGORY_COUNT};
-
+use crate::ingest::{DemandReader, IngestMode, SessionReader};
 use crate::{SessionDemand, SessionRecord};
 
 /// Errors from CSV decoding.
@@ -51,7 +50,8 @@ impl From<io::Error> for CsvError {
     }
 }
 
-const HEADER: &str = "user,ap,controller,connect,disconnect,im,p2p,music,email,video,web";
+pub(crate) const SESSION_HEADER: &str =
+    "user,ap,controller,connect,disconnect,im,p2p,music,email,video,web";
 
 /// Writes records as CSV with a header row.
 ///
@@ -62,7 +62,7 @@ const HEADER: &str = "user,ap,controller,connect,disconnect,im,p2p,music,email,v
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_sessions<W: Write>(mut w: W, records: &[SessionRecord]) -> io::Result<()> {
-    writeln!(w, "{HEADER}")?;
+    writeln!(w, "{SESSION_HEADER}")?;
     for r in records {
         write!(
             w,
@@ -83,77 +83,22 @@ pub fn write_sessions<W: Write>(mut w: W, records: &[SessionRecord]) -> io::Resu
 
 /// Reads records from CSV produced by [`write_sessions`].
 ///
-/// A `&mut` reference to any reader can be passed.
+/// A `&mut` reference to any reader can be passed. This is the strict
+/// batch path — a thin wrapper over [`crate::ingest::SessionReader`]; use
+/// the streaming reader directly (or
+/// [`crate::ingest::read_sessions_lenient`]) for dirty input.
 ///
 /// # Errors
 ///
 /// [`CsvError::Parse`] on a bad header, wrong field count, unparsable
-/// number, or a record whose disconnect precedes its connect;
-/// [`CsvError::Io`] on reader failures.
+/// number, an id outside the 32-bit id space, or a record whose disconnect
+/// precedes its connect; [`CsvError::Io`] on reader failures.
 pub fn read_sessions<R: BufRead>(r: R) -> Result<Vec<SessionRecord>, CsvError> {
-    let mut lines = r.lines();
-    let header = lines.next().ok_or_else(|| CsvError::Parse {
-        line: 1,
-        detail: "empty input (missing header)".to_string(),
-    })??;
-    if header.trim() != HEADER {
-        return Err(CsvError::Parse {
-            line: 1,
-            detail: format!("unexpected header {header:?}"),
-        });
-    }
-    let mut out = Vec::new();
-    for (i, line) in lines.enumerate() {
-        let line_no = i + 2;
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 5 + APP_CATEGORY_COUNT {
-            return Err(CsvError::Parse {
-                line: line_no,
-                detail: format!(
-                    "expected {} fields, got {}",
-                    5 + APP_CATEGORY_COUNT,
-                    fields.len()
-                ),
-            });
-        }
-        let parse_u64 = |s: &str, what: &str| -> Result<u64, CsvError> {
-            s.trim().parse::<u64>().map_err(|e| CsvError::Parse {
-                line: line_no,
-                detail: format!("bad {what} {s:?}: {e}"),
-            })
-        };
-        let user = UserId::new(parse_u64(fields[0], "user")? as u32);
-        let ap = ApId::new(parse_u64(fields[1], "ap")? as u32);
-        let controller = ControllerId::new(parse_u64(fields[2], "controller")? as u32);
-        let connect = Timestamp::from_secs(parse_u64(fields[3], "connect")?);
-        let disconnect = Timestamp::from_secs(parse_u64(fields[4], "disconnect")?);
-        if disconnect < connect {
-            return Err(CsvError::Parse {
-                line: line_no,
-                detail: "disconnect precedes connect".to_string(),
-            });
-        }
-        let mut volume_by_app = [Bytes::ZERO; APP_CATEGORY_COUNT];
-        for (slot, field) in volume_by_app.iter_mut().zip(&fields[5..]) {
-            *slot = Bytes::new(parse_u64(field, "volume")?);
-        }
-        out.push(SessionRecord {
-            user,
-            ap,
-            controller,
-            connect,
-            disconnect,
-            volume_by_app,
-        });
-    }
-    Ok(out)
+    SessionReader::new(r, IngestMode::Strict)?.collect()
 }
 
-const DEMAND_HEADER: &str = "user,building,controller,arrive,depart,im,p2p,music,email,video,web";
+pub(crate) const DEMAND_HEADER: &str =
+    "user,building,controller,arrive,depart,im,p2p,music,email,video,web";
 
 /// Writes session demands as CSV with a header row.
 ///
@@ -182,79 +127,23 @@ pub fn write_demands<W: Write>(mut w: W, demands: &[SessionDemand]) -> io::Resul
 
 /// Reads session demands from CSV produced by [`write_demands`].
 ///
+/// The strict batch path — a thin wrapper over
+/// [`crate::ingest::DemandReader`]; see [`read_sessions`].
+///
 /// # Errors
 ///
 /// [`CsvError::Parse`] on a bad header, wrong field count, unparsable
-/// number, or a demand whose departure is not after its arrival;
-/// [`CsvError::Io`] on reader failures.
+/// number, an id outside the 32-bit id space, or a demand whose departure
+/// is not after its arrival; [`CsvError::Io`] on reader failures.
 pub fn read_demands<R: BufRead>(r: R) -> Result<Vec<SessionDemand>, CsvError> {
-    let mut lines = r.lines();
-    let header = lines.next().ok_or_else(|| CsvError::Parse {
-        line: 1,
-        detail: "empty input (missing header)".to_string(),
-    })??;
-    if header.trim() != DEMAND_HEADER {
-        return Err(CsvError::Parse {
-            line: 1,
-            detail: format!("unexpected header {header:?}"),
-        });
-    }
-    let mut out = Vec::new();
-    for (i, line) in lines.enumerate() {
-        let line_no = i + 2;
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 5 + APP_CATEGORY_COUNT {
-            return Err(CsvError::Parse {
-                line: line_no,
-                detail: format!(
-                    "expected {} fields, got {}",
-                    5 + APP_CATEGORY_COUNT,
-                    fields.len()
-                ),
-            });
-        }
-        let parse_u64 = |s: &str, what: &str| -> Result<u64, CsvError> {
-            s.trim().parse::<u64>().map_err(|e| CsvError::Parse {
-                line: line_no,
-                detail: format!("bad {what} {s:?}: {e}"),
-            })
-        };
-        let user = UserId::new(parse_u64(fields[0], "user")? as u32);
-        let building = BuildingId::new(parse_u64(fields[1], "building")? as u32);
-        let controller = ControllerId::new(parse_u64(fields[2], "controller")? as u32);
-        let arrive = Timestamp::from_secs(parse_u64(fields[3], "arrive")?);
-        let depart = Timestamp::from_secs(parse_u64(fields[4], "depart")?);
-        if depart <= arrive {
-            return Err(CsvError::Parse {
-                line: line_no,
-                detail: "depart must be after arrive".to_string(),
-            });
-        }
-        let mut volume_by_app = [Bytes::ZERO; APP_CATEGORY_COUNT];
-        for (slot, field) in volume_by_app.iter_mut().zip(&fields[5..]) {
-            *slot = Bytes::new(parse_u64(field, "volume")?);
-        }
-        out.push(SessionDemand {
-            user,
-            building,
-            controller,
-            arrive,
-            depart,
-            volume_by_app,
-        });
-    }
-    Ok(out)
+    DemandReader::new(r, IngestMode::Strict)?.collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::record::concentrated_volumes;
-    use s3_types::AppCategory;
+    use s3_types::{ApId, AppCategory, BuildingId, Bytes, ControllerId, Timestamp, UserId};
     use std::io::BufReader;
 
     fn sample() -> Vec<SessionRecord> {
@@ -321,7 +210,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_field_count() {
-        let data = format!("{HEADER}\n1,2,3\n");
+        let data = format!("{SESSION_HEADER}\n1,2,3\n");
         let err = read_sessions(BufReader::new(data.as_bytes())).unwrap_err();
         assert!(matches!(err, CsvError::Parse { line: 2, .. }));
         assert!(err.to_string().contains("expected 11 fields"));
@@ -329,12 +218,35 @@ mod tests {
 
     #[test]
     fn rejects_bad_numbers_and_inverted_times() {
-        let data = format!("{HEADER}\nx,2,0,100,500,0,0,0,0,0,0\n");
+        let data = format!("{SESSION_HEADER}\nx,2,0,100,500,0,0,0,0,0,0\n");
         let err = read_sessions(BufReader::new(data.as_bytes())).unwrap_err();
         assert!(err.to_string().contains("bad user"));
-        let data = format!("{HEADER}\n1,2,0,500,100,0,0,0,0,0,0\n");
+        let data = format!("{SESSION_HEADER}\n1,2,0,500,100,0,0,0,0,0,0\n");
         let err = read_sessions(BufReader::new(data.as_bytes())).unwrap_err();
         assert!(err.to_string().contains("disconnect precedes connect"));
+    }
+
+    #[test]
+    fn rejects_ids_beyond_u32_instead_of_wrapping() {
+        // 2^32 used to wrap silently to user 0; it must be an error that
+        // names the line. Same for the other id columns.
+        for bad in [
+            "4294967296,2,0,100,500,0,0,0,0,0,0",
+            "1,4294967296,0,100,500,0,0,0,0,0,0",
+            "1,2,4294967296,100,500,0,0,0,0,0,0",
+        ] {
+            let data = format!("{SESSION_HEADER}\n{bad}\n");
+            let err = read_sessions(BufReader::new(data.as_bytes())).unwrap_err();
+            assert!(matches!(err, CsvError::Parse { line: 2, .. }), "{err}");
+            assert!(err.to_string().contains("out of range"), "{err}");
+        }
+        let data = format!("{DEMAND_HEADER}\n1,4294967296,0,100,500,0,0,0,0,0,0\n");
+        let err = read_demands(BufReader::new(data.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("building id 4294967296"), "{err}");
+        // The largest representable id still round-trips.
+        let data = format!("{SESSION_HEADER}\n4294967295,2,0,100,500,0,0,0,0,0,0\n");
+        let rows = read_sessions(BufReader::new(data.as_bytes())).unwrap();
+        assert_eq!(rows[0].user, UserId::new(u32::MAX));
     }
 
     fn sample_demands() -> Vec<SessionDemand> {

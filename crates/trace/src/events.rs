@@ -97,15 +97,18 @@ where
     groups
 }
 
-/// Merges per-shard pair-count maps. Addition over `u32` is commutative and
-/// associative, and each AP is processed by exactly one shard, so the merged
-/// map is independent of shard count and merge order.
+/// Merges per-shard pair-count maps. Saturating addition over `u32` is
+/// commutative and associative, and each AP is processed by exactly one
+/// shard, so the merged map is independent of shard count and merge order.
+/// Saturation (instead of `+`) keeps a pathological trace — billions of
+/// events on one pair — from wrapping in release or panicking in debug.
 fn merge_pair_counts(shards: Vec<HashMap<UserPair, u32>>) -> HashMap<UserPair, u32> {
     let mut iter = shards.into_iter();
     let mut out = iter.next().unwrap_or_default();
     for shard in iter {
         for (pair, count) in shard {
-            *out.entry(pair).or_insert(0) += count;
+            let slot = out.entry(pair).or_insert(0);
+            *slot = slot.saturating_add(count);
         }
     }
     out
@@ -136,6 +139,10 @@ impl UserPair {
 /// Two sessions on the same AP encounter when their overlap lasts at least
 /// `min_overlap`. Multiple overlapping session pairs of the same user pair
 /// each count (they are distinct common events).
+///
+/// Presence intervals are **half-open** `[connect, disconnect)`: sessions
+/// that merely touch (`b.connect == a.disconnect`) share no instant and
+/// never encounter, even at `min_overlap == 0`.
 pub fn extract_encounters(store: &TraceStore, min_overlap: TimeDelta) -> HashMap<UserPair, u32> {
     extract_encounters_par(store, min_overlap, 1)
 }
@@ -169,7 +176,8 @@ pub fn extract_encounters_par(
                 let overlap_end = a_end.min(b_end);
                 if overlap_end.saturating_sub(overlap_start) >= min_overlap {
                     if let Some(pair) = UserPair::new(a_user, b_user) {
-                        *counts.entry(pair).or_insert(0) += 1;
+                        let slot = counts.entry(pair).or_insert(0);
+                        *slot = slot.saturating_add(1);
                         events_found += 1;
                     }
                 }
@@ -211,7 +219,8 @@ pub fn extract_coleavings_par(
                 }
                 pairs_scanned += 1;
                 if let Some(pair) = UserPair::new(user_a, user_b) {
-                    *counts.entry(pair).or_insert(0) += 1;
+                    let slot = counts.entry(pair).or_insert(0);
+                    *slot = slot.saturating_add(1);
                     events_found += 1;
                 }
             }
@@ -267,7 +276,7 @@ pub fn leaving_stats_par(
         let mut stats: HashMap<UserId, LeavingStats> = HashMap::new();
         for (i, &(t, user)) in departures.iter().enumerate() {
             let entry = stats.entry(user).or_default();
-            entry.total += 1;
+            entry.total = entry.total.saturating_add(1);
             // Shared with anyone within the window on either side?
             let mut shared = false;
             for &(t2, user2) in departures[i + 1..].iter() {
@@ -291,7 +300,7 @@ pub fn leaving_stats_par(
                 }
             }
             if shared {
-                entry.co_leavings += 1;
+                entry.co_leavings = entry.co_leavings.saturating_add(1);
             }
         }
         stats
@@ -301,8 +310,8 @@ pub fn leaving_stats_par(
     for shard in iter {
         for (user, s) in shard {
             let entry = out.entry(user).or_default();
-            entry.total += s.total;
-            entry.co_leavings += s.co_leavings;
+            entry.total = entry.total.saturating_add(s.total);
+            entry.co_leavings = entry.co_leavings.saturating_add(s.co_leavings);
         }
     }
     out
@@ -369,6 +378,31 @@ mod tests {
         assert_eq!(enc.get(&p12), Some(&1));
         assert_eq!(enc.get(&p13), None, "10s overlap is below threshold");
         assert_eq!(enc.get(&p23), Some(&1), "1010s overlap counts");
+    }
+
+    #[test]
+    fn touching_sessions_never_encounter_even_at_zero_overlap() {
+        // Presence intervals are half-open [connect, disconnect): a session
+        // starting exactly when another ends shares no instant with it.
+        let store = TraceStore::new(vec![rec(1, 0, 0, 1000), rec(2, 0, 1000, 2000)]);
+        let enc = extract_encounters(&store, TimeDelta::secs(0));
+        assert!(enc.is_empty(), "touching intervals must not encounter");
+        // One shared second does count at min_overlap == 0.
+        let store = TraceStore::new(vec![rec(1, 0, 0, 1000), rec(2, 0, 999, 2000)]);
+        let enc = extract_encounters(&store, TimeDelta::secs(0));
+        let p = UserPair::new(UserId::new(1), UserId::new(2)).unwrap();
+        assert_eq!(enc.get(&p), Some(&1));
+    }
+
+    #[test]
+    fn pair_counts_saturate_instead_of_wrapping() {
+        let p = UserPair::new(UserId::new(1), UserId::new(2)).unwrap();
+        let mut a = HashMap::new();
+        a.insert(p, u32::MAX - 1);
+        let mut b = HashMap::new();
+        b.insert(p, 5);
+        let merged = merge_pair_counts(vec![a, b]);
+        assert_eq!(merged[&p], u32::MAX, "merge must clamp, not wrap");
     }
 
     #[test]

@@ -1,0 +1,566 @@
+//! Deterministic, seeded fault injection for trace corpora.
+//!
+//! Real controller logs are dirty: the Dartmouth/USC campus traces needed
+//! extensive cleaning of duplicated, overlapping and clock-skewed sessions
+//! before any sociality mining. The generator can only emit clean CSV, so
+//! this module corrupts a corpus *reproducibly*: the same text, spec and
+//! seed always yield the same corrupted bytes, making corrupted corpora
+//! checked-in-quality test artifacts (`s3wlan generate --faults <spec>`).
+//!
+//! The injector works on CSV **text**, not parsed records — it must be
+//! able to produce rows no parser would accept. It applies to both
+//! session and demand files: the columns it touches (id in column 1,
+//! controller in column 3, interval in columns 4–5) line up in the two
+//! formats. Fault kinds map onto the lenient reader's
+//! [`crate::ingest::RowFault`] taxonomy so tests can assert that an
+//! [`crate::ingest::IngestReport`] matches the injected [`FaultLog`]
+//! exactly.
+//!
+//! Spec grammar (comma-separated, see `docs/INGESTION.md`):
+//!
+//! ```text
+//! corrupt=N      N rows garbled (alternating unparsable int / truncated fields)
+//! invert=N       N rows with start and end swapped
+//! id-overflow=N  N rows whose user id is pushed past u32::MAX
+//! dup=N          N rows duplicated verbatim
+//! overlap=N      N rows cloned with a half-duration shift (valid overlap)
+//! skew=C:S       all rows of C controllers shifted by ±S seconds
+//! outage=K:S     K gaps: rows of one controller within an S-second window dropped
+//! truncate       the final record is cut off mid-row
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use s3_obs::{Desc, Stability, Unit};
+
+use crate::ingest::RowFault;
+
+// Injection metrics (documented in docs/METRICS.md).
+static FAULTS_INJECTED: Desc = Desc {
+    name: "trace.faults.injected",
+    help: "Faults injected into generated corpora (all kinds)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static FAULT_ROWS_DROPPED: Desc = Desc {
+    name: "trace.faults.rows_dropped",
+    help: "Rows removed from generated corpora by injected AP-outage gaps",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+
+/// What to inject, parsed from the `--faults` spec string.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Rows garbled in place (alternating bad-int and field-count kinds).
+    pub corrupt: usize,
+    /// Rows whose interval endpoints are swapped.
+    pub invert: usize,
+    /// Rows whose user id is pushed past `u32::MAX`.
+    pub id_overflow: usize,
+    /// Rows duplicated verbatim.
+    pub duplicate: usize,
+    /// Rows cloned with a half-duration shift (valid overlapping session).
+    pub overlap: usize,
+    /// Number of controllers whose clock is skewed.
+    pub skew_controllers: usize,
+    /// Skew magnitude in seconds (alternating sign per controller).
+    pub skew_secs: u64,
+    /// Number of AP-outage gaps to punch into the corpus.
+    pub outages: usize,
+    /// Length of each outage window in seconds.
+    pub outage_secs: u64,
+    /// Cut the final record off mid-row.
+    pub truncate: bool,
+}
+
+impl FaultSpec {
+    /// Parses the `--faults` grammar (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending element.
+    pub fn parse(spec: &str) -> Result<FaultSpec, String> {
+        let mut out = FaultSpec::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = match part.split_once('=') {
+                Some((k, v)) => (k.trim(), Some(v.trim())),
+                None => (part, None),
+            };
+            let count = |v: Option<&str>| -> Result<usize, String> {
+                v.ok_or_else(|| format!("fault {key:?} needs =N"))?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad count in fault element {part:?}: {e}"))
+            };
+            let pair = |v: Option<&str>| -> Result<(usize, u64), String> {
+                let v = v.ok_or_else(|| format!("fault {key:?} needs =COUNT:SECONDS"))?;
+                let (c, s) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("fault element {part:?} needs COUNT:SECONDS"))?;
+                let c = c
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad count in fault element {part:?}: {e}"))?;
+                let s = s
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad seconds in fault element {part:?}: {e}"))?;
+                Ok((c, s))
+            };
+            match key {
+                "corrupt" => out.corrupt = count(value)?,
+                "invert" => out.invert = count(value)?,
+                "id-overflow" => out.id_overflow = count(value)?,
+                "dup" => out.duplicate = count(value)?,
+                "overlap" => out.overlap = count(value)?,
+                "skew" => (out.skew_controllers, out.skew_secs) = pair(value)?,
+                "outage" => (out.outages, out.outage_secs) = pair(value)?,
+                "truncate" => {
+                    if value.is_some() {
+                        return Err("fault \"truncate\" takes no value".to_string());
+                    }
+                    out.truncate = true;
+                }
+                _ => {
+                    return Err(format!(
+                        "unknown fault element {part:?} (known: corrupt, invert, \
+                         id-overflow, dup, overlap, skew, outage, truncate)"
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// True when the spec injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultSpec::default()
+    }
+}
+
+/// Exactly what one [`inject_csv_faults`] call did — per-kind counts for
+/// the faults actually injected (requests are clamped when the corpus is
+/// too small to host them all on distinct rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Rows garbled into an unparsable integer field.
+    pub corrupt_bad_int: u64,
+    /// Rows garbled into a wrong field count.
+    pub corrupt_field_count: u64,
+    /// Rows whose interval was inverted.
+    pub inverted: u64,
+    /// Rows whose user id was pushed past `u32::MAX`.
+    pub id_overflow: u64,
+    /// Verbatim duplicate rows inserted.
+    pub duplicated: u64,
+    /// Shifted overlapping clones inserted (valid rows).
+    pub overlapping: u64,
+    /// Valid rows whose timestamps were skewed (valid rows, reordered).
+    pub skewed_rows: u64,
+    /// Rows dropped by outage gaps.
+    pub outage_dropped: u64,
+    /// Whether the final record was cut off.
+    pub truncated: bool,
+}
+
+impl FaultLog {
+    /// Total faults injected (dropped rows and the truncation included).
+    pub fn total(&self) -> u64 {
+        self.corrupt_bad_int
+            + self.corrupt_field_count
+            + self.inverted
+            + self.id_overflow
+            + self.duplicated
+            + self.overlapping
+            + self.skewed_rows
+            + self.outage_dropped
+            + u64::from(self.truncated)
+    }
+
+    /// The number of rows lenient ingestion must skip for `fault`, or
+    /// `None` when the count is corpus-dependent (non-monotone warnings
+    /// depend on neighboring rows, not only on the injected faults).
+    pub fn expected_count(&self, fault: RowFault) -> Option<u64> {
+        match fault {
+            RowFault::FieldCount => Some(self.corrupt_field_count + u64::from(self.truncated)),
+            RowFault::BadInt => Some(self.corrupt_bad_int),
+            RowFault::IdOverflow => Some(self.id_overflow),
+            RowFault::Inverted => Some(self.inverted),
+            RowFault::Duplicate => Some(self.duplicated),
+            RowFault::NonMonotone => None,
+        }
+    }
+
+    /// Total rows lenient ingestion must skip.
+    pub fn expected_skips(&self) -> u64 {
+        RowFault::ALL
+            .iter()
+            .filter_map(|&f| self.expected_count(f))
+            .sum()
+    }
+
+    /// One-line human-readable rendering for the CLI.
+    pub fn summary(&self) -> String {
+        format!(
+            "injected {} faults: bad-int {}, bad-field-count {}, inverted {}, \
+             id-overflow {}, dup {}, overlap {}, skewed {}, outage-dropped {}, truncated {}",
+            self.total(),
+            self.corrupt_bad_int,
+            self.corrupt_field_count,
+            self.inverted,
+            self.id_overflow,
+            self.duplicated,
+            self.overlapping,
+            self.skewed_rows,
+            self.outage_dropped,
+            self.truncated
+        )
+    }
+}
+
+/// The columns shared by session and demand CSVs that the injector reads.
+fn row_numbers(line: &str) -> Option<(u64, u64, u64, u64)> {
+    let mut it = line.split(',');
+    let user = it.next()?.trim().parse().ok()?;
+    let _mid = it.next()?;
+    let controller = it.next()?.trim().parse().ok()?;
+    let start = it.next()?.trim().parse().ok()?;
+    let end = it.next()?.trim().parse().ok()?;
+    Some((user, controller, start, end))
+}
+
+fn set_fields(line: &str, edits: &[(usize, String)]) -> String {
+    let mut fields: Vec<String> = line.split(',').map(str::to_string).collect();
+    for (idx, value) in edits {
+        if *idx < fields.len() {
+            fields[*idx] = value.clone();
+        }
+    }
+    fields.join(",")
+}
+
+/// Corrupts `csv` (header + data rows) according to `spec`, reproducibly
+/// for a given `seed`. Returns the corrupted text and the exact log of
+/// what was injected.
+///
+/// Faults target pairwise-distinct rows, so the log's per-kind counts map
+/// one-to-one onto the skip counts a lenient ingest of the result reports
+/// (see [`FaultLog::expected_count`]). When the corpus has fewer eligible
+/// rows than the spec requests, the surplus is dropped and the log shows
+/// the smaller number.
+pub fn inject_csv_faults(csv: &str, spec: &FaultSpec, seed: u64) -> (String, FaultLog) {
+    let mut log = FaultLog::default();
+    let mut it = csv.lines();
+    let Some(header) = it.next() else {
+        return (csv.to_string(), log);
+    };
+    let mut lines: Vec<String> = it
+        .filter(|l| !l.trim().is_empty())
+        .map(str::to_string)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // 1. Outage gaps: drop every row of one controller inside a window
+    //    anchored at a random row (never emptying the corpus).
+    for _ in 0..spec.outages {
+        if lines.len() <= 1 {
+            break;
+        }
+        let anchor = rng.random_range(0..lines.len());
+        let Some((_, controller, start, _)) = row_numbers(&lines[anchor]) else {
+            continue;
+        };
+        let window_end = start.saturating_add(spec.outage_secs);
+        let in_gap: Vec<bool> = lines
+            .iter()
+            .map(|line| {
+                row_numbers(line)
+                    .is_some_and(|(_, c, s, _)| c == controller && s >= start && s < window_end)
+            })
+            .collect();
+        let gap_total = in_gap.iter().filter(|&&g| g).count();
+        let max_drop = gap_total.min(lines.len() - 1);
+        let mut kept = Vec::with_capacity(lines.len() - max_drop);
+        let mut dropped = 0usize;
+        for (i, line) in lines.drain(..).enumerate() {
+            if in_gap[i] && dropped < max_drop {
+                dropped += 1;
+            } else {
+                kept.push(line);
+            }
+        }
+        log.outage_dropped += dropped as u64;
+        lines = kept;
+    }
+
+    // 2. Clock skew: shift every row of the chosen controllers by ±S.
+    if spec.skew_controllers > 0 && spec.skew_secs > 0 {
+        let mut controllers: Vec<u64> = lines
+            .iter()
+            .filter_map(|l| row_numbers(l).map(|(_, c, _, _)| c))
+            .collect();
+        controllers.sort_unstable();
+        controllers.dedup();
+        rng.shuffle(&mut controllers);
+        controllers.truncate(spec.skew_controllers);
+        for (i, &controller) in controllers.iter().enumerate() {
+            let negative = i % 2 == 1;
+            for line in &mut lines {
+                let Some((_, c, start, end)) = row_numbers(line) else {
+                    continue;
+                };
+                if c != controller {
+                    continue;
+                }
+                // A negative skew that would underflow flips sign so the
+                // row stays a valid (if reordered) record.
+                let delta = spec.skew_secs;
+                let (s2, e2) = if negative && start >= delta {
+                    (start - delta, end - delta)
+                } else {
+                    (start + delta, end + delta)
+                };
+                *line = set_fields(line, &[(3, s2.to_string()), (4, e2.to_string())]);
+                log.skewed_rows += 1;
+            }
+        }
+    }
+
+    // 3. Row-level faults on pairwise-distinct targets, so per-kind counts
+    //    stay exact. The final row is reserved when truncation is on.
+    let mut pool: Vec<usize> = (0..lines.len()).collect();
+    if spec.truncate && !pool.is_empty() {
+        pool.pop();
+    }
+    let take = |rng: &mut StdRng, pool: &mut Vec<usize>| -> Option<usize> {
+        if pool.is_empty() {
+            None
+        } else {
+            let j = rng.random_range(0..pool.len());
+            Some(pool.swap_remove(j))
+        }
+    };
+
+    for k in 0..spec.corrupt {
+        let Some(idx) = take(&mut rng, &mut pool) else {
+            break;
+        };
+        if k % 2 == 0 {
+            lines[idx] = set_fields(&lines[idx], &[(0, "corrupt".to_string())]);
+            log.corrupt_bad_int += 1;
+        } else {
+            let keep: Vec<&str> = lines[idx].split(',').take(3).collect();
+            lines[idx] = keep.join(",");
+            log.corrupt_field_count += 1;
+        }
+    }
+    for _ in 0..spec.invert {
+        let Some(idx) = take(&mut rng, &mut pool) else {
+            break;
+        };
+        let Some((_, _, start, end)) = row_numbers(&lines[idx]) else {
+            continue;
+        };
+        let (s2, e2) = if start == end {
+            (end + 1, end)
+        } else {
+            (end, start)
+        };
+        lines[idx] = set_fields(&lines[idx], &[(3, s2.to_string()), (4, e2.to_string())]);
+        log.inverted += 1;
+    }
+    for _ in 0..spec.id_overflow {
+        let Some(idx) = take(&mut rng, &mut pool) else {
+            break;
+        };
+        let Some((user, _, _, _)) = row_numbers(&lines[idx]) else {
+            continue;
+        };
+        let big = u64::from(u32::MAX) + 1 + user;
+        lines[idx] = set_fields(&lines[idx], &[(0, big.to_string())]);
+        log.id_overflow += 1;
+    }
+    let mut inserts: Vec<(usize, String)> = Vec::new();
+    for _ in 0..spec.duplicate {
+        let Some(idx) = take(&mut rng, &mut pool) else {
+            break;
+        };
+        inserts.push((idx, lines[idx].clone()));
+        log.duplicated += 1;
+    }
+    for _ in 0..spec.overlap {
+        let Some(idx) = take(&mut rng, &mut pool) else {
+            break;
+        };
+        let Some((_, _, start, end)) = row_numbers(&lines[idx]) else {
+            continue;
+        };
+        let shift = ((end - start) / 2).max(1);
+        let clone = set_fields(
+            &lines[idx],
+            &[
+                (3, (start + shift).to_string()),
+                (4, (end + shift).to_string()),
+            ],
+        );
+        inserts.push((idx, clone));
+        log.overlapping += 1;
+    }
+    inserts.sort_by_key(|&(idx, _)| std::cmp::Reverse(idx));
+    for (idx, line) in inserts {
+        lines.insert(idx + 1, line);
+    }
+
+    // 4. Truncated final record: cut after the fifth field's comma so the
+    //    row deterministically fails the field-count check.
+    if spec.truncate {
+        if let Some(last) = lines.last_mut() {
+            let cut = last
+                .match_indices(',')
+                .nth(4)
+                .map(|(i, _)| i)
+                .unwrap_or(last.len() / 2);
+            last.truncate(cut);
+            log.truncated = true;
+        }
+    }
+
+    let registry = s3_obs::global();
+    registry.counter(&FAULTS_INJECTED).add(log.total());
+    registry
+        .counter(&FAULT_ROWS_DROPPED)
+        .add(log.outage_dropped);
+
+    let mut out = String::with_capacity(csv.len() + 64);
+    out.push_str(header);
+    out.push('\n');
+    for line in &lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    (out, log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::write_demands;
+    use crate::generator::{CampusConfig, CampusGenerator};
+    use crate::ingest::read_demands_lenient;
+    use std::io::BufReader;
+
+    fn demand_csv(seed: u64) -> String {
+        let campus = CampusGenerator::new(CampusConfig::tiny(), seed).generate();
+        let mut buf = Vec::new();
+        write_demands(&mut buf, &campus.demands).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn spec_grammar_round_trip() {
+        let spec = FaultSpec::parse(
+            "corrupt=3, dup=2,overlap=1,invert=2,id-overflow=1,skew=2:600,outage=1:3600,truncate",
+        )
+        .unwrap();
+        assert_eq!(spec.corrupt, 3);
+        assert_eq!(spec.duplicate, 2);
+        assert_eq!(spec.overlap, 1);
+        assert_eq!(spec.invert, 2);
+        assert_eq!(spec.id_overflow, 1);
+        assert_eq!((spec.skew_controllers, spec.skew_secs), (2, 600));
+        assert_eq!((spec.outages, spec.outage_secs), (1, 3600));
+        assert!(spec.truncate);
+        assert!(!spec.is_empty());
+        assert!(FaultSpec::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn spec_grammar_rejects_junk() {
+        assert!(FaultSpec::parse("corrupt").is_err());
+        assert!(FaultSpec::parse("corrupt=x").is_err());
+        assert!(FaultSpec::parse("skew=2").is_err());
+        assert!(FaultSpec::parse("frobnicate=1").is_err());
+        assert!(FaultSpec::parse("truncate=1").is_err());
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let clean = demand_csv(42);
+        let spec = FaultSpec::parse("corrupt=4,dup=3,invert=2,skew=1:600,truncate").unwrap();
+        let (a, log_a) = inject_csv_faults(&clean, &spec, 7);
+        let (b, log_b) = inject_csv_faults(&clean, &spec, 7);
+        assert_eq!(a, b, "same seed must corrupt identically");
+        assert_eq!(log_a, log_b);
+        let (c, _) = inject_csv_faults(&clean, &spec, 8);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn empty_spec_is_identity_modulo_blank_lines() {
+        let clean = demand_csv(1);
+        let (out, log) = inject_csv_faults(&clean, &FaultSpec::default(), 0);
+        assert_eq!(out, clean);
+        assert_eq!(log, FaultLog::default());
+    }
+
+    #[test]
+    fn lenient_report_matches_fault_log_exactly() {
+        let clean = demand_csv(42);
+        let spec = FaultSpec::parse(
+            "corrupt=5,invert=3,id-overflow=2,dup=4,overlap=3,skew=1:900,outage=1:1800,truncate",
+        )
+        .unwrap();
+        let (dirty, log) = inject_csv_faults(&clean, &spec, 11);
+        assert_eq!(log.corrupt_bad_int, 3);
+        assert_eq!(log.corrupt_field_count, 2);
+        assert!(log.truncated);
+        let (rows, report) = read_demands_lenient(BufReader::new(dirty.as_bytes())).unwrap();
+        for fault in RowFault::ALL {
+            if let Some(expected) = log.expected_count(fault) {
+                assert_eq!(
+                    report.count(fault),
+                    expected,
+                    "class {} must match the log ({})",
+                    fault.label(),
+                    log.summary()
+                );
+            }
+        }
+        assert_eq!(report.rows_skipped(), log.expected_skips());
+        assert!(!rows.is_empty(), "most of the corpus must survive");
+        assert!(
+            report.warnings() > 0,
+            "clock skew must reorder at least one row"
+        );
+    }
+
+    #[test]
+    fn strict_ingest_rejects_the_corrupted_corpus_with_a_line_number() {
+        let clean = demand_csv(42);
+        let spec = FaultSpec::parse("corrupt=2").unwrap();
+        let (dirty, _) = inject_csv_faults(&clean, &spec, 3);
+        let err = crate::csv::read_demands(BufReader::new(dirty.as_bytes())).unwrap_err();
+        match err {
+            crate::csv::CsvError::Parse { line, .. } => assert!(line >= 2),
+            other => panic!("expected a parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn outage_punches_a_hole_but_keeps_the_corpus_readable() {
+        let clean = demand_csv(9);
+        let spec = FaultSpec::parse("outage=2:7200").unwrap();
+        let (dirty, log) = inject_csv_faults(&clean, &spec, 5);
+        assert!(log.outage_dropped > 0, "a gap must drop rows");
+        let (rows, report) = read_demands_lenient(BufReader::new(dirty.as_bytes())).unwrap();
+        assert_eq!(report.rows_skipped(), 0, "gaps leave only valid rows");
+        assert_eq!(
+            rows.len() as u64 + log.outage_dropped,
+            clean.lines().count() as u64 - 1,
+            "dropped plus surviving rows must account for the corpus"
+        );
+    }
+}

@@ -11,9 +11,11 @@
 //! (that is the variable under study). [`Campus::ground_truth`] retains the
 //! planted structure for validation; the S³ algorithm never sees it.
 
+pub mod faults;
 mod profiles;
 mod schedule;
 
+pub use faults::{inject_csv_faults, FaultLog, FaultSpec};
 pub use profiles::{
     dirichlet_around, type_centroid, UserProfile, TYPE_CENTROIDS, TYPE_VOLUME_FACTOR,
     USER_TYPE_COUNT,

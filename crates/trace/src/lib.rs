@@ -37,6 +37,7 @@ pub mod classify;
 pub mod csv;
 pub mod events;
 pub mod generator;
+pub mod ingest;
 pub mod interner;
 mod record;
 mod store;

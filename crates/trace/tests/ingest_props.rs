@@ -1,0 +1,142 @@
+//! Corrupt-corpus tests for the streaming ingestion layer: a checked-in
+//! hand-authored fixture with one fault per class, plus property tests
+//! that push seeded fault-injected corpora through both strict and
+//! lenient ingestion.
+
+use std::io::BufReader;
+
+use proptest::prelude::*;
+
+use s3_trace::csv::{self, CsvError};
+use s3_trace::generator::{inject_csv_faults, CampusConfig, CampusGenerator, FaultSpec};
+use s3_trace::ingest::{read_demands_lenient, read_sessions_lenient, RowFault};
+
+const FIXTURE: &str = include_str!("fixtures/corrupt_sessions.csv");
+
+#[test]
+fn fixture_lenient_counts_every_fault_class_once() {
+    let (records, report) = read_sessions_lenient(BufReader::new(FIXTURE.as_bytes())).unwrap();
+    assert_eq!(report.rows_read, 8);
+    assert_eq!(report.rows_ok, 3);
+    assert_eq!(report.rows_skipped(), 5);
+    assert_eq!(report.count(RowFault::BadInt), 1);
+    assert_eq!(report.count(RowFault::FieldCount), 1);
+    assert_eq!(report.count(RowFault::IdOverflow), 1);
+    assert_eq!(report.count(RowFault::Inverted), 1);
+    assert_eq!(report.count(RowFault::Duplicate), 1);
+    // The surviving out-of-order row (line 9) is kept but flagged.
+    assert_eq!(report.warnings(), 1);
+    let users: Vec<u32> = records.iter().map(|r| r.user.raw()).collect();
+    assert_eq!(users, [1, 2, 6]);
+}
+
+#[test]
+fn fixture_strict_rejects_at_the_first_bad_line() {
+    let err = csv::read_sessions(BufReader::new(FIXTURE.as_bytes())).unwrap_err();
+    match err {
+        CsvError::Parse { line, detail } => {
+            assert_eq!(line, 4, "first corrupt row is line 4");
+            assert!(detail.contains("connect"), "{detail}");
+        }
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+}
+
+fn demand_csv(seed: u64) -> String {
+    let config = CampusConfig {
+        users: 20,
+        buildings: 2,
+        aps_per_building: 3,
+        days: 2,
+        ..CampusConfig::tiny()
+    };
+    let campus = CampusGenerator::new(config, seed).generate();
+    let mut buf = Vec::new();
+    csv::write_demands(&mut buf, &campus.demands).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn lenient_ingest_matches_the_injected_fault_log(
+        gen_seed in 0u64..100,
+        fault_seed in 0u64..1_000,
+        corrupt in 0usize..6,
+        invert in 0usize..4,
+        id_overflow in 0usize..4,
+        dup in 0usize..4,
+        overlap in 0usize..3,
+        truncate_bit in 0u8..2,
+    ) {
+        let truncate = truncate_bit == 1;
+        let spec = FaultSpec {
+            corrupt,
+            invert,
+            id_overflow,
+            duplicate: dup,
+            overlap,
+            truncate,
+            ..FaultSpec::default()
+        };
+        let (faulty, log) = inject_csv_faults(&demand_csv(gen_seed), &spec, fault_seed);
+        let (demands, report) =
+            read_demands_lenient(BufReader::new(faulty.as_bytes())).unwrap();
+        // Every skip the injector logged is classified, exactly.
+        for fault in RowFault::ALL {
+            if let Some(expected) = log.expected_count(fault) {
+                prop_assert_eq!(
+                    report.count(fault), expected,
+                    "class {} mismatch", fault.label()
+                );
+            }
+        }
+        prop_assert_eq!(report.rows_skipped(), log.expected_skips());
+        prop_assert_eq!(report.rows_ok as usize, demands.len());
+        prop_assert_eq!(report.rows_read, report.rows_ok + report.rows_skipped());
+    }
+
+    #[test]
+    fn strict_ingest_rejects_any_corrupted_corpus_with_a_line_number(
+        gen_seed in 0u64..50,
+        fault_seed in 0u64..1_000,
+        corrupt in 1usize..5,
+    ) {
+        let spec = FaultSpec { corrupt, ..FaultSpec::default() };
+        let (faulty, log) = inject_csv_faults(&demand_csv(gen_seed), &spec, fault_seed);
+        prop_assert!(log.total() > 0, "corpus is large enough for every requested fault");
+        let err = csv::read_demands(BufReader::new(faulty.as_bytes())).unwrap_err();
+        match err {
+            CsvError::Parse { line, .. } => prop_assert!(line >= 2),
+            other => {
+                return Err(TestCaseError::fail(format!("expected parse error, got {other:?}")))
+            }
+        }
+    }
+
+    #[test]
+    fn lenient_ingest_never_panics_on_arbitrary_byte_mangling(
+        gen_seed in 0u64..20,
+        flips in prop::collection::vec((0usize..5_000, 0u8..=255u8), 0usize..40),
+    ) {
+        let mut bytes = demand_csv(gen_seed).into_bytes();
+        for (pos, val) in flips {
+            let len = bytes.len();
+            bytes[pos % len] = val;
+        }
+        // Mangling may hit the header (a hard error) or any row; neither
+        // may panic, and a surviving report must stay self-consistent.
+        if let Ok(text) = String::from_utf8(bytes) {
+            if let Ok((demands, report)) =
+                read_demands_lenient(BufReader::new(text.as_bytes()))
+            {
+                prop_assert_eq!(report.rows_ok as usize, demands.len());
+                prop_assert_eq!(
+                    report.rows_read,
+                    report.rows_ok + report.rows_skipped()
+                );
+            }
+        }
+    }
+}

@@ -124,6 +124,12 @@ static RUN_MICROS: HistogramDesc = HistogramDesc {
         600_000_000,
     ],
 };
+static UNSORTED_RECOVERIES: Desc = Desc {
+    name: "wlan.engine.unsorted_recoveries",
+    help: "Replay inputs that arrived out of order and were re-sorted",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
 
 /// Online-rebalancer settings (the migrating baseline).
 #[derive(Debug, Clone, PartialEq)]
@@ -269,7 +275,28 @@ impl SimEngine {
         &self.topology
     }
 
+    /// [`SimEngine::run`] for demand streams that may be out of arrival
+    /// order — e.g. recovered leniently from a clock-skewed or
+    /// fault-injected log. When a resort is needed the demands are copied,
+    /// sorted by `(arrive, user)` (the canonical deterministic order) and
+    /// the recovery is counted in `wlan.engine.unsorted_recoveries`;
+    /// already-sorted input delegates directly with no copy.
+    pub fn run_unsorted(
+        &self,
+        demands: &[SessionDemand],
+        selector: &mut dyn ApSelector,
+    ) -> SimResult {
+        if demands.windows(2).all(|w| w[0].arrive <= w[1].arrive) {
+            return self.run(demands, selector);
+        }
+        s3_obs::global().counter(&UNSORTED_RECOVERIES).inc();
+        let mut sorted = demands.to_vec();
+        sorted.sort_by_key(|d| (d.arrive, d.user));
+        self.run(&sorted, selector)
+    }
+
     /// Replays `demands` (must be sorted by arrival time) under `selector`.
+    /// Use [`SimEngine::run_unsorted`] for streams of unknown order.
     ///
     /// # Panics
     ///
@@ -636,6 +663,16 @@ mod tests {
         let engine = tiny_engine();
         let demands = vec![demand(1, 0, 500, 600, 1), demand(2, 0, 100, 200, 1)];
         let _ = engine.run(&demands, &mut LeastLoadedFirst::new());
+    }
+
+    #[test]
+    fn run_unsorted_recovers_by_resorting() {
+        let engine = tiny_engine();
+        let sorted = vec![demand(2, 0, 100, 200, 1), demand(1, 0, 500, 600, 1)];
+        let shuffled = vec![sorted[1].clone(), sorted[0].clone()];
+        let a = engine.run(&sorted, &mut LeastLoadedFirst::new());
+        let b = engine.run_unsorted(&shuffled, &mut LeastLoadedFirst::new());
+        assert_eq!(a.records, b.records);
     }
 
     #[test]
