@@ -7,7 +7,9 @@ use std::hint::black_box;
 use s3_bench::Scenario;
 use s3_trace::generator::CampusConfig;
 use s3_types::{BitsPerSec, Timestamp, UserId};
-use s3_wlan::selector::{ApCandidate, ApSelector, ArrivalUser, LeastLoadedFirst, SelectionContext};
+use s3_wlan::selector::{
+    views_of, ApCandidate, ApSelector, ArrivalUser, LeastLoadedFirst, SelectionContext,
+};
 
 fn scenario() -> Scenario {
     Scenario::from_config(
@@ -51,6 +53,7 @@ fn bench_single_select(c: &mut Criterion) {
     let mut s3 = s.default_s3(1);
     let mut llf = LeastLoadedFirst::new();
     let cands = candidates(8, 12);
+    let views = views_of(&cands);
     let arrival = &arrivals(1, 8)[0];
 
     let mut group = c.benchmark_group("single_select_8aps");
@@ -58,7 +61,7 @@ fn bench_single_select(c: &mut Criterion) {
         b.iter(|| {
             let ctx = SelectionContext {
                 arrival,
-                candidates: &cands,
+                candidates: &views,
             };
             black_box(llf.select(&ctx))
         })
@@ -67,7 +70,7 @@ fn bench_single_select(c: &mut Criterion) {
         b.iter(|| {
             let ctx = SelectionContext {
                 arrival,
-                candidates: &cands,
+                candidates: &views,
             };
             black_box(s3.select(&ctx))
         })
@@ -80,15 +83,16 @@ fn bench_batch_select(c: &mut Criterion) {
     let mut s3 = s.default_s3(2);
     let mut llf = LeastLoadedFirst::new();
     let cands = candidates(8, 12);
+    let views = views_of(&cands);
 
     let mut group = c.benchmark_group("batch_select_8aps");
     for &batch in &[4usize, 12, 24] {
         let users = arrivals(batch, 8);
         group.bench_with_input(BenchmarkId::new("llf", batch), &users, |b, u| {
-            b.iter(|| black_box(llf.select_batch(u, &cands)))
+            b.iter(|| black_box(llf.select_batch(u, &views)))
         });
         group.bench_with_input(BenchmarkId::new("s3", batch), &users, |b, u| {
-            b.iter(|| black_box(s3.select_batch(u, &cands)))
+            b.iter(|| black_box(s3.select_batch(u, &views)))
         });
     }
     group.finish();

@@ -1,0 +1,141 @@
+//! Peak-memory demonstration for the streaming replay path.
+//!
+//! The claim: `SimEngine::run_streamed` keeps peak resident memory bounded
+//! by *concurrent sessions*, not trace length, while the in-memory path
+//! scales with the number of demands. Each measurement must run in a fresh
+//! process (peak RSS is a process-lifetime high-water mark), so this
+//! binary does exactly one thing per invocation:
+//!
+//! ```text
+//! replay_mem gen    --out demands.csv --days N [--users N] [--seed N]
+//! replay_mem mem    --demands demands.csv
+//! replay_mem stream --demands demands.csv
+//! ```
+//!
+//! `mem`/`stream` print one machine-readable line:
+//! `replay_mem mode=<mode> demands=<n> records=<n> vm_hwm_kb=<kb>`.
+//! Run both modes at two trace lengths and compare: the `stream` numbers
+//! stay flat while `mem` grows with the trace (see the `replay-bench`
+//! step in CI).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::exit;
+
+use s3_trace::generator::{CampusConfig, CampusGenerator};
+use s3_trace::ingest::{DemandReader, IngestMode};
+use s3_trace::{csv, SessionRecord};
+use s3_wlan::selector::LeastLoadedFirst;
+use s3_wlan::{RecordSink, SimConfig, SimEngine, StreamSource, Topology};
+
+const USAGE: &str = "usage: replay_mem gen --out <demands.csv> --days N [--users N] [--seed N]
+       replay_mem <mem|stream> --demands <demands.csv>";
+
+/// Peak resident set size of this process in KiB (`VmHWM` from
+/// /proc/self/status), or 0 where procfs is unavailable.
+fn vm_hwm_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Sink that writes nothing and keeps nothing — isolates the engine's own
+/// footprint from output buffering.
+struct DropSink(usize);
+
+impl RecordSink for DropSink {
+    fn emit(&mut self, _record: SessionRecord) -> std::io::Result<()> {
+        self.0 += 1;
+        Ok(())
+    }
+}
+
+fn topology(aps_per_building: usize, buildings: usize) -> Topology {
+    Topology::from_campus(&CampusConfig {
+        buildings,
+        aps_per_building,
+        ..CampusConfig::campus()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first().cloned() else {
+        eprintln!("{USAGE}");
+        exit(2);
+    };
+    match mode.as_str() {
+        "gen" => {
+            let out = flag(&args, "--out").unwrap_or_else(|| {
+                eprintln!("{USAGE}");
+                exit(2);
+            });
+            let days: u64 = flag(&args, "--days")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(8);
+            let users: usize = flag(&args, "--users")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(400);
+            let seed: u64 = flag(&args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(5);
+            let config = CampusConfig {
+                users,
+                buildings: 2,
+                aps_per_building: 4,
+                days,
+                ..CampusConfig::campus()
+            };
+            let campus = CampusGenerator::new(config, seed).generate();
+            let file = File::create(&out).expect("create output");
+            csv::write_demands(BufWriter::new(file), &campus.demands).expect("write demands");
+            println!(
+                "replay_mem mode=gen days={days} users={users} demands={} out={out}",
+                campus.demands.len()
+            );
+        }
+        "mem" | "stream" => {
+            let demands_path = flag(&args, "--demands").unwrap_or_else(|| {
+                eprintln!("{USAGE}");
+                exit(2);
+            });
+            let engine = SimEngine::new(topology(4, 2), SimConfig::default());
+            let mut llf = LeastLoadedFirst::new();
+            let (demands, records) = if mode == "mem" {
+                let file = File::open(&demands_path).expect("open demands");
+                let demands = csv::read_demands(BufReader::new(file)).expect("read demands");
+                let result = engine.run(&demands, &mut llf);
+                (demands.len(), result.records.len())
+            } else {
+                let file = File::open(&demands_path).expect("open demands");
+                let reader = DemandReader::new(BufReader::new(file), IngestMode::Strict)
+                    .expect("valid header");
+                let mut source = StreamSource::new(reader);
+                let mut sink = DropSink(0);
+                let totals = engine
+                    .run_streamed(&mut source, &mut llf, &mut sink)
+                    .expect("clean stream");
+                (totals.placed + totals.rejected, sink.0)
+            };
+            println!(
+                "replay_mem mode={mode} demands={demands} records={records} vm_hwm_kb={}",
+                vm_hwm_kb()
+            );
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            exit(2);
+        }
+    }
+}

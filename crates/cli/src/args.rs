@@ -91,6 +91,9 @@ pub enum Command {
         metrics_full: bool,
         /// Skip malformed rows (with a report) instead of aborting.
         lenient: bool,
+        /// Stream demands straight off disk (constant memory; requires a
+        /// `(arrive, user)`-sorted file and no `--rebalance`).
+        stream: bool,
     },
     /// Measurement study over a session log.
     Analyze {
@@ -228,9 +231,11 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut metrics_out = None;
             let mut metrics_full = false;
             let mut lenient = false;
+            let mut stream = false;
             while let Some(flag) = cursor.next() {
                 match flag {
                     "--demands" => demands = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    "--stream" => stream = true,
                     "--aps-per-building" => {
                         aps_per_building = parse_u64(flag, cursor.value_for(flag)?)? as usize
                     }
@@ -262,6 +267,13 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--aps-per-building must be positive".into(),
                 ));
             }
+            if stream && rebalance {
+                return Err(CliError::Usage(
+                    "--stream does not support --rebalance (migration segments \
+                     need the full session log in memory)"
+                        .into(),
+                ));
+            }
             Ok(Command::Replay {
                 demands,
                 policy,
@@ -274,6 +286,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 metrics_out,
                 metrics_full,
                 lenient,
+                stream,
             })
         }
         "convert" => {
@@ -538,6 +551,27 @@ mod tests {
             Command::Convert { lenient, .. } => assert!(lenient),
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn stream_flag_parses_and_rejects_rebalance() {
+        match parse(&argv(
+            "replay --demands d.csv --policy llf --out s.csv --stream",
+        ))
+        .unwrap()
+        {
+            Command::Replay { stream, .. } => assert!(stream),
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&argv("replay --demands d.csv --policy llf --out s.csv")).unwrap() {
+            Command::Replay { stream, .. } => assert!(!stream),
+            other => panic!("wrong command: {other:?}"),
+        }
+        let err = parse(&argv(
+            "replay --demands d.csv --policy llf --out s.csv --stream --rebalance",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("--stream does not support"));
     }
 
     #[test]

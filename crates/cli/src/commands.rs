@@ -7,12 +7,16 @@ use std::path::Path;
 use s3_core::{S3Config, S3Selector, SocialModel};
 use s3_stats::gap::{gap_statistic, GapConfig};
 use s3_trace::generator::{inject_csv_faults, CampusConfig, CampusGenerator, FaultSpec};
-use s3_trace::ingest::{read_demands_lenient, read_sessions_lenient, IngestReport, RowFault};
-use s3_trace::{csv, SessionDemand, TraceStore};
-use s3_types::TimeDelta;
-use s3_wlan::metrics::mean_active_balance_filtered;
+use s3_trace::ingest::{
+    read_demands_lenient, read_sessions_lenient, DemandReader, IngestMode, IngestReport, RowFault,
+};
+use s3_trace::{csv, SessionDemand, SessionRecord, TraceStore};
+use s3_types::{TimeDelta, Timestamp, UserId};
+use s3_wlan::metrics::{mean_active_balance_filtered, StreamingBalance};
 use s3_wlan::selector::{ApSelector, LeastLoadedFirst, LeastUsers, RandomSelector, StrongestRssi};
-use s3_wlan::{RebalanceConfig, SimConfig, SimEngine, Topology};
+use s3_wlan::{
+    EngineError, RebalanceConfig, RecordSink, SimConfig, SimEngine, StreamSource, Topology,
+};
 
 use crate::args::{Command, PolicyKind};
 use crate::{CliError, USAGE};
@@ -65,19 +69,34 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             metrics_out,
             metrics_full,
             lenient,
+            stream,
         } => {
-            replay(
-                &demands,
-                policy,
-                &path,
-                seed,
-                train_days,
-                rebalance,
-                aps_per_building,
-                threads,
-                lenient,
-                out,
-            )?;
+            if stream {
+                replay_streamed(
+                    &demands,
+                    policy,
+                    &path,
+                    seed,
+                    train_days,
+                    aps_per_building,
+                    threads,
+                    lenient,
+                    out,
+                )?;
+            } else {
+                replay(
+                    &demands,
+                    policy,
+                    &path,
+                    seed,
+                    train_days,
+                    rebalance,
+                    aps_per_building,
+                    threads,
+                    lenient,
+                    out,
+                )?;
+            }
             write_metrics(metrics_out.as_deref(), metrics_full, out)
         }
         Command::Convert {
@@ -325,6 +344,169 @@ fn replay<W: Write>(
         out_path.display()
     )?;
     if let Some(b) = balance {
+        writeln!(out, "mean daytime balance index: {b:.4}")?;
+    }
+    Ok(())
+}
+
+fn engine_err(e: EngineError) -> CliError {
+    match e {
+        EngineError::Source(e) => CliError::Csv(e),
+        EngineError::Sink(e) => CliError::Io(e),
+        other => CliError::Invalid(other.to_string()),
+    }
+}
+
+/// [`RecordSink`] of the streaming replay: writes each record straight to
+/// the session CSV and folds it into the balance accumulator, so no record
+/// is ever held after emission.
+struct StreamingReplaySink<W: Write> {
+    writer: W,
+    balance: StreamingBalance,
+}
+
+impl<W: Write> RecordSink for StreamingReplaySink<W> {
+    fn emit(&mut self, record: SessionRecord) -> std::io::Result<()> {
+        self.balance.observe(&record);
+        csv::write_session_row(&mut self.writer, &record)
+    }
+}
+
+/// `replay --stream`: replays the demand CSV straight off disk, writing
+/// each session record as it is placed. Peak memory is bounded by the live
+/// session table, the balance accumulator and (for S³) the training
+/// prefix — never by the trace length.
+///
+/// Three passes over the file, publishing `trace.ingest.*` exactly once:
+///
+/// 1. a metrics-silenced scan for the trace extent (demand count, building
+///    count, day span) that also enforces the `(arrive, user)` sort order
+///    the in-memory path would impose by sorting — the contract that makes
+///    both paths replay the identical demand sequence;
+/// 2. for `--policy s3` only, a metrics-silenced read of the first
+///    `--train-days` days (the training prefix is the only trace slice
+///    ever materialized);
+/// 3. the replay itself, which publishes the ingest metrics.
+///
+/// Output — the session CSV, the stable metrics snapshot and the balance
+/// index — is byte-identical to the in-memory path on the same file.
+#[allow(clippy::too_many_arguments)]
+fn replay_streamed<W: Write>(
+    demands_path: &Path,
+    policy: PolicyKind,
+    out_path: &Path,
+    seed: u64,
+    train_days: u64,
+    aps_per_building: usize,
+    threads: usize,
+    lenient: bool,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let mode = if lenient {
+        IngestMode::Lenient
+    } else {
+        IngestMode::Strict
+    };
+    let open = |path: &Path| -> Result<DemandReader<BufReader<File>>, CliError> {
+        Ok(DemandReader::new(BufReader::new(File::open(path)?), mode)?)
+    };
+
+    // Pass 1: extent scan (metrics silenced) + sort-order contract.
+    let mut scan = open(demands_path)?.without_publish();
+    let mut count = 0usize;
+    let mut buildings = 0usize;
+    let mut last_day = 0u64;
+    let mut last_key: Option<(Timestamp, UserId)> = None;
+    for row in scan.by_ref() {
+        let d = row?;
+        let key = (d.arrive, d.user);
+        if last_key.is_some_and(|prev| key < prev) {
+            return Err(CliError::Invalid(format!(
+                "{} is not sorted by (arrive, user); --stream replays the file \
+                 as-is — re-sort it, or drop --stream to sort in memory",
+                demands_path.display()
+            )));
+        }
+        last_key = Some(key);
+        count += 1;
+        buildings = buildings.max(d.building.index() + 1);
+        last_day = d.arrive.day();
+    }
+    if lenient {
+        writeln!(out, "ingest: {}", scan.report().summary())?;
+    }
+    if count == 0 {
+        return Err(CliError::Invalid(format!(
+            "{} contains no demands",
+            demands_path.display()
+        )));
+    }
+
+    let config = CampusConfig {
+        buildings,
+        aps_per_building,
+        ..CampusConfig::campus()
+    };
+    let engine = SimEngine::new(Topology::from_campus(&config), SimConfig::default());
+
+    let mut selector: Box<dyn ApSelector> = match policy {
+        PolicyKind::Llf => Box::new(LeastLoadedFirst::new()),
+        PolicyKind::LeastUsers => Box::new(LeastUsers::new()),
+        PolicyKind::Rssi => Box::new(StrongestRssi::new()),
+        PolicyKind::Random => Box::new(RandomSelector::new(seed)),
+        PolicyKind::S3 => {
+            let span = last_day + 1;
+            let effective = if train_days == 0 {
+                (span * 7) / 10 // default: first 70 % of days
+            } else {
+                train_days
+            };
+            // Pass 2 (S³ only, metrics silenced): the training prefix. The
+            // file is arrive-sorted, so the prefix read can stop early.
+            let mut history: Vec<SessionDemand> = Vec::new();
+            for row in open(demands_path)?.without_publish() {
+                let d = row?;
+                if d.arrive.day() >= effective {
+                    break;
+                }
+                history.push(d);
+            }
+            let model = train_s3(&history, &engine, effective, seed, threads);
+            writeln!(
+                out,
+                "trained S3 on the first {effective} days: {} known pairs, {} types",
+                model.known_pairs(),
+                model.type_count()
+            )?;
+            Box::new(S3Selector::new(model, s3_config(threads)))
+        }
+    };
+
+    // Pass 3: the replay — the one pass that publishes trace.ingest.*.
+    let mut source = StreamSource::new(open(demands_path)?);
+    let mut sink = StreamingReplaySink {
+        writer: BufWriter::new(File::create(out_path)?),
+        balance: StreamingBalance::new(TimeDelta::minutes(REPORT_BIN_MINUTES)),
+    };
+    csv::write_session_header(&mut sink.writer)?;
+    let totals = engine
+        .run_streamed(&mut source, selector.as_mut(), &mut sink)
+        .map_err(engine_err)?;
+    let StreamingReplaySink {
+        mut writer,
+        balance,
+    } = sink;
+    writer.flush()?;
+
+    writeln!(
+        out,
+        "replayed {count} demands under {} -> {} session records ({} migrations) to {} (streamed)",
+        policy.name(),
+        totals.records,
+        totals.migrations,
+        out_path.display()
+    )?;
+    if let Some(b) = balance.finish(daytime) {
         writeln!(out, "mean daytime balance index: {b:.4}")?;
     }
     Ok(())
@@ -773,6 +955,107 @@ mod tests {
             output.contains("0 skipped") || output.contains("all rows ok"),
             "{output}"
         );
+    }
+
+    #[test]
+    fn stream_replay_is_byte_identical_to_in_memory() {
+        let demands = tmp("st_demands.csv");
+        let mem_out = tmp("st_mem.csv");
+        let stream_out = tmp("st_stream.csv");
+        run_str(&format!(
+            "generate --out {} --users 100 --buildings 2 --aps-per-building 3 --days 5 --seed 13",
+            demands.display()
+        ))
+        .unwrap();
+
+        for policy in ["llf", "s3"] {
+            let mem = run_str(&format!(
+                "replay --demands {} --policy {policy} --out {} --aps-per-building 3",
+                demands.display(),
+                mem_out.display()
+            ))
+            .unwrap();
+            let streamed = run_str(&format!(
+                "replay --demands {} --policy {policy} --out {} --aps-per-building 3 --stream",
+                demands.display(),
+                stream_out.display()
+            ))
+            .unwrap();
+            assert_eq!(
+                std::fs::read(&mem_out).unwrap(),
+                std::fs::read(&stream_out).unwrap(),
+                "{policy}: session CSVs must match byte-for-byte"
+            );
+            assert!(streamed.contains("(streamed)"), "{streamed}");
+            // The streamed balance accumulator reproduces the in-memory
+            // balance line exactly.
+            let balance = |s: &str| {
+                s.lines()
+                    .find(|l| l.contains("balance index"))
+                    .map(str::to_string)
+            };
+            assert_eq!(balance(&mem), balance(&streamed), "{policy}");
+            assert!(balance(&mem).is_some(), "{mem}");
+        }
+    }
+
+    #[test]
+    fn stream_replay_rejects_unsorted_input() {
+        let demands = tmp("st_unsorted.csv");
+        std::fs::write(
+            &demands,
+            "user,building,controller,arrive,depart,im,p2p,music,email,video,web\n\
+             1,0,0,500,900,0,0,0,0,0,10\n\
+             2,0,0,100,400,0,0,0,0,0,10\n",
+        )
+        .unwrap();
+        let err = run_str(&format!(
+            "replay --demands {} --policy llf --out /tmp/x.csv --stream",
+            demands.display()
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Invalid(_)), "{err}");
+        assert!(
+            err.to_string().contains("sorted by (arrive, user)"),
+            "{err}"
+        );
+        // The same file replays fine in memory (it is sorted there).
+        let out = tmp("st_unsorted_out.csv");
+        let output = run_str(&format!(
+            "replay --demands {} --policy llf --out {}",
+            demands.display(),
+            out.display()
+        ))
+        .unwrap();
+        assert!(output.contains("replayed 2 demands"), "{output}");
+    }
+
+    #[test]
+    fn stream_replay_lenient_skips_and_reports() {
+        let demands = tmp("st_faulty.csv");
+        let sessions = tmp("st_faulty_out.csv");
+        run_str(&format!(
+            "generate --out {} --users 40 --buildings 1 --aps-per-building 3 --days 3 --seed 7 \
+             --faults corrupt=3,invert=2",
+            demands.display()
+        ))
+        .unwrap();
+        let err = run_str(&format!(
+            "replay --demands {} --policy llf --out {} --stream",
+            demands.display(),
+            sessions.display()
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Csv(_)), "{err}");
+        let output = run_str(&format!(
+            "replay --demands {} --policy llf --out {} --stream --lenient",
+            demands.display(),
+            sessions.display()
+        ))
+        .unwrap();
+        assert!(output.contains("ingest:"), "{output}");
+        assert!(output.contains("skipped"), "{output}");
+        assert!(output.contains("(streamed)"), "{output}");
     }
 
     #[test]

@@ -95,8 +95,8 @@ USAGE:
                   [--aps-per-building N] [--days N] [--faults <spec>]
   s3wlan replay   --demands <demands.csv> --policy <llf|s3|least-users|rssi|random>
                   --out <sessions.csv> [--seed N] [--train-days N] [--rebalance]
-                  [--threads N] [--metrics-out <m.json|m.csv>] [--metrics-full]
-                  [--lenient]
+                  [--stream] [--threads N] [--metrics-out <m.json|m.csv>]
+                  [--metrics-full] [--lenient]
   s3wlan convert  --in <foreign.csv> --out <sessions.csv> [--maps-dir <dir>]
                   [--lenient]
   s3wlan analyze  --sessions <sessions.csv> [--seed N] [--threads N]
@@ -108,6 +108,13 @@ USAGE:
 THREADS:
   --threads N runs training and analysis on N worker threads (default:
   all available cores; 0 = auto). Results are bit-identical for any N.
+
+STREAMING:
+  replay --stream pulls demands straight off disk and writes each session
+  record as it is placed, so peak memory is bounded by concurrent sessions
+  — not trace length. The file must already be sorted by (arrive, user)
+  (generate writes that order) and --rebalance is not supported. Output is
+  byte-identical to the in-memory path. See docs/ENGINE.md.
 
 INGESTION:
   CSV inputs are read strictly by default: the first malformed row aborts

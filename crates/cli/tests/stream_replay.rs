@@ -1,0 +1,140 @@
+//! Process-level golden test for `s3wlan replay --stream`: over the same
+//! generated trace, the streaming path must produce a session CSV *and* a
+//! stable-class metrics snapshot byte-identical to the in-memory path, at
+//! `--threads 1` and `--threads 8`. One process per run — the metrics
+//! registry is process-wide, so stream/memory parity can only be compared
+//! across processes.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn s3wlan(args: &[&str]) -> std::process::Output {
+    let output = Command::new(env!("CARGO_BIN_EXE_s3wlan"))
+        .args(args)
+        .output()
+        .expect("launch s3wlan");
+    assert!(
+        output.status.success(),
+        "s3wlan {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+struct Replay {
+    sessions: Vec<u8>,
+    metrics: String,
+    stdout: String,
+}
+
+fn replay(demands: &Path, dir: &Path, policy: &str, threads: usize, stream: bool) -> Replay {
+    let tag = format!(
+        "{policy}_t{threads}_{}",
+        if stream { "stream" } else { "mem" }
+    );
+    let sessions = dir.join(format!("sessions_{tag}.csv"));
+    let metrics = dir.join(format!("metrics_{tag}.json"));
+    let mut args: Vec<String> = [
+        "replay",
+        "--demands",
+        &demands.display().to_string(),
+        "--policy",
+        policy,
+        "--out",
+        &sessions.display().to_string(),
+        "--train-days",
+        "3",
+        "--aps-per-building",
+        "3",
+        "--threads",
+        &threads.to_string(),
+        "--metrics-out",
+        &metrics.display().to_string(),
+    ]
+    .map(str::to_string)
+    .to_vec();
+    if stream {
+        args.push("--stream".to_string());
+    }
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    let output = s3wlan(&args);
+    Replay {
+        sessions: std::fs::read(&sessions).unwrap(),
+        metrics: std::fs::read_to_string(&metrics).unwrap(),
+        stdout: String::from_utf8(output.stdout).unwrap(),
+    }
+}
+
+fn generate(dir: &Path) -> PathBuf {
+    let demands = dir.join("demands.csv");
+    s3wlan(&[
+        "generate",
+        "--out",
+        &demands.display().to_string(),
+        "--users",
+        "120",
+        "--buildings",
+        "2",
+        "--aps-per-building",
+        "3",
+        "--days",
+        "5",
+        "--seed",
+        "17",
+    ]);
+    demands
+}
+
+#[test]
+fn streamed_replay_matches_in_memory_byte_for_byte() {
+    let dir = std::env::temp_dir().join("s3_cli_stream_replay");
+    std::fs::create_dir_all(&dir).unwrap();
+    let demands = generate(&dir);
+
+    for policy in ["llf", "s3"] {
+        for threads in [1, 8] {
+            let memory = replay(&demands, &dir, policy, threads, false);
+            let streamed = replay(&demands, &dir, policy, threads, true);
+            assert_eq!(
+                memory.sessions, streamed.sessions,
+                "{policy} t{threads}: session CSVs must be byte-identical"
+            );
+            assert_eq!(
+                memory.metrics, streamed.metrics,
+                "{policy} t{threads}: stable snapshots must be byte-identical"
+            );
+            assert!(
+                streamed.stdout.contains("(streamed)"),
+                "{}",
+                streamed.stdout
+            );
+            // Both paths report the same balance index on stdout.
+            let balance = |s: &str| {
+                s.lines()
+                    .find(|l| l.contains("balance index"))
+                    .map(str::to_string)
+            };
+            assert_eq!(
+                balance(&memory.stdout),
+                balance(&streamed.stdout),
+                "{policy} t{threads}"
+            );
+            assert!(balance(&memory.stdout).is_some(), "{}", memory.stdout);
+        }
+    }
+
+    // The streamed engine reports through the new event-queue metrics.
+    let streamed = replay(&demands, &dir, "llf", 1, true);
+    for name in [
+        "wlan.engine.events_processed",
+        "wlan.engine.events_queue_peak",
+        "wlan.metrics.balance_samples",
+        "trace.ingest.rows_ok",
+    ] {
+        assert!(
+            streamed.metrics.contains(name),
+            "missing {name} in {}",
+            streamed.metrics
+        );
+    }
+}

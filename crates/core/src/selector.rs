@@ -13,7 +13,7 @@
 
 use s3_graph::partition::clique_partition;
 use s3_obs::{Desc, Stability, Unit};
-use s3_wlan::selector::{ApCandidate, ApSelector, ArrivalUser, LeastLoadedFirst, SelectionContext};
+use s3_wlan::selector::{ApSelector, ApView, ArrivalUser, LeastLoadedFirst, SelectionContext};
 
 use crate::batch::{assign_clique, build_social_graph, ApSlot};
 use crate::{S3Config, SocialModel};
@@ -85,13 +85,16 @@ impl S3Selector {
         &self.config
     }
 
-    fn slots_from_candidates(candidates: &[ApCandidate]) -> Vec<ApSlot> {
+    // S³ scores mutate slot membership clique by clique, so it collects
+    // the borrowed views into owned working slots once per request — the
+    // engine-side per-candidate clone the zero-copy ApView eliminated.
+    fn slots_from_candidates(candidates: &[ApView<'_>]) -> Vec<ApSlot> {
         candidates
             .iter()
             .map(|c| ApSlot {
                 load: c.load.as_f64(),
                 capacity: c.capacity.as_f64(),
-                members: c.associated.clone(),
+                members: c.associated().collect(),
             })
             .collect()
     }
@@ -120,7 +123,7 @@ impl ApSelector for S3Selector {
         picks[0]
     }
 
-    fn select_batch(&mut self, users: &[ArrivalUser], candidates: &[ApCandidate]) -> Vec<usize> {
+    fn select_batch(&mut self, users: &[ArrivalUser], candidates: &[ApView<'_>]) -> Vec<usize> {
         if users.is_empty() {
             return Vec::new();
         }
@@ -169,7 +172,7 @@ mod tests {
     use s3_trace::generator::{CampusConfig, CampusGenerator};
     use s3_trace::TraceStore;
     use s3_types::{ApId, BitsPerSec, Timestamp, UserId};
-    use s3_wlan::selector::LeastLoadedFirst;
+    use s3_wlan::selector::{views_of, ApCandidate, LeastLoadedFirst};
     use s3_wlan::{SimConfig, SimEngine, Topology};
 
     fn trained_selector() -> S3Selector {
@@ -210,10 +213,11 @@ mod tests {
         let mut s3 = S3Selector::new(model, S3Config::default());
         assert!(s3.is_degraded(), "an empty model must engage the fallback");
         let candidates = vec![candidate(0, 10.0, vec![]), candidate(1, 1.0, vec![])];
+        let views = views_of(&candidates);
         let a = arrival(1, 2);
         let ctx = SelectionContext {
             arrival: &a,
-            candidates: &candidates,
+            candidates: &views,
         };
         assert_eq!(s3.select(&ctx), 1, "idle AP wins on balance tie-break");
         assert_eq!(s3.name(), "s3");
@@ -264,17 +268,18 @@ mod tests {
             candidate(1, 2.0, vec![9]),
             candidate(2, 7.0, vec![]),
         ];
+        let views = views_of(&candidates);
         let a = arrival(1, 3);
         let ctx = SelectionContext {
             arrival: &a,
-            candidates: &candidates,
+            candidates: &views,
         };
         let mut llf = LeastLoadedFirst::new();
         assert_eq!(s3.select(&ctx), llf.select(&ctx));
         let users: Vec<ArrivalUser> = (1..=3).map(|u| arrival(u, 3)).collect();
         assert_eq!(
-            s3.select_batch(&users, &candidates),
-            llf.select_batch(&users, &candidates)
+            s3.select_batch(&users, &views),
+            llf.select_batch(&users, &views)
         );
     }
 
@@ -316,8 +321,9 @@ mod tests {
             candidate(1, 0.0, vec![]),
             candidate(2, 0.0, vec![]),
         ];
+        let views = views_of(&candidates);
         let users: Vec<ArrivalUser> = (1..=3).map(|u| arrival(u, 3)).collect();
-        let picks = s3.select_batch(&users, &candidates);
+        let picks = s3.select_batch(&users, &views);
         let distinct: std::collections::HashSet<usize> = picks.iter().copied().collect();
         assert_eq!(distinct.len(), 3, "clique must be spread: {picks:?}");
     }
@@ -350,10 +356,11 @@ mod tests {
         let mut s3 = S3Selector::new(model, config);
         // User 2 sits on AP 0, which is otherwise *less* loaded.
         let candidates = vec![candidate(0, 0.5, vec![2]), candidate(1, 1.0, vec![])];
+        let views = views_of(&candidates);
         let a = arrival(1, 2);
         let ctx = SelectionContext {
             arrival: &a,
-            candidates: &candidates,
+            candidates: &views,
         };
         assert_eq!(s3.select(&ctx), 1, "avoid the AP holding the partner");
     }
@@ -372,7 +379,8 @@ mod tests {
     fn empty_batch_is_empty() {
         let mut s3 = trained_selector();
         let candidates = vec![candidate(0, 0.0, vec![])];
-        assert!(s3.select_batch(&[], &candidates).is_empty());
+        let views = views_of(&candidates);
+        assert!(s3.select_batch(&[], &views).is_empty());
     }
 
     #[test]

@@ -53,6 +53,39 @@ impl From<io::Error> for CsvError {
 pub(crate) const SESSION_HEADER: &str =
     "user,ap,controller,connect,disconnect,im,p2p,music,email,video,web";
 
+/// Writes the session-CSV header row.
+///
+/// Pair with [`write_session_row`] to stream records one at a time without
+/// materializing them (the batch [`write_sessions`] is this plus a loop).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_session_header<W: Write>(mut w: W) -> io::Result<()> {
+    writeln!(w, "{SESSION_HEADER}")
+}
+
+/// Writes one session record as a CSV row (no header).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_session_row<W: Write>(mut w: W, r: &SessionRecord) -> io::Result<()> {
+    write!(
+        w,
+        "{},{},{},{},{}",
+        r.user.raw(),
+        r.ap.raw(),
+        r.controller.raw(),
+        r.connect.as_secs(),
+        r.disconnect.as_secs()
+    )?;
+    for v in &r.volume_by_app {
+        write!(w, ",{}", v.as_u64())?;
+    }
+    writeln!(w)
+}
+
 /// Writes records as CSV with a header row.
 ///
 /// A `&mut` reference to any writer can be passed (`Write` is implemented
@@ -62,21 +95,9 @@ pub(crate) const SESSION_HEADER: &str =
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_sessions<W: Write>(mut w: W, records: &[SessionRecord]) -> io::Result<()> {
-    writeln!(w, "{SESSION_HEADER}")?;
+    write_session_header(&mut w)?;
     for r in records {
-        write!(
-            w,
-            "{},{},{},{},{}",
-            r.user.raw(),
-            r.ap.raw(),
-            r.controller.raw(),
-            r.connect.as_secs(),
-            r.disconnect.as_secs()
-        )?;
-        for v in &r.volume_by_app {
-            write!(w, ",{}", v.as_u64())?;
-        }
-        writeln!(w)?;
+        write_session_row(&mut w, r)?;
     }
     Ok(())
 }

@@ -383,6 +383,7 @@ pub struct StreamingReader<R: BufRead, T: IngestRow> {
     seen: HashSet<u64>,
     last_start: Option<u64>,
     finished: bool,
+    publish_on_eof: bool,
     _row: PhantomData<T>,
 }
 
@@ -419,8 +420,24 @@ impl<R: BufRead, T: IngestRow> StreamingReader<R, T> {
             seen: HashSet::new(),
             last_start: None,
             finished: false,
+            publish_on_eof: true,
             _row: PhantomData,
         })
+    }
+
+    /// Disables the end-of-file publication of this reader's
+    /// [`IngestReport`] to the `trace.ingest.*` metrics.
+    ///
+    /// Multi-pass consumers (e.g. the streaming replay path, which scans a
+    /// file once for its extent and once to replay it) must publish exactly
+    /// one pass, or the metric totals would double relative to a
+    /// single-read in-memory ingest. Silence every pass but the canonical
+    /// one with this builder; the in-memory [`IngestReport`] is still
+    /// tallied and available through [`StreamingReader::report`].
+    #[must_use]
+    pub fn without_publish(mut self) -> Self {
+        self.publish_on_eof = false;
+        self
     }
 
     /// The tallies so far (complete once the iterator has returned `None`).
@@ -443,7 +460,9 @@ impl<R: BufRead, T: IngestRow> StreamingReader<R, T> {
             return;
         }
         self.finished = true;
-        self.report.publish();
+        if self.publish_on_eof {
+            self.report.publish();
+        }
     }
 }
 

@@ -1,0 +1,614 @@
+//! The event-driven trace-replay simulation engine.
+//!
+//! Replays a time-sorted [`s3_trace::SessionDemand`] stream against a
+//! [`Topology`] under an [`ApSelector`] policy. The core is one unified
+//! loop draining a time-ordered event queue over incrementally maintained
+//! per-AP state:
+//!
+//! 1. **Departures** scheduled before the next batch head release load
+//!    and association state;
+//! 2. **rebalance ticks** and **load-report refreshes** fire lazily at
+//!    epoch boundaries crossed by a batch head;
+//! 3. an **arrival batch** — everything inside one batching window —
+//!    is grouped per controller and handed to the policy as a batch (a
+//!    class start is a burst of simultaneous arrivals — precisely the
+//!    case where the S³ clique logic matters).
+//!
+//! Demands are pulled from a [`DemandSource`]: an in-memory slice
+//! ([`SliceSource`]) or a streaming reader ([`StreamSource`]) that lets
+//! [`SimEngine::run_streamed`] replay traces larger than RAM with memory
+//! bounded by concurrent sessions. Policies see candidate APs through
+//! borrowed zero-copy [`crate::selector::ApView`]s into the engine's live
+//! state (see `docs/ENGINE.md` for the full event model).
+//!
+//! Load accounting uses each session's true mean rate — the simulator's
+//! equivalent of the paper's "served traffic amount" field. Policies do
+//! *not* see that live load: they see per-AP loads as of the last counter
+//! report ([`SimConfig::load_report_interval`]), which is what makes the
+//! incumbent least-load controller herd arrival bursts.
+//!
+//! The engine can also run an **online rebalancer**
+//! ([`SimConfig::rebalance`]) that periodically migrates sessions from the
+//! most- to the least-loaded AP — the "other category" of load balancing
+//! the paper contrasts with: excellent balance, at the price of counted
+//! connection disruptions. A migrated session is split into per-AP
+//! [`s3_trace::SessionRecord`] segments with its volume
+//! divided proportionally.
+
+mod events;
+mod runner;
+mod source;
+mod state;
+
+pub use runner::RunTotals;
+pub use source::{CollectSink, DemandSource, EngineError, RecordSink, SliceSource, StreamSource};
+
+use s3_obs::{Desc, Stability, Unit};
+use s3_trace::{SessionDemand, SessionRecord};
+use s3_types::TimeDelta;
+
+use crate::selector::ApSelector;
+use crate::topology::Topology;
+
+static UNSORTED_RECOVERIES: Desc = Desc {
+    name: "wlan.engine.unsorted_recoveries",
+    help: "Replay inputs that arrived out of order and were re-sorted",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+
+/// Online-rebalancer settings (the migrating baseline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceConfig {
+    /// How often the rebalancer runs.
+    pub interval: TimeDelta,
+    /// Maximum migrations per controller per round.
+    pub max_moves_per_round: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            interval: TimeDelta::minutes(5),
+            max_moves_per_round: 8,
+        }
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Arrivals within this window of the batch head are presented to the
+    /// policy together (per controller). Zero disables batching.
+    pub batch_window: TimeDelta,
+    /// How often APs report traffic counters to the controller. Policies
+    /// see the load *as of the last report* — the classic SNMP-style
+    /// polling lag that makes pure least-load controllers herd bursts of
+    /// arrivals onto one AP. Associations (who is connected where) are
+    /// always live: the controller mediates them itself. Zero disables the
+    /// lag (policies see live load — an oracle baseline).
+    pub load_report_interval: TimeDelta,
+    /// Optional online rebalancer: periodically migrates sessions off the
+    /// most-loaded AP. `None` (the default) keeps every session where the
+    /// policy placed it — the paper's "user-friendly" regime.
+    pub rebalance: Option<RebalanceConfig>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            batch_window: TimeDelta::secs(30),
+            load_report_interval: TimeDelta::minutes(5),
+            rebalance: None,
+        }
+    }
+}
+
+/// Output of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Session records, sorted by connect time. Without rebalancing,
+    /// exactly one record per demand; with it, migrated sessions appear as
+    /// several per-AP segments whose volumes sum to the demand's.
+    pub records: Vec<SessionRecord>,
+    /// Demands that could not be placed (no candidate AP — topology
+    /// mismatch; normally zero).
+    pub rejected: usize,
+    /// Mid-session migrations performed by the rebalancer (each one is a
+    /// user-visible connection disruption).
+    pub migrations: usize,
+}
+
+/// The replay engine.
+#[derive(Debug)]
+pub struct SimEngine {
+    pub(crate) topology: Topology,
+    pub(crate) config: SimConfig,
+}
+
+impl SimEngine {
+    /// Creates an engine over `topology`.
+    pub fn new(topology: Topology, config: SimConfig) -> Self {
+        SimEngine { topology, config }
+    }
+
+    /// The engine's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// [`SimEngine::run`] for demand streams that may be out of arrival
+    /// order — e.g. recovered leniently from a clock-skewed or
+    /// fault-injected log. When a resort is needed the demands are copied,
+    /// sorted by `(arrive, user)` (the canonical deterministic order) and
+    /// the recovery is counted in `wlan.engine.unsorted_recoveries`;
+    /// already-sorted input delegates directly with no copy.
+    pub fn run_unsorted(
+        &self,
+        demands: &[SessionDemand],
+        selector: &mut dyn ApSelector,
+    ) -> SimResult {
+        if demands.windows(2).all(|w| w[0].arrive <= w[1].arrive) {
+            return self.run(demands, selector);
+        }
+        s3_obs::global().counter(&UNSORTED_RECOVERIES).inc();
+        let mut sorted = demands.to_vec();
+        sorted.sort_by_key(|d| (d.arrive, d.user));
+        self.run(&sorted, selector)
+    }
+
+    /// Replays `demands` (must be sorted by arrival time) under `selector`.
+    /// Use [`SimEngine::run_unsorted`] for streams of unknown order and
+    /// [`SimEngine::run_streamed`] for traces that do not fit in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demands` is not sorted by arrival time, or if the
+    /// selector returns an out-of-range candidate index.
+    pub fn run(&self, demands: &[SessionDemand], selector: &mut dyn ApSelector) -> SimResult {
+        assert!(
+            demands.windows(2).all(|w| w[0].arrive <= w[1].arrive),
+            "demands must be sorted by arrival time"
+        );
+        let mut source = SliceSource::new(demands);
+        self.run_source(&mut source, selector)
+            .expect("slice replay is infallible")
+    }
+
+    /// Replays demands pulled from any [`DemandSource`], collecting the
+    /// result in memory.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Source`] on reader failures and
+    /// [`EngineError::Unsorted`] if the source yields demands out of
+    /// arrival order.
+    pub fn run_source(
+        &self,
+        source: &mut dyn DemandSource,
+        selector: &mut dyn ApSelector,
+    ) -> Result<SimResult, EngineError> {
+        let mut sink = CollectSink::with_capacity(source.len_hint().unwrap_or(0));
+        let totals = self.run_events(source, selector, &mut sink)?;
+        let mut records = sink.records;
+        // Migrations close segments out of connect order; restore a stable
+        // order for downstream consumers.
+        records.sort_by_key(|r| (r.connect, r.user, r.ap));
+        Ok(SimResult {
+            records,
+            rejected: totals.rejected,
+            migrations: totals.migrations,
+        })
+    }
+
+    /// Fully streaming replay: demands pulled from `source`, records
+    /// pushed to `sink` as soon as each batch is placed. Peak memory is
+    /// bounded by the live session table and the widest arrival batch —
+    /// not the trace length — and the emitted record stream is globally
+    /// sorted by `(connect, user, ap)`, byte-identical to what
+    /// [`SimEngine::run`] would produce for the same demands.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::StreamedRebalance`] if the engine is configured with
+    /// the online rebalancer (its mid-session segment splits need the full
+    /// record log); otherwise as [`SimEngine::run_source`], plus
+    /// [`EngineError::Sink`] on writer failures.
+    pub fn run_streamed(
+        &self,
+        source: &mut dyn DemandSource,
+        selector: &mut dyn ApSelector,
+        sink: &mut dyn RecordSink,
+    ) -> Result<RunTotals, EngineError> {
+        if self.config.rebalance.is_some() {
+            return Err(EngineError::StreamedRebalance);
+        }
+        self.run_events(source, selector, sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::{ApView, ArrivalUser, LeastLoadedFirst, SelectionContext, StrongestRssi};
+    use crate::topology::Topology;
+    use s3_trace::generator::{CampusConfig, CampusGenerator};
+    use s3_types::{ApId, AppCategory, BuildingId, Bytes, ControllerId, Timestamp, UserId};
+    use std::io::BufReader;
+
+    fn demand(user: u32, building: u32, arrive: u64, depart: u64, mb: u64) -> SessionDemand {
+        let mut volume_by_app = [Bytes::ZERO; 6];
+        volume_by_app[AppCategory::WebBrowsing.index()] = Bytes::megabytes(mb);
+        SessionDemand {
+            user: UserId::new(user),
+            building: BuildingId::new(building),
+            controller: ControllerId::new(building),
+            arrive: Timestamp::from_secs(arrive),
+            depart: Timestamp::from_secs(depart),
+            volume_by_app,
+        }
+    }
+
+    fn tiny_engine() -> SimEngine {
+        let topology = Topology::from_campus(&CampusConfig::tiny());
+        SimEngine::new(topology, SimConfig::default())
+    }
+
+    #[test]
+    fn every_demand_is_placed() {
+        let campus = CampusGenerator::new(CampusConfig::tiny(), 3).generate();
+        let engine = SimEngine::new(Topology::from_campus(&campus.config), SimConfig::default());
+        let result = engine.run(&campus.demands, &mut LeastLoadedFirst::new());
+        assert_eq!(result.records.len(), campus.demands.len());
+        assert_eq!(result.rejected, 0);
+        assert_eq!(result.migrations, 0);
+        // Every record's AP belongs to the record's controller.
+        for r in &result.records {
+            assert!(engine
+                .topology()
+                .aps_of_controller(r.controller)
+                .contains(&r.ap));
+        }
+    }
+
+    #[test]
+    fn llf_spreads_simultaneous_arrivals() {
+        let engine = tiny_engine();
+        // Three users arrive together in building 0 (3 APs).
+        let demands = vec![
+            demand(1, 0, 100, 5_000, 10),
+            demand(2, 0, 105, 5_000, 10),
+            demand(3, 0, 110, 5_000, 10),
+        ];
+        let result = engine.run(&demands, &mut LeastLoadedFirst::new());
+        let aps: std::collections::HashSet<ApId> = result.records.iter().map(|r| r.ap).collect();
+        assert_eq!(
+            aps.len(),
+            3,
+            "LLF must use all three APs: {:?}",
+            result.records
+        );
+    }
+
+    #[test]
+    fn departures_release_load() {
+        let engine = tiny_engine();
+        // User 1 occupies an AP then leaves; user 2 arrives after and must
+        // see an empty domain (LLF picks the lowest id again).
+        let demands = vec![demand(1, 0, 100, 200, 100), demand(2, 0, 700, 800, 100)];
+        let result = engine.run(&demands, &mut LeastLoadedFirst::new());
+        assert_eq!(result.records[0].ap, result.records[1].ap);
+    }
+
+    #[test]
+    fn load_accumulates_within_sessions() {
+        let engine = tiny_engine();
+        // Users overlap; the user-count tie-break sees the first user's
+        // association immediately, so the second lands elsewhere.
+        let demands = vec![
+            demand(1, 0, 100, 10_000, 500),
+            demand(2, 0, 200, 10_000, 500),
+        ];
+        let result = engine.run(&demands, &mut LeastLoadedFirst::new());
+        assert_ne!(result.records[0].ap, result.records[1].ap);
+    }
+
+    #[test]
+    fn controllers_are_isolated() {
+        let engine = tiny_engine();
+        let demands = vec![demand(1, 0, 100, 200, 1), demand(2, 1, 100, 200, 1)];
+        let result = engine.run(&demands, &mut LeastLoadedFirst::new());
+        assert_eq!(result.records[0].controller, ControllerId::new(0));
+        assert_eq!(result.records[1].controller, ControllerId::new(1));
+        assert_ne!(result.records[0].ap, result.records[1].ap);
+    }
+
+    #[test]
+    fn strongest_rssi_is_stable_per_session() {
+        let engine = tiny_engine();
+        let demands = vec![demand(7, 0, 1_000, 2_000, 1)];
+        let a = engine.run(&demands, &mut StrongestRssi::new());
+        let b = engine.run(&demands, &mut StrongestRssi::new());
+        assert_eq!(
+            a.records[0].ap, b.records[0].ap,
+            "radio model is deterministic"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_demands_panic() {
+        let engine = tiny_engine();
+        let demands = vec![demand(1, 0, 500, 600, 1), demand(2, 0, 100, 200, 1)];
+        let _ = engine.run(&demands, &mut LeastLoadedFirst::new());
+    }
+
+    #[test]
+    fn run_unsorted_delegation_and_recovery_counter() {
+        // Satellite coverage for run_unsorted through the DemandSource
+        // path: sorted input takes the no-copy fast path (no recovery
+        // counted); skewed input is re-sorted once and counted. Both
+        // checks live in one test so the process-wide counter delta is
+        // race-free under the parallel test runner.
+        let recoveries = s3_obs::global().counter(&UNSORTED_RECOVERIES);
+        let engine = tiny_engine();
+        let sorted = vec![demand(2, 0, 100, 200, 1), demand(1, 0, 500, 600, 1)];
+
+        let before = recoveries.get();
+        let a = engine.run_unsorted(&sorted, &mut LeastLoadedFirst::new());
+        assert_eq!(
+            recoveries.get(),
+            before,
+            "sorted input must take the fast path without a recovery"
+        );
+
+        let shuffled = vec![sorted[1].clone(), sorted[0].clone()];
+        let before = recoveries.get();
+        let b = engine.run_unsorted(&shuffled, &mut LeastLoadedFirst::new());
+        assert_eq!(recoveries.get(), before + 1, "skew must count one recovery");
+        assert_eq!(a, b, "recovery must reproduce the sorted replay exactly");
+    }
+
+    /// A selector that records how many users it saw per batch call.
+    struct Recorder {
+        batch_sizes: Vec<usize>,
+    }
+    impl ApSelector for Recorder {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+        fn select(&mut self, _ctx: &SelectionContext<'_>) -> usize {
+            0
+        }
+        fn select_batch(&mut self, users: &[ArrivalUser], candidates: &[ApView<'_>]) -> Vec<usize> {
+            self.batch_sizes.push(users.len());
+            vec![0; users.len().min(candidates.len().max(1))]
+        }
+    }
+
+    #[test]
+    fn batch_window_groups_arrivals() {
+        let engine = tiny_engine();
+        let demands = vec![
+            demand(1, 0, 100, 900, 1),
+            demand(2, 0, 110, 900, 1), // within 30 s of head
+            demand(3, 0, 500, 900, 1), // separate batch
+        ];
+        let mut recorder = Recorder {
+            batch_sizes: vec![],
+        };
+        let _ = engine.run(&demands, &mut recorder);
+        assert_eq!(recorder.batch_sizes, vec![2, 1]);
+    }
+
+    #[test]
+    fn demand_at_exact_window_boundary_joins_the_batch() {
+        // Regression pin for the `<=` convention: an arrival at exactly
+        // `batch_head + batch_window` belongs to the batch; one second
+        // later starts a new one. The event-driven queue must not silently
+        // flip this boundary.
+        let engine = tiny_engine(); // batch_window = 30 s
+        let demands = vec![
+            demand(1, 0, 100, 900, 1),
+            demand(2, 0, 130, 900, 1), // exactly head + window: included
+            demand(3, 0, 131, 900, 1), // one past: a new batch
+        ];
+        let mut recorder = Recorder {
+            batch_sizes: vec![],
+        };
+        let _ = engine.run(&demands, &mut recorder);
+        assert_eq!(recorder.batch_sizes, vec![2, 1]);
+    }
+
+    #[test]
+    fn zero_batch_window_processes_one_by_one() {
+        let engine = SimEngine::new(
+            Topology::from_campus(&CampusConfig::tiny()),
+            SimConfig {
+                batch_window: TimeDelta::ZERO,
+                ..SimConfig::default()
+            },
+        );
+        let demands = vec![demand(1, 0, 100, 900, 1), demand(2, 0, 100, 900, 1)];
+        let result = engine.run(&demands, &mut LeastLoadedFirst::new());
+        // Same-instant arrivals still both placed.
+        assert_eq!(result.records.len(), 2);
+    }
+
+    #[test]
+    fn stream_source_replay_equals_slice_replay() {
+        // The streaming adapter over DemandReader must reproduce the
+        // in-memory path exactly, records included.
+        let campus = CampusGenerator::new(CampusConfig::tiny(), 11).generate();
+        let mut demands = campus.demands.clone();
+        demands.sort_by_key(|d| (d.arrive, d.user));
+        let engine = SimEngine::new(Topology::from_campus(&campus.config), SimConfig::default());
+        let in_memory = engine.run(&demands, &mut LeastLoadedFirst::new());
+
+        let mut csv = Vec::new();
+        s3_trace::csv::write_demands(&mut csv, &demands).unwrap();
+        let reader = s3_trace::ingest::DemandReader::new(
+            BufReader::new(csv.as_slice()),
+            s3_trace::ingest::IngestMode::Strict,
+        )
+        .unwrap()
+        .without_publish();
+        let mut source = StreamSource::new(reader);
+        let streamed = engine
+            .run_source(&mut source, &mut LeastLoadedFirst::new())
+            .unwrap();
+        assert_eq!(streamed, in_memory);
+    }
+
+    #[test]
+    fn run_streamed_sink_stream_is_globally_sorted_and_complete() {
+        let campus = CampusGenerator::new(CampusConfig::tiny(), 12).generate();
+        let mut demands = campus.demands.clone();
+        demands.sort_by_key(|d| (d.arrive, d.user));
+        let engine = SimEngine::new(Topology::from_campus(&campus.config), SimConfig::default());
+        let in_memory = engine.run(&demands, &mut LeastLoadedFirst::new());
+
+        let mut source = SliceSource::new(&demands);
+        let mut sink = CollectSink::default();
+        let totals = engine
+            .run_streamed(&mut source, &mut LeastLoadedFirst::new(), &mut sink)
+            .unwrap();
+        // Emission order IS the final order: no post-hoc sort allowed in a
+        // streaming pipeline.
+        assert_eq!(sink.records, in_memory.records);
+        assert_eq!(totals.placed, demands.len());
+        assert_eq!(totals.records, in_memory.records.len());
+        assert_eq!(totals.rejected, 0);
+        assert_eq!(totals.migrations, 0);
+    }
+
+    #[test]
+    fn run_streamed_rejects_the_rebalancer() {
+        let engine = rebalancing_engine();
+        let demands = stacked_demands();
+        let mut source = SliceSource::new(&demands);
+        let mut sink = CollectSink::default();
+        let err = engine
+            .run_streamed(&mut source, &mut Stacker, &mut sink)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::StreamedRebalance), "{err}");
+    }
+
+    #[test]
+    fn unsorted_stream_source_is_an_error_not_a_panic() {
+        // The streaming engine cannot pre-scan, so skew surfaces as a
+        // typed error naming both timestamps.
+        let engine = tiny_engine();
+        let demands = vec![demand(1, 0, 500, 600, 1), demand(2, 0, 100, 200, 1)];
+        let mut source = SliceSource::new(&demands);
+        let err = engine
+            .run_source(&mut source, &mut LeastLoadedFirst::new())
+            .unwrap_err();
+        match err {
+            EngineError::Unsorted { prev, next } => {
+                assert_eq!((prev, next), (500, 100));
+            }
+            other => panic!("expected Unsorted, got {other}"),
+        }
+    }
+
+    fn rebalancing_engine() -> SimEngine {
+        SimEngine::new(
+            Topology::from_campus(&CampusConfig::tiny()),
+            SimConfig {
+                rebalance: Some(RebalanceConfig {
+                    interval: TimeDelta::minutes(5),
+                    max_moves_per_round: 4,
+                }),
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    /// A pathological policy that stacks every arrival on candidate 0 —
+    /// the worst case the rebalancer exists to clean up.
+    struct Stacker;
+    impl ApSelector for Stacker {
+        fn name(&self) -> &str {
+            "stacker"
+        }
+        fn select(&mut self, _ctx: &SelectionContext<'_>) -> usize {
+            0
+        }
+    }
+
+    /// Six heavy sessions that the stacker piles on one AP, plus a later
+    /// arrival that triggers a rebalance round.
+    fn stacked_demands() -> Vec<SessionDemand> {
+        let mut demands: Vec<SessionDemand> = (0..6)
+            .map(|i| demand(i, 0, 100 + i as u64, 50_000, 200))
+            .collect();
+        demands.push(demand(99, 0, 10_000, 11_000, 1));
+        demands
+    }
+
+    #[test]
+    fn rebalancer_migrates_and_conserves_volume() {
+        let engine = rebalancing_engine();
+        let demands = stacked_demands();
+        let result = engine.run(&demands, &mut Stacker);
+        assert!(result.migrations > 0, "rebalancer must move something");
+        let served: u64 = result
+            .records
+            .iter()
+            .map(|r| r.total_volume().as_u64())
+            .sum();
+        let demanded: u64 = demands.iter().map(|d| d.total_volume().as_u64()).sum();
+        assert_eq!(served, demanded, "migration must conserve traffic");
+    }
+
+    #[test]
+    fn migrated_sessions_split_into_contiguous_segments() {
+        let engine = rebalancing_engine();
+        let demands = stacked_demands();
+        let result = engine.run(&demands, &mut Stacker);
+        for d in &demands {
+            let mut segments: Vec<&SessionRecord> =
+                result.records.iter().filter(|r| r.user == d.user).collect();
+            segments.sort_by_key(|r| r.connect);
+            assert_eq!(segments.first().unwrap().connect, d.arrive);
+            assert_eq!(segments.last().unwrap().disconnect, d.depart);
+            for w in segments.windows(2) {
+                assert_eq!(
+                    w[0].disconnect, w[1].connect,
+                    "segments must tile the session"
+                );
+                assert_ne!(w[0].ap, w[1].ap, "a migration changes the AP");
+            }
+            let vol: u64 = segments.iter().map(|r| r.total_volume().as_u64()).sum();
+            assert_eq!(vol, d.total_volume().as_u64());
+        }
+    }
+
+    #[test]
+    fn no_rebalance_config_means_no_migrations() {
+        let engine = tiny_engine();
+        let demands = stacked_demands();
+        let result = engine.run(&demands, &mut Stacker);
+        assert_eq!(result.migrations, 0);
+        assert_eq!(result.records.len(), demands.len());
+    }
+
+    #[test]
+    fn rebalancer_improves_balance_of_a_stacked_domain() {
+        let demands = stacked_demands();
+        let plain = tiny_engine().run(&demands, &mut Stacker);
+        let rebalanced = rebalancing_engine().run(&demands, &mut Stacker);
+        let spread = |records: &[SessionRecord]| {
+            records
+                .iter()
+                .map(|r| r.ap)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert!(
+            spread(&rebalanced.records) > spread(&plain.records),
+            "rebalancing must spread sessions over more APs"
+        );
+    }
+}

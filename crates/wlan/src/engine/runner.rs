@@ -1,0 +1,483 @@
+//! The unified event-driven replay loop.
+//!
+//! [`SimEngine::run_events`] is the single loop behind every public entry
+//! point ([`SimEngine::run`], [`SimEngine::run_unsorted`],
+//! [`SimEngine::run_streamed`]): it pulls demands from a
+//! [`DemandSource`], batches arrivals per window, schedules everything
+//! else (departures, rebalance ticks, load reports) on the
+//! [`EventQueue`], and emits session records to a
+//! [`super::source::RecordSink`].
+//!
+//! # Drain discipline
+//!
+//! Each cycle pulls the next batch head from the source, schedules the
+//! cycle's epoch events and the arrival batch at that head, then drains
+//! every event due at or before it. The drain stops right after the
+//! arrival batch fires: departures scheduled *during* placement — even
+//! zero-length sessions departing within the same second — wait for the
+//! next batch head (or the final drain), exactly as the old loop applied
+//! departures only at batch heads.
+//!
+//! # Record emission
+//!
+//! Without the rebalancer a session's record is fully determined at
+//! placement (connect = arrival, disconnect = scheduled departure, volume
+//! = the whole demand), so records are emitted *per batch*, sorted by
+//! `(connect, user, ap)` within the batch. Batch connect ranges are
+//! disjoint and increasing, so the streamed concatenation is globally
+//! sorted — byte-identical to the in-memory path's final sort, with peak
+//! memory bounded by the widest batch plus the live session table. With
+//! the rebalancer, segments are only known at migration/departure time;
+//! records are emitted then and globally sorted by the in-memory wrapper
+//! (streaming + rebalancing is rejected:
+//! [`EngineError::StreamedRebalance`]).
+
+use std::collections::HashMap;
+
+use s3_obs::{Counter, Desc, Histogram, HistogramDesc, Stability, Unit};
+use s3_trace::{SessionDemand, SessionRecord};
+use s3_types::{ControllerId, Timestamp};
+
+use super::events::{Event, EventPayload, EventQueue};
+use super::source::{DemandSource, EngineError, RecordSink};
+use super::state::{Active, RunState};
+use super::SimEngine;
+use crate::radio::{distance, rssi_at, session_position};
+use crate::selector::{ApSelector, ApView, ArrivalUser};
+
+// Replay-engine metrics (documented in docs/METRICS.md). The engine is
+// sequential within a run, and sweep binaries that replay many scenarios in
+// parallel only ever *add* (u64 addition is associative), so every value
+// here is a pure function of the demand stream and topology.
+static RUNS: Desc = Desc {
+    name: "wlan.engine.runs",
+    help: "Replay runs executed",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static DEMANDS: Desc = Desc {
+    name: "wlan.engine.demands",
+    help: "Session demands fed into replay runs",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static BATCHES: Desc = Desc {
+    name: "wlan.engine.batches",
+    help: "Arrival batches presented to the selection policy",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static BATCH_SIZE: HistogramDesc = HistogramDesc {
+    name: "wlan.engine.batch_size",
+    help: "Arrivals grouped into each batch window",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+    bounds: &[1, 2, 4, 8, 16, 32, 64],
+};
+static PLACEMENTS: Desc = Desc {
+    name: "wlan.engine.placements",
+    help: "Sessions placed on an AP by the policy",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static REJECTED: Desc = Desc {
+    name: "wlan.engine.rejected",
+    help: "Demands with no candidate AP (controller without APs)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static DEPARTURES: Desc = Desc {
+    name: "wlan.engine.departures",
+    help: "Sessions closed at their scheduled departure time",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static MIGRATIONS: Desc = Desc {
+    name: "wlan.engine.migrations",
+    help: "Mid-session migrations performed by the online rebalancer",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static LOAD_REPORTS: Desc = Desc {
+    name: "wlan.engine.load_reports",
+    help: "Controller load-report refreshes (policies see loads as of the last one)",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static REBALANCE_ROUNDS: Desc = Desc {
+    name: "wlan.engine.rebalance_rounds",
+    help: "Online-rebalancer rounds executed",
+    unit: Unit::Count,
+    stability: Stability::Stable,
+};
+static AP_LOAD_KBPS: HistogramDesc = HistogramDesc {
+    name: "wlan.engine.ap_load_kbps",
+    help: "Per-AP load sampled at every controller report refresh",
+    unit: Unit::Kbps,
+    stability: Stability::Stable,
+    bounds: &[100, 1_000, 5_000, 10_000, 25_000, 50_000, 100_000],
+};
+static RUN_MICROS: HistogramDesc = HistogramDesc {
+    name: "wlan.engine.run_micros",
+    help: "Wall-clock duration of each replay run",
+    unit: Unit::Micros,
+    stability: Stability::Volatile,
+    bounds: &[
+        10_000,
+        100_000,
+        1_000_000,
+        10_000_000,
+        60_000_000,
+        600_000_000,
+    ],
+};
+
+/// Aggregate counts of one engine run (what a streaming caller gets
+/// instead of a materialized [`super::SimResult`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunTotals {
+    /// Sessions placed on an AP.
+    pub placed: usize,
+    /// Demands with no candidate AP.
+    pub rejected: usize,
+    /// Mid-session migrations performed by the rebalancer.
+    pub migrations: usize,
+    /// Session records emitted to the sink.
+    pub records: usize,
+}
+
+/// Per-run loop state threaded through the event handlers.
+struct RunCtx<'a> {
+    run: RunState,
+    queue: EventQueue,
+    /// Hoisted once per run — the old loop cloned it every batch.
+    max_moves_per_round: usize,
+    /// With a rebalancer, segments are only known at migration/departure;
+    /// without one, records are fully determined at placement.
+    emit_at_departure: bool,
+    /// Per-batch record staging (placement-emission mode).
+    scratch: Vec<SessionRecord>,
+    rejected: usize,
+    placed: usize,
+    records: usize,
+    sink: &'a mut dyn RecordSink,
+    selector: &'a mut dyn ApSelector,
+    batches: Counter,
+    batch_size: Histogram,
+    placements: Counter,
+    departures: Counter,
+    load_reports: Counter,
+    ap_load_kbps: Histogram,
+}
+
+impl RunCtx<'_> {
+    fn emit(&mut self, record: SessionRecord) -> Result<(), EngineError> {
+        self.sink.emit(record).map_err(EngineError::Sink)?;
+        self.records += 1;
+        Ok(())
+    }
+}
+
+impl SimEngine {
+    /// The unified event-driven loop every public entry point delegates
+    /// to. `source` must yield demands sorted by arrival time.
+    pub(super) fn run_events(
+        &self,
+        source: &mut dyn DemandSource,
+        selector: &mut dyn ApSelector,
+        sink: &mut dyn RecordSink,
+    ) -> Result<RunTotals, EngineError> {
+        let registry = s3_obs::global();
+        let _span = registry.timer(&RUN_MICROS);
+        registry.counter(&RUNS).inc();
+        let demands_total = registry.counter(&DEMANDS);
+        let rebalance = self.config.rebalance.clone();
+        let mut ctx = RunCtx {
+            run: RunState::new(self.topology.ap_count()),
+            queue: EventQueue::new(),
+            max_moves_per_round: rebalance.as_ref().map_or(0, |rb| rb.max_moves_per_round),
+            emit_at_departure: rebalance.is_some(),
+            scratch: Vec::new(),
+            rejected: 0,
+            placed: 0,
+            records: 0,
+            sink,
+            selector,
+            batches: registry.counter(&BATCHES),
+            batch_size: registry.histogram(&BATCH_SIZE),
+            placements: registry.counter(&PLACEMENTS),
+            departures: registry.counter(&DEPARTURES),
+            load_reports: registry.counter(&LOAD_REPORTS),
+            ap_load_kbps: registry.histogram(&AP_LOAD_KBPS),
+        };
+        let mut last_report: Option<u64> = None;
+        let mut last_rebalance: Option<u64> = None;
+        let mut pending = source.next_demand().map_err(EngineError::Source)?;
+
+        while let Some(head_demand) = pending.take() {
+            let batch_head = head_demand.arrive;
+            let deadline = batch_head + self.config.batch_window;
+            // Collect the batch: every demand arriving at or before the
+            // deadline (inclusive — the `<=` convention is load-bearing,
+            // see `demand_at_exact_window_boundary_joins_the_batch`).
+            let mut batch = vec![head_demand];
+            while let Some(d) = source.next_demand().map_err(EngineError::Source)? {
+                let prev = batch.last().expect("batch starts non-empty").arrive;
+                if d.arrive < prev {
+                    return Err(EngineError::Unsorted {
+                        prev: prev.as_secs(),
+                        next: d.arrive.as_secs(),
+                    });
+                }
+                if d.arrive <= deadline {
+                    batch.push(d);
+                } else {
+                    pending = Some(d);
+                    break;
+                }
+            }
+            demands_total.add(batch.len() as u64);
+
+            // Epoch events fire lazily, at batch heads that land in a new
+            // epoch — an idle trace gap runs no reports (exactly the old
+            // loop's lazy-epoch semantics, which the metric identity
+            // contract pins).
+            if let Some(rb) = &rebalance {
+                if !rb.interval.is_zero() {
+                    let epoch = batch_head.as_secs() / rb.interval.as_secs();
+                    if last_rebalance != Some(epoch) {
+                        ctx.queue.push(batch_head, EventPayload::RebalanceTick);
+                        last_rebalance = Some(epoch);
+                    }
+                }
+            }
+            let report_epoch = if self.config.load_report_interval.is_zero() {
+                None
+            } else {
+                Some(batch_head.as_secs() / self.config.load_report_interval.as_secs())
+            };
+            if report_epoch.is_none() || last_report != report_epoch {
+                ctx.queue.push(batch_head, EventPayload::LoadReport);
+                last_report = report_epoch;
+            }
+            ctx.queue
+                .push(batch_head, EventPayload::ArrivalBatch { batch });
+
+            // Drain everything due at this head; stop right after the
+            // (single) arrival batch so departures scheduled during
+            // placement wait for the next head (see module docs).
+            while let Some(event) = ctx.queue.pop_due(batch_head) {
+                let is_arrival = matches!(event.payload, EventPayload::ArrivalBatch { .. });
+                self.handle_event(&mut ctx, event)?;
+                if is_arrival {
+                    break;
+                }
+            }
+        }
+        // Final drain: remaining departures (no further arrivals exist).
+        while let Some(event) = ctx.queue.pop() {
+            self.handle_event(&mut ctx, event)?;
+        }
+        ctx.queue.publish();
+        registry.counter(&REJECTED).add(ctx.rejected as u64);
+        registry.counter(&MIGRATIONS).add(ctx.run.migrations as u64);
+        Ok(RunTotals {
+            placed: ctx.placed,
+            rejected: ctx.rejected,
+            migrations: ctx.run.migrations,
+            records: ctx.records,
+        })
+    }
+
+    fn handle_event(&self, ctx: &mut RunCtx<'_>, event: Event) -> Result<(), EngineError> {
+        match event.payload {
+            EventPayload::Departure { session } => {
+                let Some(mut active) = ctx.run.close(session) else {
+                    return Ok(());
+                };
+                ctx.departures.inc();
+                ctx.run.release(active.ap, active.user, active.rate);
+                if ctx.emit_at_departure {
+                    let end = active.depart;
+                    let record = active.close_segment(end, true);
+                    ctx.emit(record)?;
+                }
+                Ok(())
+            }
+            EventPayload::RebalanceTick => self.rebalance_round(ctx, event.at),
+            EventPayload::LoadReport => {
+                ctx.load_reports.inc();
+                for (r, s) in ctx.run.reported.iter_mut().zip(&ctx.run.state) {
+                    *r = s.load;
+                    ctx.ap_load_kbps.observe((s.load.as_f64() / 1_000.0) as u64);
+                }
+                Ok(())
+            }
+            EventPayload::ArrivalBatch { batch } => self.place_batch(ctx, &batch),
+        }
+    }
+
+    fn place_batch(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        batch: &[SessionDemand],
+    ) -> Result<(), EngineError> {
+        ctx.batches.inc();
+        ctx.batch_size.observe(batch.len() as u64);
+        // Group the batch by controller, preserving first-appearance
+        // order; an index map replaces the old O(n²) `contains` scan.
+        let mut group_of: HashMap<ControllerId, usize> = HashMap::new();
+        let mut groups: Vec<(ControllerId, Vec<usize>)> = Vec::new();
+        for (i, d) in batch.iter().enumerate() {
+            let gi = *group_of.entry(d.controller).or_insert_with(|| {
+                groups.push((d.controller, Vec::new()));
+                groups.len() - 1
+            });
+            groups[gi].1.push(i);
+        }
+        for (controller, members) in &groups {
+            let aps = self.topology.aps_of_controller(*controller);
+            if aps.is_empty() {
+                ctx.rejected += members.len();
+                continue;
+            }
+            let users: Vec<ArrivalUser> = members
+                .iter()
+                .map(|&i| {
+                    let d = &batch[i];
+                    let pos = session_position(d.user, d.arrive);
+                    let rssi = aps
+                        .iter()
+                        .map(|&ap| {
+                            rssi_at(distance(
+                                pos,
+                                self.topology.ap(ap).expect("ap exists").position,
+                            ))
+                        })
+                        .collect();
+                    ArrivalUser {
+                        user: d.user,
+                        now: d.arrive,
+                        demand_hint: d.mean_rate(),
+                        rssi,
+                    }
+                })
+                .collect();
+            let picks = {
+                // Zero-copy candidate views borrowing the engine's live
+                // association state — nothing is cloned per candidate.
+                let views: Vec<ApView<'_>> = aps
+                    .iter()
+                    .map(|&ap| {
+                        ApView::new(
+                            ap,
+                            ctx.run.reported[ap.index()],
+                            self.topology.ap(ap).expect("ap exists").capacity,
+                            &ctx.run.state[ap.index()].associated,
+                        )
+                    })
+                    .collect();
+                ctx.selector.select_batch(&users, &views)
+            };
+            assert_eq!(picks.len(), users.len(), "one pick per user required");
+            ctx.placements.add(picks.len() as u64);
+            ctx.placed += picks.len();
+            for (&i, &pick) in members.iter().zip(&picks) {
+                assert!(pick < aps.len(), "selector pick out of range");
+                let d = &batch[i];
+                let ap = aps[pick];
+                let session_idx = ctx.run.place(d, ap);
+                ctx.queue.push(
+                    d.depart,
+                    EventPayload::Departure {
+                        session: session_idx,
+                    },
+                );
+                if !ctx.emit_at_departure {
+                    let mut active = Active::from_demand(d, ap);
+                    ctx.scratch.push(active.close_segment(d.depart, true));
+                }
+            }
+        }
+        if !ctx.emit_at_departure && !ctx.scratch.is_empty() {
+            // Emitted per batch in `(connect, user, ap)` order; batch
+            // connect ranges are disjoint and increasing, so the streamed
+            // concatenation is globally sorted (module docs).
+            ctx.scratch.sort_by_key(|r| (r.connect, r.user, r.ap));
+            let mut scratch = std::mem::take(&mut ctx.scratch);
+            for record in scratch.drain(..) {
+                ctx.emit(record)?;
+            }
+            ctx.scratch = scratch;
+        }
+        Ok(())
+    }
+
+    /// Greedy max-to-min migration per controller: repeatedly move the
+    /// best-fitting session from the most-loaded AP to the least-loaded
+    /// one while the gap shrinks.
+    fn rebalance_round(&self, ctx: &mut RunCtx<'_>, now: Timestamp) -> Result<(), EngineError> {
+        s3_obs::global().counter(&REBALANCE_ROUNDS).inc();
+        for controller in self.topology.controllers() {
+            let aps = self.topology.aps_of_controller(controller);
+            if aps.len() < 2 {
+                continue;
+            }
+            for _ in 0..ctx.max_moves_per_round {
+                let mut max_ap = aps[0];
+                let mut min_ap = aps[0];
+                for &ap in aps {
+                    if ctx.run.state[ap.index()].load > ctx.run.state[max_ap.index()].load {
+                        max_ap = ap;
+                    }
+                    if ctx.run.state[ap.index()].load < ctx.run.state[min_ap.index()].load {
+                        min_ap = ap;
+                    }
+                }
+                let gap = ctx.run.state[max_ap.index()]
+                    .load
+                    .saturating_sub(ctx.run.state[min_ap.index()].load);
+                if gap.as_f64() <= 0.0 {
+                    break;
+                }
+                // The largest session on max_ap whose move still shrinks
+                // the gap (rate < gap). Ascending-index iteration plus
+                // last-max-wins `max_by` resolves rate ties to the most
+                // recently placed session, as the old slab scan did.
+                let candidate = ctx
+                    .run
+                    .sessions()
+                    .filter(|(_, s)| s.ap == max_ap && s.rate.as_f64() < gap.as_f64())
+                    .max_by(|a, b| {
+                        a.1.rate
+                            .as_f64()
+                            .partial_cmp(&b.1.rate.as_f64())
+                            .expect("finite rates")
+                    })
+                    .map(|(idx, _)| idx);
+                let Some(idx) = candidate else { break };
+                let active = ctx.run.session_mut(idx).expect("candidate is live");
+                // Close the segment on the old AP (skip zero-length ones).
+                let record = if now > active.segment_start {
+                    Some(active.close_segment(now, false))
+                } else {
+                    active.segment_start = now;
+                    None
+                };
+                let rate = active.rate;
+                let user = active.user;
+                let old = active.ap;
+                active.ap = min_ap;
+                ctx.run.migrations += 1;
+                if let Some(record) = record {
+                    ctx.emit(record)?;
+                }
+                ctx.run.release(old, user, rate);
+                let new_state = &mut ctx.run.state[min_ap.index()];
+                new_state.load += rate;
+                new_state.associated.push(user);
+            }
+        }
+        Ok(())
+    }
+}

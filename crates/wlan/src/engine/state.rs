@@ -1,0 +1,231 @@
+//! Mutable per-run simulation state: AP loads, associations, and the live
+//! session table.
+//!
+//! The session table is a `BTreeMap` keyed by a monotonically increasing
+//! index. Two determinism contracts hang off that choice:
+//!
+//! * departure events are scheduled with the session index at placement
+//!   time, so same-second departures fire in placement order — which
+//!   fixes the (non-associative) floating-point order in which loads are
+//!   released;
+//! * the rebalancer scans sessions in ascending index order and its
+//!   `max_by` keeps the *last* maximum, so rate ties resolve to the most
+//!   recently placed session — exactly what the old `Vec<Option<Active>>`
+//!   slab did.
+
+use std::collections::BTreeMap;
+
+use s3_trace::{SessionDemand, SessionRecord};
+use s3_types::{ApId, BitsPerSec, Bytes, ControllerId, Timestamp, UserId, APP_CATEGORY_COUNT};
+
+/// Live per-AP state. `associated` is the backing store the zero-copy
+/// [`crate::selector::ApView`] borrows from.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ApState {
+    pub load: BitsPerSec,
+    pub associated: Vec<UserId>,
+}
+
+/// A live session being served.
+#[derive(Debug, Clone)]
+pub(crate) struct Active {
+    pub user: UserId,
+    pub controller: ControllerId,
+    pub ap: ApId,
+    pub rate: BitsPerSec,
+    pub depart: Timestamp,
+    /// Start of the current segment (arrival, or the last migration).
+    pub segment_start: Timestamp,
+    /// Volume not yet attributed to a closed segment.
+    pub remaining: [Bytes; APP_CATEGORY_COUNT],
+}
+
+impl Active {
+    pub fn from_demand(demand: &SessionDemand, ap: ApId) -> Self {
+        Active {
+            user: demand.user,
+            controller: demand.controller,
+            ap,
+            rate: demand.mean_rate(),
+            depart: demand.depart,
+            segment_start: demand.arrive,
+            remaining: demand.volume_by_app,
+        }
+    }
+
+    /// Closes the current segment at `end`, emitting a record carrying the
+    /// proportional share of the remaining volume (the final segment takes
+    /// everything left, so totals are conserved exactly).
+    pub fn close_segment(&mut self, end: Timestamp, is_final: bool) -> SessionRecord {
+        let mut volume = [Bytes::ZERO; APP_CATEGORY_COUNT];
+        if is_final {
+            volume = self.remaining;
+            self.remaining = [Bytes::ZERO; APP_CATEGORY_COUNT];
+        } else {
+            let total_left = self.depart.saturating_sub(self.segment_start).as_secs_f64();
+            let seg = end.saturating_sub(self.segment_start).as_secs_f64();
+            let frac = if total_left > 0.0 {
+                (seg / total_left).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            for (slot, rem) in volume.iter_mut().zip(self.remaining.iter_mut()) {
+                let take = Bytes::new((rem.as_f64() * frac) as u64);
+                *slot = take;
+                *rem -= take;
+            }
+        }
+        let record = SessionRecord {
+            user: self.user,
+            ap: self.ap,
+            controller: self.controller,
+            connect: self.segment_start,
+            disconnect: end,
+            volume_by_app: volume,
+        };
+        self.segment_start = end;
+        record
+    }
+}
+
+/// All mutable state of one replay run.
+#[derive(Debug)]
+pub(crate) struct RunState {
+    /// Live per-AP state (load + associations), indexed by AP.
+    pub state: Vec<ApState>,
+    /// Per-AP load as of the last controller report — what policies see.
+    pub reported: Vec<BitsPerSec>,
+    /// Live sessions keyed by placement index.
+    sessions: BTreeMap<u32, Active>,
+    next_session: u32,
+    /// Mid-session migrations performed so far.
+    pub migrations: usize,
+}
+
+impl RunState {
+    pub fn new(ap_count: usize) -> Self {
+        RunState {
+            state: vec![ApState::default(); ap_count],
+            reported: vec![BitsPerSec::ZERO; ap_count],
+            sessions: BTreeMap::new(),
+            next_session: 0,
+            migrations: 0,
+        }
+    }
+
+    /// Admits a session, returning its index (monotone in placement order).
+    pub fn admit(&mut self, active: Active) -> u32 {
+        let idx = self.next_session;
+        self.next_session += 1;
+        self.sessions.insert(idx, active);
+        idx
+    }
+
+    /// Removes and returns the session at `idx` (None if already closed,
+    /// e.g. a departure event for a session the rebalancer never moves —
+    /// sessions are removed exactly once, at departure).
+    pub fn close(&mut self, idx: u32) -> Option<Active> {
+        self.sessions.remove(&idx)
+    }
+
+    pub fn session_mut(&mut self, idx: u32) -> Option<&mut Active> {
+        self.sessions.get_mut(&idx)
+    }
+
+    /// Live sessions in ascending placement-index order.
+    pub fn sessions(&self) -> impl Iterator<Item = (u32, &Active)> {
+        self.sessions.iter().map(|(&idx, s)| (idx, s))
+    }
+
+    /// Applies a placement: adds load and association, admits the session.
+    pub fn place(&mut self, demand: &SessionDemand, ap: ApId) -> u32 {
+        let rate = demand.mean_rate();
+        let ap_state = &mut self.state[ap.index()];
+        ap_state.load += rate;
+        ap_state.associated.push(demand.user);
+        self.admit(Active::from_demand(demand, ap))
+    }
+
+    /// Releases a departing/migrating session's footprint on `ap`.
+    pub fn release(&mut self, ap: ApId, user: UserId, rate: BitsPerSec) {
+        let ap_state = &mut self.state[ap.index()];
+        ap_state.load = ap_state.load.saturating_sub(rate);
+        if let Some(pos) = ap_state.associated.iter().position(|&u| u == user) {
+            ap_state.associated.swap_remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(user: u32, arrive: u64, depart: u64) -> SessionDemand {
+        let mut volume_by_app = [Bytes::ZERO; APP_CATEGORY_COUNT];
+        volume_by_app[0] = Bytes::megabytes(10);
+        SessionDemand {
+            user: UserId::new(user),
+            building: s3_types::BuildingId::new(0),
+            controller: ControllerId::new(0),
+            arrive: Timestamp::from_secs(arrive),
+            depart: Timestamp::from_secs(depart),
+            volume_by_app,
+        }
+    }
+
+    #[test]
+    fn session_indices_are_monotone_and_stable_after_close() {
+        let mut run = RunState::new(2);
+        let a = run.place(&demand(1, 0, 100), ApId::new(0));
+        let b = run.place(&demand(2, 0, 100), ApId::new(1));
+        assert_eq!((a, b), (0, 1));
+        assert!(run.close(a).is_some());
+        assert!(run.close(a).is_none(), "sessions close exactly once");
+        // Indices never recycle: the slab grows monotonically.
+        let c = run.place(&demand(3, 10, 100), ApId::new(0));
+        assert_eq!(c, 2);
+        let order: Vec<u32> = run.sessions().map(|(idx, _)| idx).collect();
+        assert_eq!(order, vec![1, 2], "iteration is ascending placement order");
+    }
+
+    #[test]
+    fn place_and_release_are_inverse_on_load_and_association() {
+        let mut run = RunState::new(1);
+        let d = demand(7, 0, 1_000);
+        let idx = run.place(&d, ApId::new(0));
+        assert_eq!(run.state[0].associated, vec![UserId::new(7)]);
+        assert!(run.state[0].load.as_f64() > 0.0);
+        let active = run.close(idx).unwrap();
+        run.release(active.ap, active.user, active.rate);
+        assert!(run.state[0].associated.is_empty());
+        assert_eq!(run.state[0].load, BitsPerSec::ZERO);
+        assert_eq!(run.sessions().count(), 0);
+    }
+
+    #[test]
+    fn final_segment_takes_all_remaining_volume() {
+        let d = demand(1, 0, 100);
+        let mut active = Active::from_demand(&d, ApId::new(0));
+        let record = active.close_segment(Timestamp::from_secs(100), true);
+        assert_eq!(record.volume_by_app, d.volume_by_app);
+        assert_eq!(record.connect, d.arrive);
+        assert_eq!(record.disconnect, d.depart);
+    }
+
+    #[test]
+    fn partial_segments_conserve_volume() {
+        let d = demand(1, 0, 100);
+        let mut active = Active::from_demand(&d, ApId::new(0));
+        let first = active.close_segment(Timestamp::from_secs(50), false);
+        active.ap = ApId::new(1);
+        let last = active.close_segment(Timestamp::from_secs(100), true);
+        let total: u64 = first
+            .volume_by_app
+            .iter()
+            .chain(last.volume_by_app.iter())
+            .map(|v| v.as_u64())
+            .sum();
+        assert_eq!(total, d.total_volume().as_u64());
+        assert_eq!(first.disconnect, last.connect);
+    }
+}

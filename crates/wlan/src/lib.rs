@@ -14,8 +14,12 @@
 //!   [`selector::LeastLoadedFirst`] (LLF, the state of the art the paper
 //!   compares against), [`selector::LeastUsers`],
 //!   [`selector::StrongestRssi`] and [`selector::RandomSelector`];
-//! * [`SimEngine`] — the replay loop: arrival batching per controller,
-//!   departure processing, per-AP load accounting, session logging;
+//! * [`SimEngine`] — the event-driven replay core: a unified time-ordered
+//!   event queue (arrival batches, departures, load-report epochs,
+//!   rebalance ticks), pluggable [`engine::DemandSource`]s (in-memory
+//!   slice or a streaming reader for traces larger than RAM) and
+//!   [`engine::RecordSink`]s, with policies reading live AP state through
+//!   borrowed zero-copy [`selector::ApView`]s;
 //! * [`metrics`] — balance-index time series and summaries computed from
 //!   the logged sessions.
 //!
@@ -36,13 +40,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod engine;
+pub mod engine;
 pub mod mac;
 pub mod metrics;
 pub mod radio;
 pub mod selector;
 mod topology;
 
-pub use engine::{RebalanceConfig, SimConfig, SimEngine, SimResult};
-pub use selector::{ApCandidate, ApSelector, SelectionContext};
+pub use engine::{
+    CollectSink, DemandSource, EngineError, RebalanceConfig, RecordSink, RunTotals, SimConfig,
+    SimEngine, SimResult, SliceSource, StreamSource,
+};
+pub use selector::{ApCandidate, ApSelector, ApView, SelectionContext};
 pub use topology::{ApInfo, Topology};

@@ -5,10 +5,12 @@
 //! sampled per time bin. These helpers turn a [`TraceStore`] into those
 //! series.
 
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
 use s3_obs::{Desc, Stability, Unit};
 use s3_stats::balance::{normalized_balance_index, user_count_balance_index};
-use s3_trace::TraceStore;
-use s3_types::{ControllerId, TimeDelta, Timestamp};
+use s3_trace::{SessionRecord, TraceStore};
+use s3_types::{ApId, Bytes, ControllerId, TimeDelta, Timestamp};
 
 // Balance-sampling metrics (documented in docs/METRICS.md). Recorded in
 // exactly one place — [`balance_samples`] — so the aggregate helpers below
@@ -181,11 +183,149 @@ where
     }
 }
 
+/// Incremental equivalent of [`balance_samples`] +
+/// [`mean_active_balance_filtered`] for record streams that never
+/// materialize a [`TraceStore`] — the `s3wlan replay --stream` path.
+///
+/// Feed every emitted record through [`StreamingBalance::observe`] (in
+/// nondecreasing connect order — the order the streaming engine emits),
+/// then call [`StreamingBalance::finish`] once. The accumulator reproduces
+/// the store-backed computation *exactly*: per-bin volumes are the same
+/// integer [`SessionRecord::volume_within`] attributions, controllers and
+/// APs iterate in the same ascending-id order, and the sample mean sums in
+/// the same (controller-major, bin-minor) order — so both the published
+/// `wlan.metrics.*` counters and the reported mean are byte-identical to
+/// what [`mean_active_balance_filtered`] over the full log would give.
+///
+/// Memory is `O(controllers × APs × bins-with-traffic)` — it scales with
+/// the campus and the day span, never with the record count.
+#[derive(Debug)]
+pub struct StreamingBalance {
+    bin: TimeDelta,
+    /// Start of the first record's day — the bin grid origin (the
+    /// store-backed path aligns bins to the first day's midnight).
+    origin: Option<u64>,
+    last_day: u64,
+    /// APs observed per controller over the whole stream.
+    aps: BTreeMap<ControllerId, BTreeSet<ApId>>,
+    /// Served volume per `(controller, ap, bin index)`.
+    volumes: HashMap<(ControllerId, ApId, u64), Bytes>,
+}
+
+impl StreamingBalance {
+    /// Creates an accumulator over `bin`-wide windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn new(bin: TimeDelta) -> Self {
+        assert!(!bin.is_zero(), "bin width must be positive");
+        StreamingBalance {
+            bin,
+            origin: None,
+            last_day: 0,
+            aps: BTreeMap::new(),
+            volumes: HashMap::new(),
+        }
+    }
+
+    /// Folds one record into the per-bin volume table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record` connects before a previously observed record's
+    /// day — records must arrive in nondecreasing connect order.
+    pub fn observe(&mut self, record: &SessionRecord) {
+        let origin = *self
+            .origin
+            .get_or_insert(record.connect.day() * s3_types::SECS_PER_DAY);
+        assert!(
+            record.connect.as_secs() >= origin,
+            "records must be observed in nondecreasing connect order"
+        );
+        self.last_day = self.last_day.max(record.disconnect.day());
+        self.aps
+            .entry(record.controller)
+            .or_default()
+            .insert(record.ap);
+        if record.duration().is_zero() {
+            return; // attributes zero volume to every bin
+        }
+        let width = self.bin.as_secs();
+        let first = (record.connect.as_secs() - origin) / width;
+        let last = (record.disconnect.as_secs() - 1 - origin) / width;
+        for b in first..=last {
+            let from = Timestamp::from_secs(origin + b * width);
+            let to = Timestamp::from_secs(origin + (b + 1) * width);
+            let v = record.volume_within(from, to);
+            if !v.is_zero() {
+                *self
+                    .volumes
+                    .entry((record.controller, record.ap, b))
+                    .or_insert(Bytes::ZERO) += v;
+            }
+        }
+    }
+
+    /// Publishes the `wlan.metrics.*` sample counters and returns the mean
+    /// active balance index over bins whose start hour passes
+    /// `hour_filter` — exactly [`mean_active_balance_filtered`]. When no
+    /// record was observed nothing is published (the store-backed path
+    /// returns before publishing on an empty log); when records exist but
+    /// no active bin passes the filter, counters publish and the mean is
+    /// `None`.
+    pub fn finish<F>(self, hour_filter: F) -> Option<f64>
+    where
+        F: Fn(u64) -> bool,
+    {
+        let origin = self.origin?;
+        let width = self.bin.as_secs();
+        let end = (self.last_day + 1) * s3_types::SECS_PER_DAY;
+        let mut samples = 0u64;
+        let mut active_bins = 0u64;
+        let (mut sum, mut n) = (0.0f64, 0u64);
+        for (controller, aps) in &self.aps {
+            if aps.len() < 2 {
+                continue;
+            }
+            let mut t = origin;
+            let mut b = 0u64;
+            while t < end {
+                let loads: Vec<f64> = aps
+                    .iter()
+                    .map(|&ap| {
+                        self.volumes
+                            .get(&(*controller, ap, b))
+                            .map_or(0.0, |v| v.as_f64())
+                    })
+                    .collect();
+                let total: f64 = loads.iter().sum();
+                let value = normalized_balance_index(&loads).expect("loads are finite");
+                samples += 1;
+                if total > 0.0 {
+                    active_bins += 1;
+                    if hour_filter(Timestamp::from_secs(t).hour_of_day()) {
+                        sum += value;
+                        n += 1;
+                    }
+                }
+                t += width;
+                b += 1;
+            }
+        }
+        let registry = s3_obs::global();
+        registry.counter(&BALANCE_SAMPLES).add(samples);
+        registry.counter(&ACTIVE_BINS).add(active_bins);
+        registry.counter(&IDLE_BINS).add(samples - active_bins);
+        (n > 0).then(|| sum / n as f64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use s3_trace::SessionRecord;
-    use s3_types::{ApId, AppCategory, Bytes, UserId};
+    use s3_types::{AppCategory, UserId};
 
     fn rec(user: u32, ap: u32, ctl: u32, connect: u64, disconnect: u64, mb: u64) -> SessionRecord {
         let mut volume_by_app = [Bytes::ZERO; 6];
@@ -286,5 +426,92 @@ mod tests {
     fn empty_store_yields_no_samples() {
         let store = TraceStore::new(vec![]);
         assert!(balance_samples(&store, TimeDelta::hours(1)).is_empty());
+    }
+
+    /// Reads the three sample counters (for delta assertions).
+    fn sample_counters() -> (u64, u64, u64) {
+        let registry = s3_obs::global();
+        (
+            registry.counter(&BALANCE_SAMPLES).get(),
+            registry.counter(&ACTIVE_BINS).get(),
+            registry.counter(&IDLE_BINS).get(),
+        )
+    }
+
+    #[test]
+    fn streaming_balance_matches_the_store_backed_path_exactly() {
+        use crate::selector::LeastLoadedFirst;
+        use crate::{SimConfig, SimEngine, Topology};
+        use s3_trace::generator::{CampusConfig, CampusGenerator};
+
+        // A realistic multi-controller log: a generated campus replayed
+        // under LLF (records come out sorted by connect — the order the
+        // streaming engine emits).
+        let campus = CampusGenerator::new(CampusConfig::tiny(), 9).generate();
+        let topology = Topology::from_campus(&campus.config);
+        let engine = SimEngine::new(topology, SimConfig::default());
+        let records = engine
+            .run(&campus.demands, &mut LeastLoadedFirst::new())
+            .records;
+        assert!(!records.is_empty());
+
+        let bin = TimeDelta::minutes(10);
+        let daytime = |h: u64| h >= 8;
+
+        let before = sample_counters();
+        let store = TraceStore::new(records.clone());
+        let store_mean = mean_active_balance_filtered(&store, bin, daytime);
+        let mid = sample_counters();
+
+        let mut streaming = StreamingBalance::new(bin);
+        for r in &records {
+            streaming.observe(r);
+        }
+        let stream_mean = streaming.finish(daytime);
+        let after = sample_counters();
+
+        // Bit-exact mean and identical counter deltas.
+        assert_eq!(store_mean, stream_mean);
+        assert!(store_mean.is_some());
+        let store_delta = (mid.0 - before.0, mid.1 - before.1, mid.2 - before.2);
+        let stream_delta = (after.0 - mid.0, after.1 - mid.1, after.2 - mid.2);
+        assert_eq!(store_delta, stream_delta);
+        assert!(store_delta.0 > 0, "the log must produce samples");
+    }
+
+    #[test]
+    fn streaming_balance_handles_edge_records_like_the_store() {
+        // Zero-duration sessions, sessions spanning many bins, idle gaps
+        // and a single-AP controller (skipped by both paths).
+        let records = vec![
+            rec(1, 0, 0, 0, 600, 6),
+            rec(2, 1, 0, 0, 0, 5), // zero duration: volume lands nowhere
+            rec(3, 1, 0, 300, 7_200, 12),
+            rec(4, 9, 3, 400, 500, 4), // controller 3 has one AP: no samples
+            rec(5, 0, 0, 86_000, 86_500, 2), // crosses midnight into day 1
+        ];
+        let bin = TimeDelta::minutes(10);
+        let store_mean =
+            mean_active_balance_filtered(&TraceStore::new(records.clone()), bin, |_| true);
+        let mut streaming = StreamingBalance::new(bin);
+        for r in &records {
+            streaming.observe(r);
+        }
+        assert_eq!(streaming.finish(|_| true), store_mean);
+    }
+
+    #[test]
+    fn streaming_balance_on_an_empty_stream_is_none() {
+        assert!(StreamingBalance::new(TimeDelta::minutes(10))
+            .finish(|_| true)
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing connect order")]
+    fn streaming_balance_rejects_out_of_order_records() {
+        let mut streaming = StreamingBalance::new(TimeDelta::minutes(10));
+        streaming.observe(&rec(1, 0, 0, 86_400, 86_500, 1));
+        streaming.observe(&rec(2, 1, 0, 100, 200, 1));
     }
 }

@@ -5,15 +5,109 @@
 //! users — plus the user's per-AP RSSI. It returns the index of the chosen
 //! candidate. Policies may also handle a whole *batch* of simultaneous
 //! arrivals (class start); the default batch implementation replays the
-//! single-user path against a locally updated snapshot, which is exactly
+//! single-user path against locally tracked placements, which is exactly
 //! how an arrival-based controller behaves.
+//!
+//! # Zero-copy candidate views
+//!
+//! Policies see candidates through [`ApView`], a **borrowed** window onto
+//! the engine's incrementally maintained per-AP state. The association
+//! list is a `&[UserId]` slice into the engine's live state — nothing is
+//! cloned per candidate per batch (the dominant allocation of the old
+//! engine loop, which rebuilt an owned candidate vector for every batch).
+//! Owned [`ApCandidate`] values remain available as fixtures for tests,
+//! benchmarks and prototypes; [`ApCandidate::as_view`] borrows one.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use s3_types::{ApId, BitsPerSec, Timestamp, UserId};
 
-/// A candidate AP as seen by the policy at selection time.
+/// A borrowed view of one candidate AP as seen by a policy at selection
+/// time — the zero-copy contract of the event-driven engine.
+///
+/// The association list is split into two slices so batch placement can
+/// extend a view without copying the base state:
+///
+/// * the **base** slice borrows the engine's live `associated` vector for
+///   the AP (everyone connected before this batch);
+/// * the **batch** slice holds users placed on the AP *earlier in the same
+///   batch* (a controller always knows who it just associated where).
+///
+/// [`ApView::associated`] iterates both in order; [`ApView::user_count`]
+/// counts both. Views are `Copy` — rebuilding a view vector per arrival is
+/// a handful of pointer copies, not an allocation per candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApView<'a> {
+    /// The AP.
+    pub ap: ApId,
+    /// Aggregate demand rate currently served by the AP (as of the last
+    /// controller load report).
+    pub load: BitsPerSec,
+    /// Capacity `W(i)`.
+    pub capacity: BitsPerSec,
+    associated: &'a [UserId],
+    batch_added: &'a [UserId],
+}
+
+impl<'a> ApView<'a> {
+    /// Creates a view borrowing the AP's live association list.
+    pub fn new(ap: ApId, load: BitsPerSec, capacity: BitsPerSec, associated: &'a [UserId]) -> Self {
+        ApView {
+            ap,
+            load,
+            capacity,
+            associated,
+            batch_added: &[],
+        }
+    }
+
+    /// A copy of this view whose batch slice is `batch_added` — users the
+    /// caller placed on this AP earlier in the current batch. Replaces any
+    /// previous batch slice.
+    pub fn with_batch_added<'b>(self, batch_added: &'b [UserId]) -> ApView<'b>
+    where
+        'a: 'b,
+    {
+        ApView {
+            ap: self.ap,
+            load: self.load,
+            capacity: self.capacity,
+            associated: self.associated,
+            batch_added,
+        }
+    }
+
+    /// Users currently associated with the AP (base state, then any
+    /// batch-local placements), in association order.
+    pub fn associated(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.associated
+            .iter()
+            .copied()
+            .chain(self.batch_added.iter().copied())
+    }
+
+    /// Number of currently associated users.
+    pub fn user_count(&self) -> usize {
+        self.associated.len() + self.batch_added.len()
+    }
+
+    /// Whether `user` is associated with the AP.
+    pub fn contains(&self, user: UserId) -> bool {
+        self.associated.contains(&user) || self.batch_added.contains(&user)
+    }
+
+    /// Remaining capacity (zero when overloaded).
+    pub fn headroom(&self) -> BitsPerSec {
+        self.capacity.saturating_sub(self.load)
+    }
+}
+
+/// An owned candidate AP — a fixture/builder for tests, benchmarks and
+/// prototype controllers that do not replay through [`crate::SimEngine`].
+///
+/// The engine itself never builds these: policies see [`ApView`]s borrowed
+/// from its live per-AP state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ApCandidate {
     /// The AP.
@@ -27,15 +121,16 @@ pub struct ApCandidate {
 }
 
 impl ApCandidate {
-    /// Number of currently associated users.
-    pub fn user_count(&self) -> usize {
-        self.associated.len()
+    /// Borrows this candidate as the view policies consume.
+    pub fn as_view(&self) -> ApView<'_> {
+        ApView::new(self.ap, self.load, self.capacity, &self.associated)
     }
+}
 
-    /// Remaining capacity (zero when overloaded).
-    pub fn headroom(&self) -> BitsPerSec {
-        self.capacity.saturating_sub(self.load)
-    }
+/// Borrows a slice of owned candidates as a view vector (test/bench
+/// convenience mirroring what the engine does with its live state).
+pub fn views_of(candidates: &[ApCandidate]) -> Vec<ApView<'_>> {
+    candidates.iter().map(ApCandidate::as_view).collect()
 }
 
 /// One arriving user within a selection request.
@@ -58,7 +153,7 @@ pub struct SelectionContext<'a> {
     /// The arriving user.
     pub arrival: &'a ArrivalUser,
     /// Candidate APs of the user's controller domain (never empty).
-    pub candidates: &'a [ApCandidate],
+    pub candidates: &'a [ApView<'a>],
 }
 
 /// An AP-selection policy.
@@ -76,24 +171,29 @@ pub trait ApSelector {
     /// per user, in order.
     ///
     /// The default implementation applies [`ApSelector::select`]
-    /// sequentially, updating the *association* lists of a local snapshot
-    /// after each placement — a controller always knows who it just
-    /// associated where. Loads are NOT updated: the future traffic rate of
-    /// a fresh arrival is unknown to a real controller (the oracle
-    /// `demand_hint` exists for instrumentation only).
-    fn select_batch(&mut self, users: &[ArrivalUser], candidates: &[ApCandidate]) -> Vec<usize> {
-        let mut snapshot: Vec<ApCandidate> = candidates.to_vec();
+    /// sequentially, exposing each earlier placement through the views'
+    /// batch slices — a controller always knows who it just associated
+    /// where. Loads are NOT updated: the future traffic rate of a fresh
+    /// arrival is unknown to a real controller (the oracle `demand_hint`
+    /// exists for instrumentation only).
+    fn select_batch(&mut self, users: &[ArrivalUser], candidates: &[ApView<'_>]) -> Vec<usize> {
+        let mut batch_added: Vec<Vec<UserId>> = vec![Vec::new(); candidates.len()];
         let mut picks = Vec::with_capacity(users.len());
         for user in users {
             let pick = {
+                let snapshot: Vec<ApView<'_>> = candidates
+                    .iter()
+                    .zip(&batch_added)
+                    .map(|(c, added)| c.with_batch_added(added))
+                    .collect();
                 let ctx = SelectionContext {
                     arrival: user,
                     candidates: &snapshot,
                 };
                 self.select(&ctx)
             };
-            assert!(pick < snapshot.len(), "selector returned invalid index");
-            snapshot[pick].associated.push(user.user);
+            assert!(pick < candidates.len(), "selector returned invalid index");
+            batch_added[pick].push(user.user);
             picks.push(pick);
         }
         picks
@@ -248,10 +348,11 @@ mod tests {
             candidate(1, 2.0, 9),
             candidate(2, 7.0, 0),
         ];
+        let views = views_of(&candidates);
         let a = arrival(vec![-50.0, -60.0, -70.0]);
         let ctx = SelectionContext {
             arrival: &a,
-            candidates: &candidates,
+            candidates: &views,
         };
         assert_eq!(LeastLoadedFirst::new().select(&ctx), 1);
     }
@@ -263,10 +364,11 @@ mod tests {
             candidate(1, 2.0, 2),
             candidate(2, 2.0, 2),
         ];
+        let views = views_of(&candidates);
         let a = arrival(vec![-50.0; 3]);
         let ctx = SelectionContext {
             arrival: &a,
-            candidates: &candidates,
+            candidates: &views,
         };
         // Loads equal; candidates 1 and 2 tie on users; ap id 1 < 2.
         assert_eq!(LeastLoadedFirst::new().select(&ctx), 1);
@@ -275,10 +377,11 @@ mod tests {
     #[test]
     fn least_users_prefers_empty_ap() {
         let candidates = vec![candidate(0, 0.1, 3), candidate(1, 50.0, 0)];
+        let views = views_of(&candidates);
         let a = arrival(vec![-50.0, -80.0]);
         let ctx = SelectionContext {
             arrival: &a,
-            candidates: &candidates,
+            candidates: &views,
         };
         assert_eq!(LeastUsers::new().select(&ctx), 1);
     }
@@ -286,10 +389,11 @@ mod tests {
     #[test]
     fn strongest_rssi_ignores_load() {
         let candidates = vec![candidate(0, 0.0, 0), candidate(1, 99.0, 50)];
+        let views = views_of(&candidates);
         let a = arrival(vec![-70.0, -40.0]);
         let ctx = SelectionContext {
             arrival: &a,
-            candidates: &candidates,
+            candidates: &views,
         };
         assert_eq!(StrongestRssi::new().select(&ctx), 1);
     }
@@ -301,6 +405,7 @@ mod tests {
             candidate(1, 0.0, 0),
             candidate(2, 0.0, 0),
         ];
+        let views = views_of(&candidates);
         let a = arrival(vec![-50.0; 3]);
         let run = |seed| -> Vec<usize> {
             let mut s = RandomSelector::new(seed);
@@ -308,7 +413,7 @@ mod tests {
                 .map(|_| {
                     let ctx = SelectionContext {
                         arrival: &a,
-                        candidates: &candidates,
+                        candidates: &views,
                     };
                     s.select(&ctx)
                 })
@@ -321,9 +426,10 @@ mod tests {
     }
 
     #[test]
-    fn default_batch_updates_snapshot_between_users() {
+    fn default_batch_updates_views_between_users() {
         // Two identical empty APs; LLF must spread two simultaneous users.
         let candidates = vec![candidate(0, 0.0, 0), candidate(1, 0.0, 0)];
+        let views = views_of(&candidates);
         let users = vec![
             ArrivalUser {
                 user: UserId::new(1),
@@ -338,8 +444,27 @@ mod tests {
                 rssi: vec![-50.0, -50.0],
             },
         ];
-        let picks = LeastLoadedFirst::new().select_batch(&users, &candidates);
+        let picks = LeastLoadedFirst::new().select_batch(&users, &views);
         assert_eq!(picks, vec![0, 1], "second user must see first user's load");
+    }
+
+    #[test]
+    fn view_merges_base_and_batch_associations() {
+        let base = [UserId::new(1), UserId::new(2)];
+        let fresh = [UserId::new(9)];
+        let view = ApView::new(
+            ApId::new(0),
+            BitsPerSec::ZERO,
+            BitsPerSec::mbps(100.0),
+            &base,
+        )
+        .with_batch_added(&fresh);
+        assert_eq!(view.user_count(), 3);
+        assert!(view.contains(UserId::new(2)));
+        assert!(view.contains(UserId::new(9)));
+        assert!(!view.contains(UserId::new(3)));
+        let seen: Vec<UserId> = view.associated().collect();
+        assert_eq!(seen, vec![UserId::new(1), UserId::new(2), UserId::new(9)]);
     }
 
     #[test]
@@ -350,6 +475,6 @@ mod tests {
             capacity: BitsPerSec::mbps(100.0),
             associated: vec![],
         };
-        assert_eq!(c.headroom(), BitsPerSec::ZERO);
+        assert_eq!(c.as_view().headroom(), BitsPerSec::ZERO);
     }
 }
