@@ -1,0 +1,172 @@
+//! δ-probe microbenchmarks: the hashed [`SocialModel`] data plane against
+//! the compiled one (dense interning + CSR adjacency + flat type matrix).
+//!
+//! Three tiers, from raw probe to full decision:
+//!
+//! 1. `delta_probe` — a single δ(u, v) evaluation. `hashed` pays two
+//!    `HashMap` lookups (pair probability, user types); `compiled` pays a
+//!    raw-id intern plus a binary search over u's CSR row;
+//!    `compiled_dense` starts from pre-interned dense ids, which is what
+//!    the selector hot loop actually does.
+//! 2. `slot_cost` — Σ δ(u, w) over an AP's member list, the inner kernel
+//!    of [`CliqueCost`] table construction.
+//! 3. `select_batch` — the full S³ batch decision with the compiled
+//!    selector scratch, for end-to-end context.
+//!
+//! `selector_bench` (the binary) replays the same shapes with hand-rolled
+//! timing and writes `results/BENCH_selector.json`; this bench is the
+//! statistically careful interactive view of the same comparison.
+//!
+//! [`SocialModel`]: s3_core::SocialModel
+//! [`CliqueCost`]: s3_core::batch
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use s3_bench::Scenario;
+use s3_core::{CompiledModel, S3Config, SocialModel};
+use s3_trace::generator::CampusConfig;
+use s3_types::{ApId, BitsPerSec, Timestamp, UserId};
+use s3_wlan::selector::{views_of, ApCandidate, ApSelector, ArrivalUser};
+
+fn scenario() -> Scenario {
+    Scenario::from_config(
+        CampusConfig {
+            buildings: 4,
+            aps_per_building: 8,
+            users: 600,
+            days: 8,
+            ..CampusConfig::campus()
+        },
+        21,
+    )
+}
+
+/// The trained model plus every user id the training log touched, in a
+/// deterministic order.
+fn trained(s: &Scenario) -> (SocialModel, Vec<UserId>) {
+    let model = s.train_s3(&S3Config::default(), 1);
+    let mut ids: Vec<u32> = s.llf_log.records().iter().map(|r| r.user.raw()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    (model, ids.into_iter().map(UserId::new).collect())
+}
+
+fn candidates(m: usize, users_each: u32) -> Vec<ApCandidate> {
+    (0..m)
+        .map(|i| ApCandidate {
+            ap: ApId::new(i as u32),
+            load: BitsPerSec::mbps(i as f64 * 0.4),
+            capacity: BitsPerSec::mbps(100.0),
+            associated: (0..users_each)
+                .map(|u| UserId::new(u * m as u32 + i as u32))
+                .collect(),
+        })
+        .collect()
+}
+
+fn arrivals(n: usize, m: usize) -> Vec<ArrivalUser> {
+    (0..n)
+        .map(|i| ArrivalUser {
+            user: UserId::new(10_000 + i as u32),
+            now: Timestamp::from_secs(1_000),
+            demand_hint: BitsPerSec::mbps(0.2),
+            rssi: vec![-55.0; m],
+        })
+        .collect()
+}
+
+fn bench_delta_probe(c: &mut Criterion) {
+    let s = scenario();
+    let (model, ids) = trained(&s);
+    let compiled = CompiledModel::compile(&model);
+    // Probe every ordered pair from a fixed slice of known users — a mix
+    // of CSR hits and misses, exactly what clique-cost construction sees.
+    let probe: Vec<UserId> = ids.iter().copied().take(64).collect();
+    let dense: Vec<u32> = probe
+        .iter()
+        .map(|&u| compiled.dense_or_unknown(u))
+        .collect();
+
+    let mut group = c.benchmark_group("delta_probe");
+    group.bench_function("hashed", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &u in &probe {
+                for &v in &probe {
+                    acc += model.delta(u, v);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("compiled", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &u in &probe {
+                for &v in &probe {
+                    acc += compiled.delta(u, v);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("compiled_dense", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &i in &dense {
+                for &j in &dense {
+                    acc += compiled.delta_dense(i, j);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_slot_cost(c: &mut Criterion) {
+    let s = scenario();
+    let (model, ids) = trained(&s);
+    let compiled = CompiledModel::compile(&model);
+    let arrival = ids[0];
+    let arrival_dense = compiled.dense_or_unknown(arrival);
+
+    let mut group = c.benchmark_group("slot_cost");
+    for &members in &[8usize, 32, 128] {
+        let member_ids: Vec<UserId> = ids.iter().copied().skip(1).take(members).collect();
+        let mut dense = Vec::new();
+        compiled.extend_dense(member_ids.iter().copied(), &mut dense);
+        group.bench_with_input(BenchmarkId::new("hashed", members), &member_ids, |b, m| {
+            b.iter(|| black_box(m.iter().map(|&w| model.delta(arrival, w)).sum::<f64>()))
+        });
+        group.bench_with_input(BenchmarkId::new("compiled", members), &dense, |b, d| {
+            b.iter(|| black_box(compiled.slot_cost(arrival_dense, d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_select_batch(c: &mut Criterion) {
+    let s = scenario();
+    let mut s3 = s.default_s3(2);
+    let cands = candidates(8, 12);
+    let views = views_of(&cands);
+
+    let mut group = c.benchmark_group("select_batch_compiled");
+    for &batch in &[4usize, 24] {
+        let users = arrivals(batch, 8);
+        group.bench_with_input(BenchmarkId::new("s3", batch), &users, |b, u| {
+            b.iter(|| black_box(s3.select_batch(u, &views)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_delta_probe,
+    bench_slot_cost,
+    bench_select_batch
+);
+criterion_main!(benches);

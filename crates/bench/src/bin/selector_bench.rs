@@ -1,0 +1,246 @@
+//! Machine-readable selector micro-benchmark: hashed vs compiled δ-probes,
+//! slot-cost scans, and end-to-end `select_batch` throughput.
+//!
+//! Criterion (`benches/delta_lookup.rs`) is the statistically careful
+//! interactive view; this binary is the CI-friendly one — it runs the same
+//! shapes with hand-rolled median-of-repeats timing and writes one JSON
+//! document so the numbers can be archived as a build artifact and diffed
+//! across commits:
+//!
+//! ```text
+//! selector_bench [--out results/BENCH_selector.json] [--iters N] [--repeats N]
+//! ```
+//!
+//! The checked-in `results/BENCH_selector.json` is a reference measurement
+//! (see `docs/PERF.md`); CI regenerates it as `BENCH_selector.ci.json` and
+//! uploads it without comparing — wall-clock numbers from shared runners
+//! are for trend-watching, not gating.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use s3_bench::Scenario;
+use s3_core::{CompiledModel, S3Config, SocialModel};
+use s3_trace::generator::CampusConfig;
+use s3_types::{ApId, BitsPerSec, Timestamp, UserId};
+use s3_wlan::selector::{views_of, ApCandidate, ApSelector, ArrivalUser};
+
+const USAGE: &str = "usage: selector_bench [--out <path.json>] [--iters N] [--repeats N]";
+
+/// Number of users probed pairwise in the δ benchmark (so `PROBE² ` probes
+/// per timed iteration).
+const PROBE: usize = 64;
+/// Member-list length for the slot-cost benchmark.
+const MEMBERS: usize = 64;
+/// Arrival-burst size for the batch benchmark.
+const BATCH: usize = 24;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Median wall-clock nanoseconds of `repeats` runs of `iters` iterations
+/// of `work`, normalised per iteration.
+fn time_ns<F: FnMut() -> f64>(iters: u64, repeats: usize, mut work: F) -> f64 {
+    let mut sink = 0.0f64;
+    let mut samples: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                sink += work();
+            }
+            start.elapsed().as_nanos() as f64 / iters.max(1) as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    // Keep the accumulator observable so the work is not optimised away.
+    std::hint::black_box(sink);
+    samples[samples.len() / 2]
+}
+
+fn scenario() -> Scenario {
+    Scenario::from_config(
+        CampusConfig {
+            buildings: 4,
+            aps_per_building: 8,
+            users: 600,
+            days: 8,
+            ..CampusConfig::campus()
+        },
+        21,
+    )
+}
+
+fn trained(s: &Scenario) -> (SocialModel, Vec<UserId>) {
+    let model = s.train_s3(&S3Config::default(), 1);
+    let mut ids: Vec<u32> = s.llf_log.records().iter().map(|r| r.user.raw()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    (model, ids.into_iter().map(UserId::new).collect())
+}
+
+fn candidates(m: usize, users_each: u32) -> Vec<ApCandidate> {
+    (0..m)
+        .map(|i| ApCandidate {
+            ap: ApId::new(i as u32),
+            load: BitsPerSec::mbps(i as f64 * 0.4),
+            capacity: BitsPerSec::mbps(100.0),
+            associated: (0..users_each)
+                .map(|u| UserId::new(u * m as u32 + i as u32))
+                .collect(),
+        })
+        .collect()
+}
+
+fn arrivals(n: usize, m: usize) -> Vec<ArrivalUser> {
+    (0..n)
+        .map(|i| ArrivalUser {
+            user: UserId::new(10_000 + i as u32),
+            now: Timestamp::from_secs(1_000),
+            demand_hint: BitsPerSec::mbps(0.2),
+            rssi: vec![-55.0; m],
+        })
+        .collect()
+}
+
+fn json_section(out: &mut String, name: &str, fields: &[(&str, f64)]) {
+    let _ = write!(out, "  \"{name}\": {{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{key}\": {value:.2}");
+    }
+    let _ = write!(out, "\n  }}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return;
+    }
+    let out = flag(&args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/BENCH_selector.json"));
+    let iters: u64 = flag(&args, "--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let repeats: usize = flag(&args, "--repeats")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+
+    let s = scenario();
+    let (model, ids) = trained(&s);
+    let compiled = CompiledModel::compile(&model);
+    let probe: Vec<UserId> = ids.iter().copied().take(PROBE).collect();
+    let dense: Vec<u32> = probe
+        .iter()
+        .map(|&u| compiled.dense_or_unknown(u))
+        .collect();
+    let probes = (probe.len() * probe.len()) as f64;
+
+    // Tier 1: δ probes over every ordered pair of the probe slice.
+    let hashed_ns = time_ns(iters, repeats, || {
+        let mut acc = 0.0;
+        for &u in &probe {
+            for &v in &probe {
+                acc += model.delta(u, v);
+            }
+        }
+        acc
+    }) / probes;
+    let compiled_ns = time_ns(iters, repeats, || {
+        let mut acc = 0.0;
+        for &u in &probe {
+            for &v in &probe {
+                acc += compiled.delta(u, v);
+            }
+        }
+        acc
+    }) / probes;
+    let dense_ns = time_ns(iters, repeats, || {
+        let mut acc = 0.0;
+        for &i in &dense {
+            for &j in &dense {
+                acc += compiled.delta_dense(i, j);
+            }
+        }
+        acc
+    }) / probes;
+
+    // Tier 2: slot-cost scan of one arrival against a member list.
+    let arrival = ids[0];
+    let arrival_dense = compiled.dense_or_unknown(arrival);
+    let member_ids: Vec<UserId> = ids.iter().copied().skip(1).take(MEMBERS).collect();
+    let mut member_dense = Vec::new();
+    compiled.extend_dense(member_ids.iter().copied(), &mut member_dense);
+    let slot_hashed_ns = time_ns(iters * 16, repeats, || {
+        member_ids.iter().map(|&w| model.delta(arrival, w)).sum()
+    });
+    let slot_compiled_ns = time_ns(iters * 16, repeats, || {
+        compiled.slot_cost(arrival_dense, &member_dense)
+    });
+
+    // Tier 3: full batch decision through the compiled selector scratch.
+    let mut s3 = s.default_s3(2);
+    let cands = candidates(8, 12);
+    let views = views_of(&cands);
+    let users = arrivals(BATCH, 8);
+    let batch_ns = time_ns(iters.min(50), repeats, || {
+        s3.select_batch(&users, &views).len() as f64
+    });
+
+    let mut doc = String::from("{\n");
+    let _ = writeln!(
+        doc,
+        "  \"bench\": \"selector\",\n  \"probe_users\": {PROBE},\n  \"slot_members\": {MEMBERS},\n  \"batch_size\": {BATCH},\n  \"iters\": {iters},\n  \"repeats\": {repeats},"
+    );
+    json_section(
+        &mut doc,
+        "delta_probe_ns",
+        &[
+            ("hashed", hashed_ns),
+            ("compiled", compiled_ns),
+            ("compiled_dense", dense_ns),
+            ("speedup_compiled_vs_hashed", hashed_ns / compiled_ns),
+            ("speedup_dense_vs_hashed", hashed_ns / dense_ns),
+        ],
+    );
+    doc.push_str(",\n");
+    json_section(
+        &mut doc,
+        "slot_cost_ns",
+        &[
+            ("hashed", slot_hashed_ns),
+            ("compiled", slot_compiled_ns),
+            (
+                "speedup_compiled_vs_hashed",
+                slot_hashed_ns / slot_compiled_ns,
+            ),
+        ],
+    );
+    doc.push_str(",\n");
+    json_section(
+        &mut doc,
+        "select_batch",
+        &[
+            ("ns_per_batch", batch_ns),
+            ("users_per_sec", BATCH as f64 * 1e9 / batch_ns),
+        ],
+    );
+    doc.push_str("\n}\n");
+
+    if let Some(dir) = out.parent() {
+        fs::create_dir_all(dir).expect("create output directory");
+    }
+    fs::write(&out, &doc).expect("write benchmark json");
+    println!(
+        "selector_bench delta hashed={hashed_ns:.1}ns compiled={compiled_ns:.1}ns \
+         dense={dense_ns:.1}ns slot hashed={slot_hashed_ns:.1}ns compiled={slot_compiled_ns:.1}ns \
+         batch={batch_ns:.0}ns wrote={}",
+        out.display()
+    );
+}

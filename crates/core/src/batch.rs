@@ -17,6 +17,7 @@ use s3_obs::{Desc, HistogramDesc, Stability, Unit};
 use s3_stats::balance::normalized_balance_index;
 use s3_types::UserId;
 
+use crate::compiled::CompiledModel;
 use crate::S3Config;
 
 // Batch-selector metrics (documented in docs/METRICS.md). Hot-loop tallies
@@ -97,6 +98,31 @@ pub struct ApSlot {
     pub members: Vec<UserId>,
 }
 
+/// The identity-free projection of an [`ApSlot`] the scoring search needs:
+/// load, capacity, and member count. The compiled selector keeps these in a
+/// reusable scratch instead of cloning member lists per request; member
+/// *identities* live in the cost tables (hashed path) or the dense member
+/// buffers (compiled path), never in the search state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SlotState {
+    /// Current load, bits/s.
+    pub(crate) load: f64,
+    /// Capacity `W(i)`, bits/s.
+    pub(crate) capacity: f64,
+    /// Users currently on the AP (existing plus placed-this-batch).
+    pub(crate) member_count: usize,
+}
+
+impl SlotState {
+    pub(crate) fn of(slot: &ApSlot) -> SlotState {
+        SlotState {
+            load: slot.load,
+            capacity: slot.capacity,
+            member_count: slot.members.len(),
+        }
+    }
+}
+
 /// One scored candidate distribution.
 #[derive(Debug, Clone)]
 struct Candidate {
@@ -124,6 +150,21 @@ where
         }
     }
     graph
+}
+
+/// [`build_social_graph`] over dense ids from a compiled model: same strict
+/// `δ > threshold` edge rule, same weights, but every δ is a CSR probe and
+/// the edges go in through the bulk [`SocialGraph::from_pairwise`]
+/// constructor instead of per-edge validation.
+pub(crate) fn build_social_graph_compiled(
+    model: &CompiledModel,
+    users: &[u32],
+    threshold: f64,
+) -> SocialGraph {
+    SocialGraph::from_pairwise(users.len(), |i, j| {
+        let d = model.delta_dense(users[i], users[j]);
+        (d > threshold).then_some(d)
+    })
 }
 
 /// Per-associated-user epsilon (bits/s) mixed into the projected load:
@@ -177,17 +218,60 @@ impl CliqueCost {
             }
         }
         let demands = clique.iter().map(|&user| demand(user)).collect();
-        let registry = s3_obs::global();
-        registry.counter(&COST_TABLE_BUILDS).inc();
         let member_total: usize = slots.iter().map(|s| s.members.len()).sum();
-        registry
-            .counter(&COST_DELTA_EVALS)
-            .add((c * member_total + c * (c.saturating_sub(1)) / 2) as u64);
+        Self::record_build(c, member_total);
         CliqueCost {
             slot_entry,
             pair,
             demands,
         }
+    }
+
+    /// [`CliqueCost::new`] against the compiled data plane: the clique and
+    /// the per-slot member lists are dense ids, every table cell comes from
+    /// a CSR scan ([`CompiledModel::slot_cost`]) or probe instead of hash
+    /// lookups, and nothing is allocated beyond the tables themselves.
+    /// Metric accounting is identical — `core.cost.delta_evals` counts one
+    /// eval per (member, slot-resident) pair exactly as the hashed path
+    /// does, so the counter keeps measuring work saved by the table.
+    fn from_compiled(model: &CompiledModel, clique: &[u32], members: &[Vec<u32>]) -> CliqueCost {
+        let c = clique.len();
+        let slot_entry = clique
+            .iter()
+            .map(|&user| {
+                members
+                    .iter()
+                    .map(|row| model.slot_cost(user, row))
+                    .collect()
+            })
+            .collect();
+        let mut pair = vec![vec![0.0; c]; c];
+        for i in 0..c {
+            for j in i + 1..c {
+                let d = model.delta_dense(clique[i], clique[j]);
+                pair[i][j] = d;
+                pair[j][i] = d;
+            }
+        }
+        let demands = clique
+            .iter()
+            .map(|&user| model.demand_dense(user))
+            .collect();
+        let member_total: usize = members.iter().map(|row| row.len()).sum();
+        Self::record_build(c, member_total);
+        CliqueCost {
+            slot_entry,
+            pair,
+            demands,
+        }
+    }
+
+    fn record_build(c: usize, member_total: usize) {
+        let registry = s3_obs::global();
+        registry.counter(&COST_TABLE_BUILDS).inc();
+        registry
+            .counter(&COST_DELTA_EVALS)
+            .add((c * member_total + c * (c.saturating_sub(1)) / 2) as u64);
     }
 
     /// Table cells a single [`CliqueCost::score`] call reads: one
@@ -199,7 +283,7 @@ impl CliqueCost {
 
     /// Social cost + projected balance of a full assignment; the cost is
     /// `+∞` when a slot's bandwidth constraint would break.
-    fn score(&self, assignment: &[usize], slots: &[ApSlot]) -> (f64, f64) {
+    fn score(&self, assignment: &[usize], slots: &[SlotState]) -> (f64, f64) {
         let m = slots.len();
         let mut added_demand = vec![0.0; m];
         let mut added_members = vec![0usize; m];
@@ -223,7 +307,7 @@ impl CliqueCost {
             if load > slot.capacity && *add > 0.0 {
                 return (f64::INFINITY, 0.0);
             }
-            loads.push(load + (slot.members.len() + members) as f64 * MEMBER_EPSILON_BPS);
+            loads.push(load + (slot.member_count + members) as f64 * MEMBER_EPSILON_BPS);
         }
         let balance = normalized_balance_index(&loads).unwrap_or(0.0);
         (cost, balance)
@@ -253,27 +337,57 @@ where
         return Vec::new();
     }
     assert!(!slots.is_empty(), "cannot assign a clique to zero APs");
+    let cache = CliqueCost::new(clique, slots, &delta, &demand);
+    let states: Vec<SlotState> = slots.iter().map(SlotState::of).collect();
+    search_distribution(&cache, &states, config)
+}
+
+/// [`assign_clique`] against the compiled data plane: `clique` and the
+/// per-slot `members` rows are dense ids (including [`crate::compiled::NO_USER`]
+/// for unknown arrivals), `states` carries the identity-free slot loads.
+/// Same search, same metrics, same answers — bit for bit.
+///
+/// # Panics
+///
+/// Panics if `states` is empty while `clique` is not, or when `members` and
+/// `states` disagree on the slot count.
+pub(crate) fn assign_clique_compiled(
+    model: &CompiledModel,
+    clique: &[u32],
+    members: &[Vec<u32>],
+    states: &[SlotState],
+    config: &S3Config,
+) -> Vec<usize> {
+    if clique.is_empty() {
+        return Vec::new();
+    }
+    assert!(!states.is_empty(), "cannot assign a clique to zero APs");
+    assert_eq!(members.len(), states.len(), "one member row per slot");
+    let cache = CliqueCost::from_compiled(model, clique, members);
+    search_distribution(&cache, states, config)
+}
+
+/// The enumerate-or-beam + top-fraction + balance search both entry points
+/// share once their cost tables are built.
+fn search_distribution(cache: &CliqueCost, states: &[SlotState], config: &S3Config) -> Vec<usize> {
     let registry = s3_obs::global();
     registry.counter(&CLIQUES_ASSIGNED).inc();
-    registry
-        .histogram(&CLIQUE_SIZE)
-        .observe(clique.len() as u64);
-    let m = slots.len();
-    let c = clique.len();
+    let c = cache.demands.len();
+    registry.histogram(&CLIQUE_SIZE).observe(c as u64);
+    let m = states.len();
     let threads = config.effective_threads();
-    let cache = CliqueCost::new(clique, slots, &delta, &demand);
 
     let space: Option<usize> = m
         .checked_pow(c as u32)
         .filter(|&s| s <= config.enumeration_limit);
     let candidates: Vec<Candidate> = match space {
-        Some(total) => enumerate_all(total, m, c, &cache, slots, threads),
-        None => beam_search(m, c, &cache, slots, config.beam_width, threads),
+        Some(total) => enumerate_all(total, m, c, cache, states, threads),
+        None => beam_search(m, c, cache, states, config.beam_width, threads),
     };
 
     select_best(candidates, config).unwrap_or_else(|| {
         registry.counter(&FALLBACKS).inc();
-        fallback_least_loaded(clique, slots, &demand)
+        fallback_least_loaded(&cache.demands, states)
     })
 }
 
@@ -287,7 +401,7 @@ fn enumerate_all(
     m: usize,
     c: usize,
     cache: &CliqueCost,
-    slots: &[ApSlot],
+    slots: &[SlotState],
     threads: usize,
 ) -> Vec<Candidate> {
     let registry = s3_obs::global();
@@ -332,7 +446,7 @@ fn beam_search(
     m: usize,
     c: usize,
     cache: &CliqueCost,
-    slots: &[ApSlot],
+    slots: &[SlotState],
     beam_width: usize,
     threads: usize,
 ) -> Vec<Candidate> {
@@ -412,22 +526,18 @@ fn select_best(mut candidates: Vec<Candidate>, config: &S3Config) -> Option<Vec<
         .map(|c| c.assignment)
 }
 
-fn fallback_least_loaded(
-    clique: &[UserId],
-    slots: &[ApSlot],
-    demand: &dyn Fn(UserId) -> f64,
-) -> Vec<usize> {
+fn fallback_least_loaded(demands: &[f64], slots: &[SlotState]) -> Vec<usize> {
     let mut loads: Vec<f64> = slots.iter().map(|s| s.load).collect();
-    clique
+    demands
         .iter()
-        .map(|&user| {
+        .map(|&demand| {
             let slot = loads
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
                 .map(|(i, _)| i)
                 .expect("slots non-empty");
-            loads[slot] += demand(user);
+            loads[slot] += demand;
             slot
         })
         .collect()
@@ -572,7 +682,8 @@ mod tests {
             },
         );
         let cache = CliqueCost::new(&clique, &slots, &delta, &|_: UserId| 1e4);
-        let cost = |assignment: &[usize]| cache.score(assignment, &slots).0;
+        let states: Vec<SlotState> = slots.iter().map(SlotState::of).collect();
+        let cost = |assignment: &[usize]| cache.score(assignment, &states).0;
         assert!((cost(&full) - cost(&beamed)).abs() < 1e-9);
     }
 

@@ -334,6 +334,27 @@ impl SocialModel {
         matrix
     }
 
+    /// The full learned pair-probability table — the input the compiled
+    /// data plane freezes into CSR form ([`crate::CompiledModel`]).
+    pub(crate) fn pair_probabilities(&self) -> &HashMap<UserPair, f64> {
+        &self.pair_probability
+    }
+
+    /// The full user → type assignment map.
+    pub(crate) fn user_types(&self) -> &HashMap<UserId, usize> {
+        &self.user_type
+    }
+
+    /// The full user → demand-estimate map.
+    pub(crate) fn demands(&self) -> &HashMap<UserId, BitsPerSec> {
+        &self.demand
+    }
+
+    /// The population-median fallback demand for unseen users.
+    pub(crate) fn fallback_demand(&self) -> BitsPerSec {
+        self.fallback_demand
+    }
+
     /// The social relation index
     /// `δ(u,v) = P(L(u,v)|E(u,v)) + α·T(type_u, type_v)`.
     ///

@@ -52,12 +52,14 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod compiled;
 mod config;
 mod learning;
 pub mod online;
 pub mod profile;
 mod selector;
 
+pub use compiled::CompiledModel;
 pub use config::S3Config;
 pub use learning::{SocialModel, TypeMatrix};
 pub use online::IncrementalLearner;

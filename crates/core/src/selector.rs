@@ -10,12 +10,21 @@
 //! Simultaneous arrivals (class start) run the full Algorithm 1: build the
 //! δ-threshold graph over the batch, peel maximum cliques, and distribute
 //! each clique via [`crate::batch::assign_clique`].
+//!
+//! Every decision runs on the **compiled data plane** (see
+//! [`crate::compiled`] and `docs/PERF.md`): the selector freezes its
+//! [`SocialModel`] into a [`CompiledModel`] once at construction and keeps
+//! a reusable [`Scratch`] of dense member buffers, slot states, and clique
+//! working vectors — so the hot path does no hashing and, after the first
+//! request warms the buffers, no allocation. The answers are bit-identical
+//! to the hashed path (enforced by `tests/compiled_props.rs`).
 
 use s3_graph::partition::clique_partition;
 use s3_obs::{Desc, Stability, Unit};
 use s3_wlan::selector::{ApSelector, ApView, ArrivalUser, LeastLoadedFirst, SelectionContext};
 
-use crate::batch::{assign_clique, build_social_graph, ApSlot};
+use crate::batch::{assign_clique_compiled, build_social_graph_compiled, SlotState};
+use crate::compiled::CompiledModel;
 use crate::{S3Config, SocialModel};
 
 // Degradation metrics (documented in docs/METRICS.md): a selector running
@@ -47,12 +56,38 @@ static DEGRADED_SELECTIONS: Desc = Desc {
 #[derive(Debug, Clone)]
 pub struct S3Selector {
     model: SocialModel,
+    /// The model frozen into dense query form, built once in `new`.
+    compiled: CompiledModel,
     config: S3Config,
     degraded: bool,
+    /// The LLF fallback policy, constructed once (degraded requests are a
+    /// steady state, not an error path — they must allocate nothing).
+    fallback: LeastLoadedFirst,
+    scratch: Scratch,
+}
+
+/// Reusable working memory for the selection hot path. Buffers grow to the
+/// controller's AP count and the largest batch once, then every later
+/// request runs allocation-free.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Dense member ids per slot: existing associations plus arrivals
+    /// already placed earlier in this batch, in association order.
+    members: Vec<Vec<u32>>,
+    /// Identity-free slot states fed to the distribution search.
+    states: Vec<SlotState>,
+    /// Dense-id translation of the current arrival batch.
+    arrivals: Vec<u32>,
+    /// Demand estimate per arrival, computed once and reused for both the
+    /// cost tables and the projected-load updates.
+    demands: Vec<f64>,
+    /// Dense ids of the clique currently being distributed.
+    clique: Vec<u32>,
 }
 
 impl S3Selector {
-    /// Creates the selector from a trained model.
+    /// Creates the selector from a trained model, compiling it into the
+    /// dense data plane ([`CompiledModel`]) the hot path runs on.
     ///
     /// # Panics
     ///
@@ -63,10 +98,14 @@ impl S3Selector {
         if degraded {
             s3_obs::global().counter(&DEGRADED_MODELS).inc();
         }
+        let compiled = CompiledModel::compile(&model);
         S3Selector {
             model,
+            compiled,
             config,
             degraded,
+            fallback: LeastLoadedFirst::new(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -80,23 +119,35 @@ impl S3Selector {
         &self.model
     }
 
+    /// The compiled view the hot path queries.
+    pub fn compiled_model(&self) -> &CompiledModel {
+        &self.compiled
+    }
+
     /// The configuration in force.
     pub fn config(&self) -> &S3Config {
         &self.config
     }
 
-    // S³ scores mutate slot membership clique by clique, so it collects
-    // the borrowed views into owned working slots once per request — the
-    // engine-side per-candidate clone the zero-copy ApView eliminated.
-    fn slots_from_candidates(candidates: &[ApView<'_>]) -> Vec<ApSlot> {
-        candidates
-            .iter()
-            .map(|c| ApSlot {
-                load: c.load.as_f64(),
-                capacity: c.capacity.as_f64(),
-                members: c.associated().collect(),
-            })
-            .collect()
+    // S³ scores mutate slot membership clique by clique; the scratch holds
+    // one dense member buffer per slot (association order preserved) plus
+    // the identity-free SlotState rows, refilled — not reallocated — per
+    // request. This replaces the per-request owned `ApSlot` collection the
+    // hashed path paid for.
+    fn prepare_slots(&mut self, candidates: &[ApView<'_>]) {
+        let compiled = &self.compiled;
+        let scratch = &mut self.scratch;
+        scratch.members.resize_with(candidates.len(), Vec::new);
+        scratch.states.clear();
+        for (row, view) in scratch.members.iter_mut().zip(candidates) {
+            row.clear();
+            compiled.extend_dense(view.associated(), row);
+            scratch.states.push(SlotState {
+                load: view.load.as_f64(),
+                capacity: view.capacity.as_f64(),
+                member_count: row.len(),
+            });
+        }
     }
 }
 
@@ -108,16 +159,15 @@ impl ApSelector for S3Selector {
     fn select(&mut self, ctx: &SelectionContext<'_>) -> usize {
         if self.degraded {
             s3_obs::global().counter(&DEGRADED_SELECTIONS).inc();
-            return LeastLoadedFirst::new().select(ctx);
+            return self.fallback.select(ctx);
         }
-        let slots = Self::slots_from_candidates(ctx.candidates);
-        let user = ctx.arrival.user;
-        let model = &self.model;
-        let picks = assign_clique(
-            &[user],
-            &slots,
-            |a, b| model.delta(a, b),
-            |u| model.estimated_demand(u).as_f64(),
+        self.prepare_slots(ctx.candidates);
+        let arrival = [self.compiled.dense_or_unknown(ctx.arrival.user)];
+        let picks = assign_clique_compiled(
+            &self.compiled,
+            &arrival,
+            &self.scratch.members,
+            &self.scratch.states,
             &self.config,
         );
         picks[0]
@@ -129,36 +179,44 @@ impl ApSelector for S3Selector {
         }
         if self.degraded {
             s3_obs::global().counter(&DEGRADED_SELECTIONS).inc();
-            return LeastLoadedFirst::new().select_batch(users, candidates);
+            return self.fallback.select_batch(users, candidates);
         }
-        let user_ids: Vec<s3_types::UserId> = users.iter().map(|u| u.user).collect();
-        let model = &self.model;
-        let graph = build_social_graph(
-            &user_ids,
-            |a, b| model.delta(a, b),
-            self.config.edge_threshold,
-        );
+        self.prepare_slots(candidates);
+        let compiled = &self.compiled;
+        let scratch = &mut self.scratch;
+        scratch.arrivals.clear();
+        scratch.demands.clear();
+        for user in users {
+            let dense = compiled.dense_or_unknown(user.user);
+            scratch.arrivals.push(dense);
+            // Demand is evaluated once per arrival and reused for both the
+            // cost tables and the projected-load updates below.
+            scratch.demands.push(compiled.demand_dense(dense));
+        }
+        let graph =
+            build_social_graph_compiled(compiled, &scratch.arrivals, self.config.edge_threshold);
         // Cliques come out largest/heaviest first; isolated users trail as
         // singletons — the paper's processing order.
         let cliques = clique_partition(&graph);
 
-        let mut slots = Self::slots_from_candidates(candidates);
         let mut picks = vec![usize::MAX; users.len()];
         for clique in &cliques {
-            let members: Vec<s3_types::UserId> =
-                clique.vertices.iter().map(|&v| user_ids[v]).collect();
-            let assignment = assign_clique(
-                &members,
-                &slots,
-                |a, b| model.delta(a, b),
-                |u| model.estimated_demand(u).as_f64(),
+            scratch.clique.clear();
+            for &vertex in &clique.vertices {
+                scratch.clique.push(scratch.arrivals[vertex]);
+            }
+            let assignment = assign_clique_compiled(
+                compiled,
+                &scratch.clique,
+                &scratch.members,
+                &scratch.states,
                 &self.config,
             );
             for (&vertex, &slot) in clique.vertices.iter().zip(&assignment) {
                 picks[vertex] = slot;
-                let user = user_ids[vertex];
-                slots[slot].load += model.estimated_demand(user).as_f64();
-                slots[slot].members.push(user);
+                scratch.states[slot].load += scratch.demands[vertex];
+                scratch.states[slot].member_count += 1;
+                scratch.members[slot].push(scratch.arrivals[vertex]);
             }
         }
         debug_assert!(picks.iter().all(|&p| p != usize::MAX));

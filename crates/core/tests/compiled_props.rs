@@ -1,0 +1,190 @@
+//! Property tests pinning the compiled data plane to the hashed one.
+//!
+//! The whole point of [`CompiledModel`] is that it is a pure
+//! representation change: over models learned from *arbitrary* traces —
+//! including empty ones, single-user ones, and traces touching ids at the
+//! very top of the `u32` range — every `delta` and `estimated_demand`
+//! must be **bit-equal** (`f64::to_bits`) to the hashed [`SocialModel`],
+//! for known, unknown, self, and overflow-id query pairs alike. Anything
+//! weaker would let the byte-identical-CSV contract rot silently.
+
+use proptest::prelude::*;
+
+use s3_core::{CompiledModel, IncrementalLearner, S3Config, S3Selector, SocialModel};
+use s3_trace::{SessionRecord, TraceStore};
+use s3_types::{ApId, Bytes, ControllerId, Timestamp, UserId};
+
+/// Raw user-id pool: a dense block plus ids at the top of the `u32` range,
+/// so interning and CSR construction see overflow-adjacent ids.
+fn user_id_strategy() -> impl Strategy<Value = u32> {
+    // Values 24..30 fold onto u32::MAX - 0..=5 (the vendored proptest has
+    // no `prop_oneof`; an explicit fold keeps the same id mix).
+    (0u32..30).prop_map(|x| if x < 24 { x } else { u32::MAX - (x - 24) })
+}
+
+fn records_strategy() -> impl Strategy<Value = Vec<SessionRecord>> {
+    prop::collection::vec(
+        (
+            user_id_strategy(),
+            0u32..4,       // ap
+            0u64..4,       // day
+            0u64..7_200,   // connect offset within the day
+            60u64..10_000, // duration
+            0usize..6,     // dominant app realm
+        ),
+        0..40,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(user, ap, day, offset, duration, realm)| {
+                let connect = day * 86_400 + 28_800 + offset;
+                let mut volume_by_app = [Bytes::ZERO; 6];
+                volume_by_app[realm] = Bytes::megabytes(5);
+                SessionRecord {
+                    user: UserId::new(user),
+                    ap: ApId::new(ap),
+                    controller: ControllerId::new(0),
+                    connect: Timestamp::from_secs(connect),
+                    disconnect: Timestamp::from_secs(connect + duration),
+                    volume_by_app,
+                }
+            })
+            .collect()
+    })
+}
+
+fn config() -> S3Config {
+    S3Config {
+        fixed_k: Some(2),
+        ..S3Config::default()
+    }
+}
+
+/// Query ids: every id the trace touched, plus unknowns, plus the extremes.
+fn query_ids(records: &[SessionRecord]) -> Vec<UserId> {
+    let mut ids: Vec<u32> = records.iter().map(|r| r.user.raw()).collect();
+    ids.extend([0, 999, 1_000_000, u32::MAX - 1, u32::MAX]);
+    ids.sort_unstable();
+    ids.dedup();
+    ids.into_iter().map(UserId::new).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn delta_bit_equals_hashed_model(records in records_strategy(), seed in 0u64..8) {
+        let model = SocialModel::learn(&TraceStore::new(records.clone()), &config(), seed);
+        let compiled = CompiledModel::compile(&model);
+        let ids = query_ids(&records);
+        for &u in &ids {
+            for &v in &ids {
+                // Includes self pairs (u == v) and unknown/overflow ids.
+                prop_assert_eq!(
+                    compiled.delta(u, v).to_bits(),
+                    model.delta(u, v).to_bits(),
+                    "delta({}, {}) diverged", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demand_bit_equals_hashed_model(records in records_strategy(), seed in 0u64..8) {
+        let model = SocialModel::learn(&TraceStore::new(records.clone()), &config(), seed);
+        let compiled = CompiledModel::compile(&model);
+        for &u in &query_ids(&records) {
+            prop_assert_eq!(
+                compiled.estimated_demand(u).as_f64().to_bits(),
+                model.estimated_demand(u).as_f64().to_bits(),
+                "estimated_demand({}) diverged", u
+            );
+        }
+    }
+
+    #[test]
+    fn slot_cost_bit_equals_member_order_sum(
+        records in records_strategy(),
+        members in prop::collection::vec(
+            // 24..29 folds onto the unknown-id block 900..905.
+            (0u32..29).prop_map(|x| if x < 24 { x } else { 900 + (x - 24) }),
+            0..10,
+        ),
+        seed in 0u64..4,
+    ) {
+        let model = SocialModel::learn(&TraceStore::new(records.clone()), &config(), seed);
+        let compiled = CompiledModel::compile(&model);
+        let member_ids: Vec<UserId> = members.into_iter().map(UserId::new).collect();
+        let mut dense = Vec::new();
+        compiled.extend_dense(member_ids.iter().copied(), &mut dense);
+        for &u in &query_ids(&records) {
+            let hashed: f64 = member_ids.iter().map(|&w| model.delta(u, w)).sum();
+            let fast = compiled.slot_cost(compiled.dense_or_unknown(u), &dense);
+            prop_assert_eq!(fast.to_bits(), hashed.to_bits(), "slot cost for {}", u);
+        }
+    }
+
+    #[test]
+    fn compiled_size_metrics_match_model(records in records_strategy(), seed in 0u64..4) {
+        let model = SocialModel::learn(&TraceStore::new(records), &config(), seed);
+        let compiled = CompiledModel::compile(&model);
+        prop_assert_eq!(compiled.csr_entries(), model.known_pairs() * 2);
+        prop_assert_eq!(compiled.alpha().to_bits(), model.alpha().to_bits());
+        prop_assert_eq!(compiled.is_trivial(), model.is_trivial());
+        prop_assert_eq!(compiled.is_stale(), model.is_stale());
+        prop_assert_eq!(compiled.type_count(), model.type_count());
+    }
+}
+
+/// Compiling a trivial (empty) model preserves the degradation flags, and
+/// the selector built over it still engages the LLF fallback — compilation
+/// must never "launder" an unusable model into a trusted one.
+#[test]
+fn trivial_model_survives_compilation_and_keeps_llf_fallback() {
+    let model = SocialModel::learn(&TraceStore::new(vec![]), &config(), 0);
+    assert!(model.is_trivial());
+    let compiled = CompiledModel::compile(&model);
+    assert!(compiled.is_trivial());
+    assert!(!compiled.is_stale());
+    assert_eq!(compiled.user_count(), 0);
+    assert_eq!(compiled.csr_entries(), 0);
+    let selector = S3Selector::new(model, config());
+    assert!(
+        selector.is_degraded(),
+        "trivial model must fall back to LLF"
+    );
+    assert!(selector.compiled_model().is_trivial());
+}
+
+/// Same for a stale model from the incremental learner: one ingested day
+/// against the default 15-day look-back.
+#[test]
+fn stale_model_survives_compilation_and_keeps_llf_fallback() {
+    let mut records = Vec::new();
+    for user in 1..=3u32 {
+        let mut volume_by_app = [Bytes::ZERO; 6];
+        volume_by_app[0] = Bytes::megabytes(20);
+        records.push(SessionRecord {
+            user: UserId::new(user),
+            ap: ApId::new(0),
+            controller: ControllerId::new(0),
+            connect: Timestamp::from_secs(30_000 + user as u64),
+            disconnect: Timestamp::from_secs(37_200 + user as u64 * 10),
+            volume_by_app,
+        });
+    }
+    let config = S3Config {
+        fixed_k: Some(1),
+        ..S3Config::default()
+    };
+    let mut learner = IncrementalLearner::new(config.clone(), 2);
+    learner.ingest_day(&TraceStore::new(records), 0);
+    let model = learner.build_model();
+    assert!(model.is_stale());
+    assert!(!model.is_trivial());
+    let compiled = CompiledModel::compile(&model);
+    assert!(compiled.is_stale());
+    assert!(!compiled.is_trivial());
+    let selector = S3Selector::new(model, config);
+    assert!(selector.is_degraded(), "stale model must fall back to LLF");
+}

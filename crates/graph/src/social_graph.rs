@@ -31,6 +31,45 @@ impl SocialGraph {
         }
     }
 
+    /// Builds a graph on `n` dense vertices from a pairwise weight
+    /// function, bypassing the per-edge [`SocialGraph::add_edge`] checks.
+    ///
+    /// `weight_of(i, j)` is called exactly once per unordered pair with
+    /// `i < j`; returning `Some(w)` inserts the edge `(i, j)` with weight
+    /// `w`, returning `None` leaves the pair disconnected. This is the bulk
+    /// constructor for callers that already hold a dense vertex numbering —
+    /// the S³ batch allocator builds its δ-threshold graph this way from a
+    /// compiled model, writing both bitset rows and the weight matrix
+    /// directly instead of paying a `Result` round-trip per edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight_of` yields a negative or non-finite weight (the
+    /// same inputs [`SocialGraph::add_edge`] rejects).
+    pub fn from_pairwise<F>(n: usize, mut weight_of: F) -> SocialGraph
+    where
+        F: FnMut(usize, usize) -> Option<f64>,
+    {
+        let mut graph = SocialGraph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                let Some(w) = weight_of(i, j) else {
+                    continue;
+                };
+                assert!(
+                    w.is_finite() && w >= 0.0,
+                    "pairwise weight must be finite and non-negative, got {w}"
+                );
+                graph.adj[i].insert(j);
+                graph.adj[j].insert(i);
+                graph.weights[i * n + j] = w;
+                graph.weights[j * n + i] = w;
+                graph.edge_count += 1;
+            }
+        }
+        graph
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn vertex_count(&self) -> usize {
@@ -289,5 +328,37 @@ mod tests {
         assert_eq!(g.vertex_count(), 0);
         assert_eq!(g.edge_count(), 0);
         assert!(g.non_isolated().is_empty());
+    }
+
+    #[test]
+    fn from_pairwise_matches_add_edge_loop() {
+        let weight = |i: usize, j: usize| {
+            let w = ((i * 7 + j * 13) % 10) as f64 / 10.0;
+            (w > 0.3).then_some(w)
+        };
+        let bulk = SocialGraph::from_pairwise(6, weight);
+        let mut looped = SocialGraph::new(6);
+        for i in 0..6 {
+            for j in i + 1..6 {
+                if let Some(w) = weight(i, j) {
+                    looped.add_edge(i, j, w).unwrap();
+                }
+            }
+        }
+        assert_eq!(bulk, looped);
+    }
+
+    #[test]
+    fn from_pairwise_empty_and_edgeless() {
+        assert_eq!(SocialGraph::from_pairwise(0, |_, _| None).vertex_count(), 0);
+        let g = SocialGraph::from_pairwise(4, |_, _| None);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.non_isolated().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_pairwise_rejects_invalid_weight() {
+        let _ = SocialGraph::from_pairwise(2, |_, _| Some(-1.0));
     }
 }

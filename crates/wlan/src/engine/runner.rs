@@ -157,6 +157,9 @@ struct RunCtx<'a> {
     emit_at_departure: bool,
     /// Per-batch record staging (placement-emission mode).
     scratch: Vec<SessionRecord>,
+    /// Reusable arrival buffer for `place_batch` — the outer allocation
+    /// survives across batches; only the per-user RSSI vectors are fresh.
+    arrivals: Vec<ArrivalUser>,
     rejected: usize,
     placed: usize,
     records: usize,
@@ -198,6 +201,7 @@ impl SimEngine {
             max_moves_per_round: rebalance.as_ref().map_or(0, |rb| rb.max_moves_per_round),
             emit_at_departure: rebalance.is_some(),
             scratch: Vec::new(),
+            arrivals: Vec::new(),
             rejected: 0,
             placed: 0,
             records: 0,
@@ -341,45 +345,43 @@ impl SimEngine {
                 ctx.rejected += members.len();
                 continue;
             }
-            let users: Vec<ArrivalUser> = members
-                .iter()
-                .map(|&i| {
-                    let d = &batch[i];
-                    let pos = session_position(d.user, d.arrive);
-                    let rssi = aps
-                        .iter()
-                        .map(|&ap| {
-                            rssi_at(distance(
-                                pos,
-                                self.topology.ap(ap).expect("ap exists").position,
-                            ))
-                        })
-                        .collect();
-                    ArrivalUser {
-                        user: d.user,
-                        now: d.arrive,
-                        demand_hint: d.mean_rate(),
-                        rssi,
-                    }
-                })
-                .collect();
+            let mut users = std::mem::take(&mut ctx.arrivals);
+            users.clear();
+            users.extend(members.iter().map(|&i| {
+                let d = &batch[i];
+                let pos = session_position(d.user, d.arrive);
+                let rssi = aps
+                    .iter()
+                    .map(|&ap| {
+                        rssi_at(distance(
+                            pos,
+                            self.topology.ap(ap).expect("ap exists").position,
+                        ))
+                    })
+                    .collect();
+                ArrivalUser {
+                    user: d.user,
+                    now: d.arrive,
+                    demand_hint: d.mean_rate(),
+                    rssi,
+                }
+            }));
             let picks = {
                 // Zero-copy candidate views borrowing the engine's live
                 // association state — nothing is cloned per candidate.
-                let views: Vec<ApView<'_>> = aps
-                    .iter()
-                    .map(|&ap| {
-                        ApView::new(
-                            ap,
-                            ctx.run.reported[ap.index()],
-                            self.topology.ap(ap).expect("ap exists").capacity,
-                            &ctx.run.state[ap.index()].associated,
-                        )
-                    })
-                    .collect();
+                let mut views: Vec<ApView<'_>> = Vec::with_capacity(aps.len());
+                views.extend(aps.iter().map(|&ap| {
+                    ApView::new(
+                        ap,
+                        ctx.run.reported[ap.index()],
+                        self.topology.ap(ap).expect("ap exists").capacity,
+                        &ctx.run.state[ap.index()].associated,
+                    )
+                }));
                 ctx.selector.select_batch(&users, &views)
             };
             assert_eq!(picks.len(), users.len(), "one pick per user required");
+            ctx.arrivals = users;
             ctx.placements.add(picks.len() as u64);
             ctx.placed += picks.len();
             for (&i, &pick) in members.iter().zip(&picks) {
