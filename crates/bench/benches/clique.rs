@@ -6,6 +6,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 
+use s3_graph::clique::{reference, CliqueBudget, CliqueWorkspace};
 use s3_graph::{clique, partition, SocialGraph};
 
 fn random_graph(n: usize, density: f64, seed: u64) -> SocialGraph {
@@ -45,5 +46,34 @@ fn bench_clique_partition(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_max_clique, bench_clique_partition);
+/// Word-level kernel (reused workspace) vs the pinned reference searcher
+/// on dense graphs, under the same node budget for both sides. Parity
+/// tests guarantee identical search trees, so the ratio is pure per-node
+/// overhead.
+fn bench_kernel_vs_reference(c: &mut Criterion) {
+    let budget = CliqueBudget { max_nodes: 200_000 };
+    let mut group = c.benchmark_group("kernel_vs_reference");
+    for &(n, density) in &[(64usize, 0.3), (128, 0.3), (256, 0.2)] {
+        let g = random_graph(n, density, 42);
+        group.bench_with_input(
+            BenchmarkId::new(format!("reference_d{density}"), n),
+            &g,
+            |b, g| b.iter(|| black_box(reference::max_clique_with_budget(g, budget))),
+        );
+        let mut ws = CliqueWorkspace::new();
+        group.bench_with_input(
+            BenchmarkId::new(format!("kernel_d{density}"), n),
+            &g,
+            |b, g| b.iter(|| black_box(ws.max_clique(g, budget))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_max_clique,
+    bench_clique_partition,
+    bench_kernel_vs_reference
+);
 criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! Machine-readable clique-kernel micro-benchmark: the allocation-free
+//! word-level searcher against the pinned reference implementation.
+//!
+//! Criterion (`benches/clique.rs`) is the statistically careful
+//! interactive view; this binary is the CI-friendly one — interleaved
+//! best-of-repeats timing over dense 64–256-vertex graphs, written as
+//! one JSON document (ns/extraction, speedup, branch-and-bound nodes/sec):
+//!
+//! ```text
+//! clique_bench [--out results/BENCH_clique.json] [--iters N] [--repeats N]
+//! ```
+//!
+//! Every extraction runs under an explicit node budget applied to *both*
+//! implementations; parity (pinned by `tests/clique_parity.rs` in
+//! `s3-graph`) guarantees they expand the same nodes in the same order, so
+//! the comparison measures per-node machinery, not search luck. The
+//! checked-in `results/BENCH_clique.json` is a reference measurement (see
+//! `docs/PERF.md`); CI regenerates it as `BENCH_clique.ci.json` and
+//! uploads it without comparing — shared-runner wall clocks are for
+//! trend-watching, not gating.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use s3_graph::clique::{reference, CliqueBudget, CliqueWorkspace};
+use s3_graph::{partition, SocialGraph};
+
+const USAGE: &str = "usage: clique_bench [--out <path.json>] [--iters N] [--repeats N]";
+
+/// Per-extraction node budget. Dense Östergård searches are exponential in
+/// the worst case; a fixed budget keeps every shape's runtime bounded and —
+/// because the kernel truncates at the identical node — keeps the
+/// comparison apples-to-apples.
+const BUDGET_NODES: u64 = 200_000;
+
+/// (vertices, edge density) shapes timed by the extraction benchmark.
+const SHAPES: &[(usize, f64)] = &[(64, 0.3), (64, 0.5), (128, 0.3), (256, 0.2), (256, 0.4)];
+
+/// Shape of the partition (extract-and-erase) benchmark.
+const PARTITION_N: usize = 96;
+const PARTITION_DENSITY: f64 = 0.25;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Best-observed per-iteration nanoseconds of the two workloads, sampled
+/// in alternation (`a` then `b`, `repeats` times). Interleaving keeps
+/// clock-frequency drift from biasing a sequential A-then-B comparison,
+/// and taking each side's minimum discards contention spikes from shared
+/// hardware — the minimum is the least-noisy estimator of intrinsic cost.
+fn time_pair_ns<A: FnMut() -> f64, B: FnMut() -> f64>(
+    iters: u64,
+    repeats: usize,
+    mut a: A,
+    mut b: B,
+) -> (f64, f64) {
+    let mut sink = 0.0f64;
+    let mut sa = Vec::with_capacity(repeats);
+    let mut sb = Vec::with_capacity(repeats);
+    // Untimed warmup pass for caches and branch predictors.
+    sink += a();
+    sink += b();
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        for _ in 0..iters {
+            sink += a();
+        }
+        sa.push(start.elapsed().as_nanos() as f64 / iters.max(1) as f64);
+        let start = Instant::now();
+        for _ in 0..iters {
+            sink += b();
+        }
+        sb.push(start.elapsed().as_nanos() as f64 / iters.max(1) as f64);
+    }
+    // Keep the accumulator observable so the work is not optimised away.
+    std::hint::black_box(sink);
+    let min = |s: &[f64]| s.iter().copied().fold(f64::INFINITY, f64::min);
+    (min(&sa), min(&sb))
+}
+
+fn random_graph(n: usize, density: f64, seed: u64) -> SocialGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = SocialGraph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.random::<f64>() < density {
+                g.add_edge(u, v, rng.random_range(0.3..1.0)).unwrap();
+            }
+        }
+    }
+    g
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return;
+    }
+    let out = flag(&args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/BENCH_clique.json"));
+    let iters: u64 = flag(&args, "--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let repeats: usize = flag(&args, "--repeats")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9);
+    let budget = CliqueBudget {
+        max_nodes: BUDGET_NODES,
+    };
+
+    let mut doc = String::from("{\n");
+    let _ = writeln!(
+        doc,
+        "  \"bench\": \"clique\",\n  \"budget_nodes\": {BUDGET_NODES},\n  \"iters\": {iters},\n  \"repeats\": {repeats},"
+    );
+    doc.push_str("  \"extractions\": [\n");
+
+    let mut ws = CliqueWorkspace::new();
+    let mut summary = String::new();
+    for (shape_idx, &(n, density)) in SHAPES.iter().enumerate() {
+        let g = random_graph(n, density, 42 + shape_idx as u64);
+
+        // Node count for this shape, measured outside the timed loops.
+        let before = ws.nodes_searched();
+        let check = ws.max_clique(&g, budget);
+        let nodes = ws.nodes_searched() - before;
+        // Sanity: the two implementations must agree before we time them.
+        let oracle = reference::max_clique_with_budget(&g, budget);
+        assert_eq!(
+            check.vertices, oracle.vertices,
+            "kernel/reference disagree on n={n} d={density}"
+        );
+
+        let (reference_ns, kernel_ns) = time_pair_ns(
+            iters,
+            repeats,
+            || reference::max_clique_with_budget(&g, budget).weight_sum,
+            || ws.max_clique(&g, budget).weight_sum,
+        );
+        let speedup = reference_ns / kernel_ns;
+        let nodes_per_sec = nodes as f64 * 1e9 / kernel_ns;
+
+        let sep = if shape_idx + 1 == SHAPES.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            doc,
+            "    {{\"n\": {n}, \"density\": {density:.2}, \"clique\": {}, \"truncated\": {}, \"nodes\": {nodes}, \"reference_ns\": {reference_ns:.2}, \"kernel_ns\": {kernel_ns:.2}, \"speedup\": {speedup:.2}, \"kernel_nodes_per_sec\": {nodes_per_sec:.0}}}{sep}",
+            check.len(),
+            check.truncated,
+        );
+        let _ = write!(summary, " n{n}d{density}={speedup:.1}x");
+    }
+    doc.push_str("  ],\n");
+
+    // Extract-and-erase partition: many subset searches per call, which is
+    // what the selector's batch path actually runs.
+    let g = random_graph(PARTITION_N, PARTITION_DENSITY, 7);
+    let cliques = partition::clique_partition_in(&g, budget, &mut ws).len();
+    let (reference_ns, kernel_ns) = time_pair_ns(
+        iters,
+        repeats,
+        || reference::clique_partition_with_budget(&g, budget).len() as f64,
+        || partition::clique_partition_in(&g, budget, &mut ws).len() as f64,
+    );
+    let _ = writeln!(
+        doc,
+        "  \"partition\": {{\"n\": {PARTITION_N}, \"density\": {PARTITION_DENSITY:.2}, \"cliques\": {cliques}, \"reference_ns\": {reference_ns:.2}, \"kernel_ns\": {kernel_ns:.2}, \"speedup\": {:.2}}}",
+        reference_ns / kernel_ns
+    );
+    doc.push_str("}\n");
+
+    if let Some(dir) = out.parent() {
+        fs::create_dir_all(dir).expect("create output directory");
+    }
+    fs::write(&out, &doc).expect("write benchmark json");
+    println!(
+        "clique_bench{summary} partition={:.1}x wrote={}",
+        reference_ns / kernel_ns,
+        out.display()
+    );
+}

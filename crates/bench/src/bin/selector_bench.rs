@@ -22,7 +22,10 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use s3_bench::Scenario;
+use s3_core::batch::build_social_graph;
 use s3_core::{CompiledModel, S3Config, SocialModel};
+use s3_graph::clique::{reference, CliqueBudget, CliqueWorkspace};
+use s3_graph::partition::clique_partition_in;
 use s3_trace::generator::CampusConfig;
 use s3_types::{ApId, BitsPerSec, Timestamp, UserId};
 use s3_wlan::selector::{views_of, ApCandidate, ApSelector, ArrivalUser};
@@ -184,6 +187,20 @@ fn main() {
         compiled.slot_cost(arrival_dense, &member_dense)
     });
 
+    // Tier 2.5: clique partition of the trained social graph over the
+    // probe slice — the word-level kernel (reused workspace) against the
+    // pinned reference searcher on a realistic batch graph.
+    let cfg = S3Config::default();
+    let social = build_social_graph(&probe, |u, v| model.delta(u, v), cfg.edge_threshold);
+    let budget = CliqueBudget::default();
+    let partition_reference_ns = time_ns(iters, repeats, || {
+        reference::clique_partition_with_budget(&social, budget).len() as f64
+    });
+    let mut clique_ws = CliqueWorkspace::new();
+    let partition_kernel_ns = time_ns(iters, repeats, || {
+        clique_partition_in(&social, budget, &mut clique_ws).len() as f64
+    });
+
     // Tier 3: full batch decision through the compiled selector scratch.
     let mut s3 = s.default_s3(2);
     let cands = candidates(8, 12);
@@ -225,6 +242,19 @@ fn main() {
     doc.push_str(",\n");
     json_section(
         &mut doc,
+        "clique_partition_ns",
+        &[
+            ("reference", partition_reference_ns),
+            ("kernel", partition_kernel_ns),
+            (
+                "speedup_kernel_vs_reference",
+                partition_reference_ns / partition_kernel_ns,
+            ),
+        ],
+    );
+    doc.push_str(",\n");
+    json_section(
+        &mut doc,
         "select_batch",
         &[
             ("ns_per_batch", batch_ns),
@@ -240,6 +270,7 @@ fn main() {
     println!(
         "selector_bench delta hashed={hashed_ns:.1}ns compiled={compiled_ns:.1}ns \
          dense={dense_ns:.1}ns slot hashed={slot_hashed_ns:.1}ns compiled={slot_compiled_ns:.1}ns \
+         partition ref={partition_reference_ns:.0}ns kernel={partition_kernel_ns:.0}ns \
          batch={batch_ns:.0}ns wrote={}",
         out.display()
     );

@@ -183,13 +183,19 @@ const MEMBER_EPSILON_BPS: f64 = 1.0;
 /// once turns scoring into pure table lookups (`O(c·(m̄ + c))` δ calls total
 /// instead of per candidate) and makes candidate scoring a pure function —
 /// the prerequisite for fanning the search across threads.
+///
+/// Both tables are flat row-major arrays (no per-row `Vec`), so scoring a
+/// candidate walks contiguous memory: `slot_entry[u·m + s]` and
+/// `pair[i·c + j]`.
 struct CliqueCost {
-    /// `slot_entry[u][s]` = Σ δ(clique[u], w) over `slots[s].members`.
-    slot_entry: Vec<Vec<f64>>,
-    /// `pair[i][j]` = δ(clique[i], clique[j]); symmetric, zero diagonal.
-    pair: Vec<Vec<f64>>,
+    /// `slot_entry[u·m + s]` = Σ δ(clique[u], w) over slot `s`'s members.
+    slot_entry: Vec<f64>,
+    /// `pair[i·c + j]` = δ(clique[i], clique[j]); symmetric, zero diagonal.
+    pair: Vec<f64>,
     /// Demand estimate per clique member.
     demands: Vec<f64>,
+    /// Slot count `m` — the row stride of `slot_entry`.
+    slots: usize,
 }
 
 impl CliqueCost {
@@ -200,21 +206,19 @@ impl CliqueCost {
         demand: &dyn Fn(UserId) -> f64,
     ) -> CliqueCost {
         let c = clique.len();
-        let slot_entry = clique
-            .iter()
-            .map(|&user| {
-                slots
-                    .iter()
-                    .map(|slot| slot.members.iter().map(|&w| delta(user, w)).sum())
-                    .collect()
-            })
-            .collect();
-        let mut pair = vec![vec![0.0; c]; c];
+        let m = slots.len();
+        let mut slot_entry = Vec::with_capacity(c * m);
+        for &user in clique {
+            for slot in slots {
+                slot_entry.push(slot.members.iter().map(|&w| delta(user, w)).sum());
+            }
+        }
+        let mut pair = vec![0.0; c * c];
         for i in 0..c {
             for j in i + 1..c {
                 let d = delta(clique[i], clique[j]);
-                pair[i][j] = d;
-                pair[j][i] = d;
+                pair[i * c + j] = d;
+                pair[j * c + i] = d;
             }
         }
         let demands = clique.iter().map(|&user| demand(user)).collect();
@@ -224,35 +228,29 @@ impl CliqueCost {
             slot_entry,
             pair,
             demands,
+            slots: m,
         }
     }
 
     /// [`CliqueCost::new`] against the compiled data plane: the clique and
     /// the per-slot member lists are dense ids, every table cell comes from
     /// a CSR scan ([`CompiledModel::slot_cost`]) or probe instead of hash
-    /// lookups, and nothing is allocated beyond the tables themselves.
+    /// lookups, and the pair table is bulk-filled with u's CSR row and type
+    /// hoisted per row ([`CompiledModel::fill_pair_table`]).
     /// Metric accounting is identical — `core.cost.delta_evals` counts one
     /// eval per (member, slot-resident) pair exactly as the hashed path
     /// does, so the counter keeps measuring work saved by the table.
     fn from_compiled(model: &CompiledModel, clique: &[u32], members: &[Vec<u32>]) -> CliqueCost {
         let c = clique.len();
-        let slot_entry = clique
-            .iter()
-            .map(|&user| {
-                members
-                    .iter()
-                    .map(|row| model.slot_cost(user, row))
-                    .collect()
-            })
-            .collect();
-        let mut pair = vec![vec![0.0; c]; c];
-        for i in 0..c {
-            for j in i + 1..c {
-                let d = model.delta_dense(clique[i], clique[j]);
-                pair[i][j] = d;
-                pair[j][i] = d;
+        let m = members.len();
+        let mut slot_entry = Vec::with_capacity(c * m);
+        for &user in clique {
+            for row in members {
+                slot_entry.push(model.slot_cost(user, row));
             }
         }
+        let mut pair = Vec::new();
+        model.fill_pair_table(clique, &mut pair);
         let demands = clique
             .iter()
             .map(|&user| model.demand_dense(user))
@@ -263,6 +261,7 @@ impl CliqueCost {
             slot_entry,
             pair,
             demands,
+            slots: m,
         }
     }
 
@@ -282,35 +281,82 @@ impl CliqueCost {
     }
 
     /// Social cost + projected balance of a full assignment; the cost is
-    /// `+∞` when a slot's bandwidth constraint would break.
-    fn score(&self, assignment: &[usize], slots: &[SlotState]) -> (f64, f64) {
-        let m = slots.len();
-        let mut added_demand = vec![0.0; m];
-        let mut added_members = vec![0usize; m];
+    /// `+∞` when a slot's bandwidth constraint would break. `scratch` is
+    /// cleared and refilled — callers hold one per scoring run so the hot
+    /// loop performs no per-candidate allocation. Arithmetic (accumulation
+    /// order, capacity test, epsilon mix-in) is unchanged from the nested
+    /// `Vec` version, so scores are bit-identical.
+    fn score(
+        &self,
+        assignment: &[usize],
+        slots: &SlotArrays,
+        scratch: &mut ScoreScratch,
+    ) -> (f64, f64) {
+        let m = self.slots;
+        let c = self.demands.len();
+        scratch.added_demand.clear();
+        scratch.added_demand.resize(m, 0.0);
+        scratch.added_members.clear();
+        scratch.added_members.resize(m, 0);
         let mut cost = 0.0;
         // Social cost: each placed user pays δ to existing members of its
         // slot and to clique members already placed on the same slot.
         for (idx, &slot) in assignment.iter().enumerate() {
-            cost += self.slot_entry[idx][slot];
+            cost += self.slot_entry[idx * m + slot];
             for (prev_idx, &prev_slot) in assignment[..idx].iter().enumerate() {
                 if prev_slot == slot {
-                    cost += self.pair[prev_idx][idx];
+                    cost += self.pair[prev_idx * c + idx];
                 }
             }
-            added_demand[slot] += self.demands[idx];
-            added_members[slot] += 1;
+            scratch.added_demand[slot] += self.demands[idx];
+            scratch.added_members[slot] += 1;
         }
         // Bandwidth constraint: any overloaded slot poisons the distribution.
-        let mut loads = Vec::with_capacity(m);
-        for ((slot, add), members) in slots.iter().zip(&added_demand).zip(&added_members) {
-            let load = slot.load + add;
-            if load > slot.capacity && *add > 0.0 {
+        scratch.loads.clear();
+        for s in 0..m {
+            let add = scratch.added_demand[s];
+            let load = slots.load[s] + add;
+            if load > slots.capacity[s] && add > 0.0 {
                 return (f64::INFINITY, 0.0);
             }
-            loads.push(load + (slot.member_count + members) as f64 * MEMBER_EPSILON_BPS);
+            scratch.loads.push(
+                load + (slots.member_count[s] + scratch.added_members[s]) as f64
+                    * MEMBER_EPSILON_BPS,
+            );
         }
-        let balance = normalized_balance_index(&loads).unwrap_or(0.0);
+        let balance = normalized_balance_index(&scratch.loads).unwrap_or(0.0);
         (cost, balance)
+    }
+}
+
+/// Reusable per-candidate buffers for [`CliqueCost::score`]: the added
+/// demand / member tallies and the projected load vector. One lives per
+/// enumeration block (or beam scoring block), so steady-state scoring
+/// allocates nothing per candidate.
+#[derive(Debug, Clone, Default)]
+struct ScoreScratch {
+    added_demand: Vec<f64>,
+    added_members: Vec<usize>,
+    loads: Vec<f64>,
+}
+
+/// Structure-of-arrays snapshot of the slot states for the scoring loop:
+/// three parallel arrays instead of a struct per slot, so the capacity
+/// check and load projection stream through contiguous f64s. Built once
+/// per [`search_distribution`] call.
+struct SlotArrays {
+    load: Vec<f64>,
+    capacity: Vec<f64>,
+    member_count: Vec<usize>,
+}
+
+impl SlotArrays {
+    fn from_states(states: &[SlotState]) -> SlotArrays {
+        SlotArrays {
+            load: states.iter().map(|s| s.load).collect(),
+            capacity: states.iter().map(|s| s.capacity).collect(),
+            member_count: states.iter().map(|s| s.member_count).collect(),
+        }
     }
 }
 
@@ -376,18 +422,19 @@ fn search_distribution(cache: &CliqueCost, states: &[SlotState], config: &S3Conf
     registry.histogram(&CLIQUE_SIZE).observe(c as u64);
     let m = states.len();
     let threads = config.effective_threads();
+    let slots = SlotArrays::from_states(states);
 
     let space: Option<usize> = m
         .checked_pow(c as u32)
         .filter(|&s| s <= config.enumeration_limit);
     let candidates: Vec<Candidate> = match space {
-        Some(total) => enumerate_all(total, m, c, cache, states, threads),
-        None => beam_search(m, c, cache, states, config.beam_width, threads),
+        Some(total) => enumerate_all(total, m, c, cache, &slots, threads),
+        None => beam_search(m, c, cache, &slots, config.beam_width, threads),
     };
 
     select_best(candidates, config).unwrap_or_else(|| {
         registry.counter(&FALLBACKS).inc();
-        fallback_least_loaded(&cache.demands, states)
+        fallback_least_loaded(&cache.demands, &slots)
     })
 }
 
@@ -401,7 +448,7 @@ fn enumerate_all(
     m: usize,
     c: usize,
     cache: &CliqueCost,
-    slots: &[SlotState],
+    slots: &SlotArrays,
     threads: usize,
 ) -> Vec<Candidate> {
     let registry = s3_obs::global();
@@ -414,13 +461,14 @@ fn enumerate_all(
         let end = (start + ENUM_BLOCK).min(total);
         let mut out = Vec::new();
         let mut assignment = vec![0usize; c];
+        let mut scratch = ScoreScratch::default();
         for code in start..end {
             let mut x = code;
             for slot in assignment.iter_mut() {
                 *slot = x % m;
                 x /= m;
             }
-            let (cost, balance) = cache.score(&assignment, slots);
+            let (cost, balance) = cache.score(&assignment, slots, &mut scratch);
             if cost.is_finite() {
                 out.push(Candidate {
                     assignment: assignment.clone(),
@@ -446,7 +494,7 @@ fn beam_search(
     m: usize,
     c: usize,
     cache: &CliqueCost,
-    slots: &[SlotState],
+    slots: &SlotArrays,
     beam_width: usize,
     threads: usize,
 ) -> Vec<Candidate> {
@@ -462,12 +510,13 @@ fn beam_search(
         // *stable* sort reproduces the sequential beam exactly.
         let mut next: Vec<(Vec<usize>, f64)> =
             s3_par::par_map(&beam, threads, |_, (prefix, cost)| {
+                let c = cache.demands.len();
                 let mut children = Vec::with_capacity(m);
                 for slot in 0..m {
-                    let mut added = cache.slot_entry[idx][slot];
+                    let mut added = cache.slot_entry[idx * m + slot];
                     for (prev_idx, &prev_slot) in prefix.iter().enumerate() {
                         if prev_slot == slot {
-                            added += cache.pair[prev_idx][idx];
+                            added += cache.pair[prev_idx * c + idx];
                         }
                     }
                     let mut assignment = prefix.clone();
@@ -490,13 +539,25 @@ fn beam_search(
     let lookups = registry.counter(&COST_LOOKUPS);
     enumerated.add(beam.len() as u64);
     lookups.add(beam.len() as u64 * cache.lookups_per_score());
-    let survivors: Vec<Candidate> = s3_par::par_map(&beam, threads, |_, (assignment, _)| {
-        let (cost, balance) = cache.score(assignment, slots);
-        cost.is_finite().then_some(Candidate {
-            assignment: assignment.clone(),
-            cost,
-            balance,
-        })
+    // Final scoring runs in fixed-size blocks like the exhaustive path, so
+    // each work item reuses one scratch across its block; blocks come back
+    // in beam order, preserving the sequential candidate list.
+    let block_starts: Vec<usize> = (0..beam.len()).step_by(ENUM_BLOCK).collect();
+    let survivors: Vec<Candidate> = s3_par::par_map(&block_starts, threads, |_, &start| {
+        let end = (start + ENUM_BLOCK).min(beam.len());
+        let mut scratch = ScoreScratch::default();
+        let mut out = Vec::new();
+        for (assignment, _) in &beam[start..end] {
+            let (cost, balance) = cache.score(assignment, slots, &mut scratch);
+            if cost.is_finite() {
+                out.push(Candidate {
+                    assignment: assignment.clone(),
+                    cost,
+                    balance,
+                });
+            }
+        }
+        out
     })
     .into_iter()
     .flatten()
@@ -526,8 +587,8 @@ fn select_best(mut candidates: Vec<Candidate>, config: &S3Config) -> Option<Vec<
         .map(|c| c.assignment)
 }
 
-fn fallback_least_loaded(demands: &[f64], slots: &[SlotState]) -> Vec<usize> {
-    let mut loads: Vec<f64> = slots.iter().map(|s| s.load).collect();
+fn fallback_least_loaded(demands: &[f64], slots: &SlotArrays) -> Vec<usize> {
+    let mut loads: Vec<f64> = slots.load.clone();
     demands
         .iter()
         .map(|&demand| {
@@ -683,7 +744,9 @@ mod tests {
         );
         let cache = CliqueCost::new(&clique, &slots, &delta, &|_: UserId| 1e4);
         let states: Vec<SlotState> = slots.iter().map(SlotState::of).collect();
-        let cost = |assignment: &[usize]| cache.score(assignment, &states).0;
+        let arrays = SlotArrays::from_states(&states);
+        let mut scratch = ScoreScratch::default();
+        let mut cost = |assignment: &[usize]| cache.score(assignment, &arrays, &mut scratch).0;
         assert!((cost(&full) - cost(&beamed)).abs() < 1e-9);
     }
 

@@ -384,6 +384,48 @@ impl CompiledModel {
     pub fn extend_dense(&self, users: impl IntoIterator<Item = UserId>, out: &mut Vec<u32>) {
         out.extend(users.into_iter().map(|u| self.dense_or_unknown(u)));
     }
+
+    /// Fills `out` with the flat `c × c` pairwise δ table of `clique`
+    /// (row-major, symmetric, zero diagonal): cell `i·c + j` is
+    /// bit-identical to `delta_dense(clique[i], clique[j])`, but u's CSR
+    /// row and type are hoisted once per row instead of re-derived per
+    /// pair. Sentinel ([`NO_USER`]) and duplicate entries leave their
+    /// cells at the exact `0.0` `delta_dense` returns for them.
+    pub(crate) fn fill_pair_table(&self, clique: &[u32], out: &mut Vec<f64>) {
+        let c = clique.len();
+        out.clear();
+        out.resize(c * c, 0.0);
+        for i in 0..c {
+            let u = clique[i];
+            if u == NO_USER {
+                continue;
+            }
+            let (start, end) = self.row(u);
+            let row = &self.neighbors[start..end];
+            let probs = &self.pair_prob[start..end];
+            let tu = self.user_type[u as usize];
+            for j in i + 1..c {
+                let v = clique[j];
+                if v == NO_USER || v == u {
+                    continue;
+                }
+                let pair_term = match row.binary_search(&v) {
+                    Ok(pos) => probs[pos],
+                    Err(_) => 0.0,
+                };
+                let tv = self.user_type[v as usize];
+                let type_term = if tu == NO_TYPE || tv == NO_TYPE {
+                    0.0
+                } else {
+                    self.type_matrix[tu as usize * self.k + tv as usize]
+                };
+                // Exactly the delta_dense expression, on the same inputs.
+                let d = pair_term + self.alpha * type_term;
+                out[i * c + j] = d;
+                out[j * c + i] = d;
+            }
+        }
+    }
 }
 
 /// Compares a compiled model against its source, field by relevant field —

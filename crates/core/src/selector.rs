@@ -19,7 +19,8 @@
 //! request warms the buffers, no allocation. The answers are bit-identical
 //! to the hashed path (enforced by `tests/compiled_props.rs`).
 
-use s3_graph::partition::clique_partition;
+use s3_graph::clique::{CliqueBudget, CliqueWorkspace};
+use s3_graph::partition::clique_partition_in;
 use s3_obs::{Desc, Stability, Unit};
 use s3_wlan::selector::{ApSelector, ApView, ArrivalUser, LeastLoadedFirst, SelectionContext};
 
@@ -83,6 +84,9 @@ struct Scratch {
     demands: Vec<f64>,
     /// Dense ids of the clique currently being distributed.
     clique: Vec<u32>,
+    /// Reusable buffers for the per-batch clique extraction (adjacency,
+    /// candidate, and weight rows survive across batches).
+    clique_ws: CliqueWorkspace,
 }
 
 impl S3Selector {
@@ -196,8 +200,9 @@ impl ApSelector for S3Selector {
         let graph =
             build_social_graph_compiled(compiled, &scratch.arrivals, self.config.edge_threshold);
         // Cliques come out largest/heaviest first; isolated users trail as
-        // singletons — the paper's processing order.
-        let cliques = clique_partition(&graph);
+        // singletons — the paper's processing order. The workspace keeps the
+        // kernel's adjacency/candidate/weight buffers warm across batches.
+        let cliques = clique_partition_in(&graph, CliqueBudget::default(), &mut scratch.clique_ws);
 
         let mut picks = vec![usize::MAX; users.len()];
         for clique in &cliques {

@@ -164,6 +164,15 @@ impl BitSet {
         out
     }
 
+    /// The backing `u64` words, least-significant bit first. Bit `b` of
+    /// word `w` holds membership of value `w * 64 + b`; bits at and above
+    /// `capacity` are always zero. This is the zero-copy export the clique
+    /// kernel uses to lift adjacency rows into its flat word buffers.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// The lowest set bit, if any.
     pub fn first(&self) -> Option<usize> {
         for (i, &w) in self.words.iter().enumerate() {

@@ -12,9 +12,32 @@
 //!
 //! A node budget caps the worst case; the search degrades gracefully to the
 //! best clique found so far when the budget runs out (and reports it).
+//!
+//! # Two implementations, one contract
+//!
+//! * [`kernel`](CliqueWorkspace) — the default: an allocation-free
+//!   word-level kernel with flat `u64` adjacency rows, depth-indexed
+//!   candidate buffers, popcount-driven bounds, and precomputed weight
+//!   rows. Zero heap allocations per search node in steady state; see
+//!   `docs/PERF.md` for the layout and bound derivation.
+//! * [`reference`] — the original per-node-allocating searcher, kept as
+//!   the pinned oracle: `tests/clique_parity.rs` proves the kernel
+//!   reproduces it bit-for-bit (same cliques, same tie-breaks, same
+//!   `truncated` flags, byte-identical partitions), and the clique
+//!   benchmarks publish the kernel's speedup against it.
+//!
+//! With the `fast-math` feature the kernel's tie-break weight accumulation
+//! is reassociated for speed and the bit-for-bit guarantee against the
+//! reference is **waived** (clique sizes stay exact; only equal-size
+//! weight tie-breaks may differ at ULP scale). The feature is off by
+//! default and excluded from the parity suite.
 
-use crate::coloring::greedy_coloring;
-use crate::{BitSet, SocialGraph};
+mod kernel;
+pub mod reference;
+
+pub use kernel::CliqueWorkspace;
+
+use crate::SocialGraph;
 
 /// A clique found by the search.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,141 +81,15 @@ impl Default for CliqueBudget {
     }
 }
 
-struct Searcher<'g> {
-    graph: &'g SocialGraph,
-    /// Search order (Östergård iterates suffixes of this order).
-    order: Vec<usize>,
-    /// Adjacency re-indexed by order position.
-    adj: Vec<BitSet>,
-    /// c[i] = clique number of the subgraph induced by order positions i..n.
-    c: Vec<usize>,
-    best: Vec<usize>, // order positions
-    best_weight: f64,
-    nodes: u64,
-    max_nodes: u64,
-    truncated: bool,
-}
-
-impl<'g> Searcher<'g> {
-    fn new(graph: &'g SocialGraph, budget: CliqueBudget) -> Self {
-        let n = graph.vertex_count();
-        let coloring = greedy_coloring(graph);
-        let order = coloring.order();
-        let mut pos = vec![0usize; n];
-        for (p, &v) in order.iter().enumerate() {
-            pos[v] = p;
-        }
-        let mut adj: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
-        for v in 0..n {
-            for u in graph.neighbors(v) {
-                adj[pos[v]].insert(pos[u]);
-            }
-        }
-        Searcher {
-            graph,
-            order,
-            adj,
-            c: vec![0; n],
-            best: Vec::new(),
-            best_weight: f64::NEG_INFINITY,
-            nodes: 0,
-            max_nodes: budget.max_nodes,
-            truncated: false,
-        }
-    }
-
-    fn expand(&mut self, candidates: &BitSet, current: &mut Vec<usize>, current_weight: f64) {
-        self.nodes += 1;
-        if self.nodes > self.max_nodes {
-            self.truncated = true;
-            return;
-        }
-        if candidates.is_empty() {
-            let better = current.len() > self.best.len()
-                || (current.len() == self.best.len() && current_weight > self.best_weight);
-            if better {
-                self.best = current.clone();
-                self.best_weight = current_weight;
-            }
-            return;
-        }
-        let mut cands = candidates.clone();
-        while let Some(p) = cands.first() {
-            // Size bound: even taking every remaining candidate cannot beat
-            // the record size (strict: equal size may still win on weight).
-            if current.len() + cands.len() < self.best.len() {
-                return;
-            }
-            // Östergård suffix bound.
-            if self.c[p] > 0 && current.len() + self.c[p] < self.best.len() {
-                return;
-            }
-            cands.remove(p);
-            let v = self.order[p];
-            let added_weight: f64 = current
-                .iter()
-                .map(|&q| self.graph.weight(v, self.order[q]))
-                .sum();
-            current.push(p);
-            let next = cands.intersection(&self.adj[p]);
-            self.expand(&next, current, current_weight + added_weight);
-            current.pop();
-            if self.truncated {
-                return;
-            }
-        }
-        // All candidates consumed without extension: `current` itself is a
-        // maximal candidate at this node.
-        let better = current.len() > self.best.len()
-            || (current.len() == self.best.len() && current_weight > self.best_weight);
-        if better {
-            self.best = current.clone();
-            self.best_weight = current_weight;
-        }
-    }
-
-    fn run(mut self) -> Clique {
-        let n = self.graph.vertex_count();
-        if n == 0 {
-            return Clique {
-                vertices: Vec::new(),
-                weight_sum: 0.0,
-                truncated: false,
-            };
-        }
-        // Iterate suffixes largest-first as Östergård prescribes: S_i is the
-        // set of order positions i..n; c[i] is the clique number within S_i.
-        for i in (0..n).rev() {
-            let mut suffix_neighbors = self.adj[i].clone();
-            // Restrict to positions > i (the rest of the suffix).
-            let mut mask = BitSet::new(n);
-            for p in i + 1..n {
-                mask.insert(p);
-            }
-            suffix_neighbors.intersect_with(&mask);
-            let mut current = vec![i];
-            self.expand(&suffix_neighbors, &mut current, 0.0);
-            self.c[i] = self.best.len();
-            if self.truncated {
-                break;
-            }
-        }
-        let mut vertices: Vec<usize> = self.best.iter().map(|&p| self.order[p]).collect();
-        vertices.sort_unstable();
-        let weight_sum = self.graph.weight_sum(&vertices);
-        Clique {
-            vertices,
-            weight_sum,
-            truncated: self.truncated,
-        }
-    }
-}
-
 /// Finds a maximum clique of `graph`, breaking size ties by the largest
 /// pairwise edge-weight sum, with the default node budget.
 ///
 /// Returns the empty clique for a graph with no vertices; for any graph with
 /// at least one vertex, the result has at least one member.
+///
+/// One-shot convenience over [`CliqueWorkspace::max_clique`]; repeated
+/// extractions (the [`crate::partition`] loop, the selector's batch path)
+/// should hold a [`CliqueWorkspace`] and reuse it.
 ///
 /// # Example
 /// ```
@@ -213,11 +110,11 @@ pub fn max_clique(graph: &SocialGraph) -> Clique {
 /// [`max_clique`] with an explicit node budget; `truncated` is set on the
 /// result when the budget was exhausted.
 pub fn max_clique_with_budget(graph: &SocialGraph, budget: CliqueBudget) -> Clique {
-    Searcher::new(graph, budget).run()
+    CliqueWorkspace::new().max_clique(graph, budget)
 }
 
-/// Finds the maximum clique *within a subset* of vertices by building the
-/// induced subgraph and mapping the result back. Algorithm 1 uses this when
+/// Finds the maximum clique *within a subset* of vertices (the induced
+/// subgraph, mapped back to the parent ids). Algorithm 1 uses this when
 /// only part of the arrival batch remains to be placed.
 pub fn max_clique_in_subset(graph: &SocialGraph, subset: &[usize]) -> Clique {
     max_clique_in_subset_with_budget(graph, subset, CliqueBudget::default())
@@ -229,29 +126,7 @@ pub fn max_clique_in_subset_with_budget(
     subset: &[usize],
     budget: CliqueBudget,
 ) -> Clique {
-    let mut index_of = std::collections::HashMap::with_capacity(subset.len());
-    for (i, &v) in subset.iter().enumerate() {
-        index_of.insert(v, i);
-    }
-    let mut sub = SocialGraph::new(subset.len());
-    for (i, &u) in subset.iter().enumerate() {
-        for v in graph.neighbors(u) {
-            if let Some(&j) = index_of.get(&v) {
-                if j > i {
-                    sub.add_edge(i, j, graph.weight(u, v))
-                        .expect("valid subgraph edge");
-                }
-            }
-        }
-    }
-    let inner = max_clique_with_budget(&sub, budget);
-    let mut vertices: Vec<usize> = inner.vertices.iter().map(|&i| subset[i]).collect();
-    vertices.sort_unstable();
-    Clique {
-        weight_sum: graph.weight_sum(&vertices),
-        vertices,
-        truncated: inner.truncated,
-    }
+    CliqueWorkspace::new().max_clique_in_subset(graph, subset, budget)
 }
 
 #[cfg(test)]
@@ -411,5 +286,44 @@ mod tests {
         let g = SocialGraph::new(4);
         let c = max_clique_in_subset(&g, &[2, 3]);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn workspace_reuse_across_differently_sized_graphs() {
+        // One workspace, many searches: results must match fresh-workspace
+        // runs even when a big search precedes a small one (stale buffer
+        // contents must never leak into a later extraction).
+        let mut ws = CliqueWorkspace::new();
+        let big = complete(70, 0.5);
+        let first = ws.max_clique(&big, CliqueBudget::default());
+        assert_eq!(first.len(), 70);
+        let mut small = SocialGraph::new(5);
+        small.add_edge(0, 1, 0.9).unwrap();
+        small.add_edge(1, 2, 0.9).unwrap();
+        for _ in 0..3 {
+            let c = ws.max_clique(&small, CliqueBudget::default());
+            assert_eq!(c.len(), 2);
+            assert!(small.is_clique(&c.vertices));
+        }
+        let sub = ws.max_clique_in_subset(&big, &[3, 9, 41], CliqueBudget::default());
+        assert_eq!(sub.vertices, vec![3, 9, 41]);
+        assert!(ws.nodes_searched() > 0);
+    }
+
+    #[test]
+    fn word_boundary_graphs_search_correctly() {
+        // Exercise rows spanning multiple u64 words (n = 66, 128, 130).
+        for n in [66usize, 128, 130] {
+            let mut g = SocialGraph::new(n);
+            // Plant a clique across word boundaries.
+            let planted = [0usize, 63, 64, n - 1];
+            for (i, &u) in planted.iter().enumerate() {
+                for &v in &planted[i + 1..] {
+                    g.add_edge(u, v, 0.5).unwrap();
+                }
+            }
+            let c = max_clique(&g);
+            assert_eq!(c.vertices, planted.to_vec(), "n = {n}");
+        }
     }
 }

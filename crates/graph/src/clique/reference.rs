@@ -1,0 +1,232 @@
+//! The original per-node-allocating clique searcher, pinned as an oracle.
+//!
+//! This is the pre-kernel implementation, kept verbatim: `expand` clones
+//! the candidate [`BitSet`] at every search node, `added_weight` calls
+//! [`SocialGraph::weight`] per pair, and the subset search rebuilds a
+//! `HashMap` index per call. It exists so that
+//!
+//! * `tests/clique_parity.rs` can prove the word-level kernel reproduces
+//!   it bit-for-bit (same vertices, same tie-breaks, same `truncated`
+//!   flags, byte-identical partitions), and
+//! * `benches/clique.rs` and the `clique_bench` binary can publish the
+//!   kernel's speedup against a fixed baseline.
+//!
+//! Do not "optimise" this module — its value is in not changing.
+
+use super::{Clique, CliqueBudget};
+use crate::coloring::greedy_coloring;
+use crate::{BitSet, SocialGraph};
+
+struct Searcher<'g> {
+    graph: &'g SocialGraph,
+    /// Search order (Östergård iterates suffixes of this order).
+    order: Vec<usize>,
+    /// Adjacency re-indexed by order position.
+    adj: Vec<BitSet>,
+    /// c[i] = clique number of the subgraph induced by order positions i..n.
+    c: Vec<usize>,
+    best: Vec<usize>, // order positions
+    best_weight: f64,
+    nodes: u64,
+    max_nodes: u64,
+    truncated: bool,
+}
+
+impl<'g> Searcher<'g> {
+    fn new(graph: &'g SocialGraph, budget: CliqueBudget) -> Self {
+        let n = graph.vertex_count();
+        let coloring = greedy_coloring(graph);
+        let order = coloring.order();
+        let mut pos = vec![0usize; n];
+        for (p, &v) in order.iter().enumerate() {
+            pos[v] = p;
+        }
+        let mut adj: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for v in 0..n {
+            for u in graph.neighbors(v) {
+                adj[pos[v]].insert(pos[u]);
+            }
+        }
+        Searcher {
+            graph,
+            order,
+            adj,
+            c: vec![0; n],
+            best: Vec::new(),
+            best_weight: f64::NEG_INFINITY,
+            nodes: 0,
+            max_nodes: budget.max_nodes,
+            truncated: false,
+        }
+    }
+
+    fn expand(&mut self, candidates: &BitSet, current: &mut Vec<usize>, current_weight: f64) {
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            self.truncated = true;
+            return;
+        }
+        if candidates.is_empty() {
+            let better = current.len() > self.best.len()
+                || (current.len() == self.best.len() && current_weight > self.best_weight);
+            if better {
+                self.best = current.clone();
+                self.best_weight = current_weight;
+            }
+            return;
+        }
+        let mut cands = candidates.clone();
+        while let Some(p) = cands.first() {
+            // Size bound: even taking every remaining candidate cannot beat
+            // the record size (strict: equal size may still win on weight).
+            if current.len() + cands.len() < self.best.len() {
+                return;
+            }
+            // Östergård suffix bound.
+            if self.c[p] > 0 && current.len() + self.c[p] < self.best.len() {
+                return;
+            }
+            cands.remove(p);
+            let v = self.order[p];
+            let added_weight: f64 = current
+                .iter()
+                .map(|&q| self.graph.weight(v, self.order[q]))
+                .sum();
+            current.push(p);
+            let next = cands.intersection(&self.adj[p]);
+            self.expand(&next, current, current_weight + added_weight);
+            current.pop();
+            if self.truncated {
+                return;
+            }
+        }
+        // All candidates consumed without extension: `current` itself is a
+        // maximal candidate at this node.
+        let better = current.len() > self.best.len()
+            || (current.len() == self.best.len() && current_weight > self.best_weight);
+        if better {
+            self.best = current.clone();
+            self.best_weight = current_weight;
+        }
+    }
+
+    fn run(mut self) -> Clique {
+        let n = self.graph.vertex_count();
+        if n == 0 {
+            return Clique {
+                vertices: Vec::new(),
+                weight_sum: 0.0,
+                truncated: false,
+            };
+        }
+        // Iterate suffixes largest-first as Östergård prescribes: S_i is the
+        // set of order positions i..n; c[i] is the clique number within S_i.
+        for i in (0..n).rev() {
+            let mut suffix_neighbors = self.adj[i].clone();
+            // Restrict to positions > i (the rest of the suffix).
+            let mut mask = BitSet::new(n);
+            for p in i + 1..n {
+                mask.insert(p);
+            }
+            suffix_neighbors.intersect_with(&mask);
+            let mut current = vec![i];
+            self.expand(&suffix_neighbors, &mut current, 0.0);
+            self.c[i] = self.best.len();
+            if self.truncated {
+                break;
+            }
+        }
+        let mut vertices: Vec<usize> = self.best.iter().map(|&p| self.order[p]).collect();
+        vertices.sort_unstable();
+        let weight_sum = self.graph.weight_sum(&vertices);
+        Clique {
+            vertices,
+            weight_sum,
+            truncated: self.truncated,
+        }
+    }
+}
+
+/// Reference [`super::max_clique`].
+pub fn max_clique(graph: &SocialGraph) -> Clique {
+    max_clique_with_budget(graph, CliqueBudget::default())
+}
+
+/// Reference [`super::max_clique_with_budget`].
+pub fn max_clique_with_budget(graph: &SocialGraph, budget: CliqueBudget) -> Clique {
+    Searcher::new(graph, budget).run()
+}
+
+/// Reference [`super::max_clique_in_subset`].
+pub fn max_clique_in_subset(graph: &SocialGraph, subset: &[usize]) -> Clique {
+    max_clique_in_subset_with_budget(graph, subset, CliqueBudget::default())
+}
+
+/// Reference [`super::max_clique_in_subset_with_budget`] — builds an
+/// explicit induced [`SocialGraph`] through a per-call `HashMap`.
+pub fn max_clique_in_subset_with_budget(
+    graph: &SocialGraph,
+    subset: &[usize],
+    budget: CliqueBudget,
+) -> Clique {
+    let mut index_of = std::collections::HashMap::with_capacity(subset.len());
+    for (i, &v) in subset.iter().enumerate() {
+        index_of.insert(v, i);
+    }
+    let mut sub = SocialGraph::new(subset.len());
+    for (i, &u) in subset.iter().enumerate() {
+        for v in graph.neighbors(u) {
+            if let Some(&j) = index_of.get(&v) {
+                if j > i {
+                    sub.add_edge(i, j, graph.weight(u, v))
+                        .expect("valid subgraph edge");
+                }
+            }
+        }
+    }
+    let inner = max_clique_with_budget(&sub, budget);
+    let mut vertices: Vec<usize> = inner.vertices.iter().map(|&i| subset[i]).collect();
+    vertices.sort_unstable();
+    Clique {
+        weight_sum: graph.weight_sum(&vertices),
+        vertices,
+        truncated: inner.truncated,
+    }
+}
+
+/// Reference [`crate::partition::clique_partition_with_budget`]: the same
+/// extract-and-erase loop driven by the reference searcher, for
+/// byte-identical partition parity tests.
+pub fn clique_partition_with_budget(graph: &SocialGraph, budget: CliqueBudget) -> Vec<Clique> {
+    let mut work = graph.clone();
+    let mut out = Vec::new();
+    let mut remaining: Vec<bool> = vec![true; graph.vertex_count()];
+
+    loop {
+        let active = work.non_isolated();
+        let active: Vec<usize> = active.into_iter().filter(|&v| remaining[v]).collect();
+        if active.is_empty() {
+            break;
+        }
+        let clique = max_clique_in_subset_with_budget(&work, &active, budget);
+        if clique.len() < 2 {
+            break;
+        }
+        for &v in &clique.vertices {
+            remaining[v] = false;
+        }
+        work.isolate(&clique.vertices);
+        out.push(clique);
+    }
+
+    for (v, alive) in remaining.iter().enumerate() {
+        if *alive {
+            out.push(Clique {
+                vertices: vec![v],
+                weight_sum: 0.0,
+                truncated: false,
+            });
+        }
+    }
+    out
+}

@@ -72,6 +72,99 @@ pub fn greedy_coloring(graph: &SocialGraph) -> Coloring {
     Coloring { colors, num_colors }
 }
 
+/// Reusable buffers for [`greedy_coloring`] over raw bitset word rows.
+///
+/// [`greedy_coloring`] allocates its order, color, and used-color vectors
+/// per call; the clique kernel colors a fresh (sub)graph on every
+/// extraction of `clique_partition`, so it keeps one of these in its
+/// workspace and recolors in place. [`ColoringScratch::color_rows`]
+/// reproduces [`greedy_coloring`] exactly — same Welsh–Powell order, same
+/// stable tie-breaks, same smallest-absent-color rule — which the
+/// `coloring_scratch_matches_greedy_coloring` test and the clique parity
+/// suite both pin.
+#[derive(Debug, Clone, Default)]
+pub struct ColoringScratch {
+    order: Vec<usize>,
+    used: Vec<bool>,
+    colors: Vec<usize>,
+    num_colors: usize,
+}
+
+impl ColoringScratch {
+    /// Creates an empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        ColoringScratch::default()
+    }
+
+    /// Color of each vertex after the last [`ColoringScratch::color_rows`]
+    /// call, `0..num_colors`.
+    pub fn colors(&self) -> &[usize] {
+        &self.colors
+    }
+
+    /// Number of colors the last run used.
+    pub fn num_colors(&self) -> usize {
+        self.num_colors
+    }
+
+    /// Greedily colors the `n`-vertex graph whose adjacency is given as
+    /// `n` rows of `words_per_row` little-endian `u64` words (vertex `v`'s
+    /// row starts at `rows[v * words_per_row]`; bits at or above `n` must
+    /// be clear). Returns the number of colors used.
+    ///
+    /// Semantically identical to [`greedy_coloring`] on the same graph:
+    /// vertices are visited in descending-degree order (stable on index),
+    /// each taking the smallest color absent from its neighborhood.
+    pub fn color_rows(&mut self, n: usize, words_per_row: usize, rows: &[u64]) -> usize {
+        debug_assert!(rows.len() >= n * words_per_row);
+        let ColoringScratch {
+            order,
+            used,
+            colors,
+            num_colors,
+        } = self;
+        order.clear();
+        order.extend(0..n);
+        let degree = |v: usize| -> usize {
+            rows[v * words_per_row..(v + 1) * words_per_row]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum()
+        };
+        order.sort_by_key(|&v| std::cmp::Reverse(degree(v)));
+
+        colors.clear();
+        colors.resize(n, usize::MAX);
+        *num_colors = 0;
+        for &v in order.iter() {
+            used.clear();
+            used.resize(*num_colors + 1, false);
+            for (widx, &word) in rows[v * words_per_row..(v + 1) * words_per_row]
+                .iter()
+                .enumerate()
+            {
+                let mut bits = word;
+                while bits != 0 {
+                    let u = widx * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let c = colors[u];
+                    if c != usize::MAX && c < used.len() {
+                        used[c] = true;
+                    }
+                }
+            }
+            let color = used.iter().position(|&taken| !taken).expect("slot exists");
+            colors[v] = color;
+            *num_colors = (*num_colors).max(color + 1);
+        }
+        if n == 0 {
+            *num_colors = 0;
+        }
+        *num_colors
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +232,37 @@ mod tests {
             assert!(c.colors[w[0]] <= c.colors[w[1]]);
         }
         assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn coloring_scratch_matches_greedy_coloring() {
+        // Deterministic pseudo-random graphs of several shapes; the word
+        // path must agree with the BitSet path color-for-color.
+        for n in [0usize, 1, 2, 7, 40, 70, 130] {
+            let mut g = SocialGraph::new(n);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if (u * 31 + v * 17) % 5 < 2 {
+                        g.add_edge(u, v, 1.0).unwrap();
+                    }
+                }
+            }
+            let reference = greedy_coloring(&g);
+            let words_per_row = n.div_ceil(64);
+            let mut rows = vec![0u64; n * words_per_row];
+            for v in 0..n {
+                rows[v * words_per_row..(v + 1) * words_per_row]
+                    .copy_from_slice(g.neighbors(v).words());
+            }
+            let mut scratch = ColoringScratch::new();
+            // Twice, to prove reuse leaves no stale state behind.
+            for _ in 0..2 {
+                let k = scratch.color_rows(n, words_per_row, &rows);
+                assert_eq!(k, reference.num_colors, "n = {n}");
+                assert_eq!(scratch.colors(), &reference.colors[..], "n = {n}");
+                assert_eq!(scratch.num_colors(), reference.num_colors);
+            }
+        }
     }
 
     #[test]

@@ -191,7 +191,7 @@ mod tests {
             g.add_edge(u, v, 1.0).unwrap();
         }
         let d = degeneracy_order(&g);
-        let mut sorted = d.order.clone();
+        let mut sorted = d.order;
         sorted.sort_unstable();
         assert_eq!(sorted, (0..7).collect::<Vec<_>>());
     }

@@ -9,7 +9,9 @@
 //!
 //! * [`SocialGraph`] — a weighted undirected graph with bitset adjacency;
 //! * [`clique::max_clique`] — Östergård-style branch-and-bound maximum
-//!   clique with a greedy-coloring bound;
+//!   clique with a greedy-coloring bound, implemented as an
+//!   allocation-free word-level kernel ([`clique::CliqueWorkspace`]) with
+//!   the original searcher pinned as [`clique::reference`];
 //! * [`coloring::greedy_coloring`] — the vertex ordering heuristic the
 //!   paper cites for the search;
 //! * [`partition::clique_partition`] — the iterative extract-and-erase loop.

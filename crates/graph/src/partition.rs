@@ -6,7 +6,7 @@
 //! tie) fall out as singleton cliques at the end, matching the algorithm's
 //! LLF fallback for socially unconnected users.
 
-use crate::clique::{max_clique_in_subset_with_budget, Clique, CliqueBudget};
+use crate::clique::{Clique, CliqueBudget, CliqueWorkspace};
 use crate::SocialGraph;
 
 /// Decomposes `graph` into vertex-disjoint cliques, largest (and, among
@@ -32,6 +32,19 @@ pub fn clique_partition(graph: &SocialGraph) -> Vec<Clique> {
 
 /// [`clique_partition`] with an explicit per-extraction node budget.
 pub fn clique_partition_with_budget(graph: &SocialGraph, budget: CliqueBudget) -> Vec<Clique> {
+    clique_partition_in(graph, budget, &mut CliqueWorkspace::new())
+}
+
+/// [`clique_partition_with_budget`] reusing a caller-held
+/// [`CliqueWorkspace`], so the repeated extractions share one set of
+/// adjacency/candidate/weight buffers instead of re-allocating them per
+/// clique. This is the entry point for hot callers (the selector's batch
+/// path); output is identical to the one-shot functions.
+pub fn clique_partition_in(
+    graph: &SocialGraph,
+    budget: CliqueBudget,
+    ws: &mut CliqueWorkspace,
+) -> Vec<Clique> {
     let mut work = graph.clone();
     let mut out = Vec::new();
     let mut remaining: Vec<bool> = vec![true; graph.vertex_count()];
@@ -46,7 +59,7 @@ pub fn clique_partition_with_budget(graph: &SocialGraph, budget: CliqueBudget) -
         // Search within the still-active subgraph. A truncated extraction
         // still removes a valid clique, so progress is guaranteed even when
         // the budget bites.
-        let clique = max_clique_in_subset_with_budget(&work, &active, budget);
+        let clique = ws.max_clique_in_subset(&work, &active, budget);
         if clique.len() < 2 {
             break;
         }

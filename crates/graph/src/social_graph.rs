@@ -152,6 +152,18 @@ impl SocialGraph {
         }
     }
 
+    /// The dense `n × n` row-major weight matrix backing [`Self::weight`].
+    ///
+    /// Cell `u·n + v` holds the weight of edge `(u, v)`; cells of absent
+    /// edges are `0.0`. The clique kernel reads edge weights straight out
+    /// of this matrix (it only ever touches cells of live edges), which
+    /// keeps the hot path free of the `has_edge` branch and of any copied
+    /// weight tables.
+    #[inline]
+    pub fn weight_matrix(&self) -> &[f64] {
+        &self.weights
+    }
+
     /// The adjacency row of `u` as a bitset.
     ///
     /// # Panics
