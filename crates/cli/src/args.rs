@@ -145,6 +145,40 @@ pub enum Command {
         /// Input metrics JSON snapshot.
         metrics: PathBuf,
     },
+    /// Replay a demand trace under a policy while recording every engine
+    /// decision to an `s3-dtrace/1` JSONL log.
+    Trace {
+        /// Input demand CSV.
+        demands: PathBuf,
+        /// Policy to trace.
+        policy: PolicyKind,
+        /// Output decision-log path (JSONL).
+        out: PathBuf,
+        /// Seed (random policy, S³ clustering).
+        seed: u64,
+        /// Days of the trace used to train S³ (ignored by other policies).
+        train_days: u64,
+        /// Enable the online rebalancer (adds tick/move records).
+        rebalance: bool,
+        /// APs per building of the replayed topology.
+        aps_per_building: usize,
+        /// Worker threads (0 = auto); the log body is identical for any
+        /// value.
+        threads: usize,
+        /// Skip malformed rows (with a report) instead of aborting.
+        lenient: bool,
+    },
+    /// Validate a decision log against the engine invariants.
+    CheckTrace {
+        /// Input decision log (JSONL).
+        trace: PathBuf,
+    },
+    /// Interactive step debugger over a decision log
+    /// (`replay --step --trace <log>`).
+    Step {
+        /// Input decision log (JSONL).
+        trace: PathBuf,
+    },
 }
 
 struct Cursor<'a> {
@@ -232,10 +266,14 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut metrics_full = false;
             let mut lenient = false;
             let mut stream = false;
+            let mut step = false;
+            let mut trace = None;
             while let Some(flag) = cursor.next() {
                 match flag {
                     "--demands" => demands = Some(PathBuf::from(cursor.value_for(flag)?)),
                     "--stream" => stream = true,
+                    "--step" => step = true,
+                    "--trace" => trace = Some(PathBuf::from(cursor.value_for(flag)?)),
                     "--aps-per-building" => {
                         aps_per_building = parse_u64(flag, cursor.value_for(flag)?)? as usize
                     }
@@ -256,6 +294,19 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--rebalance" => rebalance = true,
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
+            }
+            if step {
+                let trace = trace.ok_or_else(|| {
+                    CliError::Usage("replay --step requires --trace <decision log>".into())
+                })?;
+                return Ok(Command::Step { trace });
+            }
+            if trace.is_some() {
+                return Err(CliError::Usage(
+                    "--trace only applies to replay --step (record logs with \
+                     the trace subcommand)"
+                        .into(),
+                ));
             }
             let demands =
                 demands.ok_or_else(|| CliError::Usage("replay requires --demands".into()))?;
@@ -379,6 +430,71 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 metrics_out,
                 metrics_full,
             })
+        }
+        "trace" => {
+            let mut demands = None;
+            let mut policy = None;
+            let mut out = None;
+            let mut seed = 42u64;
+            let mut train_days = 0u64;
+            let mut rebalance = false;
+            let mut aps_per_building = 8usize;
+            let mut threads = 0usize;
+            let mut lenient = false;
+            while let Some(flag) = cursor.next() {
+                match flag {
+                    "--demands" => demands = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    "--out" => out = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    "--seed" => seed = parse_u64(flag, cursor.value_for(flag)?)?,
+                    "--train-days" => train_days = parse_u64(flag, cursor.value_for(flag)?)?,
+                    "--rebalance" => rebalance = true,
+                    "--aps-per-building" => {
+                        aps_per_building = parse_u64(flag, cursor.value_for(flag)?)? as usize
+                    }
+                    "--threads" => threads = parse_u64(flag, cursor.value_for(flag)?)? as usize,
+                    "--lenient" => lenient = true,
+                    "--policy" => {
+                        let name = cursor.value_for(flag)?;
+                        policy =
+                            Some(PolicyKind::parse(name).ok_or_else(|| {
+                                CliError::Usage(format!("unknown policy {name:?}"))
+                            })?);
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+                }
+            }
+            let demands =
+                demands.ok_or_else(|| CliError::Usage("trace requires --demands".into()))?;
+            let policy = policy.ok_or_else(|| CliError::Usage("trace requires --policy".into()))?;
+            let out = out.ok_or_else(|| CliError::Usage("trace requires --out".into()))?;
+            if aps_per_building == 0 {
+                return Err(CliError::Usage(
+                    "--aps-per-building must be positive".into(),
+                ));
+            }
+            Ok(Command::Trace {
+                demands,
+                policy,
+                out,
+                seed,
+                train_days,
+                rebalance,
+                aps_per_building,
+                threads,
+                lenient,
+            })
+        }
+        "check-trace" => {
+            let mut trace = None;
+            while let Some(flag) = cursor.next() {
+                match flag {
+                    "--trace" => trace = Some(PathBuf::from(cursor.value_for(flag)?)),
+                    other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+                }
+            }
+            let trace =
+                trace.ok_or_else(|| CliError::Usage("check-trace requires --trace".into()))?;
+            Ok(Command::CheckTrace { trace })
         }
         "summary" => {
             let mut metrics = None;
@@ -585,6 +701,66 @@ mod tests {
         );
         assert!(parse(&argv("summary")).is_err());
         assert!(parse(&argv("summary --what m.json")).is_err());
+    }
+
+    #[test]
+    fn trace_parses_like_replay() {
+        let cmd = parse(&argv(
+            "trace --demands d.csv --policy s3 --out d.trace --train-days 4 \
+             --rebalance --aps-per-building 3 --threads 2 --seed 9",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Trace {
+                policy,
+                train_days,
+                rebalance,
+                aps_per_building,
+                threads,
+                seed,
+                ..
+            } => {
+                assert_eq!(policy, PolicyKind::S3);
+                assert_eq!(train_days, 4);
+                assert!(rebalance);
+                assert_eq!(aps_per_building, 3);
+                assert_eq!(threads, 2);
+                assert_eq!(seed, 9);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&argv("trace --demands d.csv --policy llf")).is_err());
+        assert!(parse(&argv("trace --demands d.csv --out t.jsonl")).is_err());
+        assert!(parse(&argv("trace --demands d.csv --policy llf --out t --stream")).is_err());
+    }
+
+    #[test]
+    fn check_trace_requires_trace() {
+        assert_eq!(
+            parse(&argv("check-trace --trace d.trace")).unwrap(),
+            Command::CheckTrace {
+                trace: PathBuf::from("d.trace")
+            }
+        );
+        assert!(parse(&argv("check-trace")).is_err());
+        assert!(parse(&argv("check-trace --what d.trace")).is_err());
+    }
+
+    #[test]
+    fn replay_step_takes_a_trace() {
+        assert_eq!(
+            parse(&argv("replay --step --trace d.trace")).unwrap(),
+            Command::Step {
+                trace: PathBuf::from("d.trace")
+            }
+        );
+        let err = parse(&argv("replay --step")).unwrap_err();
+        assert!(err.to_string().contains("--step requires --trace"), "{err}");
+        let err = parse(&argv(
+            "replay --demands d.csv --policy llf --out s.csv --trace d.trace",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("--trace only applies"), "{err}");
     }
 
     #[test]

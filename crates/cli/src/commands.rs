@@ -1,17 +1,19 @@
 //! Execution of the parsed subcommands.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use s3_core::{S3Config, S3Selector, SocialModel};
 use s3_stats::gap::{gap_statistic, GapConfig};
+use s3_trace::decision_log::{config_hash, DecisionLogReader, DecisionRecord};
 use s3_trace::generator::{inject_csv_faults, CampusConfig, CampusGenerator, FaultSpec};
 use s3_trace::ingest::{
     read_demands_lenient, read_sessions_lenient, DemandReader, IngestMode, IngestReport, RowFault,
 };
 use s3_trace::{csv, SessionDemand, SessionRecord, TraceStore};
 use s3_types::{TimeDelta, Timestamp, UserId};
+use s3_wlan::engine::{check_log, trace_header, SliceSource, TraceSink};
 use s3_wlan::metrics::{mean_active_balance_filtered, StreamingBalance};
 use s3_wlan::selector::{ApSelector, LeastLoadedFirst, LeastUsers, RandomSelector, StrongestRssi};
 use s3_wlan::{
@@ -129,6 +131,30 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             write_metrics(metrics_out.as_deref(), metrics_full, out)
         }
         Command::Summary { metrics } => summary(&metrics, out),
+        Command::Trace {
+            demands,
+            policy,
+            out: path,
+            seed,
+            train_days,
+            rebalance,
+            aps_per_building,
+            threads,
+            lenient,
+        } => trace(
+            &demands,
+            policy,
+            &path,
+            seed,
+            train_days,
+            rebalance,
+            aps_per_building,
+            threads,
+            lenient,
+            out,
+        ),
+        Command::CheckTrace { trace } => check_trace(&trace, out),
+        Command::Step { trace } => step_debug(&trace, std::io::stdin().lock(), out),
     }
 }
 
@@ -283,6 +309,46 @@ fn train_s3(
     SocialModel::learn(&log, &s3_config(threads), seed)
 }
 
+/// Builds the policy selector for a replay-style run, training S³ on the
+/// demand prefix when requested. Returns the selector together with the
+/// effective S³ training-day count (`0` for the other policies), which
+/// parameterizes the decision-trace config hash.
+fn build_selector<W: Write>(
+    demands: &[SessionDemand],
+    engine: &SimEngine,
+    policy: PolicyKind,
+    seed: u64,
+    train_days: u64,
+    threads: usize,
+    out: &mut W,
+) -> Result<(Box<dyn ApSelector>, u64), CliError> {
+    Ok(match policy {
+        PolicyKind::Llf => (Box::new(LeastLoadedFirst::new()), 0),
+        PolicyKind::LeastUsers => (Box::new(LeastUsers::new()), 0),
+        PolicyKind::Rssi => (Box::new(StrongestRssi::new()), 0),
+        PolicyKind::Random => (Box::new(RandomSelector::new(seed)), 0),
+        PolicyKind::S3 => {
+            let span = demands.last().expect("non-empty").arrive.day() + 1;
+            let effective = if train_days == 0 {
+                (span * 7) / 10 // default: first 70 % of days
+            } else {
+                train_days
+            };
+            let model = train_s3(demands, engine, effective, seed, threads);
+            writeln!(
+                out,
+                "trained S3 on the first {effective} days: {} known pairs, {} types",
+                model.known_pairs(),
+                model.type_count()
+            )?;
+            (
+                Box::new(S3Selector::new(model, s3_config(threads))),
+                effective,
+            )
+        }
+    })
+}
+
 #[allow(clippy::too_many_arguments)]
 fn replay<W: Write>(
     demands_path: &Path,
@@ -303,29 +369,8 @@ fn replay<W: Write>(
         ..SimConfig::default()
     };
     let engine = SimEngine::new(topology, sim_config);
-
-    let mut selector: Box<dyn ApSelector> = match policy {
-        PolicyKind::Llf => Box::new(LeastLoadedFirst::new()),
-        PolicyKind::LeastUsers => Box::new(LeastUsers::new()),
-        PolicyKind::Rssi => Box::new(StrongestRssi::new()),
-        PolicyKind::Random => Box::new(RandomSelector::new(seed)),
-        PolicyKind::S3 => {
-            let span = demands.last().expect("non-empty").arrive.day() + 1;
-            let effective = if train_days == 0 {
-                (span * 7) / 10 // default: first 70 % of days
-            } else {
-                train_days
-            };
-            let model = train_s3(&demands, &engine, effective, seed, threads);
-            writeln!(
-                out,
-                "trained S3 on the first {effective} days: {} known pairs, {} types",
-                model.known_pairs(),
-                model.type_count()
-            )?;
-            Box::new(S3Selector::new(model, s3_config(threads)))
-        }
-    };
+    let (mut selector, _) =
+        build_selector(&demands, &engine, policy, seed, train_days, threads, out)?;
 
     let result = engine.run_unsorted(&demands, selector.as_mut());
     let file = File::create(out_path)?;
@@ -812,6 +857,402 @@ fn compare<W: Write>(
     Ok(())
 }
 
+/// `trace`: replays a demand CSV exactly like `replay`, but records every
+/// engine decision to an `s3-dtrace/1` JSONL log instead of a session CSV.
+#[allow(clippy::too_many_arguments)]
+fn trace<W: Write>(
+    demands_path: &Path,
+    policy: PolicyKind,
+    out_path: &Path,
+    seed: u64,
+    train_days: u64,
+    rebalance: bool,
+    aps_per_building: usize,
+    threads: usize,
+    lenient: bool,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let demands = load_demands_report(demands_path, lenient, out)?;
+    let topology = topology_for(&demands, aps_per_building);
+    let sim_config = SimConfig {
+        rebalance: rebalance.then(RebalanceConfig::default),
+        ..SimConfig::default()
+    };
+    let engine = SimEngine::new(topology, sim_config);
+    let (mut selector, trained_days) =
+        build_selector(&demands, &engine, policy, seed, train_days, threads, out)?;
+
+    // The canonical run-configuration string behind the header's config
+    // hash: everything that shapes decisions, and nothing that does not
+    // (the thread count is provenance, recorded in its own header field).
+    let canonical = format!(
+        "policy={};seed={seed};train-days={trained_days};rebalance={};\
+         aps-per-building={aps_per_building};demands={}",
+        policy.name(),
+        u8::from(rebalance),
+        demands.len(),
+    );
+    let header = trace_header(
+        engine.topology(),
+        seed,
+        threads as u64,
+        policy.name(),
+        config_hash(&canonical),
+    );
+    let mut sink = TraceSink::new(BufWriter::new(File::create(out_path)?), &header)?;
+    let mut source = SliceSource::new(&demands);
+    let totals = engine
+        .run_traced(&mut source, selector.as_mut(), &mut sink)
+        .map_err(engine_err)?;
+    let records = sink.records_written();
+    sink.finish()?.flush()?;
+
+    writeln!(
+        out,
+        "traced {} demands under {} -> {} decision records \
+         ({} placed, {} rejected, {} migrations) to {}",
+        demands.len(),
+        policy.name(),
+        records,
+        totals.placed,
+        totals.rejected,
+        totals.migrations,
+        out_path.display()
+    )?;
+    Ok(())
+}
+
+/// `check-trace`: replays a decision log against the engine invariants,
+/// printing each violation with its line number and failing (nonzero exit)
+/// when any is found.
+fn check_trace<W: Write>(path: &Path, out: &mut W) -> Result<(), CliError> {
+    let file = File::open(path)?;
+    let report = check_log(BufReader::new(file))
+        .map_err(|e| CliError::Invalid(format!("{}: {e}", path.display())))?;
+    if report.is_clean() {
+        writeln!(
+            out,
+            "checked {} records (strategy {}, seed {}, {} APs): all invariants hold",
+            report.records,
+            report.header.strategy,
+            report.header.seed,
+            report.header.ap_capacity_bps.len()
+        )?;
+        return Ok(());
+    }
+    for v in &report.violations {
+        writeln!(out, "{v}")?;
+    }
+    Err(CliError::Invalid(format!(
+        "{}: {} invariant violation(s) in {} records",
+        path.display(),
+        report.violations.len(),
+        report.records
+    )))
+}
+
+/// Mirror of the engine's load clamp ([`s3_types::BitsPerSec`]): negative
+/// or non-finite loads floor at zero.
+fn load_clamp(v: f64) -> f64 {
+    if v.is_finite() && v > 0.0 {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// Engine state reconstructed by the step debugger, folded record by
+/// record from the decision log.
+struct StepState {
+    /// Per-AP load in bits/sec.
+    loads: Vec<f64>,
+    /// Per-AP associated-user count.
+    users: Vec<usize>,
+    /// Live sessions: sid -> (user, ap, rate).
+    live: std::collections::HashMap<u32, (u32, u32, f64)>,
+    placed: u64,
+    rejected: u64,
+    departed: u64,
+    migrations: u64,
+}
+
+impl StepState {
+    fn new(aps: usize) -> Self {
+        StepState {
+            loads: vec![0.0; aps],
+            users: vec![0; aps],
+            live: std::collections::HashMap::new(),
+            placed: 0,
+            rejected: 0,
+            departed: 0,
+            migrations: 0,
+        }
+    }
+
+    /// Folds one record into the reconstructed state.
+    fn apply(&mut self, rec: &DecisionRecord) {
+        match *rec {
+            DecisionRecord::Select {
+                sid,
+                user,
+                ap,
+                rate_bps,
+                ..
+            } => {
+                if let Some(load) = self.loads.get_mut(ap as usize) {
+                    *load += rate_bps;
+                    self.users[ap as usize] += 1;
+                }
+                self.live.insert(sid, (user, ap, rate_bps));
+                self.placed += 1;
+            }
+            DecisionRecord::Reject { .. } => self.rejected += 1,
+            DecisionRecord::Depart { sid, .. } => {
+                if let Some((_, ap, rate)) = self.live.remove(&sid) {
+                    if let Some(load) = self.loads.get_mut(ap as usize) {
+                        *load = load_clamp(*load - rate);
+                        self.users[ap as usize] = self.users[ap as usize].saturating_sub(1);
+                    }
+                    self.departed += 1;
+                }
+            }
+            DecisionRecord::Move { sid, to, .. } => {
+                if let Some(entry) = self.live.get_mut(&sid) {
+                    let (from, rate) = (entry.1 as usize, entry.2);
+                    entry.1 = to;
+                    if from < self.loads.len() {
+                        self.loads[from] = load_clamp(self.loads[from] - rate);
+                        self.users[from] = self.users[from].saturating_sub(1);
+                    }
+                    if let Some(load) = self.loads.get_mut(to as usize) {
+                        *load += rate;
+                        self.users[to as usize] += 1;
+                    }
+                    self.migrations += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether `rec` mentions `user` (the breakpoint test).
+    fn mentions(rec: &DecisionRecord, user: u32) -> bool {
+        match rec {
+            DecisionRecord::Batch { users, .. } => users.contains(&user),
+            DecisionRecord::Select { user: u, .. }
+            | DecisionRecord::Reject { user: u, .. }
+            | DecisionRecord::Move { user: u, .. }
+            | DecisionRecord::Depart { user: u, .. } => *u == user,
+            _ => false,
+        }
+    }
+}
+
+/// One-line human rendering of a record for the debugger transcript.
+fn render_record(rec: &DecisionRecord) -> String {
+    match rec {
+        DecisionRecord::Batch { at, seq, users } => {
+            format!("t={at} batch seq={seq} users={users:?}")
+        }
+        DecisionRecord::Select {
+            at,
+            sid,
+            user,
+            ap,
+            clique,
+            degraded,
+            rate_bps,
+            candidates,
+        } => {
+            let clique = clique.map_or_else(|| "-".to_string(), |c| c.to_string());
+            format!(
+                "t={at} select sid={sid} user={user} -> ap {ap} (clique {clique}{}, \
+                 rate {rate_bps} b/s, candidates {candidates:?})",
+                if *degraded { ", degraded" } else { "" }
+            )
+        }
+        DecisionRecord::Reject { at, user } => {
+            format!("t={at} reject user={user} (no candidate AP)")
+        }
+        DecisionRecord::Tick { at, seq } => format!("t={at} rebalance tick seq={seq}"),
+        DecisionRecord::Move {
+            at,
+            sid,
+            user,
+            from,
+            to,
+        } => format!("t={at} move sid={sid} user={user} ap {from} -> {to}"),
+        DecisionRecord::Report { at, seq, loads_bps } => {
+            format!("t={at} load report seq={seq} ({} APs)", loads_bps.len())
+        }
+        DecisionRecord::Depart {
+            at,
+            seq,
+            sid,
+            user,
+            ap,
+        } => format!("t={at} depart seq={seq} sid={sid} user={user} from ap {ap}"),
+        DecisionRecord::End {
+            placed,
+            rejected,
+            departed,
+            active,
+        } => {
+            format!("end: placed={placed} rejected={rejected} departed={departed} active={active}")
+        }
+    }
+}
+
+const STEP_HELP: &str = "\
+commands:
+  step/s [N]      apply the next N records (default 1)
+  epoch/e         run to the next rebalance tick
+  break/b <user>  break when a record mentions the user
+  run/c           run to the next breakpoint hit
+  aps/p           print reconstructed per-AP load and user counts
+  info/i          print run tallies and the live-session count
+  quit/q          exit";
+
+/// `replay --step`: interactive debugger over a recorded decision log.
+///
+/// Commands arrive one per line on `cmds` (stdin in the CLI, a buffer in
+/// tests); a transcript is written to `out`. The debugger replays the log
+/// only — it never re-runs the engine — so stepping is instant and the
+/// printed AP state is exactly what the checker's replay reconstructs.
+fn step_debug<W: Write, R: BufRead>(path: &Path, mut cmds: R, out: &mut W) -> Result<(), CliError> {
+    let file = File::open(path)?;
+    let mut log = DecisionLogReader::new(BufReader::new(file))
+        .map_err(|e| CliError::Invalid(format!("{}: {e}", path.display())))?;
+    let header = log.header().clone();
+    let mut state = StepState::new(header.ap_capacity_bps.len());
+    let mut breaks: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    writeln!(
+        out,
+        "stepping {} — strategy {}, seed {}, {} APs (type `help` for commands)",
+        path.display(),
+        header.strategy,
+        header.seed,
+        header.ap_capacity_bps.len()
+    )?;
+
+    let mut advance = |state: &mut StepState| -> Result<Option<(u64, DecisionRecord)>, CliError> {
+        match log.next() {
+            None => Ok(None),
+            Some(Err(e)) => Err(CliError::Invalid(format!("{}: {e}", path.display()))),
+            Some(Ok((line, rec))) => {
+                state.apply(&rec);
+                Ok(Some((line, rec)))
+            }
+        }
+    };
+
+    loop {
+        write!(out, "(s3dbg) ")?;
+        out.flush()?;
+        let mut cmd = String::new();
+        if cmds.read_line(&mut cmd)? == 0 {
+            writeln!(out)?;
+            break;
+        }
+        let mut parts = cmd.split_whitespace();
+        let Some(verb) = parts.next() else { continue };
+        match verb {
+            "q" | "quit" => break,
+            "h" | "help" => writeln!(out, "{STEP_HELP}")?,
+            "b" | "break" => match parts.next().and_then(|s| s.parse::<u32>().ok()) {
+                Some(u) => {
+                    breaks.insert(u);
+                    writeln!(out, "breakpoint on user {u}")?;
+                }
+                None => writeln!(out, "usage: break <user-id>")?,
+            },
+            "s" | "step" => {
+                let n: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+                for _ in 0..n {
+                    match advance(&mut state)? {
+                        Some((line, rec)) => {
+                            writeln!(out, "line {line}: {}", render_record(&rec))?;
+                        }
+                        None => {
+                            writeln!(out, "end of log")?;
+                            break;
+                        }
+                    }
+                }
+            }
+            "e" | "epoch" => {
+                let mut stepped = 0u64;
+                loop {
+                    match advance(&mut state)? {
+                        Some((line, rec)) => {
+                            stepped += 1;
+                            if matches!(rec, DecisionRecord::Tick { .. }) {
+                                writeln!(
+                                    out,
+                                    "line {line}: {} ({stepped} records in)",
+                                    render_record(&rec)
+                                )?;
+                                break;
+                            }
+                        }
+                        None => {
+                            writeln!(out, "end of log ({stepped} records, no tick)")?;
+                            break;
+                        }
+                    }
+                }
+            }
+            "c" | "run" => {
+                if breaks.is_empty() {
+                    writeln!(out, "no breakpoints (set one with break <user>)")?;
+                    continue;
+                }
+                let mut stepped = 0u64;
+                loop {
+                    match advance(&mut state)? {
+                        Some((line, rec)) => {
+                            stepped += 1;
+                            if breaks.iter().any(|&u| StepState::mentions(&rec, u)) {
+                                writeln!(
+                                    out,
+                                    "line {line}: {} (after {stepped} records)",
+                                    render_record(&rec)
+                                )?;
+                                break;
+                            }
+                        }
+                        None => {
+                            writeln!(out, "end of log ({stepped} records, no breakpoint hit)")?;
+                            break;
+                        }
+                    }
+                }
+            }
+            "p" | "aps" => {
+                writeln!(out, "ap   load-bps     users  capacity-bps")?;
+                for (i, (&load, &users)) in state.loads.iter().zip(&state.users).enumerate() {
+                    writeln!(
+                        out,
+                        "{i:<4} {load:<12} {users:<6} {}",
+                        header.ap_capacity_bps[i]
+                    )?;
+                }
+            }
+            "i" | "info" => writeln!(
+                out,
+                "placed {} | rejected {} | departed {} | migrations {} | active {}",
+                state.placed,
+                state.rejected,
+                state.departed,
+                state.migrations,
+                state.live.len()
+            )?,
+            other => writeln!(out, "unknown command {other:?} (try help)")?,
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1186,6 +1627,138 @@ mod tests {
         let err =
             run_str("replay --demands /nonexistent.csv --policy llf --out /tmp/x.csv").unwrap_err();
         assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn trace_check_trace_round_trips_clean() {
+        let demands = tmp("tr_demands.csv");
+        let log = tmp("tr_decisions.jsonl");
+        run_str(&format!(
+            "generate --out {} --users 80 --buildings 2 --aps-per-building 3 --days 5 --seed 3",
+            demands.display()
+        ))
+        .unwrap();
+        let output = run_str(&format!(
+            "trace --demands {} --policy s3 --out {} --train-days 3 --aps-per-building 3 \
+             --rebalance",
+            demands.display(),
+            log.display()
+        ))
+        .unwrap();
+        assert!(output.contains("traced"), "{output}");
+        assert!(output.contains("decision records"), "{output}");
+
+        let text = std::fs::read_to_string(&log).unwrap();
+        assert!(text.starts_with("{\"format\":\"s3-dtrace/1\""), "{text}");
+
+        let output = run_str(&format!("check-trace --trace {}", log.display())).unwrap();
+        assert!(output.contains("all invariants hold"), "{output}");
+    }
+
+    #[test]
+    fn check_trace_reports_corruptions_with_line_numbers() {
+        let demands = tmp("ck_demands.csv");
+        let log = tmp("ck_decisions.jsonl");
+        run_str(&format!(
+            "generate --out {} --users 40 --buildings 1 --aps-per-building 3 --days 3 --seed 6",
+            demands.display()
+        ))
+        .unwrap();
+        run_str(&format!(
+            "trace --demands {} --policy llf --out {} --aps-per-building 3",
+            demands.display(),
+            log.display()
+        ))
+        .unwrap();
+
+        // Point one selection at an AP outside its own candidate list.
+        let text = std::fs::read_to_string(&log).unwrap();
+        let (idx, line) = text
+            .lines()
+            .enumerate()
+            .find(|(_, l)| l.contains("\"k\":\"select\""))
+            .expect("log has selections");
+        let corrupted = line.replace("\"ap\":", "\"ap\":9999, \"was\":");
+        let text = text.replace(line, &corrupted);
+        std::fs::write(&log, text).unwrap();
+
+        let mut buf = Vec::new();
+        let err = execute(
+            parse(&argv(&format!("check-trace --trace {}", log.display()))).unwrap(),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Invalid(_)), "{err}");
+        assert!(err.to_string().contains("violation"), "{err}");
+        let printed = String::from_utf8(buf).unwrap();
+        assert!(
+            printed.contains(&format!("line {}", idx + 1)),
+            "violation must carry the corrupted line number: {printed}"
+        );
+    }
+
+    #[test]
+    fn step_debugger_walks_a_log() {
+        let demands = tmp("sd_demands.csv");
+        let log = tmp("sd_decisions.jsonl");
+        run_str(&format!(
+            "generate --out {} --users 40 --buildings 1 --aps-per-building 3 --days 3 --seed 6",
+            demands.display()
+        ))
+        .unwrap();
+        run_str(&format!(
+            "trace --demands {} --policy llf --out {} --aps-per-building 3 --rebalance",
+            demands.display(),
+            log.display()
+        ))
+        .unwrap();
+
+        let script = "help\nstep 3\nbreak 0\nrun\naps\ninfo\nepoch\nquit\n";
+        let mut buf = Vec::new();
+        step_debug(&log, std::io::Cursor::new(script), &mut buf).unwrap();
+        let out = String::from_utf8(buf).unwrap();
+        assert!(out.contains("(s3dbg)"), "{out}");
+        assert!(out.contains("commands:"), "{out}");
+        assert!(out.contains("line 2: "), "stepping starts at line 2: {out}");
+        assert!(out.contains("breakpoint on user 0"), "{out}");
+        assert!(out.contains("capacity-bps"), "{out}");
+        assert!(out.contains("placed "), "{out}");
+        assert!(out.contains("rebalance tick"), "{out}");
+
+        // Unknown commands and EOF are handled gracefully.
+        let mut buf = Vec::new();
+        step_debug(&log, std::io::Cursor::new("wat\n"), &mut buf).unwrap();
+        let out = String::from_utf8(buf).unwrap();
+        assert!(out.contains("unknown command"), "{out}");
+    }
+
+    #[test]
+    fn trace_log_body_is_thread_independent() {
+        let demands = tmp("th_demands.csv");
+        run_str(&format!(
+            "generate --out {} --users 60 --buildings 2 --aps-per-building 3 --days 4 --seed 12",
+            demands.display()
+        ))
+        .unwrap();
+        let mut bodies = Vec::new();
+        for threads in [1usize, 4] {
+            let log = tmp(&format!("th_decisions_{threads}.jsonl"));
+            run_str(&format!(
+                "trace --demands {} --policy s3 --out {} --train-days 2 --aps-per-building 3 \
+                 --threads {threads}",
+                demands.display(),
+                log.display()
+            ))
+            .unwrap();
+            let text = std::fs::read_to_string(&log).unwrap();
+            let (header, body) = text.split_once('\n').unwrap();
+            assert!(
+                header.contains(&format!("\"threads\":{threads}")),
+                "{header}"
+            );
+            bodies.push(body.to_string());
+        }
+        assert_eq!(bodies[0], bodies[1], "log bodies must be byte-identical");
     }
 
     #[test]

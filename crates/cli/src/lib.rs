@@ -3,11 +3,16 @@
 //! Four subcommands cover the full workflow:
 //!
 //! * `generate` — synthesize a campus demand trace to CSV;
-//! * `replay`   — replay a demand CSV under a policy, writing session CSV;
+//! * `replay`   — replay a demand CSV under a policy, writing session CSV
+//!   (or, with `--step --trace`, debug a recorded decision log);
 //! * `analyze`  — measurement study over a session CSV (balance, events,
 //!   typing);
 //! * `compare`  — end-to-end S³-vs-LLF evaluation on one demand trace;
-//! * `summary`  — render a `--metrics-out` snapshot as a table.
+//! * `summary`  — render a `--metrics-out` snapshot as a table;
+//! * `trace`    — replay while recording every engine decision to an
+//!   `s3-dtrace/1` JSONL log;
+//! * `check-trace` — validate a decision log against the engine
+//!   invariants.
 //!
 //! The library half exists so the argument parsing and command logic are
 //! unit-testable; `main.rs` is a thin shim.
@@ -104,6 +109,11 @@ USAGE:
   s3wlan compare  --demands <demands.csv> [--seed N] [--train-days N] [--threads N]
                   [--metrics-out <m.json|m.csv>] [--metrics-full]
   s3wlan summary  --metrics <m.json>
+  s3wlan trace    --demands <demands.csv> --policy <llf|s3|least-users|rssi|random>
+                  --out <decisions.jsonl> [--seed N] [--train-days N]
+                  [--rebalance] [--threads N] [--aps-per-building N] [--lenient]
+  s3wlan check-trace --trace <decisions.jsonl>
+  s3wlan replay   --step --trace <decisions.jsonl>
 
 THREADS:
   --threads N runs training and analysis on N worker threads (default:
@@ -124,6 +134,16 @@ INGESTION:
   CSV for robustness testing; the spec is a comma-separated list of
   corrupt=N, invert=N, id-overflow=N, dup=N, overlap=N, skew=C:SECS,
   outage=K:SECS, truncate. See docs/INGESTION.md.
+
+TRACING:
+  trace replays like replay but writes every engine decision (arrival
+  batches, per-user selections with clique ids, rebalance moves, load
+  reports, departures) to a versioned s3-dtrace/1 JSONL log instead of a
+  session CSV. check-trace replays the log against the engine's
+  invariants and exits nonzero with a line-numbered violation report.
+  replay --step opens an interactive single-step debugger over a recorded
+  log. Log bodies are byte-identical for any --threads value. See
+  docs/TRACING.md for the record schema and invariant catalogue.
 
 METRICS:
   --metrics-out writes the process-wide instrumentation registry as a

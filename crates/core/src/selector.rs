@@ -22,7 +22,9 @@
 use s3_graph::clique::{CliqueBudget, CliqueWorkspace};
 use s3_graph::partition::clique_partition_in;
 use s3_obs::{Desc, Stability, Unit};
-use s3_wlan::selector::{ApSelector, ApView, ArrivalUser, LeastLoadedFirst, SelectionContext};
+use s3_wlan::selector::{
+    ApSelector, ApView, ArrivalUser, DecisionMeta, LeastLoadedFirst, SelectionContext,
+};
 
 use crate::batch::{assign_clique_compiled, build_social_graph_compiled, SlotState};
 use crate::compiled::CompiledModel;
@@ -65,6 +67,10 @@ pub struct S3Selector {
     /// steady state, not an error path — they must allocate nothing).
     fallback: LeastLoadedFirst,
     scratch: Scratch,
+    /// Per-user decision metadata of the most recent batch (clique index
+    /// in partition order, degraded flag) — what the engine's decision
+    /// trace records alongside each placement.
+    last_meta: Vec<DecisionMeta>,
 }
 
 /// Reusable working memory for the selection hot path. Buffers grow to the
@@ -110,6 +116,7 @@ impl S3Selector {
             degraded,
             fallback: LeastLoadedFirst::new(),
             scratch: Scratch::default(),
+            last_meta: Vec::new(),
         }
     }
 
@@ -177,15 +184,30 @@ impl ApSelector for S3Selector {
         picks[0]
     }
 
+    fn last_batch_meta(&self) -> Option<&[DecisionMeta]> {
+        Some(&self.last_meta)
+    }
+
     fn select_batch(&mut self, users: &[ArrivalUser], candidates: &[ApView<'_>]) -> Vec<usize> {
         if users.is_empty() {
+            self.last_meta.clear();
             return Vec::new();
         }
         if self.degraded {
             s3_obs::global().counter(&DEGRADED_SELECTIONS).inc();
+            self.last_meta.clear();
+            self.last_meta.resize(
+                users.len(),
+                DecisionMeta {
+                    clique: None,
+                    degraded: true,
+                },
+            );
             return self.fallback.select_batch(users, candidates);
         }
         self.prepare_slots(candidates);
+        self.last_meta.clear();
+        self.last_meta.resize(users.len(), DecisionMeta::default());
         let compiled = &self.compiled;
         let scratch = &mut self.scratch;
         scratch.arrivals.clear();
@@ -205,7 +227,7 @@ impl ApSelector for S3Selector {
         let cliques = clique_partition_in(&graph, CliqueBudget::default(), &mut scratch.clique_ws);
 
         let mut picks = vec![usize::MAX; users.len()];
-        for clique in &cliques {
+        for (clique_idx, clique) in cliques.iter().enumerate() {
             scratch.clique.clear();
             for &vertex in &clique.vertices {
                 scratch.clique.push(scratch.arrivals[vertex]);
@@ -219,6 +241,10 @@ impl ApSelector for S3Selector {
             );
             for (&vertex, &slot) in clique.vertices.iter().zip(&assignment) {
                 picks[vertex] = slot;
+                self.last_meta[vertex] = DecisionMeta {
+                    clique: Some(clique_idx as u32),
+                    degraded: false,
+                };
                 scratch.states[slot].load += scratch.demands[vertex];
                 scratch.states[slot].member_count += 1;
                 scratch.members[slot].push(scratch.arrivals[vertex]);

@@ -35,6 +35,7 @@
 
 pub mod classify;
 pub mod csv;
+pub mod decision_log;
 pub mod events;
 pub mod generator;
 pub mod ingest;

@@ -74,7 +74,9 @@ impl EventPayload {
 pub(crate) struct Event {
     /// When the event fires.
     pub at: Timestamp,
-    seq: u64,
+    /// Insertion sequence — exposed so the decision-trace hooks can log
+    /// the full `(time, rank, seq)` queue key of each drained event.
+    pub seq: u64,
     /// What fires.
     pub payload: EventPayload,
 }

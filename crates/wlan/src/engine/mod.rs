@@ -39,9 +39,13 @@ mod events;
 mod runner;
 mod source;
 mod state;
+pub mod tracing;
 
 pub use runner::RunTotals;
 pub use source::{CollectSink, DemandSource, EngineError, RecordSink, SliceSource, StreamSource};
+pub use tracing::{
+    check_log, trace_header, CheckReport, InvariantClass, TraceEvent, TraceSink, Violation,
+};
 
 use s3_obs::{Desc, Stability, Unit};
 use s3_trace::{SessionDemand, SessionRecord};
@@ -223,6 +227,29 @@ impl SimEngine {
         if self.config.rebalance.is_some() {
             return Err(EngineError::StreamedRebalance);
         }
+        self.run_events(source, selector, sink)
+    }
+
+    /// Replays demands while `sink` observes every engine decision in
+    /// exact processing order — the `s3wlan trace` entry point, normally
+    /// run with a [`tracing::TraceSink`] writing an `s3-dtrace/1` log
+    /// (see `docs/TRACING.md`).
+    ///
+    /// Unlike [`SimEngine::run_streamed`] the online rebalancer is
+    /// permitted: its migrations become `move` records, and trace sinks
+    /// discard session records, so the global record sort the streaming
+    /// path cannot afford is never needed here.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimEngine::run_source`], plus [`EngineError::Sink`] when the
+    /// sink's writer fails.
+    pub fn run_traced(
+        &self,
+        source: &mut dyn DemandSource,
+        selector: &mut dyn ApSelector,
+        sink: &mut dyn RecordSink,
+    ) -> Result<RunTotals, EngineError> {
         self.run_events(source, selector, sink)
     }
 }

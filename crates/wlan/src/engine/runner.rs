@@ -41,6 +41,7 @@ use s3_types::{ControllerId, Timestamp};
 use super::events::{Event, EventPayload, EventQueue};
 use super::source::{DemandSource, EngineError, RecordSink};
 use super::state::{Active, RunState};
+use super::tracing::TraceEvent;
 use super::SimEngine;
 use crate::radio::{distance, rssi_at, session_position};
 use crate::selector::{ApSelector, ApView, ArrivalUser};
@@ -162,6 +163,9 @@ struct RunCtx<'a> {
     arrivals: Vec<ArrivalUser>,
     rejected: usize,
     placed: usize,
+    /// Sessions closed at their scheduled departure (for the trace's end
+    /// record — the process-global departure counter spans runs).
+    departed: usize,
     records: usize,
     sink: &'a mut dyn RecordSink,
     selector: &'a mut dyn ApSelector,
@@ -178,6 +182,12 @@ impl RunCtx<'_> {
         self.sink.emit(record).map_err(EngineError::Sink)?;
         self.records += 1;
         Ok(())
+    }
+
+    /// Hands one decision to the sink's trace hook (no-op for ordinary
+    /// sinks; see [`super::tracing`]).
+    fn observe(&mut self, event: &TraceEvent<'_>) -> Result<(), EngineError> {
+        self.sink.observe(event).map_err(EngineError::Sink)
     }
 }
 
@@ -204,6 +214,7 @@ impl SimEngine {
             arrivals: Vec::new(),
             rejected: 0,
             placed: 0,
+            departed: 0,
             records: 0,
             sink,
             selector,
@@ -282,6 +293,13 @@ impl SimEngine {
         while let Some(event) = ctx.queue.pop() {
             self.handle_event(&mut ctx, event)?;
         }
+        let end = TraceEvent::End {
+            placed: ctx.placed as u64,
+            rejected: ctx.rejected as u64,
+            departed: ctx.departed as u64,
+            active: ctx.run.sessions().count() as u64,
+        };
+        ctx.observe(&end)?;
         ctx.queue.publish();
         registry.counter(&REJECTED).add(ctx.rejected as u64);
         registry.counter(&MIGRATIONS).add(ctx.run.migrations as u64);
@@ -300,6 +318,14 @@ impl SimEngine {
                     return Ok(());
                 };
                 ctx.departures.inc();
+                ctx.departed += 1;
+                ctx.observe(&TraceEvent::Depart {
+                    at: event.at,
+                    seq: event.seq,
+                    sid: session,
+                    user: active.user,
+                    ap: active.ap,
+                })?;
                 ctx.run.release(active.ap, active.user, active.rate);
                 if ctx.emit_at_departure {
                     let end = active.depart;
@@ -308,22 +334,45 @@ impl SimEngine {
                 }
                 Ok(())
             }
-            EventPayload::RebalanceTick => self.rebalance_round(ctx, event.at),
+            EventPayload::RebalanceTick => {
+                ctx.observe(&TraceEvent::Tick {
+                    at: event.at,
+                    seq: event.seq,
+                })?;
+                self.rebalance_round(ctx, event.at)
+            }
             EventPayload::LoadReport => {
                 ctx.load_reports.inc();
                 for (r, s) in ctx.run.reported.iter_mut().zip(&ctx.run.state) {
                     *r = s.load;
                     ctx.ap_load_kbps.observe((s.load.as_f64() / 1_000.0) as u64);
                 }
+                ctx.sink
+                    .observe(&TraceEvent::Report {
+                        at: event.at,
+                        seq: event.seq,
+                        loads: &ctx.run.reported,
+                    })
+                    .map_err(EngineError::Sink)?;
                 Ok(())
             }
-            EventPayload::ArrivalBatch { batch } => self.place_batch(ctx, &batch),
+            EventPayload::ArrivalBatch { batch } => {
+                ctx.sink
+                    .observe(&TraceEvent::Batch {
+                        at: event.at,
+                        seq: event.seq,
+                        batch: &batch,
+                    })
+                    .map_err(EngineError::Sink)?;
+                self.place_batch(ctx, event.at, &batch)
+            }
         }
     }
 
     fn place_batch(
         &self,
         ctx: &mut RunCtx<'_>,
+        now: Timestamp,
         batch: &[SessionDemand],
     ) -> Result<(), EngineError> {
         ctx.batches.inc();
@@ -343,6 +392,12 @@ impl SimEngine {
             let aps = self.topology.aps_of_controller(*controller);
             if aps.is_empty() {
                 ctx.rejected += members.len();
+                for &i in members {
+                    ctx.observe(&TraceEvent::Reject {
+                        at: now,
+                        user: batch[i].user,
+                    })?;
+                }
                 continue;
             }
             let mut users = std::mem::take(&mut ctx.arrivals);
@@ -384,11 +439,29 @@ impl SimEngine {
             ctx.arrivals = users;
             ctx.placements.add(picks.len() as u64);
             ctx.placed += picks.len();
-            for (&i, &pick) in members.iter().zip(&picks) {
+            // Decision metadata (clique id, degraded flag) is read back
+            // from the selector while the picks still correspond; direct
+            // field access keeps the borrow disjoint from the state
+            // mutation below.
+            let meta = ctx.selector.last_batch_meta();
+            for (j, (&i, &pick)) in members.iter().zip(&picks).enumerate() {
                 assert!(pick < aps.len(), "selector pick out of range");
                 let d = &batch[i];
                 let ap = aps[pick];
                 let session_idx = ctx.run.place(d, ap);
+                let m = meta.and_then(|m| m.get(j)).copied().unwrap_or_default();
+                ctx.sink
+                    .observe(&TraceEvent::Select {
+                        at: now,
+                        sid: session_idx,
+                        user: d.user,
+                        ap,
+                        clique: m.clique,
+                        degraded: m.degraded,
+                        rate: d.mean_rate(),
+                        candidates: aps,
+                    })
+                    .map_err(EngineError::Sink)?;
                 ctx.queue.push(
                     d.depart,
                     EventPayload::Departure {
@@ -471,6 +544,13 @@ impl SimEngine {
                 let old = active.ap;
                 active.ap = min_ap;
                 ctx.run.migrations += 1;
+                ctx.observe(&TraceEvent::Move {
+                    at: now,
+                    sid: idx,
+                    user,
+                    from: old,
+                    to: min_ap,
+                })?;
                 if let Some(record) = record {
                     ctx.emit(record)?;
                 }

@@ -155,6 +155,21 @@ pub trait RecordSink {
     /// Propagates writer failures; the engine aborts the run and surfaces
     /// them as [`EngineError::Sink`].
     fn emit(&mut self, record: SessionRecord) -> io::Result<()>;
+
+    /// Observes one engine decision as it is made, in exact processing
+    /// order (the decision-trace hook — see
+    /// [`super::tracing::TraceSink`] and `docs/TRACING.md`). The default
+    /// discards the event, so ordinary sinks pay nothing: the engine only
+    /// hands over a borrowed view, never an allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures; the engine aborts the run and surfaces
+    /// them as [`EngineError::Sink`].
+    fn observe(&mut self, event: &super::tracing::TraceEvent<'_>) -> io::Result<()> {
+        let _ = event;
+        Ok(())
+    }
 }
 
 /// [`RecordSink`] that collects records in memory (the classic

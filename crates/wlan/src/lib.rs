@@ -51,5 +51,5 @@ pub use engine::{
     CollectSink, DemandSource, EngineError, RebalanceConfig, RecordSink, RunTotals, SimConfig,
     SimEngine, SimResult, SliceSource, StreamSource,
 };
-pub use selector::{ApCandidate, ApSelector, ApView, SelectionContext};
+pub use selector::{ApCandidate, ApSelector, ApView, DecisionMeta, SelectionContext};
 pub use topology::{ApInfo, Topology};

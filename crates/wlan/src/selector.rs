@@ -156,12 +156,34 @@ pub struct SelectionContext<'a> {
     pub candidates: &'a [ApView<'a>],
 }
 
+/// Per-user metadata describing *how* a batch decision was made — the
+/// S³-specific facts the decision-trace harness records alongside each
+/// placement (see `docs/TRACING.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecisionMeta {
+    /// Index of the user's clique within the selection call's clique
+    /// partition (largest clique first). `None` for policies that do not
+    /// partition arrivals into cliques.
+    pub clique: Option<u32>,
+    /// Whether a degraded-model fallback (LLF) made the decision instead
+    /// of the policy proper.
+    pub degraded: bool,
+}
+
 /// An AP-selection policy.
 ///
 /// Implementations must return a valid index into `ctx.candidates`.
 pub trait ApSelector {
     /// Human-readable policy name (used in experiment output).
     fn name(&self) -> &str;
+
+    /// Decision metadata for the most recent [`ApSelector::select_batch`]
+    /// call, parallel to its return value, or `None` when the policy does
+    /// not produce any (the default). Consumed by the engine's trace hooks
+    /// immediately after each batch selection.
+    fn last_batch_meta(&self) -> Option<&[DecisionMeta]> {
+        None
+    }
 
     /// Chooses a candidate index for one arriving user.
     fn select(&mut self, ctx: &SelectionContext<'_>) -> usize;
