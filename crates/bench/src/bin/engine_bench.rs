@@ -1,0 +1,248 @@
+//! Machine-readable sharded-engine throughput benchmark.
+//!
+//! Generates a campus demand trace, then replays it through
+//! `SimEngine::run_sharded_streamed` (records discarded by a counting
+//! sink) at a sweep of shard counts, timing each run. The output is one
+//! JSON document — events/sec and users/sec per shard count — suitable
+//! for archiving as a build artifact and diffing across commits:
+//!
+//! ```text
+//! engine_bench [--out results/BENCH_engine.json]
+//!              [--scale campus|district|city]
+//!              [--users N] [--buildings N] [--aps-per-building N] [--days N]
+//!              [--seed N] [--shards 1,2,4,8] [--repeats N]
+//! ```
+//!
+//! `--scale city` is the headline configuration: 10⁶ users over 10⁴ APs
+//! for one day, the engine-bench scale from `docs/PERF.md`. The default
+//! is a 10⁵-user district so the sweep finishes in CI time. Results are
+//! byte-identical across shard counts (asserted here via the per-run
+//! totals), so the sweep measures pure orchestration cost.
+//!
+//! The checked-in `results/BENCH_engine.json` is a reference
+//! measurement; CI regenerates a smaller smoke sweep as
+//! `BENCH_engine.ci.json` and uploads it without comparing.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use s3_obs::MetricValue;
+use s3_trace::generator::{CampusConfig, CampusGenerator};
+use s3_trace::{SessionDemand, SessionRecord};
+use s3_wlan::engine::SliceSource;
+use s3_wlan::selector::{ApSelector, LeastLoadedFirst};
+use s3_wlan::{RecordSink, SimConfig, SimEngine, Topology};
+
+const USAGE: &str = "usage: engine_bench [--out <path.json>] [--scale campus|district|city] \
+                     [--users N] [--buildings N] [--aps-per-building N] [--days N] \
+                     [--seed N] [--shards 1,2,4,8] [--repeats N]";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// `(users, buildings, aps_per_building, days)` presets, mirroring the
+/// CLI's `generate --scale`.
+fn scale_preset(name: &str) -> (usize, usize, usize, u64) {
+    match name {
+        "campus" => (2_000, 8, 8, 31),
+        "district" => (100_000, 64, 16, 2),
+        // 10⁶ users over 10⁴ APs, one day.
+        "city" => (1_000_000, 1_250, 8, 1),
+        other => {
+            eprintln!("unknown --scale {other:?}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Discards records, counting them — the cheapest possible sink, so the
+/// measurement is the engine, not I/O.
+#[derive(Default)]
+struct CountSink {
+    records: u64,
+}
+
+impl RecordSink for CountSink {
+    fn emit(&mut self, _record: SessionRecord) -> std::io::Result<()> {
+        self.records += 1;
+        Ok(())
+    }
+}
+
+/// Current value of the engine's `events_processed` counter.
+fn events_processed() -> u64 {
+    s3_obs::global()
+        .snapshot()
+        .metrics
+        .iter()
+        .find(|m| m.name == "wlan.engine.events_processed")
+        .map(|m| match m.value {
+            MetricValue::Counter(v) => v,
+            _ => 0,
+        })
+        .unwrap_or(0)
+}
+
+struct Sample {
+    shards: usize,
+    seconds: f64,
+    events: u64,
+    records: u64,
+    placed: usize,
+}
+
+/// One timed streamed replay at `shards`; the fastest of `repeats` runs
+/// (throughput benchmarks want the least-disturbed sample).
+fn run_once(
+    engine: &SimEngine,
+    demands: &[SessionDemand],
+    shards: usize,
+    repeats: usize,
+) -> Sample {
+    let mut best: Option<Sample> = None;
+    for _ in 0..repeats.max(1) {
+        let mut selectors: Vec<Box<dyn ApSelector + Send>> = (0..shards)
+            .map(|_| Box::new(LeastLoadedFirst::new()) as Box<dyn ApSelector + Send>)
+            .collect();
+        let mut source = SliceSource::new(demands);
+        let mut sink = CountSink::default();
+        let before = events_processed();
+        let start = Instant::now();
+        let totals = engine
+            .run_sharded_streamed(&mut source, &mut selectors, &mut sink)
+            .expect("streamed replay");
+        let seconds = start.elapsed().as_secs_f64();
+        let sample = Sample {
+            shards,
+            seconds,
+            events: events_processed() - before,
+            records: sink.records,
+            placed: totals.placed,
+        };
+        assert_eq!(
+            sample.records as usize, sample.placed,
+            "placement-mode replay emits one record per placed demand"
+        );
+        if best.as_ref().is_none_or(|b| sample.seconds < b.seconds) {
+            best = Some(sample);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return;
+    }
+    let out = flag(&args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/BENCH_engine.json"));
+    let (mut users, mut buildings, mut aps_per_building, mut days) =
+        scale_preset(&flag(&args, "--scale").unwrap_or_else(|| "district".into()));
+    if let Some(v) = flag(&args, "--users").and_then(|v| v.parse().ok()) {
+        users = v;
+    }
+    if let Some(v) = flag(&args, "--buildings").and_then(|v| v.parse().ok()) {
+        buildings = v;
+    }
+    if let Some(v) = flag(&args, "--aps-per-building").and_then(|v| v.parse().ok()) {
+        aps_per_building = v;
+    }
+    if let Some(v) = flag(&args, "--days").and_then(|v| v.parse().ok()) {
+        days = v;
+    }
+    let seed: u64 = flag(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(21);
+    let repeats: usize = flag(&args, "--repeats")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let shard_counts: Vec<usize> = flag(&args, "--shards")
+        .unwrap_or_else(|| "1,2,4,8".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--shards takes a comma list"))
+        .collect();
+
+    let config = CampusConfig {
+        users,
+        buildings,
+        aps_per_building,
+        days,
+        ..CampusConfig::campus()
+    };
+    eprintln!(
+        "engine_bench: generating {users} users x {days} day(s) over {} APs (seed {seed})...",
+        buildings * aps_per_building
+    );
+    let gen_start = Instant::now();
+    let campus = CampusGenerator::new(config, seed).generate();
+    let mut demands = campus.demands;
+    demands.sort_by_key(|d| (d.arrive, d.user));
+    let gen_seconds = gen_start.elapsed().as_secs_f64();
+    eprintln!(
+        "engine_bench: {} demands generated in {gen_seconds:.1}s",
+        demands.len()
+    );
+
+    let engine = SimEngine::new(Topology::from_campus(&campus.config), SimConfig::default());
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for &shards in &shard_counts {
+        let sample = run_once(&engine, &demands, shards, repeats);
+        eprintln!(
+            "engine_bench: shards={shards} {:.2}s {:.0} events/s {:.0} users/s",
+            sample.seconds,
+            sample.events as f64 / sample.seconds,
+            sample.placed as f64 / sample.seconds
+        );
+        samples.push(sample);
+    }
+    // Decision totals are shard-invariant; a drift here is a correctness
+    // bug, not a measurement artifact.
+    for s in &samples {
+        assert_eq!(
+            s.placed, samples[0].placed,
+            "shard counts must place identically"
+        );
+    }
+
+    let base_seconds = samples[0].seconds;
+    let mut doc = String::from("{\n");
+    let _ = writeln!(doc, "  \"bench\": \"engine\",");
+    let _ = writeln!(
+        doc,
+        "  \"users\": {users},\n  \"buildings\": {buildings},\n  \"aps\": {},\n  \"days\": {days},\n  \"seed\": {seed},\n  \"repeats\": {repeats},",
+        buildings * aps_per_building
+    );
+    let _ = writeln!(doc, "  \"demands\": {},", demands.len());
+    let _ = writeln!(doc, "  \"generate_seconds\": {gen_seconds:.2},");
+    doc.push_str("  \"sweep\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let sep = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            doc,
+            "    {{\"shards\": {}, \"seconds\": {:.3}, \"events\": {}, \
+             \"events_per_sec\": {:.0}, \"users_per_sec\": {:.0}, \"speedup_vs_1\": {:.2}}}{sep}",
+            s.shards,
+            s.seconds,
+            s.events,
+            s.events as f64 / s.seconds,
+            s.placed as f64 / s.seconds,
+            base_seconds / s.seconds
+        );
+    }
+    doc.push_str("  ]\n}\n");
+
+    if let Some(dir) = out.parent() {
+        fs::create_dir_all(dir).expect("create output directory");
+    }
+    fs::write(&out, &doc).expect("write benchmark json");
+    println!("engine_bench wrote {}", out.display());
+}

@@ -85,6 +85,9 @@ pub enum Command {
         aps_per_building: usize,
         /// Worker threads (0 = auto); results are identical for any value.
         threads: usize,
+        /// Controller-domain shards (1 = the unified engine); session CSVs
+        /// are byte-identical for any value.
+        shards: usize,
         /// Optional metrics-snapshot destination (`.json` or `.csv`).
         metrics_out: Option<PathBuf>,
         /// Include volatile (timing) metrics in the snapshot.
@@ -165,6 +168,9 @@ pub enum Command {
         /// Worker threads (0 = auto); the log body is identical for any
         /// value.
         threads: usize,
+        /// Controller-domain shards (1 = the unified engine); the log body
+        /// is identical for any value.
+        shards: usize,
         /// Skip malformed rows (with a report) instead of aborting.
         lenient: bool,
     },
@@ -205,6 +211,47 @@ fn parse_u64(flag: &str, value: &str) -> Result<u64, CliError> {
         .map_err(|_| CliError::Usage(format!("{flag} must be an unsigned integer, got {value:?}")))
 }
 
+fn parse_shards(value: &str) -> Result<usize, CliError> {
+    let shards = parse_u64("--shards", value)? as usize;
+    if shards == 0 {
+        return Err(CliError::Usage(
+            "--shards must be at least 1 (1 = the unified engine)".into(),
+        ));
+    }
+    Ok(shards)
+}
+
+/// The random policy draws every pick from one sequential RNG stream, so
+/// its decisions depend on global processing order — the one policy whose
+/// results a sharded run could not reproduce.
+fn reject_random_sharding(policy: PolicyKind, shards: usize) -> Result<(), CliError> {
+    if shards > 1 && policy == PolicyKind::Random {
+        return Err(CliError::Usage(
+            "--shards > 1 does not support --policy random (one sequential \
+             RNG stream cannot be split shard-invariantly)"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+/// A `generate --scale` preset: `(users, buildings, aps_per_building,
+/// days)`. Explicit flags override individual fields of the preset.
+fn scale_preset(name: &str) -> Result<(usize, usize, usize, u64), CliError> {
+    match name {
+        // The paper-sized default campus.
+        "campus" => Ok((2_000, 8, 8, 31)),
+        // A district of campuses: stresses multi-controller sharding.
+        "district" => Ok((50_000, 64, 16, 7)),
+        // City scale: 10⁶ users over 10⁴ APs, one day — the engine-bench
+        // workload.
+        "city" => Ok((1_000_000, 1_250, 8, 1)),
+        other => Err(CliError::Usage(format!(
+            "unknown --scale {other:?} (expected campus, district or city)"
+        ))),
+    }
+}
+
 /// Parses `argv[1..]` (i.e. without the program name).
 ///
 /// # Errors
@@ -220,26 +267,37 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "generate" => {
             let mut out = None;
             let mut seed = 42u64;
-            let mut users = 2_000usize;
-            let mut buildings = 8usize;
-            let mut aps = 8usize;
-            let mut days = 31u64;
+            let mut scale = None;
+            // Explicit flags override the preset field-by-field, wherever
+            // they appear relative to --scale.
+            let mut users = None;
+            let mut buildings = None;
+            let mut aps = None;
+            let mut days = None;
             let mut faults = None;
             while let Some(flag) = cursor.next() {
                 match flag {
                     "--out" => out = Some(PathBuf::from(cursor.value_for(flag)?)),
                     "--seed" => seed = parse_u64(flag, cursor.value_for(flag)?)?,
-                    "--users" => users = parse_u64(flag, cursor.value_for(flag)?)? as usize,
-                    "--buildings" => buildings = parse_u64(flag, cursor.value_for(flag)?)? as usize,
-                    "--aps-per-building" => {
-                        aps = parse_u64(flag, cursor.value_for(flag)?)? as usize
+                    "--scale" => scale = Some(scale_preset(cursor.value_for(flag)?)?),
+                    "--users" => users = Some(parse_u64(flag, cursor.value_for(flag)?)? as usize),
+                    "--buildings" => {
+                        buildings = Some(parse_u64(flag, cursor.value_for(flag)?)? as usize)
                     }
-                    "--days" => days = parse_u64(flag, cursor.value_for(flag)?)?,
+                    "--aps-per-building" => {
+                        aps = Some(parse_u64(flag, cursor.value_for(flag)?)? as usize)
+                    }
+                    "--days" => days = Some(parse_u64(flag, cursor.value_for(flag)?)?),
                     "--faults" => faults = Some(cursor.value_for(flag)?.to_string()),
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
             }
             let out = out.ok_or_else(|| CliError::Usage("generate requires --out".into()))?;
+            let base = scale.unwrap_or_else(|| scale_preset("campus").expect("known preset"));
+            let users = users.unwrap_or(base.0);
+            let buildings = buildings.unwrap_or(base.1);
+            let aps = aps.unwrap_or(base.2);
+            let days = days.unwrap_or(base.3);
             if users == 0 || buildings == 0 || aps == 0 || days == 0 {
                 return Err(CliError::Usage("counts must be positive".into()));
             }
@@ -262,6 +320,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut rebalance = false;
             let mut aps_per_building = 8usize;
             let mut threads = 0usize;
+            let mut shards = 1usize;
             let mut metrics_out = None;
             let mut metrics_full = false;
             let mut lenient = false;
@@ -278,6 +337,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                         aps_per_building = parse_u64(flag, cursor.value_for(flag)?)? as usize
                     }
                     "--threads" => threads = parse_u64(flag, cursor.value_for(flag)?)? as usize,
+                    "--shards" => shards = parse_shards(cursor.value_for(flag)?)?,
                     "--metrics-out" => metrics_out = Some(PathBuf::from(cursor.value_for(flag)?)),
                     "--metrics-full" => metrics_full = true,
                     "--lenient" => lenient = true,
@@ -325,6 +385,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                         .into(),
                 ));
             }
+            reject_random_sharding(policy, shards)?;
             Ok(Command::Replay {
                 demands,
                 policy,
@@ -334,6 +395,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 rebalance,
                 aps_per_building,
                 threads,
+                shards,
                 metrics_out,
                 metrics_full,
                 lenient,
@@ -440,6 +502,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut rebalance = false;
             let mut aps_per_building = 8usize;
             let mut threads = 0usize;
+            let mut shards = 1usize;
             let mut lenient = false;
             while let Some(flag) = cursor.next() {
                 match flag {
@@ -452,6 +515,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                         aps_per_building = parse_u64(flag, cursor.value_for(flag)?)? as usize
                     }
                     "--threads" => threads = parse_u64(flag, cursor.value_for(flag)?)? as usize,
+                    "--shards" => shards = parse_shards(cursor.value_for(flag)?)?,
                     "--lenient" => lenient = true,
                     "--policy" => {
                         let name = cursor.value_for(flag)?;
@@ -472,6 +536,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--aps-per-building must be positive".into(),
                 ));
             }
+            reject_random_sharding(policy, shards)?;
             Ok(Command::Trace {
                 demands,
                 policy,
@@ -481,6 +546,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 rebalance,
                 aps_per_building,
                 threads,
+                shards,
                 lenient,
             })
         }
@@ -688,6 +754,79 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.to_string().contains("--stream does not support"));
+    }
+
+    #[test]
+    fn shards_flag_parses_and_guards() {
+        for (cmdline, want) in [
+            ("replay --demands d.csv --policy llf --out s.csv", 1usize),
+            (
+                "replay --demands d.csv --policy llf --out s.csv --shards 4",
+                4,
+            ),
+        ] {
+            match parse(&argv(cmdline)).unwrap() {
+                Command::Replay { shards, .. } => assert_eq!(shards, want),
+                other => panic!("wrong command: {other:?}"),
+            }
+        }
+        match parse(&argv(
+            "trace --demands d.csv --policy s3 --out t.jsonl --shards 8",
+        ))
+        .unwrap()
+        {
+            Command::Trace { shards, .. } => assert_eq!(shards, 8),
+            other => panic!("wrong command: {other:?}"),
+        }
+        let err = parse(&argv(
+            "replay --demands d.csv --policy llf --out s.csv --shards 0",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        // The random policy draws from one sequential RNG stream; a
+        // sharded run cannot reproduce it and must be refused up front.
+        for cmdline in [
+            "replay --demands d.csv --policy random --out s.csv --shards 2",
+            "trace --demands d.csv --policy random --out t.jsonl --shards 2",
+        ] {
+            let err = parse(&argv(cmdline)).unwrap_err();
+            assert!(err.to_string().contains("random"), "{err}");
+        }
+        // One shard is the unified engine: random stays allowed.
+        assert!(parse(&argv(
+            "replay --demands d.csv --policy random --out s.csv --shards 1"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn generate_scale_presets_and_overrides() {
+        match parse(&argv("generate --out x.csv --scale city")).unwrap() {
+            Command::Generate {
+                users,
+                buildings,
+                aps_per_building,
+                days,
+                ..
+            } => {
+                assert_eq!(users, 1_000_000);
+                assert_eq!(buildings * aps_per_building, 10_000, "city = 10^4 APs");
+                assert_eq!(days, 1);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Explicit flags override preset fields regardless of order.
+        match parse(&argv("generate --out x.csv --users 5 --scale district")).unwrap() {
+            Command::Generate {
+                users, buildings, ..
+            } => {
+                assert_eq!(users, 5);
+                assert_eq!(buildings, 64);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let err = parse(&argv("generate --out x.csv --scale galaxy")).unwrap_err();
+        assert!(err.to_string().contains("unknown --scale"), "{err}");
     }
 
     #[test]

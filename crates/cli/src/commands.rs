@@ -68,6 +68,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             rebalance,
             aps_per_building,
             threads,
+            shards,
             metrics_out,
             metrics_full,
             lenient,
@@ -82,6 +83,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
                     train_days,
                     aps_per_building,
                     threads,
+                    shards,
                     lenient,
                     out,
                 )?;
@@ -95,6 +97,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
                     rebalance,
                     aps_per_building,
                     threads,
+                    shards,
                     lenient,
                     out,
                 )?;
@@ -140,6 +143,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             rebalance,
             aps_per_building,
             threads,
+            shards,
             lenient,
         } => trace(
             &demands,
@@ -150,6 +154,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             rebalance,
             aps_per_building,
             threads,
+            shards,
             lenient,
             out,
         ),
@@ -321,7 +326,7 @@ fn build_selector<W: Write>(
     train_days: u64,
     threads: usize,
     out: &mut W,
-) -> Result<(Box<dyn ApSelector>, u64), CliError> {
+) -> Result<(Box<dyn ApSelector + Send>, u64), CliError> {
     Ok(match policy {
         PolicyKind::Llf => (Box::new(LeastLoadedFirst::new()), 0),
         PolicyKind::LeastUsers => (Box::new(LeastUsers::new()), 0),
@@ -349,6 +354,66 @@ fn build_selector<W: Write>(
     })
 }
 
+/// Builds one equivalent selector per shard for `--shards N` runs.
+/// Selectors are stateful, so shards must not share an instance; S³
+/// trains its model once and clones it into every shard's selector, the
+/// stateless policies just construct `shards` fresh instances. With one
+/// shard this is exactly [`build_selector`].
+#[allow(clippy::too_many_arguments)]
+fn build_shard_selectors<W: Write>(
+    demands: &[SessionDemand],
+    engine: &SimEngine,
+    policy: PolicyKind,
+    seed: u64,
+    train_days: u64,
+    threads: usize,
+    shards: usize,
+    out: &mut W,
+) -> Result<(Vec<Box<dyn ApSelector + Send>>, u64), CliError> {
+    if shards <= 1 {
+        let (selector, trained) =
+            build_selector(demands, engine, policy, seed, train_days, threads, out)?;
+        return Ok((vec![selector], trained));
+    }
+    let fresh = |make: &dyn Fn() -> Box<dyn ApSelector + Send>| {
+        (0..shards).map(|_| make()).collect::<Vec<_>>()
+    };
+    Ok(match policy {
+        PolicyKind::Llf => (fresh(&|| Box::new(LeastLoadedFirst::new())), 0),
+        PolicyKind::LeastUsers => (fresh(&|| Box::new(LeastUsers::new())), 0),
+        PolicyKind::Rssi => (fresh(&|| Box::new(StrongestRssi::new())), 0),
+        PolicyKind::Random => {
+            // Unreachable from the CLI (rejected at parse time): one
+            // sequential RNG stream cannot be split across shards.
+            return Err(CliError::Usage(
+                "--shards > 1 does not support --policy random".into(),
+            ));
+        }
+        PolicyKind::S3 => {
+            let span = demands.last().expect("non-empty").arrive.day() + 1;
+            let effective = if train_days == 0 {
+                (span * 7) / 10 // default: first 70 % of days
+            } else {
+                train_days
+            };
+            let model = train_s3(demands, engine, effective, seed, threads);
+            writeln!(
+                out,
+                "trained S3 on the first {effective} days: {} known pairs, {} types",
+                model.known_pairs(),
+                model.type_count()
+            )?;
+            let selectors = (0..shards)
+                .map(|_| {
+                    Box::new(S3Selector::new(model.clone(), s3_config(threads)))
+                        as Box<dyn ApSelector + Send>
+                })
+                .collect();
+            (selectors, effective)
+        }
+    })
+}
+
 #[allow(clippy::too_many_arguments)]
 fn replay<W: Write>(
     demands_path: &Path,
@@ -359,6 +424,7 @@ fn replay<W: Write>(
     rebalance: bool,
     aps_per_building: usize,
     threads: usize,
+    shards: usize,
     lenient: bool,
     out: &mut W,
 ) -> Result<(), CliError> {
@@ -369,10 +435,18 @@ fn replay<W: Write>(
         ..SimConfig::default()
     };
     let engine = SimEngine::new(topology, sim_config);
-    let (mut selector, _) =
-        build_selector(&demands, &engine, policy, seed, train_days, threads, out)?;
+    let (mut selectors, _) = build_shard_selectors(
+        &demands, &engine, policy, seed, train_days, threads, shards, out,
+    )?;
 
-    let result = engine.run_unsorted(&demands, selector.as_mut());
+    let result = if shards > 1 {
+        let mut source = SliceSource::new(&demands);
+        engine
+            .run_sharded_source(&mut source, &mut selectors)
+            .map_err(engine_err)?
+    } else {
+        engine.run_unsorted(&demands, selectors[0].as_mut())
+    };
     let file = File::create(out_path)?;
     csv::write_sessions(BufWriter::new(file), &result.records)?;
 
@@ -444,6 +518,7 @@ fn replay_streamed<W: Write>(
     train_days: u64,
     aps_per_building: usize,
     threads: usize,
+    shards: usize,
     lenient: bool,
     out: &mut W,
 ) -> Result<(), CliError> {
@@ -494,11 +569,16 @@ fn replay_streamed<W: Write>(
     };
     let engine = SimEngine::new(Topology::from_campus(&config), SimConfig::default());
 
-    let mut selector: Box<dyn ApSelector> = match policy {
-        PolicyKind::Llf => Box::new(LeastLoadedFirst::new()),
-        PolicyKind::LeastUsers => Box::new(LeastUsers::new()),
-        PolicyKind::Rssi => Box::new(StrongestRssi::new()),
-        PolicyKind::Random => Box::new(RandomSelector::new(seed)),
+    // One selector per shard; `--shards 1` (the default) is the unified
+    // engine. Random is single-shard only (enforced at parse time).
+    let fresh = |make: &dyn Fn() -> Box<dyn ApSelector + Send>| {
+        (0..shards).map(|_| make()).collect::<Vec<_>>()
+    };
+    let mut selectors: Vec<Box<dyn ApSelector + Send>> = match policy {
+        PolicyKind::Llf => fresh(&|| Box::new(LeastLoadedFirst::new())),
+        PolicyKind::LeastUsers => fresh(&|| Box::new(LeastUsers::new())),
+        PolicyKind::Rssi => fresh(&|| Box::new(StrongestRssi::new())),
+        PolicyKind::Random => vec![Box::new(RandomSelector::new(seed))],
         PolicyKind::S3 => {
             let span = last_day + 1;
             let effective = if train_days == 0 {
@@ -523,7 +603,12 @@ fn replay_streamed<W: Write>(
                 model.known_pairs(),
                 model.type_count()
             )?;
-            Box::new(S3Selector::new(model, s3_config(threads)))
+            (0..shards)
+                .map(|_| {
+                    Box::new(S3Selector::new(model.clone(), s3_config(threads)))
+                        as Box<dyn ApSelector + Send>
+                })
+                .collect()
         }
     };
 
@@ -535,7 +620,7 @@ fn replay_streamed<W: Write>(
     };
     csv::write_session_header(&mut sink.writer)?;
     let totals = engine
-        .run_streamed(&mut source, selector.as_mut(), &mut sink)
+        .run_sharded_streamed(&mut source, &mut selectors, &mut sink)
         .map_err(engine_err)?;
     let StreamingReplaySink {
         mut writer,
@@ -869,6 +954,7 @@ fn trace<W: Write>(
     rebalance: bool,
     aps_per_building: usize,
     threads: usize,
+    shards: usize,
     lenient: bool,
     out: &mut W,
 ) -> Result<(), CliError> {
@@ -879,12 +965,14 @@ fn trace<W: Write>(
         ..SimConfig::default()
     };
     let engine = SimEngine::new(topology, sim_config);
-    let (mut selector, trained_days) =
-        build_selector(&demands, &engine, policy, seed, train_days, threads, out)?;
+    let (mut selectors, trained_days) = build_shard_selectors(
+        &demands, &engine, policy, seed, train_days, threads, shards, out,
+    )?;
 
     // The canonical run-configuration string behind the header's config
     // hash: everything that shapes decisions, and nothing that does not
-    // (the thread count is provenance, recorded in its own header field).
+    // (the thread and shard counts are provenance, recorded in their own
+    // header fields — log bodies are byte-identical across both).
     let canonical = format!(
         "policy={};seed={seed};train-days={trained_days};rebalance={};\
          aps-per-building={aps_per_building};demands={}",
@@ -896,13 +984,14 @@ fn trace<W: Write>(
         engine.topology(),
         seed,
         threads as u64,
+        shards as u64,
         policy.name(),
         config_hash(&canonical),
     );
     let mut sink = TraceSink::new(BufWriter::new(File::create(out_path)?), &header)?;
     let mut source = SliceSource::new(&demands);
     let totals = engine
-        .run_traced(&mut source, selector.as_mut(), &mut sink)
+        .run_sharded_traced(&mut source, &mut selectors, &mut sink)
         .map_err(engine_err)?;
     let records = sink.records_written();
     sink.finish()?.flush()?;

@@ -96,12 +96,13 @@ pub const USAGE: &str = "\
 s3wlan — social-aware WLAN load balancing toolkit
 
 USAGE:
-  s3wlan generate --out <demands.csv> [--seed N] [--users N] [--buildings N]
-                  [--aps-per-building N] [--days N] [--faults <spec>]
+  s3wlan generate --out <demands.csv> [--scale campus|district|city] [--seed N]
+                  [--users N] [--buildings N] [--aps-per-building N] [--days N]
+                  [--faults <spec>]
   s3wlan replay   --demands <demands.csv> --policy <llf|s3|least-users|rssi|random>
                   --out <sessions.csv> [--seed N] [--train-days N] [--rebalance]
-                  [--stream] [--threads N] [--metrics-out <m.json|m.csv>]
-                  [--metrics-full] [--lenient]
+                  [--stream] [--threads N] [--shards N]
+                  [--metrics-out <m.json|m.csv>] [--metrics-full] [--lenient]
   s3wlan convert  --in <foreign.csv> --out <sessions.csv> [--maps-dir <dir>]
                   [--lenient]
   s3wlan analyze  --sessions <sessions.csv> [--seed N] [--threads N]
@@ -111,13 +112,25 @@ USAGE:
   s3wlan summary  --metrics <m.json>
   s3wlan trace    --demands <demands.csv> --policy <llf|s3|least-users|rssi|random>
                   --out <decisions.jsonl> [--seed N] [--train-days N]
-                  [--rebalance] [--threads N] [--aps-per-building N] [--lenient]
+                  [--rebalance] [--threads N] [--shards N] [--aps-per-building N]
+                  [--lenient]
   s3wlan check-trace --trace <decisions.jsonl>
   s3wlan replay   --step --trace <decisions.jsonl>
 
 THREADS:
   --threads N runs training and analysis on N worker threads (default:
   all available cores; 0 = auto). Results are bit-identical for any N.
+
+SHARDS:
+  --shards N partitions the simulation into N controller-domain shards,
+  each replaying its own controllers on a dedicated worker thread and
+  synchronizing at per-batch epoch barriers (default 1 = the unified
+  single-threaded engine). Session CSVs, metrics snapshots and decision
+  log bodies are byte-identical for any N; --policy random is single-
+  shard only (one sequential RNG stream). generate --scale picks a
+  topology preset (campus, district, or city: 10^6 users over 10^4 APs)
+  for sharded benchmarking; explicit flags override preset fields.
+  See docs/ENGINE.md.
 
 STREAMING:
   replay --stream pulls demands straight off disk and writes each session
@@ -142,8 +155,9 @@ TRACING:
   session CSV. check-trace replays the log against the engine's
   invariants and exits nonzero with a line-numbered violation report.
   replay --step opens an interactive single-step debugger over a recorded
-  log. Log bodies are byte-identical for any --threads value. See
-  docs/TRACING.md for the record schema and invariant catalogue.
+  log. Log bodies are byte-identical for any --threads or --shards
+  value. See docs/TRACING.md for the record schema and invariant
+  catalogue.
 
 METRICS:
   --metrics-out writes the process-wide instrumentation registry as a

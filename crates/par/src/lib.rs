@@ -29,6 +29,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod mailbox;
+
 use std::num::NonZeroUsize;
 
 use s3_obs::{Desc, Stability, Unit};

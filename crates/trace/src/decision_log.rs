@@ -43,6 +43,11 @@ pub struct TraceHeader {
     /// Requested worker-thread count (`0` = auto). Provenance only —
     /// decisions never depend on it.
     pub threads: u64,
+    /// Requested controller-domain shard count (`1` = the unified
+    /// engine). Provenance only, like `threads`: shard outputs are merged
+    /// in canonical order, so decision lines never depend on it. Absent
+    /// in logs written before sharding existed; parsed as `1`.
+    pub shards: u64,
     /// Policy name (e.g. `llf`, `s3`).
     pub strategy: String,
     /// FNV-1a hash of the canonical run-configuration string
@@ -283,8 +288,8 @@ pub fn encode_header(header: &TraceHeader) -> String {
     use fmt::Write as _;
     write!(
         s,
-        ",\"seed\":{},\"threads\":{}",
-        header.seed, header.threads
+        ",\"seed\":{},\"threads\":{},\"shards\":{}",
+        header.seed, header.threads, header.shards
     )
     .expect("string write is infallible");
     s.push_str(",\"strategy\":");
@@ -582,6 +587,17 @@ impl Fields {
             .ok_or_else(|| format!("missing field {key:?}"))
     }
 
+    /// Like [`Fields::u64`], but a missing field yields `default` — for
+    /// fields added to the format after logs already existed (a present
+    /// field with the wrong type is still an error).
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        if self.0.iter().any(|(k, _)| k == key) {
+            self.u64(key)
+        } else {
+            Ok(default)
+        }
+    }
+
     fn u64(&self, key: &str) -> Result<u64, String> {
         match self.get(key)? {
             Val::Num(raw) => raw
@@ -678,6 +694,7 @@ pub fn parse_header(line: &str) -> Result<TraceHeader, String> {
     Ok(TraceHeader {
         seed: fields.u64("seed")?,
         threads: fields.u64("threads")?,
+        shards: fields.u64_or("shards", 1)?,
         strategy: fields.str("strategy")?.to_string(),
         config_hash,
         ap_capacity_bps: fields.arr_f64("caps")?,
@@ -883,6 +900,7 @@ mod tests {
         TraceHeader {
             seed: 42,
             threads: 8,
+            shards: 4,
             strategy: "s3".into(),
             config_hash: config_hash("policy=s3;seed=42"),
             ap_capacity_bps: vec![1e8, 1e8, 12_345.678],
@@ -1014,6 +1032,21 @@ mod tests {
         assert!(err.contains("unsupported format"), "{err}");
         let err = parse_header("{\"format\":\"s3-dtrace/1\",\"seed\":1}").unwrap_err();
         assert!(err.contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn header_without_shards_parses_as_one() {
+        // Logs written before controller-domain sharding existed carry no
+        // "shards" field; they must keep parsing, as unified (1-shard)
+        // runs. A present field with the wrong type is still an error.
+        let mut old = encode_header(&header()).replace(",\"shards\":4", "");
+        assert!(!old.contains("shards"));
+        let parsed = parse_header(&old).unwrap();
+        assert_eq!(parsed.shards, 1);
+        assert_eq!(parsed.threads, 8, "other fields unaffected");
+        old = old.replace(",\"strategy\"", ",\"shards\":\"four\",\"strategy\"");
+        let err = parse_header(&old).unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
     }
 
     #[test]

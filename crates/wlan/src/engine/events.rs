@@ -125,6 +125,15 @@ impl EventQueue {
     pub fn push(&mut self, at: Timestamp, payload: EventPayload) {
         let seq = self.seq;
         self.seq += 1;
+        self.push_with_seq(at, seq, payload);
+    }
+
+    /// Schedules `payload` at `at` under an externally assigned sequence
+    /// number. The sharded engine's coordinator numbers events globally
+    /// (a pure function of the cycle structure), so shard-local queues
+    /// order by the same `(time, rank, seq)` key the unified queue would
+    /// have used; the internal counter is not advanced.
+    pub fn push_with_seq(&mut self, at: Timestamp, seq: u64, payload: EventPayload) {
         self.heap.push(Reverse(Event { at, seq, payload }));
         self.peak = self.peak.max(self.heap.len());
     }
@@ -149,12 +158,19 @@ impl EventQueue {
     /// to a histogram (not a gauge) so concurrent sweep runs stay
     /// order-independent.
     pub fn publish(&self) {
-        let registry = s3_obs::global();
-        registry.counter(&EVENTS_PROCESSED).add(self.processed);
-        registry
-            .histogram(&EVENTS_QUEUE_PEAK)
-            .observe(self.peak as u64);
+        publish_queue_totals(self.processed, self.peak);
     }
+}
+
+/// Publishes one run's queue metrics. Shared by [`EventQueue::publish`]
+/// and the sharded coordinator's queue mirror, which replays the unified
+/// queue's push/pop sequence to reproduce the exact same totals without
+/// owning real events (shard-local queues never publish — the mirror
+/// speaks for all of them so the metrics snapshot is shard-invariant).
+pub fn publish_queue_totals(processed: u64, peak: usize) {
+    let registry = s3_obs::global();
+    registry.counter(&EVENTS_PROCESSED).add(processed);
+    registry.histogram(&EVENTS_QUEUE_PEAK).observe(peak as u64);
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@
 
 mod events;
 mod runner;
+mod shard;
 mod source;
 mod state;
 pub mod tracing;
@@ -251,6 +252,91 @@ impl SimEngine {
         sink: &mut dyn RecordSink,
     ) -> Result<RunTotals, EngineError> {
         self.run_events(source, selector, sink)
+    }
+
+    /// Routes a run to the unified loop (one selector) or the sharded
+    /// engine (one shard per selector). A single shard has nothing to
+    /// merge, so it delegates straight to [`SimEngine::run_events`] —
+    /// `--shards 1` *is* the unified engine, not a one-worker pipeline.
+    fn run_events_dispatch(
+        &self,
+        source: &mut dyn DemandSource,
+        selectors: &mut [Box<dyn ApSelector + Send>],
+        sink: &mut dyn RecordSink,
+    ) -> Result<RunTotals, EngineError> {
+        match selectors {
+            [] => panic!("at least one selector required"),
+            [only] => self.run_events(source, &mut **only, sink),
+            _ => self.run_events_sharded(source, selectors, sink),
+        }
+    }
+
+    /// [`SimEngine::run_source`] over controller-domain shards: one
+    /// worker per selector, each owning a contiguous slice of the
+    /// controller space, synchronized at per-batch epoch barriers. The
+    /// result is byte-identical to the unified engine for any selector
+    /// whose decisions are a pure function of its controller group (every
+    /// shipped policy except `random`, which draws from one sequential
+    /// RNG stream). See `docs/ENGINE.md` for the sharding model.
+    ///
+    /// Each shard needs its own selector value because selectors are
+    /// stateful; build N equivalent instances (for trained policies,
+    /// train once and clone the model).
+    ///
+    /// # Errors
+    ///
+    /// As [`SimEngine::run_source`].
+    pub fn run_sharded_source(
+        &self,
+        source: &mut dyn DemandSource,
+        selectors: &mut [Box<dyn ApSelector + Send>],
+    ) -> Result<SimResult, EngineError> {
+        let mut sink = CollectSink::with_capacity(source.len_hint().unwrap_or(0));
+        let totals = self.run_events_dispatch(source, selectors, &mut sink)?;
+        let mut records = sink.records;
+        records.sort_by_key(|r| (r.connect, r.user, r.ap));
+        Ok(SimResult {
+            records,
+            rejected: totals.rejected,
+            migrations: totals.migrations,
+        })
+    }
+
+    /// [`SimEngine::run_streamed`] over controller-domain shards; the
+    /// emitted record stream is byte-identical to the unified streamed
+    /// run (and to the in-memory paths).
+    ///
+    /// # Errors
+    ///
+    /// As [`SimEngine::run_streamed`] (in particular
+    /// [`EngineError::StreamedRebalance`] with the rebalancer on).
+    pub fn run_sharded_streamed(
+        &self,
+        source: &mut dyn DemandSource,
+        selectors: &mut [Box<dyn ApSelector + Send>],
+        sink: &mut dyn RecordSink,
+    ) -> Result<RunTotals, EngineError> {
+        if self.config.rebalance.is_some() {
+            return Err(EngineError::StreamedRebalance);
+        }
+        self.run_events_dispatch(source, selectors, sink)
+    }
+
+    /// [`SimEngine::run_traced`] over controller-domain shards: shard
+    /// outputs are merged in the canonical cycle order before the sink
+    /// observes them, so `s3-dtrace/1` bodies are byte-identical across
+    /// shard counts.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimEngine::run_traced`].
+    pub fn run_sharded_traced(
+        &self,
+        source: &mut dyn DemandSource,
+        selectors: &mut [Box<dyn ApSelector + Send>],
+        sink: &mut dyn RecordSink,
+    ) -> Result<RunTotals, EngineError> {
+        self.run_events_dispatch(source, selectors, sink)
     }
 }
 
@@ -637,5 +723,242 @@ mod tests {
             spread(&rebalanced.records) > spread(&plain.records),
             "rebalancing must spread sessions over more APs"
         );
+    }
+
+    /// Shard-invariance suite: the controller-domain sharded engine must
+    /// reproduce the unified engine byte for byte — results, streamed
+    /// record order and `s3-dtrace/1` log bodies — at every shard count,
+    /// including more shards than controllers (empty shards).
+    mod sharded {
+        use super::*;
+        use s3_trace::decision_log::config_hash;
+
+        fn shard_selectors(n: usize) -> Vec<Box<dyn ApSelector + Send>> {
+            (0..n)
+                .map(|_| Box::new(LeastLoadedFirst::new()) as Box<dyn ApSelector + Send>)
+                .collect()
+        }
+
+        fn run_sharded(
+            engine: &SimEngine,
+            demands: &[SessionDemand],
+            mut selectors: Vec<Box<dyn ApSelector + Send>>,
+        ) -> SimResult {
+            let mut source = SliceSource::new(demands);
+            engine
+                .run_sharded_source(&mut source, &mut selectors)
+                .unwrap()
+        }
+
+        /// A generated four-controller campus, sorted for replay.
+        fn four_controller_fixture() -> (CampusConfig, Vec<SessionDemand>) {
+            let config = CampusConfig {
+                buildings: 4,
+                aps_per_building: 3,
+                users: 60,
+                days: 2,
+                ..CampusConfig::campus()
+            };
+            let campus = CampusGenerator::new(config, 21).generate();
+            let mut demands = campus.demands;
+            demands.sort_by_key(|d| (d.arrive, d.user));
+            (campus.config, demands)
+        }
+
+        /// The `s3-dtrace/1` log body (header line stripped) of a traced
+        /// run at `shards`; `shards == 1` is the unified engine.
+        fn traced_body(engine: &SimEngine, demands: &[SessionDemand], shards: usize) -> String {
+            let header = trace_header(
+                engine.topology(),
+                7,
+                1,
+                shards as u64,
+                "llf",
+                config_hash("shard-tests"),
+            );
+            let mut sink = TraceSink::new(Vec::new(), &header).unwrap();
+            let mut source = SliceSource::new(demands);
+            if shards == 1 {
+                engine
+                    .run_traced(&mut source, &mut LeastLoadedFirst::new(), &mut sink)
+                    .unwrap();
+            } else {
+                let mut selectors = shard_selectors(shards);
+                engine
+                    .run_sharded_traced(&mut source, &mut selectors, &mut sink)
+                    .unwrap();
+            }
+            let log = String::from_utf8(sink.finish().unwrap()).unwrap();
+            log.split_once('\n').unwrap().1.to_string()
+        }
+
+        #[test]
+        fn replay_matches_unified_at_every_shard_count() {
+            let (config, demands) = four_controller_fixture();
+            let engine = SimEngine::new(Topology::from_campus(&config), SimConfig::default());
+            let unified = engine.run(&demands, &mut LeastLoadedFirst::new());
+            // 8 > 4 controllers: the last four shards own nothing and must
+            // stay byte-transparent.
+            for shards in [1, 2, 3, 4, 8] {
+                let sharded = run_sharded(&engine, &demands, shard_selectors(shards));
+                assert_eq!(sharded, unified, "shards={shards}");
+            }
+        }
+
+        #[test]
+        fn rebalancing_replay_matches_unified() {
+            let engine = rebalancing_engine();
+            let demands = stacked_demands();
+            let unified = engine.run(&demands, &mut Stacker);
+            assert!(
+                unified.migrations > 0,
+                "fixture must exercise the rebalancer"
+            );
+            for shards in [2, 4] {
+                let selectors: Vec<Box<dyn ApSelector + Send>> = (0..shards)
+                    .map(|_| Box::new(Stacker) as Box<dyn ApSelector + Send>)
+                    .collect();
+                let sharded = run_sharded(&engine, &demands, selectors);
+                assert_eq!(sharded, unified, "shards={shards}");
+            }
+        }
+
+        #[test]
+        fn streamed_emission_order_matches_unified() {
+            let (config, demands) = four_controller_fixture();
+            let engine = SimEngine::new(Topology::from_campus(&config), SimConfig::default());
+            let unified = engine.run(&demands, &mut LeastLoadedFirst::new());
+
+            let mut selectors = shard_selectors(3);
+            let mut source = SliceSource::new(&demands);
+            let mut sink = CollectSink::default();
+            let totals = engine
+                .run_sharded_streamed(&mut source, &mut selectors, &mut sink)
+                .unwrap();
+            // Emission order IS the final order, exactly as in the unified
+            // streaming contract.
+            assert_eq!(sink.records, unified.records);
+            assert_eq!(totals.records, unified.records.len());
+            assert_eq!(totals.placed, demands.len());
+        }
+
+        #[test]
+        fn trace_bodies_are_byte_identical_across_shard_counts() {
+            // Rebalancer on, so tick/move/report records are all covered.
+            let (config, demands) = four_controller_fixture();
+            let engine = SimEngine::new(
+                Topology::from_campus(&config),
+                SimConfig {
+                    rebalance: Some(RebalanceConfig::default()),
+                    ..SimConfig::default()
+                },
+            );
+            let unified = traced_body(&engine, &demands, 1);
+            for shards in [2, 4, 8] {
+                assert_eq!(
+                    traced_body(&engine, &demands, shards),
+                    unified,
+                    "shards={shards}"
+                );
+            }
+        }
+
+        #[test]
+        fn epoch_barrier_edge_cases_match_unified() {
+            // The three barrier edge cases of the sharding contract:
+            // (a) a session arriving and departing inside a single epoch,
+            // (b) arrivals/departures exactly on a rebalance barrier
+            //     timestamp (300 s epochs here),
+            // (c) more shards than controllers, so some shards run every
+            //     cycle with nothing to do.
+            let engine = rebalancing_engine();
+            let demands = vec![
+                demand(1, 0, 100, 110, 50), // in and out within one epoch
+                demand(2, 0, 300, 600, 80), // arrives on a barrier, departs on the next
+                demand(3, 1, 300, 450, 80), // same barrier, other controller
+                demand(4, 1, 550, 600, 10), // departs exactly on a barrier
+            ];
+            let unified = engine.run(&demands, &mut LeastLoadedFirst::new());
+            for shards in [2, 8] {
+                let sharded = run_sharded(&engine, &demands, shard_selectors(shards));
+                assert_eq!(sharded, unified, "shards={shards}");
+            }
+            // The decision logs agree record for record as well.
+            let body = traced_body(&engine, &demands, 1);
+            for shards in [2, 8] {
+                assert_eq!(
+                    traced_body(&engine, &demands, shards),
+                    body,
+                    "shards={shards}"
+                );
+            }
+        }
+
+        #[test]
+        fn sharded_trace_passes_the_invariant_checker() {
+            let (config, demands) = four_controller_fixture();
+            let engine = SimEngine::new(
+                Topology::from_campus(&config),
+                SimConfig {
+                    rebalance: Some(RebalanceConfig::default()),
+                    ..SimConfig::default()
+                },
+            );
+            let header = trace_header(
+                engine.topology(),
+                7,
+                1,
+                4,
+                "llf",
+                config_hash("shard-tests"),
+            );
+            let mut sink = TraceSink::new(Vec::new(), &header).unwrap();
+            let mut source = SliceSource::new(&demands);
+            let mut selectors = shard_selectors(4);
+            engine
+                .run_sharded_traced(&mut source, &mut selectors, &mut sink)
+                .unwrap();
+            let log = sink.finish().unwrap();
+            let report = check_log(BufReader::new(log.as_slice())).unwrap();
+            assert!(
+                report.is_clean(),
+                "sharded trace violates invariants: {:?}",
+                report.violations
+            );
+        }
+
+        #[test]
+        fn corrupt_topology_is_an_error_not_a_panic() {
+            use crate::topology::{default_ap_capacity, ApInfo};
+            // Sparse AP ids (0 missing) make `Topology::ap` fail for every
+            // listed id — the malformed input shape behind the former
+            // `expect("ap exists")` panic. Both engines must surface it as
+            // a structured `MissingAp` error.
+            let ap = |id: u32, position: (f64, f64)| ApInfo {
+                id: ApId::new(id),
+                building: BuildingId::new(0),
+                controller: ControllerId::new(0),
+                capacity: default_ap_capacity(),
+                position,
+            };
+            let engine = SimEngine::new(
+                Topology::from_aps(vec![ap(1, (1.0, 1.0)), ap(2, (2.0, 2.0))]),
+                SimConfig::default(),
+            );
+            let demands = vec![demand(1, 0, 100, 200, 1)];
+
+            let mut source = SliceSource::new(&demands);
+            let err = engine
+                .run_source(&mut source, &mut LeastLoadedFirst::new())
+                .unwrap_err();
+            assert!(matches!(err, EngineError::MissingAp { .. }), "{err}");
+
+            let mut source = SliceSource::new(&demands);
+            let mut selectors = shard_selectors(2);
+            let err = engine
+                .run_sharded_source(&mut source, &mut selectors)
+                .unwrap_err();
+            assert!(matches!(err, EngineError::MissingAp { .. }), "{err}");
+        }
     }
 }

@@ -36,89 +36,91 @@ use std::collections::HashMap;
 
 use s3_obs::{Counter, Desc, Histogram, HistogramDesc, Stability, Unit};
 use s3_trace::{SessionDemand, SessionRecord};
-use s3_types::{ControllerId, Timestamp};
+use s3_types::{ApId, ControllerId, TimeDelta, Timestamp, UserId};
 
 use super::events::{Event, EventPayload, EventQueue};
 use super::source::{DemandSource, EngineError, RecordSink};
 use super::state::{Active, RunState};
 use super::tracing::TraceEvent;
-use super::SimEngine;
+use super::{RebalanceConfig, SimEngine};
 use crate::radio::{distance, rssi_at, session_position};
-use crate::selector::{ApSelector, ApView, ArrivalUser};
+use crate::selector::{ApSelector, ApView, ArrivalUser, DecisionMeta};
 
 // Replay-engine metrics (documented in docs/METRICS.md). The engine is
 // sequential within a run, and sweep binaries that replay many scenarios in
 // parallel only ever *add* (u64 addition is associative), so every value
-// here is a pure function of the demand stream and topology.
-static RUNS: Desc = Desc {
+// here is a pure function of the demand stream and topology. The sharded
+// coordinator (`super::shard`) publishes the same descriptors, hence the
+// module-level visibility.
+pub(super) static RUNS: Desc = Desc {
     name: "wlan.engine.runs",
     help: "Replay runs executed",
     unit: Unit::Count,
     stability: Stability::Stable,
 };
-static DEMANDS: Desc = Desc {
+pub(super) static DEMANDS: Desc = Desc {
     name: "wlan.engine.demands",
     help: "Session demands fed into replay runs",
     unit: Unit::Count,
     stability: Stability::Stable,
 };
-static BATCHES: Desc = Desc {
+pub(super) static BATCHES: Desc = Desc {
     name: "wlan.engine.batches",
     help: "Arrival batches presented to the selection policy",
     unit: Unit::Count,
     stability: Stability::Stable,
 };
-static BATCH_SIZE: HistogramDesc = HistogramDesc {
+pub(super) static BATCH_SIZE: HistogramDesc = HistogramDesc {
     name: "wlan.engine.batch_size",
     help: "Arrivals grouped into each batch window",
     unit: Unit::Count,
     stability: Stability::Stable,
     bounds: &[1, 2, 4, 8, 16, 32, 64],
 };
-static PLACEMENTS: Desc = Desc {
+pub(super) static PLACEMENTS: Desc = Desc {
     name: "wlan.engine.placements",
     help: "Sessions placed on an AP by the policy",
     unit: Unit::Count,
     stability: Stability::Stable,
 };
-static REJECTED: Desc = Desc {
+pub(super) static REJECTED: Desc = Desc {
     name: "wlan.engine.rejected",
     help: "Demands with no candidate AP (controller without APs)",
     unit: Unit::Count,
     stability: Stability::Stable,
 };
-static DEPARTURES: Desc = Desc {
+pub(super) static DEPARTURES: Desc = Desc {
     name: "wlan.engine.departures",
     help: "Sessions closed at their scheduled departure time",
     unit: Unit::Count,
     stability: Stability::Stable,
 };
-static MIGRATIONS: Desc = Desc {
+pub(super) static MIGRATIONS: Desc = Desc {
     name: "wlan.engine.migrations",
     help: "Mid-session migrations performed by the online rebalancer",
     unit: Unit::Count,
     stability: Stability::Stable,
 };
-static LOAD_REPORTS: Desc = Desc {
+pub(super) static LOAD_REPORTS: Desc = Desc {
     name: "wlan.engine.load_reports",
     help: "Controller load-report refreshes (policies see loads as of the last one)",
     unit: Unit::Count,
     stability: Stability::Stable,
 };
-static REBALANCE_ROUNDS: Desc = Desc {
+pub(super) static REBALANCE_ROUNDS: Desc = Desc {
     name: "wlan.engine.rebalance_rounds",
     help: "Online-rebalancer rounds executed",
     unit: Unit::Count,
     stability: Stability::Stable,
 };
-static AP_LOAD_KBPS: HistogramDesc = HistogramDesc {
+pub(super) static AP_LOAD_KBPS: HistogramDesc = HistogramDesc {
     name: "wlan.engine.ap_load_kbps",
     help: "Per-AP load sampled at every controller report refresh",
     unit: Unit::Kbps,
     stability: Stability::Stable,
     bounds: &[100, 1_000, 5_000, 10_000, 25_000, 50_000, 100_000],
 };
-static RUN_MICROS: HistogramDesc = HistogramDesc {
+pub(super) static RUN_MICROS: HistogramDesc = HistogramDesc {
     name: "wlan.engine.run_micros",
     help: "Wall-clock duration of each replay run",
     unit: Unit::Micros,
@@ -225,55 +227,22 @@ impl SimEngine {
             load_reports: registry.counter(&LOAD_REPORTS),
             ap_load_kbps: registry.histogram(&AP_LOAD_KBPS),
         };
-        let mut last_report: Option<u64> = None;
-        let mut last_rebalance: Option<u64> = None;
-        let mut pending = source.next_demand().map_err(EngineError::Source)?;
+        let mut epochs = EpochSchedule::new();
+        let mut pending: Option<SessionDemand> = None;
 
-        while let Some(head_demand) = pending.take() {
-            let batch_head = head_demand.arrive;
-            let deadline = batch_head + self.config.batch_window;
-            // Collect the batch: every demand arriving at or before the
-            // deadline (inclusive — the `<=` convention is load-bearing,
-            // see `demand_at_exact_window_boundary_joins_the_batch`).
-            let mut batch = vec![head_demand];
-            while let Some(d) = source.next_demand().map_err(EngineError::Source)? {
-                let prev = batch.last().expect("batch starts non-empty").arrive;
-                if d.arrive < prev {
-                    return Err(EngineError::Unsorted {
-                        prev: prev.as_secs(),
-                        next: d.arrive.as_secs(),
-                    });
-                }
-                if d.arrive <= deadline {
-                    batch.push(d);
-                } else {
-                    pending = Some(d);
-                    break;
-                }
-            }
+        while let Some(batch) = next_batch(source, &mut pending, self.config.batch_window)? {
+            let batch_head = batch[0].arrive;
             demands_total.add(batch.len() as u64);
 
             // Epoch events fire lazily, at batch heads that land in a new
             // epoch — an idle trace gap runs no reports (exactly the old
             // loop's lazy-epoch semantics, which the metric identity
             // contract pins).
-            if let Some(rb) = &rebalance {
-                if !rb.interval.is_zero() {
-                    let epoch = batch_head.as_secs() / rb.interval.as_secs();
-                    if last_rebalance != Some(epoch) {
-                        ctx.queue.push(batch_head, EventPayload::RebalanceTick);
-                        last_rebalance = Some(epoch);
-                    }
-                }
+            if epochs.tick_due(batch_head, rebalance.as_ref()) {
+                ctx.queue.push(batch_head, EventPayload::RebalanceTick);
             }
-            let report_epoch = if self.config.load_report_interval.is_zero() {
-                None
-            } else {
-                Some(batch_head.as_secs() / self.config.load_report_interval.as_secs())
-            };
-            if report_epoch.is_none() || last_report != report_epoch {
+            if epochs.report_due(batch_head, self.config.load_report_interval) {
                 ctx.queue.push(batch_head, EventPayload::LoadReport);
-                last_report = report_epoch;
             }
             ctx.queue
                 .push(batch_head, EventPayload::ArrivalBatch { batch });
@@ -400,56 +369,22 @@ impl SimEngine {
                 }
                 continue;
             }
-            let mut users = std::mem::take(&mut ctx.arrivals);
-            users.clear();
-            users.extend(members.iter().map(|&i| {
-                let d = &batch[i];
-                let pos = session_position(d.user, d.arrive);
-                let rssi = aps
-                    .iter()
-                    .map(|&ap| {
-                        rssi_at(distance(
-                            pos,
-                            self.topology.ap(ap).expect("ap exists").position,
-                        ))
-                    })
-                    .collect();
-                ArrivalUser {
-                    user: d.user,
-                    now: d.arrive,
-                    demand_hint: d.mean_rate(),
-                    rssi,
-                }
-            }));
-            let picks = {
-                // Zero-copy candidate views borrowing the engine's live
-                // association state — nothing is cloned per candidate.
-                let mut views: Vec<ApView<'_>> = Vec::with_capacity(aps.len());
-                views.extend(aps.iter().map(|&ap| {
-                    ApView::new(
-                        ap,
-                        ctx.run.reported[ap.index()],
-                        self.topology.ap(ap).expect("ap exists").capacity,
-                        &ctx.run.state[ap.index()].associated,
-                    )
-                }));
-                ctx.selector.select_batch(&users, &views)
-            };
-            assert_eq!(picks.len(), users.len(), "one pick per user required");
-            ctx.arrivals = users;
+            let (picks, metas) = select_group(
+                &self.topology,
+                &ctx.run,
+                &mut *ctx.selector,
+                *controller,
+                aps,
+                members.iter().map(|&i| &batch[i]),
+                &mut ctx.arrivals,
+            )?;
             ctx.placements.add(picks.len() as u64);
             ctx.placed += picks.len();
-            // Decision metadata (clique id, degraded flag) is read back
-            // from the selector while the picks still correspond; direct
-            // field access keeps the borrow disjoint from the state
-            // mutation below.
-            let meta = ctx.selector.last_batch_meta();
             for (j, (&i, &pick)) in members.iter().zip(&picks).enumerate() {
-                assert!(pick < aps.len(), "selector pick out of range");
                 let d = &batch[i];
                 let ap = aps[pick];
                 let session_idx = ctx.run.place(d, ap);
-                let m = meta.and_then(|m| m.get(j)).copied().unwrap_or_default();
+                let m = metas[j];
                 ctx.sink
                     .observe(&TraceEvent::Select {
                         at: now,
@@ -493,73 +428,279 @@ impl SimEngine {
     /// one while the gap shrinks.
     fn rebalance_round(&self, ctx: &mut RunCtx<'_>, now: Timestamp) -> Result<(), EngineError> {
         s3_obs::global().counter(&REBALANCE_ROUNDS).inc();
+        let RunCtx {
+            run,
+            max_moves_per_round,
+            records,
+            sink,
+            ..
+        } = ctx;
         for controller in self.topology.controllers() {
             let aps = self.topology.aps_of_controller(controller);
-            if aps.len() < 2 {
-                continue;
-            }
-            for _ in 0..ctx.max_moves_per_round {
-                let mut max_ap = aps[0];
-                let mut min_ap = aps[0];
-                for &ap in aps {
-                    if ctx.run.state[ap.index()].load > ctx.run.state[max_ap.index()].load {
-                        max_ap = ap;
-                    }
-                    if ctx.run.state[ap.index()].load < ctx.run.state[min_ap.index()].load {
-                        min_ap = ap;
-                    }
-                }
-                let gap = ctx.run.state[max_ap.index()]
-                    .load
-                    .saturating_sub(ctx.run.state[min_ap.index()].load);
-                if gap.as_f64() <= 0.0 {
-                    break;
-                }
-                // The largest session on max_ap whose move still shrinks
-                // the gap (rate < gap). Ascending-index iteration plus
-                // last-max-wins `max_by` resolves rate ties to the most
-                // recently placed session, as the old slab scan did.
-                let candidate = ctx
-                    .run
-                    .sessions()
-                    .filter(|(_, s)| s.ap == max_ap && s.rate.as_f64() < gap.as_f64())
-                    .max_by(|a, b| {
-                        a.1.rate
-                            .as_f64()
-                            .partial_cmp(&b.1.rate.as_f64())
-                            .expect("finite rates")
-                    })
-                    .map(|(idx, _)| idx);
-                let Some(idx) = candidate else { break };
-                let active = ctx.run.session_mut(idx).expect("candidate is live");
-                // Close the segment on the old AP (skip zero-length ones).
-                let record = if now > active.segment_start {
-                    Some(active.close_segment(now, false))
-                } else {
-                    active.segment_start = now;
-                    None
-                };
-                let rate = active.rate;
-                let user = active.user;
-                let old = active.ap;
-                active.ap = min_ap;
-                ctx.run.migrations += 1;
-                ctx.observe(&TraceEvent::Move {
+            rebalance_controller(run, aps, *max_moves_per_round, now, &mut |mv| {
+                sink.observe(&TraceEvent::Move {
                     at: now,
-                    sid: idx,
-                    user,
-                    from: old,
-                    to: min_ap,
-                })?;
-                if let Some(record) = record {
-                    ctx.emit(record)?;
+                    sid: mv.sid,
+                    user: mv.user,
+                    from: mv.from,
+                    to: mv.to,
+                })
+                .map_err(EngineError::Sink)?;
+                if let Some(record) = mv.record {
+                    sink.emit(record).map_err(EngineError::Sink)?;
+                    *records += 1;
                 }
-                ctx.run.release(old, user, rate);
-                let new_state = &mut ctx.run.state[min_ap.index()];
-                new_state.load += rate;
-                new_state.associated.push(user);
-            }
+                Ok(())
+            })?;
         }
         Ok(())
     }
+}
+
+/// Pulls the next arrival batch from `source`: the head demand plus every
+/// demand arriving at or at most `window` after it (`<=` — the boundary
+/// demand joins the batch; a regression test pins the convention).
+/// `pending` carries the first demand past the deadline between calls.
+/// Shared by the unified loop and the sharded coordinator: batch
+/// boundaries are *global* — a per-shard batcher would group a
+/// controller's arrivals differently and change selector inputs — so they
+/// must come from exactly one implementation.
+pub(super) fn next_batch(
+    source: &mut dyn DemandSource,
+    pending: &mut Option<SessionDemand>,
+    window: TimeDelta,
+) -> Result<Option<Vec<SessionDemand>>, EngineError> {
+    let head = match pending.take() {
+        Some(d) => d,
+        None => match source.next_demand().map_err(EngineError::Source)? {
+            Some(d) => d,
+            None => return Ok(None),
+        },
+    };
+    let deadline = head.arrive + window;
+    let mut batch = vec![head];
+    while let Some(d) = source.next_demand().map_err(EngineError::Source)? {
+        let prev = batch.last().expect("batch starts non-empty").arrive;
+        if d.arrive < prev {
+            return Err(EngineError::Unsorted {
+                prev: prev.as_secs(),
+                next: d.arrive.as_secs(),
+            });
+        }
+        if d.arrive <= deadline {
+            batch.push(d);
+        } else {
+            *pending = Some(d);
+            break;
+        }
+    }
+    Ok(Some(batch))
+}
+
+/// Lazy epoch bookkeeping: rebalance ticks and load reports fire only at
+/// batch heads landing in a new `interval`-sized epoch. One implementation
+/// serves the unified loop and the sharded coordinator — the fire flags
+/// are part of the global cycle structure both paths must agree on
+/// bit-for-bit.
+pub(super) struct EpochSchedule {
+    last_report: Option<u64>,
+    last_rebalance: Option<u64>,
+}
+
+impl EpochSchedule {
+    pub fn new() -> Self {
+        EpochSchedule {
+            last_report: None,
+            last_rebalance: None,
+        }
+    }
+
+    /// Whether a rebalance tick fires at this batch head.
+    pub fn tick_due(&mut self, head: Timestamp, rebalance: Option<&RebalanceConfig>) -> bool {
+        let Some(rb) = rebalance else { return false };
+        if rb.interval.is_zero() {
+            return false;
+        }
+        let epoch = head.as_secs() / rb.interval.as_secs();
+        if self.last_rebalance == Some(epoch) {
+            false
+        } else {
+            self.last_rebalance = Some(epoch);
+            true
+        }
+    }
+
+    /// Whether a load report fires at this batch head (always, when the
+    /// interval is zero — the live-load oracle baseline).
+    pub fn report_due(&mut self, head: Timestamp, interval: TimeDelta) -> bool {
+        let epoch = if interval.is_zero() {
+            None
+        } else {
+            Some(head.as_secs() / interval.as_secs())
+        };
+        if epoch.is_some() && self.last_report == epoch {
+            false
+        } else {
+            self.last_report = epoch;
+            true
+        }
+    }
+}
+
+/// Runs the selector over one controller group: builds the arrival users
+/// (RSSI per candidate) and the zero-copy candidate views, asks the
+/// selector for one pick per user, and reads back the per-user decision
+/// metadata while the picks still correspond. Shared by the unified
+/// `place_batch` and the sharded workers — the inputs a selector sees for
+/// a group are a pure function of `(topology, run state, group demands)`,
+/// which is exactly why per-controller sharding cannot change decisions.
+///
+/// `arrivals` is a reusable buffer (the outer allocation survives across
+/// batches; only the per-user RSSI vectors are fresh).
+pub(super) fn select_group<'d>(
+    topology: &crate::topology::Topology,
+    run: &RunState,
+    selector: &mut dyn ApSelector,
+    controller: ControllerId,
+    aps: &[ApId],
+    demands: impl Iterator<Item = &'d SessionDemand>,
+    arrivals: &mut Vec<ArrivalUser>,
+) -> Result<(Vec<usize>, Vec<DecisionMeta>), EngineError> {
+    arrivals.clear();
+    for d in demands {
+        let pos = session_position(d.user, d.arrive);
+        let mut rssi = Vec::with_capacity(aps.len());
+        for &ap in aps {
+            let info = topology
+                .ap(ap)
+                .ok_or(EngineError::MissingAp { ap, controller })?;
+            rssi.push(rssi_at(distance(pos, info.position)));
+        }
+        arrivals.push(ArrivalUser {
+            user: d.user,
+            now: d.arrive,
+            demand_hint: d.mean_rate(),
+            rssi,
+        });
+    }
+    let picks = {
+        // Zero-copy candidate views borrowing the engine's live
+        // association state — nothing is cloned per candidate.
+        let mut views: Vec<ApView<'_>> = Vec::with_capacity(aps.len());
+        for &ap in aps {
+            let info = topology
+                .ap(ap)
+                .ok_or(EngineError::MissingAp { ap, controller })?;
+            views.push(ApView::new(
+                ap,
+                run.reported[ap.index()],
+                info.capacity,
+                &run.state[ap.index()].associated,
+            ));
+        }
+        selector.select_batch(arrivals, &views)
+    };
+    assert_eq!(picks.len(), arrivals.len(), "one pick per user required");
+    for &pick in &picks {
+        assert!(pick < aps.len(), "selector pick out of range");
+    }
+    let meta = selector.last_batch_meta();
+    let metas = (0..picks.len())
+        .map(|j| meta.and_then(|m| m.get(j)).copied().unwrap_or_default())
+        .collect();
+    Ok((picks, metas))
+}
+
+/// One migration performed by [`rebalance_controller`], handed to the
+/// caller's `apply` hook at the exact observe/emit point of the original
+/// loop: the session is already retargeted, its load not yet moved.
+pub(super) struct MoveOutcome {
+    /// Engine session index.
+    pub sid: u32,
+    /// The migrated user.
+    pub user: UserId,
+    /// AP the session left.
+    pub from: ApId,
+    /// AP the session joined.
+    pub to: ApId,
+    /// The closed segment on the old AP (`None` for zero-length ones).
+    pub record: Option<SessionRecord>,
+}
+
+/// One controller's greedy max-to-min migration round: repeatedly move
+/// the best-fitting session from the most-loaded AP to the least-loaded
+/// one while the gap shrinks, at most `max_moves` times. All state
+/// mutation lives here; trace/record emission differs between the unified
+/// and sharded paths and goes through `apply`. Controllers with fewer
+/// than two APs are no-ops.
+pub(super) fn rebalance_controller(
+    run: &mut RunState,
+    aps: &[ApId],
+    max_moves: usize,
+    now: Timestamp,
+    apply: &mut dyn FnMut(MoveOutcome) -> Result<(), EngineError>,
+) -> Result<(), EngineError> {
+    if aps.len() < 2 {
+        return Ok(());
+    }
+    for _ in 0..max_moves {
+        let mut max_ap = aps[0];
+        let mut min_ap = aps[0];
+        for &ap in aps {
+            if run.state[ap.index()].load > run.state[max_ap.index()].load {
+                max_ap = ap;
+            }
+            if run.state[ap.index()].load < run.state[min_ap.index()].load {
+                min_ap = ap;
+            }
+        }
+        let gap = run.state[max_ap.index()]
+            .load
+            .saturating_sub(run.state[min_ap.index()].load);
+        if gap.as_f64() <= 0.0 {
+            break;
+        }
+        // The largest session on max_ap whose move still shrinks the gap
+        // (rate < gap). Ascending-index iteration plus last-max-wins
+        // `max_by` resolves rate ties to the most recently placed
+        // session, as the old slab scan did.
+        let candidate = run
+            .sessions()
+            .filter(|(_, s)| s.ap == max_ap && s.rate.as_f64() < gap.as_f64())
+            .max_by(|a, b| {
+                a.1.rate
+                    .as_f64()
+                    .partial_cmp(&b.1.rate.as_f64())
+                    .expect("finite rates")
+            })
+            .map(|(idx, _)| idx);
+        let Some(idx) = candidate else { break };
+        let Some(active) = run.session_mut(idx) else {
+            return Err(EngineError::DeadSession { session: idx });
+        };
+        // Close the segment on the old AP (skip zero-length ones).
+        let record = if now > active.segment_start {
+            Some(active.close_segment(now, false))
+        } else {
+            active.segment_start = now;
+            None
+        };
+        let rate = active.rate;
+        let user = active.user;
+        let old = active.ap;
+        active.ap = min_ap;
+        run.migrations += 1;
+        apply(MoveOutcome {
+            sid: idx,
+            user,
+            from: old,
+            to: min_ap,
+            record,
+        })?;
+        run.release(old, user, rate);
+        let new_state = &mut run.state[min_ap.index()];
+        new_state.load += rate;
+        new_state.associated.push(user);
+    }
+    Ok(())
 }

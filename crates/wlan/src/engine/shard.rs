@@ -1,0 +1,841 @@
+//! Controller-domain sharding: the replay engine partitioned into
+//! shard-local event loops joined by deterministic epoch barriers.
+//!
+//! # Why sharding by controller is decision-preserving
+//!
+//! Every placement decision is a pure function of `(topology, shard-local
+//! run state, group demands)`: `place_batch` groups each arrival batch
+//! per controller, candidate APs never cross controllers, and the
+//! rebalancer migrates only within a controller's domain. Partitioning
+//! controllers across shards therefore cannot change any decision — only
+//! the *interleaving* of work. Three couplings remain global, and all
+//! three live on the coordinator:
+//!
+//! * **batch boundaries** — batches are formed from the global arrival
+//!   stream ([`next_batch`]); a per-shard batcher would group a
+//!   controller's arrivals differently and change selector inputs;
+//! * **identifier assignment** — session indices and event-queue
+//!   sequence numbers are pure functions of the cycle structure (what
+//!   fires this cycle, which members place), so the coordinator computes
+//!   them up front and shards schedule departures under the exact
+//!   `(time, rank, seq)` keys the unified queue would have used;
+//! * **output order** — each cycle's decisions are merged in the
+//!   canonical order of the unified drain: departures by `(time, seq)`
+//!   across shards, moves in ascending-controller order, one global load
+//!   report, then the batch's groups in first-appearance order.
+//!
+//! # Barrier model
+//!
+//! A *cycle* (one arrival batch plus everything due at its head) is the
+//! epoch. The coordinator forms the cycle, mails a [`CycleMsg`] to every
+//! shard, and each shard independently drains its own departures, runs
+//! its rebalance/report share, and places its groups. The barrier is the
+//! merge: cycle `c` is emitted only when every shard has returned its
+//! [`CycleOut`] for `c`. Up to [`PIPELINE_CYCLES`] cycles are in flight
+//! per shard, so shards overlap work without ever reordering output.
+//! Cross-shard events cannot exist mid-cycle by construction: a session
+//! lives and dies within one controller (roaming appears in traces as
+//! separate sessions), so the only cross-shard exchanges are the global
+//! batch fan-out and the merged report/trace stream — both at barriers.
+//!
+//! The result is byte-identical to the unified engine at any
+//! `--shards N × --threads M`: same records, same `s3-dtrace/1` bodies,
+//! same stable metrics (a [`QueueMirror`] on the coordinator replays the
+//! unified queue's push/pop sequence so even the queue-depth histogram
+//! matches).
+//!
+//! # Shard-invariance contract
+//!
+//! Selectors must be deterministic per controller group (decisions a
+//! pure function of the group's inputs). Every shipped policy satisfies
+//! this except `RandomSelector`, which draws from one sequential RNG
+//! stream — the CLI rejects `--shards > 1` with the random policy.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io;
+
+use s3_par::mailbox::{self, Receiver, Sender};
+use s3_trace::{SessionDemand, SessionRecord};
+use s3_types::{ApId, BitsPerSec, ControllerId, Timestamp, UserId};
+
+use super::events::{publish_queue_totals, EventPayload, EventQueue};
+use super::runner::{
+    next_batch, rebalance_controller, select_group, EpochSchedule, RunTotals, AP_LOAD_KBPS,
+    BATCHES, BATCH_SIZE, DEMANDS, DEPARTURES, LOAD_REPORTS, MIGRATIONS, PLACEMENTS,
+    REBALANCE_ROUNDS, REJECTED, RUNS, RUN_MICROS,
+};
+use super::source::{DemandSource, EngineError, RecordSink};
+use super::state::{Active, RunState};
+use super::tracing::TraceEvent;
+use super::SimEngine;
+use crate::selector::{ApSelector, ArrivalUser};
+use crate::topology::Topology;
+
+/// Cycles in flight per shard between the coordinator and the merge
+/// barrier. Mailbox capacities exceed this by a margin, so neither side
+/// ever blocks on a send — the window only bounds memory.
+const PIPELINE_CYCLES: usize = 16;
+
+/// Assignment of controllers to shards: the ascending controller list
+/// split into contiguous, near-equal chunks. Contiguity keeps the merged
+/// move stream in ascending-controller order by plain shard-order
+/// concatenation. Shards beyond the controller count stay empty (legal:
+/// an empty shard drains nothing and returns empty cycles).
+struct ShardPlan {
+    shards: Vec<Vec<ControllerId>>,
+    owner: HashMap<ControllerId, usize>,
+}
+
+impl ShardPlan {
+    fn new(topology: &Topology, shard_count: usize) -> ShardPlan {
+        let controllers = topology.controllers();
+        let n = shard_count.max(1);
+        let mut shards = vec![Vec::new(); n];
+        let per = controllers.len() / n;
+        let extra = controllers.len() % n;
+        let mut it = controllers.into_iter();
+        for (i, shard) in shards.iter_mut().enumerate() {
+            shard.extend(it.by_ref().take(per + usize::from(i < extra)));
+        }
+        let owner = shards
+            .iter()
+            .enumerate()
+            .flat_map(|(i, cs)| cs.iter().map(move |&c| (c, i)))
+            .collect();
+        ShardPlan { shards, owner }
+    }
+}
+
+/// One controller group of a cycle, with coordinator-assigned ids: the
+/// group's sessions get consecutive indices from `first_sid` and their
+/// departure events consecutive queue sequences from `first_dep_seq`.
+struct GroupMsg {
+    controller: ControllerId,
+    demands: Vec<SessionDemand>,
+    first_sid: u32,
+    first_dep_seq: u64,
+}
+
+/// One epoch's work order for a shard.
+struct CycleMsg {
+    head: Timestamp,
+    tick: bool,
+    report: bool,
+    groups: Vec<GroupMsg>,
+}
+
+enum ToShard {
+    Cycle(Box<CycleMsg>),
+    /// Source exhausted: drain every remaining departure and reply with
+    /// one final [`CycleOut`].
+    Finish,
+}
+
+struct SelectOut {
+    sid: u32,
+    user: UserId,
+    ap: ApId,
+    clique: Option<u32>,
+    degraded: bool,
+    rate: BitsPerSec,
+}
+
+struct GroupOut {
+    controller: ControllerId,
+    selects: Vec<SelectOut>,
+}
+
+struct DepartOut {
+    at: Timestamp,
+    seq: u64,
+    sid: u32,
+    user: UserId,
+    ap: ApId,
+    record: Option<SessionRecord>,
+}
+
+struct MoveOut {
+    sid: u32,
+    user: UserId,
+    from: ApId,
+    to: ApId,
+    record: Option<SessionRecord>,
+}
+
+/// A shard's results for one cycle, in shard-local processing order.
+#[derive(Default)]
+struct CycleOut {
+    departs: Vec<DepartOut>,
+    moves: Vec<MoveOut>,
+    /// Own APs' loads after the report refresh (when the cycle reported).
+    report: Option<Vec<(ApId, BitsPerSec)>>,
+    groups: Vec<GroupOut>,
+    /// Placement-mode records of this cycle's groups.
+    records: Vec<SessionRecord>,
+}
+
+impl CycleOut {
+    fn empty() -> Self {
+        CycleOut::default()
+    }
+}
+
+/// Mirror of the unified [`EventQueue`]'s push/pop sequence, kept by the
+/// coordinator so `wlan.engine.events_processed` and the queue-peak
+/// histogram are byte-identical to the unified run: per cycle it pushes
+/// the cycle events, drains everything due at the head, then pushes the
+/// placed departures — exactly the unified order, counting depth and
+/// peak without owning payloads.
+struct QueueMirror {
+    departs: BinaryHeap<Reverse<u64>>,
+    depth: usize,
+    peak: usize,
+    processed: u64,
+}
+
+impl QueueMirror {
+    fn new() -> Self {
+        QueueMirror {
+            departs: BinaryHeap::new(),
+            depth: 0,
+            peak: 0,
+            processed: 0,
+        }
+    }
+
+    /// Mirrors pushing the cycle's tick/report/arrival events.
+    fn push_cycle_events(&mut self, count: usize) {
+        for _ in 0..count {
+            self.depth += 1;
+            self.peak = self.peak.max(self.depth);
+        }
+    }
+
+    /// Mirrors the cycle drain: every departure due at or before the
+    /// head, plus the cycle events themselves.
+    fn drain_due(&mut self, head_secs: u64, cycle_events: usize) {
+        let mut popped = 0;
+        while self
+            .departs
+            .peek()
+            .is_some_and(|&Reverse(t)| t <= head_secs)
+        {
+            self.departs.pop();
+            popped += 1;
+        }
+        self.depth -= popped + cycle_events;
+        self.processed += (popped + cycle_events) as u64;
+    }
+
+    /// Mirrors scheduling one departure during placement.
+    fn push_departure(&mut self, depart_secs: u64) {
+        self.departs.push(Reverse(depart_secs));
+        self.depth += 1;
+        self.peak = self.peak.max(self.depth);
+    }
+
+    /// Mirrors the final unconditional drain and publishes the totals.
+    fn finish_and_publish(mut self) {
+        self.processed += self.departs.len() as u64;
+        self.departs.clear();
+        publish_queue_totals(self.processed, self.peak);
+    }
+}
+
+/// How one cycle group resolves at merge time.
+enum MergeGroup {
+    /// Controller without APs: the coordinator rejects the members
+    /// itself (such controllers are unknown to every shard plan).
+    Rejected { users: Vec<UserId> },
+    /// Placed by `shard`; its [`GroupOut`]s are consumed in order.
+    Placed { shard: usize },
+}
+
+/// Everything the coordinator must remember about an in-flight cycle to
+/// merge it once all shards report back.
+struct CycleMeta {
+    head: Timestamp,
+    tick_seq: Option<u64>,
+    report_seq: Option<u64>,
+    batch_seq: u64,
+    batch: Vec<SessionDemand>,
+    groups: Vec<MergeGroup>,
+}
+
+/// Shard-local engine state driven by [`CycleMsg`]s. Holds full-size AP
+/// vectors (indexed by global AP id) but only ever touches its own
+/// controllers' entries; the local [`EventQueue`] holds only departures,
+/// scheduled under coordinator-assigned sequence numbers.
+struct ShardWorker<'t> {
+    topology: &'t Topology,
+    /// Own controllers, ascending.
+    controllers: Vec<ControllerId>,
+    max_moves: usize,
+    emit_at_departure: bool,
+    run: RunState,
+    queue: EventQueue,
+    arrivals: Vec<ArrivalUser>,
+}
+
+impl ShardWorker<'_> {
+    fn run_loop(
+        mut self,
+        selector: &mut (dyn ApSelector + Send),
+        rx: Receiver<ToShard>,
+        tx: Sender<Result<CycleOut, EngineError>>,
+    ) {
+        while let Some(msg) = rx.recv() {
+            match msg {
+                ToShard::Cycle(cycle) => {
+                    let result = self.run_cycle(*cycle, selector);
+                    let stop = result.is_err();
+                    if tx.send(result).is_err() || stop {
+                        return;
+                    }
+                }
+                ToShard::Finish => {
+                    let mut out = CycleOut::empty();
+                    self.pop_departures(None, &mut out);
+                    let _ = tx.send(Ok(out));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drains departures due at or before `due` (all of them when
+    /// `None`), in global `(time, seq)` order restricted to this shard —
+    /// which preserves the per-AP floating-point release order, since an
+    /// AP lives in exactly one shard.
+    fn pop_departures(&mut self, due: Option<Timestamp>, out: &mut CycleOut) {
+        loop {
+            let event = match due {
+                Some(head) => self.queue.pop_due(head),
+                None => self.queue.pop(),
+            };
+            let Some(event) = event else { break };
+            let EventPayload::Departure { session } = event.payload else {
+                unreachable!("shard queues hold departures only");
+            };
+            let Some(mut active) = self.run.close(session) else {
+                continue;
+            };
+            let end = active.depart;
+            let record = self
+                .emit_at_departure
+                .then(|| active.close_segment(end, true));
+            self.run.release(active.ap, active.user, active.rate);
+            out.departs.push(DepartOut {
+                at: event.at,
+                seq: event.seq,
+                sid: session,
+                user: active.user,
+                ap: active.ap,
+                record,
+            });
+        }
+    }
+
+    fn run_cycle(
+        &mut self,
+        cycle: CycleMsg,
+        selector: &mut (dyn ApSelector + Send),
+    ) -> Result<CycleOut, EngineError> {
+        let mut out = CycleOut::empty();
+        // Rank order of the unified drain at one head: departures (0),
+        // rebalance tick (1), load report (2), arrival batch (3).
+        self.pop_departures(Some(cycle.head), &mut out);
+        if cycle.tick {
+            for &controller in &self.controllers {
+                let aps = self.topology.aps_of_controller(controller);
+                rebalance_controller(&mut self.run, aps, self.max_moves, cycle.head, &mut |mv| {
+                    out.moves.push(MoveOut {
+                        sid: mv.sid,
+                        user: mv.user,
+                        from: mv.from,
+                        to: mv.to,
+                        record: mv.record,
+                    });
+                    Ok(())
+                })?;
+            }
+        }
+        if cycle.report {
+            let mut loads = Vec::new();
+            for &controller in &self.controllers {
+                for &ap in self.topology.aps_of_controller(controller) {
+                    let Some(state) = self.run.state.get(ap.index()) else {
+                        return Err(EngineError::MissingAp { ap, controller });
+                    };
+                    let load = state.load;
+                    self.run.reported[ap.index()] = load;
+                    loads.push((ap, load));
+                }
+            }
+            out.report = Some(loads);
+        }
+        for group in cycle.groups {
+            let aps = self.topology.aps_of_controller(group.controller);
+            let (picks, metas) = select_group(
+                self.topology,
+                &self.run,
+                selector,
+                group.controller,
+                aps,
+                group.demands.iter(),
+                &mut self.arrivals,
+            )?;
+            let mut selects = Vec::with_capacity(picks.len());
+            for (j, (&pick, d)) in picks.iter().zip(&group.demands).enumerate() {
+                let sid = group.first_sid + j as u32;
+                let ap = aps[pick];
+                self.run.place_at(d, ap, sid);
+                let m = metas[j];
+                selects.push(SelectOut {
+                    sid,
+                    user: d.user,
+                    ap,
+                    clique: m.clique,
+                    degraded: m.degraded,
+                    rate: d.mean_rate(),
+                });
+                self.queue.push_with_seq(
+                    d.depart,
+                    group.first_dep_seq + j as u64,
+                    EventPayload::Departure { session: sid },
+                );
+                if !self.emit_at_departure {
+                    let mut active = Active::from_demand(d, ap);
+                    out.records.push(active.close_segment(d.depart, true));
+                }
+            }
+            out.groups.push(GroupOut {
+                controller: group.controller,
+                selects,
+            });
+        }
+        Ok(out)
+    }
+}
+
+fn worker_died() -> EngineError {
+    EngineError::Sink(io::Error::other("shard worker terminated unexpectedly"))
+}
+
+impl SimEngine {
+    /// The sharded replay loop: one worker thread per selector, one
+    /// coordinator (the calling thread) forming global cycles, assigning
+    /// identifiers, and merging shard outputs in canonical order. See
+    /// the module docs for the determinism argument.
+    pub(super) fn run_events_sharded(
+        &self,
+        source: &mut dyn DemandSource,
+        selectors: &mut [Box<dyn ApSelector + Send>],
+        sink: &mut dyn RecordSink,
+    ) -> Result<RunTotals, EngineError> {
+        assert!(
+            !selectors.is_empty(),
+            "sharded run needs at least one selector"
+        );
+        let shard_count = selectors.len();
+        let registry = s3_obs::global();
+        let _span = registry.timer(&RUN_MICROS);
+        registry.counter(&RUNS).inc();
+        let plan = ShardPlan::new(&self.topology, shard_count);
+        let rebalance = self.config.rebalance.clone();
+        let max_moves = rebalance.as_ref().map_or(0, |rb| rb.max_moves_per_round);
+        let emit_at_departure = rebalance.is_some();
+
+        std::thread::scope(|scope| {
+            let mut to_shards: Vec<Sender<ToShard>> = Vec::with_capacity(shard_count);
+            let mut from_shards: Vec<Receiver<Result<CycleOut, EngineError>>> =
+                Vec::with_capacity(shard_count);
+            for (i, selector) in selectors.iter_mut().enumerate() {
+                let (to_tx, to_rx) = mailbox::bounded(PIPELINE_CYCLES + 2);
+                let (out_tx, out_rx) = mailbox::bounded(PIPELINE_CYCLES + 2);
+                let worker = ShardWorker {
+                    topology: &self.topology,
+                    controllers: plan.shards[i].clone(),
+                    max_moves,
+                    emit_at_departure,
+                    run: RunState::new(self.topology.ap_count()),
+                    queue: EventQueue::new(),
+                    arrivals: Vec::new(),
+                };
+                let sel: &mut (dyn ApSelector + Send) = &mut **selector;
+                scope.spawn(move || worker.run_loop(sel, to_rx, out_tx));
+                to_shards.push(to_tx);
+                from_shards.push(out_rx);
+            }
+            let mut merger = Merger {
+                topology: &self.topology,
+                sink,
+                emit_at_departure,
+                reported: vec![BitsPerSec::ZERO; self.topology.ap_count()],
+                placed: 0,
+                rejected: 0,
+                departed: 0,
+                migrations: 0,
+                records: 0,
+                batches: registry.counter(&BATCHES),
+                batch_size: registry.histogram(&BATCH_SIZE),
+                placements: registry.counter(&PLACEMENTS),
+                departures: registry.counter(&DEPARTURES),
+                load_reports: registry.counter(&LOAD_REPORTS),
+                ap_load_kbps: registry.histogram(&AP_LOAD_KBPS),
+            };
+            self.coordinate(
+                source,
+                &rebalance,
+                &plan,
+                &to_shards,
+                &from_shards,
+                &mut merger,
+            )
+        })
+    }
+
+    fn coordinate(
+        &self,
+        source: &mut dyn DemandSource,
+        rebalance: &Option<super::RebalanceConfig>,
+        plan: &ShardPlan,
+        to_shards: &[Sender<ToShard>],
+        from_shards: &[Receiver<Result<CycleOut, EngineError>>],
+        merger: &mut Merger<'_, '_>,
+    ) -> Result<RunTotals, EngineError> {
+        let demands_total = s3_obs::global().counter(&DEMANDS);
+        let shard_count = to_shards.len();
+        let mut epochs = EpochSchedule::new();
+        let mut pending: Option<SessionDemand> = None;
+        let mut in_flight: VecDeque<CycleMeta> = VecDeque::new();
+        let mut mirror = QueueMirror::new();
+        let mut next_seq: u64 = 0;
+        let mut next_sid: u32 = 0;
+
+        while let Some(batch) = next_batch(source, &mut pending, self.config.batch_window)? {
+            let head = batch[0].arrive;
+            demands_total.add(batch.len() as u64);
+            let tick = epochs.tick_due(head, rebalance.as_ref());
+            let report = epochs.report_due(head, self.config.load_report_interval);
+            // Sequence numbers replicate the unified push order: tick,
+            // report, arrival batch, then one per placed member.
+            let mut take_seq = || {
+                let s = next_seq;
+                next_seq += 1;
+                s
+            };
+            let tick_seq = tick.then(&mut take_seq);
+            let report_seq = report.then(&mut take_seq);
+            let batch_seq = take_seq();
+            let cycle_events = 1 + usize::from(tick) + usize::from(report);
+            mirror.push_cycle_events(cycle_events);
+            mirror.drain_due(head.as_secs(), cycle_events);
+
+            // Group by controller in first-appearance order (the same
+            // grouping `place_batch` computes), routing each group to
+            // its owner shard with pre-assigned session indices and
+            // departure sequences. Controllers without APs are unknown
+            // to every shard: the coordinator rejects those members.
+            let mut group_of: HashMap<ControllerId, usize> = HashMap::new();
+            let mut merge_groups: Vec<MergeGroup> = Vec::new();
+            let mut shard_groups: Vec<Vec<GroupMsg>> =
+                (0..shard_count).map(|_| Vec::new()).collect();
+            let mut slot_of: Vec<Option<(usize, usize)>> = Vec::new();
+            for d in &batch {
+                let gi = *group_of.entry(d.controller).or_insert_with(|| {
+                    if let Some(&shard) = plan.owner.get(&d.controller) {
+                        shard_groups[shard].push(GroupMsg {
+                            controller: d.controller,
+                            demands: Vec::new(),
+                            first_sid: 0,
+                            first_dep_seq: 0,
+                        });
+                        slot_of.push(Some((shard, shard_groups[shard].len() - 1)));
+                        merge_groups.push(MergeGroup::Placed { shard });
+                    } else {
+                        slot_of.push(None);
+                        merge_groups.push(MergeGroup::Rejected { users: Vec::new() });
+                    }
+                    merge_groups.len() - 1
+                });
+                match slot_of[gi] {
+                    Some((shard, slot)) => shard_groups[shard][slot].demands.push(d.clone()),
+                    None => {
+                        let MergeGroup::Rejected { users } = &mut merge_groups[gi] else {
+                            unreachable!("slot-less groups are rejections");
+                        };
+                        users.push(d.user);
+                    }
+                }
+            }
+            // Assign sids/departure seqs in global group-major order —
+            // the order `place_batch` admits sessions and schedules
+            // departures. `slot_of` walks groups in first appearance.
+            for slot in &slot_of {
+                let Some((shard, idx)) = *slot else { continue };
+                let group = &mut shard_groups[shard][idx];
+                group.first_sid = next_sid;
+                group.first_dep_seq = next_seq;
+                next_sid += group.demands.len() as u32;
+                next_seq += group.demands.len() as u64;
+                for d in &group.demands {
+                    mirror.push_departure(d.depart.as_secs());
+                }
+            }
+
+            for (shard, groups) in shard_groups.into_iter().enumerate() {
+                let msg = ToShard::Cycle(Box::new(CycleMsg {
+                    head,
+                    tick,
+                    report,
+                    groups,
+                }));
+                if to_shards[shard].send(msg).is_err() {
+                    return Err(take_worker_error(&from_shards[shard]));
+                }
+            }
+            in_flight.push_back(CycleMeta {
+                head,
+                tick_seq,
+                report_seq,
+                batch_seq,
+                batch,
+                groups: merge_groups,
+            });
+            if in_flight.len() >= PIPELINE_CYCLES {
+                let meta = in_flight.pop_front().expect("window is non-empty");
+                merger.merge_cycle(meta, from_shards)?;
+            }
+        }
+        while let Some(meta) = in_flight.pop_front() {
+            merger.merge_cycle(meta, from_shards)?;
+        }
+        // Final drain: every shard closes its remaining sessions; the
+        // merged departures complete the log.
+        for (shard, tx) in to_shards.iter().enumerate() {
+            if tx.send(ToShard::Finish).is_err() {
+                return Err(take_worker_error(&from_shards[shard]));
+            }
+        }
+        let mut outs = Vec::with_capacity(shard_count);
+        for rx in from_shards {
+            match rx.recv() {
+                Some(Ok(out)) => outs.push(out),
+                Some(Err(e)) => return Err(e),
+                None => return Err(worker_died()),
+            }
+        }
+        merger.merge_departures(&mut outs)?;
+        merger.finish(mirror)
+    }
+}
+
+/// Pulls the terminal error out of a dead worker's output channel (the
+/// worker sends `Err` then exits, so a failed `send` to it means the
+/// explanation is waiting — or the thread died without one).
+fn take_worker_error(rx: &Receiver<Result<CycleOut, EngineError>>) -> EngineError {
+    while let Some(result) = rx.recv() {
+        if let Err(e) = result {
+            return e;
+        }
+    }
+    worker_died()
+}
+
+/// Coordinator-side emission state: merges each cycle's shard outputs in
+/// the canonical order of the unified drain and owns every sink call, so
+/// trace bodies and record streams are byte-identical to the unified
+/// engine's.
+struct Merger<'a, 't> {
+    topology: &'t Topology,
+    sink: &'a mut dyn RecordSink,
+    emit_at_departure: bool,
+    /// The global reported-load vector (what the unified engine keeps in
+    /// `RunState::reported`), assembled from shard fragments.
+    reported: Vec<BitsPerSec>,
+    placed: usize,
+    rejected: usize,
+    departed: usize,
+    migrations: usize,
+    records: usize,
+    batches: s3_obs::Counter,
+    batch_size: s3_obs::Histogram,
+    placements: s3_obs::Counter,
+    departures: s3_obs::Counter,
+    load_reports: s3_obs::Counter,
+    ap_load_kbps: s3_obs::Histogram,
+}
+
+impl Merger<'_, '_> {
+    fn emit(&mut self, record: SessionRecord) -> Result<(), EngineError> {
+        self.sink.emit(record).map_err(EngineError::Sink)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    fn observe(&mut self, event: &TraceEvent<'_>) -> Result<(), EngineError> {
+        self.sink.observe(event).map_err(EngineError::Sink)
+    }
+
+    /// Merged departures of one drain, in global `(time, seq)` order.
+    fn merge_departures(&mut self, outs: &mut [CycleOut]) -> Result<(), EngineError> {
+        let mut departs: Vec<DepartOut> =
+            outs.iter_mut().flat_map(|o| o.departs.drain(..)).collect();
+        departs.sort_by_key(|d| (d.at.as_secs(), d.seq));
+        for d in departs {
+            self.departures.inc();
+            self.departed += 1;
+            self.observe(&TraceEvent::Depart {
+                at: d.at,
+                seq: d.seq,
+                sid: d.sid,
+                user: d.user,
+                ap: d.ap,
+            })?;
+            if let Some(record) = d.record {
+                self.emit(record)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn merge_cycle(
+        &mut self,
+        meta: CycleMeta,
+        from_shards: &[Receiver<Result<CycleOut, EngineError>>],
+    ) -> Result<(), EngineError> {
+        let mut outs = Vec::with_capacity(from_shards.len());
+        for rx in from_shards {
+            match rx.recv() {
+                Some(Ok(out)) => outs.push(out),
+                Some(Err(e)) => return Err(e),
+                None => return Err(worker_died()),
+            }
+        }
+        // 1. Departures due at this head, merged across shards.
+        self.merge_departures(&mut outs)?;
+        // 2. The rebalance tick; moves concatenate in shard order, which
+        //    is ascending-controller order (the plan is contiguous).
+        if let Some(seq) = meta.tick_seq {
+            s3_obs::global().counter(&REBALANCE_ROUNDS).inc();
+            self.observe(&TraceEvent::Tick { at: meta.head, seq })?;
+            for out in &mut outs {
+                for mv in std::mem::take(&mut out.moves) {
+                    self.migrations += 1;
+                    self.observe(&TraceEvent::Move {
+                        at: meta.head,
+                        sid: mv.sid,
+                        user: mv.user,
+                        from: mv.from,
+                        to: mv.to,
+                    })?;
+                    if let Some(record) = mv.record {
+                        self.emit(record)?;
+                    }
+                }
+            }
+        }
+        // 3. One global load report assembled from shard fragments; the
+        //    histogram samples every AP in index order, as the unified
+        //    refresh loop does.
+        if let Some(seq) = meta.report_seq {
+            self.load_reports.inc();
+            for out in &mut outs {
+                for (ap, load) in out.report.take().unwrap_or_default() {
+                    self.reported[ap.index()] = load;
+                }
+            }
+            for load in &self.reported {
+                self.ap_load_kbps.observe((load.as_f64() / 1_000.0) as u64);
+            }
+            let event = TraceEvent::Report {
+                at: meta.head,
+                seq,
+                loads: &self.reported,
+            };
+            self.sink.observe(&event).map_err(EngineError::Sink)?;
+        }
+        // 4. The batch and its groups in first-appearance order.
+        self.observe(&TraceEvent::Batch {
+            at: meta.head,
+            seq: meta.batch_seq,
+            batch: &meta.batch,
+        })?;
+        self.batches.inc();
+        self.batch_size.observe(meta.batch.len() as u64);
+        let mut cursors = vec![0usize; outs.len()];
+        for group in &meta.groups {
+            match group {
+                MergeGroup::Rejected { users } => {
+                    self.rejected += users.len();
+                    for &user in users {
+                        self.observe(&TraceEvent::Reject {
+                            at: meta.head,
+                            user,
+                        })?;
+                    }
+                }
+                MergeGroup::Placed { shard } => {
+                    let out = &outs[*shard].groups[cursors[*shard]];
+                    cursors[*shard] += 1;
+                    let candidates = self.topology.aps_of_controller(out.controller);
+                    self.placements.add(out.selects.len() as u64);
+                    self.placed += out.selects.len();
+                    for sel in &out.selects {
+                        self.sink
+                            .observe(&TraceEvent::Select {
+                                at: meta.head,
+                                sid: sel.sid,
+                                user: sel.user,
+                                ap: sel.ap,
+                                clique: sel.clique,
+                                degraded: sel.degraded,
+                                rate: sel.rate,
+                                candidates,
+                            })
+                            .map_err(EngineError::Sink)?;
+                    }
+                }
+            }
+        }
+        // 5. Placement-mode records, batch-sorted by `(connect, user,
+        //    ap)` like the unified scratch emit. Ties on the full key
+        //    share an AP, hence a shard, so shard-order concatenation
+        //    plus a stable sort reproduces the unified order exactly.
+        if !self.emit_at_departure {
+            let mut records: Vec<SessionRecord> =
+                outs.iter_mut().flat_map(|o| o.records.drain(..)).collect();
+            records.sort_by_key(|r| (r.connect, r.user, r.ap));
+            for record in records {
+                self.emit(record)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits the end-of-run trace record and publishes the run counters
+    /// (all metrics live on the coordinator; shards publish nothing).
+    /// Active sessions at end-of-trace are exactly `placed − departed`:
+    /// sessions close only at departure, and migration never closes one.
+    fn finish(&mut self, mirror: QueueMirror) -> Result<RunTotals, EngineError> {
+        let end = TraceEvent::End {
+            placed: self.placed as u64,
+            rejected: self.rejected as u64,
+            departed: self.departed as u64,
+            active: (self.placed - self.departed) as u64,
+        };
+        self.observe(&end)?;
+        mirror.finish_and_publish();
+        let registry = s3_obs::global();
+        registry.counter(&REJECTED).add(self.rejected as u64);
+        registry.counter(&MIGRATIONS).add(self.migrations as u64);
+        Ok(RunTotals {
+            placed: self.placed,
+            rejected: self.rejected,
+            migrations: self.migrations,
+            records: self.records,
+        })
+    }
+}

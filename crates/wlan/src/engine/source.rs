@@ -13,6 +13,7 @@ use std::io;
 
 use s3_trace::csv::CsvError;
 use s3_trace::{SessionDemand, SessionRecord};
+use s3_types::{ApId, ControllerId};
 
 /// Errors from an event-driven engine run over a fallible source/sink.
 #[derive(Debug)]
@@ -35,6 +36,25 @@ pub enum EngineError {
     /// whose mid-session record splits require the full session table and
     /// a global record sort.
     StreamedRebalance,
+    /// A controller's AP list named an AP the topology cannot resolve — a
+    /// malformed topology (sparse or duplicate AP ids) or an adversarial
+    /// trace. The engine used to panic here (`expect("ap exists")`); it
+    /// now aborts the run with the offending ids so the caller can point
+    /// at the corrupt input.
+    MissingAp {
+        /// The unresolvable AP.
+        ap: ApId,
+        /// The controller whose domain listed it.
+        controller: ControllerId,
+    },
+    /// The rebalancer selected a session index that is no longer live —
+    /// an engine-state invariant violation (sessions are closed exactly
+    /// once, at departure), surfaced as an error instead of the former
+    /// `expect("candidate is live")` panic.
+    DeadSession {
+        /// The stale session index.
+        session: u32,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -52,6 +72,18 @@ impl std::fmt::Display for EngineError {
                 f,
                 "streaming replay does not support the online rebalancer \
                  (migration segments need the full session log in memory)"
+            ),
+            EngineError::MissingAp { ap, controller } => write!(
+                f,
+                "controller {} lists AP {} which the topology cannot resolve \
+                 (malformed or adversarial topology)",
+                controller.raw(),
+                ap.raw()
+            ),
+            EngineError::DeadSession { session } => write!(
+                f,
+                "rebalance candidate session {session} is not live \
+                 (engine-state invariant violated)"
             ),
         }
     }

@@ -70,7 +70,10 @@ impl Active {
                 1.0
             };
             for (slot, rem) in volume.iter_mut().zip(self.remaining.iter_mut()) {
-                let take = Bytes::new((rem.as_f64() * frac) as u64);
+                // Round half-to-even: a plain `as u64` cast floors, which
+                // under-credits every non-final segment by up to a byte.
+                // `frac <= 1` and rounding is monotone, so `take <= rem`.
+                let take = Bytes::new((rem.as_f64() * frac).round_ties_even() as u64);
                 *slot = take;
                 *rem -= take;
             }
@@ -113,14 +116,6 @@ impl RunState {
         }
     }
 
-    /// Admits a session, returning its index (monotone in placement order).
-    pub fn admit(&mut self, active: Active) -> u32 {
-        let idx = self.next_session;
-        self.next_session += 1;
-        self.sessions.insert(idx, active);
-        idx
-    }
-
     /// Removes and returns the session at `idx` (None if already closed,
     /// e.g. a departure event for a session the rebalancer never moves —
     /// sessions are removed exactly once, at departure).
@@ -139,11 +134,22 @@ impl RunState {
 
     /// Applies a placement: adds load and association, admits the session.
     pub fn place(&mut self, demand: &SessionDemand, ap: ApId) -> u32 {
+        let idx = self.next_session;
+        self.next_session += 1;
+        self.place_at(demand, ap, idx);
+        idx
+    }
+
+    /// [`RunState::place`] with an externally assigned session index. The
+    /// sharded engine's coordinator numbers sessions globally (indices are
+    /// a pure function of the cycle structure), so shard-local state must
+    /// admit under the coordinator's index, not a local counter.
+    pub fn place_at(&mut self, demand: &SessionDemand, ap: ApId, idx: u32) {
         let rate = demand.mean_rate();
         let ap_state = &mut self.state[ap.index()];
         ap_state.load += rate;
         ap_state.associated.push(demand.user);
-        self.admit(Active::from_demand(demand, ap))
+        self.sessions.insert(idx, Active::from_demand(demand, ap));
     }
 
     /// Releases a departing/migrating session's footprint on `ap`.
@@ -210,6 +216,74 @@ mod tests {
         assert_eq!(record.volume_by_app, d.volume_by_app);
         assert_eq!(record.connect, d.arrive);
         assert_eq!(record.disconnect, d.depart);
+    }
+
+    #[test]
+    fn partial_segment_rounds_to_nearest_not_floor() {
+        // Regression for the fractional-byte truncation bug: the old
+        // `(rem * frac) as u64` cast floored, so a 100-byte session split
+        // at 2/3 of its span credited 66 bytes to the first segment
+        // instead of the nearest 67. Conservation always held (the final
+        // segment takes the remainder), but the split itself drifted low.
+        let mut d = demand(1, 0, 300);
+        d.volume_by_app[0] = Bytes::new(100);
+        let mut active = Active::from_demand(&d, ApId::new(0));
+        let first = active.close_segment(Timestamp::from_secs(200), false);
+        assert_eq!(
+            first.volume_by_app[0].as_u64(),
+            67,
+            "2/3 of 100 bytes must round to 67, not floor to 66"
+        );
+        let last = active.close_segment(Timestamp::from_secs(300), true);
+        assert_eq!(last.volume_by_app[0].as_u64(), 33);
+    }
+
+    #[test]
+    fn partial_segment_half_byte_rounds_to_even() {
+        // 1999 bytes split exactly in half: 999.5 rounds half-to-even to
+        // 1000 (the floor gave 999).
+        let mut d = demand(1, 0, 200);
+        d.volume_by_app[0] = Bytes::new(1_999);
+        let mut active = Active::from_demand(&d, ApId::new(0));
+        let first = active.close_segment(Timestamp::from_secs(100), false);
+        assert_eq!(first.volume_by_app[0].as_u64(), 1_000);
+        let last = active.close_segment(Timestamp::from_secs(100 + 100), true);
+        assert_eq!(last.volume_by_app[0].as_u64(), 999);
+    }
+
+    #[test]
+    fn repeated_splits_stay_near_exact_proportional_share() {
+        // Nine migrations at 100-second marks of a 1000-second session
+        // carrying 999 bytes. The exact proportional credit after nine
+        // partial segments is 899.1 bytes; because each split re-derives
+        // its fraction from the *remaining* volume, per-split rounding
+        // error must not compound — and the final segment still conserves
+        // the total exactly.
+        let mut d = demand(1, 0, 1_000);
+        d.volume_by_app[0] = Bytes::new(999);
+        let mut active = Active::from_demand(&d, ApId::new(0));
+        let mut credited = 0u64;
+        for k in 1..=9u64 {
+            let rec = active.close_segment(Timestamp::from_secs(k * 100), false);
+            credited += rec.volume_by_app[0].as_u64();
+        }
+        assert!(
+            (credited as f64 - 899.1).abs() <= 1.0,
+            "nine nearest-rounded splits credited {credited} bytes, \
+             expected within 1 of 899.1"
+        );
+        let last = active.close_segment(Timestamp::from_secs(1_000), true);
+        assert_eq!(credited + last.volume_by_app[0].as_u64(), 999);
+    }
+
+    #[test]
+    fn place_at_admits_under_the_given_index() {
+        let mut run = RunState::new(2);
+        run.place_at(&demand(5, 0, 100), ApId::new(1), 42);
+        let order: Vec<u32> = run.sessions().map(|(idx, _)| idx).collect();
+        assert_eq!(order, vec![42]);
+        assert_eq!(run.state[1].associated, vec![UserId::new(5)]);
+        assert!(run.session_mut(42).is_some());
     }
 
     #[test]

@@ -227,13 +227,14 @@ impl TraceEvent<'_> {
 
 /// Builds the `s3-dtrace/1` header for a run over `topology`.
 ///
-/// `threads` is recorded as provenance only — the decision lines of a log
-/// never depend on it (`docs/TRACING.md` specifies the canonicalization
-/// rule determinism comparisons use).
+/// `threads` and `shards` are recorded as provenance only — the decision
+/// lines of a log never depend on either (`docs/TRACING.md` specifies the
+/// canonicalization rule determinism comparisons use).
 pub fn trace_header(
     topology: &Topology,
     seed: u64,
     threads: u64,
+    shards: u64,
     strategy: &str,
     config_hash: u64,
 ) -> TraceHeader {
@@ -249,6 +250,7 @@ pub fn trace_header(
     TraceHeader {
         seed,
         threads,
+        shards,
         strategy: strategy.to_string(),
         config_hash,
         ap_capacity_bps,
@@ -829,6 +831,7 @@ mod tests {
         let header = trace_header(
             engine.topology(),
             seed,
+            1,
             1,
             "llf",
             config_hash("policy=llf;test"),

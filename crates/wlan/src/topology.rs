@@ -80,6 +80,28 @@ impl Topology {
         }
     }
 
+    /// Builds a topology directly from an AP list, deriving the
+    /// controller and building maps. Unlike [`Topology::from_campus`]
+    /// this trusts the caller: AP ids are *not* required to be dense, so
+    /// a sparse or duplicated id list produces a topology on which
+    /// [`Topology::ap`] fails for the broken ids — exactly the malformed
+    /// input shape the engine must reject with
+    /// [`crate::engine::EngineError::MissingAp`] instead of panicking.
+    pub fn from_aps(mut aps: Vec<ApInfo>) -> Topology {
+        aps.sort_by_key(|a| a.id);
+        let mut by_controller: HashMap<ControllerId, Vec<ApId>> = HashMap::new();
+        let mut by_building: HashMap<BuildingId, Vec<ApId>> = HashMap::new();
+        for ap in &aps {
+            by_controller.entry(ap.controller).or_default().push(ap.id);
+            by_building.entry(ap.building).or_default().push(ap.id);
+        }
+        Topology {
+            aps,
+            by_controller,
+            by_building,
+        }
+    }
+
     /// All APs, ascending by id.
     pub fn aps(&self) -> &[ApInfo] {
         &self.aps

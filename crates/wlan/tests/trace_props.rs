@@ -33,6 +33,7 @@ fn traced(demands: &[SessionDemand], selector: &mut dyn ApSelector, rebalance: b
         engine.topology(),
         9,
         1,
+        1,
         selector.name(),
         config_hash("trace-props"),
     );
