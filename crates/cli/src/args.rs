@@ -1,48 +1,14 @@
 //! Command-line parsing — hand-rolled, zero dependencies.
+//!
+//! Policy names are not hard-coded here: `--policy` values are validated
+//! against the [`s3_core::strategy_registry`] at parse time, and the
+//! "deterministic under sharding" rule is the registry's
+//! [`s3_wlan::StrategyCaps::shardable`] flag — adding a strategy never
+//! touches this file.
 
 use std::path::PathBuf;
 
 use crate::CliError;
-
-/// Which policy a `replay` should use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PolicyKind {
-    /// Least Loaded First.
-    Llf,
-    /// Least associated users.
-    LeastUsers,
-    /// Strongest RSSI.
-    Rssi,
-    /// Uniform random.
-    Random,
-    /// The S³ scheme.
-    S3,
-}
-
-impl PolicyKind {
-    /// Parses a policy name.
-    pub fn parse(s: &str) -> Option<PolicyKind> {
-        match s {
-            "llf" => Some(PolicyKind::Llf),
-            "least-users" => Some(PolicyKind::LeastUsers),
-            "rssi" => Some(PolicyKind::Rssi),
-            "random" => Some(PolicyKind::Random),
-            "s3" => Some(PolicyKind::S3),
-            _ => None,
-        }
-    }
-
-    /// The canonical name.
-    pub fn name(self) -> &'static str {
-        match self {
-            PolicyKind::Llf => "llf",
-            PolicyKind::LeastUsers => "least-users",
-            PolicyKind::Rssi => "rssi",
-            PolicyKind::Random => "random",
-            PolicyKind::S3 => "s3",
-        }
-    }
-}
 
 /// A parsed subcommand.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +29,9 @@ pub enum Command {
         aps_per_building: usize,
         /// Simulated days.
         days: u64,
+        /// Adversarial-scenario spec (see `ScenarioSpec::parse`), applied
+        /// to the demand stream before it is written.
+        scenario: Option<String>,
         /// Fault-injection spec (see `FaultSpec::parse`), applied to the
         /// CSV text after generation with the same seed.
         faults: Option<String>,
@@ -71,8 +40,8 @@ pub enum Command {
     Replay {
         /// Input demand CSV.
         demands: PathBuf,
-        /// Policy to evaluate.
-        policy: PolicyKind,
+        /// Policy to evaluate (a registered strategy name).
+        policy: String,
         /// Output session CSV.
         out: PathBuf,
         /// Seed (random policy, S³ clustering).
@@ -153,8 +122,8 @@ pub enum Command {
     Trace {
         /// Input demand CSV.
         demands: PathBuf,
-        /// Policy to trace.
-        policy: PolicyKind,
+        /// Policy to trace (a registered strategy name).
+        policy: String,
         /// Output decision-log path (JSONL).
         out: PathBuf,
         /// Seed (random policy, S³ clustering).
@@ -221,16 +190,31 @@ fn parse_shards(value: &str) -> Result<usize, CliError> {
     Ok(shards)
 }
 
-/// The random policy draws every pick from one sequential RNG stream, so
-/// its decisions depend on global processing order — the one policy whose
-/// results a sharded run could not reproduce.
-fn reject_random_sharding(policy: PolicyKind, shards: usize) -> Result<(), CliError> {
-    if shards > 1 && policy == PolicyKind::Random {
-        return Err(CliError::Usage(
-            "--shards > 1 does not support --policy random (one sequential \
-             RNG stream cannot be split shard-invariantly)"
-                .into(),
-        ));
+/// Validates a `--policy` value against the strategy registry, so unknown
+/// names fail at parse time with the full list of known strategies.
+fn parse_policy(name: &str) -> Result<String, CliError> {
+    let registry = s3_core::strategy_registry();
+    if registry.get(name).is_some() {
+        Ok(name.to_string())
+    } else {
+        Err(CliError::Usage(registry.unknown(name).to_string()))
+    }
+}
+
+/// Policies whose registry entry is not flagged deterministic-under-
+/// sharding (the random baseline's sequential RNG stream) are refused up
+/// front for `--shards > 1`; the rule lives in the registry's capability
+/// flags, not in a hard-coded name list.
+fn reject_unshardable(policy: &str, shards: usize) -> Result<(), CliError> {
+    if shards > 1 {
+        let entry = s3_core::strategy_registry()
+            .get(policy)
+            .expect("policy validated at parse");
+        if !entry.caps().shardable {
+            return Err(CliError::Usage(
+                s3_wlan::StrategyError::NotShardable(entry.name()).to_string(),
+            ));
+        }
     }
     Ok(())
 }
@@ -274,6 +258,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut buildings = None;
             let mut aps = None;
             let mut days = None;
+            let mut scenario = None;
             let mut faults = None;
             while let Some(flag) = cursor.next() {
                 match flag {
@@ -288,6 +273,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                         aps = Some(parse_u64(flag, cursor.value_for(flag)?)? as usize)
                     }
                     "--days" => days = Some(parse_u64(flag, cursor.value_for(flag)?)?),
+                    "--scenario" => scenario = Some(cursor.value_for(flag)?.to_string()),
                     "--faults" => faults = Some(cursor.value_for(flag)?.to_string()),
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
@@ -308,6 +294,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 buildings,
                 aps_per_building: aps,
                 days,
+                scenario,
                 faults,
             })
         }
@@ -341,13 +328,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--metrics-out" => metrics_out = Some(PathBuf::from(cursor.value_for(flag)?)),
                     "--metrics-full" => metrics_full = true,
                     "--lenient" => lenient = true,
-                    "--policy" => {
-                        let name = cursor.value_for(flag)?;
-                        policy =
-                            Some(PolicyKind::parse(name).ok_or_else(|| {
-                                CliError::Usage(format!("unknown policy {name:?}"))
-                            })?);
-                    }
+                    "--policy" => policy = Some(parse_policy(cursor.value_for(flag)?)?),
                     "--out" => out = Some(PathBuf::from(cursor.value_for(flag)?)),
                     "--seed" => seed = parse_u64(flag, cursor.value_for(flag)?)?,
                     "--train-days" => train_days = parse_u64(flag, cursor.value_for(flag)?)?,
@@ -385,7 +366,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                         .into(),
                 ));
             }
-            reject_random_sharding(policy, shards)?;
+            reject_unshardable(&policy, shards)?;
             Ok(Command::Replay {
                 demands,
                 policy,
@@ -517,13 +498,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--threads" => threads = parse_u64(flag, cursor.value_for(flag)?)? as usize,
                     "--shards" => shards = parse_shards(cursor.value_for(flag)?)?,
                     "--lenient" => lenient = true,
-                    "--policy" => {
-                        let name = cursor.value_for(flag)?;
-                        policy =
-                            Some(PolicyKind::parse(name).ok_or_else(|| {
-                                CliError::Usage(format!("unknown policy {name:?}"))
-                            })?);
-                    }
+                    "--policy" => policy = Some(parse_policy(cursor.value_for(flag)?)?),
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
             }
@@ -536,7 +511,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--aps-per-building must be positive".into(),
                 ));
             }
-            reject_random_sharding(policy, shards)?;
+            reject_unshardable(&policy, shards)?;
             Ok(Command::Trace {
                 demands,
                 policy,
@@ -643,7 +618,7 @@ mod tests {
                 rebalance,
                 ..
             } => {
-                assert_eq!(policy, PolicyKind::S3);
+                assert_eq!(policy, "s3");
                 assert_eq!(train_days, 7);
                 assert!(rebalance);
             }
@@ -654,7 +629,12 @@ mod tests {
     #[test]
     fn replay_rejects_unknown_policy() {
         let err = parse(&argv("replay --demands d.csv --policy magic --out s.csv")).unwrap_err();
-        assert!(err.to_string().contains("unknown policy"));
+        let msg = err.to_string();
+        assert!(msg.contains("unknown policy"), "{msg}");
+        // The error enumerates every registered strategy.
+        for name in s3_core::strategy_registry().names() {
+            assert!(msg.contains(name), "{msg} should list {name}");
+        }
     }
 
     #[test]
@@ -783,8 +763,9 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.to_string().contains("at least 1"), "{err}");
-        // The random policy draws from one sequential RNG stream; a
-        // sharded run cannot reproduce it and must be refused up front.
+        // The random policy draws from one sequential RNG stream; its
+        // registry entry is not flagged shardable, so a sharded run is
+        // refused up front.
         for cmdline in [
             "replay --demands d.csv --policy random --out s.csv --shards 2",
             "trace --demands d.csv --policy random --out t.jsonl --shards 2",
@@ -797,6 +778,15 @@ mod tests {
             "replay --demands d.csv --policy random --out s.csv --shards 1"
         ))
         .is_ok());
+        // Every other registered strategy is shardable — including the
+        // RNG-bearing MAB, whose stream is keyed by shard-stable ids.
+        for name in s3_core::strategy_registry().names() {
+            if name == "random" {
+                continue;
+            }
+            let cmdline = format!("replay --demands d.csv --policy {name} --out s.csv --shards 4");
+            assert!(parse(&argv(&cmdline)).is_ok(), "{name} must shard");
+        }
     }
 
     #[test]
@@ -859,7 +849,7 @@ mod tests {
                 seed,
                 ..
             } => {
-                assert_eq!(policy, PolicyKind::S3);
+                assert_eq!(policy, "s3");
                 assert_eq!(train_days, 4);
                 assert!(rebalance);
                 assert_eq!(aps_per_building, 3);
@@ -903,16 +893,33 @@ mod tests {
     }
 
     #[test]
-    fn policy_names_round_trip() {
-        for kind in [
-            PolicyKind::Llf,
-            PolicyKind::LeastUsers,
-            PolicyKind::Rssi,
-            PolicyKind::Random,
-            PolicyKind::S3,
-        ] {
-            assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
+    fn every_registered_policy_parses() {
+        for name in s3_core::strategy_registry().names() {
+            let cmdline = format!("replay --demands d.csv --policy {name} --out s.csv");
+            match parse(&argv(&cmdline)).unwrap() {
+                Command::Replay { policy, .. } => assert_eq!(policy, name),
+                other => panic!("wrong command: {other:?}"),
+            }
         }
-        assert_eq!(PolicyKind::parse("nope"), None);
+        assert!(parse_policy("nope").is_err());
+    }
+
+    #[test]
+    fn generate_scenario_flag_parses() {
+        match parse(&argv(
+            "generate --out x.csv --scenario flash-crowd,caps=tiered",
+        ))
+        .unwrap()
+        {
+            Command::Generate { scenario, .. } => {
+                assert_eq!(scenario.as_deref(), Some("flash-crowd,caps=tiered"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&argv("generate --out x.csv")).unwrap() {
+            Command::Generate { scenario, .. } => assert_eq!(scenario, None),
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&argv("generate --out x.csv --scenario")).is_err());
     }
 }

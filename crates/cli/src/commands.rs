@@ -1,13 +1,16 @@
 //! Execution of the parsed subcommands.
 
+use std::any::Any;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
-use s3_core::{S3Config, S3Selector, SocialModel};
+use s3_core::{strategy_registry, S3Config, S3Selector, SocialModel};
 use s3_stats::gap::{gap_statistic, GapConfig};
 use s3_trace::decision_log::{config_hash, DecisionLogReader, DecisionRecord};
-use s3_trace::generator::{inject_csv_faults, CampusConfig, CampusGenerator, FaultSpec};
+use s3_trace::generator::{
+    apply_scenario, inject_csv_faults, CampusConfig, CampusGenerator, FaultSpec, ScenarioSpec,
+};
 use s3_trace::ingest::{
     read_demands_lenient, read_sessions_lenient, DemandReader, IngestMode, IngestReport, RowFault,
 };
@@ -15,12 +18,12 @@ use s3_trace::{csv, SessionDemand, SessionRecord, TraceStore};
 use s3_types::{TimeDelta, Timestamp, UserId};
 use s3_wlan::engine::{check_log, trace_header, SliceSource, TraceSink};
 use s3_wlan::metrics::{mean_active_balance_filtered, StreamingBalance};
-use s3_wlan::selector::{ApSelector, LeastLoadedFirst, LeastUsers, RandomSelector, StrongestRssi};
+use s3_wlan::selector::{ApSelector, LeastLoadedFirst};
 use s3_wlan::{
     EngineError, RebalanceConfig, RecordSink, SimConfig, SimEngine, StreamSource, Topology,
 };
 
-use crate::args::{Command, PolicyKind};
+use crate::args::Command;
 use crate::{CliError, USAGE};
 
 /// The metric bin and hour filter every CLI report uses.
@@ -48,6 +51,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             buildings,
             aps_per_building,
             days,
+            scenario,
             faults,
         } => generate(
             &path,
@@ -56,6 +60,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             buildings,
             aps_per_building,
             days,
+            scenario.as_deref(),
             faults.as_deref(),
             out,
         ),
@@ -77,7 +82,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             if stream {
                 replay_streamed(
                     &demands,
-                    policy,
+                    &policy,
                     &path,
                     seed,
                     train_days,
@@ -90,7 +95,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             } else {
                 replay(
                     &demands,
-                    policy,
+                    &policy,
                     &path,
                     seed,
                     train_days,
@@ -147,7 +152,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             lenient,
         } => trace(
             &demands,
-            policy,
+            &policy,
             &path,
             seed,
             train_days,
@@ -201,6 +206,7 @@ fn generate<W: Write>(
     buildings: usize,
     aps_per_building: usize,
     days: u64,
+    scenario: Option<&str>,
     faults: Option<&str>,
     out: &mut W,
 ) -> Result<(), CliError> {
@@ -208,6 +214,10 @@ fn generate<W: Write>(
         .map(FaultSpec::parse)
         .transpose()
         .map_err(|e| CliError::Usage(format!("--faults: {e}")))?;
+    let scenario = scenario
+        .map(|s| ScenarioSpec::parse(s, days))
+        .transpose()
+        .map_err(|e| CliError::Usage(format!("--scenario: {e}")))?;
     let config = CampusConfig {
         users,
         buildings,
@@ -215,7 +225,11 @@ fn generate<W: Write>(
         days,
         ..CampusConfig::campus()
     };
-    let campus = CampusGenerator::new(config, seed).generate();
+    let mut campus = CampusGenerator::new(config, seed).generate();
+    if let Some(scenario) = scenario.filter(|s| !s.is_empty()) {
+        let log = apply_scenario(&mut campus.demands, &campus.config, &scenario, seed);
+        writeln!(out, "{}", log.summary())?;
+    }
     match spec {
         Some(spec) if !spec.is_empty() => {
             let mut buf = Vec::new();
@@ -314,110 +328,65 @@ fn train_s3(
     SocialModel::learn(&log, &s3_config(threads), seed)
 }
 
-/// Builds the policy selector for a replay-style run, training S³ on the
-/// demand prefix when requested. Returns the selector together with the
-/// effective S³ training-day count (`0` for the other policies), which
-/// parameterizes the decision-trace config hash.
-fn build_selector<W: Write>(
-    demands: &[SessionDemand],
-    engine: &SimEngine,
-    policy: PolicyKind,
-    seed: u64,
-    train_days: u64,
-    threads: usize,
-    out: &mut W,
-) -> Result<(Box<dyn ApSelector + Send>, u64), CliError> {
-    Ok(match policy {
-        PolicyKind::Llf => (Box::new(LeastLoadedFirst::new()), 0),
-        PolicyKind::LeastUsers => (Box::new(LeastUsers::new()), 0),
-        PolicyKind::Rssi => (Box::new(StrongestRssi::new()), 0),
-        PolicyKind::Random => (Box::new(RandomSelector::new(seed)), 0),
-        PolicyKind::S3 => {
-            let span = demands.last().expect("non-empty").arrive.day() + 1;
-            let effective = if train_days == 0 {
-                (span * 7) / 10 // default: first 70 % of days
-            } else {
-                train_days
-            };
-            let model = train_s3(demands, engine, effective, seed, threads);
-            writeln!(
-                out,
-                "trained S3 on the first {effective} days: {} known pairs, {} types",
-                model.known_pairs(),
-                model.type_count()
-            )?;
-            (
-                Box::new(S3Selector::new(model, s3_config(threads))),
-                effective,
-            )
-        }
-    })
+/// The S³ training span: `--train-days`, defaulting to the first 70 % of
+/// the trace's days.
+fn effective_train_days(train_days: u64, span_days: u64) -> u64 {
+    if train_days == 0 {
+        (span_days * 7) / 10
+    } else {
+        train_days
+    }
 }
 
-/// Builds one equivalent selector per shard for `--shards N` runs.
-/// Selectors are stateful, so shards must not share an instance; S³
-/// trains its model once and clones it into every shard's selector, the
-/// stateless policies just construct `shards` fresh instances. With one
-/// shard this is exactly [`build_selector`].
+/// Builds one equivalent selector per shard for a replay-style run by
+/// looking `policy` up in the [`strategy_registry`] — the single
+/// policy-name → selector code path shared by plain, sharded and traced
+/// replays. Policies whose capability flags declare `needs_training` get
+/// an S³ model trained on the first `effective_train_days` of `training`
+/// and passed down as the build-context artifact; the registry clones it
+/// into every shard's selector. Returns the selectors together with the
+/// effective training-day count (`0` for untrained policies), which
+/// parameterizes the decision-trace config hash.
 #[allow(clippy::too_many_arguments)]
-fn build_shard_selectors<W: Write>(
-    demands: &[SessionDemand],
+fn build_selectors<W: Write>(
+    training: &[SessionDemand],
     engine: &SimEngine,
-    policy: PolicyKind,
+    policy: &str,
     seed: u64,
     train_days: u64,
+    span_days: u64,
     threads: usize,
     shards: usize,
     out: &mut W,
 ) -> Result<(Vec<Box<dyn ApSelector + Send>>, u64), CliError> {
-    if shards <= 1 {
-        let (selector, trained) =
-            build_selector(demands, engine, policy, seed, train_days, threads, out)?;
-        return Ok((vec![selector], trained));
-    }
-    let fresh = |make: &dyn Fn() -> Box<dyn ApSelector + Send>| {
-        (0..shards).map(|_| make()).collect::<Vec<_>>()
+    let registry = strategy_registry();
+    let entry = registry
+        .get(policy)
+        .ok_or_else(|| CliError::Usage(registry.unknown(policy).to_string()))?;
+    let (model, trained) = if entry.caps().needs_training {
+        let effective = effective_train_days(train_days, span_days);
+        let model = train_s3(training, engine, effective, seed, threads);
+        writeln!(
+            out,
+            "trained S3 on the first {effective} days: {} known pairs, {} types",
+            model.known_pairs(),
+            model.type_count()
+        )?;
+        (Some(model), effective)
+    } else {
+        (None, 0)
     };
-    Ok(match policy {
-        PolicyKind::Llf => (fresh(&|| Box::new(LeastLoadedFirst::new())), 0),
-        PolicyKind::LeastUsers => (fresh(&|| Box::new(LeastUsers::new())), 0),
-        PolicyKind::Rssi => (fresh(&|| Box::new(StrongestRssi::new())), 0),
-        PolicyKind::Random => {
-            // Unreachable from the CLI (rejected at parse time): one
-            // sequential RNG stream cannot be split across shards.
-            return Err(CliError::Usage(
-                "--shards > 1 does not support --policy random".into(),
-            ));
-        }
-        PolicyKind::S3 => {
-            let span = demands.last().expect("non-empty").arrive.day() + 1;
-            let effective = if train_days == 0 {
-                (span * 7) / 10 // default: first 70 % of days
-            } else {
-                train_days
-            };
-            let model = train_s3(demands, engine, effective, seed, threads);
-            writeln!(
-                out,
-                "trained S3 on the first {effective} days: {} known pairs, {} types",
-                model.known_pairs(),
-                model.type_count()
-            )?;
-            let selectors = (0..shards)
-                .map(|_| {
-                    Box::new(S3Selector::new(model.clone(), s3_config(threads)))
-                        as Box<dyn ApSelector + Send>
-                })
-                .collect();
-            (selectors, effective)
-        }
-    })
+    let artifact = model.as_ref().map(|m| m as &(dyn Any + Send + Sync));
+    let selectors = registry
+        .build_shards(policy, shards, seed, threads, artifact)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    Ok((selectors, trained))
 }
 
 #[allow(clippy::too_many_arguments)]
 fn replay<W: Write>(
     demands_path: &Path,
-    policy: PolicyKind,
+    policy: &str,
     out_path: &Path,
     seed: u64,
     train_days: u64,
@@ -435,8 +404,9 @@ fn replay<W: Write>(
         ..SimConfig::default()
     };
     let engine = SimEngine::new(topology, sim_config);
-    let (mut selectors, _) = build_shard_selectors(
-        &demands, &engine, policy, seed, train_days, threads, shards, out,
+    let span = demands.last().map_or(0, |d| d.arrive.day() + 1);
+    let (mut selectors, _) = build_selectors(
+        &demands, &engine, policy, seed, train_days, span, threads, shards, out,
     )?;
 
     let result = if shards > 1 {
@@ -457,7 +427,7 @@ fn replay<W: Write>(
         out,
         "replayed {} demands under {} -> {} session records ({} migrations) to {}",
         demands.len(),
-        policy.name(),
+        policy,
         log.len(),
         result.migrations,
         out_path.display()
@@ -502,9 +472,9 @@ impl<W: Write> RecordSink for StreamingReplaySink<W> {
 ///    count, day span) that also enforces the `(arrive, user)` sort order
 ///    the in-memory path would impose by sorting — the contract that makes
 ///    both paths replay the identical demand sequence;
-/// 2. for `--policy s3` only, a metrics-silenced read of the first
-///    `--train-days` days (the training prefix is the only trace slice
-///    ever materialized);
+/// 2. for training policies only (per the registry's capability flags), a
+///    metrics-silenced read of the first `--train-days` days (the training
+///    prefix is the only trace slice ever materialized);
 /// 3. the replay itself, which publishes the ingest metrics.
 ///
 /// Output — the session CSV, the stable metrics snapshot and the balance
@@ -512,7 +482,7 @@ impl<W: Write> RecordSink for StreamingReplaySink<W> {
 #[allow(clippy::too_many_arguments)]
 fn replay_streamed<W: Write>(
     demands_path: &Path,
-    policy: PolicyKind,
+    policy: &str,
     out_path: &Path,
     seed: u64,
     train_days: u64,
@@ -570,47 +540,31 @@ fn replay_streamed<W: Write>(
     let engine = SimEngine::new(Topology::from_campus(&config), SimConfig::default());
 
     // One selector per shard; `--shards 1` (the default) is the unified
-    // engine. Random is single-shard only (enforced at parse time).
-    let fresh = |make: &dyn Fn() -> Box<dyn ApSelector + Send>| {
-        (0..shards).map(|_| make()).collect::<Vec<_>>()
-    };
-    let mut selectors: Vec<Box<dyn ApSelector + Send>> = match policy {
-        PolicyKind::Llf => fresh(&|| Box::new(LeastLoadedFirst::new())),
-        PolicyKind::LeastUsers => fresh(&|| Box::new(LeastUsers::new())),
-        PolicyKind::Rssi => fresh(&|| Box::new(StrongestRssi::new())),
-        PolicyKind::Random => vec![Box::new(RandomSelector::new(seed))],
-        PolicyKind::S3 => {
-            let span = last_day + 1;
-            let effective = if train_days == 0 {
-                (span * 7) / 10 // default: first 70 % of days
-            } else {
-                train_days
-            };
-            // Pass 2 (S³ only, metrics silenced): the training prefix. The
-            // file is arrive-sorted, so the prefix read can stop early.
-            let mut history: Vec<SessionDemand> = Vec::new();
-            for row in open(demands_path)?.without_publish() {
-                let d = row?;
-                if d.arrive.day() >= effective {
-                    break;
-                }
-                history.push(d);
+    // engine. Unshardable policies are single-shard only (enforced at
+    // parse time via the registry's capability flags).
+    let span = last_day + 1;
+    let registry = strategy_registry();
+    let needs_training = registry
+        .get(policy)
+        .ok_or_else(|| CliError::Usage(registry.unknown(policy).to_string()))?
+        .caps()
+        .needs_training;
+    // Pass 2 (training policies only, metrics silenced): the training
+    // prefix. The file is arrive-sorted, so the prefix read can stop early.
+    let mut history: Vec<SessionDemand> = Vec::new();
+    if needs_training {
+        let effective = effective_train_days(train_days, span);
+        for row in open(demands_path)?.without_publish() {
+            let d = row?;
+            if d.arrive.day() >= effective {
+                break;
             }
-            let model = train_s3(&history, &engine, effective, seed, threads);
-            writeln!(
-                out,
-                "trained S3 on the first {effective} days: {} known pairs, {} types",
-                model.known_pairs(),
-                model.type_count()
-            )?;
-            (0..shards)
-                .map(|_| {
-                    Box::new(S3Selector::new(model.clone(), s3_config(threads)))
-                        as Box<dyn ApSelector + Send>
-                })
-                .collect()
+            history.push(d);
         }
-    };
+    }
+    let (mut selectors, _) = build_selectors(
+        &history, &engine, policy, seed, train_days, span, threads, shards, out,
+    )?;
 
     // Pass 3: the replay — the one pass that publishes trace.ingest.*.
     let mut source = StreamSource::new(open(demands_path)?);
@@ -631,7 +585,7 @@ fn replay_streamed<W: Write>(
     writeln!(
         out,
         "replayed {count} demands under {} -> {} session records ({} migrations) to {} (streamed)",
-        policy.name(),
+        policy,
         totals.records,
         totals.migrations,
         out_path.display()
@@ -947,7 +901,7 @@ fn compare<W: Write>(
 #[allow(clippy::too_many_arguments)]
 fn trace<W: Write>(
     demands_path: &Path,
-    policy: PolicyKind,
+    policy: &str,
     out_path: &Path,
     seed: u64,
     train_days: u64,
@@ -965,8 +919,9 @@ fn trace<W: Write>(
         ..SimConfig::default()
     };
     let engine = SimEngine::new(topology, sim_config);
-    let (mut selectors, trained_days) = build_shard_selectors(
-        &demands, &engine, policy, seed, train_days, threads, shards, out,
+    let span = demands.last().map_or(0, |d| d.arrive.day() + 1);
+    let (mut selectors, trained_days) = build_selectors(
+        &demands, &engine, policy, seed, train_days, span, threads, shards, out,
     )?;
 
     // The canonical run-configuration string behind the header's config
@@ -974,9 +929,8 @@ fn trace<W: Write>(
     // (the thread and shard counts are provenance, recorded in their own
     // header fields — log bodies are byte-identical across both).
     let canonical = format!(
-        "policy={};seed={seed};train-days={trained_days};rebalance={};\
+        "policy={policy};seed={seed};train-days={trained_days};rebalance={};\
          aps-per-building={aps_per_building};demands={}",
-        policy.name(),
         u8::from(rebalance),
         demands.len(),
     );
@@ -985,7 +939,7 @@ fn trace<W: Write>(
         seed,
         threads as u64,
         shards as u64,
-        policy.name(),
+        policy,
         config_hash(&canonical),
     );
     let mut sink = TraceSink::new(BufWriter::new(File::create(out_path)?), &header)?;
@@ -1001,7 +955,7 @@ fn trace<W: Write>(
         "traced {} demands under {} -> {} decision records \
          ({} placed, {} rejected, {} migrations) to {}",
         demands.len(),
-        policy.name(),
+        policy,
         records,
         totals.placed,
         totals.rejected,

@@ -98,8 +98,8 @@ s3wlan — social-aware WLAN load balancing toolkit
 USAGE:
   s3wlan generate --out <demands.csv> [--scale campus|district|city] [--seed N]
                   [--users N] [--buildings N] [--aps-per-building N] [--days N]
-                  [--faults <spec>]
-  s3wlan replay   --demands <demands.csv> --policy <llf|s3|least-users|rssi|random>
+                  [--scenario <spec>] [--faults <spec>]
+  s3wlan replay   --demands <demands.csv> --policy <name> (see POLICIES)
                   --out <sessions.csv> [--seed N] [--train-days N] [--rebalance]
                   [--stream] [--threads N] [--shards N]
                   [--metrics-out <m.json|m.csv>] [--metrics-full] [--lenient]
@@ -110,7 +110,7 @@ USAGE:
   s3wlan compare  --demands <demands.csv> [--seed N] [--train-days N] [--threads N]
                   [--metrics-out <m.json|m.csv>] [--metrics-full]
   s3wlan summary  --metrics <m.json>
-  s3wlan trace    --demands <demands.csv> --policy <llf|s3|least-users|rssi|random>
+  s3wlan trace    --demands <demands.csv> --policy <name> (see POLICIES)
                   --out <decisions.jsonl> [--seed N] [--train-days N]
                   [--rebalance] [--threads N] [--shards N] [--aps-per-building N]
                   [--lenient]
@@ -126,10 +126,11 @@ SHARDS:
   each replaying its own controllers on a dedicated worker thread and
   synchronizing at per-batch epoch barriers (default 1 = the unified
   single-threaded engine). Session CSVs, metrics snapshots and decision
-  log bodies are byte-identical for any N; --policy random is single-
-  shard only (one sequential RNG stream). generate --scale picks a
-  topology preset (campus, district, or city: 10^6 users over 10^4 APs)
-  for sharded benchmarking; explicit flags override preset fields.
+  log bodies are byte-identical for any N for every policy whose registry
+  entry is flagged shardable — all of them except random (one sequential
+  RNG stream; single-shard only). generate --scale picks a topology
+  preset (campus, district, or city: 10^6 users over 10^4 APs) for
+  sharded benchmarking; explicit flags override preset fields.
   See docs/ENGINE.md.
 
 STREAMING:
@@ -147,6 +148,14 @@ INGESTION:
   CSV for robustness testing; the spec is a comma-separated list of
   corrupt=N, invert=N, id-overflow=N, dup=N, overlap=N, skew=C:SECS,
   outage=K:SECS, truncate. See docs/INGESTION.md.
+
+SCENARIOS:
+  generate --scenario stresses the synthesized trace with deterministic,
+  seeded adversarial edits before it is written: flash-crowd surges,
+  rolling AP outages, roaming users. The spec is a comma-separated list
+  of surge=N:DAY:HOUR, outage=B:DAY:HOURS, roam=N, caps=uniform|tiered,
+  and the presets benign, flash-crowd, rolling-outage, hetero-caps,
+  roaming. See docs/STRATEGIES.md for the grammar and semantics.
 
 TRACING:
   trace replays like replay but writes every engine decision (arrival
@@ -166,11 +175,16 @@ METRICS:
   byte-identical across thread counts for a fixed seed; --metrics-full
   adds volatile timing metrics. See docs/METRICS.md for every metric.
 
-POLICIES:
+POLICIES (the strategy registry; see docs/STRATEGIES.md):
   llf          least traffic load first (the incumbent)
   least-users  least associated users first
   rssi         strongest signal (802.11 default)
-  random       uniform random
+  random       uniform random (single-shard only)
   s3           the social-aware scheme (trains on the first --train-days
                days of the trace, replayed under LLF)
+  flow-lb      flow-level balancing: max headroom per flow (Li et al.)
+  mab          per-user epsilon-greedy bandit over the candidate APs
+               (Carrascosa & Bellalta)
+  workload     demand-class routing: heavy flows by headroom, light by
+               RSSI (Sandholm & Huberman)
 ";

@@ -1,0 +1,153 @@
+//! Process-level determinism matrix for the registry's contender
+//! strategies (`flow-lb`, `mab`, `workload`) and the scenario grammar:
+//!
+//! * session CSVs byte-identical at `--threads 1` vs `--threads 8`;
+//! * session CSVs byte-identical at `--shards 1` vs `--shards 4` (every
+//!   contender declares `shardable`);
+//! * the `mab` decision-trace log body byte-identical at `--shards 1` vs
+//!   `--shards 4`;
+//! * `generate --scenario` deterministic (same seed → byte-identical CSV)
+//!   and actually editing the trace (different from the benign run).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn s3wlan(args: &[&str]) -> std::process::Output {
+    let output = Command::new(env!("CARGO_BIN_EXE_s3wlan"))
+        .args(args)
+        .output()
+        .expect("launch s3wlan");
+    assert!(
+        output.status.success(),
+        "s3wlan {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+fn generate(dir: &Path, name: &str, scenario: Option<&str>) -> PathBuf {
+    let demands = dir.join(name);
+    let out = demands.display().to_string();
+    let mut args = vec![
+        "generate",
+        "--out",
+        &out,
+        "--users",
+        "100",
+        "--buildings",
+        "2",
+        "--aps-per-building",
+        "3",
+        "--days",
+        "4",
+        "--seed",
+        "23",
+    ];
+    if let Some(spec) = scenario {
+        args.push("--scenario");
+        args.push(spec);
+    }
+    s3wlan(&args);
+    demands
+}
+
+fn replay(demands: &Path, dir: &Path, policy: &str, threads: usize, shards: usize) -> Vec<u8> {
+    let sessions = dir.join(format!("sessions_{policy}_t{threads}_s{shards}.csv"));
+    s3wlan(&[
+        "replay",
+        "--demands",
+        &demands.display().to_string(),
+        "--policy",
+        policy,
+        "--out",
+        &sessions.display().to_string(),
+        "--aps-per-building",
+        "3",
+        "--threads",
+        &threads.to_string(),
+        "--shards",
+        &shards.to_string(),
+        "--seed",
+        "23",
+    ]);
+    std::fs::read(&sessions).unwrap()
+}
+
+/// The log body: every line after the header record, which is where the
+/// shard count (provenance) lives.
+fn trace_body(demands: &Path, dir: &Path, policy: &str, shards: usize) -> String {
+    let log = dir.join(format!("trace_{policy}_s{shards}.jsonl"));
+    s3wlan(&[
+        "trace",
+        "--demands",
+        &demands.display().to_string(),
+        "--policy",
+        policy,
+        "--out",
+        &log.display().to_string(),
+        "--aps-per-building",
+        "3",
+        "--shards",
+        &shards.to_string(),
+        "--seed",
+        "23",
+    ]);
+    let text = std::fs::read_to_string(&log).unwrap();
+    let (first, body) = text.split_once('\n').expect("header line plus body");
+    assert!(first.contains("s3-dtrace/1"), "{first}");
+    body.to_string()
+}
+
+#[test]
+fn contender_sessions_are_thread_and_shard_invariant() {
+    let dir = std::env::temp_dir().join("s3_cli_strategy_matrix");
+    std::fs::create_dir_all(&dir).unwrap();
+    let demands = generate(&dir, "demands.csv", None);
+
+    for policy in ["flow-lb", "mab", "workload"] {
+        let base = replay(&demands, &dir, policy, 1, 1);
+        assert_eq!(
+            base,
+            replay(&demands, &dir, policy, 8, 1),
+            "{policy}: t1 vs t8 session CSVs must be byte-identical"
+        );
+        assert_eq!(
+            base,
+            replay(&demands, &dir, policy, 1, 4),
+            "{policy}: s1 vs s4 session CSVs must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn mab_trace_body_is_shard_invariant() {
+    let dir = std::env::temp_dir().join("s3_cli_strategy_matrix_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let demands = generate(&dir, "demands.csv", None);
+
+    let body = trace_body(&demands, &dir, "mab", 1);
+    assert!(!body.is_empty());
+    assert_eq!(
+        body,
+        trace_body(&demands, &dir, "mab", 4),
+        "mab: s1 vs s4 trace bodies must be byte-identical"
+    );
+}
+
+#[test]
+fn scenario_generation_is_deterministic_and_effective() {
+    let dir = std::env::temp_dir().join("s3_cli_strategy_matrix_scenario");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let spec = "flash-crowd,outage=1:2:2,roam=40";
+    let benign = std::fs::read(generate(&dir, "benign.csv", None)).unwrap();
+    let a = std::fs::read(generate(&dir, "scenario_a.csv", Some(spec))).unwrap();
+    let b = std::fs::read(generate(&dir, "scenario_b.csv", Some(spec))).unwrap();
+    assert_eq!(a, b, "same seed + scenario must be byte-identical");
+    assert_ne!(a, benign, "the scenario must actually edit the trace");
+
+    // A scenario trace replays cleanly under a contender strategy.
+    let demands = dir.join("scenario_a.csv");
+    let sessions = replay(&demands, &dir, "workload", 1, 1);
+    assert!(!sessions.is_empty());
+}

@@ -57,10 +57,12 @@ mod config;
 mod learning;
 pub mod online;
 pub mod profile;
+pub mod registry;
 mod selector;
 
 pub use compiled::CompiledModel;
 pub use config::S3Config;
 pub use learning::{SocialModel, TypeMatrix};
 pub use online::IncrementalLearner;
+pub use registry::{default_registry, strategy_registry};
 pub use selector::S3Selector;

@@ -20,7 +20,7 @@
 //!   candidate buffers, popcount-driven bounds, and precomputed weight
 //!   rows. Zero heap allocations per search node in steady state; see
 //!   `docs/PERF.md` for the layout and bound derivation.
-//! * [`reference`] — the original per-node-allocating searcher, kept as
+//! * [`mod@reference`] — the original per-node-allocating searcher, kept as
 //!   the pinned oracle: `tests/clique_parity.rs` proves the kernel
 //!   reproduces it bit-for-bit (same cliques, same tie-breaks, same
 //!   `truncated` flags, byte-identical partitions), and the clique

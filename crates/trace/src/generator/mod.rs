@@ -13,6 +13,7 @@
 
 pub mod faults;
 mod profiles;
+pub mod scenario;
 mod schedule;
 
 pub use faults::{inject_csv_faults, FaultLog, FaultSpec};
@@ -20,6 +21,7 @@ pub use profiles::{
     dirichlet_around, type_centroid, UserProfile, TYPE_CENTROIDS, TYPE_VOLUME_FACTOR,
     USER_TYPE_COUNT,
 };
+pub use scenario::{apply_scenario, CapacityProfile, ScenarioLog, ScenarioSpec};
 pub use schedule::{
     is_leave_peak_hour, is_peak_hour, sample_class_slot, sample_diurnal_hour,
     sample_noise_duration, sample_weekly_schedule, ClassSlot, Meeting, CLASS_SLOTS,

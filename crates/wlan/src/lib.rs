@@ -13,7 +13,12 @@
 //! * [`ApSelector`] — the policy interface, with the paper's baselines:
 //!   [`selector::LeastLoadedFirst`] (LLF, the state of the art the paper
 //!   compares against), [`selector::LeastUsers`],
-//!   [`selector::StrongestRssi`] and [`selector::RandomSelector`];
+//!   [`selector::StrongestRssi`] and [`selector::RandomSelector`] — plus
+//!   the contender strategies from related work in [`strategies`]
+//!   (flow-level balancing, ε-greedy MAB, workload-class-aware);
+//! * [`StrategyRegistry`] — the pluggable name → factory + capability-flag
+//!   registry every consumer (CLI, benches, sharded runs) dispatches
+//!   through (see `docs/STRATEGIES.md`);
 //! * [`SimEngine`] — the event-driven replay core: a unified time-ordered
 //!   event queue (arrival batches, departures, load-report epochs,
 //!   rebalance ticks), pluggable [`engine::DemandSource`]s (in-memory
@@ -45,6 +50,8 @@ pub mod mac;
 pub mod metrics;
 pub mod radio;
 pub mod selector;
+pub mod strategies;
+pub mod strategy;
 mod topology;
 
 pub use engine::{
@@ -52,4 +59,5 @@ pub use engine::{
     SimEngine, SimResult, SliceSource, StreamSource,
 };
 pub use selector::{ApCandidate, ApSelector, ApView, DecisionMeta, SelectionContext};
+pub use strategy::{BuildContext, Strategy, StrategyCaps, StrategyError, StrategyRegistry};
 pub use topology::{ApInfo, Topology};
