@@ -1,23 +1,34 @@
 //! Machine-readable sharded-engine throughput benchmark.
 //!
-//! Generates a campus demand trace, then replays it through
+//! Generates a campus demand trace (timing the parallel generator against
+//! the legacy sequential one), then replays it through
 //! `SimEngine::run_sharded_streamed` (records discarded by a counting
-//! sink) at a sweep of shard counts, timing each run. The output is one
-//! JSON document — events/sec and users/sec per shard count — suitable
-//! for archiving as a build artifact and diffing across commits:
+//! sink) at a sweep of `(policy, shard count)` cells, timing each run.
+//! The output is one JSON document — events/sec and users/sec per cell —
+//! suitable for archiving as a build artifact and diffing across commits:
 //!
 //! ```text
 //! engine_bench [--out results/BENCH_engine.json]
 //!              [--scale campus|district|city]
 //!              [--users N] [--buildings N] [--aps-per-building N] [--days N]
-//!              [--seed N] [--shards 1,2,4,8] [--repeats N]
+//!              [--seed N] [--shards 1,2,4,8] [--policies llf,s3] [--repeats N]
 //! ```
 //!
 //! `--scale city` is the headline configuration: 10⁶ users over 10⁴ APs
 //! for one day, the engine-bench scale from `docs/PERF.md`. The default
 //! is a 10⁵-user district so the sweep finishes in CI time. Results are
 //! byte-identical across shard counts (asserted here via the per-run
-//! totals), so the sweep measures pure orchestration cost.
+//! placement totals), so the sweep measures pure orchestration cost.
+//!
+//! Measurement protocol (mirroring `clique_bench`): when `--repeats` is
+//! above one, every cell gets one untimed warmup, then the timed rounds
+//! visit all cells in round-robin order and each cell keeps its minimum.
+//! Interleaving keeps clock-frequency drift from biasing a sequential
+//! cell-by-cell comparison, and the minimum discards contention spikes.
+//!
+//! The S³ model is trained once, outside every timed region, on an LLF
+//! replay of the whole trace (the throughput benchmark does not need a
+//! train/eval split — it measures selection cost, not placement quality).
 //!
 //! The checked-in `results/BENCH_engine.json` is a reference
 //! measurement; CI regenerates a smaller smoke sweep as
@@ -28,16 +39,17 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
 
+use s3_core::{S3Config, S3Selector, SocialModel};
 use s3_obs::MetricValue;
 use s3_trace::generator::{CampusConfig, CampusGenerator};
-use s3_trace::{SessionDemand, SessionRecord};
+use s3_trace::{SessionDemand, SessionRecord, TraceStore};
 use s3_wlan::engine::SliceSource;
 use s3_wlan::selector::{ApSelector, LeastLoadedFirst};
 use s3_wlan::{RecordSink, SimConfig, SimEngine, Topology};
 
 const USAGE: &str = "usage: engine_bench [--out <path.json>] [--scale campus|district|city] \
                      [--users N] [--buildings N] [--aps-per-building N] [--days N] \
-                     [--seed N] [--shards 1,2,4,8] [--repeats N]";
+                     [--seed N] [--shards 1,2,4,8] [--policies llf,s3] [--repeats N]";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -89,50 +101,70 @@ fn events_processed() -> u64 {
 }
 
 struct Sample {
-    shards: usize,
     seconds: f64,
     events: u64,
     records: u64,
     placed: usize,
 }
 
-/// One timed streamed replay at `shards`; the fastest of `repeats` runs
-/// (throughput benchmarks want the least-disturbed sample).
-fn run_once(
+/// One sweep cell: a `(policy, shard count)` pair and its best sample.
+struct Cell {
+    policy: &'static str,
+    shards: usize,
+    best: Option<Sample>,
+}
+
+/// Boxed per-shard selectors for `policy`. The S³ model is cloned per
+/// shard — construction stays outside the timed region.
+fn build_selectors(
+    policy: &str,
+    shards: usize,
+    s3: Option<&(SocialModel, S3Config)>,
+) -> Vec<Box<dyn ApSelector + Send>> {
+    (0..shards)
+        .map(|_| match policy {
+            "llf" => Box::new(LeastLoadedFirst::new()) as Box<dyn ApSelector + Send>,
+            "s3" => {
+                let (model, config) = s3.expect("s3 model trained before the sweep");
+                Box::new(S3Selector::new(model.clone(), config.clone()))
+                    as Box<dyn ApSelector + Send>
+            }
+            other => {
+                eprintln!("unknown policy {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
+
+/// One timed streamed replay of a cell.
+fn run_cell(
     engine: &SimEngine,
     demands: &[SessionDemand],
+    policy: &str,
     shards: usize,
-    repeats: usize,
+    s3: Option<&(SocialModel, S3Config)>,
 ) -> Sample {
-    let mut best: Option<Sample> = None;
-    for _ in 0..repeats.max(1) {
-        let mut selectors: Vec<Box<dyn ApSelector + Send>> = (0..shards)
-            .map(|_| Box::new(LeastLoadedFirst::new()) as Box<dyn ApSelector + Send>)
-            .collect();
-        let mut source = SliceSource::new(demands);
-        let mut sink = CountSink::default();
-        let before = events_processed();
-        let start = Instant::now();
-        let totals = engine
-            .run_sharded_streamed(&mut source, &mut selectors, &mut sink)
-            .expect("streamed replay");
-        let seconds = start.elapsed().as_secs_f64();
-        let sample = Sample {
-            shards,
-            seconds,
-            events: events_processed() - before,
-            records: sink.records,
-            placed: totals.placed,
-        };
-        assert_eq!(
-            sample.records as usize, sample.placed,
-            "placement-mode replay emits one record per placed demand"
-        );
-        if best.as_ref().is_none_or(|b| sample.seconds < b.seconds) {
-            best = Some(sample);
-        }
-    }
-    best.expect("at least one repeat")
+    let mut selectors = build_selectors(policy, shards, s3);
+    let mut source = SliceSource::new(demands);
+    let mut sink = CountSink::default();
+    let before = events_processed();
+    let start = Instant::now();
+    let totals = engine
+        .run_sharded_streamed(&mut source, &mut selectors, &mut sink)
+        .expect("streamed replay");
+    let seconds = start.elapsed().as_secs_f64();
+    let sample = Sample {
+        seconds,
+        events: events_processed() - before,
+        records: sink.records,
+        placed: totals.placed,
+    };
+    assert_eq!(
+        sample.records as usize, sample.placed,
+        "placement-mode replay emits one record per placed demand"
+    );
+    sample
 }
 
 fn main() {
@@ -163,12 +195,29 @@ fn main() {
         .unwrap_or(21);
     let repeats: usize = flag(&args, "--repeats")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
+        .unwrap_or(3)
+        .max(1);
     let shard_counts: Vec<usize> = flag(&args, "--shards")
         .unwrap_or_else(|| "1,2,4,8".into())
         .split(',')
         .map(|s| s.trim().parse().expect("--shards takes a comma list"))
         .collect();
+    let policies: Vec<&'static str> = flag(&args, "--policies")
+        .unwrap_or_else(|| "llf,s3".into())
+        .split(',')
+        .map(|p| match p.trim() {
+            "llf" => "llf",
+            "s3" => "s3",
+            other => {
+                eprintln!("unknown policy {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        })
+        .collect();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = s3_par::resolve_threads(None);
 
     let config = CampusConfig {
         users,
@@ -178,59 +227,154 @@ fn main() {
         ..CampusConfig::campus()
     };
     eprintln!(
-        "engine_bench: generating {users} users x {days} day(s) over {} APs (seed {seed})...",
+        "engine_bench: generating {users} users x {days} day(s) over {} APs \
+         (seed {seed}, {threads} thread(s))...",
         buildings * aps_per_building
     );
     let gen_start = Instant::now();
-    let campus = CampusGenerator::new(config, seed).generate();
+    let campus = CampusGenerator::new(config.clone(), seed).generate_par(threads);
+    let gen_seconds = gen_start.elapsed().as_secs_f64();
     let mut demands = campus.demands;
     demands.sort_by_key(|d| (d.arrive, d.user));
-    let gen_seconds = gen_start.elapsed().as_secs_f64();
     eprintln!(
-        "engine_bench: {} demands generated in {gen_seconds:.1}s",
+        "engine_bench: {} demands generated in {gen_seconds:.1}s (parallel path)",
         demands.len()
     );
+    // Time the legacy sequential generator too: the parallel path draws
+    // per-entity seed streams, so it is a different (equally valid) trace
+    // and the comparison is wall clock, not byte output.
+    let seq_start = Instant::now();
+    let sequential = CampusGenerator::new(config, seed).generate();
+    let gen_seconds_sequential = seq_start.elapsed().as_secs_f64();
+    eprintln!(
+        "engine_bench: sequential generator {gen_seconds_sequential:.1}s \
+         ({:.2}x slower)",
+        gen_seconds_sequential / gen_seconds
+    );
+    drop(sequential);
 
     let engine = SimEngine::new(Topology::from_campus(&campus.config), SimConfig::default());
 
-    let mut samples: Vec<Sample> = Vec::new();
-    for &shards in &shard_counts {
-        let sample = run_once(&engine, &demands, shards, repeats);
+    // Train S³ once, outside every timed region, if the sweep needs it.
+    let s3_artifact: Option<(SocialModel, S3Config)> = if policies.contains(&"s3") {
+        let train_start = Instant::now();
+        let llf = engine.run(&demands, &mut LeastLoadedFirst::new());
+        let log = TraceStore::new(llf.records);
+        let s3_config = S3Config {
+            threads,
+            ..S3Config::default()
+        };
+        let model = SocialModel::learn(&log, &s3_config, seed);
         eprintln!(
-            "engine_bench: shards={shards} {:.2}s {:.0} events/s {:.0} users/s",
-            sample.seconds,
-            sample.events as f64 / sample.seconds,
-            sample.placed as f64 / sample.seconds
+            "engine_bench: s3 model trained in {:.1}s (untimed)",
+            train_start.elapsed().as_secs_f64()
         );
-        samples.push(sample);
+        Some((model, s3_config))
+    } else {
+        None
+    };
+
+    let mut cells: Vec<Cell> = policies
+        .iter()
+        .flat_map(|&policy| {
+            shard_counts.iter().map(move |&shards| Cell {
+                policy,
+                shards,
+                best: None,
+            })
+        })
+        .collect();
+
+    if repeats > 1 {
+        for cell in &cells {
+            let _ = run_cell(
+                &engine,
+                &demands,
+                cell.policy,
+                cell.shards,
+                s3_artifact.as_ref(),
+            );
+        }
     }
-    // Decision totals are shard-invariant; a drift here is a correctness
-    // bug, not a measurement artifact.
-    for s in &samples {
-        assert_eq!(
-            s.placed, samples[0].placed,
-            "shard counts must place identically"
+    for round in 0..repeats {
+        for cell in &mut cells {
+            let sample = run_cell(
+                &engine,
+                &demands,
+                cell.policy,
+                cell.shards,
+                s3_artifact.as_ref(),
+            );
+            if round == 0 {
+                eprintln!(
+                    "engine_bench: policy={} shards={} {:.2}s {:.0} events/s {:.0} users/s",
+                    cell.policy,
+                    cell.shards,
+                    sample.seconds,
+                    sample.events as f64 / sample.seconds,
+                    sample.placed as f64 / sample.seconds
+                );
+            }
+            if cell
+                .best
+                .as_ref()
+                .is_none_or(|b| sample.seconds < b.seconds)
+            {
+                cell.best = Some(sample);
+            }
+        }
+    }
+
+    // Decision totals are shard-invariant per policy; a drift here is a
+    // correctness bug, not a measurement artifact.
+    for &policy in &policies {
+        let placed: Vec<usize> = cells
+            .iter()
+            .filter(|c| c.policy == policy)
+            .map(|c| c.best.as_ref().expect("cell measured").placed)
+            .collect();
+        assert!(
+            placed.windows(2).all(|w| w[0] == w[1]),
+            "policy {policy}: shard counts must place identically, got {placed:?}"
         );
     }
 
-    let base_seconds = samples[0].seconds;
     let mut doc = String::from("{\n");
     let _ = writeln!(doc, "  \"bench\": \"engine\",");
+    let _ = writeln!(doc, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(
         doc,
         "  \"users\": {users},\n  \"buildings\": {buildings},\n  \"aps\": {},\n  \"days\": {days},\n  \"seed\": {seed},\n  \"repeats\": {repeats},",
         buildings * aps_per_building
     );
     let _ = writeln!(doc, "  \"demands\": {},", demands.len());
+    let _ = writeln!(doc, "  \"generate_threads\": {threads},");
     let _ = writeln!(doc, "  \"generate_seconds\": {gen_seconds:.2},");
+    let _ = writeln!(
+        doc,
+        "  \"generate_seconds_sequential\": {gen_seconds_sequential:.2},"
+    );
+    let _ = writeln!(
+        doc,
+        "  \"generate_speedup\": {:.2},",
+        gen_seconds_sequential / gen_seconds
+    );
     doc.push_str("  \"sweep\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        let sep = if i + 1 == samples.len() { "" } else { "," };
+    for (i, c) in cells.iter().enumerate() {
+        let s = c.best.as_ref().expect("cell measured");
+        let base_seconds = cells
+            .iter()
+            .find(|b| b.policy == c.policy)
+            .and_then(|b| b.best.as_ref())
+            .expect("baseline cell measured")
+            .seconds;
+        let sep = if i + 1 == cells.len() { "" } else { "," };
         let _ = writeln!(
             doc,
-            "    {{\"shards\": {}, \"seconds\": {:.3}, \"events\": {}, \
+            "    {{\"policy\": \"{}\", \"shards\": {}, \"seconds\": {:.3}, \"events\": {}, \
              \"events_per_sec\": {:.0}, \"users_per_sec\": {:.0}, \"speedup_vs_1\": {:.2}}}{sep}",
-            s.shards,
+            c.policy,
+            c.shards,
             s.seconds,
             s.events,
             s.events as f64 / s.seconds,

@@ -35,6 +35,9 @@ pub enum Command {
         /// Fault-injection spec (see `FaultSpec::parse`), applied to the
         /// CSV text after generation with the same seed.
         faults: Option<String>,
+        /// Worker threads (0 = auto); the trace is identical for any
+        /// value (per-entity seed streams).
+        threads: usize,
     },
     /// Replay a demand trace under a policy.
     Replay {
@@ -260,6 +263,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             let mut days = None;
             let mut scenario = None;
             let mut faults = None;
+            let mut threads = 0usize;
             while let Some(flag) = cursor.next() {
                 match flag {
                     "--out" => out = Some(PathBuf::from(cursor.value_for(flag)?)),
@@ -275,6 +279,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--days" => days = Some(parse_u64(flag, cursor.value_for(flag)?)?),
                     "--scenario" => scenario = Some(cursor.value_for(flag)?.to_string()),
                     "--faults" => faults = Some(cursor.value_for(flag)?.to_string()),
+                    "--threads" => threads = parse_u64(flag, cursor.value_for(flag)?)? as usize,
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
             }
@@ -296,6 +301,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 days,
                 scenario,
                 faults,
+                threads,
             })
         }
         "replay" => {
@@ -597,6 +603,19 @@ mod tests {
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn generate_threads_flag_parses() {
+        match parse(&argv("generate --out x.csv --threads 8")).unwrap() {
+            Command::Generate { threads, .. } => assert_eq!(threads, 8),
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&argv("generate --out x.csv")).unwrap() {
+            Command::Generate { threads, .. } => assert_eq!(threads, 0, "0 = auto"),
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&argv("generate --out x.csv --threads")).is_err());
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             days,
             scenario,
             faults,
+            threads,
         } => generate(
             &path,
             seed,
@@ -62,6 +63,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             days,
             scenario.as_deref(),
             faults.as_deref(),
+            threads,
             out,
         ),
         Command::Replay {
@@ -208,6 +210,7 @@ fn generate<W: Write>(
     days: u64,
     scenario: Option<&str>,
     faults: Option<&str>,
+    threads: usize,
     out: &mut W,
 ) -> Result<(), CliError> {
     let spec = faults
@@ -225,7 +228,10 @@ fn generate<W: Write>(
         days,
         ..CampusConfig::campus()
     };
-    let mut campus = CampusGenerator::new(config, seed).generate();
+    // The parallel generator is byte-identical at any thread count
+    // (per-entity seed streams), so the CLI always routes through it.
+    let effective_threads = s3_par::resolve_threads(Some(threads).filter(|&t| t > 0));
+    let mut campus = CampusGenerator::new(config, seed).generate_par(effective_threads);
     if let Some(scenario) = scenario.filter(|s| !s.is_empty()) {
         let log = apply_scenario(&mut campus.demands, &campus.config, &scenario, seed);
         writeln!(out, "{}", log.summary())?;

@@ -98,7 +98,7 @@ s3wlan — social-aware WLAN load balancing toolkit
 USAGE:
   s3wlan generate --out <demands.csv> [--scale campus|district|city] [--seed N]
                   [--users N] [--buildings N] [--aps-per-building N] [--days N]
-                  [--scenario <spec>] [--faults <spec>]
+                  [--scenario <spec>] [--faults <spec>] [--threads N]
   s3wlan replay   --demands <demands.csv> --policy <name> (see POLICIES)
                   --out <sessions.csv> [--seed N] [--train-days N] [--rebalance]
                   [--stream] [--threads N] [--shards N]

@@ -1,8 +1,10 @@
 //! Bounded blocking channels for shard pipelines.
 //!
 //! The sharded replay engine (`s3-wlan`) runs one worker thread per
-//! controller-domain shard and exchanges per-cycle messages with a
-//! coordinator. Those exchanges need exactly one primitive: a bounded
+//! controller-domain shard and exchanges *chunked* payloads with a
+//! coordinator — each message carries a flat `Vec` of cycles, so channel
+//! traffic is amortized over many cycles and capacities stay tiny. Those
+//! exchanges need exactly one primitive: a bounded
 //! MPSC channel whose `send` blocks when the peer is behind (natural
 //! backpressure bounds the number of in-flight cycles) and whose both
 //! ends unblock promptly when the other side goes away — a worker must
@@ -140,6 +142,27 @@ impl<T> Receiver<T> {
                 .wait(state)
                 .expect("mailbox lock poisoned");
         }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Number of undelivered messages currently queued. A snapshot — by the
+    /// time the caller acts, senders may have queued more. The sharded
+    /// engine samples this before blocking to export channel occupancy as a
+    /// metric (`wlan.shard.channel_occupancy`).
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("mailbox lock poisoned")
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is currently empty (same snapshot caveat as
+    /// [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 

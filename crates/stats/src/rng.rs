@@ -136,6 +136,47 @@ pub fn zipf<R: RngExt + ?Sized>(rng: &mut R, n: usize, s: f64) -> usize {
     n - 1
 }
 
+/// Precomputed Zipf weights for repeated draws over the same `(n, s)`.
+///
+/// [`zipf`] recomputes `k^-s` for every rank on every draw; at a thousand
+/// buildings that is a thousand `powf` calls per sample and dominates trace
+/// generation. The cache pays the `powf` cost once and then replays the
+/// *identical* running-sum scan — same weights, same subtraction order, same
+/// single uniform draw — so `sample` is bit-for-bit equal to `zipf` with the
+/// same RNG state.
+#[derive(Debug, Clone)]
+pub struct ZipfCache {
+    weights: Vec<f64>,
+    norm: f64,
+}
+
+impl ZipfCache {
+    /// Precomputes weights for a Zipf over `{0, …, n−1}` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`zipf`].
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf support must be non-empty");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be >= 0");
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        let norm = weights.iter().sum();
+        ZipfCache { weights, norm }
+    }
+
+    /// Draws a rank; bit-identical to `zipf(rng, n, s)` at equal RNG state.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
+        let mut target = rng.random::<f64>() * self.norm;
+        for (i, &w) in self.weights.iter().enumerate() {
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        self.weights.len() - 1
+    }
+}
+
 /// Draws a symmetric Dirichlet(α) sample of dimension `dim` via normalized
 /// Gamma(α, 1) draws (Marsaglia–Tsang for α ≥ 1, boosting for α < 1).
 /// Perturbs archetype profiles into per-user profiles on the simplex.
@@ -365,5 +406,17 @@ mod tests {
     fn zipf_rejects_empty_support() {
         let mut r = rng(15);
         let _ = zipf(&mut r, 0, 1.0);
+    }
+
+    #[test]
+    fn zipf_cache_is_bit_identical_to_zipf() {
+        for (n, s) in [(1, 0.5), (5, 1.2), (64, 0.0), (1_250, 0.8)] {
+            let cache = ZipfCache::new(n, s);
+            let mut a = rng(16);
+            let mut b = rng(16);
+            for _ in 0..5_000 {
+                assert_eq!(cache.sample(&mut a), zipf(&mut b, n, s));
+            }
+        }
     }
 }

@@ -31,7 +31,8 @@ pub use schedule::{
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use s3_stats::rng::{bernoulli, log_normal, poisson, truncated_normal, zipf};
+use s3_par::par_map;
+use s3_stats::rng::{bernoulli, log_normal, poisson, truncated_normal, ZipfCache};
 use s3_types::{
     ApId, BuildingId, Bytes, ControllerId, GroupId, TimeDelta, Timestamp, UserId,
     APP_CATEGORY_COUNT, SECS_PER_DAY,
@@ -191,10 +192,30 @@ pub struct Campus {
     pub ground_truth: GroundTruth,
 }
 
+/// Domain tag for per-building group-session seed streams in
+/// [`CampusGenerator::generate_par`].
+const STREAM_GROUPS: u64 = 1;
+/// Domain tag for per-user noise-session seed streams.
+const STREAM_NOISE: u64 = 2;
+
+/// Mixes `(seed, stream, index)` into an independent per-entity seed
+/// (SplitMix64 finalizer). Every entity stream of the parallel generator is
+/// a pure function of the master seed, so output never depends on which
+/// thread ran which entity.
+fn stream_seed(seed: u64, stream: u64, index: u64) -> u64 {
+    let mut z = seed
+        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Deterministic generator: same `(config, seed)` → identical trace.
 #[derive(Debug)]
 pub struct CampusGenerator {
     config: CampusConfig,
+    seed: u64,
     rng: StdRng,
 }
 
@@ -203,19 +224,111 @@ impl CampusGenerator {
     pub fn new(config: CampusConfig, seed: u64) -> Self {
         CampusGenerator {
             config,
+            seed,
             rng: StdRng::seed_from_u64(seed),
         }
     }
 
-    /// Generates the full campus trace.
+    /// Generates the full campus trace sequentially, threading one RNG
+    /// stream through population, group sessions and noise. The byte stream
+    /// of this path is pinned (the fig2 golden depends on it); use
+    /// [`generate_par`](Self::generate_par) for large scales.
     pub fn generate(mut self) -> Campus {
         let ground_truth = self.synthesize_population();
+        let home_zipf = ZipfCache::new(self.config.buildings, 0.8);
         let mut demands = Vec::new();
-        self.generate_group_sessions(&ground_truth, &mut demands);
-        self.generate_noise_sessions(&ground_truth, &mut demands);
+        for group in &ground_truth.groups {
+            emit_group_sessions(
+                &self.config,
+                &ground_truth,
+                group,
+                &mut self.rng,
+                &mut demands,
+            );
+        }
+        for user_index in 0..self.config.users {
+            emit_noise_sessions(
+                &self.config,
+                &ground_truth,
+                &home_zipf,
+                user_index,
+                &mut self.rng,
+                &mut demands,
+            );
+        }
         demands.sort_by_key(|d| (d.arrive, d.user));
         Campus {
             config: self.config,
+            demands,
+            ground_truth,
+        }
+    }
+
+    /// Generates the campus trace with session emission sharded over
+    /// `threads` workers via `s3-par`.
+    ///
+    /// Population synthesis stays on the master RNG stream (identical
+    /// ground truth to [`generate`](Self::generate)); session emission then
+    /// draws from independent per-entity streams — one per building for
+    /// group sessions, one per user for noise — each derived from the
+    /// master seed by `stream_seed`. Shards are concatenated in entity
+    /// order before the final stable sort, so the demand stream is a pure
+    /// function of `(config, seed)`: any thread count, including 1,
+    /// produces byte-identical output (pinned by test and by the CI
+    /// generate-parity step). The stream *differs* from
+    /// [`generate`](Self::generate)'s, which interleaves all entities on a
+    /// single RNG.
+    pub fn generate_par(mut self, threads: usize) -> Campus {
+        let ground_truth = self.synthesize_population();
+        let seed = self.seed;
+        let cfg = self.config;
+        let home_zipf = ZipfCache::new(cfg.buildings, 0.8);
+
+        // One shard per building: a building's groups share a seed stream.
+        let buildings: Vec<u32> = (0..cfg.buildings as u32).collect();
+        let group_parts = par_map(&buildings, threads, |_, &b| {
+            let mut rng = StdRng::seed_from_u64(stream_seed(seed, STREAM_GROUPS, u64::from(b)));
+            let mut out = Vec::new();
+            for group in &ground_truth.groups {
+                if group.building.raw() == b {
+                    emit_group_sessions(&cfg, &ground_truth, group, &mut rng, &mut out);
+                }
+            }
+            out
+        });
+
+        // Noise: every user owns a stream, chunked only for spawn
+        // granularity (chunk boundaries cannot affect output).
+        const NOISE_CHUNK: usize = 2_048;
+        let ranges: Vec<(usize, usize)> = (0..cfg.users)
+            .step_by(NOISE_CHUNK.max(1))
+            .map(|start| (start, (start + NOISE_CHUNK).min(cfg.users)))
+            .collect();
+        let noise_parts = par_map(&ranges, threads, |_, &(start, end)| {
+            let mut out = Vec::new();
+            for user_index in start..end {
+                let mut rng =
+                    StdRng::seed_from_u64(stream_seed(seed, STREAM_NOISE, user_index as u64));
+                emit_noise_sessions(
+                    &cfg,
+                    &ground_truth,
+                    &home_zipf,
+                    user_index,
+                    &mut rng,
+                    &mut out,
+                );
+            }
+            out
+        });
+
+        let total: usize = group_parts.iter().chain(&noise_parts).map(Vec::len).sum();
+        let mut demands = Vec::with_capacity(total);
+        for part in group_parts.into_iter().chain(noise_parts) {
+            demands.extend(part);
+        }
+        demands.sort_by_key(|d| (d.arrive, d.user));
+        Campus {
+            config: cfg,
             demands,
             ground_truth,
         }
@@ -227,6 +340,8 @@ impl CampusGenerator {
         let mut user_types = Vec::with_capacity(n);
         let mut profiles = Vec::with_capacity(n);
         let mut home_building = Vec::with_capacity(n);
+        let home_zipf = ZipfCache::new(cfg.buildings, 0.8);
+        let group_zipf = ZipfCache::new(cfg.buildings, 0.6);
         for _ in 0..n {
             let t = self.rng.random_range(0..USER_TYPE_COUNT);
             user_types.push(t);
@@ -238,7 +353,7 @@ impl CampusGenerator {
                 cfg.weekly_concentration,
                 volume_scale,
             ));
-            let b = zipf(&mut self.rng, cfg.buildings, 0.8);
+            let b = home_zipf.sample(&mut self.rng);
             home_building.push(BuildingId::new(b as u32));
         }
 
@@ -289,7 +404,7 @@ impl CampusGenerator {
                 // independent users.
                 break;
             }
-            let building = BuildingId::new(zipf(&mut self.rng, self.config.buildings, 0.6) as u32);
+            let building = BuildingId::new(group_zipf.sample(&mut self.rng) as u32);
             let meetings = sample_weekly_schedule(&mut self.rng, self.config.meetings_per_week);
             groups.push(Group {
                 id: GroupId::new(group_id),
@@ -308,118 +423,129 @@ impl CampusGenerator {
             groups,
         }
     }
+}
 
-    /// One session volume draw: log-normal, scaled by duration, user scale
-    /// and the type's heaviness factor, then split across realms by the
-    /// user's daily mix.
-    fn draw_volumes(
-        &mut self,
-        profile: &UserProfile,
-        day: u64,
-        duration: TimeDelta,
-    ) -> [Bytes; APP_CATEGORY_COUNT] {
-        let cfg = &self.config;
-        let mix = profile.daily_mix(&mut self.rng, day, cfg.daily_concentration);
-        let base = log_normal(&mut self.rng, cfg.volume_mu, cfg.volume_sigma);
-        let hours = (duration.as_secs_f64() / 3600.0).max(0.05);
-        let total = base * hours * profile.volume_scale * TYPE_VOLUME_FACTOR[profile.user_type];
-        let mut volumes = zero_volumes();
-        for (i, share) in mix.shares().iter().enumerate() {
-            volumes[i] = Bytes::new((total * share) as u64);
-        }
-        volumes
+/// One session volume draw: log-normal, scaled by duration, user scale
+/// and the type's heaviness factor, then split across realms by the
+/// user's daily mix.
+fn draw_volumes(
+    cfg: &CampusConfig,
+    rng: &mut StdRng,
+    profile: &UserProfile,
+    day: u64,
+    duration: TimeDelta,
+) -> [Bytes; APP_CATEGORY_COUNT] {
+    let mix = profile.daily_mix(rng, day, cfg.daily_concentration);
+    let base = log_normal(rng, cfg.volume_mu, cfg.volume_sigma);
+    let hours = (duration.as_secs_f64() / 3600.0).max(0.05);
+    let total = base * hours * profile.volume_scale * TYPE_VOLUME_FACTOR[profile.user_type];
+    let mut volumes = zero_volumes();
+    for (i, share) in mix.shares().iter().enumerate() {
+        volumes[i] = Bytes::new((total * share) as u64);
     }
+    volumes
+}
 
-    fn generate_group_sessions(&mut self, truth: &GroundTruth, out: &mut Vec<SessionDemand>) {
-        let days = self.config.days;
-        let groups = truth.groups.clone();
-        for group in &groups {
-            let controller = self.config.controller_of(group.building);
-            for day in 0..days {
-                let weekend = day % 7 >= 5;
-                for meeting in &group.meetings {
-                    let Some((start, end)) = meeting.occurrence_on(day) else {
-                        continue;
-                    };
-                    for &user in &group.members {
-                        let mut attend = self.config.attend_prob;
-                        if weekend {
-                            attend *= self.config.weekend_factor;
-                        }
-                        if !bernoulli(&mut self.rng, attend) {
-                            continue;
-                        }
-                        let arrive_jitter = truncated_normal(
-                            &mut self.rng,
-                            0.0,
-                            self.config.arrive_jitter_sd,
-                            -3.0 * self.config.arrive_jitter_sd,
-                            3.0 * self.config.arrive_jitter_sd,
-                        );
-                        let depart_jitter = truncated_normal(
-                            &mut self.rng,
-                            0.0,
-                            self.config.depart_jitter_sd,
-                            -3.0 * self.config.depart_jitter_sd,
-                            3.0 * self.config.depart_jitter_sd,
-                        );
-                        let arrive = Timestamp::from_secs(
-                            (start.as_secs() as f64 + arrive_jitter).max(0.0) as u64,
-                        );
-                        let depart_secs = (end.as_secs() as f64 + depart_jitter).max(0.0) as u64;
-                        let depart = Timestamp::from_secs(depart_secs.max(arrive.as_secs() + 60));
-                        let duration = depart.saturating_sub(arrive);
-                        let profile = truth.profiles[user.index()].clone();
-                        let volume_by_app = self.draw_volumes(&profile, day, duration);
-                        out.push(SessionDemand {
-                            user,
-                            building: group.building,
-                            controller,
-                            arrive,
-                            depart,
-                            volume_by_app,
-                        });
-                    }
-                }
-            }
-        }
-    }
-
-    fn generate_noise_sessions(&mut self, truth: &GroundTruth, out: &mut Vec<SessionDemand>) {
-        let cfg = self.config.clone();
-        for user_index in 0..cfg.users {
-            let user = UserId::new(user_index as u32);
-            let profile = truth.profiles[user_index].clone();
-            for day in 0..cfg.days {
-                let weekend = day % 7 >= 5;
-                let mut rate = cfg.noise_sessions_per_day;
+/// Emits all meeting attendances of one group across the configured days,
+/// drawing from `rng`. Shared by the sequential and parallel generators;
+/// the draw order per group is part of the pinned byte stream.
+fn emit_group_sessions(
+    cfg: &CampusConfig,
+    truth: &GroundTruth,
+    group: &Group,
+    rng: &mut StdRng,
+    out: &mut Vec<SessionDemand>,
+) {
+    let controller = cfg.controller_of(group.building);
+    for day in 0..cfg.days {
+        let weekend = day % 7 >= 5;
+        for meeting in &group.meetings {
+            let Some((start, end)) = meeting.occurrence_on(day) else {
+                continue;
+            };
+            for &user in &group.members {
+                let mut attend = cfg.attend_prob;
                 if weekend {
-                    rate *= cfg.weekend_factor;
+                    attend *= cfg.weekend_factor;
                 }
-                let sessions = poisson(&mut self.rng, rate);
-                for _ in 0..sessions {
-                    let hour = sample_diurnal_hour(&mut self.rng);
-                    let offset = self.rng.random_range(0..3_600u64);
-                    let arrive = Timestamp::from_secs(day * SECS_PER_DAY + hour * 3_600 + offset);
-                    let duration = sample_noise_duration(&mut self.rng);
-                    let depart = arrive + duration;
-                    // 70 % home building, otherwise a popularity-weighted one.
-                    let building = if bernoulli(&mut self.rng, 0.7) {
-                        truth.home_building[user_index]
-                    } else {
-                        BuildingId::new(zipf(&mut self.rng, cfg.buildings, 0.8) as u32)
-                    };
-                    let volume_by_app = self.draw_volumes(&profile, day, duration);
-                    out.push(SessionDemand {
-                        user,
-                        building,
-                        controller: cfg.controller_of(building),
-                        arrive,
-                        depart,
-                        volume_by_app,
-                    });
+                if !bernoulli(rng, attend) {
+                    continue;
                 }
+                let arrive_jitter = truncated_normal(
+                    rng,
+                    0.0,
+                    cfg.arrive_jitter_sd,
+                    -3.0 * cfg.arrive_jitter_sd,
+                    3.0 * cfg.arrive_jitter_sd,
+                );
+                let depart_jitter = truncated_normal(
+                    rng,
+                    0.0,
+                    cfg.depart_jitter_sd,
+                    -3.0 * cfg.depart_jitter_sd,
+                    3.0 * cfg.depart_jitter_sd,
+                );
+                let arrive =
+                    Timestamp::from_secs((start.as_secs() as f64 + arrive_jitter).max(0.0) as u64);
+                let depart_secs = (end.as_secs() as f64 + depart_jitter).max(0.0) as u64;
+                let depart = Timestamp::from_secs(depart_secs.max(arrive.as_secs() + 60));
+                let duration = depart.saturating_sub(arrive);
+                let profile = &truth.profiles[user.index()];
+                let volume_by_app = draw_volumes(cfg, rng, profile, day, duration);
+                out.push(SessionDemand {
+                    user,
+                    building: group.building,
+                    controller,
+                    arrive,
+                    depart,
+                    volume_by_app,
+                });
             }
+        }
+    }
+}
+
+/// Emits all independent diurnal sessions of one user across the configured
+/// days, drawing from `rng`. Shared by the sequential and parallel
+/// generators; the draw order per user is part of the pinned byte stream.
+fn emit_noise_sessions(
+    cfg: &CampusConfig,
+    truth: &GroundTruth,
+    home_zipf: &ZipfCache,
+    user_index: usize,
+    rng: &mut StdRng,
+    out: &mut Vec<SessionDemand>,
+) {
+    let user = UserId::new(user_index as u32);
+    let profile = &truth.profiles[user_index];
+    for day in 0..cfg.days {
+        let weekend = day % 7 >= 5;
+        let mut rate = cfg.noise_sessions_per_day;
+        if weekend {
+            rate *= cfg.weekend_factor;
+        }
+        let sessions = poisson(rng, rate);
+        for _ in 0..sessions {
+            let hour = sample_diurnal_hour(rng);
+            let offset = rng.random_range(0..3_600u64);
+            let arrive = Timestamp::from_secs(day * SECS_PER_DAY + hour * 3_600 + offset);
+            let duration = sample_noise_duration(rng);
+            let depart = arrive + duration;
+            // 70 % home building, otherwise a popularity-weighted one.
+            let building = if bernoulli(rng, 0.7) {
+                truth.home_building[user_index]
+            } else {
+                BuildingId::new(home_zipf.sample(rng) as u32)
+            };
+            let volume_by_app = draw_volumes(cfg, rng, profile, day, duration);
+            out.push(SessionDemand {
+                user,
+                building,
+                controller: cfg.controller_of(building),
+                arrive,
+                depart,
+                volume_by_app,
+            });
         }
     }
 }
@@ -484,6 +610,27 @@ mod tests {
         assert_eq!(a.demands, b.demands);
         let c = tiny_campus(8);
         assert_ne!(a.demands, c.demands);
+    }
+
+    #[test]
+    fn parallel_generation_is_thread_invariant() {
+        let t1 = CampusGenerator::new(CampusConfig::tiny(), 7).generate_par(1);
+        let t4 = CampusGenerator::new(CampusConfig::tiny(), 7).generate_par(4);
+        assert_eq!(t1.demands, t4.demands);
+        assert!(!t1.demands.is_empty());
+        for w in t1.demands.windows(2) {
+            assert!(w[0].arrive <= w[1].arrive);
+        }
+        // Population synthesis is shared with the sequential path, so the
+        // planted ground truth is identical even though the session streams
+        // differ.
+        let seq = tiny_campus(7);
+        assert_eq!(t1.ground_truth.user_types, seq.ground_truth.user_types);
+        assert_eq!(
+            t1.ground_truth.home_building,
+            seq.ground_truth.home_building
+        );
+        assert_eq!(t1.ground_truth.groups.len(), seq.ground_truth.groups.len());
     }
 
     #[test]

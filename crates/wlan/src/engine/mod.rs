@@ -260,7 +260,7 @@ impl SimEngine {
     /// `--shards 1` *is* the unified engine, not a one-worker pipeline.
     fn run_events_dispatch(
         &self,
-        source: &mut dyn DemandSource,
+        source: &mut (dyn DemandSource + Send),
         selectors: &mut [Box<dyn ApSelector + Send>],
         sink: &mut dyn RecordSink,
     ) -> Result<RunTotals, EngineError> {
@@ -288,7 +288,7 @@ impl SimEngine {
     /// As [`SimEngine::run_source`].
     pub fn run_sharded_source(
         &self,
-        source: &mut dyn DemandSource,
+        source: &mut (dyn DemandSource + Send),
         selectors: &mut [Box<dyn ApSelector + Send>],
     ) -> Result<SimResult, EngineError> {
         let mut sink = CollectSink::with_capacity(source.len_hint().unwrap_or(0));
@@ -312,7 +312,7 @@ impl SimEngine {
     /// [`EngineError::StreamedRebalance`] with the rebalancer on).
     pub fn run_sharded_streamed(
         &self,
-        source: &mut dyn DemandSource,
+        source: &mut (dyn DemandSource + Send),
         selectors: &mut [Box<dyn ApSelector + Send>],
         sink: &mut dyn RecordSink,
     ) -> Result<RunTotals, EngineError> {
@@ -332,7 +332,7 @@ impl SimEngine {
     /// As [`SimEngine::run_traced`].
     pub fn run_sharded_traced(
         &self,
-        source: &mut dyn DemandSource,
+        source: &mut (dyn DemandSource + Send),
         selectors: &mut [Box<dyn ApSelector + Send>],
         sink: &mut dyn RecordSink,
     ) -> Result<RunTotals, EngineError> {
@@ -886,6 +886,79 @@ mod tests {
             // The decision logs agree record for record as well.
             let body = traced_body(&engine, &demands, 1);
             for shards in [2, 8] {
+                assert_eq!(
+                    traced_body(&engine, &demands, shards),
+                    body,
+                    "shards={shards}"
+                );
+            }
+        }
+
+        #[test]
+        fn sixteen_shards_above_controller_count_match_unified() {
+            // `--shards 16` on a four-controller campus: twelve shards
+            // are structurally empty and are never spawned (the plan
+            // packs non-empty shards into a prefix), yet results and
+            // decision logs must stay byte-identical to the unified run.
+            let (config, demands) = four_controller_fixture();
+            let engine = SimEngine::new(Topology::from_campus(&config), SimConfig::default());
+            let unified = engine.run(&demands, &mut LeastLoadedFirst::new());
+            let sharded = run_sharded(&engine, &demands, shard_selectors(16));
+            assert_eq!(sharded, unified);
+            assert_eq!(
+                traced_body(&engine, &demands, 16),
+                traced_body(&engine, &demands, 1)
+            );
+        }
+
+        #[test]
+        fn maximally_uneven_chunks_match_unified() {
+            // Five controllers over four shards: the plan front-loads
+            // the extras (chunks 2,1,1,1), so one shard owns twice the
+            // controllers of the rest — the most uneven split the
+            // contiguous plan produces. Three shards gives 2,2,1.
+            let config = CampusConfig {
+                buildings: 5,
+                aps_per_building: 3,
+                users: 60,
+                days: 2,
+                ..CampusConfig::campus()
+            };
+            let campus = CampusGenerator::new(config, 21).generate();
+            let mut demands = campus.demands;
+            demands.sort_by_key(|d| (d.arrive, d.user));
+            let engine =
+                SimEngine::new(Topology::from_campus(&campus.config), SimConfig::default());
+            let unified = engine.run(&demands, &mut LeastLoadedFirst::new());
+            let body = traced_body(&engine, &demands, 1);
+            for shards in [3, 4] {
+                let sharded = run_sharded(&engine, &demands, shard_selectors(shards));
+                assert_eq!(sharded, unified, "shards={shards}");
+                assert_eq!(
+                    traced_body(&engine, &demands, shards),
+                    body,
+                    "shards={shards}"
+                );
+            }
+        }
+
+        #[test]
+        fn single_epoch_trace_matches_unified() {
+            // Every arrival inside one batch window: the whole run is a
+            // single cycle, exercising the partial-chunk flush (one
+            // cycle ≪ the chunk size) and the final drain back to back.
+            let engine = tiny_engine();
+            let demands = vec![
+                demand(1, 0, 100, 400, 50),
+                demand(2, 1, 105, 300, 40),
+                demand(3, 0, 110, 500, 30),
+            ];
+            let unified = engine.run(&demands, &mut LeastLoadedFirst::new());
+            assert_eq!(unified.records.len(), 3);
+            let body = traced_body(&engine, &demands, 1);
+            for shards in [2, 4] {
+                let sharded = run_sharded(&engine, &demands, shard_selectors(shards));
+                assert_eq!(sharded, unified, "shards={shards}");
                 assert_eq!(
                     traced_body(&engine, &demands, shards),
                     body,

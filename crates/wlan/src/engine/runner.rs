@@ -160,9 +160,13 @@ struct RunCtx<'a> {
     emit_at_departure: bool,
     /// Per-batch record staging (placement-emission mode).
     scratch: Vec<SessionRecord>,
-    /// Reusable arrival buffer for `place_batch` — the outer allocation
-    /// survives across batches; only the per-user RSSI vectors are fresh.
+    /// Reusable arrival buffer for `place_batch`; both the outer
+    /// allocation and the per-user RSSI vectors survive across batches.
     arrivals: Vec<ArrivalUser>,
+    /// Reusable controller-grouping scratch for `place_batch` (index map +
+    /// member lists), hoisted so no per-batch allocation remains.
+    group_of: HashMap<ControllerId, usize>,
+    groups: Vec<(ControllerId, Vec<usize>)>,
     rejected: usize,
     placed: usize,
     /// Sessions closed at their scheduled departure (for the trace's end
@@ -214,6 +218,8 @@ impl SimEngine {
             emit_at_departure: rebalance.is_some(),
             scratch: Vec::new(),
             arrivals: Vec::new(),
+            group_of: HashMap::new(),
+            groups: Vec::new(),
             rejected: 0,
             placed: 0,
             departed: 0,
@@ -312,9 +318,9 @@ impl SimEngine {
             }
             EventPayload::LoadReport => {
                 ctx.load_reports.inc();
-                for (r, s) in ctx.run.reported.iter_mut().zip(&ctx.run.state) {
-                    *r = s.load;
-                    ctx.ap_load_kbps.observe((s.load.as_f64() / 1_000.0) as u64);
+                for (r, &load) in ctx.run.reported.iter_mut().zip(&ctx.run.loads) {
+                    *r = load;
+                    ctx.ap_load_kbps.observe((load.as_f64() / 1_000.0) as u64);
                 }
                 ctx.sink
                     .observe(&TraceEvent::Report {
@@ -347,17 +353,27 @@ impl SimEngine {
         ctx.batches.inc();
         ctx.batch_size.observe(batch.len() as u64);
         // Group the batch by controller, preserving first-appearance
-        // order; an index map replaces the old O(n²) `contains` scan.
-        let mut group_of: HashMap<ControllerId, usize> = HashMap::new();
-        let mut groups: Vec<(ControllerId, Vec<usize>)> = Vec::new();
+        // order; an index map replaces the old O(n²) `contains` scan. The
+        // scratch lives in the ctx (taken/restored around the loop so the
+        // trace hooks can still borrow ctx) — no per-batch allocation.
+        let mut group_of = std::mem::take(&mut ctx.group_of);
+        let mut groups = std::mem::take(&mut ctx.groups);
+        group_of.clear();
+        let mut used = 0usize;
         for (i, d) in batch.iter().enumerate() {
             let gi = *group_of.entry(d.controller).or_insert_with(|| {
-                groups.push((d.controller, Vec::new()));
-                groups.len() - 1
+                if used < groups.len() {
+                    groups[used].0 = d.controller;
+                    groups[used].1.clear();
+                } else {
+                    groups.push((d.controller, Vec::new()));
+                }
+                used += 1;
+                used - 1
             });
             groups[gi].1.push(i);
         }
-        for (controller, members) in &groups {
+        for (controller, members) in &groups[..used] {
             let aps = self.topology.aps_of_controller(*controller);
             if aps.is_empty() {
                 ctx.rejected += members.len();
@@ -409,6 +425,8 @@ impl SimEngine {
                 }
             }
         }
+        ctx.group_of = group_of;
+        ctx.groups = groups;
         if !ctx.emit_at_departure && !ctx.scratch.is_empty() {
             // Emitted per batch in `(connect, user, ap)` order; batch
             // connect ranges are disjoint and increasing, so the streamed
@@ -555,8 +573,10 @@ impl EpochSchedule {
 /// a group are a pure function of `(topology, run state, group demands)`,
 /// which is exactly why per-controller sharding cannot change decisions.
 ///
-/// `arrivals` is a reusable buffer (the outer allocation survives across
-/// batches; only the per-user RSSI vectors are fresh).
+/// `arrivals` is a reusable buffer: slots (including their RSSI vectors)
+/// are overwritten in place and persist across batches, so the steady
+/// state runs without per-demand allocation — at city scale the old
+/// fresh-`Vec`-per-arrival pattern was millions of allocations.
 pub(super) fn select_group<'d>(
     topology: &crate::topology::Topology,
     run: &RunState,
@@ -566,23 +586,33 @@ pub(super) fn select_group<'d>(
     demands: impl Iterator<Item = &'d SessionDemand>,
     arrivals: &mut Vec<ArrivalUser>,
 ) -> Result<(Vec<usize>, Vec<DecisionMeta>), EngineError> {
-    arrivals.clear();
+    let mut n = 0usize;
     for d in demands {
         let pos = session_position(d.user, d.arrive);
-        let mut rssi = Vec::with_capacity(aps.len());
+        if n == arrivals.len() {
+            arrivals.push(ArrivalUser {
+                user: d.user,
+                now: d.arrive,
+                demand_hint: d.mean_rate(),
+                rssi: Vec::with_capacity(aps.len()),
+            });
+        } else {
+            let slot = &mut arrivals[n];
+            slot.user = d.user;
+            slot.now = d.arrive;
+            slot.demand_hint = d.mean_rate();
+            slot.rssi.clear();
+        }
+        let slot = &mut arrivals[n];
         for &ap in aps {
             let info = topology
                 .ap(ap)
                 .ok_or(EngineError::MissingAp { ap, controller })?;
-            rssi.push(rssi_at(distance(pos, info.position)));
+            slot.rssi.push(rssi_at(distance(pos, info.position)));
         }
-        arrivals.push(ArrivalUser {
-            user: d.user,
-            now: d.arrive,
-            demand_hint: d.mean_rate(),
-            rssi,
-        });
+        n += 1;
     }
+    let arrivals = &arrivals[..n];
     let picks = {
         // Zero-copy candidate views borrowing the engine's live
         // association state — nothing is cloned per candidate.
@@ -595,7 +625,7 @@ pub(super) fn select_group<'d>(
                 ap,
                 run.reported[ap.index()],
                 info.capacity,
-                &run.state[ap.index()].associated,
+                &run.associated[ap.index()],
             ));
         }
         selector.select_batch(arrivals, &views)
@@ -647,16 +677,14 @@ pub(super) fn rebalance_controller(
         let mut max_ap = aps[0];
         let mut min_ap = aps[0];
         for &ap in aps {
-            if run.state[ap.index()].load > run.state[max_ap.index()].load {
+            if run.loads[ap.index()] > run.loads[max_ap.index()] {
                 max_ap = ap;
             }
-            if run.state[ap.index()].load < run.state[min_ap.index()].load {
+            if run.loads[ap.index()] < run.loads[min_ap.index()] {
                 min_ap = ap;
             }
         }
-        let gap = run.state[max_ap.index()]
-            .load
-            .saturating_sub(run.state[min_ap.index()].load);
+        let gap = run.loads[max_ap.index()].saturating_sub(run.loads[min_ap.index()]);
         if gap.as_f64() <= 0.0 {
             break;
         }
@@ -698,9 +726,8 @@ pub(super) fn rebalance_controller(
             record,
         })?;
         run.release(old, user, rate);
-        let new_state = &mut run.state[min_ap.index()];
-        new_state.load += rate;
-        new_state.associated.push(user);
+        run.loads[min_ap.index()] += rate;
+        run.associated[min_ap.index()].push(user);
     }
     Ok(())
 }

@@ -9,40 +9,76 @@
 //! rebalancer migrates only within a controller's domain. Partitioning
 //! controllers across shards therefore cannot change any decision — only
 //! the *interleaving* of work. Three couplings remain global, and all
-//! three live on the coordinator:
+//! three live on the coordinator side:
 //!
 //! * **batch boundaries** — batches are formed from the global arrival
 //!   stream ([`next_batch`]); a per-shard batcher would group a
 //!   controller's arrivals differently and change selector inputs;
 //! * **identifier assignment** — session indices and event-queue
 //!   sequence numbers are pure functions of the cycle structure (what
-//!   fires this cycle, which members place), so the coordinator computes
-//!   them up front and shards schedule departures under the exact
-//!   `(time, rank, seq)` keys the unified queue would have used;
+//!   fires this cycle, which members place), so the ingest thread
+//!   computes them up front and shards schedule departures under the
+//!   exact `(time, rank, seq)` keys the unified queue would have used;
 //! * **output order** — each cycle's decisions are merged in the
 //!   canonical order of the unified drain: departures by `(time, seq)`
 //!   across shards, moves in ascending-controller order, one global load
 //!   report, then the batch's groups in first-appearance order.
 //!
-//! # Barrier model
+//! # Batched-epoch wire contract
 //!
 //! A *cycle* (one arrival batch plus everything due at its head) is the
-//! epoch. The coordinator forms the cycle, mails a [`CycleMsg`] to every
-//! shard, and each shard independently drains its own departures, runs
-//! its rebalance/report share, and places its groups. The barrier is the
-//! merge: cycle `c` is emitted only when every shard has returned its
-//! [`CycleOut`] for `c`. Up to [`PIPELINE_CYCLES`] cycles are in flight
-//! per shard, so shards overlap work without ever reordering output.
-//! Cross-shard events cannot exist mid-cycle by construction: a session
-//! lives and dies within one controller (roaming appears in traces as
-//! separate sessions), so the only cross-shard exchanges are the global
-//! batch fan-out and the merged report/trace stream — both at barriers.
+//! epoch, but cycles never travel alone: the wire unit is a **chunk** of
+//! up to [`CHUNK_CYCLES`] cycles, so channel traffic is one send per
+//! shard per chunk instead of one per shard per cycle. Three message
+//! streams exist:
+//!
+//! * ingest → shard: [`ToShard::Chunk`] carrying a flat `Vec<CycleMsg>`.
+//!   Each [`CycleMsg`] shares the cycle's arrival batch as an
+//!   `Arc<Vec<SessionDemand>>` (one allocation fanned out to every
+//!   shard) and lists only the groups the shard owns, as
+//!   `Arc<GroupMsg>`s holding *member indices into the batch* — demands
+//!   are never copied per shard.
+//! * ingest → merger: [`MetaMsg::Chunk`] carrying the matching
+//!   `Vec<CycleMeta>` (same batch `Arc`, every group with its owner, the
+//!   cycle's pre-assigned sequence numbers). `MetaMsg::Finish` /
+//!   `MetaMsg::Fail` terminate the stream.
+//! * shard → merger: one reply per chunk, `Ok(Vec<CycleOut>)` with
+//!   exactly one entry per cycle of the chunk (or the first error).
+//!
+//! Within a chunk the ingest thread sends every shard's payload *before*
+//! the meta payload, and the merger consumes meta chunks in order — so
+//! whenever the merger waits on chunk `k`'s shard replies, every shard
+//! already holds chunk `k`. All channels are bounded at
+//! [`IN_FLIGHT_CHUNKS`]; backpressure bounds memory without deadlock.
+//!
+//! # Pipeline roles
+//!
+//! Three roles run under one thread scope:
+//!
+//! 1. the **ingest thread** pulls demands, forms global cycles
+//!    ([`next_batch`] + [`EpochSchedule`]), assigns session indices and
+//!    queue sequences, groups members per controller, and fans chunks
+//!    out — overlapping source I/O and cycle formation with shard
+//!    execution;
+//! 2. **shard workers** (one per non-empty shard) drain their own
+//!    departures, run their rebalance/report share, and place their
+//!    groups;
+//! 3. the **merger** (the calling thread — it owns the non-`Send` sink)
+//!    joins each cycle at the barrier and emits everything in unified
+//!    order.
+//!
+//! Shards beyond the controller count are structurally empty and are
+//! never spawned: the plan packs non-empty shards into a prefix, so the
+//! barrier only ever waits on shards with actual work.
 //!
 //! The result is byte-identical to the unified engine at any
 //! `--shards N × --threads M`: same records, same `s3-dtrace/1` bodies,
-//! same stable metrics (a [`QueueMirror`] on the coordinator replays the
-//! unified queue's push/pop sequence so even the queue-depth histogram
-//! matches).
+//! same stable metrics. The unified queue's `events_processed` /
+//! queue-peak totals are reproduced from per-cycle counters: every push
+//! and pop of the unified drain is mirrored as a bulk add/subtract at
+//! the exact cycle boundaries, and since pushes within a cycle are
+//! monotone (no interleaved pops), bulk peak updates see the same
+//! maximum the per-event mirror did.
 //!
 //! # Shard-invariance contract
 //!
@@ -51,13 +87,15 @@
 //! this except `RandomSelector`, which draws from one sequential RNG
 //! stream — the CLI rejects `--shards > 1` with the random policy.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use s3_obs::{Desc, HistogramDesc, Stability, Unit};
 use s3_par::mailbox::{self, Receiver, Sender};
 use s3_trace::{SessionDemand, SessionRecord};
-use s3_types::{ApId, BitsPerSec, ControllerId, Timestamp, UserId};
+use s3_types::{ApId, BitsPerSec, ControllerId, TimeDelta, Timestamp, UserId};
 
 use super::events::{publish_queue_totals, EventPayload, EventQueue};
 use super::runner::{
@@ -68,20 +106,68 @@ use super::runner::{
 use super::source::{DemandSource, EngineError, RecordSink};
 use super::state::{Active, RunState};
 use super::tracing::TraceEvent;
-use super::SimEngine;
+use super::{RebalanceConfig, SimEngine};
 use crate::selector::{ApSelector, ArrivalUser};
 use crate::topology::Topology;
 
-/// Cycles in flight per shard between the coordinator and the merge
-/// barrier. Mailbox capacities exceed this by a margin, so neither side
-/// ever blocks on a send — the window only bounds memory.
-const PIPELINE_CYCLES: usize = 16;
+/// Cycles carried per cross-shard chunk. Larger chunks amortize channel
+/// locking further but delay the merger's first byte; 32 keeps the
+/// end-to-end latency of a chunk well under a millisecond at city scale
+/// while cutting sends by ~32× versus the per-cycle protocol.
+const CHUNK_CYCLES: usize = 32;
+
+/// Chunks in flight per channel (ingest→shard, shard→merger and
+/// ingest→merger are all bounded at this). Sized so a temporarily slow
+/// role never stalls the others: up to `IN_FLIGHT_CHUNKS × CHUNK_CYCLES`
+/// cycles of work sit between ingest and merge.
+const IN_FLIGHT_CHUNKS: usize = 4;
+
+// Sharded-pipeline phase metrics (documented in docs/METRICS.md). All
+// Volatile: their values depend on host timing and shard count, and the
+// stable-snapshot identity contract (`--shards 1` vs `--shards 4` byte-
+// identical) only covers Stable metrics — the unified path never records
+// these.
+static CHUNKS: Desc = Desc {
+    name: "wlan.shard.chunks",
+    help: "Cross-shard chunk rounds merged at the epoch barrier",
+    unit: Unit::Count,
+    stability: Stability::Volatile,
+};
+static BARRIER_WAIT_MICROS: HistogramDesc = HistogramDesc {
+    name: "wlan.shard.barrier_wait_micros",
+    help: "Coordinator wall time waiting on shard replies, per chunk",
+    unit: Unit::Micros,
+    stability: Stability::Volatile,
+    bounds: &[10, 100, 1_000, 10_000, 100_000, 1_000_000],
+};
+static MERGE_MICROS: HistogramDesc = HistogramDesc {
+    name: "wlan.shard.merge_micros",
+    help: "Coordinator wall time merging one chunk's cycle outputs",
+    unit: Unit::Micros,
+    stability: Stability::Volatile,
+    bounds: &[10, 100, 1_000, 10_000, 100_000, 1_000_000],
+};
+static SELECT_MICROS: HistogramDesc = HistogramDesc {
+    name: "wlan.shard.select_micros",
+    help: "Shard-worker wall time in policy selection, per chunk",
+    unit: Unit::Micros,
+    stability: Stability::Volatile,
+    bounds: &[10, 100, 1_000, 10_000, 100_000, 1_000_000],
+};
+static CHANNEL_OCCUPANCY: HistogramDesc = HistogramDesc {
+    name: "wlan.shard.channel_occupancy",
+    help: "Shard replies already queued when the coordinator reaches the barrier",
+    unit: Unit::Count,
+    stability: Stability::Volatile,
+    bounds: &[1, 2, 3, 4],
+};
 
 /// Assignment of controllers to shards: the ascending controller list
-/// split into contiguous, near-equal chunks. Contiguity keeps the merged
-/// move stream in ascending-controller order by plain shard-order
-/// concatenation. Shards beyond the controller count stay empty (legal:
-/// an empty shard drains nothing and returns empty cycles).
+/// split into contiguous, near-equal chunks (extras to low indices).
+/// Contiguity keeps the merged move stream in ascending-controller order
+/// by plain shard-order concatenation, and front-loading the extras
+/// packs every non-empty shard into a prefix — shards past the
+/// controller count are structurally empty and never spawned.
 struct ShardPlan {
     shards: Vec<Vec<ControllerId>>,
     owner: HashMap<ControllerId, usize>,
@@ -107,43 +193,84 @@ impl ShardPlan {
     }
 }
 
-/// One controller group of a cycle, with coordinator-assigned ids: the
+/// One controller group of a cycle, with ingest-assigned ids: the
 /// group's sessions get consecutive indices from `first_sid` and their
 /// departure events consecutive queue sequences from `first_dep_seq`.
+/// Members are indices into the cycle's shared batch — the demands
+/// themselves travel once, inside the batch `Arc`. Shared (`Arc`)
+/// between the owner shard's [`CycleMsg`] and the merger's
+/// [`CycleMeta`].
 struct GroupMsg {
     controller: ControllerId,
-    demands: Vec<SessionDemand>,
+    /// Indices into the cycle's batch, in batch order.
+    members: Vec<u32>,
     first_sid: u32,
     first_dep_seq: u64,
 }
 
-/// One epoch's work order for a shard.
+/// One epoch's work order for a shard. `groups` lists only the groups
+/// this shard owns; the batch is shared across all shards and the meta
+/// stream.
 struct CycleMsg {
     head: Timestamp,
     tick: bool,
     report: bool,
-    groups: Vec<GroupMsg>,
+    batch: Arc<Vec<SessionDemand>>,
+    groups: Vec<Arc<GroupMsg>>,
 }
 
 enum ToShard {
-    Cycle(Box<CycleMsg>),
+    /// Up to [`CHUNK_CYCLES`] cycles; reply with one [`CycleOut`] each.
+    Chunk(Vec<CycleMsg>),
     /// Source exhausted: drain every remaining departure and reply with
-    /// one final [`CycleOut`].
+    /// a single-element chunk holding the final drain.
     Finish,
 }
 
+/// A shard's per-chunk reply: one [`CycleOut`] per cycle, or the first
+/// error (after which the worker exits).
+type ShardReply = Result<Vec<CycleOut>, EngineError>;
+
+/// Ingest → merger stream, mirroring the shard chunking one-to-one.
+enum MetaMsg {
+    Chunk(Vec<CycleMeta>),
+    /// Source exhausted; shards have been told to finish.
+    Finish,
+    /// The demand source failed; abort with this error.
+    Fail(EngineError),
+}
+
+/// How one cycle group resolves at merge time.
+struct MetaGroup {
+    /// Owner shard, or `None` for controllers without APs — those are
+    /// unknown to every shard plan and the merger rejects the members
+    /// itself.
+    shard: Option<usize>,
+    msg: Arc<GroupMsg>,
+}
+
+/// Everything the merger must know about a cycle to emit it once every
+/// shard has reported back.
+struct CycleMeta {
+    head: Timestamp,
+    tick_seq: Option<u64>,
+    report_seq: Option<u64>,
+    batch_seq: u64,
+    batch: Arc<Vec<SessionDemand>>,
+    /// All groups in first-appearance order (placed and rejected).
+    groups: Vec<MetaGroup>,
+    /// Events the unified queue pushes for this cycle (1 for the batch,
+    /// +1 tick, +1 report) — input to the merger's queue counters.
+    cycle_events: u8,
+}
+
+/// One placement decision. Everything else the merger needs (sid, user,
+/// rate) is recomputed from the group's ids and the shared batch, so
+/// only the genuinely shard-computed fields cross the channel.
 struct SelectOut {
-    sid: u32,
-    user: UserId,
     ap: ApId,
     clique: Option<u32>,
     degraded: bool,
-    rate: BitsPerSec,
-}
-
-struct GroupOut {
-    controller: ControllerId,
-    selects: Vec<SelectOut>,
 }
 
 struct DepartOut {
@@ -166,116 +293,33 @@ struct MoveOut {
 /// A shard's results for one cycle, in shard-local processing order.
 #[derive(Default)]
 struct CycleOut {
+    /// Queue events this cycle popped (including departures of sessions
+    /// already closed) — folded into the merger's processed/depth
+    /// counters once per cycle instead of mirroring every event.
+    popped: u64,
     departs: Vec<DepartOut>,
     moves: Vec<MoveOut>,
     /// Own APs' loads after the report refresh (when the cycle reported).
     report: Option<Vec<(ApId, BitsPerSec)>>,
-    groups: Vec<GroupOut>,
-    /// Placement-mode records of this cycle's groups.
-    records: Vec<SessionRecord>,
-}
-
-impl CycleOut {
-    fn empty() -> Self {
-        CycleOut::default()
-    }
-}
-
-/// Mirror of the unified [`EventQueue`]'s push/pop sequence, kept by the
-/// coordinator so `wlan.engine.events_processed` and the queue-peak
-/// histogram are byte-identical to the unified run: per cycle it pushes
-/// the cycle events, drains everything due at the head, then pushes the
-/// placed departures — exactly the unified order, counting depth and
-/// peak without owning payloads.
-struct QueueMirror {
-    departs: BinaryHeap<Reverse<u64>>,
-    depth: usize,
-    peak: usize,
-    processed: u64,
-}
-
-impl QueueMirror {
-    fn new() -> Self {
-        QueueMirror {
-            departs: BinaryHeap::new(),
-            depth: 0,
-            peak: 0,
-            processed: 0,
-        }
-    }
-
-    /// Mirrors pushing the cycle's tick/report/arrival events.
-    fn push_cycle_events(&mut self, count: usize) {
-        for _ in 0..count {
-            self.depth += 1;
-            self.peak = self.peak.max(self.depth);
-        }
-    }
-
-    /// Mirrors the cycle drain: every departure due at or before the
-    /// head, plus the cycle events themselves.
-    fn drain_due(&mut self, head_secs: u64, cycle_events: usize) {
-        let mut popped = 0;
-        while self
-            .departs
-            .peek()
-            .is_some_and(|&Reverse(t)| t <= head_secs)
-        {
-            self.departs.pop();
-            popped += 1;
-        }
-        self.depth -= popped + cycle_events;
-        self.processed += (popped + cycle_events) as u64;
-    }
-
-    /// Mirrors scheduling one departure during placement.
-    fn push_departure(&mut self, depart_secs: u64) {
-        self.departs.push(Reverse(depart_secs));
-        self.depth += 1;
-        self.peak = self.peak.max(self.depth);
-    }
-
-    /// Mirrors the final unconditional drain and publishes the totals.
-    fn finish_and_publish(mut self) {
-        self.processed += self.departs.len() as u64;
-        self.departs.clear();
-        publish_queue_totals(self.processed, self.peak);
-    }
-}
-
-/// How one cycle group resolves at merge time.
-enum MergeGroup {
-    /// Controller without APs: the coordinator rejects the members
-    /// itself (such controllers are unknown to every shard plan).
-    Rejected { users: Vec<UserId> },
-    /// Placed by `shard`; its [`GroupOut`]s are consumed in order.
-    Placed { shard: usize },
-}
-
-/// Everything the coordinator must remember about an in-flight cycle to
-/// merge it once all shards report back.
-struct CycleMeta {
-    head: Timestamp,
-    tick_seq: Option<u64>,
-    report_seq: Option<u64>,
-    batch_seq: u64,
-    batch: Vec<SessionDemand>,
-    groups: Vec<MergeGroup>,
+    /// One selects-vec per owned group, in [`CycleMsg::groups`] order.
+    groups: Vec<Vec<SelectOut>>,
 }
 
 /// Shard-local engine state driven by [`CycleMsg`]s. Holds full-size AP
 /// vectors (indexed by global AP id) but only ever touches its own
 /// controllers' entries; the local [`EventQueue`] holds only departures,
-/// scheduled under coordinator-assigned sequence numbers.
-struct ShardWorker<'t> {
-    topology: &'t Topology,
+/// scheduled under ingest-assigned sequence numbers.
+struct ShardWorker<'a> {
+    topology: &'a Topology,
     /// Own controllers, ascending.
-    controllers: Vec<ControllerId>,
+    controllers: &'a [ControllerId],
     max_moves: usize,
     emit_at_departure: bool,
     run: RunState,
     queue: EventQueue,
     arrivals: Vec<ArrivalUser>,
+    /// Selection wall time accumulated since the last chunk reply.
+    select_elapsed: Duration,
 }
 
 impl ShardWorker<'_> {
@@ -283,21 +327,37 @@ impl ShardWorker<'_> {
         mut self,
         selector: &mut (dyn ApSelector + Send),
         rx: Receiver<ToShard>,
-        tx: Sender<Result<CycleOut, EngineError>>,
+        tx: Sender<ShardReply>,
     ) {
+        let select_micros = s3_obs::global().histogram(&SELECT_MICROS);
         while let Some(msg) = rx.recv() {
             match msg {
-                ToShard::Cycle(cycle) => {
-                    let result = self.run_cycle(*cycle, selector);
-                    let stop = result.is_err();
-                    if tx.send(result).is_err() || stop {
+                ToShard::Chunk(cycles) => {
+                    let mut outs = Vec::with_capacity(cycles.len());
+                    for cycle in cycles {
+                        match self.run_cycle(cycle, selector) {
+                            Ok(out) => outs.push(out),
+                            Err(e) => {
+                                let _ = tx.send(Err(e));
+                                return;
+                            }
+                        }
+                    }
+                    select_micros.observe(self.select_elapsed.as_micros() as u64);
+                    self.select_elapsed = Duration::ZERO;
+                    if tx.send(Ok(outs)).is_err() {
                         return;
                     }
                 }
                 ToShard::Finish => {
-                    let mut out = CycleOut::empty();
-                    self.pop_departures(None, &mut out);
-                    let _ = tx.send(Ok(out));
+                    let mut departs = Vec::new();
+                    let popped = self.pop_departures(None, &mut departs);
+                    let out = CycleOut {
+                        popped,
+                        departs,
+                        ..CycleOut::default()
+                    };
+                    let _ = tx.send(Ok(vec![out]));
                     return;
                 }
             }
@@ -307,14 +367,18 @@ impl ShardWorker<'_> {
     /// Drains departures due at or before `due` (all of them when
     /// `None`), in global `(time, seq)` order restricted to this shard —
     /// which preserves the per-AP floating-point release order, since an
-    /// AP lives in exactly one shard.
-    fn pop_departures(&mut self, due: Option<Timestamp>, out: &mut CycleOut) {
+    /// AP lives in exactly one shard. Returns the number of events
+    /// popped (dead sessions included — the unified loop counts those
+    /// pops too).
+    fn pop_departures(&mut self, due: Option<Timestamp>, departs: &mut Vec<DepartOut>) -> u64 {
+        let mut popped = 0;
         loop {
             let event = match due {
                 Some(head) => self.queue.pop_due(head),
                 None => self.queue.pop(),
             };
             let Some(event) = event else { break };
+            popped += 1;
             let EventPayload::Departure { session } = event.payload else {
                 unreachable!("shard queues hold departures only");
             };
@@ -326,7 +390,7 @@ impl ShardWorker<'_> {
                 .emit_at_departure
                 .then(|| active.close_segment(end, true));
             self.run.release(active.ap, active.user, active.rate);
-            out.departs.push(DepartOut {
+            departs.push(DepartOut {
                 at: event.at,
                 seq: event.seq,
                 sid: session,
@@ -335,6 +399,7 @@ impl ShardWorker<'_> {
                 record,
             });
         }
+        popped
     }
 
     fn run_cycle(
@@ -342,12 +407,17 @@ impl ShardWorker<'_> {
         cycle: CycleMsg,
         selector: &mut (dyn ApSelector + Send),
     ) -> Result<CycleOut, EngineError> {
-        let mut out = CycleOut::empty();
         // Rank order of the unified drain at one head: departures (0),
         // rebalance tick (1), load report (2), arrival batch (3).
-        self.pop_departures(Some(cycle.head), &mut out);
+        let mut departs = Vec::new();
+        let popped = self.pop_departures(Some(cycle.head), &mut departs);
+        let mut out = CycleOut {
+            popped,
+            departs,
+            ..CycleOut::default()
+        };
         if cycle.tick {
-            for &controller in &self.controllers {
+            for &controller in self.controllers {
                 let aps = self.topology.aps_of_controller(controller);
                 rebalance_controller(&mut self.run, aps, self.max_moves, cycle.head, &mut |mv| {
                     out.moves.push(MoveOut {
@@ -363,19 +433,19 @@ impl ShardWorker<'_> {
         }
         if cycle.report {
             let mut loads = Vec::new();
-            for &controller in &self.controllers {
+            for &controller in self.controllers {
                 for &ap in self.topology.aps_of_controller(controller) {
-                    let Some(state) = self.run.state.get(ap.index()) else {
+                    let Some(&load) = self.run.loads.get(ap.index()) else {
                         return Err(EngineError::MissingAp { ap, controller });
                     };
-                    let load = state.load;
                     self.run.reported[ap.index()] = load;
                     loads.push((ap, load));
                 }
             }
             out.report = Some(loads);
         }
-        for group in cycle.groups {
+        let started = Instant::now();
+        for group in &cycle.groups {
             let aps = self.topology.aps_of_controller(group.controller);
             let (picks, metas) = select_group(
                 self.topology,
@@ -383,38 +453,30 @@ impl ShardWorker<'_> {
                 selector,
                 group.controller,
                 aps,
-                group.demands.iter(),
+                group.members.iter().map(|&i| &cycle.batch[i as usize]),
                 &mut self.arrivals,
             )?;
             let mut selects = Vec::with_capacity(picks.len());
-            for (j, (&pick, d)) in picks.iter().zip(&group.demands).enumerate() {
+            for (j, (&pick, &i)) in picks.iter().zip(&group.members).enumerate() {
+                let d = &cycle.batch[i as usize];
                 let sid = group.first_sid + j as u32;
                 let ap = aps[pick];
                 self.run.place_at(d, ap, sid);
                 let m = metas[j];
                 selects.push(SelectOut {
-                    sid,
-                    user: d.user,
                     ap,
                     clique: m.clique,
                     degraded: m.degraded,
-                    rate: d.mean_rate(),
                 });
                 self.queue.push_with_seq(
                     d.depart,
                     group.first_dep_seq + j as u64,
                     EventPayload::Departure { session: sid },
                 );
-                if !self.emit_at_departure {
-                    let mut active = Active::from_demand(d, ap);
-                    out.records.push(active.close_segment(d.depart, true));
-                }
             }
-            out.groups.push(GroupOut {
-                controller: group.controller,
-                selects,
-            });
+            out.groups.push(selects);
         }
+        self.select_elapsed += started.elapsed();
         Ok(out)
     }
 }
@@ -423,14 +485,198 @@ fn worker_died() -> EngineError {
     EngineError::Sink(io::Error::other("shard worker terminated unexpectedly"))
 }
 
+/// Takes one chunk reply off a shard's output channel.
+fn recv_reply(rx: &Receiver<ShardReply>) -> Result<Vec<CycleOut>, EngineError> {
+    match rx.recv() {
+        Some(Ok(outs)) => Ok(outs),
+        Some(Err(e)) => Err(e),
+        None => Err(worker_died()),
+    }
+}
+
+/// Recovers the terminal error after the ingest thread died without a
+/// verdict (its send to a shard failed, so a worker holds the real
+/// explanation on its output channel — drain them all until one shows).
+fn sweep_worker_error(from_shards: &[Receiver<ShardReply>]) -> EngineError {
+    for rx in from_shards {
+        while let Some(reply) = rx.recv() {
+            if let Err(e) = reply {
+                return e;
+            }
+        }
+    }
+    worker_died()
+}
+
+/// Sends the buffered chunk: every shard's payload first, then the meta
+/// payload — the order the deadlock-freedom argument in the module docs
+/// relies on. Returns `false` if a peer disconnected (the pipeline is
+/// unwinding; the caller just exits).
+fn flush_chunk(
+    to_shards: &[Sender<ToShard>],
+    meta_tx: &Sender<MetaMsg>,
+    shard_bufs: &mut [Vec<CycleMsg>],
+    meta_buf: &mut Vec<CycleMeta>,
+) -> bool {
+    for (tx, buf) in to_shards.iter().zip(shard_bufs.iter_mut()) {
+        let chunk = std::mem::replace(buf, Vec::with_capacity(CHUNK_CYCLES));
+        if tx.send(ToShard::Chunk(chunk)).is_err() {
+            return false;
+        }
+    }
+    let metas = std::mem::replace(meta_buf, Vec::with_capacity(CHUNK_CYCLES));
+    meta_tx.send(MetaMsg::Chunk(metas)).is_ok()
+}
+
+/// The ingest role: pulls demands, forms global cycles, assigns every
+/// identifier, and fans chunks out to the shards and the merger. Runs on
+/// its own thread so source I/O and cycle formation overlap shard
+/// execution and merging.
+fn ingest_cycles(
+    source: &mut (dyn DemandSource + Send),
+    batch_window: TimeDelta,
+    report_interval: TimeDelta,
+    rebalance: Option<RebalanceConfig>,
+    plan: &ShardPlan,
+    to_shards: Vec<Sender<ToShard>>,
+    meta_tx: Sender<MetaMsg>,
+) {
+    let demands_total = s3_obs::global().counter(&DEMANDS);
+    let mut epochs = EpochSchedule::new();
+    let mut pending: Option<SessionDemand> = None;
+    let mut next_seq: u64 = 0;
+    let mut next_sid: u32 = 0;
+    // Reusable per-cycle grouping scratch: controller → group index, the
+    // groups in first-appearance order (owner, controller, members), and
+    // the per-shard routed group lists.
+    let mut group_of: HashMap<ControllerId, usize> = HashMap::new();
+    let mut order: Vec<(Option<usize>, ControllerId, Vec<u32>)> = Vec::new();
+    let mut per_shard: Vec<Vec<Arc<GroupMsg>>> = to_shards.iter().map(|_| Vec::new()).collect();
+    let mut shard_bufs: Vec<Vec<CycleMsg>> = to_shards
+        .iter()
+        .map(|_| Vec::with_capacity(CHUNK_CYCLES))
+        .collect();
+    let mut meta_buf: Vec<CycleMeta> = Vec::with_capacity(CHUNK_CYCLES);
+
+    loop {
+        let batch = match next_batch(source, &mut pending, batch_window) {
+            Ok(Some(batch)) => batch,
+            Ok(None) => break,
+            Err(e) => {
+                // Buffered cycles are discarded along with the error
+                // verdict's successors: the shards never saw them, so
+                // the pipeline stays consistent.
+                let _ = meta_tx.send(MetaMsg::Fail(e));
+                return;
+            }
+        };
+        let head = batch[0].arrive;
+        demands_total.add(batch.len() as u64);
+        let tick = epochs.tick_due(head, rebalance.as_ref());
+        let report = epochs.report_due(head, report_interval);
+        // Sequence numbers replicate the unified push order: tick,
+        // report, arrival batch, then one per placed member.
+        let mut take_seq = || {
+            let s = next_seq;
+            next_seq += 1;
+            s
+        };
+        let tick_seq = tick.then(&mut take_seq);
+        let report_seq = report.then(&mut take_seq);
+        let batch_seq = take_seq();
+        let cycle_events = 1 + u8::from(tick) + u8::from(report);
+
+        // Group by controller in first-appearance order (the same
+        // grouping `place_batch` computes). Controllers without APs are
+        // unknown to every shard plan: their groups carry no ids and the
+        // merger rejects the members.
+        group_of.clear();
+        let mut used = 0usize;
+        for (i, d) in batch.iter().enumerate() {
+            let gi = *group_of.entry(d.controller).or_insert_with(|| {
+                let shard = plan.owner.get(&d.controller).copied();
+                if used < order.len() {
+                    order[used].0 = shard;
+                    order[used].1 = d.controller;
+                    order[used].2.clear();
+                } else {
+                    order.push((shard, d.controller, Vec::new()));
+                }
+                used += 1;
+                used - 1
+            });
+            order[gi].2.push(i as u32);
+        }
+        // Assign sids/departure seqs in global group-major order — the
+        // order `place_batch` admits sessions and schedules departures
+        // (rejected groups consume no ids).
+        let mut meta_groups: Vec<MetaGroup> = Vec::with_capacity(used);
+        for (shard, controller, members) in &mut order[..used] {
+            let (first_sid, first_dep_seq) = if shard.is_some() {
+                let ids = (next_sid, next_seq);
+                next_sid += members.len() as u32;
+                next_seq += members.len() as u64;
+                ids
+            } else {
+                (0, 0)
+            };
+            let msg = Arc::new(GroupMsg {
+                controller: *controller,
+                members: std::mem::take(members),
+                first_sid,
+                first_dep_seq,
+            });
+            if let Some(s) = *shard {
+                per_shard[s].push(Arc::clone(&msg));
+            }
+            meta_groups.push(MetaGroup { shard: *shard, msg });
+        }
+
+        let batch = Arc::new(batch);
+        for (s, buf) in shard_bufs.iter_mut().enumerate() {
+            buf.push(CycleMsg {
+                head,
+                tick,
+                report,
+                batch: Arc::clone(&batch),
+                groups: std::mem::take(&mut per_shard[s]),
+            });
+        }
+        meta_buf.push(CycleMeta {
+            head,
+            tick_seq,
+            report_seq,
+            batch_seq,
+            batch,
+            groups: meta_groups,
+            cycle_events,
+        });
+        if meta_buf.len() >= CHUNK_CYCLES
+            && !flush_chunk(&to_shards, &meta_tx, &mut shard_bufs, &mut meta_buf)
+        {
+            return;
+        }
+    }
+    if !meta_buf.is_empty() && !flush_chunk(&to_shards, &meta_tx, &mut shard_bufs, &mut meta_buf) {
+        return;
+    }
+    for tx in &to_shards {
+        if tx.send(ToShard::Finish).is_err() {
+            return;
+        }
+    }
+    let _ = meta_tx.send(MetaMsg::Finish);
+}
+
 impl SimEngine {
-    /// The sharded replay loop: one worker thread per selector, one
-    /// coordinator (the calling thread) forming global cycles, assigning
-    /// identifiers, and merging shard outputs in canonical order. See
-    /// the module docs for the determinism argument.
+    /// The sharded replay loop: one worker thread per non-empty shard,
+    /// one ingest thread forming global cycles and assigning
+    /// identifiers, and the calling thread merging shard outputs in
+    /// canonical order. See the module docs for the determinism argument
+    /// and the wire contract.
     pub(super) fn run_events_sharded(
         &self,
-        source: &mut dyn DemandSource,
+        source: &mut (dyn DemandSource + Send),
         selectors: &mut [Box<dyn ApSelector + Send>],
         sink: &mut dyn RecordSink,
     ) -> Result<RunTotals, EngineError> {
@@ -438,41 +684,64 @@ impl SimEngine {
             !selectors.is_empty(),
             "sharded run needs at least one selector"
         );
-        let shard_count = selectors.len();
         let registry = s3_obs::global();
         let _span = registry.timer(&RUN_MICROS);
         registry.counter(&RUNS).inc();
-        let plan = ShardPlan::new(&self.topology, shard_count);
+        let plan = ShardPlan::new(&self.topology, selectors.len());
+        // Non-empty shards form a prefix of the plan; empty ones would
+        // only add barrier traffic for structurally empty replies.
+        let active = plan.shards.iter().take_while(|s| !s.is_empty()).count();
         let rebalance = self.config.rebalance.clone();
         let max_moves = rebalance.as_ref().map_or(0, |rb| rb.max_moves_per_round);
         let emit_at_departure = rebalance.is_some();
+        let batch_window = self.config.batch_window;
+        let report_interval = self.config.load_report_interval;
 
         std::thread::scope(|scope| {
-            let mut to_shards: Vec<Sender<ToShard>> = Vec::with_capacity(shard_count);
-            let mut from_shards: Vec<Receiver<Result<CycleOut, EngineError>>> =
-                Vec::with_capacity(shard_count);
-            for (i, selector) in selectors.iter_mut().enumerate() {
-                let (to_tx, to_rx) = mailbox::bounded(PIPELINE_CYCLES + 2);
-                let (out_tx, out_rx) = mailbox::bounded(PIPELINE_CYCLES + 2);
+            let mut to_shards: Vec<Sender<ToShard>> = Vec::with_capacity(active);
+            let mut from_shards: Vec<Receiver<ShardReply>> = Vec::with_capacity(active);
+            for (i, selector) in selectors.iter_mut().take(active).enumerate() {
+                let (to_tx, to_rx) = mailbox::bounded(IN_FLIGHT_CHUNKS);
+                let (out_tx, out_rx) = mailbox::bounded(IN_FLIGHT_CHUNKS);
                 let worker = ShardWorker {
                     topology: &self.topology,
-                    controllers: plan.shards[i].clone(),
+                    controllers: &plan.shards[i],
                     max_moves,
                     emit_at_departure,
                     run: RunState::new(self.topology.ap_count()),
                     queue: EventQueue::new(),
                     arrivals: Vec::new(),
+                    select_elapsed: Duration::ZERO,
                 };
                 let sel: &mut (dyn ApSelector + Send) = &mut **selector;
                 scope.spawn(move || worker.run_loop(sel, to_rx, out_tx));
                 to_shards.push(to_tx);
                 from_shards.push(out_rx);
             }
+            let (meta_tx, meta_rx) = mailbox::bounded(IN_FLIGHT_CHUNKS);
+            let plan_ref = &plan;
+            scope.spawn(move || {
+                ingest_cycles(
+                    source,
+                    batch_window,
+                    report_interval,
+                    rebalance,
+                    plan_ref,
+                    to_shards,
+                    meta_tx,
+                );
+            });
             let mut merger = Merger {
                 topology: &self.topology,
                 sink,
                 emit_at_departure,
                 reported: vec![BitsPerSec::ZERO; self.topology.ap_count()],
+                depth: 0,
+                peak: 0,
+                processed: 0,
+                dep_pos: Vec::new(),
+                group_cursor: Vec::new(),
+                record_buf: Vec::new(),
                 placed: 0,
                 rejected: 0,
                 departed: 0,
@@ -484,170 +753,20 @@ impl SimEngine {
                 departures: registry.counter(&DEPARTURES),
                 load_reports: registry.counter(&LOAD_REPORTS),
                 ap_load_kbps: registry.histogram(&AP_LOAD_KBPS),
+                chunks: registry.counter(&CHUNKS),
+                barrier_wait: registry.histogram(&BARRIER_WAIT_MICROS),
+                merge_micros: registry.histogram(&MERGE_MICROS),
+                channel_occupancy: registry.histogram(&CHANNEL_OCCUPANCY),
             };
-            self.coordinate(
-                source,
-                &rebalance,
-                &plan,
-                &to_shards,
-                &from_shards,
-                &mut merger,
-            )
+            merger.run(&meta_rx, &from_shards)
         })
     }
-
-    fn coordinate(
-        &self,
-        source: &mut dyn DemandSource,
-        rebalance: &Option<super::RebalanceConfig>,
-        plan: &ShardPlan,
-        to_shards: &[Sender<ToShard>],
-        from_shards: &[Receiver<Result<CycleOut, EngineError>>],
-        merger: &mut Merger<'_, '_>,
-    ) -> Result<RunTotals, EngineError> {
-        let demands_total = s3_obs::global().counter(&DEMANDS);
-        let shard_count = to_shards.len();
-        let mut epochs = EpochSchedule::new();
-        let mut pending: Option<SessionDemand> = None;
-        let mut in_flight: VecDeque<CycleMeta> = VecDeque::new();
-        let mut mirror = QueueMirror::new();
-        let mut next_seq: u64 = 0;
-        let mut next_sid: u32 = 0;
-
-        while let Some(batch) = next_batch(source, &mut pending, self.config.batch_window)? {
-            let head = batch[0].arrive;
-            demands_total.add(batch.len() as u64);
-            let tick = epochs.tick_due(head, rebalance.as_ref());
-            let report = epochs.report_due(head, self.config.load_report_interval);
-            // Sequence numbers replicate the unified push order: tick,
-            // report, arrival batch, then one per placed member.
-            let mut take_seq = || {
-                let s = next_seq;
-                next_seq += 1;
-                s
-            };
-            let tick_seq = tick.then(&mut take_seq);
-            let report_seq = report.then(&mut take_seq);
-            let batch_seq = take_seq();
-            let cycle_events = 1 + usize::from(tick) + usize::from(report);
-            mirror.push_cycle_events(cycle_events);
-            mirror.drain_due(head.as_secs(), cycle_events);
-
-            // Group by controller in first-appearance order (the same
-            // grouping `place_batch` computes), routing each group to
-            // its owner shard with pre-assigned session indices and
-            // departure sequences. Controllers without APs are unknown
-            // to every shard: the coordinator rejects those members.
-            let mut group_of: HashMap<ControllerId, usize> = HashMap::new();
-            let mut merge_groups: Vec<MergeGroup> = Vec::new();
-            let mut shard_groups: Vec<Vec<GroupMsg>> =
-                (0..shard_count).map(|_| Vec::new()).collect();
-            let mut slot_of: Vec<Option<(usize, usize)>> = Vec::new();
-            for d in &batch {
-                let gi = *group_of.entry(d.controller).or_insert_with(|| {
-                    if let Some(&shard) = plan.owner.get(&d.controller) {
-                        shard_groups[shard].push(GroupMsg {
-                            controller: d.controller,
-                            demands: Vec::new(),
-                            first_sid: 0,
-                            first_dep_seq: 0,
-                        });
-                        slot_of.push(Some((shard, shard_groups[shard].len() - 1)));
-                        merge_groups.push(MergeGroup::Placed { shard });
-                    } else {
-                        slot_of.push(None);
-                        merge_groups.push(MergeGroup::Rejected { users: Vec::new() });
-                    }
-                    merge_groups.len() - 1
-                });
-                match slot_of[gi] {
-                    Some((shard, slot)) => shard_groups[shard][slot].demands.push(d.clone()),
-                    None => {
-                        let MergeGroup::Rejected { users } = &mut merge_groups[gi] else {
-                            unreachable!("slot-less groups are rejections");
-                        };
-                        users.push(d.user);
-                    }
-                }
-            }
-            // Assign sids/departure seqs in global group-major order —
-            // the order `place_batch` admits sessions and schedules
-            // departures. `slot_of` walks groups in first appearance.
-            for slot in &slot_of {
-                let Some((shard, idx)) = *slot else { continue };
-                let group = &mut shard_groups[shard][idx];
-                group.first_sid = next_sid;
-                group.first_dep_seq = next_seq;
-                next_sid += group.demands.len() as u32;
-                next_seq += group.demands.len() as u64;
-                for d in &group.demands {
-                    mirror.push_departure(d.depart.as_secs());
-                }
-            }
-
-            for (shard, groups) in shard_groups.into_iter().enumerate() {
-                let msg = ToShard::Cycle(Box::new(CycleMsg {
-                    head,
-                    tick,
-                    report,
-                    groups,
-                }));
-                if to_shards[shard].send(msg).is_err() {
-                    return Err(take_worker_error(&from_shards[shard]));
-                }
-            }
-            in_flight.push_back(CycleMeta {
-                head,
-                tick_seq,
-                report_seq,
-                batch_seq,
-                batch,
-                groups: merge_groups,
-            });
-            if in_flight.len() >= PIPELINE_CYCLES {
-                let meta = in_flight.pop_front().expect("window is non-empty");
-                merger.merge_cycle(meta, from_shards)?;
-            }
-        }
-        while let Some(meta) = in_flight.pop_front() {
-            merger.merge_cycle(meta, from_shards)?;
-        }
-        // Final drain: every shard closes its remaining sessions; the
-        // merged departures complete the log.
-        for (shard, tx) in to_shards.iter().enumerate() {
-            if tx.send(ToShard::Finish).is_err() {
-                return Err(take_worker_error(&from_shards[shard]));
-            }
-        }
-        let mut outs = Vec::with_capacity(shard_count);
-        for rx in from_shards {
-            match rx.recv() {
-                Some(Ok(out)) => outs.push(out),
-                Some(Err(e)) => return Err(e),
-                None => return Err(worker_died()),
-            }
-        }
-        merger.merge_departures(&mut outs)?;
-        merger.finish(mirror)
-    }
 }
 
-/// Pulls the terminal error out of a dead worker's output channel (the
-/// worker sends `Err` then exits, so a failed `send` to it means the
-/// explanation is waiting — or the thread died without one).
-fn take_worker_error(rx: &Receiver<Result<CycleOut, EngineError>>) -> EngineError {
-    while let Some(result) = rx.recv() {
-        if let Err(e) = result {
-            return e;
-        }
-    }
-    worker_died()
-}
-
-/// Coordinator-side emission state: merges each cycle's shard outputs in
-/// the canonical order of the unified drain and owns every sink call, so
-/// trace bodies and record streams are byte-identical to the unified
-/// engine's.
+/// Merger-side emission state: joins each chunk at the barrier, merges
+/// every cycle's shard outputs in the canonical order of the unified
+/// drain, and owns every sink call — so trace bodies and record streams
+/// are byte-identical to the unified engine's.
 struct Merger<'a, 't> {
     topology: &'t Topology,
     sink: &'a mut dyn RecordSink,
@@ -655,6 +774,17 @@ struct Merger<'a, 't> {
     /// The global reported-load vector (what the unified engine keeps in
     /// `RunState::reported`), assembled from shard fragments.
     reported: Vec<BitsPerSec>,
+    /// Unified-queue counters, reduced from per-cycle pop counts (the
+    /// old per-event heap mirror, folded into three integers).
+    depth: usize,
+    peak: usize,
+    processed: u64,
+    /// Reusable k-way departure-merge cursors, one per shard.
+    dep_pos: Vec<usize>,
+    /// Reusable per-shard group cursors for the group walk.
+    group_cursor: Vec<usize>,
+    /// Reusable placement-mode record staging (per cycle).
+    record_buf: Vec<SessionRecord>,
     placed: usize,
     rejected: usize,
     departed: usize,
@@ -666,6 +796,10 @@ struct Merger<'a, 't> {
     departures: s3_obs::Counter,
     load_reports: s3_obs::Counter,
     ap_load_kbps: s3_obs::Histogram,
+    chunks: s3_obs::Counter,
+    barrier_wait: s3_obs::Histogram,
+    merge_micros: s3_obs::Histogram,
+    channel_occupancy: s3_obs::Histogram,
 }
 
 impl Merger<'_, '_> {
@@ -679,22 +813,95 @@ impl Merger<'_, '_> {
         self.sink.observe(event).map_err(EngineError::Sink)
     }
 
-    /// Merged departures of one drain, in global `(time, seq)` order.
-    fn merge_departures(&mut self, outs: &mut [CycleOut]) -> Result<(), EngineError> {
-        let mut departs: Vec<DepartOut> =
-            outs.iter_mut().flat_map(|o| o.departs.drain(..)).collect();
-        departs.sort_by_key(|d| (d.at.as_secs(), d.seq));
-        for d in departs {
+    /// The merge loop: consumes the meta stream in order, joining each
+    /// chunk's shard replies at the barrier.
+    fn run(
+        &mut self,
+        meta_rx: &Receiver<MetaMsg>,
+        from_shards: &[Receiver<ShardReply>],
+    ) -> Result<RunTotals, EngineError> {
+        let mut outs: Vec<Vec<CycleOut>> = Vec::with_capacity(from_shards.len());
+        loop {
+            let Some(msg) = meta_rx.recv() else {
+                // The ingest thread died without a verdict: its send to
+                // a shard failed, so a worker holds the real error.
+                return Err(sweep_worker_error(from_shards));
+            };
+            match msg {
+                MetaMsg::Chunk(metas) => {
+                    self.chunks.inc();
+                    outs.clear();
+                    let waited = Instant::now();
+                    for rx in from_shards {
+                        self.channel_occupancy.observe(rx.len() as u64);
+                        outs.push(recv_reply(rx)?);
+                    }
+                    self.barrier_wait
+                        .observe(waited.elapsed().as_micros() as u64);
+                    let merging = Instant::now();
+                    for (c, meta) in metas.iter().enumerate() {
+                        self.merge_cycle(meta, &mut outs, c)?;
+                    }
+                    self.merge_micros
+                        .observe(merging.elapsed().as_micros() as u64);
+                }
+                MetaMsg::Finish => {
+                    // Final drain: every shard closes its remaining
+                    // sessions; the merged departures complete the log.
+                    outs.clear();
+                    for rx in from_shards {
+                        outs.push(recv_reply(rx)?);
+                    }
+                    let popped: u64 = outs
+                        .iter()
+                        .map(|o| o.first().map_or(0, |out| out.popped))
+                        .sum();
+                    self.merge_departures_at(&mut outs, 0)?;
+                    self.processed += popped;
+                    return self.finish();
+                }
+                MetaMsg::Fail(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Merges cycle `c`'s departures across shards in global
+    /// `(time, seq)` order. Each shard's departs are already sorted by
+    /// that key (queue pop order), so an allocation-free k-way cursor
+    /// min reproduces the old collect-and-sort exactly.
+    fn merge_departures_at(
+        &mut self,
+        outs: &mut [Vec<CycleOut>],
+        c: usize,
+    ) -> Result<(), EngineError> {
+        self.dep_pos.clear();
+        self.dep_pos.resize(outs.len(), 0);
+        loop {
+            let mut best: Option<((u64, u64), usize)> = None;
+            for (s, shard) in outs.iter().enumerate() {
+                if let Some(d) = shard[c].departs.get(self.dep_pos[s]) {
+                    let key = (d.at.as_secs(), d.seq);
+                    if best.is_none_or(|(k, _)| key < k) {
+                        best = Some((key, s));
+                    }
+                }
+            }
+            let Some((_, s)) = best else { break };
+            let pos = self.dep_pos[s];
+            self.dep_pos[s] += 1;
+            let d = &mut outs[s][c].departs[pos];
+            let (at, seq, sid, user, ap) = (d.at, d.seq, d.sid, d.user, d.ap);
+            let record = d.record.take();
             self.departures.inc();
             self.departed += 1;
             self.observe(&TraceEvent::Depart {
-                at: d.at,
-                seq: d.seq,
-                sid: d.sid,
-                user: d.user,
-                ap: d.ap,
+                at,
+                seq,
+                sid,
+                user,
+                ap,
             })?;
-            if let Some(record) = d.record {
+            if let Some(record) = record {
                 self.emit(record)?;
             }
         }
@@ -703,26 +910,29 @@ impl Merger<'_, '_> {
 
     fn merge_cycle(
         &mut self,
-        meta: CycleMeta,
-        from_shards: &[Receiver<Result<CycleOut, EngineError>>],
+        meta: &CycleMeta,
+        outs: &mut [Vec<CycleOut>],
+        c: usize,
     ) -> Result<(), EngineError> {
-        let mut outs = Vec::with_capacity(from_shards.len());
-        for rx in from_shards {
-            match rx.recv() {
-                Some(Ok(out)) => outs.push(out),
-                Some(Err(e)) => return Err(e),
-                None => return Err(worker_died()),
-            }
-        }
+        // Queue counters, mirroring the unified push/pop order: the
+        // cycle's events push (monotone — peak after the bulk add sees
+        // the same maximum), then the drain pops everything due plus the
+        // cycle events themselves.
+        let cycle_events = meta.cycle_events as usize;
+        self.depth += cycle_events;
+        self.peak = self.peak.max(self.depth);
+        let popped: u64 = outs.iter().map(|shard| shard[c].popped).sum();
+        self.depth -= popped as usize + cycle_events;
+        self.processed += popped + cycle_events as u64;
         // 1. Departures due at this head, merged across shards.
-        self.merge_departures(&mut outs)?;
+        self.merge_departures_at(outs, c)?;
         // 2. The rebalance tick; moves concatenate in shard order, which
         //    is ascending-controller order (the plan is contiguous).
         if let Some(seq) = meta.tick_seq {
             s3_obs::global().counter(&REBALANCE_ROUNDS).inc();
             self.observe(&TraceEvent::Tick { at: meta.head, seq })?;
-            for out in &mut outs {
-                for mv in std::mem::take(&mut out.moves) {
+            for shard in outs.iter_mut() {
+                for mv in std::mem::take(&mut shard[c].moves) {
                     self.migrations += 1;
                     self.observe(&TraceEvent::Move {
                         at: meta.head,
@@ -742,8 +952,8 @@ impl Merger<'_, '_> {
         //    refresh loop does.
         if let Some(seq) = meta.report_seq {
             self.load_reports.inc();
-            for out in &mut outs {
-                for (ap, load) in out.report.take().unwrap_or_default() {
+            for shard in outs.iter_mut() {
+                for (ap, load) in shard[c].report.take().unwrap_or_default() {
                     self.reported[ap.index()] = load;
                 }
             }
@@ -765,61 +975,75 @@ impl Merger<'_, '_> {
         })?;
         self.batches.inc();
         self.batch_size.observe(meta.batch.len() as u64);
-        let mut cursors = vec![0usize; outs.len()];
+        self.group_cursor.clear();
+        self.group_cursor.resize(outs.len(), 0);
         for group in &meta.groups {
-            match group {
-                MergeGroup::Rejected { users } => {
-                    self.rejected += users.len();
-                    for &user in users {
+            let msg = &group.msg;
+            match group.shard {
+                None => {
+                    self.rejected += msg.members.len();
+                    for &i in &msg.members {
                         self.observe(&TraceEvent::Reject {
                             at: meta.head,
-                            user,
+                            user: meta.batch[i as usize].user,
                         })?;
                     }
                 }
-                MergeGroup::Placed { shard } => {
-                    let out = &outs[*shard].groups[cursors[*shard]];
-                    cursors[*shard] += 1;
-                    let candidates = self.topology.aps_of_controller(out.controller);
-                    self.placements.add(out.selects.len() as u64);
-                    self.placed += out.selects.len();
-                    for sel in &out.selects {
+                Some(s) => {
+                    let gi = self.group_cursor[s];
+                    self.group_cursor[s] += 1;
+                    let selects = &outs[s][c].groups[gi];
+                    // Placed departures push onto the unified queue here.
+                    self.depth += selects.len();
+                    self.peak = self.peak.max(self.depth);
+                    let candidates = self.topology.aps_of_controller(msg.controller);
+                    self.placements.add(selects.len() as u64);
+                    self.placed += selects.len();
+                    for (j, sel) in selects.iter().enumerate() {
+                        let d = &meta.batch[msg.members[j] as usize];
                         self.sink
                             .observe(&TraceEvent::Select {
                                 at: meta.head,
-                                sid: sel.sid,
-                                user: sel.user,
+                                sid: msg.first_sid + j as u32,
+                                user: d.user,
                                 ap: sel.ap,
                                 clique: sel.clique,
                                 degraded: sel.degraded,
-                                rate: sel.rate,
+                                rate: d.mean_rate(),
                                 candidates,
                             })
                             .map_err(EngineError::Sink)?;
+                        if !self.emit_at_departure {
+                            // Placement-mode records are fully determined
+                            // here — staged in group-major member order,
+                            // exactly the unified scratch order.
+                            let mut active = Active::from_demand(d, sel.ap);
+                            self.record_buf.push(active.close_segment(d.depart, true));
+                        }
                     }
                 }
             }
         }
         // 5. Placement-mode records, batch-sorted by `(connect, user,
-        //    ap)` like the unified scratch emit. Ties on the full key
-        //    share an AP, hence a shard, so shard-order concatenation
-        //    plus a stable sort reproduces the unified order exactly.
-        if !self.emit_at_departure {
-            let mut records: Vec<SessionRecord> =
-                outs.iter_mut().flat_map(|o| o.records.drain(..)).collect();
+        //    ap)` like the unified scratch emit (stable sort over the
+        //    same staging order ⇒ identical output).
+        if !self.emit_at_departure && !self.record_buf.is_empty() {
+            let mut records = std::mem::take(&mut self.record_buf);
             records.sort_by_key(|r| (r.connect, r.user, r.ap));
-            for record in records {
+            for record in records.drain(..) {
                 self.emit(record)?;
             }
+            self.record_buf = records;
         }
         Ok(())
     }
 
     /// Emits the end-of-run trace record and publishes the run counters
-    /// (all metrics live on the coordinator; shards publish nothing).
-    /// Active sessions at end-of-trace are exactly `placed − departed`:
-    /// sessions close only at departure, and migration never closes one.
-    fn finish(&mut self, mirror: QueueMirror) -> Result<RunTotals, EngineError> {
+    /// (all metrics live on the merger; shards publish only their
+    /// volatile phase timers). Active sessions at end-of-trace are
+    /// exactly `placed − departed`: sessions close only at departure,
+    /// and migration never closes one.
+    fn finish(&mut self) -> Result<RunTotals, EngineError> {
         let end = TraceEvent::End {
             placed: self.placed as u64,
             rejected: self.rejected as u64,
@@ -827,7 +1051,7 @@ impl Merger<'_, '_> {
             active: (self.placed - self.departed) as u64,
         };
         self.observe(&end)?;
-        mirror.finish_and_publish();
+        publish_queue_totals(self.processed, self.peak);
         let registry = s3_obs::global();
         registry.counter(&REJECTED).add(self.rejected as u64);
         registry.counter(&MIGRATIONS).add(self.migrations as u64);

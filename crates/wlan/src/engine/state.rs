@@ -18,14 +18,6 @@ use std::collections::BTreeMap;
 use s3_trace::{SessionDemand, SessionRecord};
 use s3_types::{ApId, BitsPerSec, Bytes, ControllerId, Timestamp, UserId, APP_CATEGORY_COUNT};
 
-/// Live per-AP state. `associated` is the backing store the zero-copy
-/// [`crate::selector::ApView`] borrows from.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct ApState {
-    pub load: BitsPerSec,
-    pub associated: Vec<UserId>,
-}
-
 /// A live session being served.
 #[derive(Debug, Clone)]
 pub(crate) struct Active {
@@ -92,10 +84,19 @@ impl Active {
 }
 
 /// All mutable state of one replay run.
+///
+/// Per-AP state is stored struct-of-arrays: the hot paths touch loads and
+/// associations at different rates (the rebalancer and load reports scan
+/// every load each round but only ever touch one or two association lists),
+/// so splitting them keeps load scans on a dense `Vec<BitsPerSec>` instead
+/// of striding over association `Vec` headers.
 #[derive(Debug)]
 pub(crate) struct RunState {
-    /// Live per-AP state (load + associations), indexed by AP.
-    pub state: Vec<ApState>,
+    /// Live offered load per AP, indexed by AP.
+    pub loads: Vec<BitsPerSec>,
+    /// Associated users per AP, indexed by AP — the backing store the
+    /// zero-copy [`crate::selector::ApView`] borrows from.
+    pub associated: Vec<Vec<UserId>>,
     /// Per-AP load as of the last controller report — what policies see.
     pub reported: Vec<BitsPerSec>,
     /// Live sessions keyed by placement index.
@@ -108,7 +109,8 @@ pub(crate) struct RunState {
 impl RunState {
     pub fn new(ap_count: usize) -> Self {
         RunState {
-            state: vec![ApState::default(); ap_count],
+            loads: vec![BitsPerSec::ZERO; ap_count],
+            associated: vec![Vec::new(); ap_count],
             reported: vec![BitsPerSec::ZERO; ap_count],
             sessions: BTreeMap::new(),
             next_session: 0,
@@ -146,18 +148,18 @@ impl RunState {
     /// admit under the coordinator's index, not a local counter.
     pub fn place_at(&mut self, demand: &SessionDemand, ap: ApId, idx: u32) {
         let rate = demand.mean_rate();
-        let ap_state = &mut self.state[ap.index()];
-        ap_state.load += rate;
-        ap_state.associated.push(demand.user);
+        self.loads[ap.index()] += rate;
+        self.associated[ap.index()].push(demand.user);
         self.sessions.insert(idx, Active::from_demand(demand, ap));
     }
 
     /// Releases a departing/migrating session's footprint on `ap`.
     pub fn release(&mut self, ap: ApId, user: UserId, rate: BitsPerSec) {
-        let ap_state = &mut self.state[ap.index()];
-        ap_state.load = ap_state.load.saturating_sub(rate);
-        if let Some(pos) = ap_state.associated.iter().position(|&u| u == user) {
-            ap_state.associated.swap_remove(pos);
+        let load = &mut self.loads[ap.index()];
+        *load = load.saturating_sub(rate);
+        let assoc = &mut self.associated[ap.index()];
+        if let Some(pos) = assoc.iter().position(|&u| u == user) {
+            assoc.swap_remove(pos);
         }
     }
 }
@@ -199,12 +201,12 @@ mod tests {
         let mut run = RunState::new(1);
         let d = demand(7, 0, 1_000);
         let idx = run.place(&d, ApId::new(0));
-        assert_eq!(run.state[0].associated, vec![UserId::new(7)]);
-        assert!(run.state[0].load.as_f64() > 0.0);
+        assert_eq!(run.associated[0], vec![UserId::new(7)]);
+        assert!(run.loads[0].as_f64() > 0.0);
         let active = run.close(idx).unwrap();
         run.release(active.ap, active.user, active.rate);
-        assert!(run.state[0].associated.is_empty());
-        assert_eq!(run.state[0].load, BitsPerSec::ZERO);
+        assert!(run.associated[0].is_empty());
+        assert_eq!(run.loads[0], BitsPerSec::ZERO);
         assert_eq!(run.sessions().count(), 0);
     }
 
@@ -282,7 +284,7 @@ mod tests {
         run.place_at(&demand(5, 0, 100), ApId::new(1), 42);
         let order: Vec<u32> = run.sessions().map(|(idx, _)| idx).collect();
         assert_eq!(order, vec![42]);
-        assert_eq!(run.state[1].associated, vec![UserId::new(5)]);
+        assert_eq!(run.associated[1], vec![UserId::new(5)]);
         assert!(run.session_mut(42).is_some());
     }
 
